@@ -1,0 +1,98 @@
+//! Simulator microbenchmarks and the zeroing-policy ablation.
+//!
+//! `page_free_policy` is the cost side of the paper's kernel patch: how much
+//! does clearing every freed page add to the allocator's free path? The
+//! paper's answer at system level is "nothing measurable"; the microbench
+//! shows the raw per-page cost that gets amortized away.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memsim::{Kernel, KernelPolicy, MachineConfig, PAGE_SIZE};
+use simrng::Rng64;
+
+fn machine(policy: KernelPolicy) -> Kernel {
+    Kernel::new(
+        MachineConfig::small()
+            .with_mem_bytes(16 * 1024 * 1024)
+            .with_policy(policy),
+    )
+}
+
+fn bench_page_free_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_free_policy");
+    for (name, policy) in [
+        ("stock", KernelPolicy::stock()),
+        ("zero_on_free", KernelPolicy::hardened()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("alloc_free_64_pages", name), &policy, |b, p| {
+            let mut k = machine(*p);
+            b.iter(|| {
+                let frames = k.alloc_kernel_pages(64).unwrap();
+                k.free_kernel_pages(&frames);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fork_and_cow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("process_lifecycle");
+    group.bench_function("fork_exit_cycle", |b| {
+        let mut k = machine(KernelPolicy::stock());
+        let parent = k.spawn();
+        let buf = k.heap_alloc(parent, 16 * PAGE_SIZE).unwrap();
+        k.write_bytes(parent, buf, &vec![7u8; 16 * PAGE_SIZE]).unwrap();
+        b.iter(|| {
+            let child = k.fork(parent).unwrap();
+            k.exit(child).unwrap();
+        });
+    });
+    group.bench_function("cow_break_one_page", |b| {
+        let mut k = machine(KernelPolicy::stock());
+        let parent = k.spawn();
+        let buf = k.heap_alloc(parent, PAGE_SIZE).unwrap();
+        k.write_bytes(parent, buf, &vec![9u8; PAGE_SIZE]).unwrap();
+        b.iter(|| {
+            let child = k.fork(parent).unwrap();
+            // The write faults and duplicates the page.
+            k.write_bytes(child, buf, b"x").unwrap();
+            k.exit(child).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_heap_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("user_heap");
+    group.bench_function("alloc_write_free_8k", |b| {
+        let mut k = machine(KernelPolicy::stock());
+        let pid = k.spawn();
+        let payload = vec![3u8; 8192];
+        b.iter(|| {
+            let a = k.heap_alloc(pid, 8192).unwrap();
+            k.write_bytes(pid, a, &payload).unwrap();
+            k.heap_free(pid, a).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_aging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_setup");
+    group.sample_size(10);
+    group.bench_function("age_16mb", |b| {
+        b.iter(|| {
+            let mut k = machine(KernelPolicy::stock());
+            k.age_memory(&mut Rng64::new(1), 1.0)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_page_free_policy,
+    bench_fork_and_cow,
+    bench_heap_churn,
+    bench_aging
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Scanner throughput — the §3.1 claim: the `scanmemory` module's linear
+//! scan is O(n) and took ~5 s for 256 MB on 2007 hardware. This bench
+//! measures our equivalent across memory sizes and pattern counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use keyscan::Scanner;
+use memsim::{Kernel, MachineConfig};
+use rsa_repro::material::{KeyMaterial, Pattern};
+use rsa_repro::RsaPrivateKey;
+use simrng::Rng64;
+
+fn populated_machine(mb: usize) -> (Kernel, KeyMaterial) {
+    let mut k = Kernel::new(MachineConfig::small().with_mem_bytes(mb * 1024 * 1024));
+    let key = RsaPrivateKey::generate(512, &mut Rng64::new(1));
+    let material = KeyMaterial::from_key(&key);
+    // Plant a handful of copies so the scan does some real matching work.
+    let pid = k.spawn();
+    for i in 0..8 {
+        let buf = k.heap_alloc(pid, 4096).unwrap();
+        let bytes = if i % 2 == 0 {
+            material.p_bytes()
+        } else {
+            material.d_bytes()
+        };
+        k.write_bytes(pid, buf, bytes).unwrap();
+    }
+    (k, material)
+}
+
+fn bench_scan_by_memory_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_memory_size");
+    group.sample_size(10);
+    for mb in [4usize, 16, 64] {
+        let (k, material) = populated_machine(mb);
+        let scanner = Scanner::from_material(&material);
+        group.throughput(Throughput::Bytes((mb * 1024 * 1024) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(mb), &mb, |b, _| {
+            b.iter(|| scanner.scan_kernel(std::hint::black_box(&k)).total());
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan_by_pattern_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_pattern_count");
+    group.sample_size(10);
+    let (k, material) = populated_machine(16);
+    for n in [1usize, 4, 16] {
+        let mut patterns: Vec<Pattern> = material.patterns().to_vec();
+        let mut rng = Rng64::new(2);
+        while patterns.len() < n {
+            patterns.push(Pattern::new("filler", rng.gen_bytes(64)));
+        }
+        patterns.truncate(n);
+        let scanner = Scanner::new(patterns);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| scanner.scan_kernel(std::hint::black_box(&k)).total());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_by_memory_size, bench_scan_by_pattern_count);
+criterion_main!(benches);

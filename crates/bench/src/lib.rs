@@ -1,0 +1,2 @@
+//! Benchmark-only crate. All content lives in `benches/`; see the workspace
+//! README for how each bench group maps to a paper figure.

@@ -1,0 +1,459 @@
+//! Addition, subtraction, multiplication, and shifts for [`BigUint`].
+
+use crate::BigUint;
+use core::ops::{Add, Mul, Sub};
+
+/// Operand size (in limbs) above which multiplication switches from the
+/// quadratic schoolbook algorithm to Karatsuba. 32 limbs = 2048-bit
+/// operands; below that the recursion overhead dominates.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Schoolbook product over raw limb slices.
+fn schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut acc = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        for (j, &bj) in b.iter().enumerate() {
+            let wide = u128::from(ai) * u128::from(bj) + u128::from(acc[i + j]) + u128::from(carry);
+            acc[i + j] = wide as u64;
+            carry = (wide >> 64) as u64;
+        }
+        acc[i + b.len()] = carry;
+    }
+    acc
+}
+
+/// Adds limb slice `b` into `acc` starting at limb offset `off`.
+fn add_into(acc: &mut Vec<u64>, b: &[u64], off: usize) {
+    if acc.len() < off + b.len() + 1 {
+        acc.resize(off + b.len() + 1, 0);
+    }
+    let mut carry = 0u64;
+    for (i, &x) in b.iter().enumerate() {
+        let (s1, c1) = acc[off + i].overflowing_add(x);
+        let (s2, c2) = s1.overflowing_add(carry);
+        acc[off + i] = s2;
+        carry = u64::from(c1) + u64::from(c2);
+    }
+    let mut i = off + b.len();
+    while carry != 0 {
+        if i >= acc.len() {
+            acc.push(0);
+        }
+        let (s, c) = acc[i].overflowing_add(carry);
+        acc[i] = s;
+        carry = u64::from(c);
+        i += 1;
+    }
+}
+
+/// Subtracts limb slice `b` from `acc` in place; caller guarantees `acc >= b`.
+fn sub_from(acc: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for (i, slot) in acc.iter_mut().enumerate() {
+        let x = b.get(i).copied().unwrap_or(0);
+        let (d1, b1) = slot.overflowing_sub(x);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *slot = d2;
+        borrow = u64::from(b1) + u64::from(b2);
+        if borrow == 0 && i >= b.len() {
+            break;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "karatsuba middle term underflow");
+}
+
+/// Sum of two limb slices as a fresh vector.
+fn add_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = long.to_vec();
+    add_into_slice(&mut out, short);
+    out
+}
+
+fn add_into_slice(acc: &mut Vec<u64>, b: &[u64]) {
+    let mut carry = 0u64;
+    for (i, slot) in acc.iter_mut().enumerate() {
+        let x = b.get(i).copied().unwrap_or(0);
+        let (s1, c1) = slot.overflowing_add(x);
+        let (s2, c2) = s1.overflowing_add(carry);
+        *slot = s2;
+        carry = u64::from(c1) + u64::from(c2);
+        if carry == 0 && i >= b.len() {
+            break;
+        }
+    }
+    if carry != 0 {
+        acc.push(carry);
+    }
+}
+
+/// Recursive Karatsuba over limb slices. Returns an (unnormalized) product.
+fn karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        return schoolbook(a, b);
+    }
+    let m = a.len().max(b.len()) / 2;
+    let (a0, a1) = a.split_at(m.min(a.len()));
+    let (b0, b1) = b.split_at(m.min(b.len()));
+
+    let z0 = karatsuba(a0, b0);
+    let z2 = if a1.is_empty() || b1.is_empty() {
+        Vec::new()
+    } else {
+        karatsuba(a1, b1)
+    };
+    // z1 = (a0+a1)(b0+b1) - z0 - z2
+    let mut z1 = karatsuba(&add_slices(a0, a1), &add_slices(b0, b1));
+    sub_from(&mut z1, &z0);
+    sub_from(&mut z1, &z2);
+
+    let mut out = vec![0u64; a.len() + b.len() + 1];
+    add_into(&mut out, &z0, 0);
+    add_into(&mut out, &z1, m);
+    add_into(&mut out, &z2, 2 * m);
+    out
+}
+
+impl BigUint {
+    /// Adds `other` into `self` in place.
+    pub fn add_assign(&mut self, other: &Self) {
+        if self.limbs.len() < other.limbs.len() {
+            self.limbs.resize(other.limbs.len(), 0);
+        }
+        let mut carry = 0u64;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = limb.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *limb = s2;
+            carry = u64::from(c1) + u64::from(c2);
+            if carry == 0 && i >= other.limbs.len() {
+                break;
+            }
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Subtracts `other` from `self`, returning `None` on underflow.
+    #[must_use]
+    pub fn checked_sub(&self, other: &Self) -> Option<Self> {
+        if self < other {
+            return None;
+        }
+        let mut limbs = self.limbs.clone();
+        let mut borrow = 0u64;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = limb.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *limb = d2;
+            borrow = u64::from(b1) + u64::from(b2);
+            if borrow == 0 && i >= other.limbs.len() {
+                break;
+            }
+        }
+        debug_assert_eq!(borrow, 0, "underflow despite comparison guard");
+        Some(Self::from_limbs(limbs))
+    }
+
+    /// Multiplies by a single machine word.
+    #[must_use]
+    pub fn mul_u64(&self, m: u64) -> Self {
+        if m == 0 || self.is_zero() {
+            return Self::zero();
+        }
+        let mut limbs = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &a in &self.limbs {
+            let wide = u128::from(a) * u128::from(m) + u128::from(carry);
+            limbs.push(wide as u64);
+            carry = (wide >> 64) as u64;
+        }
+        if carry != 0 {
+            limbs.push(carry);
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Full product: schoolbook for small operands, Karatsuba above
+    /// [`KARATSUBA_THRESHOLD`] limbs (≥2048-bit operands).
+    #[must_use]
+    fn mul_full(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        if self.limbs.len().min(other.limbs.len()) >= KARATSUBA_THRESHOLD {
+            Self::from_limbs(karatsuba(&self.limbs, &other.limbs))
+        } else {
+            Self::from_limbs(schoolbook(&self.limbs, &other.limbs))
+        }
+    }
+
+    /// Left-shifts by `bits`.
+    #[must_use]
+    pub fn shl_bits(&self, bits: usize) -> Self {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Right-shifts by `bits`, discarding shifted-out bits.
+    #[must_use]
+    pub fn shr_bits(&self, bits: usize) -> Self {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for (i, &l) in src.iter().enumerate() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                limbs.push((l >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        Self::from_limbs(limbs)
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        out
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`BigUint::checked_sub`] when the ordering of
+    /// the operands is not statically known.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        self.mul_full(rhs)
+    }
+}
+
+/// Forwards owned / mixed-ownership operator forms to the borrowed impls.
+macro_rules! forward_owned_ops {
+    ($($trait:ident, $method:ident;)*) => {$(
+        impl $trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$method(&rhs)
+            }
+        }
+    )*};
+}
+
+forward_owned_ops! {
+    Add, add;
+    Sub, sub;
+    Mul, mul;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    fn n(s: &str) -> BigUint {
+        BigUint::from_hex(s).unwrap()
+    }
+
+    #[test]
+    fn add_with_carry_chains() {
+        let a = n("ffffffffffffffff");
+        let b = BigUint::one();
+        assert_eq!(&a + &b, n("10000000000000000"));
+        let c = n("ffffffffffffffffffffffffffffffff");
+        assert_eq!(&c + &b, n("100000000000000000000000000000000"));
+    }
+
+    #[test]
+    fn add_is_commutative_on_mixed_sizes() {
+        let a = n("123456789abcdef0fedcba9876543210");
+        let b = n("ff");
+        assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_zero_identity() {
+        let a = n("deadbeef");
+        assert_eq!(&a + &BigUint::zero(), a);
+        assert_eq!(&BigUint::zero() + &a, a);
+    }
+
+    #[test]
+    fn sub_basic_and_borrow() {
+        assert_eq!(&n("100") - &n("1"), n("ff"));
+        assert_eq!(&n("10000000000000000") - &n("1"), n("ffffffffffffffff"));
+        assert_eq!(&n("5") - &n("5"), BigUint::zero());
+    }
+
+    #[test]
+    fn checked_sub_underflow_is_none() {
+        assert!(n("5").checked_sub(&n("6")).is_none());
+        assert!(BigUint::zero().checked_sub(&BigUint::one()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_operator_panics_on_underflow() {
+        let _ = &n("1") - &n("2");
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = n("fedcba98765432100123456789abcdef");
+        let b = n("abcdef");
+        assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(&n("7") * &n("6"), n("2a"));
+        assert_eq!(&n("0") * &n("1234"), BigUint::zero());
+        assert_eq!(&n("1234") * &BigUint::one(), n("1234"));
+    }
+
+    #[test]
+    fn mul_wide() {
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let a = n("ffffffffffffffff");
+        assert_eq!(&a * &a, n("fffffffffffffffe0000000000000001"));
+    }
+
+    #[test]
+    fn mul_u64_matches_full_mul() {
+        let a = n("123456789abcdef0deadbeefcafebabe");
+        assert_eq!(a.mul_u64(0xabcd), &a * &BigUint::from_u64(0xabcd));
+        assert_eq!(a.mul_u64(0), BigUint::zero());
+    }
+
+    #[test]
+    fn shl_shr_round_trip() {
+        let a = n("123456789abcdef");
+        for bits in [0usize, 1, 7, 63, 64, 65, 128, 200] {
+            let shifted = a.shl_bits(bits);
+            assert_eq!(shifted.shr_bits(bits), a, "bits={bits}");
+            assert_eq!(shifted.bit_len(), a.bit_len() + bits);
+        }
+    }
+
+    #[test]
+    fn shr_past_end_is_zero() {
+        assert_eq!(n("ff").shr_bits(8), BigUint::zero());
+        assert_eq!(n("ff").shr_bits(1000), BigUint::zero());
+        assert_eq!(BigUint::zero().shr_bits(3), BigUint::zero());
+    }
+
+    #[test]
+    fn shl_equals_mul_by_power_of_two() {
+        let a = n("abcdef123");
+        assert_eq!(a.shl_bits(5), a.mul_u64(32));
+    }
+
+    #[test]
+    fn distributive_law_spot_check() {
+        let a = n("123456789abcdef01");
+        let b = n("fedcba987654321");
+        let c = n("1111111111111111");
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    /// Deterministic pseudo-random big number of `limbs` limbs.
+    fn pseudo(limbs: usize, seed: u64) -> BigUint {
+        let mut x = seed | 1;
+        let v: Vec<u64> = (0..limbs)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect();
+        BigUint::from_limbs(v)
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook_on_large_operands() {
+        // 40–96 limb operands force the Karatsuba path (threshold 32).
+        for (la, lb, seed) in [(40usize, 40usize, 1u64), (64, 33, 2), (96, 96, 3), (33, 80, 4)] {
+            let a = pseudo(la, seed);
+            let b = pseudo(lb, seed.wrapping_mul(0x9E37));
+            let fast = &a * &b;
+            let slow = BigUint::from_limbs(super::schoolbook(a.limbs(), b.limbs()));
+            assert_eq!(fast, slow, "la={la} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn karatsuba_handles_skewed_splits() {
+        // One operand much longer than the other, with the split point past
+        // the short operand's end (empty high halves).
+        let a = pseudo(100, 7);
+        let b = pseudo(34, 8);
+        assert_eq!(
+            &a * &b,
+            BigUint::from_limbs(super::schoolbook(a.limbs(), b.limbs()))
+        );
+    }
+
+    #[test]
+    fn karatsuba_square_of_all_ones() {
+        // Worst-case carries: (2^(64*48) - 1)^2.
+        let a = BigUint::from_limbs(vec![u64::MAX; 48]);
+        let direct = BigUint::from_limbs(super::schoolbook(a.limbs(), a.limbs()));
+        assert_eq!(&a * &a, direct);
+    }
+}

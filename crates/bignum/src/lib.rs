@@ -1,0 +1,424 @@
+//! Arbitrary-precision unsigned integer arithmetic built for the RSA
+//! reproduction of Harrison & Xu (DSN'07).
+//!
+//! The crate provides everything OpenSSL's BIGNUM layer provided to the paper:
+//! schoolbook multiplication, Knuth Algorithm-D division, Montgomery
+//! exponentiation with an explicit, reusable [`MontCtx`] (the analogue of
+//! `BN_MONT_CTX`, whose cached copies of the RSA primes are one of the key
+//! leak sites the paper identifies), modular inverses, and Miller–Rabin prime
+//! generation.
+//!
+//! # Examples
+//!
+//! ```
+//! use bignum::BigUint;
+//!
+//! let a = BigUint::from_u64(1234567);
+//! let b = BigUint::from_u64(89);
+//! let (q, r) = a.div_rem(&b);
+//! assert_eq!(&q * &b + &r, a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arith;
+mod div;
+mod modular;
+mod mont;
+mod prime;
+
+pub use mont::MontCtx;
+pub use prime::{gen_prime, is_probable_prime, SMALL_PRIMES};
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Stored as little-endian `u64` limbs with no trailing zero limbs; the value
+/// zero is the empty limb vector. All arithmetic is value-semantics over
+/// borrowed operands (`&a + &b`), mirroring how the paper's copy-site model
+/// tracks each temporary bignum allocation explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use bignum::BigUint;
+///
+/// let n = BigUint::from_be_bytes(&[0x01, 0x00]);
+/// assert_eq!(n, BigUint::from_u64(256));
+/// assert_eq!(n.to_be_bytes(), vec![0x01, 0x00]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs, normalized (no trailing zeros).
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value zero.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    #[must_use]
+    pub fn one() -> Self {
+        Self { limbs: vec![1] }
+    }
+
+    /// Constructs from a single machine word.
+    #[must_use]
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![v] }
+        }
+    }
+
+    /// Constructs from little-endian limbs, normalizing trailing zeros.
+    #[must_use]
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Self { limbs }
+    }
+
+    /// Exposes the little-endian limb slice.
+    #[must_use]
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Constructs from big-endian bytes (leading zeros permitted).
+    #[must_use]
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut iter = bytes.rchunks(8);
+        for chunk in &mut iter {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | u64::from(b);
+            }
+            limbs.push(limb);
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Serializes to minimal big-endian bytes (empty for zero).
+    #[must_use]
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        let mut first = true;
+        for &limb in self.limbs.iter().rev() {
+            let bytes = limb.to_be_bytes();
+            if first {
+                let skip = (limb.leading_zeros() / 8) as usize;
+                out.extend_from_slice(&bytes[skip.min(7)..]);
+                first = false;
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serializes to exactly `len` big-endian bytes, left-padded with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    #[must_use]
+    pub fn to_be_bytes_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_be_bytes();
+        assert!(
+            raw.len() <= len,
+            "value needs {} bytes, requested {}",
+            raw.len(),
+            len
+        );
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parses a hexadecimal string (case-insensitive, optional `0x` prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBigUintError`] on empty input or non-hex characters.
+    pub fn from_hex(s: &str) -> Result<Self, ParseBigUintError> {
+        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        if s.is_empty() {
+            return Err(ParseBigUintError);
+        }
+        let mut acc = Self::zero();
+        for c in s.chars() {
+            let digit = c.to_digit(16).ok_or(ParseBigUintError)?;
+            acc = acc.shl_bits(4);
+            if digit != 0 {
+                acc = &acc + &Self::from_u64(u64::from(digit));
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Renders as lowercase hexadecimal without a prefix (`"0"` for zero).
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::new();
+        for (i, &limb) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        s
+    }
+
+    /// Returns `true` for the value zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` for the value one.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` when the value is even (zero is even).
+    #[must_use]
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|&l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for zero).
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns bit `i` (bit 0 is least significant).
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        self.limbs.get(limb).is_some_and(|&l| (l >> (i % 64)) & 1 == 1)
+    }
+
+    /// Sets bit `i` to one, growing the limb vector as needed.
+    pub fn set_bit(&mut self, i: usize) {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << (i % 64);
+    }
+
+    /// Converts to `u64` when the value fits.
+    #[must_use]
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+}
+
+/// Error returned when parsing a [`BigUint`] from text fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseBigUintError;
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid big-integer syntax")
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0x", &self.to_hex())
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        Self::from_u64(u64::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert!(!BigUint::one().is_zero());
+        assert!(BigUint::zero().is_even());
+        assert!(!BigUint::one().is_even());
+    }
+
+    #[test]
+    fn from_limbs_normalizes() {
+        let n = BigUint::from_limbs(vec![5, 0, 0]);
+        assert_eq!(n.limbs(), &[5]);
+        assert_eq!(BigUint::from_limbs(vec![0, 0]), BigUint::zero());
+    }
+
+    #[test]
+    fn be_bytes_round_trip() {
+        let cases: &[&[u8]] = &[
+            &[],
+            &[0x01],
+            &[0xff],
+            &[0x01, 0x00],
+            &[0xde, 0xad, 0xbe, 0xef, 0xca, 0xfe, 0xba, 0xbe, 0x42],
+        ];
+        for &bytes in cases {
+            let n = BigUint::from_be_bytes(bytes);
+            let back = n.to_be_bytes();
+            // Round trip strips leading zeros but preserves the value.
+            assert_eq!(BigUint::from_be_bytes(&back), n);
+        }
+    }
+
+    #[test]
+    fn be_bytes_ignores_leading_zeros() {
+        let a = BigUint::from_be_bytes(&[0, 0, 0x12, 0x34]);
+        let b = BigUint::from_be_bytes(&[0x12, 0x34]);
+        assert_eq!(a, b);
+        assert_eq!(a.to_be_bytes(), vec![0x12, 0x34]);
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let n = BigUint::from_u64(0x1234);
+        assert_eq!(n.to_be_bytes_padded(4), vec![0, 0, 0x12, 0x34]);
+        assert_eq!(BigUint::zero().to_be_bytes_padded(2), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested")]
+    fn padded_bytes_too_small_panics() {
+        let _ = BigUint::from_u64(0x123456).to_be_bytes_padded(2);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        for s in ["0", "1", "ff", "deadbeefcafebabe", "123456789abcdef0123456789abcdef"] {
+            let n = BigUint::from_hex(s).unwrap();
+            assert_eq!(BigUint::from_hex(&n.to_hex()).unwrap(), n);
+        }
+        assert_eq!(BigUint::from_hex("FF").unwrap().to_hex(), "ff");
+        assert_eq!(BigUint::from_hex("0x10").unwrap(), BigUint::from_u64(16));
+        assert!(BigUint::from_hex("").is_err());
+        assert!(BigUint::from_hex("xyz").is_err());
+    }
+
+    #[test]
+    fn bit_len_and_bit() {
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+        assert_eq!(BigUint::from_u64(0x8000_0000_0000_0000).bit_len(), 64);
+        let n = BigUint::from_hex("10000000000000000").unwrap(); // 2^64
+        assert_eq!(n.bit_len(), 65);
+        assert!(n.bit(64));
+        assert!(!n.bit(0));
+        assert!(!n.bit(1000));
+    }
+
+    #[test]
+    fn set_bit_grows() {
+        let mut n = BigUint::zero();
+        n.set_bit(100);
+        assert_eq!(n.bit_len(), 101);
+        assert!(n.bit(100));
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigUint::from_u64(10);
+        let b = BigUint::from_u64(20);
+        let c = BigUint::from_hex("10000000000000000").unwrap();
+        assert!(a < b);
+        assert!(b < c);
+        assert!(c > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn to_u64_bounds() {
+        assert_eq!(BigUint::zero().to_u64(), Some(0));
+        assert_eq!(BigUint::from_u64(u64::MAX).to_u64(), Some(u64::MAX));
+        let big = BigUint::from_hex("10000000000000000").unwrap();
+        assert_eq!(big.to_u64(), None);
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        assert_eq!(format!("{}", BigUint::zero()), "0x0");
+        assert_eq!(format!("{:?}", BigUint::from_u64(255)), "BigUint(0xff)");
+        assert_eq!(format!("{:x}", BigUint::from_u64(255)), "ff");
+    }
+}

@@ -1,0 +1,336 @@
+//! Montgomery multiplication and exponentiation.
+//!
+//! [`MontCtx`] is the analogue of OpenSSL's `BN_MONT_CTX`. Crucially for the
+//! paper's analysis, the context *stores a full copy of the modulus*: when
+//! OpenSSL caches Montgomery contexts for the RSA primes P and Q
+//! (`RSA_FLAG_CACHE_PRIVATE`), each worker process ends up holding extra
+//! copies of the private key components in its heap. The `rsa` crate models
+//! that behaviour explicitly on the simulated memory.
+
+use crate::BigUint;
+
+/// Reusable Montgomery-domain context for a fixed odd modulus.
+///
+/// # Examples
+///
+/// ```
+/// use bignum::{BigUint, MontCtx};
+///
+/// let m = BigUint::from_u64(0x1_0001); // 65537, odd
+/// let ctx = MontCtx::new(&m);
+/// let r = ctx.pow(&BigUint::from_u64(3), &BigUint::from_u64(10));
+/// assert_eq!(r, BigUint::from_u64(59049 % 0x1_0001));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MontCtx {
+    /// The modulus (a copy — this is the paper's cached-key leak site).
+    n: Vec<u64>,
+    /// `-n^{-1} mod 2^64`.
+    n0inv: u64,
+    /// `R^2 mod n` where `R = 2^(64·k)`.
+    rr: Vec<u64>,
+    /// `R mod n` (the Montgomery representation of one).
+    one: Vec<u64>,
+}
+
+/// Inverse of an odd `x` modulo `2^64` by Newton iteration.
+fn inv64(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = x; // correct to 3 bits
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+/// Compares two equal-length limb slices.
+fn limbs_ge(a: &[u64], b: &[u64]) -> bool {
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        if x != y {
+            return x > y;
+        }
+    }
+    true
+}
+
+/// `a -= b` over equal-length slices, wrapping modulo `2^(64·len)`.
+///
+/// A final borrow is intentionally allowed: when the Montgomery accumulator
+/// has overflowed into its extra top limb, the wrap absorbs that limb.
+fn limbs_sub_assign(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for (x, &y) in a.iter_mut().zip(b.iter()) {
+        let (d1, b1) = x.overflowing_sub(y);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *x = d2;
+        borrow = u64::from(b1) + u64::from(b2);
+    }
+}
+
+impl MontCtx {
+    /// Builds a context for the odd modulus `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is even or less than 3.
+    #[must_use]
+    pub fn new(m: &BigUint) -> Self {
+        assert!(!m.is_even(), "Montgomery modulus must be odd");
+        assert!(m.bit_len() > 1, "Montgomery modulus must be >= 3");
+        let k = m.limbs.len();
+        let n0inv = inv64(m.limbs[0]).wrapping_neg();
+        // R^2 mod n with R = 2^(64k): one big division.
+        let mut r2 = BigUint::zero();
+        r2.set_bit(128 * k);
+        let rr = r2.rem(m);
+        let mut r1 = BigUint::zero();
+        r1.set_bit(64 * k);
+        let one = r1.rem(m);
+        Self {
+            n: m.limbs.clone(),
+            n0inv,
+            rr: Self::pad(&rr, k),
+            one: Self::pad(&one, k),
+        }
+    }
+
+    /// The modulus this context was built for.
+    #[must_use]
+    pub fn modulus(&self) -> BigUint {
+        BigUint::from_limbs(self.n.clone())
+    }
+
+    /// Number of 64-bit limbs in the modulus.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.n.len()
+    }
+
+    /// Approximate heap footprint of the context in bytes — used by the
+    /// copy-site model to size the simulated allocations holding cached
+    /// copies of P and Q.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        (self.n.len() + self.rr.len() + self.one.len()) * 8
+    }
+
+    fn pad(v: &BigUint, k: usize) -> Vec<u64> {
+        let mut out = v.limbs.clone();
+        out.resize(k, 0);
+        out
+    }
+
+    /// CIOS Montgomery product of two k-limb Montgomery-form operands.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.n.len();
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        let mut t = vec![0u64; k + 2];
+        for &ai in a.iter() {
+            // t += ai * b
+            let mut carry = 0u64;
+            for j in 0..k {
+                let wide = u128::from(ai) * u128::from(b[j]) + u128::from(t[j]) + u128::from(carry);
+                t[j] = wide as u64;
+                carry = (wide >> 64) as u64;
+            }
+            let wide = u128::from(t[k]) + u128::from(carry);
+            t[k] = wide as u64;
+            t[k + 1] = (wide >> 64) as u64;
+
+            // m = t[0] * n0inv mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0inv);
+            let wide = u128::from(m) * u128::from(self.n[0]) + u128::from(t[0]);
+            let mut carry = (wide >> 64) as u64;
+            for j in 1..k {
+                let wide =
+                    u128::from(m) * u128::from(self.n[j]) + u128::from(t[j]) + u128::from(carry);
+                t[j - 1] = wide as u64;
+                carry = (wide >> 64) as u64;
+            }
+            let wide = u128::from(t[k]) + u128::from(carry);
+            t[k - 1] = wide as u64;
+            t[k] = t[k + 1] + ((wide >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        let mut out = t[..k].to_vec();
+        if t[k] != 0 || limbs_ge(&out, &self.n) {
+            limbs_sub_assign(&mut out, &self.n);
+        }
+        out
+    }
+
+    /// Converts a reduced value into Montgomery form.
+    fn to_mont(&self, x: &BigUint) -> Vec<u64> {
+        let reduced = x.rem(&self.modulus());
+        self.mont_mul(&Self::pad(&reduced, self.n.len()), &self.rr)
+    }
+
+    /// Converts out of Montgomery form.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_mont(&self, x: &[u64]) -> BigUint {
+        let one = {
+            let mut v = vec![0u64; self.n.len()];
+            v[0] = 1;
+            v
+        };
+        BigUint::from_limbs(self.mont_mul(x, &one))
+    }
+
+    /// Modular multiplication through the Montgomery domain.
+    #[must_use]
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Modular exponentiation `base^exp mod n` with a fixed 4-bit window.
+    #[must_use]
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem(&self.modulus());
+        }
+        let bm = self.to_mont(base);
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.one.clone());
+        table.push(bm.clone());
+        for i in 2..16 {
+            let prev: &Vec<u64> = &table[i - 1];
+            table.push(self.mont_mul(prev, &bm));
+        }
+
+        let bits = exp.bit_len();
+        let top_window = bits.div_ceil(4);
+        let mut acc: Option<Vec<u64>> = None;
+        for w in (0..top_window).rev() {
+            if let Some(a) = acc.take() {
+                let mut a = a;
+                for _ in 0..4 {
+                    a = self.mont_mul(&a, &a);
+                }
+                acc = Some(a);
+            }
+            let mut nibble = 0usize;
+            for b in (0..4).rev() {
+                let idx = w * 4 + b;
+                nibble = (nibble << 1) | usize::from(exp.bit(idx));
+            }
+            acc = Some(match acc.take() {
+                None => table[nibble].clone(),
+                Some(a) if nibble != 0 => self.mont_mul(&a, &table[nibble]),
+                Some(a) => a,
+            });
+        }
+        self.from_mont(&acc.expect("nonzero exponent produces a value"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> BigUint {
+        BigUint::from_hex(s).unwrap()
+    }
+
+    #[test]
+    fn inv64_small_odds() {
+        for x in [1u64, 3, 5, 7, 0xffff_ffff_ffff_ffff, 0x1234_5679] {
+            assert_eq!(x.wrapping_mul(inv64(x)), 1, "x={x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_modulus_rejected() {
+        let _ = MontCtx::new(&n("10"));
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 3")]
+    fn unit_modulus_rejected() {
+        let _ = MontCtx::new(&BigUint::one());
+    }
+
+    #[test]
+    fn mul_matches_naive() {
+        let m = n("ffffffffffffffffffffffffffffff61"); // odd 128-bit
+        let ctx = MontCtx::new(&m);
+        let a = n("123456789abcdef0fedcba9876543210");
+        let b = n("deadbeefcafebabe0123456789abcdef");
+        assert_eq!(ctx.mul(&a, &b), a.mul_mod(&b, &m));
+    }
+
+    #[test]
+    fn mul_handles_unreduced_inputs() {
+        let m = n("10001");
+        let ctx = MontCtx::new(&m);
+        let a = n("fffffff"); // much larger than m
+        let b = n("abcdef0");
+        assert_eq!(ctx.mul(&a, &b), a.rem(&m).mul_mod(&b.rem(&m), &m));
+    }
+
+    #[test]
+    fn pow_matches_iterated_multiplication() {
+        let m = n("ffffffffffffffc5");
+        let ctx = MontCtx::new(&m);
+        let base = n("2");
+        for e in [0u64, 1, 2, 3, 15, 16, 17, 64, 100] {
+            let expected = {
+                let mut acc = BigUint::one();
+                for _ in 0..e {
+                    acc = acc.mul_mod(&base, &m);
+                }
+                acc
+            };
+            assert_eq!(ctx.pow(&base, &BigUint::from_u64(e)), expected, "e={e}");
+        }
+    }
+
+    #[test]
+    fn pow_zero_exponent_is_one() {
+        let m = n("10001");
+        let ctx = MontCtx::new(&m);
+        assert_eq!(ctx.pow(&n("1234"), &BigUint::zero()), BigUint::one());
+    }
+
+    #[test]
+    fn pow_of_zero_base() {
+        let m = n("10001");
+        let ctx = MontCtx::new(&m);
+        assert_eq!(ctx.pow(&BigUint::zero(), &n("5")), BigUint::zero());
+    }
+
+    #[test]
+    fn fermat_on_multi_limb_prime() {
+        // 2^127 - 1 is a Mersenne prime (multi-limb).
+        let mut p = BigUint::zero();
+        p.set_bit(127);
+        let p = &p - &BigUint::one();
+        let ctx = MontCtx::new(&p);
+        let exp = &p - &BigUint::one();
+        assert_eq!(ctx.pow(&n("3"), &exp), BigUint::one());
+    }
+
+    #[test]
+    fn footprint_scales_with_width() {
+        let small = MontCtx::new(&n("10001"));
+        let big = MontCtx::new(&(&{
+            let mut p = BigUint::zero();
+            p.set_bit(127);
+            p
+        } - &BigUint::one()));
+        assert!(big.footprint_bytes() > small.footprint_bytes());
+        assert_eq!(small.width(), 1);
+        assert_eq!(big.width(), 2);
+    }
+
+    #[test]
+    fn modulus_round_trips() {
+        let m = n("ffffffffffffffffffffffffffffff61");
+        assert_eq!(MontCtx::new(&m).modulus(), m);
+    }
+}

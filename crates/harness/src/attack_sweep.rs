@@ -1,0 +1,291 @@
+//! Attack-sweep experiments: Figures 1–4 (unprotected) and 7, 17, 18
+//! (before/after the integrated solution).
+
+use crate::{ExperimentConfig, ServerKind};
+use exploits::{Ext2DirentLeak, TtyMemoryDump};
+use keyguard::ProtectionLevel;
+use keyscan::Scanner;
+use memsim::{Kernel, SimResult};
+use servers::{ApacheServer, SecureServer, ServerConfig, SshServer};
+use simrng::{Rng64, Stats};
+
+/// The paper's x-axis for Figures 1–2: total connections 50–500.
+#[must_use]
+pub fn paper_connection_grid() -> Vec<usize> {
+    (1..=10).map(|i| i * 50).collect()
+}
+
+/// The paper's second axis for Figures 1–2: directories 1000–10000.
+#[must_use]
+pub fn paper_directory_grid() -> Vec<usize> {
+    (1..=10).map(|i| i * 1000).collect()
+}
+
+/// The paper's x-axis for Figures 3–4 and 7/17/18: connections 0–120.
+#[must_use]
+pub fn paper_tty_connection_grid() -> Vec<usize> {
+    (0..=12).map(|i| i * 10).collect()
+}
+
+/// One measured point of an attack sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Total connections driven through the server before the attack.
+    pub connections: usize,
+    /// Directories created (ext2 sweeps; 0 for tty sweeps).
+    pub directories: usize,
+    /// Mean number of full key copies recovered per attack.
+    pub avg_keys_found: f64,
+    /// Fraction of attacks that recovered at least one full copy.
+    pub success_rate: f64,
+    /// Mean bytes of memory disclosed per attack.
+    pub avg_disclosed_bytes: f64,
+}
+
+/// How many connections stay concurrently open while a total connection
+/// count is driven through a server (the paper scripts batched theirs).
+const SWEEP_CONCURRENCY: usize = 16;
+
+/// Fraction of the free lists remixed by background system activity between
+/// the workload and the attack. A perfectly LIFO free list would put every
+/// dirty page right at the allocator's fingertips; real machines intersperse
+/// them with pages freed by unrelated activity, which is why the paper's
+/// Figure 1 recovers *more* copies as the attacker creates *more*
+/// directories. 0.5 mixes the most recent half of the free lists.
+const BACKGROUND_MIX: f64 = 0.5;
+
+/// Builds the workload state for one repetition: server started, `total`
+/// connections driven through it, then (for the ext2 methodology) all
+/// connections closed and the free lists remixed by background activity.
+fn drive_workload<S: SecureServer>(
+    kernel: &mut Kernel,
+    level: ProtectionLevel,
+    cfg: &ExperimentConfig,
+    rep_seed: u64,
+    total_connections: usize,
+    close_all: bool,
+) -> SimResult<(S, Scanner)> {
+    let server_cfg = ServerConfig::new(level)
+        .with_key_bits(cfg.key_bits)
+        .with_seed(rep_seed);
+    let mut server = S::start(kernel, server_cfg)?;
+    let scanner = Scanner::from_material(server.material());
+    let standing = total_connections.min(SWEEP_CONCURRENCY);
+    server.set_concurrency(kernel, standing)?;
+    if total_connections > standing {
+        server.pump(kernel, total_connections - standing)?;
+    }
+    if close_all {
+        server.set_concurrency(kernel, 0)?;
+        // Unrelated system activity cycles pages through the allocator
+        // without touching their contents, burying the freed key pages at
+        // varying depths of the free lists.
+        let mut mix_rng = Rng64::new(rep_seed ^ 0xB1D_F00D);
+        kernel.age_memory(&mut mix_rng, BACKGROUND_MIX);
+    }
+    Ok((server, scanner))
+}
+
+fn run_one_ext2<S: SecureServer>(
+    level: ProtectionLevel,
+    cfg: &ExperimentConfig,
+    rep_seed: u64,
+    connections: usize,
+    directories: usize,
+) -> SimResult<(usize, bool, usize)> {
+    let mut rng = Rng64::new(rep_seed);
+    let mut kernel = cfg.boot_machine(level, &mut rng);
+    let (_server, scanner) =
+        drive_workload::<S>(&mut kernel, level, cfg, rep_seed, connections, true)?;
+    let capture = Ext2DirentLeak::new(directories).run(&mut kernel)?;
+    Ok((
+        capture.keys_found(&scanner),
+        capture.succeeded(&scanner),
+        capture.disclosed_bytes(),
+    ))
+}
+
+/// The ext2 dirent-leak sweep (Figures 1 and 2; Section 5.2/6.2 re-runs).
+///
+/// For every `(connections, directories)` grid point: boot an aged machine,
+/// drive `connections` total connections through the server, close them all,
+/// create `directories` directories, and search the leaked bytes — averaged
+/// over `cfg.repetitions` attacks.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn ext2_sweep(
+    kind: ServerKind,
+    level: ProtectionLevel,
+    connections: &[usize],
+    directories: &[usize],
+    cfg: &ExperimentConfig,
+) -> SimResult<Vec<SweepPoint>> {
+    let mut out = Vec::with_capacity(connections.len() * directories.len());
+    for &conns in connections {
+        for &dirs in directories {
+            let mut keys = Stats::new();
+            let mut disclosed = Stats::new();
+            let mut successes = 0usize;
+            for rep in 0..cfg.repetitions {
+                let rep_seed = cfg
+                    .seed
+                    .wrapping_add(rep as u64)
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(conns as u64 ^ (dirs as u64) << 20);
+                let (found, ok, bytes) = match kind {
+                    ServerKind::Ssh => {
+                        run_one_ext2::<SshServer>(level, cfg, rep_seed, conns, dirs)?
+                    }
+                    ServerKind::Apache => {
+                        run_one_ext2::<ApacheServer>(level, cfg, rep_seed, conns, dirs)?
+                    }
+                };
+                keys.push(found as f64);
+                disclosed.push(bytes as f64);
+                successes += usize::from(ok);
+            }
+            out.push(SweepPoint {
+                connections: conns,
+                directories: dirs,
+                avg_keys_found: keys.mean(),
+                success_rate: successes as f64 / cfg.repetitions as f64,
+                avg_disclosed_bytes: disclosed.mean(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// The n_tty memory-dump sweep (Figures 3, 4, 7, 17, 18).
+///
+/// For every connection count: boot, drive the workload (connections stay
+/// open — the dump races the live server), then run `cfg.repetitions`
+/// dumps and search each.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn tty_sweep(
+    kind: ServerKind,
+    level: ProtectionLevel,
+    connections: &[usize],
+    cfg: &ExperimentConfig,
+) -> SimResult<Vec<SweepPoint>> {
+    let dump = TtyMemoryDump::paper();
+    let mut out = Vec::with_capacity(connections.len());
+    for &conns in connections {
+        let mut keys = Stats::new();
+        let mut disclosed = Stats::new();
+        let mut successes = 0usize;
+        for rep in 0..cfg.repetitions {
+            let rep_seed = cfg
+                .seed
+                .wrapping_add(rep as u64)
+                .wrapping_mul(0x85EB_CA6B)
+                .wrapping_add(conns as u64);
+            let mut rng = Rng64::new(rep_seed);
+            let mut kernel = cfg.boot_machine(level, &mut rng);
+            let (found, ok, bytes) = match kind {
+                ServerKind::Ssh => {
+                    let (_s, scanner) = drive_workload::<SshServer>(
+                        &mut kernel,
+                        level,
+                        cfg,
+                        rep_seed,
+                        conns,
+                        false,
+                    )?;
+                    let capture = dump.run(&kernel, &mut rng);
+                    (
+                        capture.keys_found(&scanner),
+                        capture.succeeded(&scanner),
+                        capture.disclosed_bytes(),
+                    )
+                }
+                ServerKind::Apache => {
+                    let (_s, scanner) = drive_workload::<ApacheServer>(
+                        &mut kernel,
+                        level,
+                        cfg,
+                        rep_seed,
+                        conns,
+                        false,
+                    )?;
+                    let capture = dump.run(&kernel, &mut rng);
+                    (
+                        capture.keys_found(&scanner),
+                        capture.succeeded(&scanner),
+                        capture.disclosed_bytes(),
+                    )
+                }
+            };
+            keys.push(found as f64);
+            disclosed.push(bytes as f64);
+            successes += usize::from(ok);
+        }
+        out.push(SweepPoint {
+            connections: conns,
+            directories: 0,
+            avg_keys_found: keys.mean(),
+            success_rate: successes as f64 / cfg.repetitions as f64,
+            avg_disclosed_bytes: disclosed.mean(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_match_the_paper() {
+        assert_eq!(paper_connection_grid().first(), Some(&50));
+        assert_eq!(paper_connection_grid().last(), Some(&500));
+        assert_eq!(paper_directory_grid().len(), 10);
+        assert_eq!(paper_tty_connection_grid(), vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120]);
+    }
+
+    #[test]
+    fn ext2_point_unprotected_vs_kernel_level() {
+        let cfg = ExperimentConfig::test();
+        let hits = ext2_sweep(
+            ServerKind::Ssh,
+            ProtectionLevel::None,
+            &[30],
+            &[400],
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].success_rate > 0.5, "unprotected: {hits:?}");
+
+        let none = ext2_sweep(
+            ServerKind::Ssh,
+            ProtectionLevel::Kernel,
+            &[30],
+            &[400],
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(none[0].success_rate, 0.0, "kernel level: {none:?}");
+        assert_eq!(none[0].avg_keys_found, 0.0);
+    }
+
+    #[test]
+    fn tty_point_shows_protection_gap() {
+        let cfg = ExperimentConfig::test().with_repetitions(10);
+        let unprotected =
+            tty_sweep(ServerKind::Ssh, ProtectionLevel::None, &[20], &cfg).unwrap();
+        let integrated =
+            tty_sweep(ServerKind::Ssh, ProtectionLevel::Integrated, &[20], &cfg).unwrap();
+        assert!(
+            unprotected[0].avg_keys_found > integrated[0].avg_keys_found,
+            "unprotected {unprotected:?} vs integrated {integrated:?}"
+        );
+        // Integrated still succeeds sometimes (the ~50% ceiling).
+        assert!(integrated[0].success_rate < 1.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Baseline comparison: the paper's solutions against the related work it
+//! cites — Chow et al.'s *secure deallocation* (USENIX Security 2005) and
+//! Provos' *swap encryption* (USENIX Security 2000).
+//!
+//! The paper's claim (Section 1.2): secure deallocation "can successfully
+//! eliminate attacks that disclose unallocated memory [at the allocator
+//! level]. However, their solution has no effect in countering attacks that
+//! may disclose portions of allocated memory. Whereas, our solutions …
+//! provide strictly better protections." This experiment quantifies that
+//! hierarchy on identical workloads.
+
+use crate::ExperimentConfig;
+use exploits::{Ext2DirentLeak, TtyMemoryDump};
+use keyguard::ProtectionLevel;
+use keyscan::Scanner;
+use memsim::{Kernel, MachineConfig, SimResult};
+use servers::{SecureServer, ServerConfig, SshServer};
+use simrng::{Rng64, Stats};
+
+/// A defense portfolio under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// No countermeasures at all.
+    Unprotected,
+    /// Chow et al.: every `free()` clears the chunk. No kernel or
+    /// application changes.
+    SecureDealloc,
+    /// Provos: swap is encrypted. Nothing else.
+    SwapCrypto,
+    /// The paper's kernel-level solution (zero on free/unmap).
+    PaperKernel,
+    /// The paper's integrated library–kernel solution.
+    PaperIntegrated,
+    /// Belt and braces: integrated + secure dealloc + encrypted swap.
+    Everything,
+}
+
+impl Strategy {
+    /// All strategies, weakest first.
+    pub const ALL: [Self; 6] = [
+        Self::Unprotected,
+        Self::SecureDealloc,
+        Self::SwapCrypto,
+        Self::PaperKernel,
+        Self::PaperIntegrated,
+        Self::Everything,
+    ];
+
+    /// Output label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Unprotected => "unprotected",
+            Self::SecureDealloc => "secure-dealloc",
+            Self::SwapCrypto => "swap-crypto",
+            Self::PaperKernel => "paper-kernel",
+            Self::PaperIntegrated => "paper-integrated",
+            Self::Everything => "everything",
+        }
+    }
+
+    /// The server-side protection level this strategy deploys.
+    #[must_use]
+    pub fn protection_level(self) -> ProtectionLevel {
+        match self {
+            Self::Unprotected | Self::SecureDealloc | Self::SwapCrypto => ProtectionLevel::None,
+            Self::PaperKernel => ProtectionLevel::Kernel,
+            Self::PaperIntegrated | Self::Everything => ProtectionLevel::Integrated,
+        }
+    }
+
+    /// Builds the machine configuration for this strategy.
+    #[must_use]
+    pub fn machine_config(self, mem_bytes: usize) -> MachineConfig {
+        MachineConfig::paper()
+            .with_mem_bytes(mem_bytes)
+            .with_policy(self.protection_level().kernel_policy())
+            .with_secure_dealloc(matches!(self, Self::SecureDealloc | Self::Everything))
+            .with_swap_crypto(matches!(self, Self::SwapCrypto | Self::Everything))
+    }
+}
+
+impl core::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Measured outcome of one strategy under the standard workload + attacks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineResult {
+    /// The strategy measured.
+    pub strategy: Strategy,
+    /// Mean key copies in allocated memory after the workload.
+    pub allocated_copies: f64,
+    /// Mean key copies in unallocated memory after the workload.
+    pub unallocated_copies: f64,
+    /// ext2 dirent-leak success rate.
+    pub ext2_success: f64,
+    /// n_tty dump success rate.
+    pub tty_success: f64,
+    /// Swap-device compromise rate under memory pressure.
+    pub swap_success: f64,
+}
+
+/// Runs the comparison for every strategy on an SSH workload.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn compare_strategies(cfg: &ExperimentConfig) -> SimResult<Vec<BaselineResult>> {
+    let mut out = Vec::with_capacity(Strategy::ALL.len());
+    for strategy in Strategy::ALL {
+        let mut allocated = Stats::new();
+        let mut unallocated = Stats::new();
+        let mut ext2_hits = 0usize;
+        let mut tty_hits = 0usize;
+        let mut swap_hits = 0usize;
+        for rep in 0..cfg.repetitions {
+            let rep_seed = cfg.seed ^ (rep as u64).wrapping_mul(0xC2B2_AE35);
+            let mut rng = Rng64::new(rep_seed);
+            let mut kernel = Kernel::new(strategy.machine_config(cfg.mem_bytes));
+            kernel.age_memory(&mut rng, 1.0);
+
+            let mut ssh = SshServer::start(
+                &mut kernel,
+                ServerConfig::new(strategy.protection_level())
+                    .with_key_bits(cfg.key_bits)
+                    .with_seed(rep_seed),
+            )?;
+            ssh.set_concurrency(&mut kernel, 8)?;
+            ssh.pump(&mut kernel, 24)?;
+            ssh.set_concurrency(&mut kernel, 0)?;
+            let scanner = Scanner::from_material(ssh.material());
+
+            let report = scanner.scan_kernel(&kernel);
+            allocated.push(report.allocated() as f64);
+            unallocated.push(report.unallocated() as f64);
+
+            // Swap pressure, then the three disclosure channels.
+            kernel.swap_out_pressure(2000);
+            swap_hits += usize::from(scanner.dump_compromises_key(kernel.swap_bytes()));
+            let tty = TtyMemoryDump::paper().run(&kernel, &mut rng);
+            tty_hits += usize::from(tty.succeeded(&scanner));
+            let ext2 = Ext2DirentLeak::new(1500).run(&mut kernel)?;
+            ext2_hits += usize::from(ext2.succeeded(&scanner));
+        }
+        let reps = cfg.repetitions as f64;
+        out.push(BaselineResult {
+            strategy,
+            allocated_copies: allocated.mean(),
+            unallocated_copies: unallocated.mean(),
+            ext2_success: ext2_hits as f64 / reps,
+            tty_success: tty_hits as f64 / reps,
+            swap_success: swap_hits as f64 / reps,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders the comparison as an aligned table.
+#[must_use]
+pub fn render_table(results: &[BaselineResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>9} {:>11} {:>9} {:>9} {:>9}",
+        "strategy", "alloc", "unalloc", "ext2", "tty", "swap"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>9.1} {:>11.1} {:>8.0}% {:>8.0}% {:>8.0}%",
+            r.strategy.label(),
+            r.allocated_copies,
+            r.unallocated_copies,
+            r.ext2_success * 100.0,
+            r.tty_success * 100.0,
+            r.swap_success * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_configs_wire_the_right_switches() {
+        let m = Strategy::SecureDealloc.machine_config(1 << 22);
+        assert!(m.secure_dealloc && !m.swap_crypto && !m.policy.zero_on_free);
+        let m = Strategy::SwapCrypto.machine_config(1 << 22);
+        assert!(!m.secure_dealloc && m.swap_crypto);
+        let m = Strategy::PaperKernel.machine_config(1 << 22);
+        assert!(m.policy.zero_on_free && !m.secure_dealloc);
+        let m = Strategy::Everything.machine_config(1 << 22);
+        assert!(m.policy.zero_on_free && m.secure_dealloc && m.swap_crypto);
+        assert_eq!(
+            Strategy::PaperIntegrated.protection_level(),
+            ProtectionLevel::Integrated
+        );
+    }
+
+    #[test]
+    fn comparison_reproduces_the_strictly_better_claim() {
+        let cfg = ExperimentConfig::test().with_repetitions(4);
+        let results = compare_strategies(&cfg).unwrap();
+        let get = |s: Strategy| results.iter().find(|r| r.strategy == s).unwrap();
+
+        let unprotected = get(Strategy::Unprotected);
+        let chow = get(Strategy::SecureDealloc);
+        let kernel = get(Strategy::PaperKernel);
+        let integrated = get(Strategy::PaperIntegrated);
+
+        // Baseline falls to everything.
+        assert!(unprotected.ext2_success > 0.5);
+        assert!(unprotected.tty_success > 0.5);
+        assert!(unprotected.swap_success > 0.5);
+
+        // Chow's secure deallocation helps with freed-heap leaks but cannot
+        // reach exit-time pages (no free() runs) or allocated-memory attacks.
+        assert!(chow.allocated_copies >= unprotected.allocated_copies * 0.5);
+        assert!(chow.tty_success > 0.5, "tty sees allocated memory");
+
+        // The paper's kernel level eliminates ext2 entirely.
+        assert_eq!(kernel.ext2_success, 0.0);
+        assert_eq!(kernel.unallocated_copies, 0.0);
+
+        // Integrated dominates: minimal copies, ext2 dead, tty bounded.
+        assert_eq!(integrated.ext2_success, 0.0);
+        assert!(integrated.allocated_copies <= 3.5);
+        assert!(integrated.tty_success < unprotected.tty_success);
+        assert_eq!(integrated.swap_success, 0.0, "mlock keeps key off swap");
+    }
+
+    #[test]
+    fn render_table_contains_all_strategies() {
+        let results = vec![BaselineResult {
+            strategy: Strategy::Unprotected,
+            allocated_copies: 10.0,
+            unallocated_copies: 5.0,
+            ext2_success: 1.0,
+            tty_success: 0.9,
+            swap_success: 0.8,
+        }];
+        let table = render_table(&results);
+        assert!(table.contains("unprotected"));
+        assert!(table.contains("100%"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Runs the entire experiment suite — every figure of the paper — and
+//! writes `results/` plus a summary to stdout.
+//!
+//! ```text
+//! cargo run --release -p harness --bin all_experiments -- [--paper|--quick|--test] [--out DIR]
+//! ```
+//!
+//! `--quick` (the default) finishes in a few minutes; `--paper` uses the
+//! paper's full 256 MB / RSA-1024 / 15-repetition parameters and takes much
+//! longer.
+
+use harness::attack_sweep::{ext2_sweep, tty_sweep};
+use harness::baselines::{compare_strategies, render_table};
+use harness::cli::Args;
+use harness::plot::{sweep_lines_svg, timeline_counts_svg, timeline_locations_svg};
+use harness::perf::{overhead_percent, run_perf, PerfConfig};
+use harness::report::{
+    perf_table, sweep_grid_dat, sweep_line_dat, timeline_ascii, timeline_counts_dat,
+    timeline_locations_dat, write_dat,
+};
+use harness::timeline::{run_timeline, Schedule};
+use harness::{ExperimentConfig, ServerKind};
+use keyguard::ProtectionLevel;
+use std::path::Path;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = args.experiment_config();
+    let out = args.out_dir();
+    println!(
+        "memory-disclosure reproduction suite: {} MB RAM, RSA-{}, {} reps -> {}/",
+        cfg.mem_bytes / (1024 * 1024),
+        cfg.key_bits,
+        cfg.repetitions,
+        out.display()
+    );
+
+    run_attack_figures(&cfg, &out, args.has("paper"));
+    run_timelines(&cfg, &out);
+    run_perf_figures(&cfg, &out, args.has("paper"));
+    run_baselines(&cfg, &out);
+    println!("\nAll experiments complete. Data written under {}/", out.display());
+}
+
+fn run_attack_figures(cfg: &ExperimentConfig, out: &Path, paper_scale: bool) {
+    let (conn_grid, dir_grid) = if paper_scale {
+        (
+            harness::attack_sweep::paper_connection_grid(),
+            harness::attack_sweep::paper_directory_grid(),
+        )
+    } else {
+        (vec![50, 200, 500], vec![1000, 4000, 10000])
+    };
+    let tty_grid = if paper_scale {
+        harness::attack_sweep::paper_tty_connection_grid()
+    } else {
+        vec![0, 20, 60, 120]
+    };
+    let tty_cfg = cfg.with_repetitions(cfg.repetitions.max(10));
+
+    for kind in ServerKind::ALL {
+        // Figures 1–2: ext2 sweep, unprotected.
+        let fig = if kind == ServerKind::Ssh { "fig1" } else { "fig2" };
+        println!("\n[{fig}] ext2 sweep / {kind} / unprotected");
+        let pts = ext2_sweep(kind, ProtectionLevel::None, &conn_grid, &dir_grid, cfg)
+            .expect("ext2 sweep");
+        summarize_sweep(&pts);
+        write_dat(out, &format!("{fig}_{}_none_ext2.dat", kind.label()), &sweep_grid_dat(&pts))
+            .expect("write");
+
+        // §5.2/6.2 re-exam: ext2 after kernel-level protection (expect zero).
+        println!("[{fig}-reexam] ext2 sweep / {kind} / kernel level");
+        let pts = ext2_sweep(
+            kind,
+            ProtectionLevel::Kernel,
+            &[*conn_grid.last().unwrap()],
+            &[*dir_grid.last().unwrap()],
+            cfg,
+        )
+        .expect("ext2 reexam");
+        summarize_sweep(&pts);
+        write_dat(
+            out,
+            &format!("{fig}_{}_kernel_ext2.dat", kind.label()),
+            &sweep_grid_dat(&pts),
+        )
+        .expect("write");
+
+        // Figures 3–4: tty sweep, unprotected.
+        let fig = if kind == ServerKind::Ssh { "fig3" } else { "fig4" };
+        println!("[{fig}] tty sweep / {kind} / unprotected");
+        let before = tty_sweep(kind, ProtectionLevel::None, &tty_grid, &tty_cfg).expect("tty");
+        summarize_sweep(&before);
+        write_dat(out, &format!("{fig}_{}_none_tty.dat", kind.label()), &sweep_line_dat(&before))
+            .expect("write");
+
+        // Figures 7 / 17–18: tty sweep, integrated.
+        let fig = if kind == ServerKind::Ssh { "fig7" } else { "fig17_18" };
+        println!("[{fig}] tty sweep / {kind} / integrated");
+        let after =
+            tty_sweep(kind, ProtectionLevel::Integrated, &tty_grid, &tty_cfg).expect("tty");
+        summarize_sweep(&after);
+        write_dat(out, &format!("{fig}_{}_all_tty.dat", kind.label()), &sweep_line_dat(&after))
+            .expect("write");
+        let svg = sweep_lines_svg(
+            &format!("{kind}: key copies recovered by the n_tty dump, before vs after"),
+            &before,
+            Some(&after),
+        );
+        write_dat(out, &format!("{fig}_{}_compare.svg", kind.label()), &svg).expect("write");
+    }
+}
+
+fn run_timelines(cfg: &ExperimentConfig, out: &Path) {
+    let schedule = Schedule::paper();
+    for kind in ServerKind::ALL {
+        for level in ProtectionLevel::ALL {
+            println!("\n[timeline] {kind} / {level}");
+            let tl = run_timeline(kind, level, cfg, &schedule).expect("timeline");
+            print!("{}", timeline_ascii(&tl, 40));
+            let base = format!("{}_{}", kind.label(), level.label());
+            write_dat(out, &format!("timeline_{base}_counts.dat"), &timeline_counts_dat(&tl))
+                .expect("write");
+            write_dat(
+                out,
+                &format!("timeline_{base}_locations.dat"),
+                &timeline_locations_dat(&tl),
+            )
+            .expect("write");
+            write_dat(
+                out,
+                &format!("timeline_{base}_locations.svg"),
+                &timeline_locations_svg(&tl, cfg.mem_bytes),
+            )
+            .expect("write");
+            write_dat(out, &format!("timeline_{base}_counts.svg"), &timeline_counts_svg(&tl))
+                .expect("write");
+        }
+    }
+}
+
+fn run_baselines(cfg: &ExperimentConfig, out: &Path) {
+    println!("\n[baselines] defense portfolio comparison (beyond the paper)");
+    let results = compare_strategies(&cfg.with_repetitions(cfg.repetitions.max(8)))
+        .expect("baseline comparison");
+    let table = render_table(&results);
+    print!("{table}");
+    write_dat(out, "baseline_compare.txt", &table).expect("write");
+}
+
+fn run_perf_figures(cfg: &ExperimentConfig, out: &Path, paper_scale: bool) {
+    let perf = if paper_scale {
+        PerfConfig::paper()
+    } else {
+        PerfConfig::quick()
+    };
+    for kind in ServerKind::ALL {
+        let fig = if kind == ServerKind::Ssh { "fig8" } else { "fig19-20" };
+        println!("\n[{fig}] {kind} stress benchmark");
+        let before = run_perf(kind, ProtectionLevel::None, cfg, &perf).expect("perf");
+        let after = run_perf(kind, ProtectionLevel::Integrated, cfg, &perf).expect("perf");
+        let table = perf_table(&before, &after);
+        print!("{table}");
+        println!("overhead: {:+.1}%", overhead_percent(&before, &after));
+        write_dat(out, &format!("{fig}_{}_perf.txt", kind.label()), &table).expect("write");
+    }
+}
+
+fn summarize_sweep(points: &[harness::attack_sweep::SweepPoint]) {
+    let first = points.first().expect("non-empty sweep");
+    let last = points.last().expect("non-empty sweep");
+    println!(
+        "  {} points; first: {:.2} keys / {:.0}% success; last: {:.2} keys / {:.0}% success",
+        points.len(),
+        first.avg_keys_found,
+        first.success_rate * 100.0,
+        last.avg_keys_found,
+        last.success_rate * 100.0
+    );
+}

@@ -1,0 +1,144 @@
+//! A tiny flag parser shared by the experiment binaries (no external
+//! dependencies; only `--flag value` and bare `--switch` forms).
+
+use crate::ExperimentConfig;
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args` (skipping the program name).
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage-style message) when a non-flag token appears.
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::from_tokens(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token stream (used in tests).
+    #[must_use]
+    pub fn from_tokens<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut out = Self::default();
+        let mut iter = iter.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                panic!("unexpected argument {tok:?}: flags look like --name [value]");
+            };
+            match iter.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let v = iter.next().expect("peeked");
+                    out.values.insert(name.to_string(), v);
+                }
+                _ => out.switches.push(name.to_string()),
+            }
+        }
+        out
+    }
+
+    /// The value of `--name value`, if given.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Whether the bare switch `--name` was given.
+    #[must_use]
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// A numeric flag with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value does not parse.
+    #[must_use]
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// Resolves the standard `--paper` / `--quick` / `--test` scale flags
+    /// (default: quick), honouring `--reps`, `--mem-mb`, and `--key-bits`
+    /// overrides.
+    #[must_use]
+    pub fn experiment_config(&self) -> ExperimentConfig {
+        let mut cfg = if self.has("paper") {
+            ExperimentConfig::paper()
+        } else if self.has("test") {
+            ExperimentConfig::test()
+        } else {
+            ExperimentConfig::quick()
+        };
+        if let Some(reps) = self.get("reps") {
+            cfg.repetitions = reps.parse().expect("--reps expects a number");
+        }
+        if let Some(mb) = self.get("mem-mb") {
+            cfg.mem_bytes = mb.parse::<usize>().expect("--mem-mb expects a number") * 1024 * 1024;
+        }
+        if let Some(bits) = self.get("key-bits") {
+            cfg.key_bits = bits.parse().expect("--key-bits expects a number");
+        }
+        cfg
+    }
+
+    /// The output directory (`--out`, default `results`).
+    #[must_use]
+    pub fn out_dir(&self) -> std::path::PathBuf {
+        std::path::PathBuf::from(self.get("out").unwrap_or("results"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_tokens(s.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = args(&["--server", "ssh", "--paper", "--reps", "7"]);
+        assert_eq!(a.get("server"), Some("ssh"));
+        assert!(a.has("paper"));
+        assert!(!a.has("quick"));
+        assert_eq!(a.get_usize("reps", 1), 7);
+        assert_eq!(a.get_usize("missing", 3), 3);
+    }
+
+    #[test]
+    fn experiment_config_scales() {
+        assert_eq!(args(&["--paper"]).experiment_config().key_bits, 1024);
+        assert_eq!(args(&["--test"]).experiment_config().key_bits, 256);
+        assert_eq!(args(&[]).experiment_config().key_bits, 512);
+        let a = args(&["--reps", "9", "--mem-mb", "32", "--key-bits", "512"]);
+        let cfg = a.experiment_config();
+        assert_eq!(cfg.repetitions, 9);
+        assert_eq!(cfg.mem_bytes, 32 * 1024 * 1024);
+        assert_eq!(cfg.key_bits, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected argument")]
+    fn rejects_positional_arguments() {
+        let _ = args(&["positional"]);
+    }
+
+    #[test]
+    fn out_dir_default() {
+        assert_eq!(args(&[]).out_dir(), std::path::PathBuf::from("results"));
+        assert_eq!(
+            args(&["--out", "/tmp/x"]).out_dir(),
+            std::path::PathBuf::from("/tmp/x")
+        );
+    }
+}

@@ -1,0 +1,387 @@
+//! Self-contained SVG rendering of the paper's plots: the "locations of
+//! keys in memory" scatter (Figures 5a, 6a, 9, 11, …), the stacked per-tick
+//! count bars (Figures 5b, 6b, 10, 12, …), and the attack-sweep line charts
+//! (Figures 3, 4, 7, 17, 18). No plotting dependency — the figures open in
+//! any browser.
+
+use crate::attack_sweep::SweepPoint;
+use crate::timeline::Timeline;
+use std::fmt::Write as _;
+
+const W: f64 = 720.0;
+const H: f64 = 420.0;
+const ML: f64 = 70.0; // left margin
+const MR: f64 = 20.0;
+const MT: f64 = 40.0;
+const MB: f64 = 50.0;
+
+fn svg_header(title: &str) -> String {
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\" \
+         viewBox=\"0 0 {W} {H}\" font-family=\"sans-serif\" font-size=\"12\">\n\
+         <rect width=\"{W}\" height=\"{H}\" fill=\"white\"/>\n\
+         <text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"14\">{}</text>\n",
+        W / 2.0,
+        xml_escape(title)
+    )
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn axes(out: &mut String, x_label: &str, y_label: &str) {
+    let _ = writeln!(
+        out,
+        "<line x1=\"{ML}\" y1=\"{MT}\" x2=\"{ML}\" y2=\"{}\" stroke=\"black\"/>\n\
+         <line x1=\"{ML}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\" stroke=\"black\"/>",
+        H - MB,
+        W - MR,
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+        (ML + W - MR) / 2.0,
+        H - 12.0,
+        xml_escape(x_label)
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"16\" y=\"{}\" text-anchor=\"middle\" transform=\"rotate(-90 16 {})\">{}</text>",
+        (MT + H - MB) / 2.0,
+        (MT + H - MB) / 2.0,
+        xml_escape(y_label)
+    );
+}
+
+fn x_scale(v: f64, max: f64) -> f64 {
+    ML + (v / max.max(1e-9)) * (W - ML - MR)
+}
+
+fn y_scale(v: f64, max: f64) -> f64 {
+    (H - MB) - (v / max.max(1e-9)) * (H - MB - MT)
+}
+
+/// Scatter of key-copy locations over time — the paper's Figure 5(a) style.
+/// `×` marks (rotated crosses) are copies in allocated memory; `+` marks are
+/// copies in unallocated memory.
+#[must_use]
+pub fn timeline_locations_svg(tl: &Timeline, mem_bytes: usize) -> String {
+    let mut out = svg_header(&format!(
+        "Locations of {} private key copies in memory vs time (level: {})",
+        tl.kind_label, tl.level
+    ));
+    axes(
+        &mut out,
+        "time (ticks of 2 simulated minutes)",
+        "physical memory location",
+    );
+    let t_max = tl.points.len().max(1) as f64;
+    let m_max = mem_bytes as f64;
+    // Memory-size gridline labels (quarters).
+    for q in 1..=4 {
+        let v = m_max * f64::from(q) / 4.0;
+        let y = y_scale(v, m_max);
+        let _ = writeln!(
+            out,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{}MB</text>",
+            ML - 6.0,
+            y + 4.0,
+            (v / (1024.0 * 1024.0)).round()
+        );
+    }
+    for p in &tl.points {
+        let x = x_scale(p.t as f64 + 0.5, t_max);
+        for &(off, allocated) in &p.locations {
+            let y = y_scale(off as f64, m_max);
+            if allocated {
+                // × mark.
+                let _ = writeln!(
+                    out,
+                    "<path d=\"M{} {} l6 6 m0 -6 l-6 6\" stroke=\"#c02\" stroke-width=\"1.2\"/>",
+                    x - 3.0,
+                    y - 3.0
+                );
+            } else {
+                // + mark.
+                let _ = writeln!(
+                    out,
+                    "<path d=\"M{x} {} v8 M{} {y} h8\" stroke=\"#04c\" stroke-width=\"1.2\"/>",
+                    y - 4.0,
+                    x - 4.0,
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"{MT}\" fill=\"#c02\">x allocated</text>\n\
+         <text x=\"{}\" y=\"{MT}\" fill=\"#04c\">+ unallocated</text></svg>",
+        W - 220.0,
+        W - 120.0
+    );
+    out
+}
+
+/// Stacked per-tick copy counts — the paper's Figure 5(b) style.
+#[must_use]
+pub fn timeline_counts_svg(tl: &Timeline) -> String {
+    let mut out = svg_header(&format!(
+        "Number of {} private key copies in memory vs time (level: {})",
+        tl.kind_label, tl.level
+    ));
+    axes(&mut out, "time (ticks)", "key copies");
+    let t_max = tl.points.len().max(1) as f64;
+    let c_max = tl.peak_total().max(1) as f64;
+    let bar_w = (W - ML - MR) / t_max * 0.7;
+    for p in &tl.points {
+        let x = x_scale(p.t as f64 + 0.15, t_max);
+        let y_alloc = y_scale(p.allocated as f64, c_max);
+        let y_total = y_scale(p.total() as f64, c_max);
+        let base = H - MB;
+        // Allocated: light bar from baseline.
+        let _ = writeln!(
+            out,
+            "<rect x=\"{x}\" y=\"{y_alloc}\" width=\"{bar_w}\" height=\"{}\" fill=\"#ccc\" stroke=\"#888\"/>",
+            base - y_alloc
+        );
+        // Unallocated: dark bar stacked on top.
+        if p.unallocated > 0 {
+            let _ = writeln!(
+                out,
+                "<rect x=\"{x}\" y=\"{y_total}\" width=\"{bar_w}\" height=\"{}\" fill=\"#444\"/>",
+                y_alloc - y_total
+            );
+        }
+    }
+    // y-axis max label.
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>",
+        ML - 6.0,
+        MT + 4.0,
+        tl.peak_total()
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"{MT}\" fill=\"#888\">light: allocated</text>\n\
+         <text x=\"{}\" y=\"{MT}\" fill=\"#444\">dark: unallocated</text></svg>",
+        W - 260.0,
+        W - 130.0
+    );
+    out
+}
+
+/// Line chart of a tty sweep (avg keys + success rate vs connections) — the
+/// Figures 3/4/7 style, optionally overlaying a second (protected) series.
+#[must_use]
+pub fn sweep_lines_svg(
+    title: &str,
+    before: &[SweepPoint],
+    after: Option<&[SweepPoint]>,
+) -> String {
+    let mut out = svg_header(title);
+    axes(&mut out, "total connections", "avg private key copies found");
+    let x_max = before
+        .iter()
+        .map(|p| p.connections)
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    let y_max = before
+        .iter()
+        .chain(after.unwrap_or(&[]).iter())
+        .map(|p| p.avg_keys_found)
+        .fold(1.0f64, f64::max);
+
+    let mut polyline = |points: &[SweepPoint], color: &str, label: &str, label_y: f64| {
+        let path: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{:.1},{:.1}",
+                    x_scale(p.connections as f64, x_max),
+                    y_scale(p.avg_keys_found, y_max)
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>",
+            path.join(" ")
+        );
+        for p in points {
+            let _ = writeln!(
+                out,
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>",
+                x_scale(p.connections as f64, x_max),
+                y_scale(p.avg_keys_found, y_max)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "<text x=\"{}\" y=\"{label_y}\" fill=\"{color}\">{}</text>",
+            W - 240.0,
+            xml_escape(label)
+        );
+    };
+    polyline(before, "#c02", "original", MT);
+    if let Some(after) = after {
+        polyline(after, "#04c", "with integrated solution", MT + 16.0);
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Heatmap of an ext2 sweep grid (connections × directories → avg keys) —
+/// the flattened form of the paper's Figure 1(a)/2(a) surfaces.
+#[must_use]
+pub fn sweep_grid_svg(title: &str, points: &[SweepPoint]) -> String {
+    let mut out = svg_header(title);
+    axes(&mut out, "total connections", "directories created");
+    if points.is_empty() {
+        out.push_str("</svg>\n");
+        return out;
+    }
+    let mut conns: Vec<usize> = points.iter().map(|p| p.connections).collect();
+    conns.sort_unstable();
+    conns.dedup();
+    let mut dirs: Vec<usize> = points.iter().map(|p| p.directories).collect();
+    dirs.sort_unstable();
+    dirs.dedup();
+    let max_keys = points
+        .iter()
+        .map(|p| p.avg_keys_found)
+        .fold(1.0f64, f64::max);
+
+    let cell_w = (W - ML - MR) / conns.len() as f64;
+    let cell_h = (H - MB - MT) / dirs.len() as f64;
+    for p in points {
+        let ci = conns.iter().position(|&c| c == p.connections).expect("in grid");
+        let di = dirs.iter().position(|&d| d == p.directories).expect("in grid");
+        let x = ML + ci as f64 * cell_w;
+        let y = (H - MB) - (di + 1) as f64 * cell_h;
+        // Intensity ramp: white (0 keys) → dark red (max).
+        let t = (p.avg_keys_found / max_keys).clamp(0.0, 1.0);
+        let r = 255 - (t * 60.0) as u32;
+        let gb = 240 - (t * 220.0) as u32;
+        let _ = writeln!(
+            out,
+            "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{cell_w:.1}\" height=\"{cell_h:.1}\" \
+             fill=\"rgb({r},{gb},{gb})\" stroke=\"#999\"/>\n\
+             <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" font-size=\"10\">{:.0}</text>",
+            x + cell_w / 2.0,
+            y + cell_h / 2.0 + 4.0,
+            p.avg_keys_found
+        );
+    }
+    for (ci, c) in conns.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{}\" text-anchor=\"middle\">{c}</text>",
+            ML + (ci as f64 + 0.5) * cell_w,
+            H - MB + 16.0
+        );
+    }
+    for (di, d) in dirs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "<text x=\"{}\" y=\"{:.1}\" text-anchor=\"end\">{d}</text>",
+            ML - 6.0,
+            (H - MB) - (di as f64 + 0.5) * cell_h + 4.0
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::TimelinePoint;
+    use keyguard::ProtectionLevel;
+
+    fn tl() -> Timeline {
+        Timeline {
+            kind_label: "openssh",
+            level: ProtectionLevel::None,
+            points: vec![
+                TimelinePoint {
+                    t: 0,
+                    allocated: 2,
+                    unallocated: 1,
+                    locations: vec![(4096, true), (8192, true), (12288, false)],
+                },
+                TimelinePoint {
+                    t: 1,
+                    allocated: 0,
+                    unallocated: 3,
+                    locations: vec![(4096, false), (8192, false), (12288, false)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn locations_svg_has_marks_for_every_copy() {
+        let svg = timeline_locations_svg(&tl(), 16 * 1024 * 1024);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n") || svg.contains("</svg>"));
+        // 2 allocated ×-marks + 4 unallocated +-marks.
+        assert_eq!(svg.matches("#c02").count() - 1, 2, "x marks (+1 legend)");
+        assert_eq!(svg.matches("#04c").count() - 1, 4, "+ marks (+1 legend)");
+        assert!(svg.contains("MB</text>"));
+    }
+
+    #[test]
+    fn counts_svg_stacks_bars() {
+        let svg = timeline_counts_svg(&tl());
+        // One light bar per tick; dark bars only when unallocated > 0.
+        assert_eq!(svg.matches("fill=\"#ccc\"").count(), 2);
+        assert_eq!(svg.matches("fill=\"#444\"").count(), 2 + 1, "2 bars + legend");
+        assert!(svg.contains("key copies"));
+    }
+
+    #[test]
+    fn grid_heatmap_renders_cells_and_axis_labels() {
+        let grid = vec![
+            SweepPoint { connections: 50, directories: 1000, avg_keys_found: 0.0, success_rate: 0.0, avg_disclosed_bytes: 0.0 },
+            SweepPoint { connections: 50, directories: 4000, avg_keys_found: 10.0, success_rate: 1.0, avg_disclosed_bytes: 0.0 },
+            SweepPoint { connections: 100, directories: 1000, avg_keys_found: 5.0, success_rate: 1.0, avg_disclosed_bytes: 0.0 },
+            SweepPoint { connections: 100, directories: 4000, avg_keys_found: 20.0, success_rate: 1.0, avg_disclosed_bytes: 0.0 },
+        ];
+        let svg = sweep_grid_svg("Figure 1a", &grid);
+        assert_eq!(svg.matches("<rect").count(), 5, "4 cells + background");
+        assert!(svg.contains(">50<") && svg.contains(">100<"));
+        assert!(svg.contains(">1000<") && svg.contains(">4000<"));
+        // Empty grid degrades gracefully.
+        assert!(sweep_grid_svg("empty", &[]).ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn sweep_svg_renders_two_series() {
+        let series = vec![
+            SweepPoint {
+                connections: 0,
+                directories: 0,
+                avg_keys_found: 3.0,
+                success_rate: 0.8,
+                avg_disclosed_bytes: 1e6,
+            },
+            SweepPoint {
+                connections: 100,
+                directories: 0,
+                avg_keys_found: 30.0,
+                success_rate: 1.0,
+                avg_disclosed_bytes: 1e6,
+            },
+        ];
+        let svg = sweep_lines_svg("Figure 3", &series, Some(&series));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains("Figure 3"));
+        // Escaping sanity.
+        let escaped = sweep_lines_svg("a<b&c", &series, None);
+        assert!(escaped.contains("a&lt;b&amp;c"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Rendering experiment data: gnuplot-style `.dat` series (the same format
+//! the paper's plot scripts consumed), ASCII summaries, and tiny terminal
+//! charts.
+
+use crate::attack_sweep::SweepPoint;
+use crate::perf::PerfResult;
+use crate::timeline::Timeline;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders an ext2 sweep as a gnuplot splot-style grid:
+/// `connections directories avg_keys success_rate` per line, blank line
+/// between connection groups (the format of Figures 1–2).
+#[must_use]
+pub fn sweep_grid_dat(points: &[SweepPoint]) -> String {
+    let mut out = String::from("# connections directories avg_keys success_rate\n");
+    let mut last_conn = None;
+    for p in points {
+        if last_conn.is_some_and(|c| c != p.connections) {
+            out.push('\n');
+        }
+        last_conn = Some(p.connections);
+        let _ = writeln!(
+            out,
+            "{} {} {:.3} {:.3}",
+            p.connections, p.directories, p.avg_keys_found, p.success_rate
+        );
+    }
+    out
+}
+
+/// Renders a tty sweep as `connections avg_keys success_rate` lines (the
+/// format of Figures 3–4, 7, 17–18).
+#[must_use]
+pub fn sweep_line_dat(points: &[SweepPoint]) -> String {
+    let mut out = String::from("# connections avg_keys success_rate avg_disclosed_bytes\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{} {:.3} {:.3} {:.0}",
+            p.connections, p.avg_keys_found, p.success_rate, p.avg_disclosed_bytes
+        );
+    }
+    out
+}
+
+/// Renders a timeline's per-tick counts: `t allocated unallocated total`
+/// (the bar-chart data of Figures 5b, 6b, 10, 12, …).
+#[must_use]
+pub fn timeline_counts_dat(tl: &Timeline) -> String {
+    let mut out = String::from("# t allocated unallocated total\n");
+    for p in &tl.points {
+        let _ = writeln!(out, "{} {} {} {}", p.t, p.allocated, p.unallocated, p.total());
+    }
+    out
+}
+
+/// Renders a timeline's copy locations: `t offset allocated(1/0)` scatter
+/// rows (the data of Figures 5a, 6a, 9, 11, …).
+#[must_use]
+pub fn timeline_locations_dat(tl: &Timeline) -> String {
+    let mut out = String::from("# t phys_offset allocated\n");
+    for p in &tl.points {
+        for &(off, alloc) in &p.locations {
+            let _ = writeln!(out, "{} {} {}", p.t, off, u8::from(alloc));
+        }
+    }
+    out
+}
+
+/// An ASCII bar chart of a timeline (counts per tick), with `#` for
+/// allocated copies and `+` for unallocated ones.
+#[must_use]
+pub fn timeline_ascii(tl: &Timeline, width: usize) -> String {
+    let peak = tl.peak_total().max(1);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} / level={} — key copies per tick (# allocated, + unallocated, peak={})",
+        tl.kind_label,
+        tl.level,
+        tl.peak_total()
+    );
+    for p in &tl.points {
+        let a = p.allocated * width / peak;
+        let u = p.unallocated * width / peak;
+        let _ = writeln!(
+            out,
+            "t={:>2} |{}{}{} {:>3}a {:>3}u",
+            p.t,
+            "#".repeat(a),
+            "+".repeat(u),
+            " ".repeat(width.saturating_sub(a + u)),
+            p.allocated,
+            p.unallocated
+        );
+    }
+    out
+}
+
+/// A two-column comparison table of perf results (the bar pairs of Figures
+/// 8, 19, 20).
+#[must_use]
+pub fn perf_table(before: &PerfResult, after: &PerfResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>14} {:>14} {:>9}",
+        "metric", before.level, after.level, "delta%"
+    );
+    let rows: [(&str, f64, f64); 6] = [
+        ("transaction rate /s", before.transaction_rate, after.transaction_rate),
+        ("throughput Mbit/s", before.throughput_mbps, after.throughput_mbps),
+        ("response time ms", before.response_secs * 1e3, after.response_secs * 1e3),
+        ("latency p50 ms", before.response_p50 * 1e3, after.response_p50 * 1e3),
+        ("latency p95 ms", before.response_p95 * 1e3, after.response_p95 * 1e3),
+        ("concurrency", before.concurrency, after.concurrency),
+    ];
+    for (name, b, a) in rows {
+        let delta = if b == 0.0 { 0.0 } else { (a - b) / b * 100.0 };
+        let _ = writeln!(out, "{name:<22} {b:>14.3} {a:>14.3} {delta:>+8.1}%");
+    }
+    out
+}
+
+/// Writes a string to `dir/name`, creating `dir` if needed.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_dat(dir: &Path, name: &str, contents: &str) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(name), contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::TimelinePoint;
+    use keyguard::ProtectionLevel;
+
+    fn sample_sweep() -> Vec<SweepPoint> {
+        vec![
+            SweepPoint {
+                connections: 50,
+                directories: 1000,
+                avg_keys_found: 2.5,
+                success_rate: 0.9,
+                avg_disclosed_bytes: 4_072_000.0,
+            },
+            SweepPoint {
+                connections: 100,
+                directories: 1000,
+                avg_keys_found: 4.0,
+                success_rate: 1.0,
+                avg_disclosed_bytes: 4_072_000.0,
+            },
+        ]
+    }
+
+    fn sample_timeline() -> Timeline {
+        Timeline {
+            kind_label: "openssh",
+            level: ProtectionLevel::None,
+            points: vec![
+                TimelinePoint {
+                    t: 0,
+                    allocated: 0,
+                    unallocated: 0,
+                    locations: vec![],
+                },
+                TimelinePoint {
+                    t: 1,
+                    allocated: 3,
+                    unallocated: 2,
+                    locations: vec![(4096, true), (8192, false)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn grid_dat_separates_connection_groups() {
+        let dat = sweep_grid_dat(&sample_sweep());
+        assert!(dat.contains("50 1000 2.500 0.900"));
+        assert!(dat.contains("\n\n100 1000"));
+        assert!(dat.starts_with("# connections"));
+    }
+
+    #[test]
+    fn line_dat_rows() {
+        let dat = sweep_line_dat(&sample_sweep());
+        assert!(dat.contains("100 4.000 1.000"));
+        assert_eq!(dat.lines().count(), 3);
+    }
+
+    #[test]
+    fn timeline_dats() {
+        let tl = sample_timeline();
+        let counts = timeline_counts_dat(&tl);
+        assert!(counts.contains("1 3 2 5"));
+        let locs = timeline_locations_dat(&tl);
+        assert!(locs.contains("1 4096 1"));
+        assert!(locs.contains("1 8192 0"));
+    }
+
+    #[test]
+    fn ascii_chart_renders_every_tick() {
+        let tl = sample_timeline();
+        let chart = timeline_ascii(&tl, 20);
+        assert!(chart.contains("t= 0"));
+        assert!(chart.contains("t= 1"));
+        assert!(chart.contains('#'));
+        assert!(chart.contains('+'));
+    }
+
+    #[test]
+    fn perf_table_has_all_metrics() {
+        let r = PerfResult {
+            level: ProtectionLevel::None,
+            transactions: 100,
+            bytes: 1_000_000,
+            elapsed_secs: 2.0,
+            transaction_rate: 50.0,
+            throughput_mbps: 4.0,
+            response_secs: 0.02,
+            response_p50: 0.018,
+            response_p95: 0.04,
+            concurrency: 20.0,
+        };
+        let table = perf_table(&r, &r);
+        assert!(table.contains("transaction rate"));
+        assert!(table.contains("throughput"));
+        assert!(table.contains("response time"));
+        assert!(table.contains("+0.0%"));
+    }
+
+    #[test]
+    fn write_dat_creates_directories() {
+        let dir = std::env::temp_dir().join("memdisclosure_repro_test_dat");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_dat(&dir, "x.dat", "hello\n").unwrap();
+        assert_eq!(std::fs::read_to_string(dir.join("x.dat")).unwrap(), "hello\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,582 @@
+//! A scriptable scenario interpreter — the analogue of the paper's appendix
+//! `runsimulation.pl`, which drove servers, traffic, and the scanner from a
+//! declarative schedule.
+//!
+//! A scenario is a line-oriented text script:
+//!
+//! ```text
+//! # figure-5-like run
+//! machine mem-mb 64
+//! server ssh level none key-bits 512
+//! at 2 start
+//! at 6 concurrency 8
+//! at 10 concurrency 16
+//! at 14 concurrency 8
+//! at 18 concurrency 0
+//! at 22 stop
+//! at 24 attack ext2 1000
+//! at 26 attack tty
+//! end 29
+//! ```
+//!
+//! Directives:
+//!
+//! * `machine mem-mb <N>` — simulated RAM size (default 64).
+//! * `server <ssh|apache> [level <L>] [key-bits <B>] [seed <S>]`
+//! * `secret <word>` — an additional secret (≥ 8 chars) tracked by every
+//!   scan and attack, e.g. a passphrase (see `tty-input`).
+//! * `at <tick> start | stop | restart | concurrency <N> | pump <N> |`
+//!   `tty-input | swap <pages> |`
+//!   `attack ext2 <dirs> | attack tty | attack slab <size> <probes>`
+//! * `end <tick>` — run length (required).
+//!
+//! `restart` is Apache's graceful reload (SSH restarts as stop + start);
+//! `tty-input` types the configured `secret` through the kernel's tty
+//! buffers, planting it in slab memory.
+//!
+//! Memory is scanned for the server's key at the end of every tick; attack
+//! results are logged as they fire.
+
+use crate::timeline::{Timeline, TimelinePoint};
+use crate::ServerKind;
+use exploits::{Ext2DirentLeak, SlabProbe, TtyMemoryDump};
+use keyguard::ProtectionLevel;
+use keyscan::Scanner;
+use memsim::{Kernel, MachineConfig, SimError};
+use rsa_repro::material::KeyMaterial;
+use servers::{ApacheServer, SecureServer, ServerConfig, SshServer};
+use simrng::Rng64;
+use std::collections::BTreeMap;
+
+/// A parsed scenario action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Start the configured server.
+    Start,
+    /// Stop the server.
+    Stop,
+    /// Set standing concurrency.
+    Concurrency(usize),
+    /// Complete N transfer cycles this tick.
+    Pump(usize),
+    /// Run the ext2 dirent leak with N directories.
+    AttackExt2(usize),
+    /// Run the n_tty memory dump.
+    AttackTty,
+    /// Run a slab infoleak probe: `(object size, probes)`.
+    AttackSlab(usize, usize),
+    /// Apply swap pressure for N pages.
+    Swap(usize),
+    /// Type the configured secret through the tty (plants it in slab
+    /// buffers).
+    TtyInput,
+    /// Graceful restart (Apache only).
+    Restart,
+}
+
+/// One attack fired by a scenario, with its outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackEvent {
+    /// Tick at which the attack ran.
+    pub t: usize,
+    /// `"ext2"` or `"tty"`.
+    pub kind: &'static str,
+    /// Full key copies recovered.
+    pub keys_found: usize,
+    /// Whether at least one full copy was recovered.
+    pub succeeded: bool,
+    /// Bytes disclosed.
+    pub disclosed_bytes: usize,
+}
+
+/// A parsed, runnable scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    mem_bytes: usize,
+    server: ServerKind,
+    level: ProtectionLevel,
+    key_bits: usize,
+    seed: u64,
+    end: usize,
+    secret: Option<Vec<u8>>,
+    actions: BTreeMap<usize, Vec<Action>>,
+}
+
+/// What a scenario run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Per-tick scan results, as a reusable [`Timeline`].
+    pub timeline: Timeline,
+    /// Attacks that fired, in order.
+    pub attacks: Vec<AttackEvent>,
+}
+
+/// Scenario parse errors, with the offending line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "scenario line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Scenario {
+    /// Parses a scenario script.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] pointing at the first malformed line, or at
+    /// a missing `end` directive.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let mut mem_bytes = 64 * 1024 * 1024;
+        let mut server = ServerKind::Ssh;
+        let mut level = ProtectionLevel::None;
+        let mut key_bits = 512;
+        let mut seed = 0x5CE7_A210u64;
+        let mut end = None;
+        let mut secret = None;
+        let mut actions: BTreeMap<usize, Vec<Action>> = BTreeMap::new();
+
+        let err = |line: usize, message: &str| ParseError {
+            line,
+            message: message.to_string(),
+        };
+
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let words: Vec<&str> = line.split_whitespace().collect();
+            match words[0] {
+                "machine" => {
+                    // key/value pairs after the keyword.
+                    let mut it = words[1..].chunks(2);
+                    for kv in &mut it {
+                        match kv {
+                            ["mem-mb", v] => {
+                                mem_bytes = v
+                                    .parse::<usize>()
+                                    .map_err(|_| err(line_no, "mem-mb expects a number"))?
+                                    * 1024
+                                    * 1024;
+                            }
+                            _ => return Err(err(line_no, "unknown machine option")),
+                        }
+                    }
+                }
+                "server" => {
+                    if words.len() < 2 {
+                        return Err(err(line_no, "server needs a kind (ssh|apache)"));
+                    }
+                    server = ServerKind::from_label(words[1])
+                        .ok_or_else(|| err(line_no, "unknown server kind"))?;
+                    let mut it = words[2..].chunks(2);
+                    for kv in &mut it {
+                        match kv {
+                            ["level", v] => {
+                                level = ProtectionLevel::from_label(v)
+                                    .ok_or_else(|| err(line_no, "unknown level"))?;
+                            }
+                            ["key-bits", v] => {
+                                key_bits = v
+                                    .parse()
+                                    .map_err(|_| err(line_no, "key-bits expects a number"))?;
+                            }
+                            ["seed", v] => {
+                                seed = v
+                                    .parse()
+                                    .map_err(|_| err(line_no, "seed expects a number"))?;
+                            }
+                            _ => return Err(err(line_no, "unknown server option")),
+                        }
+                    }
+                }
+                "at" => {
+                    if words.len() < 3 {
+                        return Err(err(line_no, "at needs a tick and an action"));
+                    }
+                    let t: usize = words[1]
+                        .parse()
+                        .map_err(|_| err(line_no, "tick must be a number"))?;
+                    let action = match (words[2], words.get(3)) {
+                        ("start", None) => Action::Start,
+                        ("stop", None) => Action::Stop,
+                        ("restart", None) => Action::Restart,
+                        ("tty-input", None) => Action::TtyInput,
+                        ("concurrency", Some(v)) => Action::Concurrency(
+                            v.parse()
+                                .map_err(|_| err(line_no, "concurrency expects a number"))?,
+                        ),
+                        ("pump", Some(v)) => Action::Pump(
+                            v.parse().map_err(|_| err(line_no, "pump expects a number"))?,
+                        ),
+                        ("swap", Some(v)) => Action::Swap(
+                            v.parse().map_err(|_| err(line_no, "swap expects a number"))?,
+                        ),
+                        ("attack", Some(&"tty")) => Action::AttackTty,
+                        ("attack", Some(&"ext2")) => {
+                            let dirs = words
+                                .get(4)
+                                .ok_or_else(|| err(line_no, "attack ext2 needs a count"))?;
+                            Action::AttackExt2(dirs.parse().map_err(|_| {
+                                err(line_no, "attack ext2 count must be a number")
+                            })?)
+                        }
+                        ("attack", Some(&"slab")) => {
+                            let size: usize = words
+                                .get(4)
+                                .ok_or_else(|| err(line_no, "attack slab needs a size"))?
+                                .parse()
+                                .map_err(|_| err(line_no, "slab size must be a number"))?;
+                            let probes: usize = words
+                                .get(5)
+                                .ok_or_else(|| err(line_no, "attack slab needs a probe count"))?
+                                .parse()
+                                .map_err(|_| err(line_no, "slab probes must be a number"))?;
+                            Action::AttackSlab(size, probes)
+                        }
+                        _ => return Err(err(line_no, "unknown action")),
+                    };
+                    actions.entry(t).or_default().push(action);
+                }
+                "secret" => {
+                    let word = words
+                        .get(1)
+                        .ok_or_else(|| err(line_no, "secret needs a word"))?;
+                    if word.len() < 8 {
+                        return Err(err(line_no, "secret must be at least 8 characters"));
+                    }
+                    secret = Some(word.as_bytes().to_vec());
+                }
+                "end" => {
+                    let t: usize = words
+                        .get(1)
+                        .ok_or_else(|| err(line_no, "end needs a tick"))?
+                        .parse()
+                        .map_err(|_| err(line_no, "end tick must be a number"))?;
+                    end = Some(t);
+                }
+                _ => return Err(err(line_no, "unknown directive")),
+            }
+        }
+
+        let end = end.ok_or_else(|| err(text.lines().count().max(1), "missing end directive"))?;
+        if let Some((&t, _)) = actions.iter().next_back() {
+            if t >= end {
+                return Err(err(1, "actions scheduled at or after end tick"));
+            }
+        }
+        // tty-input and slab attacks require a secret to plant/search for.
+        let uses_secret = actions.values().flatten().any(|a| {
+            matches!(a, Action::TtyInput | Action::AttackSlab(_, _))
+        });
+        if uses_secret && secret.is_none() {
+            return Err(ParseError {
+                line: 1,
+                message: "tty-input / attack slab require a `secret <word>` directive".into(),
+            });
+        }
+        Ok(Self {
+            mem_bytes,
+            server,
+            level,
+            key_bits,
+            seed,
+            end,
+            secret,
+            actions,
+        })
+    }
+
+    /// The configured run length in ticks.
+    #[must_use]
+    pub fn ticks(&self) -> usize {
+        self.end
+    }
+
+    /// Executes the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (e.g. an action targeting a stopped
+    /// server surfaces as [`SimError::NoSuchProcess`]).
+    pub fn run(&self) -> Result<ScenarioOutcome, SimError> {
+        match self.server {
+            ServerKind::Ssh => self.run_with::<SshServer>("openssh"),
+            ServerKind::Apache => self.run_with::<ApacheServer>("apache"),
+        }
+    }
+
+    fn run_with<S: SecureServer>(
+        &self,
+        kind_label: &'static str,
+    ) -> Result<ScenarioOutcome, SimError> {
+        let mut rng = Rng64::new(self.seed);
+        let mut kernel = Kernel::new(
+            MachineConfig::paper()
+                .with_mem_bytes(self.mem_bytes)
+                .with_policy(self.level.kernel_policy()),
+        );
+        kernel.age_memory(&mut rng, 1.0);
+
+        let server_cfg = ServerConfig::new(self.level)
+            .with_key_bits(self.key_bits)
+            .with_seed(self.seed);
+        let material = KeyMaterial::from_key(&server_cfg.derive_key(kind_label));
+        let mut patterns = material.patterns().to_vec();
+        if let Some(secret) = &self.secret {
+            patterns.push(rsa_repro::material::Pattern::new("secret", secret.clone()));
+        }
+        let scanner = Scanner::new(patterns);
+        let dump = TtyMemoryDump::paper();
+
+        let mut server: Option<S> = None;
+        let mut attacks = Vec::new();
+        let mut points = Vec::with_capacity(self.end);
+
+        for t in 0..self.end {
+            if let Some(todo) = self.actions.get(&t) {
+                for action in todo {
+                    match *action {
+                        Action::Start => {
+                            server = Some(S::start(&mut kernel, server_cfg)?);
+                        }
+                        Action::Stop => {
+                            if let Some(s) = server.as_mut() {
+                                s.stop(&mut kernel)?;
+                            }
+                        }
+                        Action::Concurrency(n) => {
+                            if let Some(s) = server.as_mut() {
+                                s.set_concurrency(&mut kernel, n)?;
+                            }
+                        }
+                        Action::Pump(n) => {
+                            if let Some(s) = server.as_mut() {
+                                s.pump(&mut kernel, n)?;
+                            }
+                        }
+                        Action::Swap(pages) => {
+                            kernel.swap_out_pressure(pages);
+                        }
+                        Action::TtyInput => {
+                            let secret = self.secret.as_ref().expect("validated at parse");
+                            kernel.tty_input(secret)?;
+                        }
+                        Action::Restart => {
+                            // Apache: graceful reload; SSH: full stop/start.
+                            if let Some(s) = server.as_mut() {
+                                s.restart(&mut kernel)?;
+                            }
+                        }
+                        Action::AttackSlab(size, probes) => {
+                            let capture = SlabProbe::new(size, probes).run(&mut kernel)?;
+                            attacks.push(AttackEvent {
+                                t,
+                                kind: "slab",
+                                keys_found: capture.keys_found(&scanner),
+                                succeeded: capture.succeeded(&scanner),
+                                disclosed_bytes: capture.disclosed_bytes(),
+                            });
+                        }
+                        Action::AttackExt2(dirs) => {
+                            let capture = Ext2DirentLeak::new(dirs).run(&mut kernel)?;
+                            attacks.push(AttackEvent {
+                                t,
+                                kind: "ext2",
+                                keys_found: capture.keys_found(&scanner),
+                                succeeded: capture.succeeded(&scanner),
+                                disclosed_bytes: capture.disclosed_bytes(),
+                            });
+                        }
+                        Action::AttackTty => {
+                            let capture = dump.run(&kernel, &mut rng);
+                            attacks.push(AttackEvent {
+                                t,
+                                kind: "tty",
+                                keys_found: capture.keys_found(&scanner),
+                                succeeded: capture.succeeded(&scanner),
+                                disclosed_bytes: capture.disclosed_bytes(),
+                            });
+                        }
+                    }
+                }
+            }
+            let report = scanner.scan_kernel(&kernel);
+            points.push(TimelinePoint {
+                t,
+                allocated: report.allocated(),
+                unallocated: report.unallocated(),
+                locations: report.locations(),
+            });
+        }
+        Ok(ScenarioOutcome {
+            timeline: Timeline {
+                kind_label,
+                level: self.level,
+                points,
+            },
+            attacks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG5_SCRIPT: &str = "
+# figure-5-like unprotected run on a small machine
+machine mem-mb 16
+server ssh level none key-bits 256
+at 2 start
+at 4 concurrency 6
+at 6 pump 12
+at 8 concurrency 0
+at 10 stop
+at 12 attack ext2 500
+at 13 attack tty
+end 15
+";
+
+    #[test]
+    fn parse_extracts_everything() {
+        let s = Scenario::parse(FIG5_SCRIPT).unwrap();
+        assert_eq!(s.mem_bytes, 16 * 1024 * 1024);
+        assert_eq!(s.server, ServerKind::Ssh);
+        assert_eq!(s.level, ProtectionLevel::None);
+        assert_eq!(s.key_bits, 256);
+        assert_eq!(s.ticks(), 15);
+        assert_eq!(s.actions[&2], vec![Action::Start]);
+        assert_eq!(s.actions[&12], vec![Action::AttackExt2(500)]);
+        assert_eq!(s.actions[&13], vec![Action::AttackTty]);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "machine mem-mb donkey\nend 5\n";
+        let e = Scenario::parse(bad).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("mem-mb"));
+
+        let e = Scenario::parse("at 3 frobnicate\nend 5\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("unknown action"));
+
+        let e = Scenario::parse("at 3 start\n").unwrap_err();
+        assert!(e.message.contains("missing end"));
+
+        let e = Scenario::parse("at 9 start\nend 5\n").unwrap_err();
+        assert!(e.message.contains("at or after end"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let s = Scenario::parse("# all comments\n\nend 3 # trailing\n").unwrap();
+        assert_eq!(s.ticks(), 3);
+        assert!(s.actions.is_empty());
+    }
+
+    #[test]
+    fn run_produces_timeline_and_attacks() {
+        let outcome = Scenario::parse(FIG5_SCRIPT).unwrap().run().unwrap();
+        assert_eq!(outcome.timeline.points.len(), 15);
+        // Nothing before the server starts; copies appear afterwards.
+        assert_eq!(outcome.timeline.at(1).unwrap().total(), 0);
+        assert!(outcome.timeline.at(6).unwrap().total() > 3);
+        // Both attacks fired; the unprotected machine falls to the ext2 leak.
+        assert_eq!(outcome.attacks.len(), 2);
+        assert_eq!(outcome.attacks[0].kind, "ext2");
+        assert!(outcome.attacks[0].succeeded);
+        assert_eq!(outcome.attacks[1].kind, "tty");
+    }
+
+    #[test]
+    fn protected_scenario_resists() {
+        let script = "
+machine mem-mb 16
+server apache level integrated key-bits 256
+at 1 start
+at 2 concurrency 8
+at 3 pump 16
+at 4 attack ext2 500
+end 6
+";
+        let outcome = Scenario::parse(script).unwrap().run().unwrap();
+        assert_eq!(outcome.attacks.len(), 1);
+        assert!(!outcome.attacks[0].succeeded);
+        assert_eq!(outcome.attacks[0].keys_found, 0);
+        // Constant three copies while running.
+        assert_eq!(outcome.timeline.at(5).unwrap().total(), 3);
+    }
+
+    #[test]
+    fn swap_action_runs() {
+        let script = "server ssh key-bits 256\nat 1 start\nat 2 swap 100\nend 4\n";
+        let outcome = Scenario::parse(script).unwrap().run().unwrap();
+        assert_eq!(outcome.timeline.points.len(), 4);
+    }
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+
+    #[test]
+    fn slab_gap_scenario_demonstrates_the_hole() {
+        let script = "
+machine mem-mb 16
+server ssh level integrated key-bits 256
+secret hunter2-passphrase
+at 1 start
+at 2 tty-input
+at 3 attack ext2 400
+at 4 attack slab 32 64
+end 6
+";
+        let outcome = Scenario::parse(script).unwrap().run().unwrap();
+        assert_eq!(outcome.attacks.len(), 2);
+        let ext2 = &outcome.attacks[0];
+        let slab = &outcome.attacks[1];
+        assert_eq!(ext2.kind, "ext2");
+        assert!(!ext2.succeeded, "page zeroing stops the page-level leak");
+        assert_eq!(slab.kind, "slab");
+        assert!(slab.succeeded, "the slab probe recovers the passphrase");
+    }
+
+    #[test]
+    fn restart_action_works_for_both_servers() {
+        for kind in ["ssh", "apache"] {
+            let script = format!(
+                "server {kind} level integrated key-bits 256\nmachine mem-mb 16\n\
+                 at 1 start\nat 2 concurrency 6\nat 3 restart\nat 4 pump 6\nend 6\n"
+            );
+            let outcome = Scenario::parse(&script).unwrap().run().unwrap();
+            // Aligned copies intact after the restart, nothing leaked.
+            let last = outcome.timeline.at(5).unwrap();
+            assert_eq!(last.unallocated, 0, "{kind}");
+            assert!(last.allocated >= 3, "{kind}");
+        }
+    }
+
+    #[test]
+    fn secret_directive_is_required_for_slab_actions() {
+        let script = "server ssh\nat 1 start\nat 2 tty-input\nend 4\n";
+        let e = Scenario::parse(script).unwrap_err();
+        assert!(e.message.contains("secret"), "{e}");
+        let script = "server ssh\nat 1 attack slab 32 8\nend 4\n";
+        assert!(Scenario::parse(script).is_err());
+        let script = "server ssh\nsecret short\nend 4\n";
+        assert!(Scenario::parse(script).unwrap_err().message.contains("8 characters"));
+    }
+}

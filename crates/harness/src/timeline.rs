@@ -1,0 +1,299 @@
+//! The timeline experiment of Section 3.2 / 5.3 / 6.3: scan memory at every
+//! tick of the paper's 29-step schedule and record where key copies live.
+//!
+//! Regenerates Figures 5, 6 (unprotected), 9–16 (OpenSSH × four protection
+//! levels) and 21–28 (Apache × four levels).
+
+use crate::{ExperimentConfig, ServerKind};
+use keyguard::ProtectionLevel;
+use keyscan::Scanner;
+use memsim::SimResult;
+use rsa_repro::material::KeyMaterial;
+use servers::{ApacheServer, SecureServer, ServerConfig, SshServer};
+use simrng::Rng64;
+
+/// The paper's schedule, in simulation ticks (1 tick = 2 minutes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Schedule {
+    /// Tick at which the server starts.
+    pub start_server: usize,
+    /// Tick at which the first client begins (8 concurrent transfers).
+    pub start_traffic: usize,
+    /// Tick at which the second client joins (16 concurrent).
+    pub more_traffic: usize,
+    /// Tick at which the first client stops (back to 8).
+    pub less_traffic: usize,
+    /// Tick at which all traffic ceases.
+    pub stop_traffic: usize,
+    /// Tick at which the server stops.
+    pub stop_server: usize,
+    /// Final tick (exclusive end of the run).
+    pub end: usize,
+    /// Completed transfers per concurrent connection per tick (each scp
+    /// transfer lasted ~4 s; a 2-minute tick completes ~30 per slot — scaled
+    /// down by default to keep runs fast, same shape).
+    pub churn_per_slot: usize,
+}
+
+impl Schedule {
+    /// The schedule from Sections 3.2/5.3: events at t = 2, 6, 10, 14, 18,
+    /// 22, end at 29.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            start_server: 2,
+            start_traffic: 6,
+            more_traffic: 10,
+            less_traffic: 14,
+            stop_traffic: 18,
+            stop_server: 22,
+            end: 29,
+            churn_per_slot: 4,
+        }
+    }
+
+    /// Concurrency in force *during* tick `t`.
+    #[must_use]
+    pub fn concurrency_at(&self, t: usize) -> usize {
+        if t >= self.stop_traffic || t < self.start_traffic {
+            0
+        } else if t >= self.more_traffic && t < self.less_traffic {
+            16
+        } else {
+            8
+        }
+    }
+}
+
+/// One scanned tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelinePoint {
+    /// Tick index (the x-axis of Figures 5–6 and friends).
+    pub t: usize,
+    /// Copies found in allocated memory (the light bars / "×" marks).
+    pub allocated: usize,
+    /// Copies found in unallocated memory (the dark bars / "+" marks).
+    pub unallocated: usize,
+    /// `(physical byte offset, allocated?)` of every copy — the scatter data
+    /// of the "locations of keys in memory" plots.
+    pub locations: Vec<(usize, bool)>,
+}
+
+impl TimelinePoint {
+    /// Total copies at this tick.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.allocated + self.unallocated
+    }
+}
+
+/// A completed timeline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    /// Which server was driven.
+    pub kind_label: &'static str,
+    /// Protection level deployed.
+    pub level: ProtectionLevel,
+    /// One point per tick.
+    pub points: Vec<TimelinePoint>,
+}
+
+impl Timeline {
+    /// Peak number of copies across the run.
+    #[must_use]
+    pub fn peak_total(&self) -> usize {
+        self.points.iter().map(TimelinePoint::total).max().unwrap_or(0)
+    }
+
+    /// Peak number of unallocated copies across the run.
+    #[must_use]
+    pub fn peak_unallocated(&self) -> usize {
+        self.points.iter().map(|p| p.unallocated).max().unwrap_or(0)
+    }
+
+    /// The point at tick `t`.
+    #[must_use]
+    pub fn at(&self, t: usize) -> Option<&TimelinePoint> {
+        self.points.iter().find(|p| p.t == t)
+    }
+
+    /// Per-tick transitions `(appeared, vanished, freed_in_place)` relative
+    /// to the previous tick, matched by physical location — the mechanical
+    /// form of the paper's Figure 5 observations (3) and (4).
+    #[must_use]
+    pub fn transitions(&self) -> Vec<(usize, usize, usize, usize)> {
+        use std::collections::HashMap;
+        let mut out = Vec::with_capacity(self.points.len().saturating_sub(1));
+        for w in self.points.windows(2) {
+            let before: HashMap<usize, bool> = w[0].locations.iter().copied().collect();
+            let after: HashMap<usize, bool> = w[1].locations.iter().copied().collect();
+            let appeared = after.keys().filter(|k| !before.contains_key(k)).count();
+            let vanished = before.keys().filter(|k| !after.contains_key(k)).count();
+            let freed_in_place = after
+                .iter()
+                .filter(|(k, &alloc)| !alloc && before.get(*k) == Some(&true))
+                .count();
+            out.push((w[1].t, appeared, vanished, freed_in_place));
+        }
+        out
+    }
+}
+
+fn drive<S: SecureServer>(
+    kind_label: &'static str,
+    level: ProtectionLevel,
+    cfg: &ExperimentConfig,
+    schedule: &Schedule,
+) -> SimResult<Timeline> {
+    let mut rng = Rng64::new(cfg.seed ^ 0x71ED_11E5);
+    let mut kernel = cfg.boot_machine(level, &mut rng);
+    let server_cfg = ServerConfig::new(level).with_key_bits(cfg.key_bits);
+    // Build the scanner before the server exists, from the derived key.
+    let preview = server_cfg.derive_key(kind_label);
+    let scanner = Scanner::from_material(&KeyMaterial::from_key(&preview));
+
+    let mut server: Option<S> = None;
+    let mut points = Vec::with_capacity(schedule.end);
+    for t in 0..schedule.end {
+        // Events fire at the start of their tick.
+        if t == schedule.start_server {
+            let s = S::start(&mut kernel, server_cfg)?;
+            assert_eq!(
+                s.key(),
+                &preview,
+                "derived preview key must match the server key"
+            );
+            server = Some(s);
+        }
+        if let Some(s) = server.as_mut() {
+            if s.is_running() {
+                let conc = schedule.concurrency_at(t);
+                s.set_concurrency(&mut kernel, conc)?;
+                if conc > 0 {
+                    s.pump(&mut kernel, conc * schedule.churn_per_slot)?;
+                }
+            }
+        }
+        if t == schedule.stop_server {
+            if let Some(s) = server.as_mut() {
+                s.stop(&mut kernel)?;
+            }
+        }
+
+        // Scan at the end of the tick, like the cron'd scanmemory read.
+        let report = scanner.scan_kernel(&kernel);
+        points.push(TimelinePoint {
+            t,
+            allocated: report.allocated(),
+            unallocated: report.unallocated(),
+            locations: report.locations(),
+        });
+    }
+    Ok(Timeline {
+        kind_label,
+        level,
+        points,
+    })
+}
+
+/// Runs the full timeline for one server and protection level.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_timeline(
+    kind: ServerKind,
+    level: ProtectionLevel,
+    cfg: &ExperimentConfig,
+    schedule: &Schedule,
+) -> SimResult<Timeline> {
+    match kind {
+        ServerKind::Ssh => drive::<SshServer>("openssh", level, cfg, schedule),
+        ServerKind::Apache => drive::<ApacheServer>("apache", level, cfg, schedule),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_concurrency_matches_events() {
+        let s = Schedule::paper();
+        assert_eq!(s.concurrency_at(0), 0);
+        assert_eq!(s.concurrency_at(5), 0);
+        assert_eq!(s.concurrency_at(6), 8);
+        assert_eq!(s.concurrency_at(10), 16);
+        assert_eq!(s.concurrency_at(13), 16);
+        assert_eq!(s.concurrency_at(14), 8);
+        assert_eq!(s.concurrency_at(18), 0);
+        assert_eq!(s.concurrency_at(25), 0);
+    }
+
+    #[test]
+    fn unprotected_ssh_timeline_has_paper_shape() {
+        let cfg = ExperimentConfig::test();
+        let tl = run_timeline(
+            ServerKind::Ssh,
+            ProtectionLevel::None,
+            &cfg,
+            &Schedule::paper(),
+        )
+        .unwrap();
+        assert_eq!(tl.points.len(), 29);
+        // Nothing before the server starts.
+        assert_eq!(tl.at(0).unwrap().total(), 0);
+        assert_eq!(tl.at(1).unwrap().total(), 0);
+        // Key appears at startup, floods under load.
+        let at_start = tl.at(2).unwrap().total();
+        assert!(at_start >= 3, "d,p,q at least: {at_start}");
+        let under_light = tl.at(8).unwrap().total();
+        let under_heavy = tl.at(12).unwrap().total();
+        assert!(under_heavy > at_start);
+        assert!(under_heavy >= under_light);
+        // After traffic stops, allocated copies drop...
+        let after_traffic = tl.at(20).unwrap();
+        assert!(after_traffic.allocated < tl.at(12).unwrap().allocated);
+        // ...and unallocated copies persist through the end.
+        let final_point = tl.at(28).unwrap();
+        assert!(final_point.unallocated > 0);
+    }
+
+    #[test]
+    fn transitions_expose_observations_three_and_four() {
+        let cfg = ExperimentConfig::test();
+        let tl = run_timeline(
+            ServerKind::Ssh,
+            ProtectionLevel::None,
+            &cfg,
+            &Schedule::paper(),
+        )
+        .unwrap();
+        let tr = tl.transitions();
+        // Observation (3): a burst of appearances when traffic starts (t=6).
+        let (_, appeared, _, _) = tr.iter().find(|(t, ..)| *t == 6).copied().unwrap();
+        assert!(appeared > 10, "traffic start adds many copies: {appeared}");
+        // Observation (4): copies freed in place when traffic stops (t=18).
+        let (_, _, _, freed) = tr.iter().find(|(t, ..)| *t == 18).copied().unwrap();
+        assert!(freed > 10, "traffic stop frees copies in place: {freed}");
+    }
+
+    #[test]
+    fn integrated_timeline_is_flat_and_clean() {
+        let cfg = ExperimentConfig::test();
+        let tl = run_timeline(
+            ServerKind::Ssh,
+            ProtectionLevel::Integrated,
+            &cfg,
+            &Schedule::paper(),
+        )
+        .unwrap();
+        assert_eq!(tl.peak_unallocated(), 0, "never anything in free memory");
+        // During the server's life: exactly d+p+q on the aligned page.
+        for t in 2..22 {
+            assert_eq!(tl.at(t).unwrap().total(), 3, "tick {t}");
+        }
+        // After a clean shutdown nothing remains at all.
+        assert_eq!(tl.at(28).unwrap().total(), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Robustness: the scenario parser must never panic, whatever text it sees.
+
+use harness::scenario::Scenario;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in "\\PC*") {
+        let _ = Scenario::parse(&text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_directive_shaped_noise(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just("machine mem-mb x".to_string()),
+                Just("server ssh level".to_string()),
+                Just("at".to_string()),
+                Just("at 1".to_string()),
+                Just("at 1 attack".to_string()),
+                Just("at 1 attack slab".to_string()),
+                Just("at 99999999999999999999 start".to_string()),
+                Just("secret".to_string()),
+                Just("end".to_string()),
+                (any::<u16>(), any::<u16>()).prop_map(|(a, b)| format!("at {a} pump {b}")),
+                (any::<u16>()).prop_map(|a| format!("end {a}")),
+            ],
+            0..12,
+        )
+    ) {
+        let _ = Scenario::parse(&lines.join("\n"));
+    }
+
+    /// Valid scripts with a random schedule always parse and carry every
+    /// action through.
+    #[test]
+    fn valid_random_schedules_round_trip(
+        events in proptest::collection::vec((1usize..20, 0usize..40), 1..10),
+    ) {
+        let mut script = String::from("server ssh key-bits 256\n");
+        for (t, n) in &events {
+            script.push_str(&format!("at {t} pump {n}\n"));
+        }
+        script.push_str("end 25\n");
+        let parsed = Scenario::parse(&script).unwrap();
+        prop_assert_eq!(parsed.ticks(), 25);
+    }
+}

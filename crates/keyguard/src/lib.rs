@@ -1,0 +1,198 @@
+//! The countermeasures of Harrison & Xu (DSN 2007) as a reusable library.
+//!
+//! The paper proposes protecting private keys from memory-disclosure attacks
+//! by enforcing two invariants:
+//!
+//! 1. a key appears in **allocated** memory a minimal number of times
+//!    (ideally once), and
+//! 2. **unallocated** memory (and swap) never contains a copy.
+//!
+//! This crate packages the paper's four solution levels over the `memsim`
+//! substrate:
+//!
+//! * [`ProtectionLevel::Application`] / [`ProtectionLevel::Library`] — the
+//!   `RSA_memory_align()` mechanism ([`SecureKeyRegion`]): consolidate all
+//!   six CRT key components onto dedicated page-aligned, `mlock`ed pages;
+//!   zero and free the scattered originals; disable the crypto library's
+//!   Montgomery-context caching of the primes. Because the region is never
+//!   written after setup, copy-on-write keeps it a *single physical copy*
+//!   across any number of forked workers. The two levels differ only in who
+//!   invokes the mechanism (the application, or `d2i_PrivateKey` inside the
+//!   library).
+//! * [`ProtectionLevel::Kernel`] — zero pages at free/unmap time
+//!   ([`memsim::KernelPolicy::hardened`]), so unallocated memory never holds
+//!   key bytes.
+//! * [`ProtectionLevel::Integrated`] — all of the above plus `O_NOCACHE`,
+//!   evicting the PEM key file from the page cache right after it is read.
+//!
+//! The [`host`] module offers the same hygiene for real (non-simulated)
+//! buffers: best-effort guaranteed zeroing on drop.
+//!
+//! # Examples
+//!
+//! ```
+//! use keyguard::ProtectionLevel;
+//!
+//! let level = ProtectionLevel::Integrated;
+//! assert!(level.align_key());
+//! assert!(level.kernel_policy().zero_on_free);
+//! assert!(level.nocache_pem());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod host;
+mod region;
+mod vault;
+
+pub use region::SecureKeyRegion;
+pub use vault::KeyVault;
+
+use memsim::KernelPolicy;
+
+/// The paper's solution levels (Section 4), ordered by increasing strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProtectionLevel {
+    /// No countermeasures — the vulnerable baseline.
+    None,
+    /// Application-level: the server calls `RSA_memory_align()` itself after
+    /// loading its key.
+    Application,
+    /// Library-level: `d2i_PrivateKey()` applies the same mechanism
+    /// automatically for every application.
+    Library,
+    /// Kernel-level: pages are cleared before they reach the free lists.
+    Kernel,
+    /// Integrated library–kernel: alignment + zeroing + `O_NOCACHE` for the
+    /// PEM file. The paper's recommended configuration.
+    Integrated,
+}
+
+impl ProtectionLevel {
+    /// Every level, weakest first — handy for sweeps over all variants.
+    pub const ALL: [Self; 5] = [
+        Self::None,
+        Self::Application,
+        Self::Library,
+        Self::Kernel,
+        Self::Integrated,
+    ];
+
+    /// The kernel zeroing policy this level requires.
+    #[must_use]
+    pub fn kernel_policy(self) -> KernelPolicy {
+        match self {
+            Self::None | Self::Application | Self::Library => KernelPolicy::stock(),
+            Self::Kernel | Self::Integrated => KernelPolicy::hardened(),
+        }
+    }
+
+    /// Whether the key is consolidated into a [`SecureKeyRegion`]
+    /// (`RSA_memory_align` runs).
+    #[must_use]
+    pub fn align_key(self) -> bool {
+        matches!(self, Self::Application | Self::Library | Self::Integrated)
+    }
+
+    /// Whether the key region is `mlock`ed against swapping.
+    #[must_use]
+    pub fn mlock_key(self) -> bool {
+        self.align_key()
+    }
+
+    /// Whether the crypto library's Montgomery caching of P and Q is
+    /// disabled (`flags &= ~RSA_FLAG_CACHE_PRIVATE`).
+    #[must_use]
+    pub fn disable_mont_cache(self) -> bool {
+        self.align_key()
+    }
+
+    /// Whether the PEM key file is opened with `O_NOCACHE`, keeping it out
+    /// of the page cache.
+    #[must_use]
+    pub fn nocache_pem(self) -> bool {
+        matches!(self, Self::Integrated)
+    }
+
+    /// Short identifier used in experiment output (`none`, `app`, `lib`,
+    /// `kernel`, `integrated`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::None => "none",
+            Self::Application => "app",
+            Self::Library => "lib",
+            Self::Kernel => "kernel",
+            Self::Integrated => "integrated",
+        }
+    }
+
+    /// Parses a label produced by [`Self::label`].
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(Self::None),
+            "app" | "application" => Some(Self::Application),
+            "lib" | "library" => Some(Self::Library),
+            "kernel" => Some(Self::Kernel),
+            "integrated" | "all" => Some(Self::Integrated),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for ProtectionLevel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_properties_match_the_paper() {
+        use ProtectionLevel as L;
+        // Table of (level, align, policy-hardened, nocache).
+        let expect = [
+            (L::None, false, false, false),
+            (L::Application, true, false, false),
+            (L::Library, true, false, false),
+            (L::Kernel, false, true, false),
+            (L::Integrated, true, true, true),
+        ];
+        for (level, align, hardened, nocache) in expect {
+            assert_eq!(level.align_key(), align, "{level}");
+            assert_eq!(level.kernel_policy().zero_on_free, hardened, "{level}");
+            assert_eq!(level.kernel_policy().zero_on_unmap, hardened, "{level}");
+            assert_eq!(level.nocache_pem(), nocache, "{level}");
+            assert_eq!(level.mlock_key(), align);
+            assert_eq!(level.disable_mont_cache(), align);
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for level in ProtectionLevel::ALL {
+            assert_eq!(ProtectionLevel::from_label(level.label()), Some(level));
+        }
+        assert_eq!(ProtectionLevel::from_label("bogus"), None);
+        assert_eq!(
+            ProtectionLevel::from_label("all"),
+            Some(ProtectionLevel::Integrated)
+        );
+    }
+
+    #[test]
+    fn ordering_is_by_strength() {
+        assert!(ProtectionLevel::None < ProtectionLevel::Application);
+        assert!(ProtectionLevel::Kernel < ProtectionLevel::Integrated);
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(ProtectionLevel::Integrated.to_string(), "integrated");
+    }
+}

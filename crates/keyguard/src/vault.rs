@@ -1,0 +1,164 @@
+//! [`KeyVault`] — a host-side home for a private key that applies the
+//! paper's discipline to real Rust programs: one canonical copy, scoped
+//! exposure, and guaranteed wiping of every serialized form.
+
+use crate::host::SecretBuf;
+use rsa_repro::{RsaError, RsaPrivateKey, RsaPublicKey};
+
+/// Holds one RSA private key and rations access to it.
+///
+/// Design rules, mirroring `RSA_memory_align()`'s intent:
+///
+/// * the key's serialized (DER) form only ever lives inside [`SecretBuf`]s
+///   that wipe on drop;
+/// * callers operate on the key through short-lived closures
+///   ([`Self::with_key`]) instead of holding long-lived clones;
+/// * the public half is freely available — it is not a secret;
+/// * rotation wipes the old serialized material before the new key is
+///   installed.
+///
+/// # Examples
+///
+/// ```
+/// use keyguard::KeyVault;
+/// use rsa_repro::RsaPrivateKey;
+/// use simrng::Rng64;
+///
+/// let key = RsaPrivateKey::generate(256, &mut Rng64::new(1));
+/// let vault = KeyVault::new(key);
+/// let sig = vault.with_key(|k| k.sign_pkcs1(b"msg"))?;
+/// assert!(vault.public_key().verify_pkcs1(b"msg", &sig));
+/// # Ok::<(), rsa_repro::RsaError>(())
+/// ```
+#[derive(Debug)]
+pub struct KeyVault {
+    key: RsaPrivateKey,
+    public: RsaPublicKey,
+    ops: std::cell::Cell<u64>,
+}
+
+impl KeyVault {
+    /// Installs a key in the vault.
+    #[must_use]
+    pub fn new(key: RsaPrivateKey) -> Self {
+        let public = key.public_key();
+        Self {
+            key,
+            public,
+            ops: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Parses a PEM file whose text is subsequently wiped by the caller's
+    /// `SecretBuf` (the decode allocates no lasting plaintext copies beyond
+    /// the vault's canonical key).
+    ///
+    /// # Errors
+    ///
+    /// Propagates PEM/DER parse failures.
+    pub fn from_pem_secret(pem: &SecretBuf) -> Result<Self, RsaError> {
+        let text = std::str::from_utf8(pem.expose())
+            .map_err(|_| RsaError::Pem(rsa_repro::PemError::BadBase64))?;
+        Ok(Self::new(RsaPrivateKey::from_pem(text)?))
+    }
+
+    /// The public half — not secret, clone freely.
+    #[must_use]
+    pub fn public_key(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// Runs `f` with scoped access to the private key.
+    ///
+    /// The closure discipline makes key usage auditable: every private-key
+    /// operation in a program goes through a `with_key` call site, and the
+    /// vault counts them.
+    pub fn with_key<T>(&self, f: impl FnOnce(&RsaPrivateKey) -> T) -> T {
+        self.ops.set(self.ops.get() + 1);
+        f(&self.key)
+    }
+
+    /// Number of scoped accesses so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.ops.get()
+    }
+
+    /// Exports the key as DER inside a wiping buffer.
+    #[must_use]
+    pub fn export_der(&self) -> SecretBuf {
+        SecretBuf::from_vec(self.key.to_der())
+    }
+
+    /// Exports the key as PEM inside a wiping buffer.
+    #[must_use]
+    pub fn export_pem(&self) -> SecretBuf {
+        SecretBuf::from_vec(self.key.to_pem().into_bytes())
+    }
+
+    /// Replaces the key, returning the old one for the caller to retire.
+    /// (The vault cannot wipe the returned key's bignum internals itself —
+    /// dropping it releases the memory; pair rotation with an allocator-level
+    /// zeroing policy, as the paper does, for full coverage.)
+    pub fn rotate(&mut self, new_key: RsaPrivateKey) -> RsaPrivateKey {
+        self.public = new_key.public_key();
+        self.ops.set(0);
+        std::mem::replace(&mut self.key, new_key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrng::Rng64;
+
+    fn key(seed: u64) -> RsaPrivateKey {
+        RsaPrivateKey::generate(256, &mut Rng64::new(seed))
+    }
+
+    #[test]
+    fn scoped_access_signs_and_counts() {
+        let vault = KeyVault::new(key(1));
+        assert_eq!(vault.accesses(), 0);
+        let sig = vault.with_key(|k| k.sign_pkcs1(b"audit me")).unwrap();
+        assert!(vault.public_key().verify_pkcs1(b"audit me", &sig));
+        assert_eq!(vault.accesses(), 1);
+        vault.with_key(|_| ());
+        assert_eq!(vault.accesses(), 2);
+    }
+
+    #[test]
+    fn export_round_trips_through_secret_buffers() {
+        let k = key(2);
+        let vault = KeyVault::new(k.clone());
+        let der = vault.export_der();
+        assert_eq!(RsaPrivateKey::from_der(der.expose()).unwrap(), k);
+        let pem = vault.export_pem();
+        let restored = KeyVault::from_pem_secret(&pem).unwrap();
+        assert_eq!(restored.public_key(), vault.public_key());
+    }
+
+    #[test]
+    fn from_pem_secret_rejects_garbage() {
+        let junk = SecretBuf::from_slice(&[0xFF, 0xFE, 0x00, 0x01]);
+        assert!(KeyVault::from_pem_secret(&junk).is_err());
+        let not_pem = SecretBuf::from_slice(b"hello world");
+        assert!(KeyVault::from_pem_secret(&not_pem).is_err());
+    }
+
+    #[test]
+    fn rotation_swaps_keys_and_resets_audit() {
+        let old = key(3);
+        let new = key(4);
+        let mut vault = KeyVault::new(old.clone());
+        vault.with_key(|_| ());
+        let retired = vault.rotate(new.clone());
+        assert_eq!(retired, old);
+        assert_eq!(vault.accesses(), 0);
+        assert_eq!(vault.public_key(), &new.public_key());
+        // New key signs; old key's signatures no longer verify.
+        let sig = vault.with_key(|k| k.sign_pkcs1(b"post-rotate")).unwrap();
+        assert!(vault.public_key().verify_pkcs1(b"post-rotate", &sig));
+        assert!(!old.public_key().verify_pkcs1(b"post-rotate", &sig) || old == new);
+    }
+}

@@ -1,0 +1,519 @@
+//! Locating cryptographic keys in (simulated) memory.
+//!
+//! This crate reimplements the paper's `scanmemory` loadable kernel module
+//! (Section 3.1 and the appendix): a linear, O(n) sweep of physical memory
+//! for the byte patterns that constitute "a copy of the private key" (d, P,
+//! Q, and the PEM file), with each hit attributed to the processes that map
+//! the containing page via the reverse mapping, and classified as living in
+//! *allocated* or *unallocated* memory.
+//!
+//! # Examples
+//!
+//! ```
+//! use keyscan::Scanner;
+//! use memsim::{Kernel, MachineConfig};
+//! use rsa_repro::{material::KeyMaterial, RsaPrivateKey};
+//! use simrng::Rng64;
+//!
+//! let key = RsaPrivateKey::generate(128, &mut Rng64::new(1));
+//! let material = KeyMaterial::from_key(&key);
+//! let scanner = Scanner::from_material(&material);
+//!
+//! let mut k = Kernel::new(MachineConfig::small());
+//! let pid = k.spawn();
+//! let buf = k.heap_alloc(pid, material.d_bytes().len()).unwrap();
+//! k.write_bytes(pid, buf, material.d_bytes()).unwrap();
+//!
+//! let report = scanner.scan_kernel(&k);
+//! assert_eq!(report.total(), 1);
+//! assert_eq!(report.allocated(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod entropy;
+
+pub use entropy::{EntropyRegion, EntropyScanner};
+
+use memsim::{FrameId, FrameState, Kernel, Pid, PAGE_SIZE};
+use rsa_repro::material::{KeyMaterial, Pattern};
+
+/// A pattern match in a raw byte dump (no page metadata available).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawHit {
+    /// Index into the scanner's pattern list.
+    pub pattern: usize,
+    /// Pattern name (`"d"`, `"p"`, `"q"`, `"pem"`).
+    pub name: String,
+    /// Byte offset of the match start.
+    pub offset: usize,
+}
+
+/// A full or truncated prefix match found by [`Scanner::scan_bytes_partial`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialHit {
+    /// Index into the scanner's pattern list.
+    pub pattern: usize,
+    /// Pattern name.
+    pub name: String,
+    /// Byte offset of the match start.
+    pub offset: usize,
+    /// How many leading bytes of the pattern matched.
+    pub matched_len: usize,
+    /// Whether the entire pattern matched.
+    pub full: bool,
+}
+
+/// A pattern match in simulated physical memory, with page attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyHit {
+    /// Index into the scanner's pattern list.
+    pub pattern: usize,
+    /// Pattern name.
+    pub name: String,
+    /// Physical byte offset of the match start.
+    pub offset: usize,
+    /// Frame containing the match start.
+    pub frame: FrameId,
+    /// State of that frame.
+    pub state: FrameState,
+    /// Whether the frame counts as allocated memory (process, kernel, or
+    /// page cache) rather than free-list memory.
+    pub allocated: bool,
+    /// Processes mapping the frame (the paper's `printOwningProcesses`).
+    pub owners: Vec<Pid>,
+}
+
+/// Aggregated scan results for one snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanReport {
+    hits: Vec<KeyHit>,
+    num_patterns: usize,
+}
+
+impl ScanReport {
+    /// All hits, in ascending physical order.
+    #[must_use]
+    pub fn hits(&self) -> &[KeyHit] {
+        &self.hits
+    }
+
+    /// Total number of key copies found.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Copies found in allocated memory.
+    #[must_use]
+    pub fn allocated(&self) -> usize {
+        self.hits.iter().filter(|h| h.allocated).count()
+    }
+
+    /// Copies found in unallocated (free-list) memory.
+    #[must_use]
+    pub fn unallocated(&self) -> usize {
+        self.hits.iter().filter(|h| !h.allocated).count()
+    }
+
+    /// Hit counts per pattern index.
+    #[must_use]
+    pub fn by_pattern(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_patterns];
+        for h in &self.hits {
+            counts[h.pattern] += 1;
+        }
+        counts
+    }
+
+    /// `(physical_offset, allocated)` pairs — the data behind the paper's
+    /// "locations of keys in memory" scatter plots (Figures 5a, 6a, 9…27).
+    #[must_use]
+    pub fn locations(&self) -> Vec<(usize, bool)> {
+        self.hits.iter().map(|h| (h.offset, h.allocated)).collect()
+    }
+
+    /// Whether any full copy of the key was found at all.
+    #[must_use]
+    pub fn compromised(&self) -> bool {
+        !self.hits.is_empty()
+    }
+}
+
+/// The change between two scans of the same machine — how the paper's
+/// timeline observations (copies appearing under load, migrating from
+/// allocated to unallocated at process exit) are detected mechanically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanDiff {
+    /// Copies present only in the later scan.
+    pub appeared: Vec<KeyHit>,
+    /// Copies present only in the earlier scan.
+    pub disappeared: Vec<KeyHit>,
+    /// Copies at the same location whose allocation state flipped,
+    /// `(earlier, later)` — observation (4) of Figure 5 is exactly a wave of
+    /// allocated→unallocated entries here.
+    pub reclassified: Vec<(KeyHit, KeyHit)>,
+}
+
+impl ScanDiff {
+    /// Whether nothing changed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.appeared.is_empty() && self.disappeared.is_empty() && self.reclassified.is_empty()
+    }
+
+    /// Number of copies that moved from allocated to unallocated.
+    #[must_use]
+    pub fn freed_in_place(&self) -> usize {
+        self.reclassified
+            .iter()
+            .filter(|(before, after)| before.allocated && !after.allocated)
+            .count()
+    }
+}
+
+impl ScanReport {
+    /// Diffs this (earlier) report against a `later` one. Hits are matched
+    /// by `(pattern, physical offset)`.
+    #[must_use]
+    pub fn diff(&self, later: &ScanReport) -> ScanDiff {
+        use std::collections::HashMap;
+        let key = |h: &KeyHit| (h.pattern, h.offset);
+        let earlier: HashMap<_, &KeyHit> = self.hits.iter().map(|h| (key(h), h)).collect();
+        let later_map: HashMap<_, &KeyHit> = later.hits.iter().map(|h| (key(h), h)).collect();
+
+        let mut diff = ScanDiff::default();
+        for h in &later.hits {
+            match earlier.get(&key(h)) {
+                None => diff.appeared.push(h.clone()),
+                Some(old) if old.allocated != h.allocated => {
+                    diff.reclassified.push(((*old).clone(), h.clone()));
+                }
+                Some(_) => {}
+            }
+        }
+        for h in &self.hits {
+            if !later_map.contains_key(&key(h)) {
+                diff.disappeared.push(h.clone());
+            }
+        }
+        diff
+    }
+}
+
+/// Multi-pattern linear memory scanner.
+///
+/// Construction precomputes a 256-entry first-byte dispatch table so one pass
+/// checks all patterns, preserving the O(n) behaviour the paper reports
+/// (about 5 seconds for 256 MB on 2007 hardware).
+#[derive(Debug, Clone)]
+pub struct Scanner {
+    patterns: Vec<Pattern>,
+    /// For each possible first byte, the patterns starting with it.
+    dispatch: Vec<Vec<usize>>,
+}
+
+impl Scanner {
+    /// Builds a scanner for arbitrary patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `patterns` is empty.
+    #[must_use]
+    pub fn new(patterns: Vec<Pattern>) -> Self {
+        assert!(!patterns.is_empty(), "scanner needs at least one pattern");
+        let mut dispatch = vec![Vec::new(); 256];
+        for (i, p) in patterns.iter().enumerate() {
+            dispatch[p.bytes[0] as usize].push(i);
+        }
+        Self { patterns, dispatch }
+    }
+
+    /// Builds the paper's standard scanner over `(d, p, q, pem)`.
+    #[must_use]
+    pub fn from_material(material: &KeyMaterial) -> Self {
+        Self::new(material.patterns().to_vec())
+    }
+
+    /// The patterns being searched for.
+    #[must_use]
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Scans an arbitrary byte dump (an attacker's USB capture, a memory
+    /// dump, swap contents) and returns every match.
+    #[must_use]
+    pub fn scan_bytes(&self, haystack: &[u8]) -> Vec<RawHit> {
+        let mut hits = Vec::new();
+        for (offset, &b) in haystack.iter().enumerate() {
+            let candidates = &self.dispatch[b as usize];
+            if candidates.is_empty() {
+                continue;
+            }
+            for &pi in candidates {
+                let pat = &self.patterns[pi].bytes;
+                if haystack.len() - offset >= pat.len()
+                    && &haystack[offset..offset + pat.len()] == pat.as_slice()
+                {
+                    hits.push(RawHit {
+                        pattern: pi,
+                        name: self.patterns[pi].name.clone(),
+                        offset,
+                    });
+                }
+            }
+        }
+        hits
+    }
+
+    /// Number of full matches in a byte dump (cheaper than collecting hits).
+    #[must_use]
+    pub fn count_matches(&self, haystack: &[u8]) -> usize {
+        self.scan_bytes(haystack).len()
+    }
+
+    /// Scans for full *and partial* prefix matches of at least `min_len`
+    /// bytes, the way the paper's LKM reports "Partial match found" for runs
+    /// of at least `MIN = 5` machine words (20 bytes). Partial matches
+    /// matter because a truncated key fragment (e.g. a copy cut by a page
+    /// boundary or an overwrite) still narrows an attacker's search space.
+    ///
+    /// Full matches are reported with `matched_len == pattern length`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_len` is zero.
+    #[must_use]
+    pub fn scan_bytes_partial(&self, haystack: &[u8], min_len: usize) -> Vec<PartialHit> {
+        assert!(min_len > 0, "min_len must be positive");
+        let mut hits = Vec::new();
+        for (offset, &b) in haystack.iter().enumerate() {
+            for &pi in &self.dispatch[b as usize] {
+                let pat = &self.patterns[pi].bytes;
+                let avail = haystack.len() - offset;
+                let mut matched = 0usize;
+                while matched < pat.len()
+                    && matched < avail
+                    && haystack[offset + matched] == pat[matched]
+                {
+                    matched += 1;
+                }
+                if matched >= min_len.min(pat.len()) {
+                    hits.push(PartialHit {
+                        pattern: pi,
+                        name: self.patterns[pi].name.clone(),
+                        offset,
+                        matched_len: matched,
+                        full: matched == pat.len(),
+                    });
+                }
+            }
+        }
+        hits
+    }
+
+    /// Whether a dump contains at least one full key copy — "attack success"
+    /// in the paper's experiments.
+    #[must_use]
+    pub fn dump_compromises_key(&self, haystack: &[u8]) -> bool {
+        // Early-exit variant of scan_bytes.
+        for (offset, &b) in haystack.iter().enumerate() {
+            for &pi in &self.dispatch[b as usize] {
+                let pat = &self.patterns[pi].bytes;
+                if haystack.len() - offset >= pat.len()
+                    && &haystack[offset..offset + pat.len()] == pat.as_slice()
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Renders a report in the exact format the paper's LKM wrote to its
+    /// `/proc` entry:
+    ///
+    /// ```text
+    /// Full match found for q of size 64 bytes at: 000123456, in page: 000030, processes: 12 14
+    /// ```
+    ///
+    /// Kernel-owned and page-cache pages print `0` (the LKM's convention for
+    /// "the kernel"); free pages with no owner print `none`.
+    #[must_use]
+    pub fn proc_report(&self, report: &ScanReport) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("Request recieved\n"); // sic — the LKM's spelling
+        for h in report.hits() {
+            let size = self.patterns[h.pattern].bytes.len();
+            let _ = write!(
+                out,
+                "Full match found for {} of size {} bytes at: {:09}, in page: {:06}, processes:",
+                h.name, size, h.offset, h.frame.0
+            );
+            if h.owners.is_empty() {
+                if h.allocated {
+                    out.push_str(" 0");
+                } else {
+                    out.push_str(" none");
+                }
+            } else {
+                for p in &h.owners {
+                    let _ = write!(out, " {}", p.0);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Scans the simulated machine's entire physical memory, attributing
+    /// each match to its frame, owners, and allocation state — the full
+    /// `scanmemory` experience.
+    #[must_use]
+    pub fn scan_kernel(&self, kernel: &Kernel) -> ScanReport {
+        let raw = self.scan_bytes(kernel.phys());
+        let hits = raw
+            .into_iter()
+            .map(|r| {
+                let frame = FrameId(r.offset / PAGE_SIZE);
+                let view = kernel.frame_view(frame);
+                KeyHit {
+                    pattern: r.pattern,
+                    name: r.name,
+                    offset: r.offset,
+                    frame,
+                    state: view.state,
+                    allocated: view.state != FrameState::Free,
+                    owners: view.owners,
+                }
+            })
+            .collect();
+        ScanReport {
+            hits,
+            num_patterns: self.patterns.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(name: &str, bytes: &[u8]) -> Pattern {
+        Pattern::new(name, bytes.to_vec())
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pattern")]
+    fn empty_scanner_rejected() {
+        let _ = Scanner::new(vec![]);
+    }
+
+    #[test]
+    fn finds_single_pattern() {
+        let s = Scanner::new(vec![pat("a", b"SECRETKEY")]);
+        let hay = [b"xxxx".as_ref(), b"SECRETKEY", b"yy"].concat();
+        let hits = s.scan_bytes(&hay);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].offset, 4);
+        assert_eq!(hits[0].name, "a");
+    }
+
+    #[test]
+    fn finds_multiple_occurrences() {
+        let s = Scanner::new(vec![pat("a", b"ABCDEFGH")]);
+        let hay = [b"ABCDEFGH".as_ref(), b"..", b"ABCDEFGH"].concat();
+        assert_eq!(s.count_matches(&hay), 2);
+    }
+
+    #[test]
+    fn finds_overlapping_occurrences() {
+        let s = Scanner::new(vec![pat("a", b"AAAAAAAA")]);
+        let hay = vec![b'A'; 10];
+        // Positions 0, 1, 2 all match.
+        assert_eq!(s.count_matches(&hay), 3);
+    }
+
+    #[test]
+    fn distinguishes_patterns_with_shared_prefix() {
+        let s = Scanner::new(vec![pat("x", b"PREFIX_ONE"), pat("y", b"PREFIX_TWO")]);
+        let hay = b"..PREFIX_TWO..PREFIX_ONE..".to_vec();
+        let hits = s.scan_bytes(&hay);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].name, "y");
+        assert_eq!(hits[1].name, "x");
+    }
+
+    #[test]
+    fn no_false_positive_on_partial_match() {
+        let s = Scanner::new(vec![pat("a", b"SECRETKEY")]);
+        assert_eq!(s.count_matches(b"SECRETKE"), 0);
+        assert_eq!(s.count_matches(b"SECRETKExxxxxxx"), 0);
+        assert_eq!(s.count_matches(b""), 0);
+    }
+
+    #[test]
+    fn match_at_very_end() {
+        let s = Scanner::new(vec![pat("a", b"TAILBYTE")]);
+        let hay = [b"pad".as_ref(), b"TAILBYTE"].concat();
+        let hits = s.scan_bytes(&hay);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].offset, 3);
+    }
+
+    #[test]
+    fn dump_compromise_short_circuit_agrees_with_count() {
+        let s = Scanner::new(vec![pat("a", b"NEEDLE__")]);
+        assert!(!s.dump_compromises_key(b"nothing here"));
+        assert!(s.dump_compromises_key(b"...NEEDLE__..."));
+    }
+
+    #[test]
+    fn partial_scan_reports_truncated_prefixes() {
+        let s = Scanner::new(vec![pat("k", b"ABCDEFGHIJKLMNOP")]); // 16 bytes
+        // Full copy plus a 10-byte truncated prefix.
+        let hay = [b"..".as_ref(), b"ABCDEFGHIJKLMNOP", b"..", b"ABCDEFGHIJ", b"zz"].concat();
+        let hits = s.scan_bytes_partial(&hay, 8);
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].full);
+        assert_eq!(hits[0].matched_len, 16);
+        assert!(!hits[1].full);
+        assert_eq!(hits[1].matched_len, 10);
+        // A 4-byte fragment stays below the threshold.
+        let hits = s.scan_bytes_partial(b"..ABCD..", 8);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn partial_scan_handles_prefix_cut_by_end_of_dump() {
+        let s = Scanner::new(vec![pat("k", b"ABCDEFGHIJKLMNOP")]);
+        let hay = b"....ABCDEFGHIJ"; // dump truncates mid-pattern
+        let hits = s.scan_bytes_partial(hay, 8);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].matched_len, 10);
+        assert!(!hits[0].full);
+    }
+
+    #[test]
+    fn partial_scan_full_matches_agree_with_scan_bytes() {
+        let s = Scanner::new(vec![pat("k", b"NEEDLE__")]);
+        let hay = [b"NEEDLE__".as_ref(), b"..", b"NEEDLE__"].concat();
+        let full: Vec<usize> = s
+            .scan_bytes_partial(&hay, 8)
+            .into_iter()
+            .filter(|h| h.full)
+            .map(|h| h.offset)
+            .collect();
+        let direct: Vec<usize> = s.scan_bytes(&hay).into_iter().map(|h| h.offset).collect();
+        assert_eq!(full, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_len must be positive")]
+    fn partial_scan_zero_min_rejected() {
+        let s = Scanner::new(vec![pat("k", b"NEEDLE__")]);
+        let _ = s.scan_bytes_partial(b"x", 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Integration tests: scanner over the simulated kernel, reproducing the
+//! classification and attribution behaviours of Section 3.
+
+use keyscan::Scanner;
+use memsim::{Kernel, KernelPolicy, MachineConfig};
+use rsa_repro::{material::KeyMaterial, RsaPrivateKey};
+use simrng::Rng64;
+
+fn key_and_scanner(seed: u64) -> (RsaPrivateKey, KeyMaterial, Scanner) {
+    let key = RsaPrivateKey::generate(128, &mut Rng64::new(seed));
+    let material = KeyMaterial::from_key(&key);
+    let scanner = Scanner::from_material(&material);
+    (key, material, scanner)
+}
+
+#[test]
+fn clean_machine_has_no_hits() {
+    let (_, _, scanner) = key_and_scanner(1);
+    let k = Kernel::new(MachineConfig::small());
+    let report = scanner.scan_kernel(&k);
+    assert_eq!(report.total(), 0);
+    assert!(!report.compromised());
+}
+
+#[test]
+fn allocated_hit_attributed_to_owner() {
+    let (_, material, scanner) = key_and_scanner(2);
+    let mut k = Kernel::new(MachineConfig::small());
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, material.p_bytes().len()).unwrap();
+    k.write_bytes(pid, buf, material.p_bytes()).unwrap();
+
+    let report = scanner.scan_kernel(&k);
+    assert_eq!(report.total(), 1);
+    let hit = &report.hits()[0];
+    assert!(hit.allocated);
+    assert_eq!(hit.owners, vec![pid]);
+    assert_eq!(hit.name, "p");
+    assert_eq!(hit.state, memsim::FrameState::Anon);
+}
+
+#[test]
+fn shared_cow_page_lists_all_owners() {
+    let (_, material, scanner) = key_and_scanner(3);
+    let mut k = Kernel::new(MachineConfig::small());
+    let parent = k.spawn();
+    let buf = k.heap_alloc(parent, material.q_bytes().len()).unwrap();
+    k.write_bytes(parent, buf, material.q_bytes()).unwrap();
+    let c1 = k.fork(parent).unwrap();
+    let c2 = k.fork(parent).unwrap();
+
+    let report = scanner.scan_kernel(&k);
+    assert_eq!(report.total(), 1, "COW: still a single physical copy");
+    let owners = &report.hits()[0].owners;
+    assert_eq!(owners.len(), 3);
+    for p in [parent, c1, c2] {
+        assert!(owners.contains(&p));
+    }
+}
+
+#[test]
+fn unallocated_hit_after_exit() {
+    let (_, material, scanner) = key_and_scanner(4);
+    let mut k = Kernel::new(MachineConfig::small());
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, material.d_bytes().len()).unwrap();
+    k.write_bytes(pid, buf, material.d_bytes()).unwrap();
+    k.exit(pid).unwrap();
+
+    let report = scanner.scan_kernel(&k);
+    assert_eq!(report.total(), 1);
+    assert_eq!(report.unallocated(), 1);
+    assert_eq!(report.allocated(), 0);
+    assert!(report.hits()[0].owners.is_empty());
+}
+
+#[test]
+fn hardened_kernel_shows_no_unallocated_hits() {
+    let (_, material, scanner) = key_and_scanner(5);
+    let mut k = Kernel::new(MachineConfig::small().with_policy(KernelPolicy::hardened()));
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, material.d_bytes().len()).unwrap();
+    k.write_bytes(pid, buf, material.d_bytes()).unwrap();
+    k.exit(pid).unwrap();
+    assert_eq!(scanner.scan_kernel(&k).total(), 0);
+}
+
+#[test]
+fn pem_in_page_cache_is_counted_as_allocated() {
+    let (key, _, scanner) = key_and_scanner(6);
+    let mut k = Kernel::new(MachineConfig::small());
+    let pid = k.spawn();
+    let fid = k.create_file("/etc/ssh/host_key.pem", key.to_pem().as_bytes());
+    let (_buf, _len) = k.read_file(pid, fid, false).unwrap();
+
+    let report = scanner.scan_kernel(&k);
+    // PEM appears twice (cache + user buffer)...
+    let pem_hits: Vec<_> = report.hits().iter().filter(|h| h.name == "pem").collect();
+    assert_eq!(pem_hits.len(), 2);
+    assert!(pem_hits.iter().all(|h| h.allocated));
+    // ...one of them in the page cache with no process owner.
+    assert!(pem_hits
+        .iter()
+        .any(|h| h.state == memsim::FrameState::PageCache && h.owners.is_empty()));
+}
+
+#[test]
+fn by_pattern_counts_are_per_component() {
+    let (_, material, scanner) = key_and_scanner(7);
+    let mut k = Kernel::new(MachineConfig::small());
+    let pid = k.spawn();
+    // Two copies of p, one of q.
+    for bytes in [material.p_bytes(), material.p_bytes(), material.q_bytes()] {
+        let buf = k.heap_alloc(pid, bytes.len()).unwrap();
+        k.write_bytes(pid, buf, bytes).unwrap();
+    }
+    let report = scanner.scan_kernel(&k);
+    let counts = report.by_pattern();
+    // Order: d, p, q, pem.
+    assert_eq!(counts, vec![0, 2, 1, 0]);
+    assert_eq!(report.total(), 3);
+}
+
+#[test]
+fn locations_report_physical_offsets() {
+    let (_, material, scanner) = key_and_scanner(8);
+    let mut k = Kernel::new(MachineConfig::small());
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, material.d_bytes().len()).unwrap();
+    k.write_bytes(pid, buf, material.d_bytes()).unwrap();
+    let report = scanner.scan_kernel(&k);
+    let locs = report.locations();
+    assert_eq!(locs.len(), 1);
+    assert!(locs[0].0 < k.phys().len());
+    assert!(locs[0].1, "allocated");
+}
+
+#[test]
+fn scan_finds_match_spanning_page_boundary() {
+    let (_, material, scanner) = key_and_scanner(9);
+    let mut k = Kernel::new(MachineConfig::small());
+    let pid = k.spawn();
+    // Heap pages are physically contiguous only by accident; construct the
+    // straddle deliberately through a multi-page allocation on fresh frames
+    // (watermark allocation is sequential, so frames are adjacent).
+    let buf = k.heap_alloc(pid, 2 * memsim::PAGE_SIZE).unwrap();
+    let off = memsim::PAGE_SIZE as u64 - (material.q_bytes().len() / 2) as u64;
+    k.write_bytes(pid, buf.add(off), material.q_bytes()).unwrap();
+    let report = scanner.scan_kernel(&k);
+    assert_eq!(report.total(), 1, "straddling copy must still be found");
+}
+
+#[test]
+fn swap_dump_is_scannable() {
+    let (_, material, scanner) = key_and_scanner(10);
+    let mut k = Kernel::new(MachineConfig::small());
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, material.d_bytes().len()).unwrap();
+    k.write_bytes(pid, buf, material.d_bytes()).unwrap();
+    k.swap_out_pressure(usize::MAX);
+    assert!(scanner.dump_compromises_key(k.swap_bytes()));
+}
+
+#[test]
+fn proc_report_matches_lkm_format() {
+    let (_, material, scanner) = key_and_scanner(11);
+    let mut k = Kernel::new(MachineConfig::small());
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, material.q_bytes().len()).unwrap();
+    k.write_bytes(pid, buf, material.q_bytes()).unwrap();
+
+    let report = scanner.scan_kernel(&k);
+    let text = scanner.proc_report(&report);
+    // The LKM's header, typo preserved, then one attribution line.
+    assert!(text.starts_with("Request recieved\n"));
+    assert!(text.contains("Full match found for q of size"));
+    assert!(text.contains(&format!("processes: {}", pid.0)));
+    // Offsets are zero-padded like the LKM's %09u / %06u.
+    let line = text.lines().nth(1).unwrap();
+    let at = line.split("at: ").nth(1).unwrap();
+    assert_eq!(at.split(',').next().unwrap().len(), 9);
+
+    // Free-page hits print "none".
+    k.exit(pid).unwrap();
+    let report = scanner.scan_kernel(&k);
+    let text = scanner.proc_report(&report);
+    assert!(text.contains("processes: none"), "{text}");
+}
+
+#[test]
+fn proc_report_prints_zero_for_kernel_owned_pages() {
+    let (key, _, scanner) = key_and_scanner(12);
+    let mut k = Kernel::new(MachineConfig::small());
+    let pid = k.spawn();
+    let fid = k.create_file("key.pem", key.to_pem().as_bytes());
+    k.read_file(pid, fid, false).unwrap();
+    let report = scanner.scan_kernel(&k);
+    let text = scanner.proc_report(&report);
+    // The page-cache copy has no process owner: the LKM prints "0".
+    assert!(text.lines().any(|l| l.ends_with("processes: 0")), "{text}");
+}
+
+#[test]
+fn diff_detects_the_figure5_transitions() {
+    let (_, material, scanner) = key_and_scanner(13);
+    let mut k = Kernel::new(MachineConfig::small());
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, material.d_bytes().len()).unwrap();
+    k.write_bytes(pid, buf, material.d_bytes()).unwrap();
+    let t0 = scanner.scan_kernel(&k);
+
+    // Load appears: a second copy in a new process.
+    let pid2 = k.spawn();
+    let buf2 = k.heap_alloc(pid2, material.p_bytes().len()).unwrap();
+    k.write_bytes(pid2, buf2, material.p_bytes()).unwrap();
+    let t1 = scanner.scan_kernel(&k);
+    let d01 = t0.diff(&t1);
+    assert_eq!(d01.appeared.len(), 1);
+    assert!(d01.disappeared.is_empty());
+    assert!(d01.reclassified.is_empty());
+
+    // The first process exits: its copy migrates allocated→unallocated in
+    // place — observation (4).
+    k.exit(pid).unwrap();
+    let t2 = scanner.scan_kernel(&k);
+    let d12 = t1.diff(&t2);
+    assert_eq!(d12.freed_in_place(), 1);
+    assert!(d12.appeared.is_empty());
+    assert!(d12.disappeared.is_empty());
+    assert!(!d12.is_empty());
+
+    // Identity diff is empty.
+    assert!(t2.diff(&t2).is_empty());
+}

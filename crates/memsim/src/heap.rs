@@ -1,0 +1,306 @@
+//! A `malloc`-style first-fit heap for simulated processes.
+//!
+//! Chunk *metadata* lives host-side for simplicity; chunk *contents* live in
+//! simulated physical memory. The behaviour the paper cares about is
+//! preserved exactly: `free` does not clear the chunk's bytes, a later
+//! allocation may recycle them, and (optionally) fully-free trailing pages
+//! are trimmed back to the kernel with their contents intact.
+
+use crate::VAddr;
+use std::collections::BTreeMap;
+
+/// Allocation granularity in bytes.
+pub(crate) const CHUNK_ALIGN: u64 = 16;
+
+/// One heap chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Chunk {
+    size: u64,
+    free: bool,
+}
+
+/// Per-process heap state. Page mapping is managed by the kernel; this type
+/// only tracks chunk geometry inside `[base, brk)`.
+#[derive(Debug, Clone)]
+pub(crate) struct Heap {
+    base: u64,
+    brk: u64,
+    chunks: BTreeMap<u64, Chunk>,
+}
+
+/// Outcome of a free, telling the kernel whether trailing pages can be
+/// trimmed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FreeOutcome {
+    /// New break if the heap tail became releasable, i.e. pages in
+    /// `[new_brk_page_aligned, old_brk)` can be unmapped.
+    pub trim_to: Option<u64>,
+}
+
+impl Heap {
+    pub(crate) fn new(base: u64) -> Self {
+        Self {
+            base,
+            brk: base,
+            chunks: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn base(&self) -> u64 {
+        self.base
+    }
+
+    pub(crate) fn brk(&self) -> u64 {
+        self.brk
+    }
+
+    /// Finds space for `size` bytes. Returns the chunk address plus how many
+    /// bytes of *new* break growth the kernel must map (0 when recycling).
+    pub(crate) fn alloc(&mut self, size: u64) -> (VAddr, u64) {
+        let size = size.max(1).next_multiple_of(CHUNK_ALIGN);
+        // First fit over free chunks — recycled memory keeps its old bytes.
+        let candidate = self
+            .chunks
+            .iter()
+            .find(|(_, c)| c.free && c.size >= size)
+            .map(|(&a, &c)| (a, c));
+        if let Some((addr, chunk)) = candidate {
+            if chunk.size > size {
+                // Split: tail remains free.
+                self.chunks.insert(
+                    addr + size,
+                    Chunk {
+                        size: chunk.size - size,
+                        free: true,
+                    },
+                );
+            }
+            self.chunks.insert(addr, Chunk { size, free: false });
+            return (VAddr(addr), 0);
+        }
+        // Extend the break.
+        let addr = self.brk;
+        let new_brk = addr + size;
+        let old_mapped_end = self.brk.next_multiple_of(crate::PAGE_SIZE as u64);
+        let new_mapped_end = new_brk.next_multiple_of(crate::PAGE_SIZE as u64);
+        self.brk = new_brk;
+        self.chunks.insert(addr, Chunk { size, free: false });
+        (VAddr(addr), new_mapped_end - old_mapped_end)
+    }
+
+    /// Size of the live chunk starting at `addr`, if any.
+    pub(crate) fn chunk_size(&self, addr: VAddr) -> Option<u64> {
+        self.chunks
+            .get(&addr.0)
+            .filter(|c| !c.free)
+            .map(|c| c.size)
+    }
+
+    /// Marks the chunk at `addr` free and coalesces neighbours.
+    ///
+    /// Returns `Err(())` when `addr` is not the start of a live chunk.
+    pub(crate) fn free(&mut self, addr: VAddr, trim: bool) -> Result<FreeOutcome, ()> {
+        let addr = addr.0;
+        match self.chunks.get_mut(&addr) {
+            Some(c) if !c.free => c.free = true,
+            _ => return Err(()),
+        }
+        self.coalesce_around(addr);
+
+        if !trim {
+            return Ok(FreeOutcome { trim_to: None });
+        }
+        // If the topmost chunk is free and spans at least one whole page
+        // boundary, shrink the break (glibc M_TRIM_THRESHOLD behaviour, with
+        // threshold = 1 page so the effect is visible at simulation scale).
+        if let Some((&top_addr, top)) = self.chunks.iter().next_back() {
+            if top.free && top_addr + top.size == self.brk {
+                let keep_until = top_addr.next_multiple_of(crate::PAGE_SIZE as u64);
+                let old_mapped_end = self.brk.next_multiple_of(crate::PAGE_SIZE as u64);
+                if keep_until < old_mapped_end {
+                    self.chunks.remove(&top_addr);
+                    self.brk = top_addr;
+                    if self.brk > self.base {
+                        // Retain any sub-page remainder as a free chunk.
+                        // (top_addr may be mid-page; pages below keep_until
+                        // stay mapped.)
+                    }
+                    return Ok(FreeOutcome {
+                        trim_to: Some(keep_until),
+                    });
+                }
+            }
+        }
+        Ok(FreeOutcome { trim_to: None })
+    }
+
+    fn coalesce_around(&mut self, addr: u64) {
+        // Merge with the next chunk when both free.
+        let cur = self.chunks[&addr];
+        if let Some((&next_addr, &next)) = self.chunks.range(addr + 1..).next() {
+            if next.free && addr + cur.size == next_addr {
+                self.chunks.remove(&next_addr);
+                self.chunks.insert(
+                    addr,
+                    Chunk {
+                        size: cur.size + next.size,
+                        free: true,
+                    },
+                );
+            }
+        }
+        // Merge with the previous chunk when both free.
+        if let Some((&prev_addr, &prev)) = self.chunks.range(..addr).next_back() {
+            if prev.free && prev_addr + prev.size == addr {
+                let cur = self.chunks.remove(&addr).expect("chunk exists");
+                self.chunks.insert(
+                    prev_addr,
+                    Chunk {
+                        size: prev.size + cur.size,
+                        free: true,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Total bytes in live (non-free) chunks.
+    pub(crate) fn live_bytes(&self) -> u64 {
+        self.chunks
+            .values()
+            .filter(|c| !c.free)
+            .map(|c| c.size)
+            .sum()
+    }
+
+    /// Number of live chunks.
+    pub(crate) fn live_chunks(&self) -> usize {
+        self.chunks.values().filter(|c| !c.free).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAGE_SIZE;
+
+    #[test]
+    fn alloc_grows_break_and_reports_new_pages() {
+        let mut h = Heap::new(0x1000_0000);
+        let (a, grow) = h.alloc(100);
+        assert_eq!(a.0, 0x1000_0000);
+        assert_eq!(grow, PAGE_SIZE as u64); // first allocation maps one page
+        let (b, grow2) = h.alloc(100);
+        assert!(b.0 > a.0);
+        assert_eq!(grow2, 0); // still inside the first page
+    }
+
+    #[test]
+    fn sizes_round_up_to_alignment() {
+        let mut h = Heap::new(0);
+        let (a, _) = h.alloc(1);
+        let (b, _) = h.alloc(1);
+        assert_eq!(b.0 - a.0, CHUNK_ALIGN);
+    }
+
+    #[test]
+    fn free_then_alloc_recycles_same_address() {
+        let mut h = Heap::new(0x1000);
+        let (a, _) = h.alloc(64);
+        let (_b, _) = h.alloc(64); // prevents trimming a from the top
+        h.free(a, false).unwrap();
+        let (c, grow) = h.alloc(64);
+        assert_eq!(c, a, "first-fit must recycle the freed chunk");
+        assert_eq!(grow, 0);
+    }
+
+    #[test]
+    fn split_leaves_free_tail() {
+        let mut h = Heap::new(0);
+        let (a, _) = h.alloc(256);
+        let (_guard, _) = h.alloc(16);
+        h.free(a, false).unwrap();
+        let (b, _) = h.alloc(64);
+        assert_eq!(b, a);
+        // Remaining 192 bytes should be allocatable without growing.
+        let (c, grow) = h.alloc(192);
+        assert_eq!(c.0, a.0 + 64);
+        assert_eq!(grow, 0);
+    }
+
+    #[test]
+    fn double_free_is_error() {
+        let mut h = Heap::new(0);
+        let (a, _) = h.alloc(32);
+        assert!(h.free(a, false).is_ok());
+        assert!(h.free(a, false).is_err());
+        assert!(h.free(VAddr(0xdead), false).is_err());
+    }
+
+    #[test]
+    fn coalescing_merges_neighbours() {
+        let mut h = Heap::new(0);
+        let (a, _) = h.alloc(32);
+        let (b, _) = h.alloc(32);
+        let (c, _) = h.alloc(32);
+        let (_guard, _) = h.alloc(16);
+        h.free(a, false).unwrap();
+        h.free(c, false).unwrap();
+        h.free(b, false).unwrap(); // merges a+b+c into one 96-byte chunk
+        let (d, grow) = h.alloc(96);
+        assert_eq!(d, a);
+        assert_eq!(grow, 0);
+    }
+
+    #[test]
+    fn trim_releases_trailing_pages() {
+        let mut h = Heap::new(0x2000_0000);
+        let (big, _) = h.alloc(3 * PAGE_SIZE as u64);
+        let out = h.free(big, true).unwrap();
+        // Entire tail was free: everything above the (page-aligned) base can go.
+        assert_eq!(out.trim_to, Some(0x2000_0000));
+        assert_eq!(h.brk(), 0x2000_0000);
+    }
+
+    #[test]
+    fn trim_disabled_keeps_pages() {
+        let mut h = Heap::new(0x2000_0000);
+        let (big, _) = h.alloc(3 * PAGE_SIZE as u64);
+        let out = h.free(big, false).unwrap();
+        assert_eq!(out.trim_to, None);
+    }
+
+    #[test]
+    fn trim_respects_live_data_below() {
+        let mut h = Heap::new(0x1000);
+        let (_keep, _) = h.alloc(64);
+        let (big, _) = h.alloc(2 * PAGE_SIZE as u64);
+        let out = h.free(big, true).unwrap();
+        let trim_to = out.trim_to.expect("tail should trim");
+        // The page holding the live 64-byte chunk must stay mapped.
+        assert!(trim_to >= 0x1000 + 64);
+        assert_eq!(trim_to % PAGE_SIZE as u64, 0);
+    }
+
+    #[test]
+    fn live_accounting() {
+        let mut h = Heap::new(0);
+        assert_eq!(h.live_bytes(), 0);
+        let (a, _) = h.alloc(32);
+        let (_b, _) = h.alloc(32);
+        assert_eq!(h.live_bytes(), 64);
+        assert_eq!(h.live_chunks(), 2);
+        h.free(a, false).unwrap();
+        assert_eq!(h.live_bytes(), 32);
+        assert_eq!(h.live_chunks(), 1);
+    }
+
+    #[test]
+    fn chunk_size_reports_live_only() {
+        let mut h = Heap::new(0);
+        let (a, _) = h.alloc(40);
+        assert_eq!(h.chunk_size(a), Some(48)); // rounded to 16
+        h.free(a, false).unwrap();
+        assert_eq!(h.chunk_size(a), None);
+    }
+}

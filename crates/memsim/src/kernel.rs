@@ -1,0 +1,1048 @@
+//! The simulated kernel: owns physical memory, the page allocator, processes,
+//! the page cache, and the swap device, and implements the paper's zeroing
+//! policies and `O_NOCACHE` semantics.
+
+use crate::alloc::FreeLists;
+use crate::process::{Process, VmaKind, SPECIAL_BASE};
+use crate::slab::{class_for, SlabAllocator};
+use crate::vfs::Vfs;
+use crate::KObj;
+use crate::{
+    FileId, FrameId, FrameState, MachineConfig, Pid, SimError, SimResult, VAddr, PAGE_SIZE,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-frame metadata (the simulated `struct page`).
+#[derive(Debug, Clone)]
+struct Frame {
+    state: FrameState,
+    refcount: u32,
+    locked: bool,
+    /// Reverse mappings: which `(pid, vpn)` pairs map this frame. This is the
+    /// information the paper's `scanmemory` module recovers through
+    /// `page_lock_anon_vma` + `for_each_process`.
+    mappings: Vec<(Pid, u64)>,
+    /// For page-cache frames: which file page this caches.
+    cache_key: Option<(FileId, u64)>,
+}
+
+impl Frame {
+    fn free() -> Self {
+        Self {
+            state: FrameState::Free,
+            refcount: 0,
+            locked: false,
+            mappings: Vec::new(),
+            cache_key: None,
+        }
+    }
+}
+
+/// Read-only view of one frame's metadata, for scanners and assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameView {
+    /// Current allocation state.
+    pub state: FrameState,
+    /// Number of address spaces (or kernel users) holding the frame.
+    pub refcount: u32,
+    /// Whether the frame is mlocked.
+    pub locked: bool,
+    /// Processes mapping the frame (empty for kernel/page-cache frames).
+    pub owners: Vec<Pid>,
+    /// The cached file, when this is a page-cache frame.
+    pub cache_file: Option<FileId>,
+}
+
+/// Event counters exposed for tests, ablations, and the performance model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// `fork` calls completed.
+    pub forks: u64,
+    /// Processes torn down.
+    pub exits: u64,
+    /// Copy-on-write faults that duplicated a frame.
+    pub cow_breaks: u64,
+    /// Pages cleared by any policy or by `O_NOCACHE` eviction.
+    pub pages_zeroed: u64,
+    /// Frames handed out by the page allocator.
+    pub frames_allocated: u64,
+    /// Frames returned to the free lists.
+    pub frames_freed: u64,
+    /// User heap allocations served.
+    pub heap_allocs: u64,
+    /// User heap frees served.
+    pub heap_frees: u64,
+    /// Page-cache fills.
+    pub cache_inserts: u64,
+    /// Page-cache evictions.
+    pub cache_evictions: u64,
+    /// Pages copied to the swap device.
+    pub swap_writes: u64,
+    /// kmalloc objects handed out.
+    pub kmallocs: u64,
+    /// kmalloc objects freed (back to their slab, not the page allocator).
+    pub kfrees: u64,
+}
+
+/// The simulated machine. See the crate docs for an overview.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    config: MachineConfig,
+    phys: Vec<u8>,
+    frames: Vec<Frame>,
+    free: FreeLists,
+    procs: BTreeMap<Pid, Process>,
+    next_pid: u32,
+    vfs: Vfs,
+    page_cache: HashMap<(FileId, u64), FrameId>,
+    swap: Vec<u8>,
+    slab: SlabAllocator,
+    stats: KernelStats,
+}
+
+impl Kernel {
+    /// Boots a machine with the given configuration.
+    #[must_use]
+    pub fn new(config: MachineConfig) -> Self {
+        let num_frames = config.num_frames();
+        Self {
+            config,
+            phys: vec![0u8; num_frames * PAGE_SIZE],
+            frames: vec![Frame::free(); num_frames],
+            free: FreeLists::new(num_frames, config.hot_list_max),
+            procs: BTreeMap::new(),
+            next_pid: 1,
+            vfs: Vfs::default(),
+            page_cache: HashMap::new(),
+            swap: Vec::new(),
+            slab: SlabAllocator::default(),
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Event counters accumulated since boot.
+    #[must_use]
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Raw simulated physical memory — what a memory-disclosure attack sees.
+    #[must_use]
+    pub fn phys(&self) -> &[u8] {
+        &self.phys
+    }
+
+    /// Number of physical page frames.
+    #[must_use]
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Frames currently available for allocation.
+    #[must_use]
+    pub fn available_frames(&self) -> usize {
+        self.free.available()
+    }
+
+    /// Frames sitting on a free list with possibly-stale contents.
+    #[must_use]
+    pub fn free_listed_frames(&self) -> usize {
+        self.free.listed()
+    }
+
+    /// The bytes of one frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    #[must_use]
+    pub fn frame_bytes(&self, f: FrameId) -> &[u8] {
+        &self.phys[f.base()..f.base() + PAGE_SIZE]
+    }
+
+    /// Metadata view of one frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    #[must_use]
+    pub fn frame_view(&self, f: FrameId) -> FrameView {
+        let fr = &self.frames[f.0];
+        let mut owners: Vec<Pid> = fr.mappings.iter().map(|&(p, _)| p).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        FrameView {
+            state: fr.state,
+            refcount: fr.refcount,
+            locked: fr.locked,
+            owners,
+            cache_file: fr.cache_key.map(|(fid, _)| fid),
+        }
+    }
+
+    /// Whether the frame currently belongs to *allocated* memory in the
+    /// paper's sense (process, kernel, or page cache), as opposed to the free
+    /// lists.
+    #[must_use]
+    pub fn is_allocated(&self, f: FrameId) -> bool {
+        self.frames[f.0].state != FrameState::Free
+    }
+
+    // ------------------------------------------------------------------
+    // Page allocator
+    // ------------------------------------------------------------------
+
+    fn zero_frame(&mut self, f: FrameId) {
+        self.phys[f.base()..f.base() + PAGE_SIZE].fill(0);
+        self.stats.pages_zeroed += 1;
+    }
+
+    /// Core allocation path. Anonymous and page-cache pages are cleared on
+    /// allocation (as real kernels clear pages destined for user space);
+    /// kernel pages are *not* — that omission is the ext2 leak.
+    ///
+    /// When the free lists run dry, the allocator reclaims page-cache frames
+    /// (ordinary memory-pressure eviction — which does *not* clear the
+    /// evicted contents on a stock kernel, another data-lifetime hazard).
+    fn alloc_frame(&mut self, state: FrameState) -> SimResult<FrameId> {
+        debug_assert_ne!(state, FrameState::Free);
+        if self.free.available() == 0 {
+            self.reclaim_page_cache(1);
+        }
+        let f = self.free.alloc().ok_or(SimError::OutOfMemory)?;
+        self.stats.frames_allocated += 1;
+        if matches!(state, FrameState::Anon | FrameState::PageCache) {
+            self.zero_frame(f);
+        }
+        let fr = &mut self.frames[f.0];
+        fr.state = state;
+        fr.refcount = 1;
+        fr.locked = false;
+        fr.mappings.clear();
+        fr.cache_key = None;
+        Ok(f)
+    }
+
+    /// Returns a frame to the free lists, applying `zero_on_free`.
+    fn free_frame(&mut self, f: FrameId) {
+        if self.config.policy.zero_on_free {
+            self.zero_frame(f);
+        }
+        let fr = &mut self.frames[f.0];
+        debug_assert_ne!(fr.state, FrameState::Free, "double free of {f}");
+        fr.state = FrameState::Free;
+        fr.refcount = 0;
+        fr.locked = false;
+        fr.mappings.clear();
+        fr.cache_key = None;
+        self.free.free(f);
+        self.stats.frames_freed += 1;
+    }
+
+    /// Allocates `n` kernel pages (e.g. ext2 directory block buffers). Their
+    /// contents are whatever the previous owner left there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] when physical memory is exhausted.
+    pub fn alloc_kernel_pages(&mut self, n: usize) -> SimResult<Vec<FrameId>> {
+        self.ensure_free_frames(n)?;
+        (0..n).map(|_| self.alloc_frame(FrameState::Kernel)).collect()
+    }
+
+    /// Frees kernel pages obtained from [`Self::alloc_kernel_pages`].
+    pub fn free_kernel_pages(&mut self, frames: &[FrameId]) {
+        for &f in frames {
+            self.free_frame(f);
+        }
+    }
+
+    /// Writes into a kernel page (e.g. the dirent header the ext2 exploit
+    /// leaves at the start of each leaked block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the page or the frame is not kernel-owned.
+    pub fn write_kernel_page(&mut self, f: FrameId, offset: usize, bytes: &[u8]) {
+        assert_eq!(self.frames[f.0].state, FrameState::Kernel, "not a kernel page");
+        assert!(offset + bytes.len() <= PAGE_SIZE, "write beyond page");
+        self.phys[f.base() + offset..f.base() + offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    // ------------------------------------------------------------------
+    // Processes
+    // ------------------------------------------------------------------
+
+    /// Creates a fresh process with an empty address space.
+    pub fn spawn(&mut self) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(pid, Process::new(None));
+        pid
+    }
+
+    /// Whether `pid` names a live process.
+    #[must_use]
+    pub fn alive(&self, pid: Pid) -> bool {
+        self.procs.contains_key(&pid)
+    }
+
+    /// Live process ids, ascending.
+    #[must_use]
+    pub fn processes(&self) -> Vec<Pid> {
+        self.procs.keys().copied().collect()
+    }
+
+    fn proc(&self, pid: Pid) -> SimResult<&Process> {
+        self.procs.get(&pid).ok_or(SimError::NoSuchProcess(pid))
+    }
+
+    fn proc_mut(&mut self, pid: Pid) -> SimResult<&mut Process> {
+        self.procs.get_mut(&pid).ok_or(SimError::NoSuchProcess(pid))
+    }
+
+    /// Forks `parent`, sharing every mapped page copy-on-write.
+    ///
+    /// No physical page is duplicated until one side writes — the property
+    /// the paper's `RSA_memory_align` exploits to keep exactly one physical
+    /// copy of the key across any number of worker processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchProcess`] when `parent` is not alive.
+    pub fn fork(&mut self, parent: Pid) -> SimResult<Pid> {
+        let child_pid = Pid(self.next_pid);
+        let parent_proc = self.procs.get_mut(&parent).ok_or(SimError::NoSuchProcess(parent))?;
+        self.next_pid += 1;
+
+        let mut child = Process::new(Some(parent));
+        child.heap = parent_proc.heap.clone();
+        child.next_special = parent_proc.next_special;
+        child.vma_kind = parent_proc.vma_kind.clone();
+        child.locked_vpns = parent_proc.locked_vpns.clone();
+
+        // Share all pages COW.
+        let mut entries: Vec<(u64, crate::process::Pte)> = Vec::new();
+        for (&vpn, pte) in parent_proc.page_table.iter_mut() {
+            pte.cow = true;
+            entries.push((vpn, *pte));
+        }
+        for (vpn, pte) in entries {
+            child.page_table.insert(vpn, pte);
+            let fr = &mut self.frames[pte.frame.0];
+            fr.refcount += 1;
+            fr.mappings.push((child_pid, vpn));
+        }
+        self.procs.insert(child_pid, child);
+        self.stats.forks += 1;
+        Ok(child_pid)
+    }
+
+    /// Unmaps one page from a process, applying `zero_on_unmap` when the
+    /// process held the last reference, and freeing the frame when the
+    /// reference count reaches zero.
+    fn unmap_page(&mut self, pid: Pid, vpn: u64, frame: FrameId) {
+        let fr = &mut self.frames[frame.0];
+        fr.mappings.retain(|&(p, v)| !(p == pid && v == vpn));
+        fr.refcount = fr.refcount.saturating_sub(1);
+        let now_free = fr.refcount == 0;
+        if now_free {
+            if self.config.policy.zero_on_unmap {
+                // The zap_pte_range patch clears when page_count == 1.
+                self.zero_frame(frame);
+            }
+            self.free_frame(frame);
+        }
+    }
+
+    /// Terminates a process, unmapping its whole address space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchProcess`] when `pid` is not alive.
+    pub fn exit(&mut self, pid: Pid) -> SimResult<()> {
+        let proc = self.procs.remove(&pid).ok_or(SimError::NoSuchProcess(pid))?;
+        for (vpn, pte) in proc.page_table {
+            self.unmap_page(pid, vpn, pte.frame);
+        }
+        self.stats.exits += 1;
+        Ok(())
+    }
+
+    /// Resolves a virtual address to its physical frame.
+    #[must_use]
+    pub fn translate(&self, pid: Pid, addr: VAddr) -> Option<FrameId> {
+        self.procs.get(&pid)?.pte(addr).map(|p| p.frame)
+    }
+
+    // ------------------------------------------------------------------
+    // User heap
+    // ------------------------------------------------------------------
+
+    /// `malloc(size)` for `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::NoSuchProcess`] or [`SimError::OutOfMemory`].
+    pub fn heap_alloc(&mut self, pid: Pid, size: usize) -> SimResult<VAddr> {
+        // Reserve a conservative page estimate before mutating heap state so
+        // OOM cannot leave the chunk map inconsistent; reclaim page cache
+        // first when the free lists are short.
+        let worst_pages = size / PAGE_SIZE + 2;
+        self.ensure_free_frames(worst_pages)?;
+        let proc = self.proc_mut(pid)?;
+        let (addr, grow_bytes) = proc.heap.alloc(size as u64);
+        if grow_bytes > 0 {
+            let first_new_vpn = {
+                // Pages [old mapped end, new mapped end) must be mapped.
+                let new_end = proc.heap.brk().next_multiple_of(PAGE_SIZE as u64);
+                (new_end - grow_bytes) / PAGE_SIZE as u64
+            };
+            let pages = (grow_bytes / PAGE_SIZE as u64) as usize;
+            for i in 0..pages {
+                let vpn = first_new_vpn + i as u64;
+                let frame = self.alloc_frame(FrameState::Anon)?;
+                self.frames[frame.0].mappings.push((pid, vpn));
+                let proc = self.proc_mut(pid)?;
+                proc.page_table.insert(
+                    vpn,
+                    crate::process::Pte {
+                        frame,
+                        cow: false,
+                        readonly: false,
+                    },
+                );
+                proc.vma_kind.insert(vpn, VmaKind::Heap);
+            }
+        }
+        self.stats.heap_allocs += 1;
+        Ok(addr)
+    }
+
+    /// Size in bytes of the live heap chunk at `addr`.
+    #[must_use]
+    pub fn heap_chunk_size(&self, pid: Pid, addr: VAddr) -> Option<usize> {
+        self.procs.get(&pid)?.heap.chunk_size(addr).map(|s| s as usize)
+    }
+
+    /// `free(addr)` for `pid`. The chunk's bytes are *not* cleared — this is
+    /// the data-lifetime hazard the paper measures. Trailing fully-free pages
+    /// are returned to the kernel when [`MachineConfig::heap_trim`] is set.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::BadFree`] for pointers that are not live chunk
+    /// starts (double frees included).
+    pub fn heap_free(&mut self, pid: Pid, addr: VAddr) -> SimResult<()> {
+        if self.config.secure_dealloc {
+            // Chow-style secure deallocation: the allocator clears the chunk
+            // before recycling it.
+            let size = self
+                .heap_chunk_size(pid, addr)
+                .ok_or(SimError::BadFree(addr))?;
+            let zeros = vec![0u8; size];
+            self.write_bytes(pid, addr, &zeros)?;
+        }
+        let trim = self.config.heap_trim;
+        let proc = self.proc_mut(pid)?;
+        let outcome = proc
+            .heap
+            .free(addr, trim)
+            .map_err(|()| SimError::BadFree(addr))?;
+        self.stats.heap_frees += 1;
+        if let Some(trim_to) = outcome.trim_to {
+            let first_vpn = trim_to / PAGE_SIZE as u64;
+            let proc = self.proc_mut(pid)?;
+            let doomed: Vec<(u64, FrameId)> = proc
+                .page_table
+                .range(first_vpn..)
+                .filter(|(vpn, _)| proc.vma_kind.get(vpn) == Some(&VmaKind::Heap))
+                .map(|(&vpn, pte)| (vpn, pte.frame))
+                .collect();
+            for (vpn, frame) in doomed {
+                let proc = self.proc_mut(pid)?;
+                proc.page_table.remove(&vpn);
+                proc.vma_kind.remove(&vpn);
+                proc.locked_vpns.remove(&vpn);
+                self.unmap_page(pid, vpn, frame);
+            }
+        }
+        Ok(())
+    }
+
+    /// `memset(addr, 0, chunk_size); free(addr)` — what a security-conscious
+    /// application does.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::heap_free`].
+    pub fn heap_free_zeroed(&mut self, pid: Pid, addr: VAddr) -> SimResult<()> {
+        let size = self
+            .heap_chunk_size(pid, addr)
+            .ok_or(SimError::BadFree(addr))?;
+        let zeros = vec![0u8; size];
+        self.write_bytes(pid, addr, &zeros)?;
+        self.heap_free(pid, addr)
+    }
+
+    // ------------------------------------------------------------------
+    // Special (page-aligned, lockable) regions
+    // ------------------------------------------------------------------
+
+    /// Allocates a page-aligned special region of `npages` pages — the
+    /// simulated `posix_memalign`. The frames are zero-filled.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::NoSuchProcess`] or [`SimError::OutOfMemory`].
+    pub fn alloc_special_region(&mut self, pid: Pid, npages: usize) -> SimResult<VAddr> {
+        self.ensure_free_frames(npages)?;
+        let proc = self.proc_mut(pid)?;
+        let base = proc.next_special.max(SPECIAL_BASE);
+        // One guard page of address space between regions.
+        proc.next_special = base + ((npages as u64 + 1) * PAGE_SIZE as u64);
+        let first_vpn = base / PAGE_SIZE as u64;
+        for i in 0..npages {
+            let frame = self.alloc_frame(FrameState::Anon)?;
+            let vpn = first_vpn + i as u64;
+            self.frames[frame.0].mappings.push((pid, vpn));
+            let proc = self.proc_mut(pid)?;
+            proc.page_table.insert(
+                vpn,
+                crate::process::Pte {
+                    frame,
+                    cow: false,
+                    readonly: false,
+                },
+            );
+            proc.vma_kind.insert(vpn, VmaKind::Special);
+        }
+        Ok(VAddr(base))
+    }
+
+    /// Unmaps a special region previously returned by
+    /// [`Self::alloc_special_region`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::BadAddress`] when any page is unmapped.
+    pub fn free_special_region(&mut self, pid: Pid, base: VAddr, npages: usize) -> SimResult<()> {
+        let first_vpn = base.vpn();
+        for i in 0..npages as u64 {
+            let vpn = first_vpn + i;
+            let proc = self.proc_mut(pid)?;
+            let pte = proc
+                .page_table
+                .remove(&vpn)
+                .ok_or(SimError::BadAddress(VAddr(vpn * PAGE_SIZE as u64)))?;
+            proc.vma_kind.remove(&vpn);
+            proc.locked_vpns.remove(&vpn);
+            self.unmap_page(pid, vpn, pte.frame);
+        }
+        Ok(())
+    }
+
+    /// `mlock(addr, len)`: pins the covered frames so the swap path skips
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::BadAddress`] when any page is unmapped.
+    pub fn mlock(&mut self, pid: Pid, addr: VAddr, len: usize) -> SimResult<()> {
+        let first = addr.vpn();
+        let last = VAddr(addr.0 + len.max(1) as u64 - 1).vpn();
+        for vpn in first..=last {
+            let proc = self.proc_mut(pid)?;
+            let pte = *proc
+                .page_table
+                .get(&vpn)
+                .ok_or(SimError::BadAddress(VAddr(vpn * PAGE_SIZE as u64)))?;
+            proc.locked_vpns.insert(vpn);
+            self.frames[pte.frame.0].locked = true;
+        }
+        Ok(())
+    }
+
+    /// `mprotect(addr, len, PROT_READ)` / back to writable: toggles write
+    /// protection on the covered pages. With `readonly` set, any write
+    /// through [`Self::write_bytes`] faults with [`SimError::ReadOnly`] —
+    /// the enforcement the paper's `BN_FLG_STATIC_DATA` annotation implies
+    /// for the aligned key region.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::BadAddress`] when any page is unmapped.
+    pub fn mprotect_readonly(
+        &mut self,
+        pid: Pid,
+        addr: VAddr,
+        len: usize,
+        readonly: bool,
+    ) -> SimResult<()> {
+        let first = addr.vpn();
+        let last = VAddr(addr.0 + len.max(1) as u64 - 1).vpn();
+        let proc = self.proc_mut(pid)?;
+        // Validate all pages first so the change is all-or-nothing.
+        for vpn in first..=last {
+            if !proc.page_table.contains_key(&vpn) {
+                return Err(SimError::BadAddress(VAddr(vpn * PAGE_SIZE as u64)));
+            }
+        }
+        for vpn in first..=last {
+            if let Some(pte) = proc.page_table.get_mut(&vpn) {
+                pte.readonly = readonly;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Memory access
+    // ------------------------------------------------------------------
+
+    /// Writes `bytes` into the process address space, breaking copy-on-write
+    /// sharing as a real write fault would.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::BadAddress`] when any page is unmapped, or
+    /// [`SimError::OutOfMemory`] when a COW duplication cannot find a frame.
+    pub fn write_bytes(&mut self, pid: Pid, addr: VAddr, bytes: &[u8]) -> SimResult<()> {
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let cur = addr.add(off as u64);
+            let vpn = cur.vpn();
+            let page_off = cur.page_offset();
+            let n = (PAGE_SIZE - page_off).min(bytes.len() - off);
+            let pte = self
+                .proc(pid)?
+                .page_table
+                .get(&vpn)
+                .copied()
+                .ok_or(SimError::BadAddress(cur))?;
+            if pte.readonly {
+                return Err(SimError::ReadOnly(cur));
+            }
+            let frame = if pte.cow {
+                self.cow_break(pid, vpn, pte)?
+            } else {
+                pte.frame
+            };
+            let base = frame.base() + page_off;
+            self.phys[base..base + n].copy_from_slice(&bytes[off..off + n]);
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Handles a write fault on a COW page.
+    fn cow_break(&mut self, pid: Pid, vpn: u64, pte: crate::process::Pte) -> SimResult<FrameId> {
+        if self.frames[pte.frame.0].refcount == 1 {
+            // Last owner: just drop the COW marking.
+            let proc = self.proc_mut(pid)?;
+            if let Some(p) = proc.page_table.get_mut(&vpn) {
+                p.cow = false;
+            }
+            return Ok(pte.frame);
+        }
+        // Shared: duplicate the frame. This byte copy is precisely how key
+        // material multiplies across worker processes.
+        let new = self.alloc_frame(FrameState::Anon)?;
+        let (src, dst) = (pte.frame.base(), new.base());
+        let (lo, hi) = if src < dst { (src, dst) } else { (dst, src) };
+        let (a, b) = self.phys.split_at_mut(hi);
+        if src < dst {
+            b[..PAGE_SIZE].copy_from_slice(&a[lo..lo + PAGE_SIZE]);
+        } else {
+            a[lo..lo + PAGE_SIZE].copy_from_slice(&b[..PAGE_SIZE]);
+        }
+        {
+            let old = &mut self.frames[pte.frame.0];
+            old.mappings.retain(|&(p, v)| !(p == pid && v == vpn));
+            old.refcount -= 1;
+        }
+        self.frames[new.0].mappings.push((pid, vpn));
+        let locked = {
+            let proc = self.proc_mut(pid)?;
+            if let Some(p) = proc.page_table.get_mut(&vpn) {
+                p.frame = new;
+                p.cow = false;
+            }
+            proc.locked_vpns.contains(&vpn)
+        };
+        self.frames[new.0].locked = locked;
+        self.stats.cow_breaks += 1;
+        Ok(new)
+    }
+
+    /// Reads `len` bytes from the process address space.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::BadAddress`] when any page is unmapped.
+    pub fn read_bytes(&self, pid: Pid, addr: VAddr, len: usize) -> SimResult<Vec<u8>> {
+        let mut out = Vec::with_capacity(len);
+        let mut off = 0usize;
+        while off < len {
+            let cur = addr.add(off as u64);
+            let pte = self
+                .proc(pid)?
+                .pte(cur)
+                .ok_or(SimError::BadAddress(cur))?;
+            let page_off = cur.page_offset();
+            let n = (PAGE_SIZE - page_off).min(len - off);
+            let base = pte.frame.base() + page_off;
+            out.extend_from_slice(&self.phys[base..base + n]);
+            off += n;
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Files and the page cache
+    // ------------------------------------------------------------------
+
+    /// Creates a file on the simulated disk.
+    pub fn create_file(&mut self, name: &str, content: &[u8]) -> FileId {
+        self.vfs.create(name, content.to_vec())
+    }
+
+    /// Length of a file's contents.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::NoSuchFile`].
+    pub fn file_len(&self, fid: FileId) -> SimResult<usize> {
+        Ok(self.vfs.get(fid).ok_or(SimError::NoSuchFile(fid))?.content.len())
+    }
+
+    /// Reads a whole file into a fresh heap buffer of `pid`, populating the
+    /// page cache on the way (unless already resident).
+    ///
+    /// With `nocache` set — the paper's `O_NOCACHE` flag — the file's cache
+    /// pages are removed and cleared immediately after the read, so the PEM
+    /// key file does not linger in kernel memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::NoSuchFile`], [`SimError::NoSuchProcess`], or
+    /// [`SimError::OutOfMemory`].
+    pub fn read_file(&mut self, pid: Pid, fid: FileId, nocache: bool) -> SimResult<(VAddr, usize)> {
+        let content = self
+            .vfs
+            .get(fid)
+            .ok_or(SimError::NoSuchFile(fid))?
+            .content
+            .clone();
+        let npages = content.len().div_ceil(PAGE_SIZE).max(1);
+        for idx in 0..npages as u64 {
+            if self.page_cache.contains_key(&(fid, idx)) {
+                continue;
+            }
+            let frame = self.alloc_frame(FrameState::PageCache)?;
+            let start = idx as usize * PAGE_SIZE;
+            let end = (start + PAGE_SIZE).min(content.len());
+            if start < content.len() {
+                self.phys[frame.base()..frame.base() + (end - start)]
+                    .copy_from_slice(&content[start..end]);
+            }
+            self.frames[frame.0].cache_key = Some((fid, idx));
+            self.page_cache.insert((fid, idx), frame);
+            self.stats.cache_inserts += 1;
+        }
+
+        let buf = self.heap_alloc(pid, content.len().max(1))?;
+        self.write_bytes(pid, buf, &content)?;
+
+        if nocache {
+            self.evict_file_cache(fid, true);
+        }
+        Ok((buf, content.len()))
+    }
+
+    /// Number of page-cache pages currently holding `fid`.
+    #[must_use]
+    pub fn file_cached_pages(&self, fid: FileId) -> usize {
+        self.page_cache.keys().filter(|(f, _)| *f == fid).count()
+    }
+
+    /// Ensures at least `want` frames are available, reclaiming page cache
+    /// as needed.
+    fn ensure_free_frames(&mut self, want: usize) -> SimResult<()> {
+        let have = self.free.available();
+        if have < want {
+            self.reclaim_page_cache(want - have);
+        }
+        if self.free.available() < want {
+            return Err(SimError::OutOfMemory);
+        }
+        Ok(())
+    }
+
+    /// Reclaims up to `n` page-cache frames under memory pressure (no
+    /// clearing beyond what the kernel policy mandates). Returns how many
+    /// frames were reclaimed.
+    pub fn reclaim_page_cache(&mut self, n: usize) -> usize {
+        let victims: Vec<(FileId, u64)> = self.page_cache.keys().take(n).copied().collect();
+        let count = victims.len();
+        for key in victims {
+            if let Some(frame) = self.page_cache.remove(&key) {
+                self.free_frame(frame);
+                self.stats.cache_evictions += 1;
+            }
+        }
+        count
+    }
+
+    /// Evicts a file from the page cache. With `clear`, pages are zeroed
+    /// before being freed (the `remove_from_page_cache` + `clear_highpage`
+    /// sequence of the paper's patch); without it, this models ordinary
+    /// memory-pressure reclaim, which leaves the bytes behind.
+    pub fn evict_file_cache(&mut self, fid: FileId, clear: bool) {
+        let doomed: Vec<(FileId, u64)> = self
+            .page_cache
+            .keys()
+            .filter(|(f, _)| *f == fid)
+            .copied()
+            .collect();
+        for key in doomed {
+            if let Some(frame) = self.page_cache.remove(&key) {
+                if clear {
+                    self.zero_frame(frame);
+                }
+                self.free_frame(frame);
+                self.stats.cache_evictions += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Slab (kmalloc) — see `slab.rs` for why this is a zeroing-policy gap
+    // ------------------------------------------------------------------
+
+    /// `kmalloc(size)`: a kernel object from the matching slab class. The
+    /// object's bytes are whatever the previous occupant left (real slabs do
+    /// not clear on alloc unless `__GFP_ZERO`).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::OutOfMemory`] when `size` exceeds the largest
+    /// class or no page can back a new slab.
+    pub fn kmalloc(&mut self, size: usize) -> SimResult<KObj> {
+        let class = class_for(size).ok_or(SimError::OutOfMemory)?;
+        if let Some(obj) = self.slab.take(class) {
+            self.stats.kmallocs += 1;
+            return Ok(obj);
+        }
+        let frame = self.alloc_frame(FrameState::Kernel)?;
+        self.slab.add_page(class, frame);
+        let obj = self.slab.take(class).expect("fresh slab page has objects");
+        self.stats.kmallocs += 1;
+        Ok(obj)
+    }
+
+    /// `kfree(obj)`: returns the object to its slab free list. **Its bytes
+    /// remain in place** — the page stays allocated, so not even the
+    /// `zero_on_free` policy touches them until [`Self::slab_shrink`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::BadFree`] on double frees.
+    pub fn kfree(&mut self, obj: KObj) -> SimResult<()> {
+        if !self.slab.give_back(obj) {
+            return Err(SimError::BadFree(VAddr(obj.offset as u64)));
+        }
+        self.stats.kfrees += 1;
+        Ok(())
+    }
+
+    /// Writes into a kmalloc'd object.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the write exceeds the object's size class.
+    pub fn kwrite(&mut self, obj: KObj, bytes: &[u8]) {
+        assert!(bytes.len() <= obj.capacity(), "kwrite beyond object");
+        let base = obj.frame.base() + obj.offset;
+        self.phys[base..base + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Reads a kmalloc'd object's full contents (stale bytes included —
+    /// which is precisely how slab infoleaks work).
+    #[must_use]
+    pub fn kread(&self, obj: KObj) -> Vec<u8> {
+        let base = obj.frame.base() + obj.offset;
+        self.phys[base..base + obj.capacity()].to_vec()
+    }
+
+    /// Shrinks the slab caches: fully-free slab pages are returned to the
+    /// page allocator, where the kernel zeroing policy finally applies.
+    /// Returns the number of pages released.
+    pub fn slab_shrink(&mut self) -> usize {
+        let reaped = self.slab.reap_empty_pages();
+        let n = reaped.len();
+        for f in reaped {
+            self.free_frame(f);
+        }
+        n
+    }
+
+    /// Pages currently owned by slab caches (allocated kernel memory).
+    #[must_use]
+    pub fn slab_pages(&self) -> usize {
+        self.slab.pages_owned()
+    }
+
+    /// Models data arriving through a tty line discipline: the kernel
+    /// buffers `bytes` in a kmalloc'd object (a `tty_buffer`), delivers it,
+    /// and frees the buffer — leaving the typed bytes (passphrases!) in the
+    /// slab until the object is reused or the slab shrunk.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::OutOfMemory`] for lines over 2048 bytes.
+    pub fn tty_input(&mut self, bytes: &[u8]) -> SimResult<()> {
+        let obj = self.kmalloc(bytes.len().max(1))?;
+        self.kwrite(obj, bytes);
+        // The reader consumed it; the buffer goes back to the slab dirty.
+        self.kfree(obj)
+    }
+
+    // ------------------------------------------------------------------
+    // Swap
+    // ------------------------------------------------------------------
+
+    /// Simulates memory pressure: copies up to `max_pages` unlocked anonymous
+    /// pages to the swap device, returning how many were written. `mlock`ed
+    /// pages are skipped — the protection the paper's solutions rely on.
+    pub fn swap_out_pressure(&mut self, max_pages: usize) -> usize {
+        let victims: Vec<FrameId> = (0..self.frames.len())
+            .filter(|&i| self.frames[i].state == FrameState::Anon && !self.frames[i].locked)
+            .map(FrameId)
+            .take(max_pages)
+            .collect();
+        for &f in &victims {
+            let base = f.base();
+            if self.config.swap_crypto {
+                // Provos-style swap encryption, modeled as a keyed stream
+                // cipher: the swap device only ever sees ciphertext.
+                let mut key = 0x5DEE_CE66_D1CE_5EEDu64 ^ (f.0 as u64).wrapping_mul(0x9E37_79B9);
+                let mut page = self.phys[base..base + PAGE_SIZE].to_vec();
+                for b in &mut page {
+                    key ^= key << 13;
+                    key ^= key >> 7;
+                    key ^= key << 17;
+                    *b ^= key as u8;
+                }
+                self.swap.extend_from_slice(&page);
+            } else {
+                self.swap.extend_from_slice(&self.phys[base..base + PAGE_SIZE]);
+            }
+            self.stats.swap_writes += 1;
+        }
+        victims.len()
+    }
+
+    /// Contents of the swap device (attackable storage in the paper's threat
+    /// model).
+    #[must_use]
+    pub fn swap_bytes(&self) -> &[u8] {
+        &self.swap
+    }
+
+    /// Produces a core-dump image of one process: the contents of every
+    /// mapped page in ascending virtual order. This is the artifact of the
+    /// Broadwell et al. crash-report problem the paper cites — a core file
+    /// shipped off-machine carries whatever the process had in memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::NoSuchProcess`].
+    pub fn dump_process(&self, pid: Pid) -> SimResult<Vec<u8>> {
+        let proc = self.proc(pid)?;
+        let mut out = Vec::with_capacity(proc.page_table.len() * PAGE_SIZE);
+        for pte in proc.page_table.values() {
+            out.extend_from_slice(self.frame_bytes(pte.frame));
+        }
+        Ok(out)
+    }
+
+    /// Ages the machine: cycles `fraction` of the currently free frames
+    /// through an allocate/free pass and returns them to the free lists in
+    /// random order.
+    ///
+    /// A freshly booted simulator hands out frames in strict watermark order,
+    /// which would cluster every allocation at the bottom of physical memory.
+    /// A real machine that has been up for a while has its free lists
+    /// scattered across all of RAM — which is why the paper's key copies
+    /// (Figures 5a, 6a) appear spread over the whole 256 MB. Call this once
+    /// after boot to reproduce that spread. The cycled pages are never
+    /// written, so no scan artifacts are introduced.
+    ///
+    /// Returns the number of frames cycled.
+    pub fn age_memory(&mut self, rng: &mut simrng::Rng64, fraction: f64) -> usize {
+        let n = (self.free.available() as f64 * fraction.clamp(0.0, 1.0)) as usize;
+        let mut frames = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.alloc_frame(FrameState::Kernel) {
+                Ok(f) => frames.push(f),
+                Err(_) => break,
+            }
+        }
+        rng.shuffle(&mut frames);
+        let cycled = frames.len();
+        for f in frames {
+            self.free_frame(f);
+        }
+        cycled
+    }
+
+    /// Heap diagnostics: `(live_bytes, live_chunks, mapped_pages)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::NoSuchProcess`].
+    pub fn heap_usage(&self, pid: Pid) -> SimResult<(u64, usize, usize)> {
+        let p = self.proc(pid)?;
+        Ok((p.heap.live_bytes(), p.heap.live_chunks(), p.mapped_pages()))
+    }
+
+    /// Base virtual address of the process heap.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::NoSuchProcess`].
+    pub fn heap_base(&self, pid: Pid) -> SimResult<VAddr> {
+        Ok(VAddr(self.proc(pid)?.heap.base()))
+    }
+
+    /// Parent of `pid` at fork time, if any.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::NoSuchProcess`].
+    pub fn parent_of(&self, pid: Pid) -> SimResult<Option<Pid>> {
+        Ok(self.proc(pid)?.parent)
+    }
+
+    /// Name a file was created with.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::NoSuchFile`].
+    pub fn file_name(&self, fid: FileId) -> SimResult<&str> {
+        Ok(&self.vfs.get(fid).ok_or(SimError::NoSuchFile(fid))?.name)
+    }
+
+    /// Number of files on the simulated disk.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.vfs.len()
+    }
+}

@@ -1,0 +1,113 @@
+//! Simulated processes: page tables, VMAs, and per-process heap state.
+
+use crate::heap::Heap;
+use crate::{FrameId, VAddr};
+use core::fmt;
+use std::collections::BTreeMap;
+
+/// Process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid {}", self.0)
+    }
+}
+
+/// Base virtual address of the process heap.
+pub(crate) const HEAP_BASE: u64 = 0x1000_0000;
+/// Base virtual address of page-aligned special regions
+/// (`posix_memalign`-style allocations).
+pub(crate) const SPECIAL_BASE: u64 = 0x7000_0000;
+
+/// One page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Pte {
+    pub frame: FrameId,
+    /// Copy-on-write: shared with another address space; a write must
+    /// duplicate the frame first (unless we hold the last reference).
+    pub cow: bool,
+    /// Write-protected (`mprotect(PROT_READ)`): writes fault instead of
+    /// landing — the enforcement half of `BN_FLG_STATIC_DATA`.
+    pub readonly: bool,
+}
+
+/// The kind of VMA a page belongs to; used for bookkeeping and display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VmaKind {
+    Heap,
+    Special,
+}
+
+/// A simulated process.
+#[derive(Debug, Clone)]
+pub(crate) struct Process {
+    pub parent: Option<Pid>,
+    pub page_table: BTreeMap<u64, Pte>,
+    /// VMA kind per virtual page number.
+    pub vma_kind: BTreeMap<u64, VmaKind>,
+    pub heap: Heap,
+    /// Next free special-region address (bump allocated, page granular).
+    pub next_special: u64,
+    /// Virtual page numbers locked in memory (mlock).
+    pub locked_vpns: std::collections::BTreeSet<u64>,
+}
+
+impl Process {
+    pub(crate) fn new(parent: Option<Pid>) -> Self {
+        Self {
+            parent,
+            page_table: BTreeMap::new(),
+            vma_kind: BTreeMap::new(),
+            heap: Heap::new(HEAP_BASE),
+            next_special: SPECIAL_BASE,
+            locked_vpns: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Looks up the PTE covering `addr`.
+    pub(crate) fn pte(&self, addr: VAddr) -> Option<Pte> {
+        self.page_table.get(&addr.vpn()).copied()
+    }
+
+    /// Number of mapped pages.
+    pub(crate) fn mapped_pages(&self) -> usize {
+        self.page_table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_process_is_empty() {
+        let p = Process::new(None);
+        assert_eq!(p.mapped_pages(), 0);
+        assert!(p.pte(VAddr(HEAP_BASE)).is_none());
+        assert_eq!(p.heap.base(), HEAP_BASE);
+        assert_eq!(p.next_special, SPECIAL_BASE);
+    }
+
+    #[test]
+    fn pte_lookup_by_page() {
+        let mut p = Process::new(None);
+        p.page_table.insert(
+            VAddr(HEAP_BASE).vpn(),
+            Pte {
+                frame: FrameId(7),
+                cow: false,
+                readonly: false,
+            },
+        );
+        // Any address within the page resolves to the same PTE.
+        assert_eq!(p.pte(VAddr(HEAP_BASE + 123)).unwrap().frame, FrameId(7));
+        assert!(p.pte(VAddr(HEAP_BASE + crate::PAGE_SIZE as u64)).is_none());
+    }
+
+    #[test]
+    fn pid_display() {
+        assert_eq!(Pid(42).to_string(), "pid 42");
+    }
+}

@@ -1,0 +1,82 @@
+//! A minimal in-memory VFS whose reads populate the simulated page cache.
+//!
+//! The only file the experiments need is the PEM-encoded private key, but the
+//! VFS is general: any file can be created, read (with or without the paper's
+//! `O_NOCACHE` flag), and have its cache residency inspected.
+
+use core::fmt;
+use std::collections::HashMap;
+
+/// Identifier of a simulated file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+
+/// File table: names and contents (the "disk").
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Vfs {
+    files: HashMap<FileId, FileEntry>,
+    next_id: u32,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct FileEntry {
+    pub name: String,
+    pub content: Vec<u8>,
+}
+
+impl Vfs {
+    pub(crate) fn create(&mut self, name: &str, content: Vec<u8>) -> FileId {
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+        self.files.insert(
+            id,
+            FileEntry {
+                name: name.to_string(),
+                content,
+            },
+        );
+        id
+    }
+
+    pub(crate) fn get(&self, id: FileId) -> Option<&FileEntry> {
+        self.files.get(&id)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_get() {
+        let mut vfs = Vfs::default();
+        let id = vfs.create("/etc/ssh/key.pem", b"PEM".to_vec());
+        assert_eq!(vfs.get(id).unwrap().name, "/etc/ssh/key.pem");
+        assert_eq!(vfs.get(id).unwrap().content, b"PEM");
+        assert_eq!(vfs.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut vfs = Vfs::default();
+        let a = vfs.create("a", vec![]);
+        let b = vfs.create("b", vec![]);
+        assert_ne!(a, b);
+        assert!(vfs.get(FileId(99)).is_none());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(FileId(5).to_string(), "file#5");
+    }
+}

@@ -1,0 +1,567 @@
+//! Behavioural tests for the simulated kernel: data-lifetime semantics, COW,
+//! zeroing policies, page cache, and swap — the properties the paper's
+//! attacks and defenses depend on.
+
+use memsim::{Kernel, KernelPolicy, MachineConfig, SimError, PAGE_SIZE};
+
+const SECRET: &[u8] = b"-----VERY SECRET RSA PRIME FACTOR-----";
+
+fn stock_kernel() -> Kernel {
+    Kernel::new(MachineConfig::small())
+}
+
+fn hardened_kernel() -> Kernel {
+    Kernel::new(MachineConfig::small().with_policy(KernelPolicy::hardened()))
+}
+
+/// Does the simulated physical memory contain `needle` anywhere?
+fn phys_contains(k: &Kernel, needle: &[u8]) -> bool {
+    k.phys().windows(needle.len()).any(|w| w == needle)
+}
+
+/// Does any *free* frame contain `needle`?
+fn free_memory_contains(k: &Kernel, needle: &[u8]) -> bool {
+    (0..k.num_frames()).any(|i| {
+        let f = memsim::FrameId(i);
+        !k.is_allocated(f) && k.frame_bytes(f).windows(needle.len()).any(|w| w == needle)
+    })
+}
+
+#[test]
+fn write_lands_in_physical_memory() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, 64).unwrap();
+    assert!(!phys_contains(&k, SECRET));
+    k.write_bytes(pid, buf, SECRET).unwrap();
+    assert!(phys_contains(&k, SECRET));
+    assert_eq!(k.read_bytes(pid, buf, SECRET.len()).unwrap(), SECRET);
+}
+
+#[test]
+fn heap_free_leaves_data_behind_stock() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, 64).unwrap();
+    let _guard = k.heap_alloc(pid, 64).unwrap(); // prevent page trim
+    k.write_bytes(pid, buf, SECRET).unwrap();
+    k.heap_free(pid, buf).unwrap();
+    // free() does not clear: the secret is still in (allocated) memory.
+    assert!(phys_contains(&k, SECRET));
+}
+
+#[test]
+fn process_exit_leaks_to_free_memory_stock() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, 64).unwrap();
+    k.write_bytes(pid, buf, SECRET).unwrap();
+    k.exit(pid).unwrap();
+    // The paper's central hazard: exited process pages keep their contents.
+    assert!(free_memory_contains(&k, SECRET));
+}
+
+#[test]
+fn process_exit_is_clean_with_zero_on_free() {
+    let mut k = hardened_kernel();
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, 64).unwrap();
+    k.write_bytes(pid, buf, SECRET).unwrap();
+    k.exit(pid).unwrap();
+    assert!(!phys_contains(&k, SECRET));
+}
+
+#[test]
+fn zero_on_unmap_alone_clears_anon_pages() {
+    let policy = KernelPolicy {
+        zero_on_free: false,
+        zero_on_unmap: true,
+    };
+    let mut k = Kernel::new(MachineConfig::small().with_policy(policy));
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, 64).unwrap();
+    k.write_bytes(pid, buf, SECRET).unwrap();
+    k.exit(pid).unwrap();
+    assert!(!phys_contains(&k, SECRET));
+}
+
+#[test]
+fn zero_on_unmap_does_not_cover_kernel_pages() {
+    let policy = KernelPolicy {
+        zero_on_free: false,
+        zero_on_unmap: true,
+    };
+    let mut k = Kernel::new(MachineConfig::small().with_policy(policy));
+    let frames = k.alloc_kernel_pages(1).unwrap();
+    k.write_kernel_page(frames[0], 0, SECRET);
+    k.free_kernel_pages(&frames);
+    // zap_pte_range never sees kernel pages: the secret survives.
+    assert!(free_memory_contains(&k, SECRET));
+}
+
+#[test]
+fn zero_on_free_covers_kernel_pages() {
+    let mut k = hardened_kernel();
+    let frames = k.alloc_kernel_pages(1).unwrap();
+    k.write_kernel_page(frames[0], 0, SECRET);
+    k.free_kernel_pages(&frames);
+    assert!(!phys_contains(&k, SECRET));
+}
+
+#[test]
+fn heap_trim_releases_secret_pages_while_process_lives() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let big = k.heap_alloc(pid, 3 * PAGE_SIZE).unwrap();
+    let mut payload = vec![0xaau8; 3 * PAGE_SIZE];
+    payload[100..100 + SECRET.len()].copy_from_slice(SECRET);
+    k.write_bytes(pid, big, &payload).unwrap();
+    k.heap_free(pid, big).unwrap();
+    assert!(k.alive(pid));
+    // With trim on, the pages went back to the kernel uncleaned.
+    assert!(free_memory_contains(&k, SECRET));
+}
+
+#[test]
+fn heap_trim_off_keeps_pages_mapped() {
+    let mut cfg = MachineConfig::small();
+    cfg.heap_trim = false;
+    let mut k = Kernel::new(cfg);
+    let pid = k.spawn();
+    let big = k.heap_alloc(pid, 3 * PAGE_SIZE).unwrap();
+    k.write_bytes(pid, big, &vec![0xbbu8; 3 * PAGE_SIZE]).unwrap();
+    let (_, _, pages_before) = k.heap_usage(pid).unwrap();
+    k.heap_free(pid, big).unwrap();
+    let (_, _, pages_after) = k.heap_usage(pid).unwrap();
+    assert_eq!(pages_before, pages_after);
+}
+
+#[test]
+fn heap_free_zeroed_wipes_contents() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, 64).unwrap();
+    let _guard = k.heap_alloc(pid, 64).unwrap();
+    k.write_bytes(pid, buf, SECRET).unwrap();
+    k.heap_free_zeroed(pid, buf).unwrap();
+    assert!(!phys_contains(&k, SECRET));
+}
+
+#[test]
+fn double_free_is_rejected() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, 16).unwrap();
+    k.heap_free(pid, buf).unwrap();
+    assert!(matches!(
+        k.heap_free(pid, buf),
+        Err(SimError::BadFree(_))
+    ));
+}
+
+#[test]
+fn malloc_recycles_dirty_chunks() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let a = k.heap_alloc(pid, 64).unwrap();
+    let _guard = k.heap_alloc(pid, 64).unwrap();
+    k.write_bytes(pid, a, SECRET).unwrap();
+    k.heap_free(pid, a).unwrap();
+    let b = k.heap_alloc(pid, 64).unwrap();
+    assert_eq!(a, b, "first fit should recycle");
+    // The recycled chunk still contains the previous owner's secret.
+    let contents = k.read_bytes(pid, b, SECRET.len()).unwrap();
+    assert_eq!(contents, SECRET);
+}
+
+// ---------------------------------------------------------------------
+// fork / COW
+// ---------------------------------------------------------------------
+
+#[test]
+fn fork_shares_one_physical_copy() {
+    let mut k = stock_kernel();
+    let parent = k.spawn();
+    let buf = k.heap_alloc(parent, 64).unwrap();
+    k.write_bytes(parent, buf, SECRET).unwrap();
+    let before = count_occurrences(&k, SECRET);
+    let c1 = k.fork(parent).unwrap();
+    let c2 = k.fork(parent).unwrap();
+    assert_eq!(count_occurrences(&k, SECRET), before, "COW adds no copies");
+    assert_eq!(k.read_bytes(c1, buf, SECRET.len()).unwrap(), SECRET);
+    assert_eq!(k.read_bytes(c2, buf, SECRET.len()).unwrap(), SECRET);
+}
+
+fn count_occurrences(k: &Kernel, needle: &[u8]) -> usize {
+    k.phys().windows(needle.len()).filter(|w| *w == needle).count()
+}
+
+#[test]
+fn cow_write_duplicates_the_page() {
+    let mut k = stock_kernel();
+    let parent = k.spawn();
+    let buf = k.heap_alloc(parent, 64).unwrap();
+    k.write_bytes(parent, buf, SECRET).unwrap();
+    let child = k.fork(parent).unwrap();
+    // Child writes next to the secret on the same page: COW duplicates the
+    // whole page, secret included — key multiplication in action.
+    let scratch = k.heap_alloc(child, 16).unwrap();
+    k.write_bytes(child, scratch, b"x").unwrap();
+    assert_eq!(count_occurrences(&k, SECRET), 2);
+    assert_eq!(k.stats().cow_breaks, 1);
+    // Parent's copy unchanged.
+    assert_eq!(k.read_bytes(parent, buf, SECRET.len()).unwrap(), SECRET);
+    assert_eq!(k.read_bytes(child, buf, SECRET.len()).unwrap(), SECRET);
+}
+
+#[test]
+fn unwritten_cow_page_stays_shared_after_sibling_writes() {
+    let mut k = stock_kernel();
+    let parent = k.spawn();
+    let key_page = k.alloc_special_region(parent, 1).unwrap();
+    k.write_bytes(parent, key_page, SECRET).unwrap();
+    let heap = k.heap_alloc(parent, 64).unwrap();
+    let c1 = k.fork(parent).unwrap();
+    let c2 = k.fork(parent).unwrap();
+    // Children write to their heaps but never to the key page.
+    k.write_bytes(c1, heap, b"child1 scratch").unwrap();
+    k.write_bytes(c2, heap, b"child2 scratch").unwrap();
+    // The key page remains one physical copy for all three processes.
+    assert_eq!(count_occurrences(&k, SECRET), 1);
+    let frame = k.translate(parent, key_page).unwrap();
+    assert_eq!(k.translate(c1, key_page), Some(frame));
+    assert_eq!(k.translate(c2, key_page), Some(frame));
+    assert_eq!(k.frame_view(frame).owners.len(), 3);
+}
+
+#[test]
+fn cow_break_on_last_owner_does_not_copy() {
+    let mut k = stock_kernel();
+    let parent = k.spawn();
+    let buf = k.heap_alloc(parent, 64).unwrap();
+    k.write_bytes(parent, buf, SECRET).unwrap();
+    let child = k.fork(parent).unwrap();
+    k.exit(child).unwrap();
+    // Parent is sole owner again; write must not duplicate.
+    k.write_bytes(parent, buf, b"overwrite").unwrap();
+    assert_eq!(k.stats().cow_breaks, 0);
+}
+
+#[test]
+fn exit_of_child_keeps_shared_frames_for_parent() {
+    let mut k = stock_kernel();
+    let parent = k.spawn();
+    let buf = k.heap_alloc(parent, 64).unwrap();
+    k.write_bytes(parent, buf, SECRET).unwrap();
+    let child = k.fork(parent).unwrap();
+    k.exit(child).unwrap();
+    assert_eq!(k.read_bytes(parent, buf, SECRET.len()).unwrap(), SECRET);
+    let frame = k.translate(parent, buf).unwrap();
+    assert_eq!(k.frame_view(frame).refcount, 1);
+}
+
+#[test]
+fn fork_exit_storm_preserves_frame_accounting() {
+    let mut k = stock_kernel();
+    let parent = k.spawn();
+    let buf = k.heap_alloc(parent, 256).unwrap();
+    k.write_bytes(parent, buf, SECRET).unwrap();
+    let avail0 = k.available_frames();
+    for _ in 0..50 {
+        let child = k.fork(parent).unwrap();
+        let scratch = k.heap_alloc(child, 128).unwrap();
+        k.write_bytes(child, scratch, b"handshake temporary").unwrap();
+        k.exit(child).unwrap();
+    }
+    // All child frames returned: availability is back to the baseline.
+    assert_eq!(k.available_frames(), avail0);
+    assert_eq!(k.processes(), vec![parent]);
+}
+
+// ---------------------------------------------------------------------
+// page cache / O_NOCACHE
+// ---------------------------------------------------------------------
+
+#[test]
+fn read_file_populates_page_cache() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let fid = k.create_file("/etc/key.pem", SECRET);
+    let (buf, len) = k.read_file(pid, fid, false).unwrap();
+    assert_eq!(len, SECRET.len());
+    assert_eq!(k.read_bytes(pid, buf, len).unwrap(), SECRET);
+    assert_eq!(k.file_cached_pages(fid), 1);
+    // Secret now exists twice: page cache + user buffer.
+    assert_eq!(count_occurrences(&k, SECRET), 2);
+}
+
+#[test]
+fn repeated_reads_reuse_cache() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let fid = k.create_file("f", &vec![7u8; 3 * PAGE_SIZE]);
+    k.read_file(pid, fid, false).unwrap();
+    let inserts = k.stats().cache_inserts;
+    k.read_file(pid, fid, false).unwrap();
+    assert_eq!(k.stats().cache_inserts, inserts, "second read hits cache");
+    assert_eq!(k.file_cached_pages(fid), 3);
+}
+
+#[test]
+fn nocache_read_leaves_no_cache_copy() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let fid = k.create_file("/etc/key.pem", SECRET);
+    let (buf, len) = k.read_file(pid, fid, true).unwrap();
+    assert_eq!(k.file_cached_pages(fid), 0);
+    // Only the user buffer copy remains, and it is intact.
+    assert_eq!(count_occurrences(&k, SECRET), 1);
+    assert_eq!(k.read_bytes(pid, buf, len).unwrap(), SECRET);
+    // The evicted cache page was cleared even under the stock policy.
+    assert!(!free_memory_contains(&k, SECRET));
+}
+
+#[test]
+fn plain_eviction_leaves_bytes_hardened_eviction_does_not() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let fid = k.create_file("f", SECRET);
+    k.read_file(pid, fid, false).unwrap();
+    k.evict_file_cache(fid, false);
+    assert_eq!(k.file_cached_pages(fid), 0);
+    assert!(free_memory_contains(&k, SECRET), "reclaim leaves stale bytes");
+
+    let mut k2 = stock_kernel();
+    let pid2 = k2.spawn();
+    let fid2 = k2.create_file("f", SECRET);
+    k2.read_file(pid2, fid2, false).unwrap();
+    k2.evict_file_cache(fid2, true);
+    assert!(!free_memory_contains(&k2, SECRET));
+}
+
+#[test]
+fn multi_page_file_round_trips() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let mut content = vec![0u8; 2 * PAGE_SIZE + 123];
+    for (i, b) in content.iter_mut().enumerate() {
+        *b = (i % 251) as u8;
+    }
+    let fid = k.create_file("big", &content);
+    let (buf, len) = k.read_file(pid, fid, false).unwrap();
+    assert_eq!(len, content.len());
+    assert_eq!(k.read_bytes(pid, buf, len).unwrap(), content);
+    assert_eq!(k.file_cached_pages(fid), 3);
+}
+
+// ---------------------------------------------------------------------
+// mlock / swap
+// ---------------------------------------------------------------------
+
+#[test]
+fn swap_captures_unlocked_secrets() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, 64).unwrap();
+    k.write_bytes(pid, buf, SECRET).unwrap();
+    let written = k.swap_out_pressure(usize::MAX);
+    assert!(written > 0);
+    assert!(k
+        .swap_bytes()
+        .windows(SECRET.len())
+        .any(|w| w == SECRET));
+}
+
+#[test]
+fn mlock_keeps_secrets_out_of_swap() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let region = k.alloc_special_region(pid, 1).unwrap();
+    k.write_bytes(pid, region, SECRET).unwrap();
+    k.mlock(pid, region, PAGE_SIZE).unwrap();
+    k.swap_out_pressure(usize::MAX);
+    assert!(!k
+        .swap_bytes()
+        .windows(SECRET.len())
+        .any(|w| w == SECRET));
+}
+
+#[test]
+fn mlock_survives_cow_break_of_locked_page() {
+    let mut k = stock_kernel();
+    let parent = k.spawn();
+    let region = k.alloc_special_region(parent, 1).unwrap();
+    k.write_bytes(parent, region, SECRET).unwrap();
+    k.mlock(parent, region, PAGE_SIZE).unwrap();
+    let child = k.fork(parent).unwrap();
+    // Child writes to the locked page (unusual but possible): its private
+    // copy must remain locked.
+    k.write_bytes(child, region, b"child copy").unwrap();
+    let child_frame = k.translate(child, region).unwrap();
+    assert!(k.frame_view(child_frame).locked);
+}
+
+#[test]
+fn mlock_unmapped_address_fails() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    assert!(matches!(
+        k.mlock(pid, memsim::VAddr(0xdead_0000), 16),
+        Err(SimError::BadAddress(_))
+    ));
+}
+
+// ---------------------------------------------------------------------
+// special regions
+// ---------------------------------------------------------------------
+
+#[test]
+fn special_region_is_page_aligned_and_zeroed() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let r = k.alloc_special_region(pid, 2).unwrap();
+    assert_eq!(r.0 % PAGE_SIZE as u64, 0);
+    assert_eq!(k.read_bytes(pid, r, 2 * PAGE_SIZE).unwrap(), vec![0; 2 * PAGE_SIZE]);
+}
+
+#[test]
+fn distinct_special_regions_do_not_overlap() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let a = k.alloc_special_region(pid, 1).unwrap();
+    let b = k.alloc_special_region(pid, 1).unwrap();
+    assert!(b.0 >= a.0 + PAGE_SIZE as u64);
+}
+
+#[test]
+fn free_special_region_applies_policy() {
+    let mut k = hardened_kernel();
+    let pid = k.spawn();
+    let r = k.alloc_special_region(pid, 1).unwrap();
+    k.write_bytes(pid, r, SECRET).unwrap();
+    k.free_special_region(pid, r, 1).unwrap();
+    assert!(!phys_contains(&k, SECRET));
+    // Double free fails.
+    assert!(k.free_special_region(pid, r, 1).is_err());
+}
+
+// ---------------------------------------------------------------------
+// errors & exhaustion
+// ---------------------------------------------------------------------
+
+#[test]
+fn oom_is_reported_not_panicked() {
+    let mut cfg = MachineConfig::small();
+    cfg.mem_bytes = 16 * PAGE_SIZE;
+    let mut k = Kernel::new(cfg);
+    let pid = k.spawn();
+    let res = k.heap_alloc(pid, 64 * PAGE_SIZE);
+    assert_eq!(res.unwrap_err(), SimError::OutOfMemory);
+    // The kernel remains usable afterwards.
+    assert!(k.heap_alloc(pid, PAGE_SIZE).is_ok());
+}
+
+#[test]
+fn dead_process_operations_fail() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    k.exit(pid).unwrap();
+    assert!(matches!(
+        k.heap_alloc(pid, 16),
+        Err(SimError::NoSuchProcess(_))
+    ));
+    assert!(matches!(k.exit(pid), Err(SimError::NoSuchProcess(_))));
+    assert!(k.read_bytes(pid, memsim::VAddr(0), 1).is_err());
+}
+
+#[test]
+fn unmapped_access_fails() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    assert!(matches!(
+        k.write_bytes(pid, memsim::VAddr(0x4000_0000), b"x"),
+        Err(SimError::BadAddress(_))
+    ));
+}
+
+#[test]
+fn missing_file_fails() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    assert!(matches!(
+        k.read_file(pid, memsim::FileId(99), false),
+        Err(SimError::NoSuchFile(_))
+    ));
+}
+
+#[test]
+fn cross_page_write_and_read() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, 3 * PAGE_SIZE).unwrap();
+    let mut data = vec![0u8; 2 * PAGE_SIZE];
+    for (i, b) in data.iter_mut().enumerate() {
+        *b = (i % 13) as u8;
+    }
+    // Write straddling two page boundaries.
+    let off = PAGE_SIZE as u64 - 100;
+    k.write_bytes(pid, buf.add(off), &data).unwrap();
+    assert_eq!(k.read_bytes(pid, buf.add(off), data.len()).unwrap(), data);
+}
+
+#[test]
+fn stats_track_core_events() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let a = k.heap_alloc(pid, 32).unwrap();
+    k.heap_free(pid, a).unwrap();
+    let child = k.fork(pid).unwrap();
+    k.exit(child).unwrap();
+    let s = k.stats();
+    assert_eq!(s.heap_allocs, 1);
+    assert_eq!(s.heap_frees, 1);
+    assert_eq!(s.forks, 1);
+    assert_eq!(s.exits, 1);
+    assert!(s.frames_allocated >= 1);
+}
+
+#[test]
+fn page_cache_is_reclaimed_under_memory_pressure() {
+    // Fill most of a tiny machine with cached file pages, then demand
+    // anonymous memory: the allocator must reclaim the cache, not OOM.
+    let mut cfg = MachineConfig::small();
+    cfg.mem_bytes = 64 * PAGE_SIZE;
+    let mut k = Kernel::new(cfg);
+    let pid = k.spawn();
+    let fid = k.create_file("big", &vec![0x42u8; 20 * PAGE_SIZE]);
+    k.read_file(pid, fid, false).unwrap();
+    assert_eq!(k.file_cached_pages(fid), 20);
+
+    // 20 cache + 21 user-buffer pages leave ~23 free; a 28-page demand only
+    // succeeds by evicting cache pages.
+    let before = k.stats().cache_evictions;
+    let buf = k.heap_alloc(pid, 28 * PAGE_SIZE).unwrap();
+    k.write_bytes(pid, buf, &vec![1u8; 28 * PAGE_SIZE]).unwrap();
+    assert!(k.stats().cache_evictions > before, "reclaim fired");
+    assert!(k.file_cached_pages(fid) < 20);
+}
+
+#[test]
+fn reclaimed_cache_pages_leak_contents_on_stock_kernel() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let fid = k.create_file("secretfile", SECRET);
+    k.read_file(pid, fid, false).unwrap();
+    let reclaimed = k.reclaim_page_cache(10);
+    assert!(reclaimed >= 1);
+    // Ordinary reclaim does not clear: the file contents sit in free memory.
+    assert!(free_memory_contains(&k, SECRET));
+
+    // The hardened kernel clears on free, covering reclaim too.
+    let mut k2 = hardened_kernel();
+    let pid2 = k2.spawn();
+    let fid2 = k2.create_file("secretfile", SECRET);
+    k2.read_file(pid2, fid2, false).unwrap();
+    k2.reclaim_page_cache(10);
+    assert!(!free_memory_contains(&k2, SECRET));
+}

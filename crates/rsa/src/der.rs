@@ -1,0 +1,383 @@
+//! Minimal ASN.1 DER for PKCS#1 `RSAPrivateKey` structures.
+//!
+//! Only the pieces the key file needs: definite-length `SEQUENCE` and
+//! `INTEGER` with correct minimal encodings.
+
+use crate::{RsaError, RsaPrivateKey};
+use bignum::BigUint;
+use core::fmt;
+
+const TAG_INTEGER: u8 = 0x02;
+const TAG_SEQUENCE: u8 = 0x30;
+
+/// DER parse errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DerError {
+    /// Input ended before the structure did.
+    Truncated,
+    /// A tag other than the expected one was found.
+    UnexpectedTag {
+        /// Tag that was expected.
+        expected: u8,
+        /// Tag that was found.
+        found: u8,
+    },
+    /// A length field was malformed or unsupported.
+    BadLength,
+    /// An INTEGER had a non-minimal or negative encoding.
+    BadInteger,
+    /// Data remained after the outermost structure.
+    TrailingData,
+}
+
+impl fmt::Display for DerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "truncated DER input"),
+            Self::UnexpectedTag { expected, found } => {
+                write!(f, "expected tag 0x{expected:02x}, found 0x{found:02x}")
+            }
+            Self::BadLength => write!(f, "malformed DER length"),
+            Self::BadInteger => write!(f, "malformed DER integer"),
+            Self::TrailingData => write!(f, "trailing data after DER structure"),
+        }
+    }
+}
+
+impl std::error::Error for DerError {}
+
+/// Incremental DER writer.
+///
+/// # Examples
+///
+/// ```
+/// use rsa_repro::DerWriter;
+/// use bignum::BigUint;
+///
+/// let mut w = DerWriter::new();
+/// w.integer(&BigUint::from_u64(5));
+/// let seq = DerWriter::sequence(w.finish());
+/// assert_eq!(seq, vec![0x30, 0x03, 0x02, 0x01, 0x05]);
+/// ```
+#[derive(Debug, Default)]
+pub struct DerWriter {
+    out: Vec<u8>,
+}
+
+impl DerWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a DER INTEGER holding a non-negative big integer.
+    pub fn integer(&mut self, v: &BigUint) {
+        let mut bytes = v.to_be_bytes();
+        if bytes.is_empty() {
+            bytes.push(0);
+        }
+        // Prepend 0x00 when the high bit is set, to keep the value positive.
+        if bytes[0] & 0x80 != 0 {
+            bytes.insert(0, 0);
+        }
+        self.out.push(TAG_INTEGER);
+        Self::write_len(&mut self.out, bytes.len());
+        self.out.extend_from_slice(&bytes);
+    }
+
+    /// Consumes the writer, returning accumulated contents.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.out
+    }
+
+    /// Wraps `contents` in a SEQUENCE.
+    #[must_use]
+    pub fn sequence(contents: Vec<u8>) -> Vec<u8> {
+        let mut out = vec![TAG_SEQUENCE];
+        Self::write_len(&mut out, contents.len());
+        out.extend_from_slice(&contents);
+        out
+    }
+
+    fn write_len(out: &mut Vec<u8>, len: usize) {
+        if len < 0x80 {
+            out.push(len as u8);
+        } else {
+            let be = (len as u64).to_be_bytes();
+            let skip = be.iter().take_while(|&&b| b == 0).count();
+            out.push(0x80 | (8 - skip) as u8);
+            out.extend_from_slice(&be[skip..]);
+        }
+    }
+}
+
+/// Incremental DER reader.
+///
+/// # Examples
+///
+/// ```
+/// use rsa_repro::DerReader;
+///
+/// let bytes = [0x30, 0x03, 0x02, 0x01, 0x05];
+/// let mut r = DerReader::new(&bytes);
+/// let mut seq = r.sequence()?;
+/// assert_eq!(seq.integer()?, bignum::BigUint::from_u64(5));
+/// # Ok::<(), rsa_repro::DerError>(())
+/// ```
+#[derive(Debug)]
+pub struct DerReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> DerReader<'a> {
+    /// Wraps a byte slice for reading.
+    #[must_use]
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Whether all input has been consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    fn byte(&mut self) -> Result<u8, DerError> {
+        let b = *self.data.get(self.pos).ok_or(DerError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DerError> {
+        if self.pos + n > self.data.len() {
+            return Err(DerError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn read_len(&mut self) -> Result<usize, DerError> {
+        let first = self.byte()?;
+        if first < 0x80 {
+            return Ok(first as usize);
+        }
+        let n = (first & 0x7f) as usize;
+        if n == 0 || n > 8 {
+            return Err(DerError::BadLength);
+        }
+        let mut len = 0usize;
+        for _ in 0..n {
+            let b = self.byte()? as usize;
+            len = len
+                .checked_mul(256)
+                .and_then(|l| l.checked_add(b))
+                .ok_or(DerError::BadLength)?;
+        }
+        Ok(len)
+    }
+
+    fn expect_tag(&mut self, tag: u8) -> Result<usize, DerError> {
+        let found = self.byte()?;
+        if found != tag {
+            return Err(DerError::UnexpectedTag {
+                expected: tag,
+                found,
+            });
+        }
+        self.read_len()
+    }
+
+    /// Reads a SEQUENCE header and returns a reader over its contents.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the next element is not a SEQUENCE or is truncated.
+    pub fn sequence(&mut self) -> Result<DerReader<'a>, DerError> {
+        let len = self.expect_tag(TAG_SEQUENCE)?;
+        Ok(DerReader::new(self.take(len)?))
+    }
+
+    /// Reads a non-negative INTEGER.
+    ///
+    /// # Errors
+    ///
+    /// Fails on negative or empty integers, or truncated input.
+    pub fn integer(&mut self) -> Result<BigUint, DerError> {
+        let len = self.expect_tag(TAG_INTEGER)?;
+        let bytes = self.take(len)?;
+        if bytes.is_empty() {
+            return Err(DerError::BadInteger);
+        }
+        if bytes[0] & 0x80 != 0 {
+            // Negative integers never appear in RSA keys.
+            return Err(DerError::BadInteger);
+        }
+        Ok(BigUint::from_be_bytes(bytes))
+    }
+}
+
+/// Encodes a private key as PKCS#1 `RSAPrivateKey` DER.
+pub(crate) fn encode_private_key(key: &RsaPrivateKey) -> Vec<u8> {
+    let mut w = DerWriter::new();
+    w.integer(&BigUint::zero()); // version = 0 (two-prime)
+    w.integer(key.n());
+    w.integer(key.e());
+    w.integer(key.d());
+    w.integer(key.p());
+    w.integer(key.q());
+    w.integer(key.dp());
+    w.integer(key.dq());
+    w.integer(key.qinv());
+    DerWriter::sequence(w.finish())
+}
+
+/// Decodes a PKCS#1 `RSAPrivateKey`.
+pub(crate) fn decode_private_key(bytes: &[u8]) -> Result<RsaPrivateKey, RsaError> {
+    let mut outer = DerReader::new(bytes);
+    let mut seq = outer.sequence()?;
+    if !outer.is_empty() {
+        return Err(DerError::TrailingData.into());
+    }
+    let version = seq.integer()?;
+    if !version.is_zero() {
+        return Err(RsaError::InvalidKey("unsupported RSAPrivateKey version"));
+    }
+    let _n = seq.integer()?;
+    let e = seq.integer()?;
+    let d = seq.integer()?;
+    let p = seq.integer()?;
+    let q = seq.integer()?;
+    let _dp = seq.integer()?;
+    let _dq = seq.integer()?;
+    let _qinv = seq.integer()?;
+    if !seq.is_empty() {
+        return Err(DerError::TrailingData.into());
+    }
+    // Rebuild from primes, revalidating consistency (CRT parts rederived).
+    RsaPrivateKey::from_components(&p, &q, &e, &d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrng::Rng64;
+
+    #[test]
+    fn integer_encodings_are_minimal() {
+        let mut w = DerWriter::new();
+        w.integer(&BigUint::zero());
+        assert_eq!(w.finish(), vec![0x02, 0x01, 0x00]);
+
+        let mut w = DerWriter::new();
+        w.integer(&BigUint::from_u64(127));
+        assert_eq!(w.finish(), vec![0x02, 0x01, 0x7f]);
+
+        // High bit set → leading zero byte.
+        let mut w = DerWriter::new();
+        w.integer(&BigUint::from_u64(128));
+        assert_eq!(w.finish(), vec![0x02, 0x02, 0x00, 0x80]);
+    }
+
+    #[test]
+    fn long_form_lengths() {
+        // 200 bytes of content forces the 0x81 long form.
+        let contents = vec![0u8; 200];
+        let seq = DerWriter::sequence(contents);
+        assert_eq!(&seq[..3], &[0x30, 0x81, 200]);
+        let mut r = DerReader::new(&seq);
+        let inner = r.sequence().unwrap();
+        assert_eq!(inner.data.len(), 200);
+
+        // 300 bytes forces 0x82.
+        let seq = DerWriter::sequence(vec![0u8; 300]);
+        assert_eq!(&seq[..4], &[0x30, 0x82, 0x01, 0x2c]);
+    }
+
+    #[test]
+    fn reader_rejects_wrong_tag() {
+        let bytes = [0x02, 0x01, 0x05];
+        let mut r = DerReader::new(&bytes);
+        assert_eq!(
+            r.sequence().unwrap_err(),
+            DerError::UnexpectedTag {
+                expected: 0x30,
+                found: 0x02
+            }
+        );
+    }
+
+    #[test]
+    fn reader_rejects_truncation() {
+        let bytes = [0x02, 0x05, 0x01];
+        let mut r = DerReader::new(&bytes);
+        assert_eq!(r.integer().unwrap_err(), DerError::Truncated);
+        let mut r = DerReader::new(&[0x02]);
+        assert_eq!(r.integer().unwrap_err(), DerError::Truncated);
+    }
+
+    #[test]
+    fn reader_rejects_negative_integer() {
+        let bytes = [0x02, 0x01, 0x80];
+        assert_eq!(
+            DerReader::new(&bytes).integer().unwrap_err(),
+            DerError::BadInteger
+        );
+    }
+
+    #[test]
+    fn key_round_trip() {
+        let key = crate::RsaPrivateKey::generate(256, &mut Rng64::new(11));
+        let der = key.to_der();
+        let back = crate::RsaPrivateKey::from_der(&der).unwrap();
+        assert_eq!(back, key);
+    }
+
+    #[test]
+    fn key_decode_rejects_trailing_garbage() {
+        let key = crate::RsaPrivateKey::generate(128, &mut Rng64::new(12));
+        let mut der = key.to_der();
+        der.push(0x00);
+        assert!(matches!(
+            crate::RsaPrivateKey::from_der(&der),
+            Err(crate::RsaError::Der(DerError::TrailingData))
+        ));
+    }
+
+    #[test]
+    fn key_decode_rejects_bad_version() {
+        let key = crate::RsaPrivateKey::generate(128, &mut Rng64::new(13));
+        let mut w = DerWriter::new();
+        w.integer(&BigUint::from_u64(1)); // wrong version
+        w.integer(key.n());
+        w.integer(key.e());
+        w.integer(key.d());
+        w.integer(key.p());
+        w.integer(key.q());
+        w.integer(key.dp());
+        w.integer(key.dq());
+        w.integer(key.qinv());
+        let der = DerWriter::sequence(w.finish());
+        assert!(matches!(
+            crate::RsaPrivateKey::from_der(&der),
+            Err(crate::RsaError::InvalidKey(_))
+        ));
+    }
+
+    #[test]
+    fn der_is_openssl_shaped() {
+        // SEQUENCE tag first, then nine INTEGERs.
+        let key = crate::RsaPrivateKey::generate(128, &mut Rng64::new(14));
+        let der = key.to_der();
+        assert_eq!(der[0], 0x30);
+        let mut r = DerReader::new(&der);
+        let mut seq = r.sequence().unwrap();
+        for _ in 0..9 {
+            seq.integer().unwrap();
+        }
+        assert!(seq.is_empty());
+    }
+}

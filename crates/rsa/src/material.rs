@@ -1,0 +1,165 @@
+//! The searchable key-material byte patterns.
+//!
+//! Section 2 of the paper: "we only consider d, P, Q, and the PEM-encoded
+//! file in the sense that disclosure of any of them immediately leads to the
+//! compromise of the private key. Therefore, we call any appearance of any of
+//! them a copy of the private key."
+//!
+//! OpenSSL stores BIGNUMs as little-endian arrays of machine words, and the
+//! paper's `scanmemory` module compares raw `BN_ULONG` data. We therefore
+//! expose each component in **little-endian limb-byte representation** — the
+//! layout a process actually keeps in its heap — plus the raw bytes of the
+//! PEM file.
+
+use crate::RsaPrivateKey;
+use bignum::BigUint;
+
+/// Renders a big integer exactly as it sits in a BIGNUM's heap data: the
+/// little-endian byte image of its little-endian limb array.
+#[must_use]
+pub fn limb_bytes(v: &BigUint) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.limbs().len() * 8);
+    for &l in v.limbs() {
+        out.extend_from_slice(&l.to_le_bytes());
+    }
+    out
+}
+
+/// One searchable pattern: a name and the byte string to look for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// Human-readable component name (`"d"`, `"p"`, `"q"`, `"pem"`).
+    pub name: String,
+    /// The exact bytes whose appearance equals key compromise.
+    pub bytes: Vec<u8>,
+}
+
+impl Pattern {
+    /// Builds a pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes` is shorter than 8 bytes — too short to be a
+    /// meaningful key fragment and a recipe for false positives.
+    #[must_use]
+    pub fn new(name: &str, bytes: Vec<u8>) -> Self {
+        assert!(bytes.len() >= 8, "pattern too short to search for");
+        Self {
+            name: name.to_string(),
+            bytes,
+        }
+    }
+}
+
+/// The four "copies of the private key" the paper searches for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyMaterial {
+    patterns: Vec<Pattern>,
+    pem: Vec<u8>,
+}
+
+impl KeyMaterial {
+    /// Derives the search patterns from a private key.
+    #[must_use]
+    pub fn from_key(key: &RsaPrivateKey) -> Self {
+        let pem = key.to_pem().into_bytes();
+        let patterns = vec![
+            Pattern::new("d", limb_bytes(key.d())),
+            Pattern::new("p", limb_bytes(key.p())),
+            Pattern::new("q", limb_bytes(key.q())),
+            Pattern::new("pem", pem.clone()),
+        ];
+        Self { patterns, pem }
+    }
+
+    /// All four patterns, in `d, p, q, pem` order.
+    #[must_use]
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// The in-memory BIGNUM image of `d`.
+    #[must_use]
+    pub fn d_bytes(&self) -> &[u8] {
+        &self.patterns[0].bytes
+    }
+
+    /// The in-memory BIGNUM image of `p`.
+    #[must_use]
+    pub fn p_bytes(&self) -> &[u8] {
+        &self.patterns[1].bytes
+    }
+
+    /// The in-memory BIGNUM image of `q`.
+    #[must_use]
+    pub fn q_bytes(&self) -> &[u8] {
+        &self.patterns[2].bytes
+    }
+
+    /// The PEM-encoded key file bytes.
+    #[must_use]
+    pub fn pem_bytes(&self) -> &[u8] {
+        &self.pem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrng::Rng64;
+
+    #[test]
+    fn limb_bytes_layout() {
+        let v = BigUint::from_hex("0123456789abcdef_fedcba9876543210".replace('_', "").as_str())
+            .unwrap();
+        let bytes = limb_bytes(&v);
+        assert_eq!(bytes.len(), 16);
+        // Low limb first, little-endian within the limb.
+        assert_eq!(&bytes[..8], &0xfedc_ba98_7654_3210u64.to_le_bytes());
+        assert_eq!(&bytes[8..], &0x0123_4567_89ab_cdefu64.to_le_bytes());
+    }
+
+    #[test]
+    fn material_has_four_patterns() {
+        let key = RsaPrivateKey::generate(256, &mut Rng64::new(5));
+        let m = KeyMaterial::from_key(&key);
+        assert_eq!(m.patterns().len(), 4);
+        let names: Vec<&str> = m.patterns().iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["d", "p", "q", "pem"]);
+    }
+
+    #[test]
+    fn patterns_match_key_components() {
+        let key = RsaPrivateKey::generate(256, &mut Rng64::new(6));
+        let m = KeyMaterial::from_key(&key);
+        assert_eq!(m.d_bytes(), limb_bytes(key.d()));
+        assert_eq!(m.p_bytes(), limb_bytes(key.p()));
+        assert_eq!(m.q_bytes(), limb_bytes(key.q()));
+        assert_eq!(m.pem_bytes(), key.to_pem().as_bytes());
+    }
+
+    #[test]
+    fn patterns_are_distinct() {
+        let key = RsaPrivateKey::generate(256, &mut Rng64::new(7));
+        let m = KeyMaterial::from_key(&key);
+        for i in 0..m.patterns().len() {
+            for j in i + 1..m.patterns().len() {
+                assert_ne!(m.patterns()[i].bytes, m.patterns()[j].bytes);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_pattern_rejected() {
+        let _ = Pattern::new("tiny", vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pem_pattern_parses_back_to_the_key() {
+        let key = RsaPrivateKey::generate(256, &mut Rng64::new(8));
+        let m = KeyMaterial::from_key(&key);
+        let text = String::from_utf8(m.pem_bytes().to_vec()).unwrap();
+        assert_eq!(RsaPrivateKey::from_pem(&text).unwrap(), key);
+    }
+}

@@ -1,0 +1,151 @@
+//! PKCS#1 v1.5 encryption (EME, block type 2) and signature (EMSA, block
+//! type 1) padding.
+
+use crate::RsaError;
+use simrng::Rng64;
+
+/// Minimum padding overhead: `00 || BT || PS(>=8) || 00`.
+pub(crate) const OVERHEAD: usize = 11;
+
+/// Builds `00 || 02 || PS || 00 || M` with nonzero random padding.
+pub(crate) fn pad_encrypt(msg: &[u8], k: usize, rng: &mut Rng64) -> Result<Vec<u8>, RsaError> {
+    if msg.len() + OVERHEAD > k {
+        return Err(RsaError::MessageTooLarge);
+    }
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x02);
+    for _ in 0..k - msg.len() - 3 {
+        // Padding bytes must be nonzero.
+        em.push((rng.gen_range(1..256)) as u8);
+    }
+    em.push(0x00);
+    em.extend_from_slice(msg);
+    debug_assert_eq!(em.len(), k);
+    Ok(em)
+}
+
+/// Strips block-type-2 padding.
+pub(crate) fn unpad_encrypt(em: &[u8]) -> Result<Vec<u8>, RsaError> {
+    if em.len() < OVERHEAD || em[0] != 0x00 || em[1] != 0x02 {
+        return Err(RsaError::BadPadding);
+    }
+    let sep = em[2..]
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or(RsaError::BadPadding)?;
+    if sep < 8 {
+        // Fewer than 8 padding bytes is invalid.
+        return Err(RsaError::BadPadding);
+    }
+    Ok(em[2 + sep + 1..].to_vec())
+}
+
+/// Builds `00 || 01 || FF.. || 00 || M`.
+pub(crate) fn pad_sign(msg: &[u8], k: usize) -> Result<Vec<u8>, RsaError> {
+    if msg.len() + OVERHEAD > k {
+        return Err(RsaError::MessageTooLarge);
+    }
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(k - msg.len() - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(msg);
+    debug_assert_eq!(em.len(), k);
+    Ok(em)
+}
+
+/// Strips block-type-1 padding.
+pub(crate) fn unpad_sign(em: &[u8]) -> Result<Vec<u8>, RsaError> {
+    if em.len() < OVERHEAD || em[0] != 0x00 || em[1] != 0x01 {
+        return Err(RsaError::BadPadding);
+    }
+    let mut i = 2;
+    while i < em.len() && em[i] == 0xff {
+        i += 1;
+    }
+    if i < 10 || i >= em.len() || em[i] != 0x00 {
+        return Err(RsaError::BadPadding);
+    }
+    Ok(em[i + 1..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encrypt_pad_round_trip() {
+        let mut rng = Rng64::new(1);
+        for len in [0usize, 1, 10, 53] {
+            let msg: Vec<u8> = (0..len as u8).collect();
+            let em = pad_encrypt(&msg, 64, &mut rng).unwrap();
+            assert_eq!(em.len(), 64);
+            assert_eq!(unpad_encrypt(&em).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn encrypt_pad_has_no_zero_padding_bytes() {
+        let mut rng = Rng64::new(2);
+        let em = pad_encrypt(b"m", 64, &mut rng).unwrap();
+        // PS spans bytes 2..len-2 here; none may be zero.
+        assert!(em[2..em.len() - 2].iter().all(|&b| b != 0));
+    }
+
+    #[test]
+    fn encrypt_pad_overflow() {
+        let mut rng = Rng64::new(3);
+        assert_eq!(
+            pad_encrypt(&[0u8; 54], 64, &mut rng),
+            Err(RsaError::MessageTooLarge)
+        );
+    }
+
+    #[test]
+    fn unpad_rejects_malformed() {
+        assert!(unpad_encrypt(&[0u8; 5]).is_err()); // too short
+        let mut em = vec![0u8; 64];
+        em[1] = 0x01; // wrong block type
+        assert!(unpad_encrypt(&em).is_err());
+        // No zero separator.
+        let mut em = vec![0xffu8; 64];
+        em[0] = 0;
+        em[1] = 2;
+        assert!(unpad_encrypt(&em).is_err());
+        // Separator too early (short padding).
+        let mut em = vec![0xffu8; 64];
+        em[0] = 0;
+        em[1] = 2;
+        em[4] = 0;
+        assert!(unpad_encrypt(&em).is_err());
+    }
+
+    #[test]
+    fn sign_pad_round_trip() {
+        for len in [0usize, 1, 20, 53] {
+            let msg: Vec<u8> = (0..len as u8).map(|b| b.wrapping_mul(7)).collect();
+            let em = pad_sign(&msg, 64).unwrap();
+            assert_eq!(em.len(), 64);
+            assert_eq!(unpad_sign(&em).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn sign_pad_rejects_malformed() {
+        assert!(unpad_sign(&[0u8; 4]).is_err());
+        let mut em = pad_sign(b"x", 64).unwrap();
+        em[1] = 0x02;
+        assert!(unpad_sign(&em).is_err());
+        // Corrupt one padding byte.
+        let mut em = pad_sign(b"x", 64).unwrap();
+        em[5] = 0xfe;
+        assert!(unpad_sign(&em).is_err());
+    }
+
+    #[test]
+    fn sign_pad_overflow() {
+        assert_eq!(pad_sign(&[0u8; 60], 64), Err(RsaError::MessageTooLarge));
+    }
+}

@@ -1,0 +1,250 @@
+//! The simulated Apache 2.0 prefork + mod_ssl server: a parent that loads
+//! the key once and a worker pool that scales with load. Workers are
+//! long-lived, so key copies accumulate in *allocated* memory (COW-broken
+//! key pages + per-worker Montgomery caches); reaping idle workers dumps
+//! those copies into unallocated memory.
+
+use crate::engine::{ScatteredKey, WorkerCrypto};
+use crate::{SecureServer, ServerConfig};
+use keyguard::SecureKeyRegion;
+use memsim::{FileId, Kernel, Pid, SimResult, VAddr};
+use rsa_repro::material::KeyMaterial;
+use rsa_repro::RsaPrivateKey;
+use simrng::Rng64;
+
+/// Apache prefork defaults (httpd.conf `StartServers` / `MaxClients`).
+const START_SERVERS: usize = 5;
+const MAX_CLIENTS: usize = 150;
+
+#[derive(Debug)]
+struct Worker {
+    pid: Pid,
+    crypto: WorkerCrypto,
+}
+
+/// Simulated Apache HTTP Server 2.0.55 (prefork MPM, SSL enabled).
+///
+/// See [`crate`] docs and [`SecureServer`] for the interface.
+#[derive(Debug)]
+pub struct ApacheServer {
+    config: ServerConfig,
+    key: RsaPrivateKey,
+    material: KeyMaterial,
+    pem_file: FileId,
+    parent: Pid,
+    region: Option<SecureKeyRegion>,
+    /// Address of the shared RSA struct: the page workers dirty on their
+    /// first private-key op (unprotected levels only).
+    shared_struct: Option<VAddr>,
+    workers: Vec<Worker>,
+    next_worker: usize,
+    rng: Rng64,
+    handshakes: u64,
+    running: bool,
+}
+
+impl ApacheServer {
+    fn spawn_worker(&mut self, kernel: &mut Kernel) -> SimResult<()> {
+        if self.workers.len() >= MAX_CLIENTS {
+            return Ok(());
+        }
+        let pid = kernel.fork(self.parent)?;
+        let crypto = WorkerCrypto::with_protocol(
+            self.key.clone(),
+            self.config.level,
+            self.rng.next_u64(),
+            crate::engine::Protocol::Tls,
+        );
+        self.workers.push(Worker { pid, crypto });
+        Ok(())
+    }
+
+    fn reap_worker(&mut self, kernel: &mut Kernel) -> SimResult<()> {
+        if let Some(w) = self.workers.pop() {
+            kernel.exit(w.pid)?;
+        }
+        Ok(())
+    }
+
+    /// The current worker pool size.
+    #[must_use]
+    pub fn pool_size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The simulated key file on disk.
+    #[must_use]
+    pub fn pem_file(&self) -> FileId {
+        self.pem_file
+    }
+
+    /// `apachectl graceful`: reap every worker, re-read the key file in the
+    /// parent, and respawn the pool. On an unprotected machine each restart
+    /// dumps a worker-pool's worth of key copies into free memory and loads
+    /// fresh ones; the aligned levels re-install the single locked page.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn graceful_restart(&mut self, kernel: &mut Kernel) -> SimResult<()> {
+        let pool = self.workers.len().max(START_SERVERS);
+        while !self.workers.is_empty() {
+            self.reap_worker(kernel)?;
+        }
+        // Re-load the configuration, key file included.
+        let level = self.config.level;
+        let scattered = ScatteredKey::load(
+            kernel,
+            self.parent,
+            self.pem_file,
+            &self.material,
+            level.nocache_pem(),
+            level.align_key(),
+        )?;
+        if level.align_key() {
+            // Retire the old region, then install the key freshly.
+            if let Some(old) = self.region.take() {
+                old.destroy(kernel, self.parent)?;
+            }
+            self.region = Some(SecureKeyRegion::install(kernel, self.parent, &self.key)?);
+            scattered.zero_and_free(kernel, self.parent)?;
+        } else {
+            self.shared_struct = Some(scattered.rsa_struct_addr());
+        }
+        for _ in 0..pool {
+            self.spawn_worker(kernel)?;
+        }
+        Ok(())
+    }
+}
+
+impl SecureServer for ApacheServer {
+    fn start(kernel: &mut Kernel, config: ServerConfig) -> SimResult<Self> {
+        let mut rng = Rng64::new(config.seed ^ 0xA9AC_4E00);
+        let key = RsaPrivateKey::generate(config.key_bits, &mut rng);
+        let material = KeyMaterial::from_key(&key);
+        let pem_file = kernel.create_file("/etc/apache2/ssl/server.key", material.pem_bytes());
+
+        let parent = kernel.spawn();
+        let level = config.level;
+        let scattered = ScatteredKey::load(
+            kernel,
+            parent,
+            pem_file,
+            &material,
+            level.nocache_pem(),
+            level.align_key(),
+        )?;
+        let (region, shared_struct) = if level.align_key() {
+            let region = SecureKeyRegion::install(kernel, parent, &key)?;
+            scattered.zero_and_free(kernel, parent)?;
+            (Some(region), None)
+        } else {
+            (None, Some(scattered.rsa_struct_addr()))
+        };
+
+        let mut server = Self {
+            config,
+            key,
+            material,
+            pem_file,
+            parent,
+            region,
+            shared_struct,
+            workers: Vec::new(),
+            next_worker: 0,
+            rng,
+            handshakes: 0,
+            running: true,
+        };
+        for _ in 0..START_SERVERS {
+            server.spawn_worker(kernel)?;
+        }
+        Ok(server)
+    }
+
+    fn set_concurrency(&mut self, kernel: &mut Kernel, n: usize) -> SimResult<()> {
+        // Prefork keeps at least StartServers processes alive and grows the
+        // pool to match concurrent demand.
+        let target = n.clamp(START_SERVERS, MAX_CLIENTS);
+        while self.workers.len() < target {
+            self.spawn_worker(kernel)?;
+        }
+        while self.workers.len() > target {
+            self.reap_worker(kernel)?;
+        }
+        Ok(())
+    }
+
+    fn pump(&mut self, kernel: &mut Kernel, requests: usize) -> SimResult<()> {
+        for _ in 0..requests {
+            if self.workers.is_empty() {
+                self.spawn_worker(kernel)?;
+            }
+            let idx = self.next_worker % self.workers.len();
+            self.next_worker = self.next_worker.wrapping_add(1);
+            let shared = self.shared_struct;
+            let material = self.material.clone();
+            let w = &mut self.workers[idx];
+            w.crypto.handshake(kernel, w.pid, shared, &material)?;
+            self.handshakes += 1;
+        }
+        Ok(())
+    }
+
+    fn transfer(&mut self, kernel: &mut Kernel, bytes: usize) -> SimResult<()> {
+        if self.workers.is_empty() {
+            self.spawn_worker(kernel)?;
+        }
+        let idx = self.rng.gen_index(self.workers.len());
+        let pid = self.workers[idx].pid;
+        crate::engine::move_data(kernel, pid, bytes, self.rng.next_u64())
+    }
+
+    fn stop(&mut self, kernel: &mut Kernel) -> SimResult<()> {
+        if !self.running {
+            return Ok(());
+        }
+        while !self.workers.is_empty() {
+            self.reap_worker(kernel)?;
+        }
+        if let Some(region) = self.region.take() {
+            region.destroy(kernel, self.parent)?;
+        }
+        kernel.exit(self.parent)?;
+        self.running = false;
+        Ok(())
+    }
+
+    fn config(&self) -> ServerConfig {
+        self.config
+    }
+
+    fn restart(&mut self, kernel: &mut Kernel) -> SimResult<()> {
+        self.graceful_restart(kernel)
+    }
+
+    fn key(&self) -> &RsaPrivateKey {
+        &self.key
+    }
+
+    fn material(&self) -> &KeyMaterial {
+        &self.material
+    }
+
+    fn concurrency(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn is_running(&self) -> bool {
+        self.running
+    }
+
+    fn name(&self) -> &'static str {
+        "apache"
+    }
+
+    fn handshakes(&self) -> u64 {
+        self.handshakes
+    }
+}

@@ -1,0 +1,208 @@
+//! Simulated network servers whose key-handling behaviour reproduces the
+//! memory traces of Section 3 of the paper.
+//!
+//! Two servers are modeled on top of [`memsim`]:
+//!
+//! * [`SshServer`] — OpenSSH 4.3p2-style: the listener loads the host key at
+//!   startup and, for every incoming connection, forks a child that (without
+//!   the `-r` option) *re-loads the private key file* and performs the RSA
+//!   handshake before exiting. This per-connection reload is what floods
+//!   memory with key copies as connection counts grow.
+//! * [`ApacheServer`] — Apache 2.0 prefork + mod_ssl: the parent loads the
+//!   key once, then forks a pool of worker processes that scales with load.
+//!   Each worker's first private-key operation dirties the heap page holding
+//!   the key BIGNUMs (breaking copy-on-write and duplicating d, P, Q) and —
+//!   with `RSA_FLAG_CACHE_PRIVATE` set — caches Montgomery contexts holding
+//!   fresh copies of P and Q. Reaped idle workers dump all of it into
+//!   unallocated memory.
+//!
+//! Every protection level of [`keyguard::ProtectionLevel`] can be applied,
+//! changing exactly what the paper's patches changed: key consolidation +
+//! mlock + no Montgomery caching (application/library), kernel zeroing
+//! (kernel), and `O_NOCACHE` for the PEM file (integrated).
+//!
+//! # Examples
+//!
+//! ```
+//! use keyguard::ProtectionLevel;
+//! use memsim::{Kernel, MachineConfig};
+//! use servers::{ServerConfig, SecureServer, SshServer};
+//!
+//! let mut kernel = Kernel::new(MachineConfig::small());
+//! let cfg = ServerConfig::new(ProtectionLevel::None).with_key_bits(128);
+//! let mut ssh = SshServer::start(&mut kernel, cfg)?;
+//! ssh.set_concurrency(&mut kernel, 4)?;
+//! ssh.pump(&mut kernel, 8)?; // eight completed transfers
+//! ssh.stop(&mut kernel)?;
+//! # Ok::<(), memsim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apache;
+mod engine;
+mod ssh;
+
+pub use apache::ApacheServer;
+pub use engine::{Protocol, ScatteredKey, WorkerCrypto};
+pub use ssh::SshServer;
+
+use keyguard::ProtectionLevel;
+use memsim::{Kernel, SimResult};
+use rsa_repro::material::KeyMaterial;
+use rsa_repro::RsaPrivateKey;
+
+/// Configuration shared by both servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Countermeasure level to deploy.
+    pub level: ProtectionLevel,
+    /// RSA modulus size in bits (the paper uses 1024).
+    pub key_bits: usize,
+    /// Seed for key generation and handshake randomness.
+    pub seed: u64,
+}
+
+impl ServerConfig {
+    /// A configuration at the given protection level with paper-style
+    /// defaults (1024-bit key).
+    #[must_use]
+    pub fn new(level: ProtectionLevel) -> Self {
+        Self {
+            level,
+            key_bits: 1024,
+            seed: 0xD51_2007,
+        }
+    }
+
+    /// Overrides the key size (small keys make tests fast).
+    #[must_use]
+    pub fn with_key_bits(mut self, bits: usize) -> Self {
+        self.key_bits = bits;
+        self
+    }
+
+    /// Overrides the randomness seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Derives the private key a server with this configuration will use.
+    ///
+    /// Key generation is deterministic in the configuration, so experiment
+    /// harnesses can build scanners for a server's key *before* the server
+    /// is started (e.g. to scan the machine at timeline ticks preceding
+    /// server startup).
+    #[must_use]
+    pub fn derive_key(&self, server_name: &str) -> RsaPrivateKey {
+        let salt = match server_name {
+            "apache" => 0xA9AC_4E00,
+            _ => 0,
+        };
+        let mut rng = simrng::Rng64::new(self.seed ^ salt);
+        RsaPrivateKey::generate(self.key_bits, &mut rng)
+    }
+}
+
+/// Common interface of the simulated servers, used by the experiment
+/// harness to sweep both.
+pub trait SecureServer: Sized {
+    /// Boots the server on the simulated machine: creates the PEM key file,
+    /// spawns the daemon process, and loads the key according to the
+    /// configured protection level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (out of memory, etc.).
+    fn start(kernel: &mut Kernel, config: ServerConfig) -> SimResult<Self>;
+
+    /// Adjusts the number of concurrently open connections. For SSH this
+    /// forks/reaps per-connection children; for Apache it grows/shrinks the
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    fn set_concurrency(&mut self, kernel: &mut Kernel, n: usize) -> SimResult<()>;
+
+    /// Completes `requests` transfer cycles at the current concurrency —
+    /// each one a full RSA handshake plus data movement. For SSH a completed
+    /// transfer closes its connection and a fresh one replaces it (scp
+    /// churn); for Apache a worker serves the request and stays alive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    fn pump(&mut self, kernel: &mut Kernel, requests: usize) -> SimResult<()>;
+
+    /// Moves `bytes` of payload through one live connection's channel
+    /// buffer — the data-plane half of an scp or HTTPS transfer, used by the
+    /// performance benchmarks. Opens a transient connection when none is
+    /// live.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    fn transfer(&mut self, kernel: &mut Kernel, bytes: usize) -> SimResult<()>;
+
+    /// Stops the server, terminating every process it owns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    fn stop(&mut self, kernel: &mut Kernel) -> SimResult<()>;
+
+    /// The configuration the server was started with.
+    fn config(&self) -> ServerConfig;
+
+    /// Restarts the server: by default a full stop + start
+    /// (`/etc/init.d/<svc> restart`); Apache overrides this with its
+    /// pool-preserving graceful reload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    fn restart(&mut self, kernel: &mut Kernel) -> SimResult<()> {
+        self.stop(kernel)?;
+        *self = Self::start(kernel, self.config())?;
+        Ok(())
+    }
+
+    /// The server's private key.
+    fn key(&self) -> &RsaPrivateKey;
+
+    /// The searchable key material derived from the key.
+    fn material(&self) -> &KeyMaterial;
+
+    /// Current number of open connections (SSH) or busy-capable workers
+    /// (Apache).
+    fn concurrency(&self) -> usize;
+
+    /// Whether the server is running.
+    fn is_running(&self) -> bool;
+
+    /// Human-readable name (`"openssh"` / `"apache"`).
+    fn name(&self) -> &'static str;
+
+    /// Total handshakes performed since start.
+    fn handshakes(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders() {
+        let c = ServerConfig::new(ProtectionLevel::Kernel)
+            .with_key_bits(256)
+            .with_seed(42);
+        assert_eq!(c.level, ProtectionLevel::Kernel);
+        assert_eq!(c.key_bits, 256);
+        assert_eq!(c.seed, 42);
+        assert_eq!(ServerConfig::new(ProtectionLevel::None).key_bits, 1024);
+    }
+}

@@ -1,0 +1,209 @@
+//! The simulated OpenSSH server: fork-per-connection, with the unprotected
+//! configuration re-loading the host key for every connection (the default
+//! re-exec behaviour the paper's `-r` option disables).
+
+use crate::engine::{ScatteredKey, WorkerCrypto};
+use crate::{SecureServer, ServerConfig};
+use keyguard::SecureKeyRegion;
+use memsim::{FileId, Kernel, Pid, SimResult};
+use rsa_repro::material::KeyMaterial;
+use rsa_repro::RsaPrivateKey;
+use simrng::Rng64;
+
+/// One live SSH connection: a forked child process with its own crypto
+/// state and (when unprotected) its own reloaded key copies.
+#[derive(Debug)]
+struct Connection {
+    pid: Pid,
+    crypto: WorkerCrypto,
+}
+
+/// Simulated OpenSSH 4.3p2.
+///
+/// See [`crate`] docs and [`SecureServer`] for the interface.
+#[derive(Debug)]
+pub struct SshServer {
+    config: ServerConfig,
+    key: RsaPrivateKey,
+    material: KeyMaterial,
+    pem_file: FileId,
+    daemon: Pid,
+    /// The daemon's aligned key region, when the level calls for one.
+    region: Option<SecureKeyRegion>,
+    connections: Vec<Connection>,
+    rng: Rng64,
+    handshakes: u64,
+    running: bool,
+}
+
+/// Pages of private data/bss/stack a re-exec'd sshd child owns. When such a
+/// child exits it frees far more pages than the allocator's hot list holds,
+/// so its key-bearing pages spill to the cold list and linger unreused —
+/// exactly why the paper keeps finding key copies in unallocated memory
+/// while traffic is running.
+const EXEC_IMAGE_BYTES: usize = 24 * memsim::PAGE_SIZE;
+
+impl SshServer {
+    fn open_connection(&mut self, kernel: &mut Kernel) -> SimResult<()> {
+        let child = kernel.fork(self.daemon)?;
+        let mut crypto = WorkerCrypto::with_protocol(
+            self.key.clone(),
+            self.config.level,
+            self.rng.next_u64(),
+            crate::engine::Protocol::Ssh,
+        );
+        if !self.config.level.align_key() {
+            // Without -r the child re-executes sshd and must re-read the
+            // host key file: a fresh PEM buffer and six fresh BIGNUMs, all
+            // doomed to be freed dirty at connection close.
+            let _reload =
+                ScatteredKey::load(kernel, child, self.pem_file, &self.material, false, false)?;
+            // The re-exec also gives the child a private process image.
+            let _image = kernel.heap_alloc(child, EXEC_IMAGE_BYTES)?;
+        }
+        // Key-exchange handshake happens at connection setup.
+        crypto.handshake(kernel, child, None, &self.material)?;
+        self.handshakes += 1;
+        self.connections.push(Connection { pid: child, crypto });
+        Ok(())
+    }
+
+    fn close_connection(&mut self, kernel: &mut Kernel, idx: usize) -> SimResult<()> {
+        let conn = self.connections.swap_remove(idx);
+        kernel.exit(conn.pid)
+    }
+
+    /// The simulated key file on disk.
+    #[must_use]
+    pub fn pem_file(&self) -> FileId {
+        self.pem_file
+    }
+}
+
+impl SecureServer for SshServer {
+    fn start(kernel: &mut Kernel, config: ServerConfig) -> SimResult<Self> {
+        let mut rng = Rng64::new(config.seed);
+        let key = RsaPrivateKey::generate(config.key_bits, &mut rng);
+        let material = KeyMaterial::from_key(&key);
+        let pem_file = kernel.create_file("/etc/ssh/ssh_host_rsa_key", material.pem_bytes());
+
+        let daemon = kernel.spawn();
+        let level = config.level;
+        // The listener loads the host key once at startup.
+        let scattered = ScatteredKey::load(
+            kernel,
+            daemon,
+            pem_file,
+            &material,
+            level.nocache_pem(),
+            level.align_key(),
+        )?;
+        let region = if level.align_key() {
+            // RSA_memory_align: consolidate, then zero + free the originals.
+            let region = SecureKeyRegion::install(kernel, daemon, &key)?;
+            scattered.zero_and_free(kernel, daemon)?;
+            Some(region)
+        } else {
+            None
+        };
+
+        Ok(Self {
+            config,
+            key,
+            material,
+            pem_file,
+            daemon,
+            region,
+            connections: Vec::new(),
+            rng,
+            handshakes: 0,
+            running: true,
+        })
+    }
+
+    fn set_concurrency(&mut self, kernel: &mut Kernel, n: usize) -> SimResult<()> {
+        while self.connections.len() > n {
+            let last = self.connections.len() - 1;
+            self.close_connection(kernel, last)?;
+        }
+        while self.connections.len() < n {
+            self.open_connection(kernel)?;
+        }
+        Ok(())
+    }
+
+    fn pump(&mut self, kernel: &mut Kernel, requests: usize) -> SimResult<()> {
+        for _ in 0..requests {
+            if self.connections.is_empty() {
+                // No standing concurrency: each transfer is its own
+                // connect/transfer/disconnect cycle.
+                self.open_connection(kernel)?;
+                self.close_connection(kernel, 0)?;
+                continue;
+            }
+            // scp churn: a replacement connection arrives, then the oldest
+            // transfer finishes and its child exits — leaving the child's
+            // pages dirty on the free lists until something reuses them.
+            self.open_connection(kernel)?;
+            self.close_connection(kernel, 0)?;
+            // Established connections also push data.
+            let idx = self.rng.gen_index(self.connections.len());
+            let conn = &mut self.connections[idx];
+            conn.crypto.handshake(kernel, conn.pid, None, &self.material)?;
+            self.handshakes += 1;
+        }
+        Ok(())
+    }
+
+    fn transfer(&mut self, kernel: &mut Kernel, bytes: usize) -> SimResult<()> {
+        if self.connections.is_empty() {
+            self.open_connection(kernel)?;
+        }
+        let idx = self.rng.gen_index(self.connections.len());
+        let pid = self.connections[idx].pid;
+        crate::engine::move_data(kernel, pid, bytes, self.rng.next_u64())
+    }
+
+    fn stop(&mut self, kernel: &mut Kernel) -> SimResult<()> {
+        if !self.running {
+            return Ok(());
+        }
+        self.set_concurrency(kernel, 0)?;
+        if let Some(region) = self.region.take() {
+            // The library clears the special region before the daemon dies —
+            // the "special care" the paper requires of aligned deployments.
+            region.destroy(kernel, self.daemon)?;
+        }
+        kernel.exit(self.daemon)?;
+        self.running = false;
+        Ok(())
+    }
+
+    fn config(&self) -> ServerConfig {
+        self.config
+    }
+
+    fn key(&self) -> &RsaPrivateKey {
+        &self.key
+    }
+
+    fn material(&self) -> &KeyMaterial {
+        &self.material
+    }
+
+    fn concurrency(&self) -> usize {
+        self.connections.len()
+    }
+
+    fn is_running(&self) -> bool {
+        self.running
+    }
+
+    fn name(&self) -> &'static str {
+        "openssh"
+    }
+
+    fn handshakes(&self) -> u64 {
+        self.handshakes
+    }
+}

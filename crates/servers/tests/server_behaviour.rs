@@ -1,0 +1,449 @@
+//! End-to-end behaviour: do the simulated servers reproduce the memory
+//! phenomena of Sections 3, 5, and 6 of the paper?
+
+use exploits::{Ext2DirentLeak, TtyMemoryDump};
+use keyguard::ProtectionLevel;
+use keyscan::Scanner;
+use memsim::{Kernel, MachineConfig, PAGE_SIZE};
+use servers::{ApacheServer, SecureServer, ServerConfig, SshServer};
+use simrng::Rng64;
+
+const KEY_BITS: usize = 256;
+
+fn machine(level: ProtectionLevel) -> Kernel {
+    // 16 MB machine: big enough for tens of workers, fast enough for tests.
+    let mut k = Kernel::new(
+        MachineConfig::small()
+            .with_mem_bytes(16 * 1024 * 1024)
+            .with_policy(level.kernel_policy()),
+    );
+    // Scatter the free lists across all of RAM, as on a long-running box.
+    k.age_memory(&mut Rng64::new(0xA6E), 1.0);
+    k
+}
+
+fn start_ssh(kernel: &mut Kernel, level: ProtectionLevel) -> SshServer {
+    SshServer::start(kernel, ServerConfig::new(level).with_key_bits(KEY_BITS)).unwrap()
+}
+
+fn start_apache(kernel: &mut Kernel, level: ProtectionLevel) -> ApacheServer {
+    ApacheServer::start(kernel, ServerConfig::new(level).with_key_bits(KEY_BITS)).unwrap()
+}
+
+// -------------------------------------------------------------------------
+// Section 3: unprotected behaviour
+// -------------------------------------------------------------------------
+
+#[test]
+fn ssh_copies_flood_with_connection_churn() {
+    let mut k = machine(ProtectionLevel::None);
+    let mut ssh = start_ssh(&mut k, ProtectionLevel::None);
+    let scanner = Scanner::from_material(ssh.material());
+
+    let at_start = scanner.scan_kernel(&k).total();
+    ssh.set_concurrency(&mut k, 8).unwrap();
+    let at_load = scanner.scan_kernel(&k).total();
+    assert!(
+        at_load > at_start,
+        "live connections should add key copies: {at_start} -> {at_load}"
+    );
+
+    ssh.pump(&mut k, 30).unwrap();
+    let report = scanner.scan_kernel(&k);
+    assert!(
+        report.unallocated() > 0,
+        "closed connections must leave copies in unallocated memory"
+    );
+    ssh.stop(&mut k).unwrap();
+}
+
+#[test]
+fn ssh_copies_grow_with_concurrency() {
+    let mut k = machine(ProtectionLevel::None);
+    let mut ssh = start_ssh(&mut k, ProtectionLevel::None);
+    let scanner = Scanner::from_material(ssh.material());
+    ssh.set_concurrency(&mut k, 2).unwrap();
+    let low = scanner.scan_kernel(&k).allocated();
+    ssh.set_concurrency(&mut k, 12).unwrap();
+    let high = scanner.scan_kernel(&k).allocated();
+    assert!(high > low, "allocated copies scale with live connections: {low} -> {high}");
+}
+
+#[test]
+fn ssh_stop_moves_copies_to_unallocated() {
+    let mut k = machine(ProtectionLevel::None);
+    let mut ssh = start_ssh(&mut k, ProtectionLevel::None);
+    let scanner = Scanner::from_material(ssh.material());
+    ssh.set_concurrency(&mut k, 4).unwrap();
+    ssh.pump(&mut k, 10).unwrap();
+    ssh.stop(&mut k).unwrap();
+    let report = scanner.scan_kernel(&k);
+    // Observation (5) of Fig 5: after sshd stops, d/p/q survive only in
+    // unallocated memory, plus the PEM file in the page cache.
+    assert!(report.unallocated() > 0);
+    let allocated_names: Vec<&str> = report
+        .hits()
+        .iter()
+        .filter(|h| h.allocated)
+        .map(|h| h.name.as_str())
+        .collect();
+    assert!(
+        allocated_names.iter().all(|&n| n == "pem"),
+        "only the cached PEM should remain allocated, got {allocated_names:?}"
+    );
+}
+
+#[test]
+fn apache_copies_scale_with_worker_pool() {
+    let mut k = machine(ProtectionLevel::None);
+    let mut apache = start_apache(&mut k, ProtectionLevel::None);
+    let scanner = Scanner::from_material(apache.material());
+
+    apache.set_concurrency(&mut k, 5).unwrap();
+    apache.pump(&mut k, 10).unwrap(); // every worker does its first op
+    let small_pool = scanner.scan_kernel(&k).allocated();
+
+    apache.set_concurrency(&mut k, 20).unwrap();
+    apache.pump(&mut k, 40).unwrap();
+    let big_pool = scanner.scan_kernel(&k).allocated();
+    assert!(
+        big_pool > small_pool,
+        "more workers, more allocated copies: {small_pool} -> {big_pool}"
+    );
+    apache.stop(&mut k).unwrap();
+}
+
+#[test]
+fn apache_reaping_floods_unallocated_memory() {
+    let mut k = machine(ProtectionLevel::None);
+    let mut apache = start_apache(&mut k, ProtectionLevel::None);
+    let scanner = Scanner::from_material(apache.material());
+    apache.set_concurrency(&mut k, 16).unwrap();
+    apache.pump(&mut k, 32).unwrap();
+    let before = scanner.scan_kernel(&k).unallocated();
+    apache.set_concurrency(&mut k, 5).unwrap(); // reap 11 workers
+    let after = scanner.scan_kernel(&k).unallocated();
+    assert!(
+        after > before,
+        "reaped workers leave copies in free memory: {before} -> {after}"
+    );
+}
+
+// -------------------------------------------------------------------------
+// Sections 5/6: protected behaviour
+// -------------------------------------------------------------------------
+
+#[test]
+fn aligned_levels_keep_copies_constant_under_load() {
+    for level in [ProtectionLevel::Application, ProtectionLevel::Library] {
+        let mut k = machine(level);
+        let mut ssh = start_ssh(&mut k, level);
+        let scanner = Scanner::from_material(ssh.material());
+
+        let at_start = scanner.scan_kernel(&k);
+        ssh.set_concurrency(&mut k, 12).unwrap();
+        ssh.pump(&mut k, 30).unwrap();
+        let at_load = scanner.scan_kernel(&k);
+
+        // d, p, q: exactly one copy each (the aligned page), independent of
+        // load. The PEM file may add cache/buffer copies but no more appear
+        // under load.
+        assert_eq!(
+            at_load.by_pattern()[..3],
+            [1, 1, 1],
+            "{level}: one aligned copy of each component"
+        );
+        assert_eq!(
+            at_start.total(),
+            at_load.total(),
+            "{level}: copy count independent of connections"
+        );
+        assert_eq!(at_load.unallocated(), 0, "{level}: nothing in free memory");
+        ssh.stop(&mut k).unwrap();
+    }
+}
+
+#[test]
+fn kernel_level_still_floods_allocated_but_not_unallocated() {
+    let mut k = machine(ProtectionLevel::Kernel);
+    let mut ssh = start_ssh(&mut k, ProtectionLevel::Kernel);
+    let scanner = Scanner::from_material(ssh.material());
+    ssh.set_concurrency(&mut k, 8).unwrap();
+    ssh.pump(&mut k, 20).unwrap();
+    let report = scanner.scan_kernel(&k);
+    assert!(
+        report.allocated() > 3,
+        "kernel level does not stop duplication in allocated memory"
+    );
+    assert_eq!(report.unallocated(), 0, "but free memory is always clean");
+    ssh.stop(&mut k).unwrap();
+    assert_eq!(scanner.scan_kernel(&k).unallocated(), 0);
+}
+
+#[test]
+fn integrated_level_leaves_exactly_three_copies_total() {
+    let mut k = machine(ProtectionLevel::Integrated);
+    let mut ssh = start_ssh(&mut k, ProtectionLevel::Integrated);
+    let scanner = Scanner::from_material(ssh.material());
+    ssh.set_concurrency(&mut k, 10).unwrap();
+    ssh.pump(&mut k, 25).unwrap();
+    let report = scanner.scan_kernel(&k);
+    // d + p + q on the aligned page; the PEM was never cached (O_NOCACHE)
+    // and its read buffer was zeroed.
+    assert_eq!(report.by_pattern(), vec![1, 1, 1, 0]);
+    assert_eq!(report.unallocated(), 0);
+}
+
+#[test]
+fn integrated_apache_matches_paper_figure_28() {
+    let mut k = machine(ProtectionLevel::Integrated);
+    let mut apache = start_apache(&mut k, ProtectionLevel::Integrated);
+    let scanner = Scanner::from_material(apache.material());
+    apache.set_concurrency(&mut k, 16).unwrap();
+    apache.pump(&mut k, 48).unwrap();
+    let report = scanner.scan_kernel(&k);
+    assert_eq!(report.by_pattern(), vec![1, 1, 1, 0]);
+    apache.set_concurrency(&mut k, 5).unwrap();
+    assert_eq!(scanner.scan_kernel(&k).by_pattern(), vec![1, 1, 1, 0]);
+    apache.stop(&mut k).unwrap();
+    assert_eq!(scanner.scan_kernel(&k).total(), 0, "clean after shutdown");
+}
+
+// -------------------------------------------------------------------------
+// Attacks against the servers (Sections 2 and 5.2/6.2 end-to-end)
+// -------------------------------------------------------------------------
+
+#[test]
+fn ext2_attack_compromises_unprotected_ssh() {
+    let mut k = machine(ProtectionLevel::None);
+    let mut ssh = start_ssh(&mut k, ProtectionLevel::None);
+    let scanner = Scanner::from_material(ssh.material());
+    // Paper methodology: create connections, close them all, then leak.
+    ssh.set_concurrency(&mut k, 10).unwrap();
+    ssh.pump(&mut k, 20).unwrap();
+    ssh.set_concurrency(&mut k, 0).unwrap();
+    let capture = Ext2DirentLeak::new(500).run(&mut k).unwrap();
+    assert!(capture.succeeded(&scanner), "unprotected ssh must fall");
+    assert!(capture.keys_found(&scanner) >= 1);
+}
+
+#[test]
+fn ext2_attack_fails_against_kernel_and_integrated_levels() {
+    for level in [ProtectionLevel::Kernel, ProtectionLevel::Integrated] {
+        let mut k = machine(level);
+        let mut ssh = start_ssh(&mut k, level);
+        let scanner = Scanner::from_material(ssh.material());
+        ssh.set_concurrency(&mut k, 10).unwrap();
+        ssh.pump(&mut k, 20).unwrap();
+        ssh.set_concurrency(&mut k, 0).unwrap();
+        let capture = Ext2DirentLeak::new(500).run(&mut k).unwrap();
+        assert!(!capture.succeeded(&scanner), "{level}: ext2 leak must find nothing");
+    }
+}
+
+#[test]
+fn tty_attack_succeeds_partially_against_integrated_level() {
+    // Fig 7b: even integrated protection leaves ~50% success because the
+    // dump covers ~50% of RAM and one copy must exist somewhere.
+    let mut k = machine(ProtectionLevel::Integrated);
+    let mut ssh = start_ssh(&mut k, ProtectionLevel::Integrated);
+    let scanner = Scanner::from_material(ssh.material());
+    ssh.set_concurrency(&mut k, 6).unwrap();
+    ssh.pump(&mut k, 12).unwrap();
+
+    let dump = TtyMemoryDump::paper();
+    let mut rng = Rng64::new(99);
+    let runs = 60;
+    let mut successes = 0;
+    let mut keys = 0;
+    for _ in 0..runs {
+        let c = dump.run(&k, &mut rng);
+        if c.succeeded(&scanner) {
+            successes += 1;
+        }
+        keys += c.keys_found(&scanner);
+    }
+    let rate = f64::from(successes) / f64::from(runs);
+    assert!(
+        (0.25..=0.75).contains(&rate),
+        "integrated tty success rate {rate} should hover near disclosed fraction"
+    );
+    // Far fewer copies per successful run than unprotected would show.
+    assert!(keys as f64 / f64::from(runs) < 4.0);
+}
+
+#[test]
+fn tty_attack_overwhelms_unprotected_ssh() {
+    let mut k = machine(ProtectionLevel::None);
+    let mut ssh = start_ssh(&mut k, ProtectionLevel::None);
+    let scanner = Scanner::from_material(ssh.material());
+    ssh.set_concurrency(&mut k, 10).unwrap();
+    ssh.pump(&mut k, 20).unwrap();
+
+    let dump = TtyMemoryDump::paper();
+    let mut rng = Rng64::new(7);
+    let runs = 30;
+    let successes = (0..runs)
+        .filter(|_| dump.run(&k, &mut rng).succeeded(&scanner))
+        .count();
+    // With dozens of copies spread over memory, nearly every dump hits one.
+    assert!(
+        successes as f64 / runs as f64 > 0.8,
+        "unprotected ssh: {successes}/{runs}"
+    );
+}
+
+// -------------------------------------------------------------------------
+// Robustness
+// -------------------------------------------------------------------------
+
+#[test]
+fn servers_share_one_machine_without_interference() {
+    let mut k = machine(ProtectionLevel::None);
+    let mut ssh = start_ssh(&mut k, ProtectionLevel::None);
+    let mut apache = ApacheServer::start(
+        &mut k,
+        ServerConfig::new(ProtectionLevel::None)
+            .with_key_bits(KEY_BITS)
+            .with_seed(777),
+    )
+    .unwrap();
+    assert_ne!(ssh.key().n(), apache.key().n(), "distinct keys");
+    ssh.set_concurrency(&mut k, 3).unwrap();
+    apache.set_concurrency(&mut k, 6).unwrap();
+    ssh.pump(&mut k, 6).unwrap();
+    apache.pump(&mut k, 12).unwrap();
+    let ssh_report = Scanner::from_material(ssh.material()).scan_kernel(&k);
+    let apache_report = Scanner::from_material(apache.material()).scan_kernel(&k);
+    assert!(ssh_report.total() > 0);
+    assert!(apache_report.total() > 0);
+    ssh.stop(&mut k).unwrap();
+    apache.stop(&mut k).unwrap();
+}
+
+#[test]
+fn stop_is_idempotent() {
+    let mut k = machine(ProtectionLevel::Integrated);
+    let mut ssh = start_ssh(&mut k, ProtectionLevel::Integrated);
+    ssh.stop(&mut k).unwrap();
+    ssh.stop(&mut k).unwrap();
+    assert!(!ssh.is_running());
+}
+
+#[test]
+fn handshake_counter_advances() {
+    let mut k = machine(ProtectionLevel::None);
+    let mut apache = start_apache(&mut k, ProtectionLevel::None);
+    assert_eq!(apache.handshakes(), 0);
+    apache.pump(&mut k, 7).unwrap();
+    assert_eq!(apache.handshakes(), 7);
+    assert_eq!(apache.name(), "apache");
+}
+
+#[test]
+fn tiny_machine_oom_is_graceful() {
+    let mut k = Kernel::new(
+        MachineConfig::small()
+            .with_mem_bytes(40 * PAGE_SIZE)
+            .with_policy(ProtectionLevel::None.kernel_policy()),
+    );
+    let mut ssh = SshServer::start(
+        &mut k,
+        ServerConfig::new(ProtectionLevel::None).with_key_bits(KEY_BITS),
+    )
+    .unwrap();
+    // Driving far past capacity must error, not panic.
+    let result = ssh.set_concurrency(&mut k, 500);
+    assert!(result.is_err());
+}
+
+#[test]
+fn derive_key_predicts_server_keys() {
+    let cfg = ServerConfig::new(ProtectionLevel::None).with_key_bits(KEY_BITS);
+    let mut k = machine(ProtectionLevel::None);
+    let ssh = SshServer::start(&mut k, cfg).unwrap();
+    assert_eq!(ssh.key(), &cfg.derive_key("openssh"));
+    let apache = ApacheServer::start(&mut k, cfg).unwrap();
+    assert_eq!(apache.key(), &cfg.derive_key("apache"));
+}
+
+#[test]
+fn transfer_moves_payload_without_new_key_copies_when_integrated() {
+    let mut k = machine(ProtectionLevel::Integrated);
+    let mut ssh = start_ssh(&mut k, ProtectionLevel::Integrated);
+    let scanner = Scanner::from_material(ssh.material());
+    ssh.set_concurrency(&mut k, 4).unwrap();
+    let before = scanner.scan_kernel(&k).total();
+    ssh.transfer(&mut k, 300 * 1024).unwrap();
+    assert_eq!(scanner.scan_kernel(&k).total(), before);
+}
+
+#[test]
+fn apache_graceful_restart_churns_or_preserves_by_level() {
+    // Unprotected: a graceful restart floods free memory with the reaped
+    // workers' copies, and the fresh pool re-accumulates.
+    let mut k = machine(ProtectionLevel::None);
+    let mut apache = start_apache(&mut k, ProtectionLevel::None);
+    let scanner = Scanner::from_material(apache.material());
+    apache.set_concurrency(&mut k, 12).unwrap();
+    apache.pump(&mut k, 24).unwrap();
+    let before = scanner.scan_kernel(&k).unallocated();
+    apache.graceful_restart(&mut k).unwrap();
+    let after = scanner.scan_kernel(&k).unallocated();
+    assert!(after > before, "restart dumps copies: {before} -> {after}");
+    apache.pump(&mut k, 24).unwrap();
+    assert!(scanner.scan_kernel(&k).allocated() > 3);
+
+    // Integrated: restart leaves exactly the aligned copies and nothing in
+    // free memory.
+    let mut k2 = machine(ProtectionLevel::Integrated);
+    let mut protected = start_apache(&mut k2, ProtectionLevel::Integrated);
+    let scanner2 = Scanner::from_material(protected.material());
+    protected.set_concurrency(&mut k2, 12).unwrap();
+    protected.pump(&mut k2, 24).unwrap();
+    protected.graceful_restart(&mut k2).unwrap();
+    protected.pump(&mut k2, 24).unwrap();
+    let report = scanner2.scan_kernel(&k2);
+    assert_eq!(report.by_pattern(), vec![1, 1, 1, 0]);
+    assert_eq!(report.unallocated(), 0);
+}
+
+#[test]
+fn apache_pool_respects_prefork_bounds() {
+    let mut k = machine(ProtectionLevel::None);
+    let mut apache = start_apache(&mut k, ProtectionLevel::None);
+    // Floor: StartServers.
+    apache.set_concurrency(&mut k, 0).unwrap();
+    assert_eq!(apache.pool_size(), 5);
+    // Cap: MaxClients (the paper's Apache default is 150).
+    apache.set_concurrency(&mut k, 10_000).unwrap();
+    assert_eq!(apache.pool_size(), 150);
+    apache.set_concurrency(&mut k, 10).unwrap();
+    assert_eq!(apache.pool_size(), 10);
+    apache.stop(&mut k).unwrap();
+    assert_eq!(apache.pool_size(), 0);
+}
+
+#[test]
+fn ssh_and_tls_handshake_protocols_are_wired_correctly() {
+    use servers::Protocol;
+    let mut k = machine(ProtectionLevel::None);
+    let ssh_worker = servers::WorkerCrypto::with_protocol(
+        ServerConfig::new(ProtectionLevel::None)
+            .with_key_bits(KEY_BITS)
+            .derive_key("openssh"),
+        ProtectionLevel::None,
+        1,
+        Protocol::Ssh,
+    );
+    assert_eq!(ssh_worker.protocol(), Protocol::Ssh);
+    let tls_worker = servers::WorkerCrypto::new(
+        ServerConfig::new(ProtectionLevel::None)
+            .with_key_bits(KEY_BITS)
+            .derive_key("apache"),
+        ProtectionLevel::None,
+        1,
+    );
+    assert_eq!(tls_worker.protocol(), Protocol::Tls);
+    let _ = &mut k;
+}

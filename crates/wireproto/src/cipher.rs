@@ -1,0 +1,274 @@
+//! Toy symmetric primitives for session traffic: a keyed xorshift stream
+//! cipher, an FNV-style MAC, and the key-derivation step that turns a
+//! handshake secret into directional session keys.
+//!
+//! These are simulation stand-ins (see the crate docs) — their job is to
+//! make session traffic unique, key-dependent, and useless to the memory
+//! scanner, with the performance profile of a cheap stream cipher.
+
+/// A keyed keystream generator (xorshift128+ seeded from key material).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamCipher {
+    s0: u64,
+    s1: u64,
+    /// Keystream bytes buffered from the current 8-byte block.
+    buf: [u8; 8],
+    buf_used: usize,
+}
+
+impl StreamCipher {
+    /// Creates a cipher from 16 bytes of key and an 8-byte nonce.
+    #[must_use]
+    pub fn new(key: &[u8; 16], nonce: u64) -> Self {
+        let k0 = u64::from_le_bytes(key[..8].try_into().expect("8 bytes"));
+        let k1 = u64::from_le_bytes(key[8..].try_into().expect("8 bytes"));
+        let mut c = Self {
+            s0: k0 ^ nonce.rotate_left(32) | 1,
+            s1: k1 ^ 0x9E37_79B9_7F4A_7C15 ^ nonce,
+            buf: [0; 8],
+            buf_used: 8,
+        };
+        // Discard the first blocks so weak seeds diffuse.
+        for _ in 0..4 {
+            c.next_block();
+        }
+        c
+    }
+
+    fn next_block(&mut self) -> u64 {
+        let mut x = self.s0;
+        let y = self.s1;
+        self.s0 = y;
+        x ^= x << 23;
+        self.s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        self.s1.wrapping_add(y)
+    }
+
+    fn next_byte(&mut self) -> u8 {
+        if self.buf_used == 8 {
+            self.buf = self.next_block().to_le_bytes();
+            self.buf_used = 0;
+        }
+        let b = self.buf[self.buf_used];
+        self.buf_used += 1;
+        b
+    }
+
+    /// XORs the keystream into `data` (encrypt and decrypt are identical).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for b in data.iter_mut() {
+            *b ^= self.next_byte();
+        }
+    }
+}
+
+/// A 64-bit FNV-1a-style keyed tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mac {
+    key: u64,
+}
+
+impl Mac {
+    /// Creates a MAC from 8 key bytes.
+    #[must_use]
+    pub fn new(key: &[u8; 8]) -> Self {
+        Self {
+            key: u64::from_le_bytes(*key),
+        }
+    }
+
+    /// Computes the tag over `data`.
+    #[must_use]
+    pub fn tag(&self, data: &[u8]) -> [u8; 8] {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.key;
+        for &b in data {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Final mixing so length-extension-ish tweaks change every bit.
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h.to_le_bytes()
+    }
+
+    /// Verifies a tag without early exit.
+    #[must_use]
+    pub fn verify(&self, data: &[u8], tag: &[u8]) -> bool {
+        if tag.len() != 8 {
+            return false;
+        }
+        let expect = self.tag(data);
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+/// Directional session keys derived from a handshake secret.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionKeys {
+    session_id: u64,
+    client_key: [u8; 16],
+    server_key: [u8; 16],
+    mac_key: [u8; 8],
+}
+
+impl SessionKeys {
+    /// Derives keys from the shared secret and both parties' nonces —
+    /// the master-secret expansion step of the handshake.
+    #[must_use]
+    pub fn derive(secret: &[u8], client_nonce: u64, server_nonce: u64) -> Self {
+        // Simple sponge: fold the secret into four lanes with distinct tags.
+        let mut lanes = [0x6a09_e667_f3bc_c908u64, 0xbb67_ae85_84ca_a73b, 0x3c6e_f372_fe94_f82b, 0xa54f_f53a_5f1d_36f1];
+        for (i, &b) in secret.iter().enumerate() {
+            let lane = i % 4;
+            lanes[lane] ^= u64::from(b) << ((i / 4 % 8) * 8);
+            lanes[lane] = lanes[lane].rotate_left(13).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        lanes[0] ^= client_nonce;
+        lanes[1] ^= server_nonce;
+        lanes[2] ^= client_nonce.rotate_left(17);
+        lanes[3] ^= server_nonce.rotate_left(41);
+        // Cross-lane diffusion: every output lane depends on every input.
+        for _ in 0..2 {
+            for i in 0..4 {
+                lanes[i] = lanes[i]
+                    .wrapping_add(lanes[(i + 1) % 4].rotate_left(29))
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+        }
+        for lane in &mut lanes {
+            *lane ^= *lane >> 29;
+            *lane = lane.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        }
+        let mut client_key = [0u8; 16];
+        client_key[..8].copy_from_slice(&lanes[0].to_le_bytes());
+        client_key[8..].copy_from_slice(&lanes[1].to_le_bytes());
+        let mut server_key = [0u8; 16];
+        server_key[..8].copy_from_slice(&lanes[1].rotate_left(7).to_le_bytes());
+        server_key[8..].copy_from_slice(&lanes[2].to_le_bytes());
+        Self {
+            session_id: lanes[0] ^ lanes[3],
+            client_key,
+            server_key,
+            mac_key: lanes[3].to_le_bytes(),
+        }
+    }
+
+    /// A session identifier both sides derive identically.
+    #[must_use]
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Cipher for client→server traffic.
+    #[must_use]
+    pub fn client_cipher(&self, nonce: u64) -> StreamCipher {
+        StreamCipher::new(&self.client_key, nonce)
+    }
+
+    /// Cipher for server→client traffic.
+    #[must_use]
+    pub fn server_cipher(&self, nonce: u64) -> StreamCipher {
+        StreamCipher::new(&self.server_key, nonce)
+    }
+
+    /// The record MAC.
+    #[must_use]
+    pub fn mac(&self) -> Mac {
+        Mac::new(&self.mac_key)
+    }
+
+    /// The Finished-message check value proving both sides derived the same
+    /// keys.
+    #[must_use]
+    pub fn finished_tag(&self, role: &'static str) -> [u8; 8] {
+        self.mac().tag(role.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cipher_round_trips() {
+        let key = [7u8; 16];
+        let mut enc = StreamCipher::new(&key, 42);
+        let mut dec = StreamCipher::new(&key, 42);
+        let mut data = b"attack at dawn, bring the usb stick".to_vec();
+        let orig = data.clone();
+        enc.apply(&mut data);
+        assert_ne!(data, orig, "ciphertext differs from plaintext");
+        dec.apply(&mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn different_nonces_give_different_streams() {
+        let key = [9u8; 16];
+        let mut a = StreamCipher::new(&key, 1);
+        let mut b = StreamCipher::new(&key, 2);
+        let mut da = vec![0u8; 32];
+        let mut db = vec![0u8; 32];
+        a.apply(&mut da);
+        b.apply(&mut db);
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn keystream_is_key_dependent() {
+        let mut a = StreamCipher::new(&[1u8; 16], 0);
+        let mut b = StreamCipher::new(&[2u8; 16], 0);
+        let mut da = vec![0u8; 32];
+        let mut db = vec![0u8; 32];
+        a.apply(&mut da);
+        b.apply(&mut db);
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn mac_accepts_valid_rejects_tampered() {
+        let mac = Mac::new(&[3u8; 8]);
+        let tag = mac.tag(b"record payload");
+        assert!(mac.verify(b"record payload", &tag));
+        assert!(!mac.verify(b"record payloae", &tag));
+        assert!(!mac.verify(b"record payload", &[0u8; 8]));
+        assert!(!mac.verify(b"record payload", &tag[..4]));
+        // A different key rejects.
+        assert!(!Mac::new(&[4u8; 8]).verify(b"record payload", &tag));
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_sensitive() {
+        let a = SessionKeys::derive(b"premaster secret bytes", 1, 2);
+        let b = SessionKeys::derive(b"premaster secret bytes", 1, 2);
+        assert_eq!(a, b);
+        let c = SessionKeys::derive(b"premaster secret bytez", 1, 2);
+        assert_ne!(a.session_id(), c.session_id());
+        let d = SessionKeys::derive(b"premaster secret bytes", 9, 2);
+        assert_ne!(a.session_id(), d.session_id());
+    }
+
+    #[test]
+    fn directional_keys_differ() {
+        let k = SessionKeys::derive(b"secret", 1, 2);
+        let mut c = k.client_cipher(0);
+        let mut s = k.server_cipher(0);
+        let mut dc = vec![0u8; 16];
+        let mut ds = vec![0u8; 16];
+        c.apply(&mut dc);
+        s.apply(&mut ds);
+        assert_ne!(dc, ds);
+    }
+
+    #[test]
+    fn finished_tags_differ_by_role() {
+        let k = SessionKeys::derive(b"secret", 1, 2);
+        assert_ne!(k.finished_tag("client"), k.finished_tag("server"));
+        assert_eq!(k.finished_tag("client"), k.finished_tag("client"));
+    }
+}

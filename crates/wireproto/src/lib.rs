@@ -1,0 +1,100 @@
+//! Simplified wire protocols over the reproduction's RSA stack.
+//!
+//! The paper's two victims use their private keys differently:
+//!
+//! * **Apache + mod_ssl (TLS-RSA)** — the client encrypts a premaster
+//!   secret to the server's public key; the server's private operation is a
+//!   *decryption* ([`tls`]).
+//! * **OpenSSH** — the host key *signs* the key-exchange hash; the session
+//!   secret itself never touches the RSA key ([`ssh`]).
+//!
+//! Both shapes are implemented end-to-end here: length-prefixed record
+//! framing, handshakes driving real RSA-CRT operations through
+//! [`rsa_repro::CrtEngine`], a key-derivation step, and a [`SecureChannel`]
+//! that encrypts and authenticates application data with a toy stream
+//! cipher and MAC.
+//!
+//! **Security note:** the symmetric primitives are deliberately simple
+//! simulation stand-ins (xorshift keystream, FNV-style MAC). They exist so
+//! payload bytes move through the simulated machine the way SSL records
+//! would — unique per session, useless to the scanner — not to resist real
+//! cryptanalysis. The RSA layer underneath is the real algorithm.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsa_repro::{CrtEngine, RsaPrivateKey};
+//! use simrng::Rng64;
+//! use wireproto::tls;
+//!
+//! let key = RsaPrivateKey::generate(512, &mut Rng64::new(1));
+//! let mut server_engine = CrtEngine::new(key.clone(), true);
+//!
+//! let mut rng = Rng64::new(2);
+//! let (client, hello) = tls::Client::start(key.public_key(), &mut rng)?;
+//! let (server_session, reply) = tls::accept(&mut server_engine, &hello, &mut rng)?;
+//! let client_session = client.finish(&reply)?;
+//! assert_eq!(client_session.session_id(), server_session.session_id());
+//! # Ok::<(), wireproto::ProtoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod cipher;
+mod record;
+pub mod ssh;
+pub mod tls;
+
+pub use channel::{Role, SecureChannel};
+pub use cipher::{Mac, SessionKeys, StreamCipher};
+pub use record::{Record, RecordType, MAX_RECORD_PAYLOAD};
+
+use core::fmt;
+
+/// Protocol failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// A record could not be parsed.
+    Malformed(&'static str),
+    /// A record of an unexpected type arrived.
+    UnexpectedRecord {
+        /// Record type expected next.
+        expected: RecordType,
+        /// Record type received.
+        found: RecordType,
+    },
+    /// The RSA layer failed (bad padding, oversized input, …).
+    Rsa(rsa_repro::RsaError),
+    /// A signature or MAC failed verification.
+    AuthFailed(&'static str),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Malformed(what) => write!(f, "malformed record: {what}"),
+            Self::UnexpectedRecord { expected, found } => {
+                write!(f, "expected {expected:?} record, found {found:?}")
+            }
+            Self::Rsa(e) => write!(f, "rsa failure: {e}"),
+            Self::AuthFailed(what) => write!(f, "authentication failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Rsa(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rsa_repro::RsaError> for ProtoError {
+    fn from(e: rsa_repro::RsaError) -> Self {
+        Self::Rsa(e)
+    }
+}

@@ -1,0 +1,186 @@
+//! Length-prefixed record framing: `type(1) || len(u32 BE) || payload`.
+
+use crate::ProtoError;
+
+/// Maximum payload a single record may carry (matches SSL's 16 KB records
+/// plus slack for handshake blobs).
+pub const MAX_RECORD_PAYLOAD: usize = 64 * 1024;
+
+/// Wire record types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RecordType {
+    /// Client's opening handshake message.
+    ClientHello = 1,
+    /// Server's handshake reply.
+    ServerHello = 2,
+    /// Key-exchange material (encrypted premaster / signed exchange hash).
+    KeyExchange = 3,
+    /// Handshake completion check.
+    Finished = 4,
+    /// Encrypted application data.
+    Data = 5,
+}
+
+impl RecordType {
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(Self::ClientHello),
+            2 => Some(Self::ServerHello),
+            3 => Some(Self::KeyExchange),
+            4 => Some(Self::Finished),
+            5 => Some(Self::Data),
+            _ => None,
+        }
+    }
+}
+
+/// One framed protocol record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The record's type tag.
+    pub kind: RecordType,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    /// Builds a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the payload exceeds [`MAX_RECORD_PAYLOAD`].
+    #[must_use]
+    pub fn new(kind: RecordType, payload: Vec<u8>) -> Self {
+        assert!(
+            payload.len() <= MAX_RECORD_PAYLOAD,
+            "record payload too large"
+        );
+        Self { kind, payload }
+    }
+
+    /// Serializes to wire bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + self.payload.len());
+        out.push(self.kind as u8);
+        out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses one record from the front of `bytes`, returning it and the
+    /// number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ProtoError::Malformed`] on truncation, unknown types, or
+    /// oversized declared lengths.
+    pub fn decode(bytes: &[u8]) -> Result<(Self, usize), ProtoError> {
+        if bytes.len() < 5 {
+            return Err(ProtoError::Malformed("record header truncated"));
+        }
+        let kind =
+            RecordType::from_byte(bytes[0]).ok_or(ProtoError::Malformed("unknown record type"))?;
+        let len = u32::from_be_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]) as usize;
+        if len > MAX_RECORD_PAYLOAD {
+            return Err(ProtoError::Malformed("declared length too large"));
+        }
+        if bytes.len() < 5 + len {
+            return Err(ProtoError::Malformed("record payload truncated"));
+        }
+        Ok((
+            Self {
+                kind,
+                payload: bytes[5..5 + len].to_vec(),
+            },
+            5 + len,
+        ))
+    }
+
+    /// Decodes and checks the type tag in one step.
+    ///
+    /// # Errors
+    ///
+    /// Adds [`ProtoError::UnexpectedRecord`] to [`Self::decode`]'s failures.
+    pub fn expect(bytes: &[u8], kind: RecordType) -> Result<(Self, usize), ProtoError> {
+        let (rec, used) = Self::decode(bytes)?;
+        if rec.kind != kind {
+            return Err(ProtoError::UnexpectedRecord {
+                expected: kind,
+                found: rec.kind,
+            });
+        }
+        Ok((rec, used))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        for kind in [
+            RecordType::ClientHello,
+            RecordType::ServerHello,
+            RecordType::KeyExchange,
+            RecordType::Finished,
+            RecordType::Data,
+        ] {
+            let rec = Record::new(kind, vec![1, 2, 3, 4, 5]);
+            let wire = rec.encode();
+            let (back, used) = Record::decode(&wire).unwrap();
+            assert_eq!(back, rec);
+            assert_eq!(used, wire.len());
+        }
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let rec = Record::new(RecordType::Finished, vec![]);
+        let wire = rec.encode();
+        assert_eq!(wire.len(), 5);
+        let (back, _) = Record::decode(&wire).unwrap();
+        assert!(back.payload.is_empty());
+    }
+
+    #[test]
+    fn decode_consumes_only_one_record() {
+        let a = Record::new(RecordType::ClientHello, vec![9; 7]).encode();
+        let b = Record::new(RecordType::Data, vec![8; 3]).encode();
+        let stream = [a.clone(), b].concat();
+        let (first, used) = Record::decode(&stream).unwrap();
+        assert_eq!(first.kind, RecordType::ClientHello);
+        assert_eq!(used, a.len());
+        let (second, _) = Record::decode(&stream[used..]).unwrap();
+        assert_eq!(second.kind, RecordType::Data);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(Record::decode(&[]).is_err());
+        assert!(Record::decode(&[1, 0, 0]).is_err()); // truncated header
+        assert!(Record::decode(&[99, 0, 0, 0, 0]).is_err()); // unknown type
+        // Declared length beyond buffer.
+        assert!(Record::decode(&[1, 0, 0, 0, 10, 1, 2]).is_err());
+        // Declared length beyond the cap.
+        let mut huge = vec![1u8];
+        huge.extend_from_slice(&(MAX_RECORD_PAYLOAD as u32 + 1).to_be_bytes());
+        assert!(Record::decode(&huge).is_err());
+    }
+
+    #[test]
+    fn expect_enforces_type() {
+        let wire = Record::new(RecordType::Data, vec![1]).encode();
+        assert!(Record::expect(&wire, RecordType::Data).is_ok());
+        let err = Record::expect(&wire, RecordType::Finished).unwrap_err();
+        assert!(matches!(err, ProtoError::UnexpectedRecord { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_payload_panics_at_construction() {
+        let _ = Record::new(RecordType::Data, vec![0; MAX_RECORD_PAYLOAD + 1]);
+    }
+}

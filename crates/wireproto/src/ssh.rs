@@ -1,0 +1,234 @@
+//! The SSH handshake shape: the host key *signs* the key-exchange hash.
+//!
+//! ```text
+//! client                                server
+//!   | -- KexInit{client nonce + share} -> |
+//!   | <- KexReply{server nonce + share,   |
+//!   |      Sign_sk(exchange hash)} ------ |
+//! ```
+//!
+//! The shared secret comes from the (toy) key-agreement shares; the host
+//! key's only job — exactly as in real SSH — is to authenticate the
+//! exchange. Compromising the host key lets an attacker impersonate the
+//! server, which the `stolen_key_forges_a_server` test demonstrates.
+
+use crate::cipher::SessionKeys;
+use crate::record::{Record, RecordType};
+use crate::ProtoError;
+use rsa_repro::{CrtEngine, RsaPublicKey};
+use simrng::Rng64;
+
+/// Computes the exchange hash both sides derive from the public handshake
+/// transcript (a cheap 32-byte sponge over the nonces and shares),
+/// truncated to what a signature block of a `key_len`-byte modulus can
+/// carry — tiny test keys still get a meaningful digest.
+fn exchange_hash(client_nonce: u64, server_nonce: u64, shared: u64, key_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    let mut acc = 0x243F_6A88_85A3_08D3u64;
+    for (i, v) in [client_nonce, server_nonce, shared, 0x5353_4821].iter().enumerate() {
+        acc ^= v.rotate_left((i * 13) as u32);
+        acc = acc.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        acc ^= acc >> 31;
+        out.extend_from_slice(&acc.to_be_bytes());
+    }
+    out.truncate(32.min(key_len.saturating_sub(11)).max(4));
+    out
+}
+
+/// Toy commutative key agreement: `share = g·secret` and
+/// `shared = peer_share·secret` over wrapping u64 multiplication by a shared
+/// odd generator. Not secure — the point is that the host RSA key is *not*
+/// the source of the session secret, matching SSH's structure.
+const GENERATOR: u64 = 0x9E37_79B9_7F4A_7C15 | 1;
+
+fn share_of(secret: u64) -> u64 {
+    GENERATOR.wrapping_mul(secret | 1)
+}
+
+fn agree(peer_share: u64, secret: u64) -> u64 {
+    peer_share.wrapping_mul(secret | 1)
+}
+
+/// Client state between KexInit and KexReply.
+#[derive(Debug)]
+pub struct Client {
+    secret: u64,
+    client_nonce: u64,
+    host_key: RsaPublicKey,
+}
+
+impl Client {
+    /// Builds the KexInit bundle.
+    #[must_use]
+    pub fn start(host_key: RsaPublicKey, rng: &mut Rng64) -> (Self, Vec<u8>) {
+        let secret = rng.next_u64();
+        let client_nonce = rng.next_u64();
+        let mut payload = client_nonce.to_be_bytes().to_vec();
+        payload.extend_from_slice(&share_of(secret).to_be_bytes());
+        let bundle = Record::new(RecordType::ClientHello, payload).encode();
+        (
+            Self {
+                secret,
+                client_nonce,
+                host_key,
+            },
+            bundle,
+        )
+    }
+
+    /// Processes the server's KexReply: verifies the host signature over the
+    /// exchange hash, then derives session keys.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed records or a bad host signature (impersonation).
+    pub fn finish(self, reply: &[u8]) -> Result<SessionKeys, ProtoError> {
+        let (hello, used) = Record::expect(reply, RecordType::ServerHello)?;
+        if hello.payload.len() != 16 {
+            return Err(ProtoError::Malformed("kex reply needs nonce + share"));
+        }
+        let server_nonce = u64::from_be_bytes(hello.payload[..8].try_into().expect("checked"));
+        let server_share = u64::from_be_bytes(hello.payload[8..16].try_into().expect("checked"));
+        let (sig, _) = Record::expect(&reply[used..], RecordType::KeyExchange)?;
+
+        let shared = agree(server_share, self.secret);
+        let hash = exchange_hash(
+            self.client_nonce,
+            server_nonce,
+            shared,
+            self.host_key.modulus_len(),
+        );
+        if !self.host_key.verify_pkcs1(&hash, &sig.payload) {
+            return Err(ProtoError::AuthFailed("host key signature"));
+        }
+        Ok(SessionKeys::derive(
+            &shared.to_be_bytes(),
+            self.client_nonce,
+            server_nonce,
+        ))
+    }
+}
+
+/// Server side: consumes KexInit, signs the exchange hash with the host
+/// key (the CRT private operation), and returns keys + the KexReply bundle.
+///
+/// # Errors
+///
+/// Fails on malformed records or RSA errors.
+pub fn accept(
+    engine: &mut CrtEngine,
+    bundle: &[u8],
+    rng: &mut Rng64,
+) -> Result<(SessionKeys, Vec<u8>), ProtoError> {
+    let (init, _) = Record::expect(bundle, RecordType::ClientHello)?;
+    if init.payload.len() != 16 {
+        return Err(ProtoError::Malformed("kex init needs nonce + share"));
+    }
+    let client_nonce = u64::from_be_bytes(init.payload[..8].try_into().expect("checked"));
+    let client_share = u64::from_be_bytes(init.payload[8..16].try_into().expect("checked"));
+
+    let secret = rng.next_u64();
+    let server_nonce = rng.next_u64();
+    let shared = agree(client_share, secret);
+    let hash = exchange_hash(
+        client_nonce,
+        server_nonce,
+        shared,
+        engine.key().modulus_len(),
+    );
+
+    // The private operation: sign the exchange hash. (Padding + CRT through
+    // the engine so Montgomery caching semantics apply.)
+    let k = engine.key().modulus_len();
+    let em = sign_pad(&hash, k)?;
+    let s = engine.private_op(&bignum::BigUint::from_be_bytes(&em))?;
+    let signature = s.to_be_bytes_padded(k);
+
+    let mut payload = server_nonce.to_be_bytes().to_vec();
+    payload.extend_from_slice(&share_of(secret).to_be_bytes());
+    let mut reply = Record::new(RecordType::ServerHello, payload).encode();
+    reply.extend(Record::new(RecordType::KeyExchange, signature).encode());
+
+    Ok((
+        SessionKeys::derive(&shared.to_be_bytes(), client_nonce, server_nonce),
+        reply,
+    ))
+}
+
+/// EMSA-PKCS1 block type 1 padding (mirrors `rsa_repro`'s signing path so
+/// the engine's raw private op can be used).
+fn sign_pad(msg: &[u8], k: usize) -> Result<Vec<u8>, ProtoError> {
+    if msg.len() + 11 > k {
+        return Err(ProtoError::Rsa(rsa_repro::RsaError::MessageTooLarge));
+    }
+    let mut em = vec![0x00, 0x01];
+    em.resize(k - msg.len() - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(msg);
+    Ok(em)
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use rsa_repro::RsaPrivateKey;
+
+    fn setup() -> (RsaPrivateKey, CrtEngine, Rng64) {
+        let key = RsaPrivateKey::generate(512, &mut Rng64::new(51));
+        let engine = CrtEngine::new(key.clone(), true);
+        (key, engine, Rng64::new(52))
+    }
+
+    #[test]
+    fn full_kex_agrees_on_keys() {
+        let (key, mut engine, mut rng) = setup();
+        let (client, bundle) = Client::start(key.public_key(), &mut rng);
+        let (server_keys, reply) = accept(&mut engine, &bundle, &mut rng).unwrap();
+        let client_keys = client.finish(&reply).unwrap();
+        assert_eq!(client_keys, server_keys);
+        assert_eq!(engine.ops(), 1, "one signature per handshake");
+    }
+
+    #[test]
+    fn impersonation_without_the_key_fails() {
+        let (key, _, mut rng) = setup();
+        // An impostor with a different host key signs the exchange.
+        let impostor_key = RsaPrivateKey::generate(512, &mut Rng64::new(53));
+        let mut impostor = CrtEngine::new(impostor_key, true);
+        let (client, bundle) = Client::start(key.public_key(), &mut rng);
+        let (_, reply) = accept(&mut impostor, &bundle, &mut rng).unwrap();
+        assert!(matches!(
+            client.finish(&reply),
+            Err(ProtoError::AuthFailed(_))
+        ));
+    }
+
+    #[test]
+    fn stolen_key_forges_a_server() {
+        // The attack payoff the paper implies: with the recovered host key,
+        // an attacker's server authenticates as the victim.
+        let (key, _, mut rng) = setup();
+        let mut attacker = CrtEngine::new(key.clone(), true); // stolen!
+        let (client, bundle) = Client::start(key.public_key(), &mut rng);
+        let (_, reply) = accept(&mut attacker, &bundle, &mut rng).unwrap();
+        assert!(client.finish(&reply).is_ok(), "impersonation succeeds");
+    }
+
+    #[test]
+    fn tampered_signature_is_rejected() {
+        let (key, mut engine, mut rng) = setup();
+        let (client, bundle) = Client::start(key.public_key(), &mut rng);
+        let (_, mut reply) = accept(&mut engine, &bundle, &mut rng).unwrap();
+        let n = reply.len();
+        reply[n - 2] ^= 0x40;
+        assert!(client.finish(&reply).is_err());
+    }
+
+    #[test]
+    fn malformed_kex_rejected() {
+        let (_, mut engine, mut rng) = setup();
+        assert!(accept(&mut engine, &[], &mut rng).is_err());
+        let short = Record::new(RecordType::ClientHello, vec![0; 7]).encode();
+        assert!(accept(&mut engine, &short, &mut rng).is_err());
+    }
+}

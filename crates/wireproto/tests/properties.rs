@@ -1,0 +1,142 @@
+//! Property tests for the wire protocols: arbitrary payloads round-trip the
+//! channel, arbitrary byte noise never panics the decoders, and handshakes
+//! agree for every seed.
+
+use proptest::prelude::*;
+use rsa_repro::{CrtEngine, RsaPrivateKey};
+use simrng::Rng64;
+use wireproto::{Record, RecordType, Role, SecureChannel, SessionKeys};
+
+fn channel_pair(secret: &[u8]) -> (SecureChannel, SecureChannel) {
+    let keys = SessionKeys::derive(secret, 7, 9);
+    (
+        SecureChannel::new(keys.clone(), Role::Client),
+        SecureChannel::new(keys, Role::Server),
+    )
+}
+
+proptest! {
+    #[test]
+    fn any_payload_round_trips_the_channel(
+        secret in proptest::collection::vec(any::<u8>(), 1..64),
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..2048), 1..8),
+    ) {
+        let (mut client, mut server) = channel_pair(&secret);
+        for p in &payloads {
+            let wire = client.seal(p);
+            let (back, used) = server.open(&wire).unwrap();
+            prop_assert_eq!(&back, p);
+            prop_assert_eq!(used, wire.len());
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any result is fine; no panic is the property.
+        let _ = Record::decode(&noise);
+        let (mut _c, mut server) = channel_pair(b"k");
+        let _ = server.open(&noise);
+    }
+
+    #[test]
+    fn bit_flips_never_open(
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        flip_byte in 5usize..64,
+        flip_bit in 0u8..8,
+    ) {
+        let (mut client, mut server) = channel_pair(b"session secret");
+        let mut wire = client.seal(&payload);
+        let idx = flip_byte % wire.len();
+        if idx >= 5 {
+            // Skip header flips (those fail framing, also fine) and flip the
+            // body: the MAC must catch it.
+            wire[idx] ^= 1 << flip_bit;
+            prop_assert!(server.open(&wire).is_err());
+        }
+    }
+
+    #[test]
+    fn record_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let rec = Record::new(RecordType::Data, payload);
+        let (back, used) = Record::decode(&rec.encode()).unwrap();
+        prop_assert_eq!(back, rec.clone());
+        prop_assert_eq!(used, rec.encode().len());
+    }
+}
+
+/// Handshake agreement across many seeds (moderate key size, so generate
+/// once and vary the transcript randomness).
+#[test]
+fn handshakes_agree_for_many_seeds() {
+    let key = RsaPrivateKey::generate(512, &mut Rng64::new(61));
+    for seed in 0..12u64 {
+        let mut rng = Rng64::new(1000 + seed);
+        // TLS shape.
+        let mut engine = CrtEngine::new(key.clone(), true);
+        let (client, bundle) = wireproto::tls::Client::start(key.public_key(), &mut rng).unwrap();
+        let (sk, reply) = wireproto::tls::accept(&mut engine, &bundle, &mut rng).unwrap();
+        assert_eq!(client.finish(&reply).unwrap(), sk, "tls seed {seed}");
+        // SSH shape.
+        let mut engine = CrtEngine::new(key.clone(), false);
+        let (client, bundle) = wireproto::ssh::Client::start(key.public_key(), &mut rng);
+        let (sk, reply) = wireproto::ssh::accept(&mut engine, &bundle, &mut rng).unwrap();
+        assert_eq!(client.finish(&reply).unwrap(), sk, "ssh seed {seed}");
+    }
+}
+
+/// A full application exchange over a handshake-derived channel.
+#[test]
+fn end_to_end_session_over_tls_handshake() {
+    let key = RsaPrivateKey::generate(512, &mut Rng64::new(62));
+    let mut engine = CrtEngine::new(key.clone(), true).with_blinding(77);
+    let mut rng = Rng64::new(63);
+    let (client, bundle) = wireproto::tls::Client::start(key.public_key(), &mut rng).unwrap();
+    let (server_keys, reply) = wireproto::tls::accept(&mut engine, &bundle, &mut rng).unwrap();
+    let client_keys = client.finish(&reply).unwrap();
+
+    let mut c = SecureChannel::new(client_keys, Role::Client);
+    let mut s = SecureChannel::new(server_keys, Role::Server);
+    for msg in [&b"GET / HTTP/1.0"[..], b"", b"0123456789".repeat(100).as_slice()] {
+        let wire = c.seal(msg);
+        let (back, _) = s.open(&wire).unwrap();
+        assert_eq!(back, msg);
+        let resp = s.seal(b"200 OK");
+        let (back, _) = c.open(&resp).unwrap();
+        assert_eq!(back, b"200 OK");
+    }
+}
+
+proptest! {
+    /// Handshake acceptors must never panic on corrupted bundles — a valid
+    /// bundle with random mutations either handshakes or errors.
+    #[test]
+    fn corrupted_handshake_bundles_never_panic(
+        flip_at in 0usize..160,
+        bit in 0u8..8,
+        truncate_to in 0usize..160,
+    ) {
+        let key = RsaPrivateKey::generate(512, &mut Rng64::new(71));
+        let mut rng = Rng64::new(72);
+
+        // TLS bundle.
+        let (_c, mut bundle) = wireproto::tls::Client::start(key.public_key(), &mut rng).unwrap();
+        let mut engine = CrtEngine::new(key.clone(), true);
+        if !bundle.is_empty() {
+            let i = flip_at % bundle.len();
+            bundle[i] ^= 1 << bit;
+        }
+        let _ = wireproto::tls::accept(&mut engine, &bundle, &mut rng);
+        let shorter = &bundle[..truncate_to.min(bundle.len())];
+        let _ = wireproto::tls::accept(&mut engine, shorter, &mut rng);
+
+        // SSH bundle.
+        let (_c, mut bundle) = wireproto::ssh::Client::start(key.public_key(), &mut rng);
+        if !bundle.is_empty() {
+            let i = flip_at % bundle.len();
+            bundle[i] ^= 1 << bit;
+        }
+        let _ = wireproto::ssh::accept(&mut engine, &bundle, &mut rng);
+        let shorter = &bundle[..truncate_to.min(bundle.len())];
+        let _ = wireproto::ssh::accept(&mut engine, shorter, &mut rng);
+    }
+}

@@ -1,0 +1,75 @@
+//! Attack demo: both memory-disclosure exploits against an unprotected
+//! Apache server, mirroring the paper's Section 2 threat assessment.
+//!
+//! ```text
+//! cargo run --release -p harness --example attack_demo
+//! ```
+
+use exploits::{Ext2DirentLeak, TtyMemoryDump};
+use keyguard::ProtectionLevel;
+use keyscan::Scanner;
+use memsim::{Kernel, MachineConfig};
+use servers::{ApacheServer, SecureServer, ServerConfig};
+use simrng::Rng64;
+
+fn main() {
+    let mut rng = Rng64::new(2);
+    let mut kernel = Kernel::new(
+        MachineConfig::paper().with_mem_bytes(64 * 1024 * 1024),
+    );
+    kernel.age_memory(&mut rng, 1.0);
+
+    // A busy HTTPS server: pool grows with load, workers handle requests.
+    let mut apache = ApacheServer::start(
+        &mut kernel,
+        ServerConfig::new(ProtectionLevel::None).with_key_bits(512),
+    )
+    .expect("server starts");
+    apache.set_concurrency(&mut kernel, 20).expect("pool grows");
+    apache.pump(&mut kernel, 100).expect("requests served");
+    apache.set_concurrency(&mut kernel, 5).expect("idle workers reaped");
+
+    let scanner = Scanner::from_material(apache.material());
+    let in_memory = scanner.scan_kernel(&kernel);
+    println!("== state of the machine before any attack ==");
+    println!(
+        "key copies in memory: {} ({} allocated, {} unallocated)",
+        in_memory.total(),
+        in_memory.allocated(),
+        in_memory.unallocated()
+    );
+
+    // Attack 1: ext2 dirent leak (unallocated memory only).
+    println!("\n== attack 1: ext2 make_empty() dirent leak [Arkoon 2005] ==");
+    for dirs in [100usize, 1000, 5000] {
+        let capture = Ext2DirentLeak::new(dirs).run(&mut kernel).expect("attack");
+        println!(
+            "{dirs:>5} directories -> {:>6} KB disclosed, {} key copies, key {}",
+            capture.disclosed_bytes() / 1024,
+            capture.keys_found(&scanner),
+            if capture.succeeded(&scanner) {
+                "COMPROMISED"
+            } else {
+                "safe"
+            }
+        );
+    }
+
+    // Attack 2: n_tty dump (~50% of RAM, random window).
+    println!("\n== attack 2: n_tty.c memory dump [Guninski 2005] ==");
+    let dump = TtyMemoryDump::paper();
+    let mut successes = 0;
+    let runs = 10;
+    for i in 0..runs {
+        let capture = dump.run(&kernel, &mut rng);
+        let hit = capture.succeeded(&scanner);
+        successes += u32::from(hit);
+        println!(
+            "run {i:>2}: {:>5.1} MB disclosed, {:>2} copies, key {}",
+            capture.disclosed_bytes() as f64 / (1024.0 * 1024.0),
+            capture.keys_found(&scanner),
+            if hit { "COMPROMISED" } else { "safe" }
+        );
+    }
+    println!("success rate: {successes}/{runs}");
+}

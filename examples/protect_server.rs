@@ -1,0 +1,66 @@
+//! Protection walkthrough: the same workload under all five protection
+//! levels, showing what each level changes — copies in allocated memory,
+//! copies in unallocated memory, PEM residency, and swap exposure.
+//!
+//! ```text
+//! cargo run --release -p harness --example protect_server
+//! ```
+
+use keyguard::ProtectionLevel;
+use keyscan::Scanner;
+use memsim::{Kernel, MachineConfig};
+use servers::{SecureServer, ServerConfig, SshServer};
+use simrng::Rng64;
+
+fn main() {
+    println!(
+        "{:<12} {:>9} {:>11} {:>10} {:>10}",
+        "level", "allocated", "unallocated", "pem-cached", "in-swap"
+    );
+    for level in ProtectionLevel::ALL {
+        let mut kernel = Kernel::new(
+            MachineConfig::paper()
+                .with_mem_bytes(32 * 1024 * 1024)
+                .with_policy(level.kernel_policy()),
+        );
+        kernel.age_memory(&mut Rng64::new(3), 1.0);
+
+        let mut ssh = SshServer::start(
+            &mut kernel,
+            ServerConfig::new(level).with_key_bits(512),
+        )
+        .expect("server starts");
+        let scanner = Scanner::from_material(ssh.material());
+
+        // Load: 8 concurrent connections, 30 completed transfers, then all
+        // clients disconnect.
+        ssh.set_concurrency(&mut kernel, 8).expect("connect");
+        ssh.pump(&mut kernel, 30).expect("transfers");
+        ssh.set_concurrency(&mut kernel, 0).expect("disconnect");
+
+        // Memory pressure pushes unlocked pages toward swap.
+        kernel.swap_out_pressure(2000);
+
+        let report = scanner.scan_kernel(&kernel);
+        let pem_cached = report
+            .hits()
+            .iter()
+            .any(|h| h.state == memsim::FrameState::PageCache);
+        let swapped = scanner.dump_compromises_key(kernel.swap_bytes());
+        println!(
+            "{:<12} {:>9} {:>11} {:>10} {:>10}",
+            level.label(),
+            report.allocated(),
+            report.unallocated(),
+            if pem_cached { "yes" } else { "no" },
+            if swapped { "LEAKED" } else { "no" }
+        );
+    }
+    println!(
+        "\nReading the table: application/library levels collapse allocated\n\
+         copies to the single aligned page (plus the PEM file) and mlock\n\
+         keeps the key out of swap; the kernel level empties unallocated\n\
+         memory but leaves duplication; integrated does both and evicts the\n\
+         PEM file — reproducing Figures 9-16 of the paper."
+    );
+}

@@ -1,0 +1,44 @@
+//! Host-side secret hygiene with `keyguard::host`: the paper's "clear
+//! sensitive data promptly" advice for real Rust programs, outside the
+//! simulator.
+//!
+//! ```text
+//! cargo run --release -p harness --example secret_hygiene
+//! ```
+
+use keyguard::host::{secure_zero, SecretBuf};
+use rsa_repro::RsaPrivateKey;
+use simrng::Rng64;
+
+fn main() {
+    // Generate a key and serialize it the way a server would.
+    let mut rng = Rng64::new(4);
+    let key = RsaPrivateKey::generate(512, &mut rng);
+
+    // BAD: the DER bytes sit in an ordinary Vec. When this Vec is freed, its
+    // heap chunk keeps the key bytes until something overwrites them — the
+    // exact hazard the paper demonstrates at OS scale.
+    let der_plain: Vec<u8> = key.to_der();
+    println!("plain Vec<u8>    : {} key bytes, no wipe on drop", der_plain.len());
+    drop(der_plain); // bytes linger in the allocator
+
+    // GOOD: SecretBuf zeroes itself before its allocation is released.
+    let der_secret = SecretBuf::from_vec(key.to_der());
+    println!("SecretBuf        : {der_secret:?}");
+    // Use the key material through a scoped view...
+    let first = der_secret.expose()[0];
+    println!("first DER byte   : 0x{first:02x} (SEQUENCE tag)");
+    drop(der_secret); // contents are zeroed here
+
+    // Explicit wiping of stack/heap scratch you cannot wrap:
+    let mut session_key = *b"0123456789abcdef";
+    println!("session key      : {} bytes in use", session_key.len());
+    secure_zero(&mut session_key);
+    assert_eq!(session_key, [0u8; 16]);
+    println!("after secure_zero: all zero, optimizer barred from eliding it");
+
+    // Constant-shape comparison avoids leaking where two secrets differ.
+    let a = SecretBuf::from_slice(b"correct horse");
+    let b = SecretBuf::from_slice(b"correct horsf");
+    println!("secrets equal    : {}", a == b);
+}
