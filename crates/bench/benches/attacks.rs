@@ -1,7 +1,7 @@
 //! Attack benchmarks regenerating single points of Figures 1–4 and 7, plus
 //! the hot-list ablation (why freshly freed pages dominate the ext2 leak).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::{BenchmarkId, Criterion};
 use exploits::{Ext2DirentLeak, TtyMemoryDump};
 use harness::{ExperimentConfig, ServerKind};
 use keyguard::ProtectionLevel;
@@ -41,7 +41,7 @@ fn bench_ext2_attack(c: &mut Criterion) {
                         let capture = Ext2DirentLeak::new(500).run(&mut kernel).unwrap();
                         capture.keys_found(&scanner)
                     },
-                    criterion::BatchSize::LargeInput,
+                    bench::BatchSize::LargeInput,
                 );
             },
         );
@@ -91,5 +91,9 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ext2_attack, bench_tty_attack, bench_sweep_throughput);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_args();
+    bench_ext2_attack(&mut c);
+    bench_tty_attack(&mut c);
+    bench_sweep_throughput(&mut c);
+}

@@ -5,7 +5,7 @@
 //! paper's answer at system level is "nothing measurable"; the microbench
 //! shows the raw per-page cost that gets amortized away.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::{BenchmarkId, Criterion};
 use memsim::{Kernel, KernelPolicy, MachineConfig, PAGE_SIZE};
 use simrng::Rng64;
 
@@ -88,11 +88,10 @@ fn bench_aging(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_page_free_policy,
-    bench_fork_and_cow,
-    bench_heap_churn,
-    bench_aging
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_args();
+    bench_page_free_policy(&mut c);
+    bench_fork_and_cow(&mut c);
+    bench_heap_churn(&mut c);
+    bench_aging(&mut c);
+}

@@ -5,7 +5,7 @@
 //! caching saves per-op Montgomery setup but keeps copies of P and Q alive.
 
 use bignum::BigUint;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::{BenchmarkId, Criterion};
 use rsa_repro::{CrtEngine, RsaPrivateKey};
 use simrng::Rng64;
 
@@ -15,7 +15,7 @@ fn bench_handshakes(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire_handshake");
     let key = RsaPrivateKey::generate(1024, &mut Rng64::new(4));
     group.bench_function("tls_rsa", |b| {
-        let mut engine = CrtEngine::new(key.clone(), true);
+        let mut engine = CrtEngine::new(key.clone_secret(), true);
         let mut rng = Rng64::new(5);
         b.iter(|| {
             let (client, bundle) =
@@ -26,7 +26,7 @@ fn bench_handshakes(c: &mut Criterion) {
         });
     });
     group.bench_function("ssh_kex", |b| {
-        let mut engine = CrtEngine::new(key.clone(), true);
+        let mut engine = CrtEngine::new(key.clone_secret(), true);
         let mut rng = Rng64::new(6);
         b.iter(|| {
             let (client, bundle) = wireproto::ssh::Client::start(key.public_key(), &mut rng);
@@ -36,7 +36,7 @@ fn bench_handshakes(c: &mut Criterion) {
         });
     });
     group.bench_function("blinding_overhead", |b| {
-        let mut engine = CrtEngine::new(key.clone(), true).with_blinding(7);
+        let mut engine = CrtEngine::new(key.clone_secret(), true).with_blinding(7);
         let ct = key
             .public_key()
             .encrypt_raw(&BigUint::from_u64(0xFEED))
@@ -74,13 +74,13 @@ fn bench_mont_cache_ablation(c: &mut Criterion) {
         .unwrap();
     // Cached: contexts built once, reused (RSA_FLAG_CACHE_PRIVATE set).
     group.bench_function("cached", |b| {
-        let mut eng = CrtEngine::new(key.clone(), true);
+        let mut eng = CrtEngine::new(key.clone_secret(), true);
         eng.private_op(&ct).unwrap(); // warm the cache
         b.iter(|| eng.private_op(std::hint::black_box(&ct)).unwrap());
     });
     // Uncached: fresh contexts every op (the protected configuration).
     group.bench_function("uncached", |b| {
-        let mut eng = CrtEngine::new(key.clone(), false);
+        let mut eng = CrtEngine::new(key.clone_secret(), false);
         b.iter(|| eng.private_op(std::hint::black_box(&ct)).unwrap());
     });
     group.finish();
@@ -105,11 +105,10 @@ fn bench_keygen_and_codec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_private_ops,
-    bench_mont_cache_ablation,
-    bench_keygen_and_codec,
-    bench_handshakes
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_args();
+    bench_private_ops(&mut c);
+    bench_mont_cache_ablation(&mut c);
+    bench_keygen_and_codec(&mut c);
+    bench_handshakes(&mut c);
+}

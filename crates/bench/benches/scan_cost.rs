@@ -2,7 +2,7 @@
 //! scan is O(n) and took ~5 s for 256 MB on 2007 hardware. This bench
 //! measures our equivalent across memory sizes and pattern counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::{BenchmarkId, Criterion, Throughput};
 use keyscan::Scanner;
 use memsim::{Kernel, MachineConfig};
 use rsa_repro::material::{KeyMaterial, Pattern};
@@ -46,7 +46,8 @@ fn bench_scan_by_pattern_count(c: &mut Criterion) {
     group.sample_size(10);
     let (k, material) = populated_machine(16);
     for n in [1usize, 4, 16] {
-        let mut patterns: Vec<Pattern> = material.patterns().to_vec();
+        let mut patterns: Vec<Pattern> =
+            material.patterns().iter().map(Pattern::clone_secret).collect();
         let mut rng = Rng64::new(2);
         while patterns.len() < n {
             patterns.push(Pattern::new("filler", rng.gen_bytes(64)));
@@ -60,5 +61,8 @@ fn bench_scan_by_pattern_count(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scan_by_memory_size, bench_scan_by_pattern_count);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_args();
+    bench_scan_by_memory_size(&mut c);
+    bench_scan_by_pattern_count(&mut c);
+}

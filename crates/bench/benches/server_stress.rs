@@ -3,7 +3,7 @@
 //! bars are indistinguishable; Criterion quantifies the difference
 //! statistically.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::{BenchmarkId, Criterion};
 use harness::ExperimentConfig;
 use keyguard::ProtectionLevel;
 use servers::{ApacheServer, SecureServer, ServerConfig, SshServer};
@@ -94,10 +94,9 @@ fn bench_cow_consolidation_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_ssh_stress,
-    bench_apache_stress,
-    bench_cow_consolidation_ablation
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_args();
+    bench_ssh_stress(&mut c);
+    bench_apache_stress(&mut c);
+    bench_cow_consolidation_ablation(&mut c);
+}

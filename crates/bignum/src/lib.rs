@@ -31,6 +31,17 @@ mod prime;
 pub use mont::MontCtx;
 pub use prime::{gen_prime, is_probable_prime, SMALL_PRIMES};
 
+/// Best-effort zeroing of a buffer without `unsafe`: overwrite every element,
+/// then route the slice through an optimization barrier so the compiler
+/// cannot prove the stores dead and elide them (the classic `memset`-before-
+/// `free` removal the paper warns about).
+pub fn secure_zero<T: Copy + Default>(buf: &mut [T]) {
+    for v in buf.iter_mut() {
+        *v = T::default();
+    }
+    core::hint::black_box(buf);
+}
+
 use core::cmp::Ordering;
 use core::fmt;
 
@@ -228,6 +239,16 @@ impl BigUint {
             self.limbs.resize(limb + 1, 0);
         }
         self.limbs[limb] |= 1 << (i % 64);
+    }
+
+    /// Overwrites every limb with zero and truncates the value to zero.
+    ///
+    /// Callers holding key material (private exponents, primes) use this in
+    /// their `Drop` impls so the limb heap allocation is cleared before the
+    /// allocator recycles it.
+    pub fn zeroize(&mut self) {
+        secure_zero(&mut self.limbs);
+        self.limbs.clear();
     }
 
     /// Converts to `u64` when the value fits.

@@ -7,6 +7,8 @@
 //! copies of the private key components in its heap. The `rsa` crate models
 //! that behaviour explicitly on the simulated memory.
 
+use core::fmt;
+
 use crate::BigUint;
 
 /// Reusable Montgomery-domain context for a fixed odd modulus.
@@ -21,7 +23,7 @@ use crate::BigUint;
 /// let r = ctx.pow(&BigUint::from_u64(3), &BigUint::from_u64(10));
 /// assert_eq!(r, BigUint::from_u64(59049 % 0x1_0001));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(PartialEq, Eq)]
 pub struct MontCtx {
     /// The modulus (a copy — this is the paper's cached-key leak site).
     n: Vec<u64>,
@@ -31,6 +33,26 @@ pub struct MontCtx {
     rr: Vec<u64>,
     /// `R mod n` (the Montgomery representation of one).
     one: Vec<u64>,
+}
+
+/// The cached limbs are the private primes when the context backs CRT
+/// exponentiation, so formatting must never print them.
+impl fmt::Debug for MontCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MontCtx({} limbs, <redacted>)", self.n.len())
+    }
+}
+
+/// A context caches a full copy of its modulus; when that modulus is an RSA
+/// prime the copy is key material, so every limb buffer is wiped before the
+/// allocation is returned.
+impl Drop for MontCtx {
+    fn drop(&mut self) {
+        crate::secure_zero(&mut self.n);
+        crate::secure_zero(&mut self.rr);
+        crate::secure_zero(&mut self.one);
+        self.n0inv = 0;
+    }
 }
 
 /// Inverse of an odd `x` modulo `2^64` by Newton iteration.
@@ -98,6 +120,7 @@ impl MontCtx {
     /// The modulus this context was built for.
     #[must_use]
     pub fn modulus(&self) -> BigUint {
+        // keylint: allow(S005) -- reconstructs the modulus the caller already supplied; the cached copy itself is the modeled leak, sized via footprint_bytes
         BigUint::from_limbs(self.n.clone())
     }
 
@@ -195,6 +218,7 @@ impl MontCtx {
         let bm = self.to_mont(base);
         // Precompute base^0..base^15 in Montgomery form.
         let mut table = Vec::with_capacity(16);
+        // keylint: allow(S005) -- window-table scratch copy of R mod n, local to this exponentiation
         table.push(self.one.clone());
         table.push(bm.clone());
         for i in 2..16 {

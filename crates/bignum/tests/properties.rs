@@ -1,108 +1,152 @@
 //! Property-based tests for the bignum core: ring axioms, division laws,
 //! Montgomery/naive agreement, and serialization round trips.
+//!
+//! Runs on `simrng::propcheck` (pure std) so the suite works with no
+//! registry access; failures report a case seed that `cases_from` replays.
 
 use bignum::{BigUint, MontCtx};
-use proptest::prelude::*;
+use simrng::propcheck::{self, Gen};
 
-/// Strategy producing arbitrary-width BigUints (up to ~256 bits).
-fn big() -> impl Strategy<Value = BigUint> {
-    proptest::collection::vec(any::<u64>(), 0..=4).prop_map(BigUint::from_limbs)
+/// An arbitrary-width BigUint (up to ~256 bits).
+fn big(g: &mut Gen) -> BigUint {
+    BigUint::from_limbs(g.limbs(0..5))
 }
 
-/// Strategy producing nonzero BigUints.
-fn big_nonzero() -> impl Strategy<Value = BigUint> {
-    big().prop_filter("nonzero", |n| !n.is_zero())
-}
-
-/// Strategy producing odd moduli >= 3.
-fn odd_modulus() -> impl Strategy<Value = BigUint> {
-    proptest::collection::vec(any::<u64>(), 1..=3).prop_map(|mut limbs| {
-        limbs[0] |= 1;
-        let n = BigUint::from_limbs(limbs);
-        if n.bit_len() <= 1 {
-            BigUint::from_u64(3)
-        } else {
-            n
+/// A nonzero BigUint.
+fn big_nonzero(g: &mut Gen) -> BigUint {
+    loop {
+        let n = big(g);
+        if !n.is_zero() {
+            return n;
         }
-    })
+    }
 }
 
-proptest! {
-    #[test]
-    fn add_commutative(a in big(), b in big()) {
-        prop_assert_eq!(&a + &b, &b + &a);
+/// An odd modulus >= 3.
+fn odd_modulus(g: &mut Gen) -> BigUint {
+    let mut limbs = g.limbs(1..4);
+    limbs[0] |= 1;
+    let n = BigUint::from_limbs(limbs);
+    if n.bit_len() <= 1 {
+        BigUint::from_u64(3)
+    } else {
+        n
     }
+}
 
-    #[test]
-    fn add_associative(a in big(), b in big(), c in big()) {
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
-    }
+#[test]
+fn add_commutative() {
+    propcheck::cases(256, |g| {
+        let (a, b) = (big(g), big(g));
+        assert_eq!(&a + &b, &b + &a);
+    });
+}
 
-    #[test]
-    fn add_then_sub_round_trips(a in big(), b in big()) {
-        prop_assert_eq!(&(&a + &b) - &b, a);
-    }
+#[test]
+fn add_associative() {
+    propcheck::cases(256, |g| {
+        let (a, b, c) = (big(g), big(g), big(g));
+        assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    });
+}
 
-    #[test]
-    fn mul_commutative(a in big(), b in big()) {
-        prop_assert_eq!(&a * &b, &b * &a);
-    }
+#[test]
+fn add_then_sub_round_trips() {
+    propcheck::cases(256, |g| {
+        let (a, b) = (big(g), big(g));
+        assert_eq!(&(&a + &b) - &b, a);
+    });
+}
 
-    #[test]
-    fn mul_distributes_over_add(a in big(), b in big(), c in big()) {
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-    }
+#[test]
+fn mul_commutative() {
+    propcheck::cases(256, |g| {
+        let (a, b) = (big(g), big(g));
+        assert_eq!(&a * &b, &b * &a);
+    });
+}
 
-    #[test]
-    fn division_reconstruction(a in big(), b in big_nonzero()) {
+#[test]
+fn mul_distributes_over_add() {
+    propcheck::cases(256, |g| {
+        let (a, b, c) = (big(g), big(g), big(g));
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    });
+}
+
+#[test]
+fn division_reconstruction() {
+    propcheck::cases(256, |g| {
+        let (a, b) = (big(g), big_nonzero(g));
         let (q, r) = a.div_rem(&b);
-        prop_assert!(r < b);
-        prop_assert_eq!(&(&q * &b) + &r, a);
-    }
+        assert!(r < b);
+        assert_eq!(&(&q * &b) + &r, a);
+    });
+}
 
-    #[test]
-    fn knuth_division_matches_binary(a in big(), b in big_nonzero()) {
+#[test]
+fn knuth_division_matches_binary() {
+    propcheck::cases(256, |g| {
+        let (a, b) = (big(g), big_nonzero(g));
         let (q1, r1) = a.div_rem(&b);
         let (q2, r2) = a.div_rem_binary(&b);
-        prop_assert_eq!(q1, q2);
-        prop_assert_eq!(r1, r2);
-    }
+        assert_eq!(q1, q2);
+        assert_eq!(r1, r2);
+    });
+}
 
-    #[test]
-    fn word_division_matches_general(a in big(), d in 1u64..) {
+#[test]
+fn word_division_matches_general() {
+    propcheck::cases(256, |g| {
+        let a = big(g);
+        let d = g.u64().max(1);
         let (q1, r1) = a.div_rem_u64(d);
         let (q2, r2) = a.div_rem(&BigUint::from_u64(d));
-        prop_assert_eq!(q1, q2);
-        prop_assert_eq!(BigUint::from_u64(r1), r2);
-    }
+        assert_eq!(q1, q2);
+        assert_eq!(BigUint::from_u64(r1), r2);
+    });
+}
 
-    #[test]
-    fn shifts_round_trip(a in big(), bits in 0usize..200) {
-        prop_assert_eq!(a.shl_bits(bits).shr_bits(bits), a);
-    }
+#[test]
+fn shifts_round_trip() {
+    propcheck::cases(256, |g| {
+        let a = big(g);
+        let bits = g.usize_in(0..200);
+        assert_eq!(a.shl_bits(bits).shr_bits(bits), a);
+    });
+}
 
-    #[test]
-    fn be_bytes_round_trip(a in big()) {
-        prop_assert_eq!(BigUint::from_be_bytes(&a.to_be_bytes()), a);
-    }
+#[test]
+fn be_bytes_round_trip() {
+    propcheck::cases(256, |g| {
+        let a = big(g);
+        assert_eq!(BigUint::from_be_bytes(&a.to_be_bytes()), a);
+    });
+}
 
-    #[test]
-    fn hex_round_trip(a in big()) {
-        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
-    }
+#[test]
+fn hex_round_trip() {
+    propcheck::cases(256, |g| {
+        let a = big(g);
+        assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    });
+}
 
-    #[test]
-    fn montgomery_mul_matches_naive(a in big(), b in big(), m in odd_modulus()) {
+#[test]
+fn montgomery_mul_matches_naive() {
+    propcheck::cases(256, |g| {
+        let (a, b, m) = (big(g), big(g), odd_modulus(g));
         let ctx = MontCtx::new(&m);
-        prop_assert_eq!(ctx.mul(&a, &b), a.mul_mod(&b, &m));
-    }
+        assert_eq!(ctx.mul(&a, &b), a.mul_mod(&b, &m));
+    });
+}
 
-    #[test]
-    fn montgomery_pow_matches_square_and_multiply(
-        a in big(),
-        e in 0u64..500,
-        m in odd_modulus(),
-    ) {
+#[test]
+fn montgomery_pow_matches_square_and_multiply() {
+    propcheck::cases(128, |g| {
+        let a = big(g);
+        let e = g.u64_below(500);
+        let m = odd_modulus(g);
         let ctx = MontCtx::new(&m);
         let naive = {
             let base = a.rem(&m);
@@ -112,67 +156,82 @@ proptest! {
             }
             acc
         };
-        prop_assert_eq!(ctx.pow(&a, &BigUint::from_u64(e)), naive);
-    }
+        assert_eq!(ctx.pow(&a, &BigUint::from_u64(e)), naive);
+    });
+}
 
-    #[test]
-    fn mod_inverse_is_inverse(a in big_nonzero(), m in odd_modulus()) {
+#[test]
+fn mod_inverse_is_inverse() {
+    propcheck::cases(256, |g| {
+        let (a, m) = (big_nonzero(g), odd_modulus(g));
         if let Some(inv) = a.mod_inverse(&m) {
-            prop_assert_eq!(a.mul_mod(&inv, &m), BigUint::one().rem(&m));
-            prop_assert!(inv < m);
+            assert_eq!(a.mul_mod(&inv, &m), BigUint::one().rem(&m));
+            assert!(inv < m);
         } else {
             // No inverse implies a shared factor.
-            prop_assert!(!a.gcd(&m).is_one());
+            assert!(!a.gcd(&m).is_one());
         }
-    }
+    });
+}
 
-    #[test]
-    fn gcd_divides_both(a in big_nonzero(), b in big_nonzero()) {
-        let g = a.gcd(&b);
-        prop_assert!(a.rem(&g).is_zero());
-        prop_assert!(b.rem(&g).is_zero());
-    }
+#[test]
+fn gcd_divides_both() {
+    propcheck::cases(256, |g| {
+        let (a, b) = (big_nonzero(g), big_nonzero(g));
+        let gcd = a.gcd(&b);
+        assert!(a.rem(&gcd).is_zero());
+        assert!(b.rem(&gcd).is_zero());
+    });
+}
 
-    #[test]
-    fn mod_pow_multiplicative_in_exponent(a in big(), m in odd_modulus(), e1 in 0u64..100, e2 in 0u64..100) {
+#[test]
+fn mod_pow_multiplicative_in_exponent() {
+    propcheck::cases(128, |g| {
+        let (a, m) = (big(g), odd_modulus(g));
+        let e1 = g.u64_below(100);
+        let e2 = g.u64_below(100);
         // a^(e1+e2) = a^e1 * a^e2 (mod m)
         let lhs = a.mod_pow(&BigUint::from_u64(e1 + e2), &m);
         let rhs = a
             .mod_pow(&BigUint::from_u64(e1), &m)
             .mul_mod(&a.mod_pow(&BigUint::from_u64(e2), &m), &m);
-        prop_assert_eq!(lhs, rhs);
-    }
+        assert_eq!(lhs, rhs);
+    });
+}
 
-    #[test]
-    fn compare_is_consistent_with_sub(a in big(), b in big()) {
+#[test]
+fn compare_is_consistent_with_sub() {
+    propcheck::cases(256, |g| {
+        let (a, b) = (big(g), big(g));
         match a.cmp(&b) {
-            std::cmp::Ordering::Less => prop_assert!(a.checked_sub(&b).is_none()),
-            _ => prop_assert!(a.checked_sub(&b).is_some()),
+            std::cmp::Ordering::Less => assert!(a.checked_sub(&b).is_none()),
+            _ => assert!(a.checked_sub(&b).is_some()),
         }
-    }
+    });
 }
 
-/// Strategy producing large BigUints (32–80 limbs) that exercise the
-/// Karatsuba path.
-fn big_karatsuba() -> impl Strategy<Value = BigUint> {
-    proptest::collection::vec(any::<u64>(), 32..=80).prop_map(BigUint::from_limbs)
+/// A large BigUint (32–80 limbs) that exercises the Karatsuba path.
+fn big_karatsuba(g: &mut Gen) -> BigUint {
+    BigUint::from_limbs(g.limbs(32..81))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn karatsuba_mul_is_commutative_and_consistent(a in big_karatsuba(), b in big_karatsuba()) {
+#[test]
+fn karatsuba_mul_is_commutative_and_consistent() {
+    propcheck::cases(24, |g| {
+        let (a, b) = (big_karatsuba(g), big_karatsuba(g));
         let ab = &a * &b;
-        prop_assert_eq!(&ab, &(&b * &a));
+        assert_eq!(&ab, &(&b * &a));
         // Cross-check against an independent identity: (a*b) / a == b.
         let (q, r) = ab.div_rem(&a);
-        prop_assert_eq!(q, b);
-        prop_assert!(r.is_zero());
-    }
+        assert_eq!(q, b);
+        assert!(r.is_zero());
+    });
+}
 
-    #[test]
-    fn karatsuba_distributes(a in big_karatsuba(), b in big_karatsuba(), c in big_karatsuba()) {
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-    }
+#[test]
+fn karatsuba_distributes() {
+    propcheck::cases(24, |g| {
+        let (a, b, c) = (big_karatsuba(g), big_karatsuba(g), big_karatsuba(g));
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    });
 }

@@ -333,8 +333,13 @@ impl Scenario {
             .with_key_bits(self.key_bits)
             .with_seed(self.seed);
         let material = KeyMaterial::from_key(&server_cfg.derive_key(kind_label));
-        let mut patterns = material.patterns().to_vec();
+        let mut patterns: Vec<_> = material
+            .patterns()
+            .iter()
+            .map(rsa_repro::material::Pattern::clone_secret)
+            .collect();
         if let Some(secret) = &self.secret {
+            // keylint: allow(S005) -- the scenario's planted session secret is copied into its search pattern by design
             patterns.push(rsa_repro::material::Pattern::new("secret", secret.clone()));
         }
         let scanner = Scanner::new(patterns);

@@ -1,50 +1,62 @@
 //! Robustness: the scenario parser must never panic, whatever text it sees.
+//!
+//! Runs on `simrng::propcheck` (pure std) so the suite works with no
+//! registry access.
 
 use harness::scenario::Scenario;
-use proptest::prelude::*;
+use simrng::propcheck;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn parser_never_panics_on_arbitrary_text(text in "\\PC*") {
+#[test]
+fn parser_never_panics_on_arbitrary_text() {
+    propcheck::cases(512, |g| {
+        let text = g.text(0..400);
         let _ = Scenario::parse(&text);
-    }
+    });
+}
 
-    #[test]
-    fn parser_never_panics_on_directive_shaped_noise(
-        lines in proptest::collection::vec(
-            prop_oneof![
-                Just("machine mem-mb x".to_string()),
-                Just("server ssh level".to_string()),
-                Just("at".to_string()),
-                Just("at 1".to_string()),
-                Just("at 1 attack".to_string()),
-                Just("at 1 attack slab".to_string()),
-                Just("at 99999999999999999999 start".to_string()),
-                Just("secret".to_string()),
-                Just("end".to_string()),
-                (any::<u16>(), any::<u16>()).prop_map(|(a, b)| format!("at {a} pump {b}")),
-                (any::<u16>()).prop_map(|a| format!("end {a}")),
-            ],
-            0..12,
-        )
-    ) {
+#[test]
+fn parser_never_panics_on_directive_shaped_noise() {
+    const FIXED: [&str; 9] = [
+        "machine mem-mb x",
+        "server ssh level",
+        "at",
+        "at 1",
+        "at 1 attack",
+        "at 1 attack slab",
+        "at 99999999999999999999 start",
+        "secret",
+        "end",
+    ];
+    propcheck::cases(512, |g| {
+        let n = g.usize_in(0..12);
+        let mut lines = Vec::with_capacity(n);
+        for _ in 0..n {
+            match g.usize_in(0..11) {
+                i @ 0..=8 => lines.push(FIXED[i].to_string()),
+                9 => {
+                    let (a, b) = (g.u64_below(1 << 16), g.u64_below(1 << 16));
+                    lines.push(format!("at {a} pump {b}"));
+                }
+                _ => lines.push(format!("end {}", g.u64_below(1 << 16))),
+            }
+        }
         let _ = Scenario::parse(&lines.join("\n"));
-    }
+    });
+}
 
-    /// Valid scripts with a random schedule always parse and carry every
-    /// action through.
-    #[test]
-    fn valid_random_schedules_round_trip(
-        events in proptest::collection::vec((1usize..20, 0usize..40), 1..10),
-    ) {
+/// Valid scripts with a random schedule always parse and carry every
+/// action through.
+#[test]
+fn valid_random_schedules_round_trip() {
+    propcheck::cases(128, |g| {
         let mut script = String::from("server ssh key-bits 256\n");
-        for (t, n) in &events {
+        for _ in 0..g.usize_in(1..10) {
+            let t = g.usize_in(1..20);
+            let n = g.usize_in(0..40);
             script.push_str(&format!("at {t} pump {n}\n"));
         }
         script.push_str("end 25\n");
         let parsed = Scenario::parse(&script).unwrap();
-        prop_assert_eq!(parsed.ticks(), 25);
-    }
+        assert_eq!(parsed.ticks(), 25);
+    });
 }

@@ -42,7 +42,7 @@ pub fn secure_zero(buf: &mut [u8]) {
 ///
 /// let secret = SecretBuf::from_vec(b"session key".to_vec());
 /// assert_eq!(secret.expose().len(), 11);
-/// assert_eq!(format!("{secret:?}"), "SecretBuf(11 bytes, redacted)");
+/// assert_eq!(format!("{secret:?}"), "SecretBuf(11 bytes, <redacted>)");
 /// drop(secret); // contents are zeroed before the allocation is released
 /// ```
 #[derive(Default)]
@@ -105,6 +105,16 @@ impl SecretBuf {
         &mut self.data
     }
 
+    /// Duplicates the buffer. `SecretBuf` deliberately does not implement
+    /// `Clone`; this explicit method keeps every copy of the contents
+    /// greppable and auditable.
+    #[must_use]
+    pub fn clone_secret(&self) -> Self {
+        Self {
+            data: self.data.clone(),
+        }
+    }
+
     /// Explicitly wipes the contents now (the buffer stays usable, zeroed).
     pub fn wipe(&mut self) {
         secure_zero(&mut self.data);
@@ -117,17 +127,10 @@ impl Drop for SecretBuf {
     }
 }
 
-impl Clone for SecretBuf {
-    fn clone(&self) -> Self {
-        Self {
-            data: self.data.clone(),
-        }
-    }
-}
-
 impl fmt::Debug for SecretBuf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SecretBuf({} bytes, redacted)", self.data.len())
+        let len = self.data.len();
+        write!(f, "SecretBuf({len} bytes, <redacted>)")
     }
 }
 
@@ -208,7 +211,7 @@ mod tests {
     #[test]
     fn clone_is_independent() {
         let a = SecretBuf::from_slice(b"orig");
-        let mut b = a.clone();
+        let mut b = a.clone_secret();
         b.wipe();
         assert_eq!(a.expose(), b"orig");
         assert_eq!(b.expose(), &[0u8; 4]);

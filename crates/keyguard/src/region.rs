@@ -39,11 +39,24 @@ use rsa_repro::RsaPrivateKey;
 /// assert_eq!(d, rsa_repro::material::limb_bytes(key.d()));
 /// # Ok::<(), memsim::SimError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(PartialEq, Eq)]
+// keylint: allow(S003) -- stores only layout metadata (names, offsets, lengths); the key bytes live in simulated kernel pages that the region's installer manages
 pub struct SecureKeyRegion {
     base: VAddr,
     npages: usize,
     layout: Vec<(String, u64, usize)>,
+}
+
+/// The layout names and offsets are not secret, but redact anyway: the
+/// region's entire purpose is keeping key locations disciplined.
+impl core::fmt::Debug for SecureKeyRegion {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "SecureKeyRegion(base={:?}, npages={}, <redacted>)",
+            self.base, self.npages
+        )
+    }
 }
 
 impl SecureKeyRegion {

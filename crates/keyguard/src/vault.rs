@@ -30,11 +30,17 @@ use rsa_repro::{RsaError, RsaPrivateKey, RsaPublicKey};
 /// assert!(vault.public_key().verify_pkcs1(b"msg", &sig));
 /// # Ok::<(), rsa_repro::RsaError>(())
 /// ```
-#[derive(Debug)]
 pub struct KeyVault {
     key: RsaPrivateKey,
     public: RsaPublicKey,
     ops: std::cell::Cell<u64>,
+}
+
+impl core::fmt::Debug for KeyVault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let ops = self.ops.get();
+        write!(f, "KeyVault(ops={ops}, key=<redacted>)")
+    }
 }
 
 impl KeyVault {
@@ -130,7 +136,7 @@ mod tests {
     #[test]
     fn export_round_trips_through_secret_buffers() {
         let k = key(2);
-        let vault = KeyVault::new(k.clone());
+        let vault = KeyVault::new(k.clone_secret());
         let der = vault.export_der();
         assert_eq!(RsaPrivateKey::from_der(der.expose()).unwrap(), k);
         let pem = vault.export_pem();
@@ -150,9 +156,9 @@ mod tests {
     fn rotation_swaps_keys_and_resets_audit() {
         let old = key(3);
         let new = key(4);
-        let mut vault = KeyVault::new(old.clone());
+        let mut vault = KeyVault::new(old.clone_secret());
         vault.with_key(|_| ());
-        let retired = vault.rotate(new.clone());
+        let retired = vault.rotate(new.clone_secret());
         assert_eq!(retired, old);
         assert_eq!(vault.accesses(), 0);
         assert_eq!(vault.public_key(), &new.public_key());

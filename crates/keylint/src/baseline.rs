@@ -1,0 +1,161 @@
+//! Baseline support: a committed JSON file of accepted findings.
+//!
+//! Entries match on `(rule, file, symbol)` — not line numbers — so
+//! unrelated edits above a baselined item don't resurrect it. Every entry
+//! must carry a `reason`; a baseline is a list of conscious decisions, not
+//! a mute button.
+
+use std::path::Path;
+
+use crate::json::{self, obj, Value};
+use crate::rules::{Finding, RuleId};
+
+/// One accepted finding.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Rule ID.
+    pub rule: RuleId,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// The finding's line-stable symbol.
+    pub symbol: String,
+    /// Why this is acceptable.
+    pub reason: String,
+}
+
+/// A loaded baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Accepted findings.
+    pub entries: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Loads and validates `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses baseline JSON text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let entries = v
+            .get("entries")
+            .and_then(Value::as_arr)
+            .ok_or("baseline must have an `entries` array")?;
+        let mut out = Vec::new();
+        for e in entries {
+            let field = |k: &str| {
+                e.get(k)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline entry missing string `{k}`"))
+            };
+            let rule_text = field("rule")?;
+            let rule = RuleId::parse(&rule_text)
+                .ok_or_else(|| format!("unknown rule `{rule_text}` in baseline"))?;
+            let reason = field("reason")?;
+            if reason.trim().is_empty() {
+                return Err("baseline entry has an empty `reason`".into());
+            }
+            out.push(Entry {
+                rule,
+                file: field("file")?,
+                symbol: field("symbol")?,
+                reason,
+            });
+        }
+        Ok(Self { entries: out })
+    }
+
+    /// Is `f` covered by this baseline?
+    #[must_use]
+    pub fn covers(&self, f: &Finding) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.rule == f.rule && e.file == f.file && e.symbol == f.symbol)
+    }
+
+    /// Builds a baseline accepting exactly `findings` (reasons are
+    /// placeholders the author must fill in before committing).
+    #[must_use]
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        Self {
+            entries: findings
+                .iter()
+                .map(|f| Entry {
+                    rule: f.rule,
+                    file: f.file.clone(),
+                    symbol: f.symbol.clone(),
+                    reason: "TODO: justify before committing".into(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes to the on-disk JSON format.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let entries: Vec<Value> = self
+            .entries
+            .iter()
+            .map(|e| {
+                obj(vec![
+                    ("rule", Value::Str(e.rule.as_str().into())),
+                    ("file", Value::Str(e.file.clone())),
+                    ("symbol", Value::Str(e.symbol.clone())),
+                    ("reason", Value::Str(e.reason.clone())),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("version", Value::Num(1.0)),
+            ("entries", Value::Arr(entries)),
+        ])
+        .pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: RuleId, file: &str, symbol: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 10,
+            symbol: symbol.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn covers_ignores_line_numbers() {
+        let b = Baseline::parse(
+            r#"{"version": 1, "entries": [{"rule": "S003", "file": "a.rs", "symbol": "SecureKeyRegion", "reason": "owns no raw key bytes"}]}"#,
+        )
+        .unwrap();
+        assert!(b.covers(&finding(RuleId::S003, "a.rs", "SecureKeyRegion")));
+        assert!(!b.covers(&finding(RuleId::S003, "a.rs", "Other")));
+        assert!(!b.covers(&finding(RuleId::S001, "a.rs", "SecureKeyRegion")));
+    }
+
+    #[test]
+    fn round_trip() {
+        let b = Baseline::from_findings(&[finding(RuleId::S005, "x.rs", "key.clone()")]);
+        let b2 = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(b2.entries.len(), 1);
+        assert_eq!(b2.entries[0].symbol, "key.clone()");
+    }
+
+    #[test]
+    fn empty_reason_rejected() {
+        let r = Baseline::parse(
+            r#"{"entries": [{"rule": "S001", "file": "a.rs", "symbol": "X", "reason": "  "}]}"#,
+        );
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! `keylint.toml` loading — a hand-rolled parser for the TOML subset the
+//! config actually uses (sections, string values, string arrays), because
+//! the build environment has no registry access for a real TOML crate.
+
+use std::path::Path;
+
+/// Analyzer configuration, seeded from `keylint.toml` when present.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Type names that are secret-bearing by decree.
+    pub secret_types: Vec<String>,
+    /// Field names whose co-occurrence (two or more) marks a struct secret
+    /// even when its type name is not listed (RSA-CRT component names).
+    pub secret_field_names: Vec<String>,
+    /// Method/field names that hand out secret material (`.key()`,
+    /// `.material()`); chains through these count as secret expressions.
+    pub accessors: Vec<String>,
+    /// Types exempt from the secret fixpoint even if they embed or look
+    /// like secrets (e.g. the public half of a key pair).
+    pub public_types: Vec<String>,
+    /// Identifiers that count as a zeroing routine inside a `Drop` impl.
+    pub zero_markers: Vec<String>,
+    /// Path prefixes (relative, `/`-separated) where S005 duplication is
+    /// blessed — the key-custody layer itself.
+    pub allowed_paths: Vec<String>,
+    /// Path prefixes skipped entirely (fixtures, build output).
+    pub exclude_paths: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            secret_types: vec![
+                "RsaPrivateKey".into(),
+                "CrtEngine".into(),
+                "MontCtx".into(),
+                "KeyMaterial".into(),
+                "Pattern".into(),
+                "SecureKeyRegion".into(),
+                "ZeroizingBuf".into(),
+                "SecretBuf".into(),
+            ],
+            secret_field_names: vec![
+                "d".into(),
+                "p".into(),
+                "q".into(),
+                "dp".into(),
+                "dq".into(),
+                "qinv".into(),
+            ],
+            accessors: vec![
+                "key".into(),
+                "material".into(),
+                "private_key".into(),
+                "limb_bytes".into(),
+                "pem_bytes".into(),
+                "patterns".into(),
+            ],
+            public_types: vec!["RsaPublicKey".into()],
+            zero_markers: vec![
+                "secure_zero".into(),
+                "zeroize".into(),
+                "write_volatile".into(),
+            ],
+            allowed_paths: vec![],
+            exclude_paths: vec!["target".into()],
+        }
+    }
+}
+
+impl Config {
+    /// Reads and parses `path`, or returns defaults if the file is absent.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    /// Parses config text. Unknown sections/keys are errors so typos fail
+    /// loudly rather than silently disabling a rule.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut cfg = Self::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((lno, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_string();
+                if !matches!(section.as_str(), "secrets" | "s003" | "s005" | "scan") {
+                    return Err(format!("line {}: unknown section [{section}]", lno + 1));
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", lno + 1));
+            };
+            let key = key.trim();
+            let mut value = value.trim().to_string();
+            // Multiline arrays: keep consuming lines until brackets balance.
+            while value.starts_with('[') && !brackets_balanced(&value) {
+                let Some((_, next)) = lines.next() else {
+                    return Err(format!("line {}: unterminated array", lno + 1));
+                };
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+            }
+            let list = parse_string_array(&value)
+                .map_err(|e| format!("line {}: {e}", lno + 1))?;
+            let target = match (section.as_str(), key) {
+                ("secrets", "types") => &mut cfg.secret_types,
+                ("secrets", "field_names") => &mut cfg.secret_field_names,
+                ("secrets", "accessors") => &mut cfg.accessors,
+                ("secrets", "public_types") => &mut cfg.public_types,
+                ("s003", "zero_markers") => &mut cfg.zero_markers,
+                ("s005", "allowed_paths") => &mut cfg.allowed_paths,
+                ("scan", "exclude_paths") => &mut cfg.exclude_paths,
+                _ => {
+                    return Err(format!(
+                        "line {}: unknown key `{key}` in section [{section}]",
+                        lno + 1
+                    ))
+                }
+            };
+            *target = list;
+        }
+        Ok(cfg)
+    }
+}
+
+/// Removes a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn brackets_balanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+/// Parses `["a", "b"]` or a bare `"a"` into a vector of strings.
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = if let Some(v) = value.strip_prefix('[') {
+        v.strip_suffix(']')
+            .ok_or_else(|| "unterminated array".to_string())?
+    } else {
+        value
+    };
+    let mut out = Vec::new();
+    for part in split_top_level_commas(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let s = part
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| format!("expected quoted string, got `{part}`"))?;
+        out.push(s.to_string());
+    }
+    Ok(out)
+}
+
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut in_str = false;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_the_paper_types() {
+        let c = Config::default();
+        assert!(c.secret_types.iter().any(|t| t == "RsaPrivateKey"));
+        assert!(c.secret_field_names.contains(&"qinv".to_string()));
+    }
+
+    #[test]
+    fn parses_sections_and_arrays() {
+        let c = Config::parse(
+            r#"
+            # comment
+            [secrets]
+            types = ["A", "B"] # trailing comment
+            field_names = [
+                "d",
+                "p",
+            ]
+            [s005]
+            allowed_paths = ["crates/keyguard/src"]
+            "#,
+        )
+        .unwrap();
+        assert_eq!(c.secret_types, vec!["A", "B"]);
+        assert_eq!(c.secret_field_names, vec!["d", "p"]);
+        assert_eq!(c.allowed_paths, vec!["crates/keyguard/src"]);
+        // Untouched sections keep defaults.
+        assert!(c.zero_markers.contains(&"secure_zero".to_string()));
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        assert!(Config::parse("[secrets]\ntyposed = [\"A\"]").is_err());
+        assert!(Config::parse("[nope]\n").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let c = Config::parse("[secrets]\ntypes = [\"A#B\"]").unwrap();
+        assert_eq!(c.secret_types, vec!["A#B"]);
+    }
+}

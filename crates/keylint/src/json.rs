@@ -1,0 +1,315 @@
+//! Minimal JSON support shared by the `--format json` writer and the
+//! baseline reader. Pure std: a small recursive-descent parser plus an
+//! escaping serializer — no external crates available offline.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value. `BTreeMap` keeps serialization deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, held as f64 (fine for line numbers and versions).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object with sorted keys.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Object member lookup.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serializes with 2-space indentation.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Value::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}]");
+            }
+            Value::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    let _ = write!(out, "{pad}  \"{}\": ", escape(k));
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < map.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+/// Builds an object from key/value pairs.
+#[must_use]
+pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses JSON text.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let b: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    let v = parse_value(&b, &mut i)?;
+    skip_ws(&b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at offset {i}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[char], i: &mut usize) {
+    while *i < b.len() && b[*i].is_whitespace() {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[char], i: &mut usize) -> Result<Value, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some('{') => {
+            *i += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&'}') {
+                *i += 1;
+                return Ok(Value::Obj(map));
+            }
+            loop {
+                skip_ws(b, i);
+                let key = match parse_value(b, i)? {
+                    Value::Str(s) => s,
+                    _ => return Err("object key must be a string".into()),
+                };
+                skip_ws(b, i);
+                if b.get(*i) != Some(&':') {
+                    return Err(format!("expected `:` at offset {i}"));
+                }
+                *i += 1;
+                map.insert(key, parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(',') => *i += 1,
+                    Some('}') => {
+                        *i += 1;
+                        return Ok(Value::Obj(map));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at offset {i}")),
+                }
+            }
+        }
+        Some('[') => {
+            *i += 1;
+            let mut items = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&']') {
+                *i += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(',') => *i += 1,
+                    Some(']') => {
+                        *i += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at offset {i}")),
+                }
+            }
+        }
+        Some('"') => {
+            *i += 1;
+            let mut s = String::new();
+            while let Some(&c) = b.get(*i) {
+                match c {
+                    '"' => {
+                        *i += 1;
+                        return Ok(Value::Str(s));
+                    }
+                    '\\' => {
+                        *i += 1;
+                        match b.get(*i) {
+                            Some('n') => s.push('\n'),
+                            Some('r') => s.push('\r'),
+                            Some('t') => s.push('\t'),
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('/') => s.push('/'),
+                            Some('u') => {
+                                let hex: String = b
+                                    .get(*i + 1..*i + 5)
+                                    .ok_or("truncated \\u escape")?
+                                    .iter()
+                                    .collect();
+                                let code = u32::from_str_radix(&hex, 16)
+                                    .map_err(|_| "bad \\u escape")?;
+                                s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                *i += 4;
+                            }
+                            _ => return Err("bad escape".into()),
+                        }
+                        *i += 1;
+                    }
+                    c => {
+                        s.push(c);
+                        *i += 1;
+                    }
+                }
+            }
+            Err("unterminated string".into())
+        }
+        Some(c) if *c == '-' || c.is_ascii_digit() => {
+            let start = *i;
+            *i += 1;
+            while matches!(b.get(*i), Some(c) if c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+            {
+                *i += 1;
+            }
+            let text: String = b[start..*i].iter().collect();
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("bad number `{text}`"))
+        }
+        Some('t') if starts_with(b, *i, "true") => {
+            *i += 4;
+            Ok(Value::Bool(true))
+        }
+        Some('f') if starts_with(b, *i, "false") => {
+            *i += 5;
+            Ok(Value::Bool(false))
+        }
+        Some('n') if starts_with(b, *i, "null") => {
+            *i += 4;
+            Ok(Value::Null)
+        }
+        _ => Err(format!("unexpected character at offset {i}")),
+    }
+}
+
+fn starts_with(b: &[char], i: usize, word: &str) -> bool {
+    word.chars()
+        .enumerate()
+        .all(|(k, c)| b.get(i + k) == Some(&c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_structures() {
+        let src = r#"{"version": 1, "entries": [{"rule": "S003", "file": "a/b.rs", "reason": "quote \" ok"}]}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(
+            v.get("entries").unwrap().as_arr().unwrap()[0]
+                .get("rule")
+                .unwrap()
+                .as_str(),
+            Some("S003")
+        );
+        let re = parse(&v.pretty()).unwrap();
+        assert_eq!(v, re);
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let v = Value::Str("a\nb\t\"c\"".into());
+        let text = v.pretty();
+        assert!(text.contains("\\n"));
+        assert!(text.contains("\\\""));
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{unquoted: 1}").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("").is_err());
+    }
+}

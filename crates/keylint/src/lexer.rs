@@ -1,0 +1,374 @@
+//! A hand-rolled Rust tokenizer — just enough fidelity for hygiene linting.
+//!
+//! The lexer distinguishes identifiers, punctuation, and the literal forms
+//! that could otherwise confuse a text-level scanner (strings, raw strings,
+//! byte strings, char literals vs lifetimes, nested block comments). Line
+//! comments are captured out-of-band because two of the rules read them:
+//! `// SAFETY:` justifications (S006) and `// keylint: allow(...)`
+//! suppressions.
+
+/// Token categories the rule engine cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Category.
+    pub kind: TokKind,
+    /// Source text. For strings this is the *content* (delimiters stripped)
+    /// so rules can search literals like `<redacted>` directly.
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A captured `//` comment.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Text after the `//` marker, trimmed.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus the line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All `//` comments (doc comments included) in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Unterminated literals are tolerated (the rest of the
+/// file becomes the literal) — a linter must not panic on weird input.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = b[start..j].iter().collect();
+                out.comments.push(Comment {
+                    line,
+                    text: text.trim_start_matches(['/', '!']).trim().to_string(),
+                });
+                i = j;
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                // Nested block comments, as Rust allows.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '/' && b.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && b.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        bump!(b[j]);
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let (text, j) = scan_string(&b, i + 1, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                i = j;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                let (tok, j) = scan_prefixed_string(&b, i, &mut line);
+                out.toks.push(tok);
+                i = j;
+            }
+            '\'' => {
+                // Lifetime or char literal. A lifetime is `'ident` NOT
+                // followed by a closing quote; `'a'` is a char.
+                let is_lifetime = matches!(b.get(i + 1), Some(ch) if ch.is_alphabetic() || *ch == '_')
+                    && b.get(i + 2) != Some(&'\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[i + 1..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    let mut text = String::new();
+                    while j < b.len() && b[j] != '\'' {
+                        if b[j] == '\\' && j + 1 < b.len() {
+                            text.push(b[j]);
+                            text.push(b[j + 1]);
+                            j += 2;
+                        } else {
+                            bump!(b[j]);
+                            text.push(b[j]);
+                            j += 1;
+                        }
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text,
+                        line,
+                    });
+                    i = (j + 1).min(b.len());
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len() {
+                    let ch = b[j];
+                    if ch.is_alphanumeric() || ch == '_' {
+                        j += 1;
+                    } else if ch == '.'
+                        && matches!(b.get(j + 1), Some(d) if d.is_ascii_digit())
+                    {
+                        // `1.5` continues the number; `1..3` does not.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does position `i` begin a raw/byte string (`r"`, `r#`, `b"`, `br`, `rb`)?
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    // Up to two prefix letters (b, r in either order).
+    for _ in 0..2 {
+        match b.get(j) {
+            Some('b' | 'r') => j += 1,
+            _ => break,
+        }
+    }
+    if j == i {
+        return false;
+    }
+    matches!(b.get(j), Some('"' | '#'))
+}
+
+/// Scans a plain `"…"` body starting just after the opening quote. Returns
+/// (content, index-after-closing-quote).
+fn scan_string(b: &[char], start: usize, line: &mut u32) -> (String, usize) {
+    let mut text = String::new();
+    let mut j = start;
+    while j < b.len() && b[j] != '"' {
+        if b[j] == '\\' && j + 1 < b.len() {
+            text.push(b[j]);
+            text.push(b[j + 1]);
+            if b[j + 1] == '\n' {
+                *line += 1;
+            }
+            j += 2;
+        } else {
+            if b[j] == '\n' {
+                *line += 1;
+            }
+            text.push(b[j]);
+            j += 1;
+        }
+    }
+    (text, (j + 1).min(b.len()))
+}
+
+/// Scans `r"…"`, `r#"…"#…`, `b"…"`, `br#"…"#` starting at the prefix.
+fn scan_prefixed_string(b: &[char], i: usize, line: &mut u32) -> (Tok, usize) {
+    let tok_line = *line;
+    let mut j = i;
+    let mut raw = false;
+    while matches!(b.get(j), Some('b' | 'r')) {
+        raw |= b[j] == 'r';
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(b.get(j), Some(&'"'));
+    j += 1; // opening quote
+    let start = j;
+    let closes = |b: &[char], k: usize| -> bool {
+        if b[k] != '"' {
+            return false;
+        }
+        (1..=hashes).all(|h| b.get(k + h) == Some(&'#'))
+    };
+    while j < b.len() {
+        if !raw && b[j] == '\\' && j + 1 < b.len() {
+            if b[j + 1] == '\n' {
+                *line += 1;
+            }
+            j += 2;
+            continue;
+        }
+        if closes(b, j) {
+            let text: String = b[start..j].iter().collect();
+            return (
+                Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line: tok_line,
+                },
+                j + 1 + hashes,
+            );
+        }
+        if b[j] == '\n' {
+            *line += 1;
+        }
+        j += 1;
+    }
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: b[start..].iter().collect(),
+            line: tok_line,
+        },
+        b.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let t = texts("fn main() {}");
+        assert_eq!(t[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(t[1], (TokKind::Ident, "main".into()));
+        assert_eq!(t[2], (TokKind::Punct, "(".into()));
+    }
+
+    #[test]
+    fn strings_keep_content_and_swallow_code_inside() {
+        let t = texts(r#"let s = "struct NotAStruct { d: u8 }";"#);
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Str && x.contains("NotAStruct")));
+        // The struct keyword inside the string is not an Ident token.
+        assert_eq!(
+            t.iter().filter(|(k, x)| *k == TokKind::Ident && x == "struct").count(),
+            0
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let t = texts(r###"let s = r#"quote " inside"#;"###);
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Str && x.contains("quote \" inside")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let t = texts("fn f<'a>(x: &'a str, c: char) { let y = 'z'; }");
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Lifetime && x == "a"));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Char && x == "z"));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let l = lex("// SAFETY: fine\nlet x = 1; // trailing\n/* block\nspans */ let y = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[0].text, "SAFETY: fine");
+        assert_eq!(l.comments[1].line, 2);
+        // Tokens after the block comment land on the right line.
+        let y = l.toks.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!(y.line, 4);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let t = texts("for i in 0..38 {}");
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Num && x == "0"));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Num && x == "38"));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Num && x == "38"));
+    }
+
+    #[test]
+    fn unterminated_string_does_not_panic() {
+        let l = lex("let s = \"oops");
+        assert_eq!(l.toks.last().unwrap().kind, TokKind::Str);
+    }
+}

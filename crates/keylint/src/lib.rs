@@ -1,0 +1,222 @@
+//! keylint — a workspace-wide static analyzer for cryptographic key
+//! hygiene.
+//!
+//! The memory-disclosure literature shows that private keys leak through
+//! *copies*: derived `Clone`/`Debug`, format macros, `.to_vec()` into
+//! unmanaged heap, frees that never zero, and unsafe aliasing. keylint
+//! walks every `.rs` file with a hand-rolled lexer and item parser (pure
+//! std — the build environment has no registry access) and enforces six
+//! rules (S001–S006) over the set of secret-bearing types, which is seeded
+//! from `keylint.toml` and closed under field-name heuristics and
+//! transitive embedding.
+//!
+//! Findings can be suppressed in place
+//! (`// keylint: allow(S00x) -- reason`) or accepted in a committed
+//! baseline file keyed on `(rule, file, symbol)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod config;
+pub mod json;
+pub mod lexer;
+pub mod parser;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use baseline::Baseline;
+pub use config::Config;
+pub use rules::{Finding, RuleId, Severity};
+
+use json::{obj, Value};
+
+/// Output format for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable `file:line` diagnostics.
+    Text,
+    /// Machine-readable JSON.
+    Json,
+}
+
+/// Result of one analyzer run.
+#[derive(Debug)]
+pub struct Report {
+    /// Unsuppressed findings not covered by the baseline.
+    pub findings: Vec<Finding>,
+    /// Findings accepted by the baseline.
+    pub baselined: usize,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Renders in the requested format.
+    #[must_use]
+    pub fn render(&self, format: Format) -> String {
+        match format {
+            Format::Text => self.render_text(),
+            Format::Json => self.render_json(),
+        }
+    }
+
+    fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let sev = match f.rule.severity() {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            out.push_str(&format!(
+                "{}:{}: {sev}[{}] {}\n",
+                f.file,
+                f.line,
+                f.rule.as_str(),
+                f.message
+            ));
+        }
+        out.push_str(&format!(
+            "keylint: {} file(s) scanned, {} finding(s), {} baselined\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.baselined
+        ));
+        out
+    }
+
+    fn render_json(&self) -> String {
+        let findings: Vec<Value> = self
+            .findings
+            .iter()
+            .map(|f| {
+                obj(vec![
+                    ("rule", Value::Str(f.rule.as_str().into())),
+                    (
+                        "severity",
+                        Value::Str(
+                            match f.rule.severity() {
+                                Severity::Error => "error",
+                                Severity::Warning => "warning",
+                            }
+                            .into(),
+                        ),
+                    ),
+                    ("file", Value::Str(f.file.clone())),
+                    ("line", Value::Num(f64::from(f.line))),
+                    ("symbol", Value::Str(f.symbol.clone())),
+                    ("message", Value::Str(f.message.clone())),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("version", Value::Num(1.0)),
+            ("files_scanned", Value::Num(self.files_scanned as f64)),
+            ("baselined", Value::Num(self.baselined as f64)),
+            ("findings", Value::Arr(findings)),
+        ])
+        .pretty()
+    }
+}
+
+/// Recursively collects `.rs` files under `root`, skipping hidden
+/// directories and the configured `exclude_paths` (matched as
+/// `/`-separated prefixes of the workspace-relative path). Sorted for
+/// deterministic reports.
+pub fn collect_files(root: &Path, cfg: &Config) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    walk(root, root, cfg, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, cfg: &Config, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with('.') {
+            continue;
+        }
+        let rel = rel_path(root, &path);
+        if cfg.exclude_paths.iter().any(|p| rel.starts_with(p.as_str())) {
+            continue;
+        }
+        let ft = entry.file_type().map_err(|e| format!("{}: {e}", path.display()))?;
+        if ft.is_dir() {
+            walk(root, &path, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative, `/`-separated form of `path`.
+#[must_use]
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Parses every file and runs the rules. `baseline` (if given) filters
+/// accepted findings out.
+pub fn analyze(
+    root: &Path,
+    files: &[PathBuf],
+    cfg: &Config,
+    baseline: Option<&Baseline>,
+) -> Result<Report, String> {
+    let mut models = Vec::with_capacity(files.len());
+    for f in files {
+        let src =
+            std::fs::read_to_string(f).map_err(|e| format!("{}: {e}", f.display()))?;
+        models.push(parser::parse_file(&rel_path(root, f), &src));
+    }
+    let all = rules::check(&models, cfg);
+    let (covered, findings): (Vec<_>, Vec<_>) = all
+        .into_iter()
+        .partition(|f| baseline.is_some_and(|b| b.covers(f)));
+    Ok(Report {
+        findings,
+        baselined: covered.len(),
+        files_scanned: files.len(),
+    })
+}
+
+/// Locates the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` contains a `[workspace]` table, else `start` itself.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return d;
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    start.to_path_buf()
+}
+
+/// Convenience entry point used by the harness `lint` subcommand: scans
+/// the whole workspace with the root's `keylint.toml` and
+/// `keylint-baseline.json` (both optional) and returns the report.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let cfg = Config::load(&root.join("keylint.toml"))?;
+    let baseline_path = root.join("keylint-baseline.json");
+    let baseline = if baseline_path.exists() {
+        Some(Baseline::load(&baseline_path)?)
+    } else {
+        None
+    };
+    let files = collect_files(root, &cfg)?;
+    analyze(root, &files, &cfg, baseline.as_ref())
+}

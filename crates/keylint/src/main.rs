@@ -1,0 +1,138 @@
+//! keylint CLI.
+//!
+//! ```text
+//! keylint [PATHS…] [--workspace] [--format text|json]
+//!         [--config FILE] [--baseline FILE] [--write-baseline FILE]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use keylint::{analyze, collect_files, find_workspace_root, Baseline, Config, Format};
+
+struct Args {
+    paths: Vec<PathBuf>,
+    workspace: bool,
+    format: Format,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        paths: Vec::new(),
+        workspace: false,
+        format: Format::Text,
+        config: None,
+        baseline: None,
+        write_baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--format" => {
+                args.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--config" => args.config = Some(PathBuf::from(value("--config")?)),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--write-baseline" => {
+                args.write_baseline = Some(PathBuf::from(value("--write-baseline")?));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: keylint [PATHS…] [--workspace] [--format text|json]\n\
+                     \x20              [--config FILE] [--baseline FILE] [--write-baseline FILE]"
+                );
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => args.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !args.workspace && args.paths.is_empty() {
+        return Err("give PATHS or --workspace".into());
+    }
+    Ok(args)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = find_workspace_root(&cwd);
+
+    let cfg_path = args.config.unwrap_or_else(|| root.join("keylint.toml"));
+    let cfg = Config::load(&cfg_path)?;
+
+    let baseline = match &args.baseline {
+        Some(p) => Some(Baseline::load(p)?),
+        None => {
+            let default = root.join("keylint-baseline.json");
+            if args.workspace && default.exists() {
+                Some(Baseline::load(&default)?)
+            } else {
+                None
+            }
+        }
+    };
+
+    let files = if args.workspace {
+        collect_files(&root, &cfg)?
+    } else {
+        let mut files = Vec::new();
+        for p in &args.paths {
+            let p = if p.is_absolute() { p.clone() } else { cwd.join(p) };
+            if p.is_dir() {
+                // Per-path scans search the named tree only.
+                let mut sub_cfg = cfg.clone();
+                sub_cfg.exclude_paths = vec!["target".into()];
+                files.extend(collect_files(&p, &sub_cfg)?);
+            } else {
+                files.push(p);
+            }
+        }
+        files
+    };
+
+    let report = analyze(&root, &files, &cfg, baseline.as_ref())?;
+
+    if let Some(out_path) = &args.write_baseline {
+        let b = Baseline::from_findings(&report.findings);
+        std::fs::write(out_path, b.to_json())
+            .map_err(|e| format!("{}: {e}", out_path.display()))?;
+        eprintln!(
+            "keylint: wrote {} entr{} to {} (fill in the reasons!)",
+            b.entries.len(),
+            if b.entries.len() == 1 { "y" } else { "ies" },
+            out_path.display()
+        );
+    }
+
+    print!("{}", report.render(args.format));
+    Ok(if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("keylint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

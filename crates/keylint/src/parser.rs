@@ -1,0 +1,765 @@
+//! Item-level parse of one source file.
+//!
+//! This is not a full Rust parser — it recognizes exactly the shapes the
+//! rules need: struct definitions (with derive lists and field types),
+//! `impl` blocks (trait + self type + body token range), macro invocations
+//! with their argument identifiers, `.method()` chains, `Vec::from` calls,
+//! `unsafe` blocks, and `let`/parameter bindings. Everything else is
+//! skipped token by token, so unrecognized syntax degrades to "no
+//! findings", never to a crash.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// A struct or enum definition.
+#[derive(Debug)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the `struct`/`enum` keyword.
+    pub line: u32,
+    /// Derived trait names with the line of the `#[derive]` attribute.
+    pub derives: Vec<(String, u32)>,
+    /// Named fields (empty for tuple/unit structs and enums).
+    pub fields: Vec<Field>,
+}
+
+/// One named struct field.
+#[derive(Debug)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Every identifier appearing in the field's type (`Option<MontCtx>`
+    /// yields `["Option", "MontCtx"]`).
+    pub type_idents: Vec<String>,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// An `impl` block.
+#[derive(Debug)]
+pub struct ImplDef {
+    /// Trait being implemented (last path segment), if any.
+    pub trait_name: Option<String>,
+    /// Self type (last path segment).
+    pub type_name: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+    /// Token index range of the body (between the braces, exclusive).
+    pub body: (usize, usize),
+}
+
+/// One identifier inside a macro invocation's arguments.
+#[derive(Debug)]
+pub struct ArgIdent {
+    /// The identifier text.
+    pub text: String,
+    /// Whether it is a field/method access (`.text`).
+    pub after_dot: bool,
+    /// Whether a field/method access follows (`text.…`) — the binding
+    /// itself is not being rendered, one of its members is.
+    pub before_dot: bool,
+}
+
+/// A macro invocation (`name!(…)`).
+#[derive(Debug)]
+pub struct MacroCall {
+    /// Macro name (no `!`).
+    pub name: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Identifiers inside the arguments.
+    pub args: Vec<ArgIdent>,
+}
+
+/// A `.clone()` / `.to_vec()` / `.to_owned()` style call.
+#[derive(Debug)]
+pub struct MethodCall {
+    /// Method name.
+    pub method: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Receiver chain, root first: `self.key.clone()` → `["self", "key"]`.
+    /// Interior calls are kept by name: `m.patterns().to_vec()` →
+    /// `["m", "patterns"]`. Empty when the receiver is not a simple chain.
+    pub chain: Vec<String>,
+    /// Token index of the method name (to locate the enclosing impl).
+    pub tok_index: usize,
+}
+
+/// A `Vec::from(arg)` call.
+#[derive(Debug)]
+pub struct FromCall {
+    /// 1-based line.
+    pub line: u32,
+    /// Identifiers in the argument list.
+    pub args: Vec<String>,
+}
+
+/// A `let` binding or function parameter with a resolvable type.
+#[derive(Debug)]
+pub struct Binding {
+    /// Bound name.
+    pub name: String,
+    /// Identifiers of the annotated type, if any.
+    pub type_idents: Vec<String>,
+    /// `T` from an initializer of the form `= T::…`, if any.
+    pub ctor: Option<String>,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug, Default)]
+pub struct FileModel {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Struct/enum definitions.
+    pub structs: Vec<StructDef>,
+    /// Impl blocks.
+    pub impls: Vec<ImplDef>,
+    /// Macro invocations.
+    pub macros: Vec<MacroCall>,
+    /// Copy-flavored method calls.
+    pub method_calls: Vec<MethodCall>,
+    /// `Vec::from` calls.
+    pub from_calls: Vec<FromCall>,
+    /// Lines of `unsafe {` blocks.
+    pub unsafe_blocks: Vec<u32>,
+    /// Let bindings and fn parameters.
+    pub bindings: Vec<Binding>,
+    /// All line comments.
+    pub comments: Vec<Comment>,
+    /// The full token stream (rules peek at impl bodies through it).
+    pub toks: Vec<Tok>,
+}
+
+impl FileModel {
+    /// The innermost impl whose body contains token index `ti`.
+    #[must_use]
+    pub fn impl_at(&self, ti: usize) -> Option<&ImplDef> {
+        self.impls
+            .iter()
+            .filter(|im| im.body.0 <= ti && ti < im.body.1)
+            .min_by_key(|im| im.body.1 - im.body.0)
+    }
+
+    /// Identifier texts inside an impl body.
+    pub fn body_idents<'a>(&'a self, im: &'a ImplDef) -> impl Iterator<Item = &'a str> {
+        self.toks[im.body.0..im.body.1]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+    }
+
+    /// String-literal contents inside an impl body.
+    pub fn body_strings<'a>(&'a self, im: &'a ImplDef) -> impl Iterator<Item = &'a str> {
+        self.toks[im.body.0..im.body.1]
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+    }
+}
+
+/// Methods S005 watches for.
+const COPY_METHODS: &[&str] = &["clone", "to_vec", "to_owned"];
+
+/// Parses `src` (read from `path`, which is stored on the model verbatim).
+#[must_use]
+pub fn parse_file(path: &str, src: &str) -> FileModel {
+    let lexed = lex(src);
+    let toks = lexed.toks;
+    let mut m = FileModel {
+        path: path.to_string(),
+        comments: lexed.comments,
+        ..FileModel::default()
+    };
+
+    let mut pending_derives: Vec<(String, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "#") if is(&toks, i + 1, "[") => {
+                if is(&toks, i + 2, "derive") && is(&toks, i + 3, "(") {
+                    let close = match_balanced(&toks, i + 3, "(", ")");
+                    for tok in &toks[i + 4..close] {
+                        if tok.kind == TokKind::Ident {
+                            pending_derives.push((tok.text.clone(), tok.line));
+                        }
+                    }
+                    i = close + 1;
+                } else {
+                    // Skip any other attribute without touching pending
+                    // derives (attributes can stack above one item).
+                    i = match_balanced(&toks, i + 1, "[", "]") + 1;
+                }
+            }
+            (TokKind::Ident, "struct" | "enum") => {
+                let is_struct = t.text == "struct";
+                let Some(name_tok) = toks.get(i + 1) else { break };
+                let mut s = StructDef {
+                    name: name_tok.text.clone(),
+                    line: t.line,
+                    derives: std::mem::take(&mut pending_derives),
+                    fields: Vec::new(),
+                };
+                let mut j = i + 2;
+                j = skip_generics(&toks, j);
+                // where-clause before the body.
+                while j < toks.len() && !matches!(toks[j].text.as_str(), "{" | "(" | ";") {
+                    j += 1;
+                }
+                if is_struct && is(&toks, j, "{") {
+                    let close = match_balanced(&toks, j, "{", "}");
+                    parse_fields(&toks, j + 1, close, &mut s.fields);
+                    j = close;
+                } else if is(&toks, j, "{") || is(&toks, j, "(") {
+                    // Enum body or tuple struct: skip (field-name
+                    // heuristics do not apply), derives still checked.
+                    let (open, cl) = if toks[j].text == "{" { ("{", "}") } else { ("(", ")") };
+                    j = match_balanced(&toks, j, open, cl);
+                }
+                m.structs.push(s);
+                i = j + 1;
+            }
+            (TokKind::Ident, "impl") if at_item_position(&toks, i) => {
+                if let Some((im, next)) = parse_impl(&toks, i) {
+                    m.impls.push(im);
+                    i = next; // body start: keep scanning inside the impl
+                } else {
+                    i += 1;
+                }
+            }
+            (TokKind::Ident, "unsafe") if is(&toks, i + 1, "{") => {
+                m.unsafe_blocks.push(t.line);
+                i += 1;
+            }
+            (TokKind::Ident, "let") => {
+                if let Some(b) = parse_let(&toks, i) {
+                    m.bindings.push(b);
+                }
+                i += 1;
+            }
+            (TokKind::Ident, "fn") => {
+                parse_fn_params(&toks, i, &mut m.bindings);
+                // Drop derives that were aimed at a function attribute.
+                pending_derives.clear();
+                i += 1;
+            }
+            (TokKind::Ident, "Vec")
+                if is(&toks, i + 1, ":")
+                    && is(&toks, i + 2, ":")
+                    && is(&toks, i + 3, "from")
+                    && is(&toks, i + 4, "(") =>
+            {
+                let close = match_balanced(&toks, i + 4, "(", ")");
+                let args = toks[i + 5..close]
+                    .iter()
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone())
+                    .collect();
+                m.from_calls.push(FromCall { line: t.line, args });
+                i += 5; // still scan the argument tokens
+            }
+            (TokKind::Ident, _) if is(&toks, i + 1, "!") && opens_delim(&toks, i + 2) => {
+                let (open, cl) = delim_pair(&toks[i + 2].text);
+                let close = match_balanced(&toks, i + 2, open, cl);
+                let mut args = Vec::new();
+                for (k, tok) in toks[i + 3..close].iter().enumerate() {
+                    if tok.kind == TokKind::Ident {
+                        args.push(ArgIdent {
+                            text: tok.text.clone(),
+                            after_dot: toks[i + 2 + k].text == ".",
+                            before_dot: toks.get(i + 4 + k).is_some_and(|t| t.text == "."),
+                        });
+                    }
+                }
+                m.macros.push(MacroCall {
+                    name: t.text.clone(),
+                    line: t.line,
+                    args,
+                });
+                i += 3; // keep scanning inside the macro arguments
+            }
+            (TokKind::Punct, ".")
+                if matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Ident
+                    && COPY_METHODS.contains(&n.text.as_str()))
+                    && is(&toks, i + 2, "(") =>
+            {
+                let method = toks[i + 1].text.clone();
+                m.method_calls.push(MethodCall {
+                    method,
+                    line: toks[i + 1].line,
+                    chain: walk_chain_back(&toks, i),
+                    tok_index: i + 1,
+                });
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    m.toks = toks;
+    m
+}
+
+fn is(toks: &[Tok], i: usize, text: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.text == text)
+}
+
+fn opens_delim(toks: &[Tok], i: usize) -> bool {
+    matches!(toks.get(i), Some(t) if matches!(t.text.as_str(), "(" | "[" | "{"))
+}
+
+fn delim_pair(open: &str) -> (&'static str, &'static str) {
+    match open {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        _ => ("{", "}"),
+    }
+}
+
+/// Index of the token closing the delimiter opened at `open_idx`.
+/// Tolerates unbalanced input by returning the end of the stream.
+fn match_balanced(toks: &[Tok], open_idx: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    let mut j = open_idx;
+    while j < toks.len() {
+        if toks[j].text == open {
+            depth += 1;
+        } else if toks[j].text == close {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Skips a `<…>` generics list if one starts at `j`.
+fn skip_generics(toks: &[Tok], j: usize) -> usize {
+    if !is(toks, j, "<") {
+        return j;
+    }
+    let mut depth = 0i32;
+    let mut k = j;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    toks.len()
+}
+
+/// Parses `name: Type` pairs between `start` and `end` (exclusive),
+/// tracking delimiter depth so nested generics don't split fields.
+fn parse_fields(toks: &[Tok], start: usize, end: usize, out: &mut Vec<Field>) {
+    let mut j = start;
+    while j < end {
+        // Skip attributes and visibility before the field name.
+        if is(toks, j, "#") && is(toks, j + 1, "[") {
+            j = match_balanced(toks, j + 1, "[", "]") + 1;
+            continue;
+        }
+        if is(toks, j, "pub") {
+            j += 1;
+            if is(toks, j, "(") {
+                j = match_balanced(toks, j, "(", ")") + 1;
+            }
+            continue;
+        }
+        let Some(name_tok) = toks.get(j) else { break };
+        if name_tok.kind == TokKind::Ident && is(toks, j + 1, ":") {
+            let name = name_tok.text.clone();
+            let line = name_tok.line;
+            let mut k = j + 2;
+            let mut type_idents = Vec::new();
+            let mut depth = 0i32;
+            while k < end {
+                match toks[k].text.as_str() {
+                    "<" | "(" | "[" => depth += 1,
+                    ">" | ")" | "]" => depth -= 1,
+                    "," if depth <= 0 => break,
+                    _ => {
+                        if toks[k].kind == TokKind::Ident {
+                            type_idents.push(toks[k].text.clone());
+                        }
+                    }
+                }
+                k += 1;
+            }
+            out.push(Field {
+                name,
+                type_idents,
+                line,
+            });
+            j = k + 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+/// Is the `impl` at index `i` an item (not `-> impl Trait` / `impl Trait`
+/// in argument position)? Items follow `;`, `}`, `]` (attribute close),
+/// `unsafe`, or start the file.
+fn at_item_position(toks: &[Tok], i: usize) -> bool {
+    match i.checked_sub(1).and_then(|p| toks.get(p)) {
+        None => true,
+        Some(prev) => matches!(prev.text.as_str(), ";" | "}" | "]" | "unsafe" | "{"),
+    }
+}
+
+/// Parses an impl header starting at `i` (`impl`). Returns the def and the
+/// token index just after the body's opening brace.
+fn parse_impl(toks: &[Tok], i: usize) -> Option<(ImplDef, usize)> {
+    let line = toks[i].line;
+    let mut j = skip_generics(toks, i + 1);
+    // First path: idents and `::`/`<…>` until `for` or `{`.
+    let (first, after_first) = read_path(toks, j)?;
+    j = after_first;
+    let (trait_name, type_name, body_open) = if is(toks, j, "for") {
+        let (second, after_second) = read_path(toks, j + 1)?;
+        (Some(first), second, seek(toks, after_second, "{")?)
+    } else {
+        (None, first, seek(toks, j, "{")?)
+    };
+    let close = match_balanced(toks, body_open, "{", "}");
+    Some((
+        ImplDef {
+            trait_name,
+            type_name,
+            line,
+            body: (body_open + 1, close),
+        },
+        body_open + 1,
+    ))
+}
+
+/// Reads a type path, returning its last meaningful segment (skipping
+/// generic arguments) and the index after the path.
+fn read_path(toks: &[Tok], start: usize) -> Option<(String, usize)> {
+    let mut j = start;
+    let mut last = None;
+    loop {
+        // `&`, `'a`, `mut`, `dyn` prefixes.
+        while matches!(toks.get(j), Some(t) if matches!(t.text.as_str(), "&" | "mut" | "dyn")
+            || t.kind == TokKind::Lifetime)
+        {
+            j += 1;
+        }
+        let t = toks.get(j)?;
+        if t.kind != TokKind::Ident || matches!(t.text.as_str(), "for" | "where") {
+            break;
+        }
+        last = Some(t.text.clone());
+        j += 1;
+        j = skip_generics(toks, j);
+        if is(toks, j, ":") && is(toks, j + 1, ":") {
+            j += 2;
+        } else {
+            break;
+        }
+    }
+    last.map(|l| (l, j))
+}
+
+/// First index at or after `j` whose token text equals `what`.
+fn seek(toks: &[Tok], j: usize, what: &str) -> Option<usize> {
+    (j..toks.len()).find(|&k| toks[k].text == what)
+}
+
+/// Walks the receiver chain backwards from the `.` at `dot_idx`. Produces
+/// the chain root-first; interior calls contribute their method name (the
+/// argument tokens are skipped over).
+fn walk_chain_back(toks: &[Tok], dot_idx: usize) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut j = dot_idx; // sits on a `.`
+    loop {
+        // Before the dot: ident, or `)`/`]` closing a call we skip back over.
+        let Some(prev) = j.checked_sub(1) else { break };
+        match toks[prev].text.as_str() {
+            ")" | "]" => {
+                let (open, close) = if toks[prev].text == ")" { ("(", ")") } else { ("[", "]") };
+                let mut depth = 0i32;
+                let mut k = prev;
+                loop {
+                    if toks[k].text == close {
+                        depth += 1;
+                    } else if toks[k].text == open {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    let Some(k2) = k.checked_sub(1) else { return Vec::new() };
+                    k = k2;
+                }
+                // Expect `ident (` — a call; otherwise give up on the chain.
+                let Some(m) = k.checked_sub(1) else { return Vec::new() };
+                if toks[m].kind != TokKind::Ident {
+                    return Vec::new();
+                }
+                chain.push(toks[m].text.clone());
+                j = m;
+            }
+            _ if toks[prev].kind == TokKind::Ident => {
+                chain.push(toks[prev].text.clone());
+                j = prev;
+            }
+            _ => break,
+        }
+        // Continue only through `.`; anything else ends the chain.
+        match j.checked_sub(1) {
+            Some(p) if toks[p].text == "." => j = p,
+            _ => break,
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+/// Parses `let [mut] name [: Type] [= RHS]` starting at the `let`.
+fn parse_let(toks: &[Tok], i: usize) -> Option<Binding> {
+    let mut j = i + 1;
+    if is(toks, j, "mut") {
+        j += 1;
+    }
+    let name_tok = toks.get(j)?;
+    if name_tok.kind != TokKind::Ident {
+        return None; // destructuring patterns: out of scope
+    }
+    let name = name_tok.text.clone();
+    let line = name_tok.line;
+    j += 1;
+    let mut type_idents = Vec::new();
+    if is(toks, j, ":") {
+        let mut depth = 0i32;
+        j += 1;
+        while let Some(t) = toks.get(j) {
+            match t.text.as_str() {
+                "<" | "(" | "[" => depth += 1,
+                ">" | ")" | "]" => depth -= 1,
+                "=" | ";" if depth <= 0 => break,
+                _ => {
+                    if t.kind == TokKind::Ident {
+                        type_idents.push(t.text.clone());
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+    let mut ctor = None;
+    if is(toks, j, "=") {
+        if let Some(t) = toks.get(j + 1) {
+            if t.kind == TokKind::Ident && is(toks, j + 2, ":") && is(toks, j + 3, ":") {
+                ctor = Some(t.text.clone());
+            }
+        }
+    }
+    Some(Binding {
+        name,
+        type_idents,
+        ctor,
+        line,
+    })
+}
+
+/// Records `name: Type` parameters of the fn whose `fn` keyword is at `i`.
+fn parse_fn_params(toks: &[Tok], i: usize, out: &mut Vec<Binding>) {
+    let mut j = i + 1;
+    if toks.get(j).is_none_or(|t| t.kind != TokKind::Ident) {
+        return;
+    }
+    j = skip_generics(toks, j + 1);
+    if !is(toks, j, "(") {
+        return;
+    }
+    let close = match_balanced(toks, j, "(", ")");
+    let mut k = j + 1;
+    while k < close {
+        if toks[k].kind == TokKind::Ident && toks[k].text != "self" && is(toks, k + 1, ":") {
+            let name = toks[k].text.clone();
+            let line = toks[k].line;
+            let mut type_idents = Vec::new();
+            let mut depth = 0i32;
+            // Idents inside parens are not this binding's type: they are the
+            // *argument* types of a closure bound (`f: impl Fn(&Secret)`),
+            // and tainting `f` with them poisons every other `f` in the file.
+            let mut paren_depth = 0i32;
+            let mut p = k + 2;
+            while p < close {
+                match toks[p].text.as_str() {
+                    "(" => {
+                        depth += 1;
+                        paren_depth += 1;
+                    }
+                    ")" => {
+                        depth -= 1;
+                        paren_depth -= 1;
+                    }
+                    "<" | "[" => depth += 1,
+                    ">" | "]" => depth -= 1,
+                    "," if depth <= 0 => break,
+                    _ => {
+                        if toks[p].kind == TokKind::Ident && paren_depth == 0 {
+                            type_idents.push(toks[p].text.clone());
+                        }
+                    }
+                }
+                p += 1;
+            }
+            out.push(Binding {
+                name,
+                type_idents,
+                ctor: None,
+                line,
+            });
+            k = p + 1;
+        } else {
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn struct_with_derives_and_fields() {
+        let m = parse_file(
+            "t.rs",
+            "#[derive(Debug, Clone)]\npub struct Key { pub d: BigUint, n: Option<MontCtx> }",
+        );
+        assert_eq!(m.structs.len(), 1);
+        let s = &m.structs[0];
+        assert_eq!(s.name, "Key");
+        assert_eq!(s.derives.iter().map(|(d, _)| d.as_str()).collect::<Vec<_>>(), ["Debug", "Clone"]);
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].name, "d");
+        assert_eq!(s.fields[1].type_idents, ["Option", "MontCtx"]);
+    }
+
+    #[test]
+    fn generics_in_fields_do_not_split() {
+        let m = parse_file("t.rs", "struct S { map: HashMap<String, Vec<u8>>, next: u32 }");
+        assert_eq!(m.structs[0].fields.len(), 2);
+        assert_eq!(m.structs[0].fields[1].name, "next");
+    }
+
+    #[test]
+    fn impls_record_trait_and_type() {
+        let m = parse_file(
+            "t.rs",
+            "impl Drop for Key { fn drop(&mut self) { secure_zero(&mut self.buf); } }\nimpl Key { fn id(&self) -> u32 { 0 } }",
+        );
+        assert_eq!(m.impls.len(), 2);
+        assert_eq!(m.impls[0].trait_name.as_deref(), Some("Drop"));
+        assert_eq!(m.impls[0].type_name, "Key");
+        assert!(m.body_idents(&m.impls[0]).any(|t| t == "secure_zero"));
+        assert_eq!(m.impls[1].trait_name, None);
+    }
+
+    #[test]
+    fn closure_bound_args_do_not_taint_the_binding() {
+        // `f` takes a closure *over* a secret type; the binding itself is
+        // not secret-typed, and must not shadow other `f`s in the file.
+        let m = parse_file(
+            "t.rs",
+            "fn with_key<T>(f: impl FnOnce(&RsaPrivateKey) -> T, key: &RsaPrivateKey) -> T { f(key) }",
+        );
+        let f = m.bindings.iter().find(|b| b.name == "f").unwrap();
+        assert!(!f.type_idents.contains(&"RsaPrivateKey".to_string()), "{:?}", f.type_idents);
+        let key = m.bindings.iter().find(|b| b.name == "key").unwrap();
+        assert!(key.type_idents.contains(&"RsaPrivateKey".to_string()));
+    }
+
+    #[test]
+    fn return_position_impl_is_not_an_item() {
+        let m = parse_file("t.rs", "fn f() -> impl Iterator<Item = u8> { std::iter::empty() }");
+        assert!(m.impls.is_empty());
+    }
+
+    #[test]
+    fn macro_args_capture_idents_and_dots() {
+        let m = parse_file("t.rs", r#"fn f(key: RsaPrivateKey) { println!("{:?}", key.d); }"#);
+        let mac = m.macros.iter().find(|c| c.name == "println").unwrap();
+        assert!(mac.args.iter().any(|a| a.text == "key" && !a.after_dot));
+        assert!(mac.args.iter().any(|a| a.text == "d" && a.after_dot));
+        // The fn param was recorded too.
+        assert!(m.bindings.iter().any(|b| b.name == "key" && b.type_idents == ["RsaPrivateKey"]));
+    }
+
+    #[test]
+    fn method_chains_walk_back_through_calls() {
+        let m = parse_file("t.rs", "fn f() { let v = material.patterns().to_vec(); }");
+        let c = &m.method_calls[0];
+        assert_eq!(c.method, "to_vec");
+        assert_eq!(c.chain, ["material", "patterns"]);
+    }
+
+    #[test]
+    fn self_field_chain() {
+        let m = parse_file("t.rs", "impl S { fn f(&self) -> K { self.key.clone() } }");
+        assert_eq!(m.method_calls[0].chain, ["self", "key"]);
+        let im = m.impl_at(m.method_calls[0].tok_index).unwrap();
+        assert_eq!(im.type_name, "S");
+    }
+
+    #[test]
+    fn clone_inside_macro_args_is_seen() {
+        let m = parse_file("t.rs", r#"fn f() { log(format!("{:?}", key.clone())); }"#);
+        assert_eq!(m.method_calls.len(), 1);
+        assert_eq!(m.method_calls[0].chain, ["key"]);
+    }
+
+    #[test]
+    fn unsafe_blocks_and_fns_differ() {
+        let m = parse_file(
+            "t.rs",
+            "unsafe fn g() {}\nfn f() {\n    unsafe { std::ptr::null::<u8>(); }\n}",
+        );
+        assert_eq!(m.unsafe_blocks, vec![3]);
+    }
+
+    #[test]
+    fn let_bindings_record_annotation_and_ctor() {
+        let m = parse_file(
+            "t.rs",
+            "fn f() { let a: Vec<u8> = vec![]; let b = RsaPrivateKey::generate(); let mut c = 3; }",
+        );
+        let a = m.bindings.iter().find(|b| b.name == "a").unwrap();
+        assert_eq!(a.type_idents, ["Vec", "u8"]);
+        let b = m.bindings.iter().find(|b| b.name == "b").unwrap();
+        assert_eq!(b.ctor.as_deref(), Some("RsaPrivateKey"));
+        assert!(m.bindings.iter().any(|b| b.name == "c"));
+    }
+
+    #[test]
+    fn vec_from_records_args() {
+        let m = parse_file("t.rs", "fn f() { let v = Vec::from(key_bytes); }");
+        assert_eq!(m.from_calls.len(), 1);
+        assert_eq!(m.from_calls[0].args, ["key_bytes"]);
+    }
+
+    #[test]
+    fn derives_do_not_leak_across_items() {
+        let m = parse_file(
+            "t.rs",
+            "#[derive(Clone)]\nstruct A;\nstruct B { x: u8 }",
+        );
+        assert_eq!(m.structs[0].derives.len(), 1);
+        assert!(m.structs[1].derives.is_empty());
+    }
+}

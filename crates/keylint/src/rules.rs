@@ -1,0 +1,723 @@
+//! The six key-hygiene rules and the secret-type fixpoint they share.
+//!
+//! Each rule maps to a leak channel from the memory-disclosure literature:
+//! stray copies via `Clone`/`Copy` (S001) and `.clone()`-family calls
+//! (S005), secrets escaping through `Debug` (S002) or format/log macros
+//! (S004), key bytes surviving free because `Drop` never zeroed them
+//! (S003), and unaudited `unsafe` that could alias key memory (S006).
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::config::Config;
+use crate::parser::{FileModel, StructDef};
+
+/// Stable rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// No `Clone`/`Copy` on secret types.
+    S001,
+    /// No derived (or non-redacting) `Debug` on secret types.
+    S002,
+    /// Secret types must zero their memory on drop.
+    S003,
+    /// No secret values in format/print/log macros.
+    S004,
+    /// No `.clone()`/`.to_vec()`/`.to_owned()`/`Vec::from` on secret
+    /// expressions outside blessed modules.
+    S005,
+    /// `unsafe` blocks need a `// SAFETY:` justification.
+    S006,
+}
+
+/// How serious a finding is. Both levels fail the build; the distinction
+/// feeds reporting and lets future rules downgrade gracefully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Definite hygiene violation.
+    Error,
+    /// Process violation (missing justification rather than a leak).
+    Warning,
+}
+
+impl RuleId {
+    /// All rules, in ID order.
+    pub const ALL: [RuleId; 6] = [
+        RuleId::S001,
+        RuleId::S002,
+        RuleId::S003,
+        RuleId::S004,
+        RuleId::S005,
+        RuleId::S006,
+    ];
+
+    /// Stable textual ID.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::S001 => "S001",
+            RuleId::S002 => "S002",
+            RuleId::S003 => "S003",
+            RuleId::S004 => "S004",
+            RuleId::S005 => "S005",
+            RuleId::S006 => "S006",
+        }
+    }
+
+    /// Parses `"S001"` … `"S006"`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<RuleId> {
+        Self::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+
+    /// Severity of findings from this rule.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::S006 => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// One-line description used in reports.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::S001 => "secret type must not implement Clone/Copy",
+            RuleId::S002 => "secret type must not expose its bytes via Debug",
+            RuleId::S003 => "secret type must zero its memory on drop",
+            RuleId::S004 => "secret value must not reach a format/log macro",
+            RuleId::S005 => "secret bytes duplicated outside a blessed module",
+            RuleId::S006 => "unsafe block lacks a `// SAFETY:` comment",
+        }
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Line-stable subject (type name, binding, chain) for baseline keying.
+    pub symbol: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Computes the set of secret type names over the whole workspace:
+/// config-listed seeds, structs with two or more CRT-component field
+/// names, and — to a fixpoint — any struct embedding a secret type in a
+/// field. `public_types` are exempt.
+#[must_use]
+pub fn secret_types(models: &[FileModel], cfg: &Config) -> BTreeSet<String> {
+    let mut secret: BTreeSet<String> = cfg.secret_types.iter().cloned().collect();
+    let structs: Vec<&StructDef> = models.iter().flat_map(|m| &m.structs).collect();
+    for s in &structs {
+        let hits = s
+            .fields
+            .iter()
+            .filter(|f| cfg.secret_field_names.contains(&f.name))
+            .count();
+        if hits >= 2 {
+            secret.insert(s.name.clone());
+        }
+    }
+    loop {
+        let mut grew = false;
+        for s in &structs {
+            if secret.contains(&s.name) {
+                continue;
+            }
+            let embeds = s
+                .fields
+                .iter()
+                .any(|f| f.type_idents.iter().any(|t| secret.contains(t)));
+            if embeds {
+                secret.insert(s.name.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    for public in &cfg.public_types {
+        secret.remove(public);
+    }
+    secret
+}
+
+/// Runs every rule over every file. Suppression comments are already
+/// honored: suppressed findings are simply absent.
+#[must_use]
+pub fn check(models: &[FileModel], cfg: &Config) -> Vec<Finding> {
+    let secret = secret_types(models, cfg);
+    let mut out = Vec::new();
+    for m in models {
+        let mut file_findings = Vec::new();
+        check_derives_and_impls(m, &secret, cfg, &mut file_findings);
+        check_drop_zeroing(m, models, &secret, cfg, &mut file_findings);
+        check_format_macros(m, &secret, cfg, &mut file_findings);
+        check_copies(m, models, &secret, cfg, &mut file_findings);
+        check_unsafe(m, &mut file_findings);
+        let suppressed = suppressed_lines(m);
+        file_findings.retain(|f| {
+            !suppressed
+                .get(&f.rule)
+                .is_some_and(|lines| lines.contains(&f.line))
+        });
+        out.append(&mut file_findings);
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+/// S001 + S002: derives and trait impls on secret types.
+fn check_derives_and_impls(
+    m: &FileModel,
+    secret: &BTreeSet<String>,
+    _cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    for s in &m.structs {
+        if !secret.contains(&s.name) {
+            continue;
+        }
+        for (d, line) in &s.derives {
+            match d.as_str() {
+                "Clone" | "Copy" => out.push(Finding {
+                    rule: RuleId::S001,
+                    file: m.path.clone(),
+                    line: *line,
+                    symbol: s.name.clone(),
+                    message: format!(
+                        "secret type `{}` derives `{d}`; key material must not be \
+                         implicitly copyable",
+                        s.name
+                    ),
+                }),
+                "Debug" => out.push(Finding {
+                    rule: RuleId::S002,
+                    file: m.path.clone(),
+                    line: *line,
+                    symbol: s.name.clone(),
+                    message: format!(
+                        "secret type `{}` derives `Debug`, which prints raw key \
+                         material; write a redacting impl instead",
+                        s.name
+                    ),
+                }),
+                _ => {}
+            }
+        }
+    }
+    for im in &m.impls {
+        if !secret.contains(&im.type_name) {
+            continue;
+        }
+        match im.trait_name.as_deref() {
+            Some("Clone" | "Copy") => out.push(Finding {
+                rule: RuleId::S001,
+                file: m.path.clone(),
+                line: im.line,
+                symbol: im.type_name.clone(),
+                message: format!(
+                    "manual `{}` impl on secret type `{}`; use an explicit, \
+                     greppable duplication method instead",
+                    im.trait_name.as_deref().unwrap_or(""),
+                    im.type_name
+                ),
+            }),
+            Some("Debug") => {
+                let redacts = m.body_strings(im).any(|s| s.contains("<redacted>"));
+                if !redacts {
+                    out.push(Finding {
+                        rule: RuleId::S002,
+                        file: m.path.clone(),
+                        line: im.line,
+                        symbol: im.type_name.clone(),
+                        message: format!(
+                            "`Debug` impl on secret type `{}` does not contain the \
+                             literal `<redacted>`; it may print key material",
+                            im.type_name
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Field classification for the S003 delegation check.
+enum FieldKind {
+    /// Contains a secret type — its own Drop handles zeroing.
+    Secret,
+    /// A raw buffer (Vec/String/…) that could hold key bytes.
+    Buffer,
+    /// Scalars, handles, and opaque non-buffer types.
+    Other,
+}
+
+fn classify_field(type_idents: &[String], secret: &BTreeSet<String>) -> FieldKind {
+    if type_idents.iter().any(|t| secret.contains(t)) {
+        return FieldKind::Secret;
+    }
+    const BUFFERS: &[&str] = &["Vec", "VecDeque", "String", "str", "BigUint"];
+    if type_idents.iter().any(|t| BUFFERS.contains(&t.as_str())) {
+        return FieldKind::Buffer;
+    }
+    FieldKind::Other
+}
+
+/// S003: each secret struct defined in `m` needs either a Drop impl that
+/// calls a zeroing routine (the impl may live in any file), or full
+/// delegation — at least one secret-typed field and no raw buffers, so
+/// dropping the fields zeroes everything.
+fn check_drop_zeroing(
+    m: &FileModel,
+    all: &[FileModel],
+    secret: &BTreeSet<String>,
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    for s in &m.structs {
+        if !secret.contains(&s.name) {
+            continue;
+        }
+        let drop_impl = all.iter().find_map(|f| {
+            f.impls
+                .iter()
+                .find(|im| im.trait_name.as_deref() == Some("Drop") && im.type_name == s.name)
+                .map(|im| (f, im))
+        });
+        if let Some((f, im)) = drop_impl {
+            let zeroes = f
+                .body_idents(im)
+                .any(|t| cfg.zero_markers.iter().any(|z| z == t));
+            if !zeroes {
+                out.push(Finding {
+                    rule: RuleId::S003,
+                    file: m.path.clone(),
+                    line: s.line,
+                    symbol: s.name.clone(),
+                    message: format!(
+                        "`Drop` impl for secret type `{}` never calls a zeroing \
+                         routine ({})",
+                        s.name,
+                        cfg.zero_markers.join("/")
+                    ),
+                });
+            }
+            continue;
+        }
+        let mut secret_fields = 0usize;
+        let mut buffer_field: Option<&str> = None;
+        for f in &s.fields {
+            match classify_field(&f.type_idents, secret) {
+                FieldKind::Secret => secret_fields += 1,
+                FieldKind::Buffer => buffer_field = Some(&f.name),
+                FieldKind::Other => {}
+            }
+        }
+        let delegates = secret_fields > 0 && buffer_field.is_none();
+        if !delegates {
+            let why = match buffer_field {
+                Some(name) => format!("raw buffer field `{name}` would be freed unzeroed"),
+                None => "no field zeroes itself on drop".to_string(),
+            };
+            out.push(Finding {
+                rule: RuleId::S003,
+                file: m.path.clone(),
+                line: s.line,
+                symbol: s.name.clone(),
+                message: format!(
+                    "secret type `{}` has no `Drop` zeroing its memory and cannot \
+                     delegate: {why}",
+                    s.name
+                ),
+            });
+        }
+    }
+}
+
+/// Macros S004 watches: anything that renders values into text.
+const SINK_MACROS: &[&str] = &[
+    "println", "print", "eprintln", "eprint", "format", "format_args", "write", "writeln",
+    "panic", "log", "trace", "debug", "info", "warn", "error",
+];
+
+/// Does this file bind `name` to a secret-typed value anywhere?
+fn secret_binding(m: &FileModel, secret: &BTreeSet<String>, name: &str) -> bool {
+    m.bindings.iter().any(|b| {
+        b.name == name
+            && (b.type_idents.iter().any(|t| secret.contains(t))
+                || b.ctor.as_deref().is_some_and(|c| secret.contains(c)))
+    })
+}
+
+/// S004: secret-typed bindings (or secret accessors) in sink macro args.
+fn check_format_macros(
+    m: &FileModel,
+    secret: &BTreeSet<String>,
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    for mac in &m.macros {
+        if !SINK_MACROS.contains(&mac.name.as_str()) {
+            continue;
+        }
+        for arg in &mac.args {
+            let leaking = if arg.after_dot {
+                cfg.accessors.contains(&arg.text) || cfg.secret_field_names.contains(&arg.text)
+            } else {
+                // A bare secret binding is being rendered whole; if a `.`
+                // follows, only the accessed member matters (checked above).
+                !arg.before_dot && secret_binding(m, secret, &arg.text)
+            };
+            if leaking {
+                out.push(Finding {
+                    rule: RuleId::S004,
+                    file: m.path.clone(),
+                    line: mac.line,
+                    symbol: format!("{}!({})", mac.name, arg.text),
+                    message: format!(
+                        "`{}!` receives secret value `{}{}`; formatting copies key \
+                         material into unprotected heap memory",
+                        mac.name,
+                        if arg.after_dot { "." } else { "" },
+                        arg.text
+                    ),
+                });
+                break; // one finding per macro call is enough
+            }
+        }
+    }
+}
+
+/// Resolves whether a method-call chain denotes a secret expression by
+/// walking it through struct definitions field by field.
+///
+/// The root must be secret (a secret-typed binding, or `self` inside an
+/// impl of a secret type). Each subsequent segment is then resolved:
+///
+/// * a CRT component name (`d`, `p`, `qinv`, …) is secret outright;
+/// * a field whose type is secret keeps the walk alive;
+/// * a field of raw-buffer type (`Vec`, `String`, `BigUint`, …) inside a
+///   secret type is treated as secret payload — that is exactly the copy
+///   the rule exists to catch (suppress with a comment when the field is
+///   genuinely public, e.g. the modulus `n`);
+/// * a field of plain type (counters, flags) ends the walk clean;
+/// * an unresolvable segment (a method call) is secret only if listed in
+///   `accessors`, else the walk gives up clean — the lint prefers missing
+///   an exotic chain over drowning real findings in noise.
+fn chain_is_secret(
+    m: &FileModel,
+    all: &[FileModel],
+    secret: &BTreeSet<String>,
+    cfg: &Config,
+    chain: &[String],
+    tok_index: usize,
+) -> bool {
+    let Some(root) = chain.first() else {
+        return false;
+    };
+    // Resolve the root to a type name.
+    let mut cur: Option<String> = if root == "self" {
+        m.impl_at(tok_index).map(|im| im.type_name.clone())
+    } else {
+        m.bindings
+            .iter()
+            .filter(|b| &b.name == root)
+            .flat_map(|b| b.type_idents.iter().chain(b.ctor.as_ref()))
+            .find(|t| secret.contains(*t) || struct_def(all, t).is_some())
+            .cloned()
+    };
+    if !cur.as_deref().is_some_and(|t| secret.contains(t)) {
+        return false;
+    }
+    if chain.len() == 1 {
+        return true; // `key.clone()` — duplicating the secret itself
+    }
+    for seg in &chain[1..] {
+        if cfg.secret_field_names.contains(seg) {
+            return true;
+        }
+        let field = cur
+            .as_deref()
+            .and_then(|t| struct_def(all, t))
+            .and_then(|s| s.fields.iter().find(|f| &f.name == seg));
+        match field {
+            Some(f) => match classify_field(&f.type_idents, secret) {
+                FieldKind::Buffer => return true,
+                FieldKind::Secret => {
+                    cur = f.type_idents.iter().find(|t| secret.contains(*t)).cloned();
+                }
+                FieldKind::Other => return false,
+            },
+            None => return cfg.accessors.contains(seg),
+        }
+    }
+    // Walked off the end still inside secret types: the final expression
+    // is itself secret.
+    true
+}
+
+/// The (first) struct definition named `name`, across all files.
+fn struct_def<'a>(all: &'a [FileModel], name: &str) -> Option<&'a StructDef> {
+    all.iter()
+        .flat_map(|f| &f.structs)
+        .find(|s| s.name == name)
+}
+
+/// S005: copy-flavored calls on secret expressions, plus `Vec::from` of a
+/// secret binding. Files under `allowed_paths` are the blessed custody
+/// layer and are exempt.
+fn check_copies(
+    m: &FileModel,
+    all: &[FileModel],
+    secret: &BTreeSet<String>,
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    if cfg.allowed_paths.iter().any(|p| m.path.starts_with(p.as_str())) {
+        return;
+    }
+    for call in &m.method_calls {
+        if chain_is_secret(m, all, secret, cfg, &call.chain, call.tok_index) {
+            let expr = format!("{}.{}()", call.chain.join("."), call.method);
+            out.push(Finding {
+                rule: RuleId::S005,
+                file: m.path.clone(),
+                line: call.line,
+                symbol: expr.clone(),
+                message: format!(
+                    "`{expr}` duplicates secret bytes outside a blessed module; \
+                     use the type's explicit duplication method or move custody \
+                     into the keyguard layer"
+                ),
+            });
+        }
+    }
+    for fc in &m.from_calls {
+        if let Some(arg) = fc.args.iter().find(|a| secret_binding(m, secret, a)) {
+            out.push(Finding {
+                rule: RuleId::S005,
+                file: m.path.clone(),
+                line: fc.line,
+                symbol: format!("Vec::from({arg})"),
+                message: format!(
+                    "`Vec::from({arg})` copies secret bytes into an unmanaged \
+                     allocation"
+                ),
+            });
+        }
+    }
+}
+
+/// S006: every `unsafe {` needs a `// SAFETY:` comment within the three
+/// preceding lines (or on the same line).
+fn check_unsafe(m: &FileModel, out: &mut Vec<Finding>) {
+    for &line in &m.unsafe_blocks {
+        let justified = m.comments.iter().any(|c| {
+            c.text.trim_start().starts_with("SAFETY")
+                && c.line <= line
+                && c.line + 3 >= line
+        });
+        if !justified {
+            out.push(Finding {
+                rule: RuleId::S006,
+                file: m.path.clone(),
+                line,
+                symbol: format!("unsafe@{line}"),
+                message: "unsafe block without a preceding `// SAFETY:` comment \
+                          explaining why key memory cannot be exposed"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Parses `// keylint: allow(S001, S005) -- reason` comments. A
+/// suppression covers findings on its own line and on the next line that
+/// holds any token (so it can sit directly above the offending item).
+fn suppressed_lines(m: &FileModel) -> HashMap<RuleId, BTreeSet<u32>> {
+    let mut map: HashMap<RuleId, BTreeSet<u32>> = HashMap::new();
+    for c in &m.comments {
+        let Some(rest) = c.text.trim_start().strip_prefix("keylint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let mut parts = rest.splitn(2, ')');
+        let Some(ids) = parts.next() else {
+            continue;
+        };
+        // A suppression without a reason is not honored: the comment must
+        // read `keylint: allow(S00x) -- reason`.
+        let tail = parts.next().unwrap_or("").trim_start();
+        if !tail.starts_with("--") || tail.trim_start_matches('-').trim().is_empty() {
+            continue;
+        }
+        let next_tok_line = m
+            .toks
+            .iter()
+            .map(|t| t.line)
+            .filter(|&l| l > c.line)
+            .min();
+        for id in ids.split(',') {
+            if let Some(rule) = RuleId::parse(id.trim()) {
+                let entry = map.entry(rule).or_default();
+                entry.insert(c.line);
+                if let Some(next) = next_tok_line {
+                    entry.insert(next);
+                }
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let cfg = Config::default();
+        let models = vec![parse_file("test.rs", src)];
+        check(&models, &cfg)
+    }
+
+    #[test]
+    fn fixpoint_flags_crt_field_names_and_embedding() {
+        let cfg = Config::default();
+        let models = vec![parse_file(
+            "t.rs",
+            "struct Mystery { d: U, p: U, q: U }\nstruct Holder { inner: Mystery, n: u32 }\nstruct Clean { n: u32 }",
+        )];
+        let s = secret_types(&models, &cfg);
+        assert!(s.contains("Mystery"));
+        assert!(s.contains("Holder"));
+        assert!(!s.contains("Clean"));
+    }
+
+    #[test]
+    fn public_types_are_exempt() {
+        let cfg = Config::default();
+        let models = vec![parse_file(
+            "t.rs",
+            "struct RsaPublicKey { n: BigUint, e: BigUint }",
+        )];
+        assert!(!secret_types(&models, &cfg).contains("RsaPublicKey"));
+    }
+
+    #[test]
+    fn s001_fires_on_derive_and_manual_impl() {
+        let f = run("#[derive(Clone)]\nstruct RsaPrivateKey { d: u8 }\nimpl Clone for SecretBuf { fn clone(&self) -> Self { todo!() } }");
+        let s001: Vec<_> = f.iter().filter(|f| f.rule == RuleId::S001).collect();
+        assert_eq!(s001.len(), 2);
+        assert_eq!(s001[0].line, 1);
+    }
+
+    #[test]
+    fn s002_allows_redacting_debug() {
+        let ok = run(
+            "struct RsaPrivateKey { d: u8 }\nimpl Debug for RsaPrivateKey { fn fmt(&self) -> String { String::from(\"RsaPrivateKey(<redacted>)\") } }\nimpl Drop for RsaPrivateKey { fn drop(&mut self) { zeroize(self) } }",
+        );
+        assert!(ok.iter().all(|f| f.rule != RuleId::S002));
+        let bad = run("#[derive(Debug)]\nstruct RsaPrivateKey { d: u8 }");
+        assert!(bad.iter().any(|f| f.rule == RuleId::S002));
+    }
+
+    #[test]
+    fn s003_delegation_and_buffers() {
+        // Own Drop with marker: clean.
+        assert!(run("struct SecretBuf { b: Vec<u8> }\nimpl Drop for SecretBuf { fn drop(&mut self) { secure_zero(&mut self.b) } }")
+            .iter()
+            .all(|f| f.rule != RuleId::S003));
+        // Drop without marker: flagged.
+        assert!(run("struct SecretBuf { b: Vec<u8> }\nimpl Drop for SecretBuf { fn drop(&mut self) { self.b.clear() } }")
+            .iter()
+            .any(|f| f.rule == RuleId::S003));
+        // Delegation through a secret field: clean.
+        assert!(run("struct CrtEngine { key: RsaPrivateKey, ops: u64 }")
+            .iter()
+            .all(|f| f.rule != RuleId::S003));
+        // Raw buffer blocks delegation.
+        assert!(run("struct CrtEngine { key: RsaPrivateKey, scratch: Vec<u64> }")
+            .iter()
+            .any(|f| f.rule == RuleId::S003 && f.message.contains("scratch")));
+    }
+
+    #[test]
+    fn s004_binding_and_accessor() {
+        let f = run("fn f(key: RsaPrivateKey) { println!(\"{:?}\", key); }");
+        assert!(f.iter().any(|x| x.rule == RuleId::S004));
+        let f2 = run("fn f(s: &Server) { format!(\"{:?}\", s.key()); }");
+        assert!(f2.iter().any(|x| x.rule == RuleId::S004));
+        let clean = run("fn f(n: u32) { println!(\"{n}\"); }");
+        assert!(clean.iter().all(|x| x.rule != RuleId::S004));
+    }
+
+    #[test]
+    fn s005_chains_and_vec_from() {
+        let f = run("fn f(key: RsaPrivateKey) { let k2 = key.clone(); }");
+        assert!(f.iter().any(|x| x.rule == RuleId::S005));
+        let f2 = run("struct Srv { key: RsaPrivateKey }\nimpl Srv { fn k(&self) -> RsaPrivateKey { self.key.clone() } }");
+        assert!(f2.iter().any(|x| x.rule == RuleId::S005));
+        let f3 = run("fn f(material: KeyMaterial) { let v = material.limb_bytes().to_vec(); }");
+        assert!(f3.iter().any(|x| x.rule == RuleId::S005));
+        let f4 = run("fn f(key: RsaPrivateKey) { let v = Vec::from(key); }");
+        assert!(f4.iter().any(|x| x.rule == RuleId::S005));
+        let clean = run("fn f(names: Vec<String>) { let n2 = names.clone(); }");
+        assert!(clean.iter().all(|x| x.rule != RuleId::S005));
+    }
+
+    #[test]
+    fn s005_respects_allowed_paths() {
+        let mut cfg = Config::default();
+        cfg.allowed_paths = vec!["crates/keyguard".into()];
+        let models = vec![parse_file(
+            "crates/keyguard/src/host.rs",
+            "fn f(key: RsaPrivateKey) { let k2 = key.clone(); }",
+        )];
+        assert!(check(&models, &cfg).iter().all(|f| f.rule != RuleId::S005));
+    }
+
+    #[test]
+    fn s006_requires_nearby_safety_comment() {
+        let bad = run("fn f() { unsafe { () } }");
+        assert!(bad.iter().any(|x| x.rule == RuleId::S006));
+        let ok = run("fn f() {\n    // SAFETY: no key memory involved\n    unsafe { () }\n}");
+        assert!(ok.iter().all(|x| x.rule != RuleId::S006));
+        let far = run("// SAFETY: too far away\n\n\n\n\nfn f() { unsafe { () } }");
+        assert!(far.iter().any(|x| x.rule == RuleId::S006));
+    }
+
+    #[test]
+    fn suppressions_cover_next_item_line() {
+        let f = run(
+            "// keylint: allow(S001) -- test exemption\n#[derive(Clone)]\nstruct RsaPrivateKey { d: u8 }\nimpl Drop for RsaPrivateKey { fn drop(&mut self) { zeroize(self) } }",
+        );
+        assert!(f.iter().all(|x| x.rule != RuleId::S001));
+        // A different rule is not suppressed by that comment.
+        let f2 = run(
+            "// keylint: allow(S002) -- wrong rule\n#[derive(Clone)]\nstruct RsaPrivateKey { d: u8 }\nimpl Drop for RsaPrivateKey { fn drop(&mut self) { zeroize(self) } }",
+        );
+        assert!(f2.iter().any(|x| x.rule == RuleId::S001));
+    }
+
+    #[test]
+    fn suppression_without_reason_is_ignored() {
+        let f = run(
+            "// keylint: allow(S001)\n#[derive(Clone)]\nstruct RsaPrivateKey { d: u8 }\nimpl Drop for RsaPrivateKey { fn drop(&mut self) { zeroize(self) } }",
+        );
+        assert!(f.iter().any(|x| x.rule == RuleId::S001));
+    }
+}

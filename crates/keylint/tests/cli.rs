@@ -1,0 +1,86 @@
+//! End-to-end CLI tests: exit codes and flag handling of the `keylint`
+//! binary itself.
+
+use std::path::Path;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_keylint"))
+}
+
+fn fixtures() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn planted_violations_exit_one() {
+    let out = bin().arg(fixtures()).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "fixtures must fail the lint");
+    let text = String::from_utf8(out.stdout).unwrap();
+    for rule in ["S001", "S002", "S003", "S004", "S005", "S006"] {
+        assert!(text.contains(rule), "missing {rule} in:\n{text}");
+    }
+}
+
+#[test]
+fn clean_file_exits_zero() {
+    let dir = std::env::temp_dir().join("keylint-clean-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("clean.rs");
+    std::fs::write(&file, "pub fn add(a: u32, b: u32) -> u32 { a + b }\n").unwrap();
+    let out = bin().arg(&file).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = bin().arg("--format").arg("yaml").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let no_paths = bin().output().unwrap();
+    assert_eq!(no_paths.status.code(), Some(2));
+}
+
+#[test]
+fn json_flag_emits_parseable_json() {
+    let out = bin()
+        .arg(fixtures())
+        .args(["--format", "json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    keylint::json::parse(&text).expect("stdout must be valid JSON");
+}
+
+#[test]
+fn baseline_accepts_findings() {
+    let dir = std::env::temp_dir().join("keylint-baseline-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("leaky.rs");
+    std::fs::write(
+        &file,
+        "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+    )
+    .unwrap();
+
+    // Without a baseline: one S006 finding, exit 1.
+    let out = bin().arg(&file).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    // Write a baseline, fill in the reason, and re-run: exit 0.
+    let baseline = dir.join("baseline.json");
+    let out = bin()
+        .arg(&file)
+        .arg("--write-baseline")
+        .arg(&baseline)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "write-baseline still reports");
+    let patched = std::fs::read_to_string(&baseline)
+        .unwrap()
+        .replace("TODO: justify before committing", "fixture accepts this");
+    std::fs::write(&baseline, patched).unwrap();
+
+    let out = bin().arg(&file).arg("--baseline").arg(&baseline).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "baselined finding must pass");
+}

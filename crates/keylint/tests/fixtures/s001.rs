@@ -1,0 +1,57 @@
+//! S001 fixture: Clone/Copy on secret types.
+//!
+//! Lines carrying `//~ RULE` markers are where the fixture test expects a
+//! finding; everything else must come back clean.
+
+// Positive: derived Clone on a listed secret type.
+#[derive(Clone)] //~ S001
+struct RsaPrivateKey {
+    n: u64,
+}
+
+impl Drop for RsaPrivateKey {
+    fn drop(&mut self) {
+        zeroize(&mut self.n);
+    }
+}
+
+// Positive: manual Clone impl on a struct that is secret only through the
+// CRT field-name heuristic (two of d/p/q/dp/dq/qinv).
+struct CrtPair {
+    d: u64,
+    p: u64,
+}
+
+impl Clone for CrtPair { //~ S001
+    fn clone(&self) -> Self {
+        Self { d: self.d, p: self.p }
+    }
+}
+
+impl Drop for CrtPair {
+    fn drop(&mut self) {
+        zeroize(&mut self.d);
+    }
+}
+
+// Negative: Clone on a non-secret type is fine.
+#[derive(Clone, Debug)]
+struct PublicInfo {
+    bits: u32,
+}
+
+// Suppressed: explicit, reasoned exemption is honored.
+// keylint: allow(S001) -- fixture test double requires Clone
+#[derive(Clone)]
+struct SecretBuf {
+    b: u64,
+}
+
+impl Drop for SecretBuf {
+    fn drop(&mut self) {
+        secure_zero(&mut self.b);
+    }
+}
+
+fn zeroize<T>(_: &mut T) {}
+fn secure_zero<T>(_: &mut T) {}

@@ -1,0 +1,63 @@
+//! S002 fixture: Debug on secret types.
+
+// Positive: derived Debug prints raw key material.
+#[derive(Debug)] //~ S002
+struct RsaPrivateKey {
+    limbs: u64,
+}
+
+impl Drop for RsaPrivateKey {
+    fn drop(&mut self) {
+        zeroize(&mut self.limbs);
+    }
+}
+
+// Positive: a manual Debug impl that fails to redact.
+struct KeyMaterial {
+    raw: u64,
+}
+
+impl core::fmt::Debug for KeyMaterial { //~ S002
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "KeyMaterial({})", self.raw)
+    }
+}
+
+impl Drop for KeyMaterial {
+    fn drop(&mut self) {
+        zeroize(&mut self.raw);
+    }
+}
+
+// Negative: a redacting Debug impl is allowed.
+struct SecretBuf {
+    raw: u64,
+}
+
+impl core::fmt::Debug for SecretBuf {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SecretBuf(<redacted>)")
+    }
+}
+
+impl Drop for SecretBuf {
+    fn drop(&mut self) {
+        secure_zero(&mut self.raw);
+    }
+}
+
+// Suppressed.
+// keylint: allow(S002) -- fixture-only debug aid, never ships
+#[derive(Debug)]
+struct Pattern {
+    raw: u64,
+}
+
+impl Drop for Pattern {
+    fn drop(&mut self) {
+        zeroize(&mut self.raw);
+    }
+}
+
+fn zeroize<T>(_: &mut T) {}
+fn secure_zero<T>(_: &mut T) {}

@@ -1,0 +1,60 @@
+//! S003 fixture: secret memory must be zeroed on drop.
+//!
+//! Types here are secret through the CRT field-name heuristic (two or
+//! more of d/p/q/dp/dq/qinv) and carry names unique to this fixture, so a
+//! combined scan over all fixtures can't satisfy a missing `Drop` with a
+//! same-named impl from a sibling file.
+
+// Positive: no Drop impl at all.
+struct BareCrtKey { //~ S003
+    d: u64,
+    q: u64,
+}
+
+// Positive: a Drop impl that never calls a zeroing routine.
+struct LoggedCrtKey { //~ S003
+    d: u64,
+    p: u64,
+}
+
+impl Drop for LoggedCrtKey {
+    fn drop(&mut self) {
+        log_drop();
+    }
+}
+
+// Negative: Drop with a recognized zeroing routine.
+struct WipedCrtKey {
+    d: u64,
+    p: u64,
+}
+
+impl Drop for WipedCrtKey {
+    fn drop(&mut self) {
+        secure_zero(&mut self.d);
+        secure_zero(&mut self.p);
+    }
+}
+
+// Negative: delegation — the only sensitive field zeroes itself when
+// dropped, and no raw buffer rides along.
+struct DelegatingEngine {
+    inner: WipedCrtKey,
+    ops: u64,
+}
+
+// Positive: a raw buffer field blocks delegation.
+struct PaddedEngine { //~ S003
+    inner: WipedCrtKey,
+    scratch: Vec<u8>,
+}
+
+// Suppressed.
+// keylint: allow(S003) -- holds page handles only, no raw key bytes
+struct RegionHandle {
+    dp: u64,
+    dq: u64,
+}
+
+fn log_drop() {}
+fn secure_zero<T>(_: &mut T) {}

@@ -1,0 +1,72 @@
+//! S005 fixture: copy-flavored calls on secret expressions.
+
+struct RsaPrivateKey {
+    d: u64,
+}
+
+impl Drop for RsaPrivateKey {
+    fn drop(&mut self) {
+        zeroize(&mut self.d);
+    }
+}
+
+struct KeyMaterial {
+    raw: u64,
+}
+
+impl Drop for KeyMaterial {
+    fn drop(&mut self) {
+        zeroize(&mut self.raw);
+    }
+}
+
+#[derive(Clone)]
+struct PublicPart {
+    bits: u32,
+}
+
+struct Vault {
+    key: RsaPrivateKey,
+    public: PublicPart,
+}
+
+impl Vault {
+    // Positive: cloning the private half through `self`.
+    fn dup_key(&self) -> RsaPrivateKey {
+        self.key.clone() //~ S005
+    }
+
+    // Negative: the chain resolves to a non-secret field type.
+    fn dup_public(&self) -> PublicPart {
+        self.public.clone()
+    }
+}
+
+// Positive: cloning a secret-typed binding.
+fn dup_binding(key: &RsaPrivateKey) {
+    let _twin = key.clone(); //~ S005
+}
+
+// Positive: a raw-bytes accessor copied into an unmanaged Vec.
+fn dup_via_accessor(material: &KeyMaterial) {
+    let _bytes = material.limb_bytes().to_vec(); //~ S005
+}
+
+// Positive: Vec::from of a secret binding.
+fn dup_into_vec(key: RsaPrivateKey) {
+    let _v = Vec::from(key); //~ S005
+}
+
+// Negative: copying non-secret data is untouched.
+fn fine_nonsecret(names: &[String]) {
+    let _copy = names.to_vec();
+    let _owned = names.to_owned();
+}
+
+// Suppressed.
+fn suppressed(key: &RsaPrivateKey) {
+    // keylint: allow(S005) -- audited duplication feeding the fixture test
+    let _twin = key.clone();
+}
+
+fn zeroize<T>(_: &mut T) {}

@@ -1,0 +1,32 @@
+//! S006 fixture: `// SAFETY:` comments on unsafe blocks.
+
+// Negative: a justified unsafe block.
+fn justified(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { *p }
+}
+
+// Positive: no justification at all.
+fn unjustified(p: *const u8) -> u8 {
+    unsafe { *p } //~ S006
+}
+
+// Positive: the comment is too far above the block to count.
+fn far_comment(p: *const u8) -> u8 {
+    // SAFETY: this justification is stranded four lines up.
+
+    let _pad = 0;
+    let _pad2 = 0;
+    unsafe { *p } //~ S006
+}
+
+// Negative: `unsafe fn` declarations are not unsafe blocks.
+unsafe fn declaration_only(p: *const u8) -> u8 {
+    *p
+}
+
+// Suppressed.
+fn suppressed(p: *const u8) -> u8 {
+    // keylint: allow(S006) -- fixture exercises the suppression path
+    unsafe { *p }
+}

@@ -1,0 +1,67 @@
+//! Schema test for `--format json` output: every finding object carries
+//! the documented fields with the right shapes, and the envelope counts
+//! are consistent.
+
+use std::path::{Path, PathBuf};
+
+use keylint::json::Value;
+use keylint::{analyze, json, Config, Format};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn json_report_matches_schema() {
+    let dir = fixture_dir();
+    let files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    let n_files = files.len();
+    let report = analyze(&dir, &files, &Config::default(), None).unwrap();
+    assert!(!report.findings.is_empty(), "fixtures must produce findings");
+
+    let v = json::parse(&report.render(Format::Json)).expect("output must be valid JSON");
+
+    assert_eq!(v.get("version"), Some(&Value::Num(1.0)));
+    assert_eq!(v.get("files_scanned"), Some(&Value::Num(n_files as f64)));
+    assert!(v.get("baselined").is_some());
+
+    let findings = v
+        .get("findings")
+        .and_then(Value::as_arr)
+        .expect("findings must be an array");
+    assert_eq!(findings.len(), report.findings.len());
+
+    for f in findings {
+        let rule = f.get("rule").and_then(Value::as_str).expect("rule: string");
+        assert!(keylint::RuleId::parse(rule).is_some(), "stable rule ID, got {rule}");
+        let severity = f
+            .get("severity")
+            .and_then(Value::as_str)
+            .expect("severity: string");
+        assert!(matches!(severity, "error" | "warning"));
+        assert!(f.get("file").and_then(Value::as_str).is_some_and(|s| s.ends_with(".rs")));
+        match f.get("line") {
+            Some(Value::Num(n)) => assert!(*n >= 1.0),
+            other => panic!("line must be a number, got {other:?}"),
+        }
+        assert!(f.get("symbol").and_then(Value::as_str).is_some());
+        assert!(f
+            .get("message")
+            .and_then(Value::as_str)
+            .is_some_and(|m| !m.is_empty()));
+    }
+}
+
+#[test]
+fn text_report_is_file_line_shaped() {
+    let dir = fixture_dir();
+    let path = dir.join("s001.rs");
+    let report = analyze(&dir, &[path], &Config::default(), None).unwrap();
+    let text = report.render(Format::Text);
+    // Diagnostics follow `file:line: severity[RULE] message`.
+    assert!(text.contains("s001.rs:7: error[S001]"), "got:\n{text}");
+    assert!(text.lines().last().unwrap().starts_with("keylint:"));
+}

@@ -1,0 +1,110 @@
+//! Fixture-driven rule tests.
+//!
+//! Each fixture under `tests/fixtures/` plants violations on lines marked
+//! with a trailing `//~ RULE` comment. The test runs the analyzer over the
+//! fixture with the default config and asserts that the findings match the
+//! markers exactly — same rules, same lines, nothing extra.
+
+use std::path::{Path, PathBuf};
+
+use keylint::{analyze, Config};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// `(rule, line)` pairs declared by `//~` markers, in line order. Only
+/// `S###`-shaped tokens count, so prose mentioning the marker syntax
+/// doesn't register (typos like `S007` still reach the coverage test's
+/// `RuleId::parse` assertion below).
+fn expectations(src: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(rest) = line.split("//~").nth(1) {
+            for rule in rest.split_whitespace() {
+                let mut chars = rule.chars();
+                if chars.next() == Some('S') && chars.clone().count() == 3 && chars.all(|c| c.is_ascii_digit()) {
+                    out.push((rule.to_string(), i as u32 + 1));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_fixture(name: &str) {
+    let dir = fixture_dir();
+    let path = dir.join(name);
+    let src = std::fs::read_to_string(&path).unwrap();
+    let report = analyze(&dir, &[path], &Config::default(), None).unwrap();
+    let got: Vec<(String, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.as_str().to_string(), f.line))
+        .collect();
+    let mut want = expectations(&src);
+    want.sort_by(|a, b| (a.1, &a.0).cmp(&(b.1, &b.0)));
+    assert_eq!(got, want, "fixture {name} findings diverge from //~ markers");
+}
+
+#[test]
+fn s001_clone_on_secret_types() {
+    check_fixture("s001.rs");
+}
+
+#[test]
+fn s002_debug_on_secret_types() {
+    check_fixture("s002.rs");
+}
+
+#[test]
+fn s003_zero_on_drop() {
+    check_fixture("s003.rs");
+}
+
+#[test]
+fn s004_format_sinks() {
+    check_fixture("s004.rs");
+}
+
+#[test]
+fn s005_secret_copies() {
+    check_fixture("s005.rs");
+}
+
+#[test]
+fn s006_safety_comments() {
+    check_fixture("s006.rs");
+}
+
+/// Every fixture marker names a real rule, and every rule has at least one
+/// positive and one suppressed case across the fixture set.
+#[test]
+fn fixtures_cover_every_rule() {
+    let mut marked = std::collections::BTreeSet::new();
+    let mut suppressions = std::collections::BTreeSet::new();
+    for entry in std::fs::read_dir(fixture_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        let src = std::fs::read_to_string(&path).unwrap();
+        for (rule, _) in expectations(&src) {
+            assert!(
+                keylint::RuleId::parse(&rule).is_some(),
+                "{}: unknown rule `{rule}` in //~ marker",
+                path.display()
+            );
+            marked.insert(rule);
+        }
+        if let Some(idx) = src.find("keylint: allow(") {
+            let ids = &src[idx + "keylint: allow(".len()..];
+            suppressions.insert(ids.split(')').next().unwrap().trim().to_string());
+        }
+    }
+    for rule in keylint::RuleId::ALL {
+        assert!(marked.contains(rule.as_str()), "no positive case for {}", rule.as_str());
+        assert!(
+            suppressions.contains(rule.as_str()),
+            "no suppression case for {}",
+            rule.as_str()
+        );
+    }
+}

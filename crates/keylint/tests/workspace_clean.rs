@@ -1,0 +1,31 @@
+//! The repository must satisfy its own hygiene rules: a full workspace
+//! scan (with the committed `keylint.toml` and `keylint-baseline.json`)
+//! returns zero unsuppressed findings.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean_modulo_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    assert!(root.join("keylint.toml").exists(), "workspace config missing");
+    let report = keylint::lint_workspace(&root).expect("scan must succeed");
+    assert!(
+        !report.findings.is_empty() || report.files_scanned > 0,
+        "scan saw no files — wrong root?"
+    );
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{} [{}] {}", f.file, f.line, f.rule.as_str(), f.message))
+        .collect();
+    assert!(
+        report.findings.is_empty(),
+        "workspace has {} unsuppressed finding(s):\n{}",
+        report.findings.len(),
+        rendered.join("\n")
+    );
+}

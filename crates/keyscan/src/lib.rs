@@ -207,11 +207,19 @@ impl ScanReport {
 /// Construction precomputes a 256-entry first-byte dispatch table so one pass
 /// checks all patterns, preserving the O(n) behaviour the paper reports
 /// (about 5 seconds for 256 MB on 2007 hardware).
-#[derive(Debug, Clone)]
+// keylint: allow(S003) -- the patterns vector drops its elements and each Pattern zeroes its own bytes; no other field holds key material
 pub struct Scanner {
     patterns: Vec<Pattern>,
     /// For each possible first byte, the patterns starting with it.
     dispatch: Vec<Vec<usize>>,
+}
+
+/// The patterns are the key material being hunted, so `{:?}` stops at a count.
+impl core::fmt::Debug for Scanner {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let count = self.patterns.len();
+        write!(f, "Scanner({count} patterns, <redacted>)")
+    }
 }
 
 impl Scanner {
@@ -233,7 +241,7 @@ impl Scanner {
     /// Builds the paper's standard scanner over `(d, p, q, pem)`.
     #[must_use]
     pub fn from_material(material: &KeyMaterial) -> Self {
-        Self::new(material.patterns().to_vec())
+        Self::new(material.patterns().iter().map(Pattern::clone_secret).collect())
     }
 
     /// The patterns being searched for.
@@ -259,6 +267,7 @@ impl Scanner {
                 {
                     hits.push(RawHit {
                         pattern: pi,
+                        // keylint: allow(S005) -- the pattern *name* ("d", "pem") is a public label, not key bytes
                         name: self.patterns[pi].name.clone(),
                         offset,
                     });
@@ -303,6 +312,7 @@ impl Scanner {
                 if matched >= min_len.min(pat.len()) {
                     hits.push(PartialHit {
                         pattern: pi,
+                        // keylint: allow(S005) -- the pattern *name* ("d", "pem") is a public label, not key bytes
                         name: self.patterns[pi].name.clone(),
                         offset,
                         matched_len: matched,

@@ -1,9 +1,12 @@
 //! Property-based tests: simulator invariants under randomized operation
 //! sequences — frame conservation, no aliasing, COW correctness, and the
 //! zeroing guarantee.
+//!
+//! Runs on `simrng::propcheck` (pure std) so the suite works with no
+//! registry access.
 
 use memsim::{FrameId, Kernel, KernelPolicy, MachineConfig, Pid, SimError, VAddr, PAGE_SIZE};
-use proptest::prelude::*;
+use simrng::propcheck::{self, Gen};
 
 /// A randomized workload step.
 #[derive(Debug, Clone)]
@@ -18,27 +21,36 @@ enum Op {
     SwapOut { pages: usize },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::Spawn),
-        (0usize..8).prop_map(Op::Fork),
-        (0usize..8).prop_map(Op::Exit),
-        ((0usize..8), (1usize..3 * PAGE_SIZE)).prop_map(|(p, s)| Op::Alloc {
-            proc_idx: p,
-            size: s
-        }),
-        ((0usize..8), (0usize..8)).prop_map(|(p, a)| Op::Free {
-            proc_idx: p,
-            alloc_idx: a
-        }),
-        ((0usize..8), (0usize..8), any::<u8>()).prop_map(|(p, a, b)| Op::Write {
-            proc_idx: p,
-            alloc_idx: a,
-            byte: b
-        }),
-        (1usize..16).prop_map(|n| Op::KernelPageCycle { n }),
-        (1usize..64).prop_map(|pages| Op::SwapOut { pages }),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.usize_in(0..8) {
+        0 => Op::Spawn,
+        1 => Op::Fork(g.usize_in(0..8)),
+        2 => Op::Exit(g.usize_in(0..8)),
+        3 => Op::Alloc {
+            proc_idx: g.usize_in(0..8),
+            size: g.usize_in(1..3 * PAGE_SIZE),
+        },
+        4 => Op::Free {
+            proc_idx: g.usize_in(0..8),
+            alloc_idx: g.usize_in(0..8),
+        },
+        5 => Op::Write {
+            proc_idx: g.usize_in(0..8),
+            alloc_idx: g.usize_in(0..8),
+            byte: g.u8(),
+        },
+        6 => Op::KernelPageCycle {
+            n: g.usize_in(1..16),
+        },
+        _ => Op::SwapOut {
+            pages: g.usize_in(1..64),
+        },
+    }
+}
+
+fn gen_ops(g: &mut Gen, max: usize) -> Vec<Op> {
+    let n = g.usize_in(1..max);
+    (0..n).map(|_| gen_op(g)).collect()
 }
 
 /// Host-side mirror of live state for cross-checking.
@@ -127,95 +139,106 @@ fn run_ops(policy: KernelPolicy, ops: &[Op]) -> (Kernel, Mirror) {
     (kernel, m)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Frame conservation: every frame is either free or allocated, and the
-    /// counts always add up to the machine size.
-    #[test]
-    fn frame_conservation(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+/// Frame conservation: every frame is either free or allocated, and the
+/// counts always add up to the machine size.
+#[test]
+fn frame_conservation() {
+    propcheck::cases(48, |g| {
+        let ops = gen_ops(g, 120);
         let (kernel, _) = run_ops(KernelPolicy::stock(), &ops);
         let allocated = (0..kernel.num_frames())
             .filter(|&i| kernel.is_allocated(FrameId(i)))
             .count();
-        prop_assert_eq!(allocated + kernel.available_frames(), kernel.num_frames());
-    }
+        assert_eq!(allocated + kernel.available_frames(), kernel.num_frames());
+    });
+}
 
-    /// Written data is read back intact — no aliasing between live chunks
-    /// across arbitrary fork/exit/free interleavings.
-    #[test]
-    fn no_aliasing_of_live_allocations(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+/// Written data is read back intact — no aliasing between live chunks
+/// across arbitrary fork/exit/free interleavings.
+#[test]
+fn no_aliasing_of_live_allocations() {
+    propcheck::cases(48, |g| {
+        let ops = gen_ops(g, 120);
         let (kernel, m) = run_ops(KernelPolicy::stock(), &ops);
         for (idx, pid) in m.procs.iter().enumerate() {
             for &(addr, size, fill) in &m.allocs[idx] {
                 if let Some(byte) = fill {
                     let data = kernel.read_bytes(*pid, addr, size).unwrap();
-                    prop_assert!(
+                    assert!(
                         data.iter().all(|&b| b == byte),
                         "chunk at {addr} corrupted"
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    /// The zeroing guarantee: under the hardened policy, free memory is
-    /// all-zero after any operation sequence.
-    #[test]
-    fn hardened_policy_keeps_free_memory_zero(
-        ops in proptest::collection::vec(op_strategy(), 1..120),
-    ) {
+/// The zeroing guarantee: under the hardened policy, free memory is
+/// all-zero after any operation sequence.
+#[test]
+fn hardened_policy_keeps_free_memory_zero() {
+    propcheck::cases(48, |g| {
+        let ops = gen_ops(g, 120);
         let (kernel, _) = run_ops(KernelPolicy::hardened(), &ops);
         for i in 0..kernel.num_frames() {
             let f = FrameId(i);
             if !kernel.is_allocated(f) {
-                prop_assert!(
+                assert!(
                     kernel.frame_bytes(f).iter().all(|&b| b == 0),
                     "free {f} contains data under hardened policy"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Exited processes are gone and their frames reclaimed: allocating the
-    /// whole machine afterwards succeeds.
-    #[test]
-    fn exits_release_all_frames(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+/// Exited processes are gone and their frames reclaimed: allocating the
+/// whole machine afterwards succeeds.
+#[test]
+fn exits_release_all_frames() {
+    propcheck::cases(48, |g| {
+        let ops = gen_ops(g, 80);
         let (mut kernel, m) = run_ops(KernelPolicy::stock(), &ops);
-        for (idx, pid) in m.procs.iter().enumerate() {
-            let _ = idx;
+        for pid in &m.procs {
             kernel.exit(*pid).unwrap();
         }
         let n = kernel.available_frames();
-        prop_assert_eq!(n, kernel.num_frames(), "all frames reclaimable");
-    }
+        assert_eq!(n, kernel.num_frames(), "all frames reclaimable");
+    });
+}
 
-    /// Double frees are always rejected, never corrupting state.
-    #[test]
-    fn double_free_always_rejected(size in 1usize..4096) {
+/// Double frees are always rejected, never corrupting state.
+#[test]
+fn double_free_always_rejected() {
+    propcheck::cases(48, |g| {
+        let size = g.usize_in(1..4096);
         let mut kernel = Kernel::new(MachineConfig::small());
         let pid = kernel.spawn();
         let a = kernel.heap_alloc(pid, size).unwrap();
         kernel.heap_free(pid, a).unwrap();
-        prop_assert_eq!(kernel.heap_free(pid, a), Err(SimError::BadFree(a)));
+        assert_eq!(kernel.heap_free(pid, a), Err(SimError::BadFree(a)));
         // And the heap still works.
-        prop_assert!(kernel.heap_alloc(pid, size).is_ok());
-    }
+        assert!(kernel.heap_alloc(pid, size).is_ok());
+    });
+}
 
-    /// Fork + read equality: a child always reads exactly what the parent
-    /// wrote, before and after either side triggers COW.
-    #[test]
-    fn fork_preserves_contents(data in proptest::collection::vec(any::<u8>(), 1..2000)) {
+/// Fork + read equality: a child always reads exactly what the parent
+/// wrote, before and after either side triggers COW.
+#[test]
+fn fork_preserves_contents() {
+    propcheck::cases(48, |g| {
+        let data = g.bytes(1..2000);
         let mut kernel = Kernel::new(MachineConfig::small());
         let parent = kernel.spawn();
         let addr = kernel.heap_alloc(parent, data.len()).unwrap();
         kernel.write_bytes(parent, addr, &data).unwrap();
         let child = kernel.fork(parent).unwrap();
-        prop_assert_eq!(&kernel.read_bytes(child, addr, data.len()).unwrap(), &data);
+        assert_eq!(&kernel.read_bytes(child, addr, data.len()).unwrap(), &data);
         // Child mutates its view; parent must be unaffected.
         let mutated = vec![0xFFu8; data.len()];
         kernel.write_bytes(child, addr, &mutated).unwrap();
-        prop_assert_eq!(&kernel.read_bytes(parent, addr, data.len()).unwrap(), &data);
-        prop_assert_eq!(&kernel.read_bytes(child, addr, data.len()).unwrap(), &mutated);
-    }
+        assert_eq!(&kernel.read_bytes(parent, addr, data.len()).unwrap(), &data);
+        assert_eq!(&kernel.read_bytes(child, addr, data.len()).unwrap(), &mutated);
+    });
 }

@@ -21,8 +21,8 @@ use simrng::Rng64;
 /// use simrng::Rng64;
 ///
 /// let key = RsaPrivateKey::generate(256, &mut Rng64::new(1));
-/// let mut cached = CrtEngine::new(key.clone(), true);
-/// let mut uncached = CrtEngine::new(key.clone(), false);
+/// let mut cached = CrtEngine::new(key.clone_secret(), true);
+/// let mut uncached = CrtEngine::new(key.clone_secret(), false);
 ///
 /// let c = key.public_key().encrypt_raw(&bignum::BigUint::from_u64(42))?;
 /// assert_eq!(cached.private_op(&c)?, uncached.private_op(&c)?);
@@ -31,7 +31,6 @@ use simrng::Rng64;
 /// assert!(uncached.cached_contexts().is_empty());
 /// # Ok::<(), rsa_repro::RsaError>(())
 /// ```
-#[derive(Debug, Clone)]
 pub struct CrtEngine {
     key: RsaPrivateKey,
     cache_private: bool,
@@ -43,6 +42,20 @@ pub struct CrtEngine {
     /// never touches where the key itself lives.
     blinding: Option<Rng64>,
     ops: u64,
+}
+
+/// The wrapped key and any cached contexts stay out of `{:?}` output; the
+/// engine's *configuration* is what debugging needs.
+impl core::fmt::Debug for CrtEngine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "CrtEngine(cache_private={}, blinding={}, ops={}, key=<redacted>)",
+            self.cache_private,
+            self.blinding.is_some(),
+            self.ops
+        )
+    }
 }
 
 impl CrtEngine {
@@ -125,6 +138,7 @@ impl CrtEngine {
 
         // Blind the input: c' = c * r^e mod n.
         let unblind = if let Some(rng) = self.blinding.as_mut() {
+            // keylint: allow(S005) -- the modulus n is public; blinding needs an owned copy alongside the mutable rng borrow
             let n = self.key.n().clone();
             let bytes = n.bit_len().div_ceil(8);
             let (r, r_inv) = loop {
@@ -196,7 +210,7 @@ mod tests {
     #[test]
     fn engine_matches_key_crt_and_raw() {
         let k = key();
-        let mut eng = CrtEngine::new(k.clone(), true);
+        let mut eng = CrtEngine::new(k.clone_secret(), true);
         for seed in 0..5u64 {
             let m = BigUint::from_be_bytes(&Rng64::new(seed).gen_bytes(20));
             let c = k.public_key().encrypt_raw(&m).unwrap();
@@ -210,7 +224,7 @@ mod tests {
     #[test]
     fn caching_retains_prime_copies() {
         let k = key();
-        let mut eng = CrtEngine::new(k.clone(), true);
+        let mut eng = CrtEngine::new(k.clone_secret(), true);
         assert!(eng.cached_contexts().is_empty(), "no contexts before use");
         let c = k.public_key().encrypt_raw(&BigUint::from_u64(5)).unwrap();
         eng.private_op(&c).unwrap();
@@ -224,7 +238,7 @@ mod tests {
     #[test]
     fn uncached_engine_holds_nothing() {
         let k = key();
-        let mut eng = CrtEngine::new(k.clone(), false);
+        let mut eng = CrtEngine::new(k.clone_secret(), false);
         let c = k.public_key().encrypt_raw(&BigUint::from_u64(5)).unwrap();
         eng.private_op(&c).unwrap();
         assert!(eng.cached_contexts().is_empty());
@@ -233,7 +247,7 @@ mod tests {
     #[test]
     fn clearing_the_flag_drops_contexts() {
         let k = key();
-        let mut eng = CrtEngine::new(k.clone(), true);
+        let mut eng = CrtEngine::new(k.clone_secret(), true);
         let c = k.public_key().encrypt_raw(&BigUint::from_u64(9)).unwrap();
         eng.private_op(&c).unwrap();
         assert_eq!(eng.cached_contexts().len(), 2);
@@ -246,7 +260,7 @@ mod tests {
     #[test]
     fn rejects_oversized_input() {
         let k = key();
-        let mut eng = CrtEngine::new(k.clone(), true);
+        let mut eng = CrtEngine::new(k.clone_secret(), true);
         let big = k.n() + &BigUint::one();
         assert_eq!(eng.private_op(&big), Err(RsaError::MessageTooLarge));
         assert_eq!(eng.ops(), 0);
@@ -261,8 +275,8 @@ mod blinding_tests {
     #[test]
     fn blinded_results_match_unblinded() {
         let key = RsaPrivateKey::generate(256, &mut Rng64::new(31));
-        let mut plain = CrtEngine::new(key.clone(), true);
-        let mut blinded = CrtEngine::new(key.clone(), true).with_blinding(99);
+        let mut plain = CrtEngine::new(key.clone_secret(), true);
+        let mut blinded = CrtEngine::new(key.clone_secret(), true).with_blinding(99);
         assert!(blinded.blinding());
         assert!(!plain.blinding());
         for seed in 0..8u64 {
@@ -280,8 +294,8 @@ mod blinding_tests {
     fn blinding_varies_internally_but_not_externally() {
         // Two engines with different blinding seeds agree on every output.
         let key = RsaPrivateKey::generate(256, &mut Rng64::new(32));
-        let mut a = CrtEngine::new(key.clone(), false).with_blinding(1);
-        let mut b = CrtEngine::new(key.clone(), false).with_blinding(2);
+        let mut a = CrtEngine::new(key.clone_secret(), false).with_blinding(1);
+        let mut b = CrtEngine::new(key.clone_secret(), false).with_blinding(2);
         let c = key.public_key().encrypt_raw(&BigUint::from_u64(77)).unwrap();
         assert_eq!(a.private_op(&c).unwrap(), b.private_op(&c).unwrap());
         assert_eq!(a.private_op(&c).unwrap(), BigUint::from_u64(77));

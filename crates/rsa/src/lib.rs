@@ -191,7 +191,7 @@ impl RsaPublicKey {
 
 /// A full RSA private key with CRT components, mirroring OpenSSL's six-part
 /// representation `(d, p, q, d mod p-1, d mod q-1, q^-1 mod p)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(PartialEq, Eq)]
 pub struct RsaPrivateKey {
     n: BigUint,
     e: BigUint,
@@ -203,7 +203,42 @@ pub struct RsaPrivateKey {
     qinv: BigUint,
 }
 
+/// Key components never appear in `{:?}` output — only the modulus size,
+/// which is public. Test assertions still get a usable failure message.
+impl fmt::Debug for RsaPrivateKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RsaPrivateKey({} bits, <redacted>)", self.n.bit_len())
+    }
+}
+
+/// All eight components are wiped before the allocations are released, the
+/// countermeasure the paper prescribes for transient key copies.
+impl Drop for RsaPrivateKey {
+    fn drop(&mut self) {
+        self.n.zeroize();
+        self.e.zeroize();
+        self.d.zeroize();
+        self.p.zeroize();
+        self.q.zeroize();
+        self.dp.zeroize();
+        self.dq.zeroize();
+        self.qinv.zeroize();
+    }
+}
+
 impl RsaPrivateKey {
+    /// Duplicates the key, private components included.
+    ///
+    /// This is the only sanctioned way to copy an `RsaPrivateKey`: the type
+    /// deliberately does not implement `Clone`, so every long-lived copy of
+    /// key material in the simulated servers goes through this auditable
+    /// call site.
+    #[must_use]
+    pub fn clone_secret(&self) -> Self {
+        // keylint: allow(S005) -- clone_secret is the audited duplication choke point for key material
+        Self { n: self.n.clone(), e: self.e.clone(), d: self.d.clone(), p: self.p.clone(), q: self.q.clone(), dp: self.dp.clone(), dq: self.dq.clone(), qinv: self.qinv.clone() }
+    }
+
     /// Generates a fresh key with a modulus of `bits` bits and `e = 65537`.
     ///
     /// Deterministic for a given `rng` seed — essential for reproducible
@@ -274,10 +309,8 @@ impl RsaPrivateKey {
     /// The corresponding public key.
     #[must_use]
     pub fn public_key(&self) -> RsaPublicKey {
-        RsaPublicKey {
-            n: self.n.clone(),
-            e: self.e.clone(),
-        }
+        // keylint: allow(S005) -- n and e are the public half of the key pair
+        RsaPublicKey { n: self.n.clone(), e: self.e.clone() }
     }
 
     /// The modulus `n = p·q`.

@@ -26,7 +26,7 @@ pub fn limb_bytes(v: &BigUint) -> Vec<u8> {
 }
 
 /// One searchable pattern: a name and the byte string to look for.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(PartialEq, Eq)]
 pub struct Pattern {
     /// Human-readable component name (`"d"`, `"p"`, `"q"`, `"pem"`).
     pub name: String,
@@ -34,7 +34,31 @@ pub struct Pattern {
     pub bytes: Vec<u8>,
 }
 
+/// The pattern bytes *are* key material (that is the whole point), so `{:?}`
+/// shows only the component name and length.
+impl core::fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Pattern({}, {} bytes, <redacted>)", self.name, self.bytes.len())
+    }
+}
+
+/// A dropped pattern wipes its byte string — search patterns must not become
+/// yet another heap copy of the key they hunt for.
+impl Drop for Pattern {
+    fn drop(&mut self) {
+        bignum::secure_zero(&mut self.bytes);
+    }
+}
+
 impl Pattern {
+    /// Duplicates the pattern. The deliberate, auditable copy point —
+    /// `Pattern` does not implement `Clone`.
+    #[must_use]
+    pub fn clone_secret(&self) -> Self {
+        // keylint: allow(S005) -- clone_secret is the audited duplication choke point for search patterns
+        Self { name: self.name.clone(), bytes: self.bytes.clone() }
+    }
+
     /// Builds a pattern.
     ///
     /// # Panics
@@ -52,13 +76,36 @@ impl Pattern {
 }
 
 /// The four "copies of the private key" the paper searches for.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(PartialEq, Eq)]
 pub struct KeyMaterial {
     patterns: Vec<Pattern>,
     pem: Vec<u8>,
 }
 
+impl core::fmt::Debug for KeyMaterial {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let count = self.patterns.len();
+        write!(f, "KeyMaterial({count} patterns, <redacted>)")
+    }
+}
+
+/// Wipes the PEM image; the patterns wipe themselves as they drop.
+impl Drop for KeyMaterial {
+    fn drop(&mut self) {
+        bignum::secure_zero(&mut self.pem);
+    }
+}
+
 impl KeyMaterial {
+    /// Duplicates the material set — the auditable copy point standing in
+    /// for `Clone`, which `KeyMaterial` deliberately does not implement.
+    #[must_use]
+    pub fn clone_secret(&self) -> Self {
+        let patterns = self.patterns.iter().map(Pattern::clone_secret).collect();
+        // keylint: allow(S005) -- clone_secret is the audited duplication choke point for the PEM image
+        Self { patterns, pem: self.pem.clone() }
+    }
+
     /// Derives the search patterns from a private key.
     #[must_use]
     pub fn from_key(key: &RsaPrivateKey) -> Self {
@@ -159,7 +206,7 @@ mod tests {
     fn pem_pattern_parses_back_to_the_key() {
         let key = RsaPrivateKey::generate(256, &mut Rng64::new(8));
         let m = KeyMaterial::from_key(&key);
-        let text = String::from_utf8(m.pem_bytes().to_vec()).unwrap();
-        assert_eq!(RsaPrivateKey::from_pem(&text).unwrap(), key);
+        let text = core::str::from_utf8(m.pem_bytes()).unwrap();
+        assert_eq!(RsaPrivateKey::from_pem(text).unwrap(), key);
     }
 }

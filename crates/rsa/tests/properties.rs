@@ -1,12 +1,15 @@
 //! Property tests: RSA correctness across random messages and key seeds,
 //! CRT/raw agreement, and codec round trips.
+//!
+//! Runs on `simrng::propcheck` (pure std) so the suite works with no
+//! registry access.
 
 use bignum::BigUint;
-use proptest::prelude::*;
 use rsa_repro::{CrtEngine, RsaPrivateKey};
+use simrng::propcheck;
 use simrng::Rng64;
 
-/// A pool of pre-generated keys so proptest cases don't pay keygen each time.
+/// A pool of pre-generated keys so property cases don't pay keygen each time.
 fn pooled_key(seed: u64) -> RsaPrivateKey {
     // Three distinct keys exercised round-robin.
     static SIZES: [usize; 3] = [128, 192, 256];
@@ -14,113 +17,134 @@ fn pooled_key(seed: u64) -> RsaPrivateKey {
     RsaPrivateKey::generate(SIZES[idx], &mut Rng64::new(1000 + idx as u64))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn encrypt_decrypt_raw_round_trip(seed in 0u64..3, m_seed in any::<u64>()) {
-        let key = pooled_key(seed);
-        let m = BigUint::from_u64(m_seed).rem(key.n());
+#[test]
+fn encrypt_decrypt_raw_round_trip() {
+    propcheck::cases(64, |g| {
+        let key = pooled_key(g.u64_below(3));
+        let m = BigUint::from_u64(g.u64()).rem(key.n());
         let c = key.public_key().encrypt_raw(&m).unwrap();
-        prop_assert_eq!(key.private_op_raw(&c).unwrap(), m);
-    }
+        assert_eq!(key.private_op_raw(&c).unwrap(), m);
+    });
+}
 
-    #[test]
-    fn crt_equals_raw(seed in 0u64..3, m_seed in any::<u64>()) {
-        let key = pooled_key(seed);
-        let c = BigUint::from_u64(m_seed).rem(key.n());
-        prop_assert_eq!(
+#[test]
+fn crt_equals_raw() {
+    propcheck::cases(64, |g| {
+        let key = pooled_key(g.u64_below(3));
+        let c = BigUint::from_u64(g.u64()).rem(key.n());
+        assert_eq!(
             key.private_op_crt(&c).unwrap(),
             key.private_op_raw(&c).unwrap()
         );
-    }
+    });
+}
 
-    #[test]
-    fn engine_cached_and_uncached_agree(seed in 0u64..3, m_seed in any::<u64>()) {
-        let key = pooled_key(seed);
-        let c = BigUint::from_u64(m_seed).rem(key.n());
-        let mut cached = CrtEngine::new(key.clone(), true);
+#[test]
+fn engine_cached_and_uncached_agree() {
+    propcheck::cases(64, |g| {
+        let key = pooled_key(g.u64_below(3));
+        let c = BigUint::from_u64(g.u64()).rem(key.n());
+        let mut cached = CrtEngine::new(key.clone_secret(), true);
         let mut plain = CrtEngine::new(key, false);
-        prop_assert_eq!(cached.private_op(&c).unwrap(), plain.private_op(&c).unwrap());
-    }
+        assert_eq!(cached.private_op(&c).unwrap(), plain.private_op(&c).unwrap());
+    });
+}
 
-    #[test]
-    fn pkcs1_round_trip(seed in 0u64..3, msg in proptest::collection::vec(any::<u8>(), 0..5)) {
-        let key = pooled_key(seed);
+#[test]
+fn pkcs1_round_trip() {
+    propcheck::cases(64, |g| {
+        let key = pooled_key(g.u64_below(3));
+        let msg = g.bytes(0..5);
         let mut rng = Rng64::new(77);
         let ct = key.public_key().encrypt_pkcs1(&msg, &mut rng).unwrap();
-        prop_assert_eq!(key.decrypt_pkcs1(&ct).unwrap(), msg);
-    }
+        assert_eq!(key.decrypt_pkcs1(&ct).unwrap(), msg);
+    });
+}
 
-    #[test]
-    fn sign_verify(seed in 0u64..3, msg in proptest::collection::vec(any::<u8>(), 0..5)) {
-        let key = pooled_key(seed);
+#[test]
+fn sign_verify() {
+    propcheck::cases(64, |g| {
+        let key = pooled_key(g.u64_below(3));
+        let msg = g.bytes(0..5);
         let sig = key.sign_pkcs1(&msg).unwrap();
-        prop_assert!(key.public_key().verify_pkcs1(&msg, &sig));
-    }
+        assert!(key.public_key().verify_pkcs1(&msg, &sig));
+    });
+}
 
-    #[test]
-    fn tampered_signature_fails(seed in 0u64..3, byte in 0usize..16, bit in 0u8..8) {
-        let key = pooled_key(seed);
+#[test]
+fn tampered_signature_fails() {
+    propcheck::cases(64, |g| {
+        let key = pooled_key(g.u64_below(3));
+        let byte = g.usize_in(0..16);
+        let bit = g.u8() % 8;
         let msg = b"dgst".to_vec();
         let mut sig = key.sign_pkcs1(&msg).unwrap();
         let idx = byte % sig.len();
         sig[idx] ^= 1 << bit;
-        prop_assert!(!key.public_key().verify_pkcs1(&msg, &sig));
-    }
-
-    #[test]
-    fn der_pem_round_trip(seed in 0u64..3) {
-        let key = pooled_key(seed);
-        prop_assert_eq!(&RsaPrivateKey::from_der(&key.to_der()).unwrap(), &key);
-        prop_assert_eq!(&RsaPrivateKey::from_pem(&key.to_pem()).unwrap(), &key);
-    }
-
-    #[test]
-    fn base64_arbitrary_round_trip(data in proptest::collection::vec(any::<u8>(), 0..300)) {
-        let enc = rsa_repro::pem_encode("BLOB", &data);
-        let (label, back) = rsa_repro::pem_decode(&enc).unwrap();
-        prop_assert_eq!(label, "BLOB".to_string());
-        prop_assert_eq!(back, data);
-    }
+        assert!(!key.public_key().verify_pkcs1(&msg, &sig));
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn der_pem_round_trip() {
+    propcheck::cases(12, |g| {
+        let key = pooled_key(g.u64_below(3));
+        assert_eq!(&RsaPrivateKey::from_der(&key.to_der()).unwrap(), &key);
+        assert_eq!(&RsaPrivateKey::from_pem(&key.to_pem()).unwrap(), &key);
+    });
+}
 
-    /// Security posture: the DER and PEM parsers must never panic on
-    /// attacker-controlled input — errors only.
-    #[test]
-    fn der_parser_never_panics(noise in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn base64_arbitrary_round_trip() {
+    propcheck::cases(64, |g| {
+        let data = g.bytes(0..300);
+        let enc = rsa_repro::pem_encode("BLOB", &data);
+        let (label, back) = rsa_repro::pem_decode(&enc).unwrap();
+        assert_eq!(label, "BLOB".to_string());
+        assert_eq!(back, data);
+    });
+}
+
+/// Security posture: the DER and PEM parsers must never panic on
+/// attacker-controlled input — errors only.
+#[test]
+fn der_parser_never_panics() {
+    propcheck::cases(256, |g| {
+        let noise = g.bytes(0..512);
         let _ = RsaPrivateKey::from_der(&noise);
         let mut r = rsa_repro::DerReader::new(&noise);
         let _ = r.sequence();
         let mut r = rsa_repro::DerReader::new(&noise);
         let _ = r.integer();
-    }
+    });
+}
 
-    #[test]
-    fn pem_parser_never_panics(noise in "\\PC*") {
+#[test]
+fn pem_parser_never_panics() {
+    propcheck::cases(256, |g| {
+        let noise = g.text(0..200);
         let _ = rsa_repro::pem_decode(&noise);
         let _ = RsaPrivateKey::from_pem(&noise);
-    }
+    });
+}
 
-    /// Mutated-but-structurally-valid keys are rejected, not accepted.
-    #[test]
-    fn bitflipped_der_never_yields_a_different_valid_key(flip_at in 0usize..300, bit in 0u8..8) {
+/// Mutated-but-structurally-valid keys are rejected, not accepted.
+#[test]
+fn bitflipped_der_never_yields_a_different_valid_key() {
+    propcheck::cases(256, |g| {
         let key = pooled_key(0);
         let mut der = key.to_der();
-        let idx = flip_at % der.len();
-        der[idx] ^= 1 << bit;
+        let idx = g.usize_in(0..300) % der.len();
+        der[idx] ^= 1 << (g.u8() % 8);
         match RsaPrivateKey::from_der(&der) {
             // Either rejected...
             Err(_) => {}
             // ...or the flip hit a part we rederive (dp/dq/qinv bytes) and
             // the reconstructed key is *identical* — never a silently
             // different key.
-            Ok(k) => prop_assert_eq!(k, key),
+            Ok(k) => assert_eq!(k, key),
         }
-    }
+    });
 }
 
 /// Paper-plus key sizes still generate and round-trip; slow, so ignored by

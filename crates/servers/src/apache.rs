@@ -16,16 +16,20 @@ use simrng::Rng64;
 const START_SERVERS: usize = 5;
 const MAX_CLIENTS: usize = 150;
 
-#[derive(Debug)]
 struct Worker {
     pid: Pid,
     crypto: WorkerCrypto,
 }
 
+impl core::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Worker(pid={:?}, key=<redacted>)", self.pid)
+    }
+}
+
 /// Simulated Apache HTTP Server 2.0.55 (prefork MPM, SSL enabled).
 ///
 /// See [`crate`] docs and [`SecureServer`] for the interface.
-#[derive(Debug)]
 pub struct ApacheServer {
     config: ServerConfig,
     key: RsaPrivateKey,
@@ -43,6 +47,19 @@ pub struct ApacheServer {
     running: bool,
 }
 
+/// Holds the host key and its search material; `{:?}` reports pool state only.
+impl core::fmt::Debug for ApacheServer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "ApacheServer(workers={}, handshakes={}, running={}, key=<redacted>)",
+            self.workers.len(),
+            self.handshakes,
+            self.running
+        )
+    }
+}
+
 impl ApacheServer {
     fn spawn_worker(&mut self, kernel: &mut Kernel) -> SimResult<()> {
         if self.workers.len() >= MAX_CLIENTS {
@@ -50,7 +67,7 @@ impl ApacheServer {
         }
         let pid = kernel.fork(self.parent)?;
         let crypto = WorkerCrypto::with_protocol(
-            self.key.clone(),
+            self.key.clone_secret(),
             self.config.level,
             self.rng.next_u64(),
             crate::engine::Protocol::Tls,
@@ -184,7 +201,7 @@ impl SecureServer for ApacheServer {
             let idx = self.next_worker % self.workers.len();
             self.next_worker = self.next_worker.wrapping_add(1);
             let shared = self.shared_struct;
-            let material = self.material.clone();
+            let material = self.material.clone_secret();
             let w = &mut self.workers[idx];
             w.crypto.handshake(kernel, w.pid, shared, &material)?;
             self.handshakes += 1;

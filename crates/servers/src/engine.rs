@@ -147,7 +147,6 @@ impl ScatteredKey {
 
 /// Per-process cryptographic state: a real CRT engine plus the simulated
 /// heap footprint of its Montgomery caches.
-#[derive(Debug, Clone)]
 pub struct WorkerCrypto {
     engine: CrtEngine,
     protocol: Protocol,
@@ -156,6 +155,17 @@ pub struct WorkerCrypto {
     mont_chunks: Option<(VAddr, VAddr)>,
     /// Whether this worker has already dirtied the shared key page.
     cow_poked: bool,
+}
+
+/// The wrapped engine holds the key; `{:?}` reports only configuration.
+impl core::fmt::Debug for WorkerCrypto {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "WorkerCrypto({:?}, cow_poked={}, key=<redacted>)",
+            self.protocol, self.cow_poked
+        )
+    }
 }
 
 impl WorkerCrypto {
@@ -337,7 +347,7 @@ mod tests {
         let (mut kernel, pid, key, material, _fid) = setup(ProtectionLevel::None);
         let scanner = Scanner::from_material(&material);
 
-        let mut cached = WorkerCrypto::new(key.clone(), ProtectionLevel::None, 1);
+        let mut cached = WorkerCrypto::new(key.clone_secret(), ProtectionLevel::None, 1);
         cached.handshake(&mut kernel, pid, None, &material).unwrap();
         let counts = scanner.scan_kernel(&kernel).by_pattern();
         assert_eq!(counts[1], 1, "cached engine placed a p copy");

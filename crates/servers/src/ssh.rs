@@ -12,16 +12,20 @@ use simrng::Rng64;
 
 /// One live SSH connection: a forked child process with its own crypto
 /// state and (when unprotected) its own reloaded key copies.
-#[derive(Debug)]
 struct Connection {
     pid: Pid,
     crypto: WorkerCrypto,
 }
 
+impl core::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Connection(pid={:?}, key=<redacted>)", self.pid)
+    }
+}
+
 /// Simulated OpenSSH 4.3p2.
 ///
 /// See [`crate`] docs and [`SecureServer`] for the interface.
-#[derive(Debug)]
 pub struct SshServer {
     config: ServerConfig,
     key: RsaPrivateKey,
@@ -43,11 +47,24 @@ pub struct SshServer {
 /// while traffic is running.
 const EXEC_IMAGE_BYTES: usize = 24 * memsim::PAGE_SIZE;
 
+/// Holds the host key and its search material; `{:?}` reports daemon state only.
+impl core::fmt::Debug for SshServer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "SshServer(connections={}, handshakes={}, running={}, key=<redacted>)",
+            self.connections.len(),
+            self.handshakes,
+            self.running
+        )
+    }
+}
+
 impl SshServer {
     fn open_connection(&mut self, kernel: &mut Kernel) -> SimResult<()> {
         let child = kernel.fork(self.daemon)?;
         let mut crypto = WorkerCrypto::with_protocol(
-            self.key.clone(),
+            self.key.clone_secret(),
             self.config.level,
             self.rng.next_u64(),
             crate::engine::Protocol::Ssh,

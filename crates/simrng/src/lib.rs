@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod propcheck;
+
 /// A deterministic xoshiro256** random number generator.
 ///
 /// The generator is intentionally *not* cryptographically secure: it exists to

@@ -28,7 +28,7 @@
 //! use wireproto::tls;
 //!
 //! let key = RsaPrivateKey::generate(512, &mut Rng64::new(1));
-//! let mut server_engine = CrtEngine::new(key.clone(), true);
+//! let mut server_engine = CrtEngine::new(key.clone_secret(), true);
 //!
 //! let mut rng = Rng64::new(2);
 //! let (client, hello) = tls::Client::start(key.public_key(), &mut rng)?;

@@ -175,7 +175,7 @@ pub(crate) mod tests {
 
     fn setup() -> (RsaPrivateKey, CrtEngine, Rng64) {
         let key = RsaPrivateKey::generate(512, &mut Rng64::new(51));
-        let engine = CrtEngine::new(key.clone(), true);
+        let engine = CrtEngine::new(key.clone_secret(), true);
         (key, engine, Rng64::new(52))
     }
 
@@ -208,7 +208,7 @@ pub(crate) mod tests {
         // The attack payoff the paper implies: with the recovered host key,
         // an attacker's server authenticates as the victim.
         let (key, _, mut rng) = setup();
-        let mut attacker = CrtEngine::new(key.clone(), true); // stolen!
+        let mut attacker = CrtEngine::new(key.clone_secret(), true); // stolen!
         let (client, bundle) = Client::start(key.public_key(), &mut rng);
         let (_, reply) = accept(&mut attacker, &bundle, &mut rng).unwrap();
         assert!(client.finish(&reply).is_ok(), "impersonation succeeds");

@@ -122,7 +122,7 @@ mod tests {
 
     fn setup() -> (RsaPrivateKey, CrtEngine, Rng64) {
         let key = RsaPrivateKey::generate(512, &mut Rng64::new(41));
-        let engine = CrtEngine::new(key.clone(), true);
+        let engine = CrtEngine::new(key.clone_secret(), true);
         (key, engine, Rng64::new(42))
     }
 

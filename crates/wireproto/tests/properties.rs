@@ -1,9 +1,12 @@
 //! Property tests for the wire protocols: arbitrary payloads round-trip the
 //! channel, arbitrary byte noise never panics the decoders, and handshakes
 //! agree for every seed.
+//!
+//! Runs on `simrng::propcheck` (pure std) so the suite works with no
+//! registry access.
 
-use proptest::prelude::*;
 use rsa_repro::{CrtEngine, RsaPrivateKey};
+use simrng::propcheck;
 use simrng::Rng64;
 use wireproto::{Record, RecordType, Role, SecureChannel, SessionKeys};
 
@@ -15,35 +18,38 @@ fn channel_pair(secret: &[u8]) -> (SecureChannel, SecureChannel) {
     )
 }
 
-proptest! {
-    #[test]
-    fn any_payload_round_trips_the_channel(
-        secret in proptest::collection::vec(any::<u8>(), 1..64),
-        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..2048), 1..8),
-    ) {
+#[test]
+fn any_payload_round_trips_the_channel() {
+    propcheck::cases(48, |g| {
+        let secret = g.bytes(1..64);
         let (mut client, mut server) = channel_pair(&secret);
-        for p in &payloads {
-            let wire = client.seal(p);
+        for _ in 0..g.usize_in(1..8) {
+            let p = g.bytes(0..2048);
+            let wire = client.seal(&p);
             let (back, used) = server.open(&wire).unwrap();
-            prop_assert_eq!(&back, p);
-            prop_assert_eq!(used, wire.len());
+            assert_eq!(back, p);
+            assert_eq!(used, wire.len());
         }
-    }
+    });
+}
 
-    #[test]
-    fn decoder_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn decoder_never_panics_on_noise() {
+    propcheck::cases(256, |g| {
+        let noise = g.bytes(0..256);
         // Any result is fine; no panic is the property.
         let _ = Record::decode(&noise);
         let (mut _c, mut server) = channel_pair(b"k");
         let _ = server.open(&noise);
-    }
+    });
+}
 
-    #[test]
-    fn bit_flips_never_open(
-        payload in proptest::collection::vec(any::<u8>(), 1..128),
-        flip_byte in 5usize..64,
-        flip_bit in 0u8..8,
-    ) {
+#[test]
+fn bit_flips_never_open() {
+    propcheck::cases(128, |g| {
+        let payload = g.bytes(1..128);
+        let flip_byte = g.usize_in(5..64);
+        let flip_bit = g.u8() % 8;
         let (mut client, mut server) = channel_pair(b"session secret");
         let mut wire = client.seal(&payload);
         let idx = flip_byte % wire.len();
@@ -51,17 +57,20 @@ proptest! {
             // Skip header flips (those fail framing, also fine) and flip the
             // body: the MAC must catch it.
             wire[idx] ^= 1 << flip_bit;
-            prop_assert!(server.open(&wire).is_err());
+            assert!(server.open(&wire).is_err());
         }
-    }
+    });
+}
 
-    #[test]
-    fn record_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..1024)) {
+#[test]
+fn record_round_trip() {
+    propcheck::cases(128, |g| {
+        let payload = g.bytes(0..1024);
         let rec = Record::new(RecordType::Data, payload);
         let (back, used) = Record::decode(&rec.encode()).unwrap();
-        prop_assert_eq!(back, rec.clone());
-        prop_assert_eq!(used, rec.encode().len());
-    }
+        assert_eq!(back, rec.clone());
+        assert_eq!(used, rec.encode().len());
+    });
 }
 
 /// Handshake agreement across many seeds (moderate key size, so generate
@@ -72,12 +81,12 @@ fn handshakes_agree_for_many_seeds() {
     for seed in 0..12u64 {
         let mut rng = Rng64::new(1000 + seed);
         // TLS shape.
-        let mut engine = CrtEngine::new(key.clone(), true);
+        let mut engine = CrtEngine::new(key.clone_secret(), true);
         let (client, bundle) = wireproto::tls::Client::start(key.public_key(), &mut rng).unwrap();
         let (sk, reply) = wireproto::tls::accept(&mut engine, &bundle, &mut rng).unwrap();
         assert_eq!(client.finish(&reply).unwrap(), sk, "tls seed {seed}");
         // SSH shape.
-        let mut engine = CrtEngine::new(key.clone(), false);
+        let mut engine = CrtEngine::new(key.clone_secret(), false);
         let (client, bundle) = wireproto::ssh::Client::start(key.public_key(), &mut rng);
         let (sk, reply) = wireproto::ssh::accept(&mut engine, &bundle, &mut rng).unwrap();
         assert_eq!(client.finish(&reply).unwrap(), sk, "ssh seed {seed}");
@@ -88,7 +97,7 @@ fn handshakes_agree_for_many_seeds() {
 #[test]
 fn end_to_end_session_over_tls_handshake() {
     let key = RsaPrivateKey::generate(512, &mut Rng64::new(62));
-    let mut engine = CrtEngine::new(key.clone(), true).with_blinding(77);
+    let mut engine = CrtEngine::new(key.clone_secret(), true).with_blinding(77);
     let mut rng = Rng64::new(63);
     let (client, bundle) = wireproto::tls::Client::start(key.public_key(), &mut rng).unwrap();
     let (server_keys, reply) = wireproto::tls::accept(&mut engine, &bundle, &mut rng).unwrap();
@@ -106,21 +115,20 @@ fn end_to_end_session_over_tls_handshake() {
     }
 }
 
-proptest! {
-    /// Handshake acceptors must never panic on corrupted bundles — a valid
-    /// bundle with random mutations either handshakes or errors.
-    #[test]
-    fn corrupted_handshake_bundles_never_panic(
-        flip_at in 0usize..160,
-        bit in 0u8..8,
-        truncate_to in 0usize..160,
-    ) {
-        let key = RsaPrivateKey::generate(512, &mut Rng64::new(71));
+/// Handshake acceptors must never panic on corrupted bundles — a valid
+/// bundle with random mutations either handshakes or errors.
+#[test]
+fn corrupted_handshake_bundles_never_panic() {
+    let key = RsaPrivateKey::generate(512, &mut Rng64::new(71));
+    propcheck::cases(96, |g| {
+        let flip_at = g.usize_in(0..160);
+        let bit = g.u8() % 8;
+        let truncate_to = g.usize_in(0..160);
         let mut rng = Rng64::new(72);
 
         // TLS bundle.
         let (_c, mut bundle) = wireproto::tls::Client::start(key.public_key(), &mut rng).unwrap();
-        let mut engine = CrtEngine::new(key.clone(), true);
+        let mut engine = CrtEngine::new(key.clone_secret(), true);
         if !bundle.is_empty() {
             let i = flip_at % bundle.len();
             bundle[i] ^= 1 << bit;
@@ -138,5 +146,5 @@ proptest! {
         let _ = wireproto::ssh::accept(&mut engine, &bundle, &mut rng);
         let shorter = &bundle[..truncate_to.min(bundle.len())];
         let _ = wireproto::ssh::accept(&mut engine, shorter, &mut rng);
-    }
+    });
 }

@@ -43,15 +43,11 @@ fn main() {
     println!("\n== attack 1: ext2 make_empty() dirent leak [Arkoon 2005] ==");
     for dirs in [100usize, 1000, 5000] {
         let capture = Ext2DirentLeak::new(dirs).run(&mut kernel).expect("attack");
+        let copies = capture.keys_found(&scanner);
+        let verdict = if capture.succeeded(&scanner) { "COMPROMISED" } else { "safe" };
         println!(
-            "{dirs:>5} directories -> {:>6} KB disclosed, {} key copies, key {}",
+            "{dirs:>5} directories -> {:>6} KB disclosed, {copies} key copies, key {verdict}",
             capture.disclosed_bytes() / 1024,
-            capture.keys_found(&scanner),
-            if capture.succeeded(&scanner) {
-                "COMPROMISED"
-            } else {
-                "safe"
-            }
         );
     }
 
@@ -64,10 +60,10 @@ fn main() {
         let capture = dump.run(&kernel, &mut rng);
         let hit = capture.succeeded(&scanner);
         successes += u32::from(hit);
+        let copies = capture.keys_found(&scanner);
         println!(
-            "run {i:>2}: {:>5.1} MB disclosed, {:>2} copies, key {}",
+            "run {i:>2}: {:>5.1} MB disclosed, {copies:>2} copies, key {}",
             capture.disclosed_bytes() as f64 / (1024.0 * 1024.0),
-            capture.keys_found(&scanner),
             if hit { "COMPROMISED" } else { "safe" }
         );
     }

@@ -22,7 +22,7 @@ fn main() {
 
     // --- TLS-RSA shape (what Apache + mod_ssl does) ------------------
     let mut engine =
-        vault.with_key(|k| CrtEngine::new(k.clone(), false).with_blinding(7));
+        vault.with_key(|k| CrtEngine::new(k.clone_secret(), false).with_blinding(7));
     let (client, hello) =
         wireproto::tls::Client::start(vault.public_key().clone(), &mut rng).expect("hello");
     let (server_keys, reply) =
@@ -46,7 +46,7 @@ fn main() {
     println!("channel     : client received {} bytes, MAC verified", resp.len());
 
     // --- SSH shape (what OpenSSH does) --------------------------------
-    let mut engine = vault.with_key(|k| CrtEngine::new(k.clone(), false));
+    let mut engine = vault.with_key(|k| CrtEngine::new(k.clone_secret(), false));
     let (client, kexinit) = wireproto::ssh::Client::start(vault.public_key().clone(), &mut rng);
     let (_, kexreply) = wireproto::ssh::accept(&mut engine, &kexinit, &mut rng).expect("kex");
     let keys = client.finish(&kexreply).expect("host key verified");

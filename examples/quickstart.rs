@@ -38,16 +38,11 @@ fn main() {
             .run(&mut kernel)
             .expect("attack runs");
 
+        let copies = capture.keys_found(&scanner);
+        let verdict = if capture.succeeded(&scanner) { "COMPROMISED" } else { "safe" };
         println!("protection level : {level}");
         println!("memory disclosed : {} KB", capture.disclosed_bytes() / 1024);
-        println!("key copies found : {}", capture.keys_found(&scanner));
-        println!(
-            "private key      : {}\n",
-            if capture.succeeded(&scanner) {
-                "COMPROMISED"
-            } else {
-                "safe"
-            }
-        );
+        println!("key copies found : {copies}");
+        println!("private key      : {verdict}\n");
     }
 }

@@ -40,5 +40,6 @@ fn main() {
     // Constant-shape comparison avoids leaking where two secrets differ.
     let a = SecretBuf::from_slice(b"correct horse");
     let b = SecretBuf::from_slice(b"correct horsf");
-    println!("secrets equal    : {}", a == b);
+    let equal = a == b;
+    println!("secrets equal    : {equal}");
 }

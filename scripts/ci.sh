@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 verification pipeline: build, test, key-hygiene lint.
+#
+# Everything here must pass before a change lands. The keylint step is the
+# static counterpart of the paper's runtime discipline: no implicit clones of
+# key material, no Debug/format leaks, zero-on-drop everywhere (see
+# DESIGN.md, "Static key-hygiene analysis").
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== test =="
+cargo test --workspace
+
+echo "== keylint =="
+cargo run --release -p keylint -- --workspace
+
+echo "ci: all green"

@@ -70,7 +70,7 @@ fn protection_matrix_matches_paper_reexamination() {
                 s.set_concurrency(&mut kernel, 8).unwrap();
                 s.pump(&mut kernel, 16).unwrap();
                 s.set_concurrency(&mut kernel, 0).unwrap();
-                let m = s.material().clone();
+                let m = s.material().clone_secret();
                 let sc = Scanner::from_material(&m);
                 (m, sc)
             } else {
@@ -78,7 +78,7 @@ fn protection_matrix_matches_paper_reexamination() {
                 s.set_concurrency(&mut kernel, 12).unwrap();
                 s.pump(&mut kernel, 24).unwrap();
                 s.set_concurrency(&mut kernel, 5).unwrap();
-                let m = s.material().clone();
+                let m = s.material().clone_secret();
                 let sc = Scanner::from_material(&m);
                 (m, sc)
             };
@@ -338,7 +338,7 @@ fn stolen_key_decrypts_recorded_tls_but_not_ssh_sessions() {
     let mut rng = Rng64::new(2026);
 
     // --- A victim TLS session, passively recorded on the wire. ---
-    let mut server_engine = CrtEngine::new(apache.key().clone(), true);
+    let mut server_engine = CrtEngine::new(apache.key().clone_secret(), true);
     let (client, hello) =
         wireproto::tls::Client::start(apache.key().public_key(), &mut rng).unwrap();
     let (server_keys, reply) =
@@ -401,7 +401,7 @@ fn stolen_key_decrypts_recorded_tls_but_not_ssh_sessions() {
     // KeyExchange record carries a *signature*, not an encrypted secret.
     let (ssh_client, kexinit) =
         wireproto::ssh::Client::start(apache.key().public_key(), &mut rng);
-    let mut ssh_engine = CrtEngine::new(apache.key().clone(), true);
+    let mut ssh_engine = CrtEngine::new(apache.key().clone_secret(), true);
     let (_, kexreply) = wireproto::ssh::accept(&mut ssh_engine, &kexinit, &mut rng).unwrap();
     let _keys = ssh_client.finish(&kexreply).unwrap();
     let (_, used) = wireproto::Record::decode(&kexreply).unwrap();
