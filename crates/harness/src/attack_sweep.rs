@@ -1,6 +1,14 @@
 //! Attack-sweep experiments: Figures 1–4 (unprotected) and 7, 17, 18
 //! (before/after the integrated solution).
+//!
+//! Both sweep families decompose into independent `(grid-point, repetition)`
+//! cells executed by [`crate::exec::Executor`]. Each cell boots its own
+//! kernel and server from a seed that is a pure function of the experiment's
+//! root seed and the cell's coordinates, so results are bit-identical at any
+//! thread count — and a sub-grid run reproduces the full-grid values at the
+//! shared points.
 
+use crate::exec::Executor;
 use crate::{ExperimentConfig, ServerKind};
 use exploits::{Ext2DirentLeak, TtyMemoryDump};
 use keyguard::ProtectionLevel;
@@ -54,9 +62,29 @@ const SWEEP_CONCURRENCY: usize = 16;
 /// directories. 0.5 mixes the most recent half of the free lists.
 const BACKGROUND_MIX: f64 = 0.5;
 
+/// Per-cell seed for one ext2 repetition. A pure function of the root seed
+/// and the cell's coordinates `(connections, directories, repetition)`:
+/// nothing about execution order or grid composition can change it.
+fn ext2_cell_seed(root: u64, conns: usize, dirs: usize, rep: usize) -> u64 {
+    root.wrapping_add(rep as u64)
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(conns as u64 ^ (dirs as u64) << 20)
+}
+
+/// Per-cell seed for one tty repetition (coordinates: connections,
+/// repetition).
+fn tty_cell_seed(root: u64, conns: usize, rep: usize) -> u64 {
+    root.wrapping_add(rep as u64)
+        .wrapping_mul(0x85EB_CA6B)
+        .wrapping_add(conns as u64)
+}
+
 /// Builds the workload state for one repetition: server started, `total`
 /// connections driven through it, then (for the ext2 methodology) all
 /// connections closed and the free lists remixed by background activity.
+///
+/// All mutable state — the kernel, the server, the background-mix RNG — is
+/// owned by the calling cell and derived from `rep_seed` alone.
 fn drive_workload<S: SecureServer>(
     kernel: &mut Kernel,
     level: ProtectionLevel,
@@ -79,12 +107,17 @@ fn drive_workload<S: SecureServer>(
         server.set_concurrency(kernel, 0)?;
         // Unrelated system activity cycles pages through the allocator
         // without touching their contents, burying the freed key pages at
-        // varying depths of the free lists.
+        // varying depths of the free lists. The mix stream is forked off
+        // the cell's own seed, never shared between cells.
         let mut mix_rng = Rng64::new(rep_seed ^ 0xB1D_F00D);
         kernel.age_memory(&mut mix_rng, BACKGROUND_MIX);
     }
     Ok((server, scanner))
 }
+
+/// Raw outcome of a single attack repetition: `(keys found, succeeded,
+/// bytes disclosed)`.
+type RepOutcome = (usize, bool, usize);
 
 fn run_one_ext2<S: SecureServer>(
     level: ProtectionLevel,
@@ -92,7 +125,7 @@ fn run_one_ext2<S: SecureServer>(
     rep_seed: u64,
     connections: usize,
     directories: usize,
-) -> SimResult<(usize, bool, usize)> {
+) -> SimResult<RepOutcome> {
     let mut rng = Rng64::new(rep_seed);
     let mut kernel = cfg.boot_machine(level, &mut rng);
     let (_server, scanner) =
@@ -105,12 +138,59 @@ fn run_one_ext2<S: SecureServer>(
     ))
 }
 
-/// The ext2 dirent-leak sweep (Figures 1 and 2; Section 5.2/6.2 re-runs).
-///
-/// For every `(connections, directories)` grid point: boot an aged machine,
-/// drive `connections` total connections through the server, close them all,
-/// create `directories` directories, and search the leaked bytes — averaged
-/// over `cfg.repetitions` attacks.
+fn run_one_tty<S: SecureServer>(
+    level: ProtectionLevel,
+    cfg: &ExperimentConfig,
+    rep_seed: u64,
+    connections: usize,
+) -> SimResult<RepOutcome> {
+    let mut rng = Rng64::new(rep_seed);
+    let mut kernel = cfg.boot_machine(level, &mut rng);
+    let (_server, scanner) =
+        drive_workload::<S>(&mut kernel, level, cfg, rep_seed, connections, false)?;
+    let capture = TtyMemoryDump::paper().run(&kernel, &mut rng);
+    Ok((
+        capture.keys_found(&scanner),
+        capture.succeeded(&scanner),
+        capture.disclosed_bytes(),
+    ))
+}
+
+/// Folds per-repetition outcomes — already in deterministic cell order —
+/// into one [`SweepPoint`] per grid point. This is the exact Welford fold
+/// the serial loop always ran, so aggregates are bit-identical too.
+fn fold_points(
+    grid: &[(usize, usize)],
+    repetitions: usize,
+    raw: Vec<SimResult<RepOutcome>>,
+) -> SimResult<Vec<SweepPoint>> {
+    debug_assert_eq!(raw.len(), grid.len() * repetitions);
+    let mut out = Vec::with_capacity(grid.len());
+    let mut cells = raw.into_iter();
+    for &(conns, dirs) in grid {
+        let mut keys = Stats::new();
+        let mut disclosed = Stats::new();
+        let mut successes = 0usize;
+        for _ in 0..repetitions {
+            let (found, ok, bytes) = cells.next().expect("cell count mismatch")?;
+            keys.push(found as f64);
+            disclosed.push(bytes as f64);
+            successes += usize::from(ok);
+        }
+        out.push(SweepPoint {
+            connections: conns,
+            directories: dirs,
+            avg_keys_found: keys.mean(),
+            success_rate: successes as f64 / repetitions as f64,
+            avg_disclosed_bytes: disclosed.mean(),
+        });
+    }
+    Ok(out)
+}
+
+/// The ext2 dirent-leak sweep (Figures 1 and 2; Section 5.2/6.2 re-runs),
+/// executed on the default executor (`HARNESS_THREADS` / available
+/// parallelism). See [`ext2_sweep_on`].
 ///
 /// # Errors
 ///
@@ -122,47 +202,53 @@ pub fn ext2_sweep(
     directories: &[usize],
     cfg: &ExperimentConfig,
 ) -> SimResult<Vec<SweepPoint>> {
-    let mut out = Vec::with_capacity(connections.len() * directories.len());
-    for &conns in connections {
-        for &dirs in directories {
-            let mut keys = Stats::new();
-            let mut disclosed = Stats::new();
-            let mut successes = 0usize;
-            for rep in 0..cfg.repetitions {
-                let rep_seed = cfg
-                    .seed
-                    .wrapping_add(rep as u64)
-                    .wrapping_mul(0x9E37_79B9)
-                    .wrapping_add(conns as u64 ^ (dirs as u64) << 20);
-                let (found, ok, bytes) = match kind {
-                    ServerKind::Ssh => {
-                        run_one_ext2::<SshServer>(level, cfg, rep_seed, conns, dirs)?
-                    }
-                    ServerKind::Apache => {
-                        run_one_ext2::<ApacheServer>(level, cfg, rep_seed, conns, dirs)?
-                    }
-                };
-                keys.push(found as f64);
-                disclosed.push(bytes as f64);
-                successes += usize::from(ok);
-            }
-            out.push(SweepPoint {
-                connections: conns,
-                directories: dirs,
-                avg_keys_found: keys.mean(),
-                success_rate: successes as f64 / cfg.repetitions as f64,
-                avg_disclosed_bytes: disclosed.mean(),
-            });
-        }
-    }
-    Ok(out)
+    ext2_sweep_on(&Executor::from_env(), kind, level, connections, directories, cfg)
 }
 
-/// The n_tty memory-dump sweep (Figures 3, 4, 7, 17, 18).
+/// The ext2 dirent-leak sweep on an explicit executor.
 ///
-/// For every connection count: boot, drive the workload (connections stay
-/// open — the dump races the live server), then run `cfg.repetitions`
-/// dumps and search each.
+/// For every `(connections, directories)` grid point: boot an aged machine,
+/// drive `connections` total connections through the server, close them all,
+/// create `directories` directories, and search the leaked bytes — averaged
+/// over `cfg.repetitions` attacks. Each repetition is one executor cell.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn ext2_sweep_on(
+    exec: &Executor,
+    kind: ServerKind,
+    level: ProtectionLevel,
+    connections: &[usize],
+    directories: &[usize],
+    cfg: &ExperimentConfig,
+) -> SimResult<Vec<SweepPoint>> {
+    let mut grid = Vec::with_capacity(connections.len() * directories.len());
+    for &conns in connections {
+        for &dirs in directories {
+            grid.push((conns, dirs));
+        }
+    }
+    let mut cells = Vec::with_capacity(grid.len() * cfg.repetitions);
+    for &(conns, dirs) in &grid {
+        for rep in 0..cfg.repetitions {
+            cells.push((conns, dirs, rep));
+        }
+    }
+    let raw = exec.run(cells, |_, (conns, dirs, rep)| {
+        let rep_seed = ext2_cell_seed(cfg.seed, conns, dirs, rep);
+        match kind {
+            ServerKind::Ssh => run_one_ext2::<SshServer>(level, cfg, rep_seed, conns, dirs),
+            ServerKind::Apache => {
+                run_one_ext2::<ApacheServer>(level, cfg, rep_seed, conns, dirs)
+            }
+        }
+    });
+    fold_points(&grid, cfg.repetitions, raw)
+}
+
+/// The n_tty memory-dump sweep (Figures 3, 4, 7, 17, 18) on the default
+/// executor. See [`tty_sweep_on`].
 ///
 /// # Errors
 ///
@@ -173,67 +259,41 @@ pub fn tty_sweep(
     connections: &[usize],
     cfg: &ExperimentConfig,
 ) -> SimResult<Vec<SweepPoint>> {
-    let dump = TtyMemoryDump::paper();
-    let mut out = Vec::with_capacity(connections.len());
-    for &conns in connections {
-        let mut keys = Stats::new();
-        let mut disclosed = Stats::new();
-        let mut successes = 0usize;
+    tty_sweep_on(&Executor::from_env(), kind, level, connections, cfg)
+}
+
+/// The n_tty memory-dump sweep on an explicit executor.
+///
+/// For every connection count: boot, drive the workload (connections stay
+/// open — the dump races the live server), then dump and search. Each of the
+/// `cfg.repetitions` dumps is an independent executor cell with its own
+/// machine, server, and RNG.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn tty_sweep_on(
+    exec: &Executor,
+    kind: ServerKind,
+    level: ProtectionLevel,
+    connections: &[usize],
+    cfg: &ExperimentConfig,
+) -> SimResult<Vec<SweepPoint>> {
+    let grid: Vec<(usize, usize)> = connections.iter().map(|&c| (c, 0)).collect();
+    let mut cells = Vec::with_capacity(grid.len() * cfg.repetitions);
+    for &(conns, _) in &grid {
         for rep in 0..cfg.repetitions {
-            let rep_seed = cfg
-                .seed
-                .wrapping_add(rep as u64)
-                .wrapping_mul(0x85EB_CA6B)
-                .wrapping_add(conns as u64);
-            let mut rng = Rng64::new(rep_seed);
-            let mut kernel = cfg.boot_machine(level, &mut rng);
-            let (found, ok, bytes) = match kind {
-                ServerKind::Ssh => {
-                    let (_s, scanner) = drive_workload::<SshServer>(
-                        &mut kernel,
-                        level,
-                        cfg,
-                        rep_seed,
-                        conns,
-                        false,
-                    )?;
-                    let capture = dump.run(&kernel, &mut rng);
-                    (
-                        capture.keys_found(&scanner),
-                        capture.succeeded(&scanner),
-                        capture.disclosed_bytes(),
-                    )
-                }
-                ServerKind::Apache => {
-                    let (_s, scanner) = drive_workload::<ApacheServer>(
-                        &mut kernel,
-                        level,
-                        cfg,
-                        rep_seed,
-                        conns,
-                        false,
-                    )?;
-                    let capture = dump.run(&kernel, &mut rng);
-                    (
-                        capture.keys_found(&scanner),
-                        capture.succeeded(&scanner),
-                        capture.disclosed_bytes(),
-                    )
-                }
-            };
-            keys.push(found as f64);
-            disclosed.push(bytes as f64);
-            successes += usize::from(ok);
+            cells.push((conns, rep));
         }
-        out.push(SweepPoint {
-            connections: conns,
-            directories: 0,
-            avg_keys_found: keys.mean(),
-            success_rate: successes as f64 / cfg.repetitions as f64,
-            avg_disclosed_bytes: disclosed.mean(),
-        });
     }
-    Ok(out)
+    let raw = exec.run(cells, |_, (conns, rep)| {
+        let rep_seed = tty_cell_seed(cfg.seed, conns, rep);
+        match kind {
+            ServerKind::Ssh => run_one_tty::<SshServer>(level, cfg, rep_seed, conns),
+            ServerKind::Apache => run_one_tty::<ApacheServer>(level, cfg, rep_seed, conns),
+        }
+    });
+    fold_points(&grid, cfg.repetitions, raw)
 }
 
 #[cfg(test)]
@@ -287,5 +347,36 @@ mod tests {
         );
         // Integrated still succeeds sometimes (the ~50% ceiling).
         assert!(integrated[0].success_rate < 1.0);
+    }
+
+    #[test]
+    fn cell_seeds_depend_only_on_coordinates() {
+        assert_eq!(ext2_cell_seed(1, 50, 1000, 0), ext2_cell_seed(1, 50, 1000, 0));
+        assert_ne!(ext2_cell_seed(1, 50, 1000, 0), ext2_cell_seed(1, 50, 1000, 1));
+        assert_ne!(ext2_cell_seed(1, 50, 1000, 0), ext2_cell_seed(2, 50, 1000, 0));
+        assert_eq!(tty_cell_seed(7, 20, 3), tty_cell_seed(7, 20, 3));
+        assert_ne!(tty_cell_seed(7, 20, 3), tty_cell_seed(7, 40, 3));
+    }
+
+    #[test]
+    fn subgrid_reproduces_full_grid_points() {
+        // Because cells seed from coordinates, dropping grid points (or
+        // reordering them) cannot change any shared point's result.
+        let cfg = ExperimentConfig::test();
+        let full = ext2_sweep(
+            ServerKind::Ssh,
+            ProtectionLevel::None,
+            &[20, 40],
+            &[200, 400],
+            &cfg,
+        )
+        .unwrap();
+        let single = ext2_sweep(ServerKind::Ssh, ProtectionLevel::None, &[40], &[200], &cfg)
+            .unwrap();
+        let shared = full
+            .iter()
+            .find(|p| p.connections == 40 && p.directories == 200)
+            .unwrap();
+        assert_eq!(*shared, single[0]);
     }
 }

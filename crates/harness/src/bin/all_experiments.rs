@@ -2,47 +2,73 @@
 //! writes `results/` plus a summary to stdout.
 //!
 //! ```text
-//! cargo run --release -p harness --bin all_experiments -- [--paper|--quick|--test] [--out DIR]
+//! cargo run --release -p harness --bin all_experiments -- [--paper|--quick|--test]
+//!     [--out DIR] [--threads N] [--no-speedup-probe]
 //! ```
 //!
 //! `--quick` (the default) finishes in a few minutes; `--paper` uses the
 //! paper's full 256 MB / RSA-1024 / 15-repetition parameters and takes much
-//! longer.
+//! longer. Sweeps run on the work-stealing executor (`--threads`, or
+//! `HARNESS_THREADS`, default: available parallelism) and report wall-clock
+//! plus cells/sec; results are bit-identical at any thread count. A final
+//! probe re-runs one representative sweep serially and in parallel and
+//! prints the measured speedup (skip with `--no-speedup-probe`).
 
-use harness::attack_sweep::{ext2_sweep, tty_sweep};
+use harness::attack_sweep::{ext2_sweep_on, tty_sweep_on};
 use harness::baselines::{compare_strategies, render_table};
 use harness::cli::Args;
+use harness::exec::{ExecReport, Executor};
 use harness::plot::{sweep_lines_svg, timeline_counts_svg, timeline_locations_svg};
 use harness::perf::{overhead_percent, run_perf, PerfConfig};
 use harness::report::{
     perf_table, sweep_grid_dat, sweep_line_dat, timeline_ascii, timeline_counts_dat,
     timeline_locations_dat, write_dat,
 };
-use harness::timeline::{run_timeline, Schedule};
+use harness::timeline::{run_timelines, Schedule};
 use harness::{ExperimentConfig, ServerKind};
 use keyguard::ProtectionLevel;
 use std::path::Path;
+use std::time::Instant;
 
 fn main() {
     let args = Args::parse();
     let cfg = args.experiment_config();
+    let exec = args.executor();
     let out = args.out_dir();
     println!(
-        "memory-disclosure reproduction suite: {} MB RAM, RSA-{}, {} reps -> {}/",
+        "memory-disclosure reproduction suite: {} MB RAM, RSA-{}, {} reps, {} threads -> {}/",
         cfg.mem_bytes / (1024 * 1024),
         cfg.key_bits,
         cfg.repetitions,
+        exec.threads(),
         out.display()
     );
 
-    run_attack_figures(&cfg, &out, args.has("paper"));
-    run_timelines(&cfg, &out);
+    let wall = Instant::now();
+    run_attack_figures(&exec, &cfg, &out, args.has("paper"));
+    run_timeline_figures(&exec, &cfg, &out);
     run_perf_figures(&cfg, &out, args.has("paper"));
     run_baselines(&cfg, &out);
-    println!("\nAll experiments complete. Data written under {}/", out.display());
+    println!(
+        "\nAll experiments complete in {:.1}s. Data written under {}/",
+        wall.elapsed().as_secs_f64(),
+        out.display()
+    );
+    if !args.has("no-speedup-probe") {
+        speedup_probe(&exec, &cfg);
+    }
 }
 
-fn run_attack_figures(cfg: &ExperimentConfig, out: &Path, paper_scale: bool) {
+/// Times one sweep call and prints its executor throughput line.
+fn timed<T>(exec: &Executor, cells: usize, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let result = f();
+    let report = ExecReport::new(cells, exec.threads(), start.elapsed());
+    println!("  {report}");
+    result
+}
+
+fn run_attack_figures(exec: &Executor, cfg: &ExperimentConfig, out: &Path, paper_scale: bool) {
     let (conn_grid, dir_grid) = if paper_scale {
         (
             harness::attack_sweep::paper_connection_grid(),
@@ -62,22 +88,27 @@ fn run_attack_figures(cfg: &ExperimentConfig, out: &Path, paper_scale: bool) {
         // Figures 1–2: ext2 sweep, unprotected.
         let fig = if kind == ServerKind::Ssh { "fig1" } else { "fig2" };
         println!("\n[{fig}] ext2 sweep / {kind} / unprotected");
-        let pts = ext2_sweep(kind, ProtectionLevel::None, &conn_grid, &dir_grid, cfg)
-            .expect("ext2 sweep");
+        let pts = timed(exec, conn_grid.len() * dir_grid.len() * cfg.repetitions, || {
+            ext2_sweep_on(exec, kind, ProtectionLevel::None, &conn_grid, &dir_grid, cfg)
+                .expect("ext2 sweep")
+        });
         summarize_sweep(&pts);
         write_dat(out, &format!("{fig}_{}_none_ext2.dat", kind.label()), &sweep_grid_dat(&pts))
             .expect("write");
 
         // §5.2/6.2 re-exam: ext2 after kernel-level protection (expect zero).
         println!("[{fig}-reexam] ext2 sweep / {kind} / kernel level");
-        let pts = ext2_sweep(
-            kind,
-            ProtectionLevel::Kernel,
-            &[*conn_grid.last().unwrap()],
-            &[*dir_grid.last().unwrap()],
-            cfg,
-        )
-        .expect("ext2 reexam");
+        let pts = timed(exec, cfg.repetitions, || {
+            ext2_sweep_on(
+                exec,
+                kind,
+                ProtectionLevel::Kernel,
+                &[*conn_grid.last().unwrap()],
+                &[*dir_grid.last().unwrap()],
+                cfg,
+            )
+            .expect("ext2 reexam")
+        });
         summarize_sweep(&pts);
         write_dat(
             out,
@@ -89,7 +120,9 @@ fn run_attack_figures(cfg: &ExperimentConfig, out: &Path, paper_scale: bool) {
         // Figures 3–4: tty sweep, unprotected.
         let fig = if kind == ServerKind::Ssh { "fig3" } else { "fig4" };
         println!("[{fig}] tty sweep / {kind} / unprotected");
-        let before = tty_sweep(kind, ProtectionLevel::None, &tty_grid, &tty_cfg).expect("tty");
+        let before = timed(exec, tty_grid.len() * tty_cfg.repetitions, || {
+            tty_sweep_on(exec, kind, ProtectionLevel::None, &tty_grid, &tty_cfg).expect("tty")
+        });
         summarize_sweep(&before);
         write_dat(out, &format!("{fig}_{}_none_tty.dat", kind.label()), &sweep_line_dat(&before))
             .expect("write");
@@ -97,8 +130,10 @@ fn run_attack_figures(cfg: &ExperimentConfig, out: &Path, paper_scale: bool) {
         // Figures 7 / 17–18: tty sweep, integrated.
         let fig = if kind == ServerKind::Ssh { "fig7" } else { "fig17_18" };
         println!("[{fig}] tty sweep / {kind} / integrated");
-        let after =
-            tty_sweep(kind, ProtectionLevel::Integrated, &tty_grid, &tty_cfg).expect("tty");
+        let after = timed(exec, tty_grid.len() * tty_cfg.repetitions, || {
+            tty_sweep_on(exec, kind, ProtectionLevel::Integrated, &tty_grid, &tty_cfg)
+                .expect("tty")
+        });
         summarize_sweep(&after);
         write_dat(out, &format!("{fig}_{}_all_tty.dat", kind.label()), &sweep_line_dat(&after))
             .expect("write");
@@ -111,31 +146,36 @@ fn run_attack_figures(cfg: &ExperimentConfig, out: &Path, paper_scale: bool) {
     }
 }
 
-fn run_timelines(cfg: &ExperimentConfig, out: &Path) {
+fn run_timeline_figures(exec: &Executor, cfg: &ExperimentConfig, out: &Path) {
     let schedule = Schedule::paper();
-    for kind in ServerKind::ALL {
-        for level in ProtectionLevel::ALL {
-            println!("\n[timeline] {kind} / {level}");
-            let tl = run_timeline(kind, level, cfg, &schedule).expect("timeline");
-            print!("{}", timeline_ascii(&tl, 40));
-            let base = format!("{}_{}", kind.label(), level.label());
-            write_dat(out, &format!("timeline_{base}_counts.dat"), &timeline_counts_dat(&tl))
-                .expect("write");
-            write_dat(
-                out,
-                &format!("timeline_{base}_locations.dat"),
-                &timeline_locations_dat(&tl),
-            )
+    let jobs: Vec<(ServerKind, ProtectionLevel)> = ServerKind::ALL
+        .into_iter()
+        .flat_map(|kind| ProtectionLevel::ALL.into_iter().map(move |level| (kind, level)))
+        .collect();
+    println!("\n[timelines] {} runs across {} threads", jobs.len(), exec.threads());
+    let timelines = timed(exec, jobs.len(), || {
+        run_timelines(exec, &jobs, cfg, &schedule).expect("timeline")
+    });
+    for ((kind, level), tl) in jobs.into_iter().zip(timelines) {
+        println!("\n[timeline] {kind} / {level}");
+        print!("{}", timeline_ascii(&tl, 40));
+        let base = format!("{}_{}", kind.label(), level.label());
+        write_dat(out, &format!("timeline_{base}_counts.dat"), &timeline_counts_dat(&tl))
             .expect("write");
-            write_dat(
-                out,
-                &format!("timeline_{base}_locations.svg"),
-                &timeline_locations_svg(&tl, cfg.mem_bytes),
-            )
+        write_dat(
+            out,
+            &format!("timeline_{base}_locations.dat"),
+            &timeline_locations_dat(&tl),
+        )
+        .expect("write");
+        write_dat(
+            out,
+            &format!("timeline_{base}_locations.svg"),
+            &timeline_locations_svg(&tl, cfg.mem_bytes),
+        )
+        .expect("write");
+        write_dat(out, &format!("timeline_{base}_counts.svg"), &timeline_counts_svg(&tl))
             .expect("write");
-            write_dat(out, &format!("timeline_{base}_counts.svg"), &timeline_counts_svg(&tl))
-                .expect("write");
-        }
     }
 }
 
@@ -176,5 +216,34 @@ fn summarize_sweep(points: &[harness::attack_sweep::SweepPoint]) {
         first.success_rate * 100.0,
         last.avg_keys_found,
         last.success_rate * 100.0
+    );
+}
+
+/// Re-runs one representative sweep (the fig3 tty sweep) serially and on
+/// the configured executor, and prints the measured wall-clock speedup —
+/// the number the ROADMAP's "fast as the hardware allows" goal tracks.
+fn speedup_probe(exec: &Executor, cfg: &ExperimentConfig) {
+    let grid = vec![0, 20, 60, 120];
+    let probe_cfg = cfg.with_repetitions(cfg.repetitions.max(10));
+    let cells = grid.len() * probe_cfg.repetitions;
+    println!("\n[speedup probe] fig3 tty sweep, serial vs {} threads", exec.threads());
+
+    let start = Instant::now();
+    let serial = tty_sweep_on(&Executor::serial(), ServerKind::Ssh, ProtectionLevel::None, &grid, &probe_cfg)
+        .expect("serial probe");
+    let serial_report = ExecReport::new(cells, 1, start.elapsed());
+    println!("  serial:   {serial_report}");
+
+    let start = Instant::now();
+    let parallel = tty_sweep_on(exec, ServerKind::Ssh, ProtectionLevel::None, &grid, &probe_cfg)
+        .expect("parallel probe");
+    let parallel_report = ExecReport::new(cells, exec.threads(), start.elapsed());
+    println!("  parallel: {parallel_report}");
+
+    assert_eq!(serial, parallel, "parallel sweep must be bit-identical to serial");
+    let speedup = serial_report.wall.as_secs_f64() / parallel_report.wall.as_secs_f64().max(1e-9);
+    println!(
+        "  speedup: {speedup:.2}x with {} threads (results bit-identical)",
+        exec.threads()
     );
 }

@@ -5,10 +5,16 @@
 //! cargo run --release -p harness --bin fig1_2 -- [--paper|--quick|--test]
 //!     [--server ssh|apache|both] [--level none|app|lib|kernel|integrated]
 //!     [--reps N] [--mem-mb M] [--key-bits B] [--out DIR] [--full-grid]
+//!     [--threads N]
 //! ```
+//!
+//! Repetitions run as independent cells on the work-stealing executor
+//! (`--threads` / `HARNESS_THREADS`); output is bit-identical at any
+//! thread count.
 
-use harness::attack_sweep::{ext2_sweep, paper_connection_grid, paper_directory_grid};
+use harness::attack_sweep::{ext2_sweep_on, paper_connection_grid, paper_directory_grid};
 use harness::cli::Args;
+use harness::exec::ExecReport;
 use harness::plot::sweep_grid_svg;
 use harness::report::{sweep_grid_dat, write_dat};
 use harness::ServerKind;
@@ -17,6 +23,7 @@ use keyguard::ProtectionLevel;
 fn main() {
     let args = Args::parse();
     let cfg = args.experiment_config();
+    let exec = args.executor();
     let level = args
         .get("level")
         .map(|l| ProtectionLevel::from_label(l).expect("unknown --level"))
@@ -43,8 +50,15 @@ fn main() {
             cfg.key_bits,
             cfg.repetitions
         );
-        let points =
-            ext2_sweep(kind, level, &connections, &directories, &cfg).expect("sweep failed");
+        let start = std::time::Instant::now();
+        let points = ext2_sweep_on(&exec, kind, level, &connections, &directories, &cfg)
+            .expect("sweep failed");
+        let report = ExecReport::new(
+            connections.len() * directories.len() * cfg.repetitions,
+            exec.threads(),
+            start.elapsed(),
+        );
+        println!("   {report}");
         println!(
             "{:>12} {:>12} {:>10} {:>9}",
             "connections", "directories", "avg keys", "success"

@@ -3,17 +3,23 @@
 //!
 //! ```text
 //! cargo run --release -p harness --bin fig3_4 -- [--paper|--quick|--test]
-//!     [--server ssh|apache|both] [--level L] [--reps N] [--out DIR]
+//!     [--server ssh|apache|both] [--level L] [--reps N] [--out DIR] [--threads N]
 //! ```
+//!
+//! Repetitions run as independent cells on the work-stealing executor
+//! (`--threads` / `HARNESS_THREADS`); output is bit-identical at any
+//! thread count.
 
-use harness::attack_sweep::{paper_tty_connection_grid, tty_sweep};
+use harness::attack_sweep::{paper_tty_connection_grid, tty_sweep_on};
 use harness::cli::Args;
+use harness::exec::ExecReport;
 use harness::report::{sweep_line_dat, write_dat};
 use harness::ServerKind;
 use keyguard::ProtectionLevel;
 
 fn main() {
     let args = Args::parse();
+    let exec = args.executor();
     let mut cfg = args.experiment_config();
     if !args.has("paper") && args.get("reps").is_none() {
         cfg.repetitions = cfg.repetitions.max(10); // success rates need samples
@@ -38,7 +44,11 @@ fn main() {
             ServerKind::Apache => "fig4",
         };
         println!("== {fig}: n_tty dump sweep, server={kind}, level={level} ==");
-        let points = tty_sweep(kind, level, &connections, &cfg).expect("sweep failed");
+        let start = std::time::Instant::now();
+        let points = tty_sweep_on(&exec, kind, level, &connections, &cfg).expect("sweep failed");
+        let report =
+            ExecReport::new(connections.len() * cfg.repetitions, exec.threads(), start.elapsed());
+        println!("   {report}");
         println!("{:>12} {:>10} {:>9} {:>14}", "connections", "avg keys", "success", "disclosed MB");
         for p in &points {
             println!(

@@ -3,11 +3,16 @@
 //!
 //! ```text
 //! cargo run --release -p harness --bin fig7_17_18 -- [--paper|--quick|--test]
-//!     [--server ssh|apache|both] [--reps N] [--out DIR]
+//!     [--server ssh|apache|both] [--reps N] [--out DIR] [--threads N]
 //! ```
+//!
+//! Repetitions run as independent cells on the work-stealing executor
+//! (`--threads` / `HARNESS_THREADS`); output is bit-identical at any
+//! thread count.
 
-use harness::attack_sweep::{paper_tty_connection_grid, tty_sweep};
+use harness::attack_sweep::{paper_tty_connection_grid, tty_sweep_on};
 use harness::cli::Args;
+use harness::exec::ExecReport;
 use harness::plot::sweep_lines_svg;
 use harness::report::{sweep_line_dat, write_dat};
 use harness::ServerKind;
@@ -15,6 +20,7 @@ use keyguard::ProtectionLevel;
 
 fn main() {
     let args = Args::parse();
+    let exec = args.executor();
     let mut cfg = args.experiment_config();
     if !args.has("paper") && args.get("reps").is_none() {
         cfg.repetitions = cfg.repetitions.max(10);
@@ -35,10 +41,17 @@ fn main() {
             ServerKind::Apache => "fig17_18",
         };
         println!("== {fig}: tty attack before/after integrated solution, server={kind} ==");
-        let before = tty_sweep(kind, ProtectionLevel::None, &connections, &cfg)
+        let start = std::time::Instant::now();
+        let before = tty_sweep_on(&exec, kind, ProtectionLevel::None, &connections, &cfg)
             .expect("baseline sweep failed");
-        let after = tty_sweep(kind, ProtectionLevel::Integrated, &connections, &cfg)
+        let after = tty_sweep_on(&exec, kind, ProtectionLevel::Integrated, &connections, &cfg)
             .expect("protected sweep failed");
+        let report = ExecReport::new(
+            2 * connections.len() * cfg.repetitions,
+            exec.threads(),
+            start.elapsed(),
+        );
+        println!("   {report}");
 
         println!(
             "{:>12} | {:>10} {:>9} | {:>10} {:>9}",

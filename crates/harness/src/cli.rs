@@ -95,6 +95,24 @@ impl Args {
     pub fn out_dir(&self) -> std::path::PathBuf {
         std::path::PathBuf::from(self.get("out").unwrap_or("results"))
     }
+
+    /// The experiment executor: `--threads N` if given, else
+    /// `HARNESS_THREADS`, else the machine's available parallelism.
+    /// `--threads 1` is the serial reference oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--threads` does not parse as a number.
+    #[must_use]
+    pub fn executor(&self) -> crate::exec::Executor {
+        match self.get("threads") {
+            Some(v) => crate::exec::Executor::new(
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--threads expects a number, got {v:?}")),
+            ),
+            None => crate::exec::Executor::from_env(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +149,15 @@ mod tests {
     #[should_panic(expected = "unexpected argument")]
     fn rejects_positional_arguments() {
         let _ = args(&["positional"]);
+    }
+
+    #[test]
+    fn threads_flag_builds_executor() {
+        assert_eq!(args(&["--threads", "3"]).executor().threads(), 3);
+        assert_eq!(args(&["--threads", "0"]).executor().threads(), 1);
+        // Without the flag the executor resolves from the environment;
+        // whatever it picks must be at least one worker.
+        assert!(args(&[]).executor().threads() >= 1);
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Work-stealing parallel experiment executor.
+//!
+//! Every sweep and batch in this crate decomposes into independent *cells* —
+//! one `(config, grid-point, repetition)` unit of work whose result depends
+//! only on its own inputs and its own RNG stream. The [`Executor`] runs those
+//! cells across `N` worker threads pulling from a shared work queue, then
+//! hands the results back **in cell order**, so aggregation downstream is
+//! byte-for-byte the same loop the serial code always ran.
+//!
+//! Determinism is the load-bearing design constraint:
+//!
+//! * cells never share mutable state — each builds its kernel, server, and
+//!   RNG from scratch out of a per-cell seed;
+//! * per-cell seeds are a pure function of the root seed and the cell's
+//!   coordinates (see [`cell_seed`]), never of execution order;
+//! * results are merged in deterministic cell-index order, so even
+//!   order-sensitive folds (Welford's [`simrng::Stats`]) see the exact
+//!   sequence the serial path produces.
+//!
+//! Consequently the executor is **bit-identical to the serial path at any
+//! thread count**; `threads = 1` short-circuits to a plain loop and serves
+//! as the reference oracle the equivalence tests compare against
+//! (`crates/harness/tests/determinism.rs`).
+
+use simrng::Rng64;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Environment variable consulted for the default thread count.
+pub const THREADS_ENV: &str = "HARNESS_THREADS";
+
+/// Derives the seed for one cell from the root seed and the cell's stable
+/// coordinates (grid indices, repetition number, …).
+///
+/// This is the [`Rng64::fork`] discipline lifted to random access: the root
+/// seed is forked once, then each coordinate folds into the stream through a
+/// full SplitMix expansion, so neighbouring coordinates land in statistically
+/// independent streams. The result depends only on `(root, coords)` — not on
+/// which other cells exist or in what order they run — which is what makes
+/// sweeps decomposable and sub-grids reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use harness::exec::cell_seed;
+///
+/// let a = cell_seed(7, &[1, 2]);
+/// assert_eq!(a, cell_seed(7, &[1, 2]));
+/// assert_ne!(a, cell_seed(7, &[2, 1]));
+/// assert_ne!(a, cell_seed(8, &[1, 2]));
+/// ```
+#[must_use]
+pub fn cell_seed(root: u64, coords: &[u64]) -> u64 {
+    // The same tweak constant `Rng64::fork` applies to its parent draw.
+    let mut seed = Rng64::new(root).next_u64() ^ 0xA076_1D64_78BD_642F;
+    for &c in coords {
+        seed = Rng64::new(seed ^ c.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64();
+    }
+    seed
+}
+
+/// A fixed-size pool of worker threads draining a shared cell queue.
+///
+/// # Examples
+///
+/// ```
+/// use harness::exec::Executor;
+///
+/// let squares = Executor::new(4).run((0u64..100).collect(), |_, x| x * x);
+/// assert_eq!(squares[7], 49);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor with exactly `threads` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The serial reference oracle: one thread, plain in-order loop.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Resolves the default thread count: `HARNESS_THREADS` if set and
+    /// parseable, otherwise the machine's available parallelism.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+        Self::new(threads)
+    }
+
+    /// Worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` over every cell and returns the results **in cell order**,
+    /// regardless of which worker finished which cell when.
+    ///
+    /// `f` receives the cell's index and the cell itself; it must derive all
+    /// randomness from those (via [`cell_seed`] or an equivalent pure
+    /// function) for the parallel run to be bit-identical to the serial one.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first worker panic after all workers have stopped.
+    pub fn run<C, T, F>(&self, cells: Vec<C>, f: F) -> Vec<T>
+    where
+        C: Send,
+        T: Send,
+        F: Fn(usize, C) -> T + Sync,
+    {
+        let n = cells.len();
+        if self.threads == 1 || n <= 1 {
+            // The serial path: the oracle every thread count must match.
+            return cells.into_iter().enumerate().map(|(i, c)| f(i, c)).collect();
+        }
+
+        // Shared work queue: `next` is the claim cursor, the slots hand each
+        // worker ownership of its cell. Idle workers steal the next
+        // unclaimed index, so load balances even when cell costs vary.
+        let queue = Mutex::new((0usize, cells.into_iter().map(Some).collect::<Vec<_>>()));
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| loop {
+                    let (idx, cell) = {
+                        let mut q = queue.lock().expect("executor queue poisoned");
+                        let idx = q.0;
+                        if idx >= n {
+                            break;
+                        }
+                        q.0 += 1;
+                        (idx, q.1[idx].take().expect("cell claimed twice"))
+                    };
+                    let out = f(idx, cell);
+                    *results[idx].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker exited without storing its result")
+            })
+            .collect()
+    }
+
+    /// Like [`Self::run`], but also measures wall-clock and throughput.
+    pub fn run_timed<C, T, F>(&self, cells: Vec<C>, f: F) -> (Vec<T>, ExecReport)
+    where
+        C: Send,
+        T: Send,
+        F: Fn(usize, C) -> T + Sync,
+    {
+        let cell_count = cells.len();
+        let start = Instant::now();
+        let out = self.run(cells, f);
+        let report = ExecReport::new(cell_count, self.threads, start.elapsed());
+        (out, report)
+    }
+}
+
+impl Default for Executor {
+    /// Equivalent to [`Executor::from_env`].
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Wall-clock accounting for one executor batch, printed by the experiment
+/// binaries so sweep throughput (and any regression in it) is visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Cells executed.
+    pub cells: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total wall-clock for the batch.
+    pub wall: Duration,
+}
+
+impl ExecReport {
+    /// Builds a report from raw measurements.
+    #[must_use]
+    pub fn new(cells: usize, threads: usize, wall: Duration) -> Self {
+        Self {
+            cells,
+            threads,
+            wall,
+        }
+    }
+
+    /// Cells completed per wall-clock second.
+    #[must_use]
+    pub fn cells_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.cells as f64 / secs
+        }
+    }
+
+    /// One-line human summary, e.g. `120 cells in 1.84s (65.2 cells/s, 4 threads)`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cells in {:.2}s ({:.1} cells/s, {} thread{})",
+            self.cells,
+            self.wall.as_secs_f64(),
+            self.cells_per_sec(),
+            self.threads,
+            if self.threads == 1 { "" } else { "s" }
+        )
+    }
+}
+
+impl core::fmt::Display for ExecReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_on_pure_cells() {
+        let cells: Vec<u64> = (0..257).collect();
+        let serial = Executor::serial().run(cells.clone(), |i, c| {
+            cell_seed(42, &[i as u64, c])
+        });
+        for threads in [2, 3, 8] {
+            let parallel = Executor::new(threads).run(cells.clone(), |i, c| {
+                cell_seed(42, &[i as u64, c])
+            });
+            assert_eq!(serial, parallel, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_cell_order() {
+        // Cell cost varies wildly; completion order must not matter.
+        let out = Executor::new(4).run((0usize..64).collect(), |i, c| {
+            if c % 7 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            i * 10 + c % 10
+        });
+        let expected: Vec<usize> = (0..64).map(|c| c * 10 + c % 10).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn input_order_determines_output_order_not_values() {
+        // Reordering the cell list permutes the outputs identically: a
+        // cell's value is a function of the cell alone.
+        let fwd = Executor::new(3).run((0u64..40).collect(), |_, c| cell_seed(9, &[c]));
+        let mut rev = Executor::new(3).run((0u64..40).rev().collect(), |_, c| cell_seed(9, &[c]));
+        rev.reverse();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn empty_and_single_cell_batches_work() {
+        let empty: Vec<u8> = Executor::new(4).run(Vec::<u8>::new(), |_, c| c);
+        assert!(empty.is_empty());
+        assert_eq!(Executor::new(4).run(vec![9u8], |i, c| c + i as u8), vec![9]);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_and_reported() {
+        assert_eq!(Executor::new(0).threads(), 1);
+        assert_eq!(Executor::serial().threads(), 1);
+        assert_eq!(Executor::new(6).threads(), 6);
+    }
+
+    #[test]
+    fn cell_seed_is_stable_and_sensitive() {
+        assert_eq!(cell_seed(1, &[2, 3]), cell_seed(1, &[2, 3]));
+        assert_ne!(cell_seed(1, &[2, 3]), cell_seed(1, &[3, 2]));
+        assert_ne!(cell_seed(1, &[2, 3]), cell_seed(2, &[2, 3]));
+        assert_ne!(cell_seed(1, &[]), cell_seed(1, &[0]));
+        // Low-entropy coordinate grids must still spread over u64 space:
+        // all seeds of a 32x32 grid are distinct.
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..32u64 {
+            for b in 0..32u64 {
+                assert!(seen.insert(cell_seed(0, &[a, b])), "collision at {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn timed_run_reports_throughput() {
+        let (out, report) = Executor::new(2).run_timed((0u32..10).collect(), |_, c| c);
+        assert_eq!(out.len(), 10);
+        assert_eq!(report.cells, 10);
+        assert_eq!(report.threads, 2);
+        assert!(report.cells_per_sec() > 0.0);
+        assert!(report.summary().contains("10 cells"));
+        assert!(ExecReport::new(5, 1, Duration::ZERO).cells_per_sec() == 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn worker_panics_propagate() {
+        Executor::new(2).run((0..8).collect::<Vec<i32>>(), |_, c| {
+            assert!(c != 5, "worker cell failure");
+            c
+        });
+    }
+}

@@ -13,6 +13,10 @@
 //! them as the gnuplot-style `.dat` series the paper's plots were built from
 //! plus human-readable summaries. The `all_experiments` binary runs the full
 //! set and writes `results/`.
+//!
+//! Sweeps and batches run on the [`exec`] work-stealing executor
+//! (`--threads` / `HARNESS_THREADS`); results are bit-identical to the
+//! serial path at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +24,7 @@
 pub mod attack_sweep;
 pub mod baselines;
 pub mod cli;
+pub mod exec;
 pub mod perf;
 pub mod plot;
 pub mod report;

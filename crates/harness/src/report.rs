@@ -124,6 +124,41 @@ pub fn perf_table(before: &PerfResult, after: &PerfResult) -> String {
     out
 }
 
+/// Renders a scenario outcome as a stable, diff-friendly golden summary:
+/// one `tick` row per tick (counts plus an FNV-1a checksum of the exact
+/// copy locations, so bit-level drift fails the snapshot without checking
+/// in megabytes of scatter data) and one `attack` row per attack event.
+///
+/// Used by the golden snapshot tests under `crates/harness/tests/golden/`.
+#[must_use]
+pub fn scenario_golden(outcome: &crate::scenario::ScenarioOutcome) -> String {
+    let tl = &outcome.timeline;
+    let mut out = String::new();
+    let _ = writeln!(out, "server {} level {}", tl.kind_label, tl.level.label());
+    for p in &tl.points {
+        let mut fnv: u64 = 0xCBF2_9CE4_8422_2325;
+        for &(off, alloc) in &p.locations {
+            for byte in off.to_le_bytes().into_iter().chain([u8::from(alloc)]) {
+                fnv ^= u64::from(byte);
+                fnv = fnv.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "tick {:>2} allocated {:>3} unallocated {:>3} locations {:016x}",
+            p.t, p.allocated, p.unallocated, fnv
+        );
+    }
+    for a in &outcome.attacks {
+        let _ = writeln!(
+            out,
+            "attack t={} kind={} keys={} succeeded={} disclosed={}",
+            a.t, a.kind, a.keys_found, a.succeeded, a.disclosed_bytes
+        );
+    }
+    out
+}
+
 /// Writes a string to `dir/name`, creating `dir` if needed.
 ///
 /// # Errors

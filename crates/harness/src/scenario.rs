@@ -304,6 +304,19 @@ impl Scenario {
         self.end
     }
 
+    /// Runs a batch of scenarios on the given executor — one cell per
+    /// scenario — returning outcomes in input order.
+    ///
+    /// Every scenario owns its machine and seed, so the batch is
+    /// bit-identical to calling [`Self::run`] in a loop at any thread
+    /// count.
+    pub fn run_batch(
+        exec: &crate::exec::Executor,
+        scenarios: &[Self],
+    ) -> Vec<Result<ScenarioOutcome, SimError>> {
+        exec.run(scenarios.iter().collect(), |_, s: &Self| s.run())
+    }
+
     /// Executes the scenario.
     ///
     /// # Errors

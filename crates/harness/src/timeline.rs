@@ -213,6 +213,30 @@ pub fn run_timeline(
     }
 }
 
+/// Runs a batch of timelines — one cell per `(server, level)` job — on the
+/// given executor, returning results in job order.
+///
+/// Each timeline is internally sequential (it *is* a timeline), but the
+/// jobs are independent: every run boots its own kernel from
+/// `cfg.seed ^ 0x71ED_11E5`, so batch results are bit-identical to calling
+/// [`run_timeline`] in a loop.
+///
+/// # Errors
+///
+/// Propagates the first simulator error in job order.
+pub fn run_timelines(
+    exec: &crate::exec::Executor,
+    jobs: &[(ServerKind, ProtectionLevel)],
+    cfg: &ExperimentConfig,
+    schedule: &Schedule,
+) -> SimResult<Vec<Timeline>> {
+    exec.run(jobs.to_vec(), |_, (kind, level)| {
+        run_timeline(kind, level, cfg, schedule)
+    })
+    .into_iter()
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

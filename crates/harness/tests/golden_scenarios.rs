@@ -1,0 +1,108 @@
+//! Golden snapshot tests: every scenario shipped under `scenarios/` runs
+//! through the parallel executor with its fixed seed and must reproduce the
+//! checked-in summary under `tests/golden/` byte for byte.
+//!
+//! This pins the *experiments themselves*, not just the harness code: any
+//! change that shifts a key copy, an attack outcome, or a tick count fails
+//! `cargo test` instead of silently drifting the reproduction away from the
+//! recorded results.
+//!
+//! To intentionally re-record after a deliberate simulation change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p harness --test golden_scenarios
+//! ```
+//!
+//! then review and commit the diff under `crates/harness/tests/golden/`.
+
+use harness::exec::Executor;
+use harness::report::scenario_golden;
+use harness::scenario::Scenario;
+use std::path::PathBuf;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+#[test]
+fn shipped_scenarios_match_golden_snapshots() {
+    let scenarios_dir = repo_path("../../scenarios");
+    let golden_dir = repo_path("tests/golden");
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&scenarios_dir)
+        .expect("scenarios dir exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 5, "expected the shipped scenario scripts, got {paths:?}");
+
+    let scenarios: Vec<Scenario> = paths
+        .iter()
+        .map(|p| {
+            Scenario::parse(&std::fs::read_to_string(p).unwrap())
+                .unwrap_or_else(|e| panic!("{}: {e}", p.display()))
+        })
+        .collect();
+
+    // Run the whole batch through the parallel executor: the snapshots
+    // therefore also guard the executor's determinism on every CI run.
+    let outcomes = Scenario::run_batch(&Executor::new(4), &scenarios);
+
+    let mut failures = Vec::new();
+    for (path, outcome) in paths.iter().zip(outcomes) {
+        let outcome = outcome.unwrap_or_else(|e| panic!("{} failed: {e:?}", path.display()));
+        let stem = path.file_stem().unwrap().to_str().unwrap();
+        let rendered = scenario_golden(&outcome);
+        let golden_path = golden_dir.join(format!("{stem}.golden.txt"));
+
+        if update {
+            std::fs::create_dir_all(&golden_dir).unwrap();
+            std::fs::write(&golden_path, &rendered).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden snapshot {} ({e}); run with UPDATE_GOLDEN=1 to record",
+                golden_path.display()
+            )
+        });
+        if rendered != expected {
+            failures.push(format!(
+                "{stem}: output drifted from {}\n--- expected\n{expected}--- got\n{rendered}",
+                golden_path.display()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} scenario snapshot(s) drifted (UPDATE_GOLDEN=1 re-records after deliberate \
+         changes):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn golden_renderer_is_stable_and_complete() {
+    let script = "\
+machine mem-mb 16
+server ssh level none key-bits 256
+at 1 start
+at 2 concurrency 4
+at 3 attack ext2 300
+end 5
+";
+    let scenario = Scenario::parse(script).unwrap();
+    let a = scenario_golden(&scenario.run().unwrap());
+    let b = scenario_golden(&scenario.run().unwrap());
+    assert_eq!(a, b, "rendering and the run itself must be deterministic");
+    assert!(a.starts_with("server openssh level none\n"));
+    assert_eq!(a.matches("\ntick ").count() + 1, 5 + 1, "one row per tick");
+    assert!(a.contains("attack t=3 kind=ext2"));
+    // Location checksums react to content: tick 0 (empty memory) and a
+    // loaded tick cannot share a checksum line.
+    let lines: Vec<&str> = a.lines().collect();
+    assert_ne!(lines[1], lines[4]);
+}

@@ -1,0 +1,120 @@
+//! Property tests for [`Rng64::fork`] stream independence.
+//!
+//! The parallel experiment executor seeds every cell by forking the root
+//! seed (see `harness::exec::cell_seed`), so experiment validity now rests
+//! on forked streams being statistically independent of their parent and of
+//! each other: no overlap, no correlation, and per-stream uniformity. The
+//! chi-square machinery runs on the existing [`Stats`] accumulator.
+
+use simrng::{propcheck, Rng64, Stats};
+use std::collections::HashSet;
+
+/// Draws per stream in the overlap / correlation checks.
+const DRAWS: usize = 512;
+
+/// Chi-square over `BUCKETS` equiprobable bins of the top output bits.
+const BUCKETS: usize = 64;
+const CHI_SAMPLES: usize = 4096;
+
+fn chi_square_top_bits(rng: &mut Rng64) -> f64 {
+    let mut counts = [0u32; BUCKETS];
+    for _ in 0..CHI_SAMPLES {
+        counts[(rng.next_u64() >> 58) as usize] += 1;
+    }
+    let expected = CHI_SAMPLES as f64 / BUCKETS as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = f64::from(c) - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+#[test]
+fn forked_streams_never_overlap_their_parent() {
+    // A 64-bit generator emitting 2*512 values collides with probability
+    // ~2^-44; any observed overlap means the child replays parent state.
+    propcheck::cases(32, |g| {
+        let mut parent = Rng64::new(g.u64());
+        let mut child = parent.fork();
+        let parent_vals: HashSet<u64> = (0..DRAWS).map(|_| parent.next_u64()).collect();
+        for _ in 0..DRAWS {
+            let v = child.next_u64();
+            assert!(!parent_vals.contains(&v), "child replayed parent output {v:#x}");
+        }
+    });
+}
+
+#[test]
+fn sibling_forks_are_pairwise_disjoint() {
+    propcheck::cases(16, |g| {
+        let mut parent = Rng64::new(g.u64());
+        let mut streams: Vec<Rng64> = (0..4).map(|_| parent.fork()).collect();
+        let mut seen: HashSet<u64> = HashSet::new();
+        for (i, s) in streams.iter_mut().enumerate() {
+            for _ in 0..DRAWS {
+                assert!(seen.insert(s.next_u64()), "stream {i} overlaps a sibling");
+            }
+        }
+    });
+}
+
+#[test]
+fn forked_stream_is_uniform_by_chi_square() {
+    // df = 63: mean 63, sd ~11.2. Each case must stay under ~5 sigma and
+    // the Stats-aggregated mean must sit near the expectation.
+    let mut chi = Stats::new();
+    propcheck::cases(16, |g| {
+        let mut parent = Rng64::new(g.u64());
+        let mut child = parent.fork();
+        let x2 = chi_square_top_bits(&mut child);
+        assert!(x2 < 120.0, "chi-square {x2:.1} out of family (seed {})", g.seed());
+        chi.push(x2);
+    });
+    assert_eq!(chi.count(), 16);
+    assert!(
+        (45.0..85.0).contains(&chi.mean()),
+        "mean chi-square {:.1} should hover near df=63",
+        chi.mean()
+    );
+}
+
+#[test]
+fn parent_and_child_outputs_are_uncorrelated() {
+    // Bitwise agreement between paired draws should be 32/64 on average;
+    // correlated streams would bias the popcount of the XOR.
+    let mut agreement = Stats::new();
+    propcheck::cases(32, |g| {
+        let mut parent = Rng64::new(g.u64());
+        let mut child = parent.fork();
+        for _ in 0..DRAWS {
+            let x = parent.next_u64() ^ child.next_u64();
+            agreement.push(f64::from(64 - x.count_ones()));
+        }
+    });
+    // 32 * 512 paired draws: standard error of the mean ~0.031 bits.
+    assert!(
+        (agreement.mean() - 32.0).abs() < 0.25,
+        "mean bit agreement {:.3} deviates from 32",
+        agreement.mean()
+    );
+    assert!(agreement.stddev() > 2.0, "agreement should fluctuate like a binomial");
+}
+
+#[test]
+fn cell_style_seeding_produces_independent_streams() {
+    // The executor derives per-cell seeds from (root, coords); streams from
+    // adjacent cell seeds must look as independent as explicit forks.
+    propcheck::cases(16, |g| {
+        let root = g.u64();
+        let mut a = Rng64::new(root);
+        let mut b = Rng64::new(root.wrapping_add(1));
+        let va: HashSet<u64> = (0..DRAWS).map(|_| a.next_u64()).collect();
+        for _ in 0..DRAWS {
+            assert!(!va.contains(&b.next_u64()), "adjacent seeds share a stream");
+        }
+        let x2 = chi_square_top_bits(&mut Rng64::new(root.wrapping_add(1)));
+        assert!(x2 < 120.0, "adjacent-seed stream fails uniformity: {x2:.1}");
+    });
+}

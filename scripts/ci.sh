@@ -15,6 +15,13 @@ cargo build --release --workspace
 echo "== test =="
 cargo test --workspace
 
+echo "== determinism equivalence (release) =="
+# Parallel sweeps must stay bit-identical to the serial oracle; the
+# wallclock test prints serial-vs-parallel timing for one representative
+# sweep so perf regressions in the executor are visible in tier-1 output.
+cargo test --release -p harness --test determinism -- --nocapture
+cargo test --release -p simrng --test fork_properties
+
 echo "== keylint =="
 cargo run --release -p keylint -- --workspace
 
