@@ -48,6 +48,9 @@ fn main() {
 
     let report = scanner.scan_kernel(&kernel);
     println!("== /proc/{}mem ==", kind.label());
+    // keylint: allow(S004) -- forensic demo: the report renders hit
+    // offsets and disclosed simulated memory; displaying it is this
+    // binary's entire purpose
     print!("{}", scanner.proc_report(&report));
 
     println!("\n== hexdump context ({context} bytes either side) ==");

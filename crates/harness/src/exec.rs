@@ -23,6 +23,7 @@
 //! (`crates/harness/tests/determinism.rs`).
 
 use simrng::Rng64;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -117,7 +118,13 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Propagates the first worker panic after all workers have stopped.
+    /// A panicking cell does not take the pool down with it: the panic is
+    /// caught, the workers drain the remaining cells, and afterwards the
+    /// panic of the lowest-indexed failing cell is re-raised with its cell
+    /// index prepended (string payloads; other payloads resume verbatim).
+    /// Without the catch, the unwinding worker would abandon the scope and
+    /// every surviving thread's work would be reported as a generic
+    /// "a scoped thread panicked", losing the original message.
     pub fn run<C, T, F>(&self, cells: Vec<C>, f: F) -> Vec<T>
     where
         C: Send,
@@ -135,6 +142,10 @@ impl Executor {
         // unclaimed index, so load balances even when cell costs vary.
         let queue = Mutex::new((0usize, cells.into_iter().map(Some).collect::<Vec<_>>()));
         let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        // First panic by *cell order* (not completion order), kept so the
+        // re-raise below is deterministic under any scheduling.
+        let panic_slot: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> =
+            Mutex::new(None);
 
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(n) {
@@ -148,11 +159,32 @@ impl Executor {
                         q.0 += 1;
                         (idx, q.1[idx].take().expect("cell claimed twice"))
                     };
-                    let out = f(idx, cell);
-                    *results[idx].lock().expect("result slot poisoned") = Some(out);
+                    match catch_unwind(AssertUnwindSafe(|| f(idx, cell))) {
+                        Ok(out) => {
+                            *results[idx].lock().expect("result slot poisoned") = Some(out);
+                        }
+                        Err(payload) => {
+                            let mut slot =
+                                panic_slot.lock().expect("panic slot poisoned");
+                            if slot.as_ref().map_or(true, |(i, _)| idx < *i) {
+                                *slot = Some((idx, payload));
+                            }
+                        }
+                    }
                 });
             }
         });
+
+        if let Some((idx, payload)) = panic_slot.into_inner().expect("panic slot poisoned") {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned());
+            match msg {
+                Some(m) => panic!("cell {idx} panicked: {m}"),
+                None => resume_unwind(payload),
+            }
+        }
 
         results
             .into_iter()
@@ -323,10 +355,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "a scoped thread panicked")]
-    fn worker_panics_propagate() {
+    #[should_panic(expected = "cell 5 panicked: worker cell failure")]
+    fn worker_panic_carries_cell_index_and_message() {
         Executor::new(2).run((0..8).collect::<Vec<i32>>(), |_, c| {
             assert!(c != 5, "worker cell failure");
+            c
+        });
+    }
+
+    #[test]
+    fn panicking_cell_does_not_poison_the_queue() {
+        // Regression: a panicking cell used to unwind its worker inside the
+        // scope, so surviving workers died on the shared state and the run
+        // aborted with a generic scope panic. Now every other cell still
+        // executes and the first failing cell (by index) is re-raised.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let executed = AtomicUsize::new(0);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Executor::new(4).run((0..64).collect::<Vec<i32>>(), |_, c| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                assert!(c != 3 && c != 11, "boom at {c}");
+                c
+            })
+        }))
+        .expect_err("run must re-raise the cell panic");
+        assert_eq!(
+            executed.load(Ordering::SeqCst),
+            64,
+            "remaining cells must drain after a panic"
+        );
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("re-raised payload is a formatted string");
+        assert_eq!(msg, "cell 3 panicked: boom at 3", "lowest failing cell wins");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at 5")]
+    fn serial_path_panics_with_the_original_message() {
+        Executor::serial().run((0..8).collect::<Vec<i32>>(), |_, c| {
+            assert!(c != 5, "boom at {c}");
             c
         });
     }

@@ -78,10 +78,12 @@ impl Baseline {
             .any(|e| e.rule == f.rule && e.file == f.file && e.symbol == f.symbol)
     }
 
-    /// Builds a baseline accepting exactly `findings` (reasons are
-    /// placeholders the author must fill in before committing).
+    /// Builds a baseline accepting exactly `findings`, all justified by
+    /// `reason`. The CLI requires the reason up front (`--reason`) so a
+    /// placeholder never reaches the file; a committed baseline whose
+    /// reasons still read `TODO` fails the lint (see [`Self::todo_entries`]).
     #[must_use]
-    pub fn from_findings(findings: &[Finding]) -> Self {
+    pub fn from_findings(findings: &[Finding], reason: &str) -> Self {
         Self {
             entries: findings
                 .iter()
@@ -89,10 +91,22 @@ impl Baseline {
                     rule: f.rule,
                     file: f.file.clone(),
                     symbol: f.symbol.clone(),
-                    reason: "TODO: justify before committing".into(),
+                    reason: reason.to_string(),
                 })
                 .collect(),
         }
+    }
+
+    /// Entries whose reason is still a `TODO` placeholder. A baseline is a
+    /// list of conscious decisions; these are deferred ones, and the lint
+    /// refuses to honor them unless explicitly overridden
+    /// (`--allow-todo-reasons`).
+    #[must_use]
+    pub fn todo_entries(&self) -> Vec<&Entry> {
+        self.entries
+            .iter()
+            .filter(|e| e.reason.trim_start().starts_with("TODO"))
+            .collect()
     }
 
     /// Serializes to the on-disk JSON format.
@@ -145,10 +159,28 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let b = Baseline::from_findings(&[finding(RuleId::S005, "x.rs", "key.clone()")]);
+        let b = Baseline::from_findings(
+            &[finding(RuleId::S005, "x.rs", "key.clone()")],
+            "custody layer owns this copy",
+        );
         let b2 = Baseline::parse(&b.to_json()).unwrap();
         assert_eq!(b2.entries.len(), 1);
         assert_eq!(b2.entries[0].symbol, "key.clone()");
+        assert!(b2.todo_entries().is_empty());
+    }
+
+    #[test]
+    fn todo_reasons_are_detected() {
+        let b = Baseline::parse(
+            r#"{"entries": [
+                {"rule": "S001", "file": "a.rs", "symbol": "X", "reason": "TODO: justify before committing"},
+                {"rule": "S002", "file": "a.rs", "symbol": "Y", "reason": "redacts by hand"}
+            ]}"#,
+        )
+        .unwrap();
+        let todo = b.todo_entries();
+        assert_eq!(todo.len(), 1);
+        assert_eq!(todo[0].symbol, "X");
     }
 
     #[test]

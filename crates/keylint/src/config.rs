@@ -20,6 +20,10 @@ pub struct Config {
     pub public_types: Vec<String>,
     /// Identifiers that count as a zeroing routine inside a `Drop` impl.
     pub zero_markers: Vec<String>,
+    /// Method/function names that launder a secret into a non-secret
+    /// (`redact()`, `len()`, …): taint dies through these, so
+    /// `let n = key.d().len(); println!("{n}")` stays clean.
+    pub sanitizers: Vec<String>,
     /// Path prefixes (relative, `/`-separated) where S005 duplication is
     /// blessed — the key-custody layer itself.
     pub allowed_paths: Vec<String>,
@@ -62,6 +66,13 @@ impl Default for Config {
                 "zeroize".into(),
                 "write_volatile".into(),
             ],
+            sanitizers: vec![
+                "redact".into(),
+                "len".into(),
+                "is_empty".into(),
+                "bits".into(),
+                "bit_len".into(),
+            ],
             allowed_paths: vec![],
             exclude_paths: vec!["target".into()],
         }
@@ -91,7 +102,10 @@ impl Config {
             }
             if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
                 section = name.trim().to_string();
-                if !matches!(section.as_str(), "secrets" | "s003" | "s005" | "scan") {
+                if !matches!(
+                    section.as_str(),
+                    "secrets" | "s003" | "s005" | "scan" | "sanitizers"
+                ) {
                     return Err(format!("line {}: unknown section [{section}]", lno + 1));
                 }
                 continue;
@@ -117,6 +131,7 @@ impl Config {
                 ("secrets", "accessors") => &mut cfg.accessors,
                 ("secrets", "public_types") => &mut cfg.public_types,
                 ("s003", "zero_markers") => &mut cfg.zero_markers,
+                ("sanitizers", "methods") => &mut cfg.sanitizers,
                 ("s005", "allowed_paths") => &mut cfg.allowed_paths,
                 ("scan", "exclude_paths") => &mut cfg.exclude_paths,
                 _ => {
@@ -232,6 +247,15 @@ mod tests {
         assert_eq!(c.allowed_paths, vec!["crates/keyguard/src"]);
         // Untouched sections keep defaults.
         assert!(c.zero_markers.contains(&"secure_zero".to_string()));
+    }
+
+    #[test]
+    fn sanitizers_table_overrides_defaults() {
+        let c = Config::default();
+        assert!(c.sanitizers.contains(&"redact".to_string()));
+        assert!(c.sanitizers.contains(&"len".to_string()));
+        let c = Config::parse("[sanitizers]\nmethods = [\"scrub\"]").unwrap();
+        assert_eq!(c.sanitizers, vec!["scrub"]);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod json;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
+pub mod taint;
 
 use std::path::{Path, PathBuf};
 
@@ -217,6 +218,23 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     } else {
         None
     };
+    // A committed baseline must hold finished decisions: placeholder
+    // `TODO` reasons fail the workspace lint outright.
+    if let Some(b) = &baseline {
+        let todo = b.todo_entries();
+        if !todo.is_empty() {
+            return Err(format!(
+                "{}: {} entr{} still have TODO reasons ({})",
+                baseline_path.display(),
+                todo.len(),
+                if todo.len() == 1 { "y" } else { "ies" },
+                todo.iter()
+                    .map(|e| format!("{}:{}", e.file, e.symbol))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
     let files = collect_files(root, &cfg)?;
     analyze(root, &files, &cfg, baseline.as_ref())
 }

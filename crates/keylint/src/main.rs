@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! keylint [PATHS…] [--workspace] [--format text|json]
-//!         [--config FILE] [--baseline FILE] [--write-baseline FILE]
+//!         [--config FILE] [--baseline FILE]
+//!         [--write-baseline FILE --reason TEXT] [--allow-todo-reasons]
 //! ```
+//!
+//! Baseline updates must say why (`--reason`), and a committed baseline
+//! whose reasons still read `TODO` fails the lint unless
+//! `--allow-todo-reasons` downgrades that to a warning.
 //!
 //! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
 
@@ -19,6 +24,8 @@ struct Args {
     config: Option<PathBuf>,
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
+    reason: Option<String>,
+    allow_todo_reasons: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +36,8 @@ fn parse_args() -> Result<Args, String> {
         config: None,
         baseline: None,
         write_baseline: None,
+        reason: None,
+        allow_todo_reasons: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -50,10 +59,14 @@ fn parse_args() -> Result<Args, String> {
             "--write-baseline" => {
                 args.write_baseline = Some(PathBuf::from(value("--write-baseline")?));
             }
+            "--reason" => args.reason = Some(value("--reason")?),
+            "--allow-todo-reasons" => args.allow_todo_reasons = true,
             "--help" | "-h" => {
                 println!(
                     "usage: keylint [PATHS…] [--workspace] [--format text|json]\n\
-                     \x20              [--config FILE] [--baseline FILE] [--write-baseline FILE]"
+                     \x20              [--config FILE] [--baseline FILE]\n\
+                     \x20              [--write-baseline FILE --reason TEXT]\n\
+                     \x20              [--allow-todo-reasons]"
                 );
                 std::process::exit(0);
             }
@@ -63,6 +76,22 @@ fn parse_args() -> Result<Args, String> {
     }
     if !args.workspace && args.paths.is_empty() {
         return Err("give PATHS or --workspace".into());
+    }
+    match (&args.write_baseline, &args.reason) {
+        (Some(_), None) => {
+            return Err(
+                "--write-baseline requires --reason (why are these findings acceptable?)"
+                    .into(),
+            )
+        }
+        (Some(_), Some(r)) if r.trim().is_empty() => {
+            return Err("--reason must not be empty".into())
+        }
+        (Some(_), Some(r)) if r.trim_start().starts_with("TODO") => {
+            return Err("--reason must be a real justification, not a TODO placeholder".into())
+        }
+        (None, Some(_)) => return Err("--reason only makes sense with --write-baseline".into()),
+        _ => {}
     }
     Ok(args)
 }
@@ -86,6 +115,26 @@ fn run() -> Result<ExitCode, String> {
             }
         }
     };
+    if let Some(b) = &baseline {
+        let todo = b.todo_entries();
+        if !todo.is_empty() {
+            let msg = format!(
+                "baseline has {} entr{} with TODO reasons ({}); justify them or \
+                 regenerate with --write-baseline --reason",
+                todo.len(),
+                if todo.len() == 1 { "y" } else { "ies" },
+                todo.iter()
+                    .map(|e| format!("{}:{}", e.file, e.symbol))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            if args.allow_todo_reasons {
+                eprintln!("keylint: warning: {msg}");
+            } else {
+                return Err(msg);
+            }
+        }
+    }
 
     let files = if args.workspace {
         collect_files(&root, &cfg)?
@@ -108,11 +157,12 @@ fn run() -> Result<ExitCode, String> {
     let report = analyze(&root, &files, &cfg, baseline.as_ref())?;
 
     if let Some(out_path) = &args.write_baseline {
-        let b = Baseline::from_findings(&report.findings);
+        let reason = args.reason.as_deref().unwrap_or_default();
+        let b = Baseline::from_findings(&report.findings, reason);
         std::fs::write(out_path, b.to_json())
             .map_err(|e| format!("{}: {e}", out_path.display()))?;
         eprintln!(
-            "keylint: wrote {} entr{} to {} (fill in the reasons!)",
+            "keylint: wrote {} entr{} to {}",
             b.entries.len(),
             if b.entries.len() == 1 { "y" } else { "ies" },
             out_path.display()

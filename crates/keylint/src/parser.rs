@@ -106,6 +106,51 @@ pub struct Binding {
     pub ctor: Option<String>,
     /// 1-based line.
     pub line: u32,
+    /// Token index of the bound name (to locate the enclosing fn).
+    pub tok_index: usize,
+}
+
+/// A function definition with its body token range. Taint tracking is
+/// scoped to these: a binding graph never crosses a function boundary.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword (parameters live between here and
+    /// the body, so scope containment uses this as the range start).
+    pub sig_start: usize,
+    /// Token index range of the body (between the braces, exclusive).
+    pub body: (usize, usize),
+}
+
+/// One identifier chain on the right-hand side of an assignment:
+/// `key.d()` → `["key", "d"]`, root first. Call-argument and index
+/// tokens are skipped while the chain is walked, so `key.d().rotate(1)`
+/// still yields `["key", "d", "rotate"]`; `&`, `*`, `?` and `as` casts
+/// pass through.
+#[derive(Debug)]
+pub struct SourceRef {
+    /// Segment names, root first.
+    pub chain: Vec<String>,
+    /// Token index of the root segment (for `self` → impl resolution).
+    pub tok_index: usize,
+}
+
+/// One assignment statement the taint engine propagates through: a `let`
+/// (including tuple/struct destructuring) or a plain `name = expr;`
+/// rebinding at statement position.
+#[derive(Debug)]
+pub struct Assign {
+    /// Names bound on the left-hand side (several for destructuring).
+    pub names: Vec<String>,
+    /// Identifier chains appearing in the initializer.
+    pub sources: Vec<SourceRef>,
+    /// 1-based line of the first bound name.
+    pub line: u32,
+    /// Token index of the statement start (to locate the enclosing fn).
+    pub tok_index: usize,
 }
 
 /// Everything the rules need to know about one file.
@@ -127,6 +172,10 @@ pub struct FileModel {
     pub unsafe_blocks: Vec<u32>,
     /// Let bindings and fn parameters.
     pub bindings: Vec<Binding>,
+    /// Function definitions with body spans.
+    pub fns: Vec<FnDef>,
+    /// Assignment statements (let + plain rebinding) for taint tracking.
+    pub assigns: Vec<Assign>,
     /// All line comments.
     pub comments: Vec<Comment>,
     /// The full token stream (rules peek at impl bodies through it).
@@ -141,6 +190,16 @@ impl FileModel {
             .iter()
             .filter(|im| im.body.0 <= ti && ti < im.body.1)
             .min_by_key(|im| im.body.1 - im.body.0)
+    }
+
+    /// The innermost fn whose signature-to-body range contains token
+    /// index `ti` (parameters included, hence `sig_start`).
+    #[must_use]
+    pub fn fn_at(&self, ti: usize) -> Option<&FnDef> {
+        self.fns
+            .iter()
+            .filter(|f| f.sig_start <= ti && ti < f.body.1)
+            .min_by_key(|f| f.body.1 - f.sig_start)
     }
 
     /// Identifier texts inside an impl body.
@@ -238,9 +297,22 @@ pub fn parse_file(path: &str, src: &str) -> FileModel {
                 if let Some(b) = parse_let(&toks, i) {
                     m.bindings.push(b);
                 }
+                // In `if let`/`while let` the "initializer" is a scrutinee
+                // followed by a block; stop at the block so body chains
+                // don't flow into the pattern's bindings.
+                let conditional = i
+                    .checked_sub(1)
+                    .and_then(|p| toks.get(p))
+                    .is_some_and(|p| matches!(p.text.as_str(), "if" | "while"));
+                if let Some(a) = parse_assign(&toks, i + 1, i, conditional) {
+                    m.assigns.push(a);
+                }
                 i += 1;
             }
             (TokKind::Ident, "fn") => {
+                if let Some(f) = parse_fn_def(&toks, i) {
+                    m.fns.push(f);
+                }
                 parse_fn_params(&toks, i, &mut m.bindings);
                 // Drop derives that were aimed at a function attribute.
                 pending_derives.clear();
@@ -280,6 +352,28 @@ pub fn parse_file(path: &str, src: &str) -> FileModel {
                     args,
                 });
                 i += 3; // keep scanning inside the macro arguments
+            }
+            // Plain rebinding at statement position: `name = expr;` (not
+            // `==`, not a `=>` match arm, not a `let` — that has its own
+            // branch above).
+            (TokKind::Ident, _)
+                if is(&toks, i + 1, "=")
+                    && !matches!(
+                        toks.get(i + 2).map(|t| t.text.as_str()),
+                        Some("=" | ">")
+                    )
+                    && i.checked_sub(1)
+                        .and_then(|p| toks.get(p))
+                        .is_none_or(|p| matches!(p.text.as_str(), ";" | "{" | "}")) =>
+            {
+                let (sources, _) = collect_chains(&toks, i + 2, rhs_end(&toks, i + 2, false));
+                m.assigns.push(Assign {
+                    names: vec![t.text.clone()],
+                    sources,
+                    line: t.line,
+                    tok_index: i,
+                });
+                i += 2;
             }
             (TokKind::Punct, ".")
                 if matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Ident
@@ -540,6 +634,7 @@ fn parse_let(toks: &[Tok], i: usize) -> Option<Binding> {
     }
     let name = name_tok.text.clone();
     let line = name_tok.line;
+    let tok_index = j;
     j += 1;
     let mut type_idents = Vec::new();
     if is(toks, j, ":") {
@@ -572,6 +667,7 @@ fn parse_let(toks: &[Tok], i: usize) -> Option<Binding> {
         type_idents,
         ctor,
         line,
+        tok_index,
     })
 }
 
@@ -624,12 +720,195 @@ fn parse_fn_params(toks: &[Tok], i: usize, out: &mut Vec<Binding>) {
                 type_idents,
                 ctor: None,
                 line,
+                tok_index: k,
             });
             k = p + 1;
         } else {
             k += 1;
         }
     }
+}
+
+/// Parses the fn header at `i` (`fn`) into a [`FnDef`]. Returns `None`
+/// for bodyless declarations (trait methods ending in `;`).
+fn parse_fn_def(toks: &[Tok], i: usize) -> Option<FnDef> {
+    let name_tok = toks.get(i + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let mut j = skip_generics(toks, i + 2);
+    if !is(toks, j, "(") {
+        return None;
+    }
+    j = match_balanced(toks, j, "(", ")") + 1;
+    // Return type / where clause: neither contains `{`, so the first `{`
+    // or `;` decides whether there is a body.
+    while let Some(t) = toks.get(j) {
+        match t.text.as_str() {
+            "{" => {
+                let close = match_balanced(toks, j, "{", "}");
+                return Some(FnDef {
+                    name: name_tok.text.clone(),
+                    line: toks[i].line,
+                    sig_start: i,
+                    body: (j + 1, close),
+                });
+            }
+            ";" => return None,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Index of the token ending the initializer that starts at `start`: the
+/// first top-level `;` or `else` (let-else), or the end of the stream.
+/// With `stop_at_brace` (if/while-let scrutinees) a top-level `{` also
+/// terminates, so the condition's block is not mistaken for the RHS.
+fn rhs_end(toks: &[Tok], start: usize, stop_at_brace: bool) -> usize {
+    let mut depth = 0i32;
+    let mut j = start;
+    while let Some(t) = toks.get(j) {
+        match t.text.as_str() {
+            "{" if stop_at_brace && depth == 0 => return j,
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return j; // ran off the enclosing block
+                }
+                depth -= 1;
+            }
+            ";" | "else" if depth == 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Pattern-side keywords that never bind a value.
+const PATTERN_KEYWORDS: &[&str] = &["mut", "ref", "box", "_"];
+
+/// Collects every identifier chain in `toks[start..end]`: each ident not
+/// preceded by `.` (and not a macro name) roots a chain extended through
+/// `.ident` projections, with call/index argument groups and `?` skipped.
+/// Returns the chains plus nothing else of interest.
+fn collect_chains(toks: &[Tok], start: usize, end: usize) -> (Vec<SourceRef>, usize) {
+    let mut out = Vec::new();
+    let mut k = start;
+    while k < end {
+        let t = &toks[k];
+        let prev_is_dot = k
+            .checked_sub(1)
+            .and_then(|p| toks.get(p))
+            .is_some_and(|p| p.text == ".");
+        if t.kind == TokKind::Ident
+            && !prev_is_dot
+            && !is(toks, k + 1, "!")
+            && !PATTERN_KEYWORDS.contains(&t.text.as_str())
+        {
+            let mut chain = vec![t.text.clone()];
+            let mut j = k + 1;
+            loop {
+                match toks.get(j).map(|x| x.text.as_str()) {
+                    Some("(") => j = match_balanced(toks, j, "(", ")") + 1,
+                    Some("[") => j = match_balanced(toks, j, "[", "]") + 1,
+                    Some("?") => j += 1,
+                    Some(".")
+                        if toks.get(j + 1).is_some_and(|n| n.kind == TokKind::Ident) =>
+                    {
+                        chain.push(toks[j + 1].text.clone());
+                        j += 2;
+                    }
+                    _ => break,
+                }
+            }
+            out.push(SourceRef {
+                chain,
+                tok_index: k,
+            });
+        }
+        k += 1;
+    }
+    (out, end)
+}
+
+/// Parses the general `let` form for taint: destructuring patterns, type
+/// annotations, and the initializer's source chains. `start` is the token
+/// after `let`; `let_index` anchors the statement for scope lookup;
+/// `stop_at_brace` marks if/while-let scrutinees.
+fn parse_assign(toks: &[Tok], start: usize, let_index: usize, stop_at_brace: bool) -> Option<Assign> {
+    // Pattern side: up to the top-level `=` (or `;` for uninitialized).
+    let mut names = Vec::new();
+    let mut depth = 0i32;
+    let mut j = start;
+    let eq = loop {
+        let t = toks.get(j)?;
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return None; // ran off the enclosing block: not a let
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => return None, // no initializer: nothing flows
+            "=" if depth == 0 && !is(toks, j + 1, "=") => break j,
+            ":" if depth == 0 && !is(toks, j + 1, ":") && !is_prev(toks, j, ":") => {
+                // Top-level type annotation: skip to the `=`/`;`.
+                let mut d2 = 0i32;
+                j += 1;
+                loop {
+                    let t = toks.get(j)?;
+                    match t.text.as_str() {
+                        "<" | "(" | "[" => d2 += 1,
+                        ">" | ")" | "]" => d2 -= 1,
+                        "=" if d2 <= 0 => break,
+                        ";" if d2 <= 0 => return None,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                continue; // re-examine the `=` under the normal arm
+            }
+            _ => {
+                if t.kind == TokKind::Ident && !PATTERN_KEYWORDS.contains(&t.text.as_str()) {
+                    let next = toks.get(j + 1).map(|x| x.text.as_str());
+                    let next2 = toks.get(j + 2).map(|x| x.text.as_str());
+                    // `path::seg` heads/tails, `Foo {` / `Some(` ctor
+                    // heads, and `field:` labels inside braces are not
+                    // bound names. A top-level `name:` IS one — that
+                    // colon starts the type annotation.
+                    let path_head = next == Some(":") && next2 == Some(":");
+                    let field_label = next == Some(":") && !path_head && depth > 0;
+                    let ctor_head = matches!(next, Some("{" | "("));
+                    let path_tail =
+                        j >= 2 && toks[j - 1].text == ":" && toks[j - 2].text == ":";
+                    if !path_head && !field_label && !ctor_head && !path_tail {
+                        names.push(t.text.clone());
+                    }
+                }
+            }
+        }
+        j += 1;
+    };
+    if names.is_empty() {
+        return None;
+    }
+    let line = toks.get(start).map_or(toks[eq].line, |t| t.line);
+    let (sources, _) = collect_chains(toks, eq + 1, rhs_end(toks, eq + 1, stop_at_brace));
+    Some(Assign {
+        names,
+        sources,
+        line,
+        tok_index: let_index,
+    })
+}
+
+fn is_prev(toks: &[Tok], j: usize, text: &str) -> bool {
+    j.checked_sub(1)
+        .and_then(|p| toks.get(p))
+        .is_some_and(|p| p.text == text)
 }
 
 #[cfg(test)]
@@ -751,6 +1030,72 @@ mod tests {
         let m = parse_file("t.rs", "fn f() { let v = Vec::from(key_bytes); }");
         assert_eq!(m.from_calls.len(), 1);
         assert_eq!(m.from_calls[0].args, ["key_bytes"]);
+    }
+
+    #[test]
+    fn fn_defs_record_body_spans() {
+        let m = parse_file(
+            "t.rs",
+            "fn outer() {\n    let x = 1;\n    fn inner() { let y = 2; }\n}\n",
+        );
+        assert_eq!(m.fns.len(), 2);
+        let y = m.bindings.iter().find(|b| b.name == "y").unwrap();
+        assert_eq!(m.fn_at(y.tok_index).unwrap().name, "inner");
+        let x = m.bindings.iter().find(|b| b.name == "x").unwrap();
+        assert_eq!(m.fn_at(x.tok_index).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn assigns_capture_rebinding_chains() {
+        let m = parse_file(
+            "t.rs",
+            "fn f(key: RsaPrivateKey) { let tmp = key.d(); let out = tmp; sink = out; }",
+        );
+        assert_eq!(m.assigns.len(), 3);
+        assert_eq!(m.assigns[0].names, ["tmp"]);
+        assert_eq!(m.assigns[0].sources[0].chain, ["key", "d"]);
+        assert_eq!(m.assigns[1].sources[0].chain, ["tmp"]);
+        assert_eq!(m.assigns[2].names, ["sink"]);
+        assert_eq!(m.assigns[2].sources[0].chain, ["out"]);
+    }
+
+    #[test]
+    fn destructuring_binds_all_names() {
+        let m = parse_file(
+            "t.rs",
+            "fn f() { let (a, b) = (key.d(), 1); let Foo { d: x, q } = key; }",
+        );
+        assert_eq!(m.assigns[0].names, ["a", "b"]);
+        assert!(m.assigns[0].sources.iter().any(|s| s.chain == ["key", "d"]));
+        assert_eq!(m.assigns[1].names, ["x", "q"]);
+    }
+
+    #[test]
+    fn annotated_let_still_binds() {
+        let m = parse_file("t.rs", "fn f() { let v: Vec<u8> = key.to_bytes(); }");
+        assert_eq!(m.assigns[0].names, ["v"]);
+        assert!(m.assigns[0]
+            .sources
+            .iter()
+            .any(|s| s.chain == ["key", "to_bytes"]));
+    }
+
+    #[test]
+    fn if_let_rhs_stops_at_the_block() {
+        let m = parse_file("t.rs", "fn f() { if let Some(x) = opt { other.d(); } }");
+        let a = &m.assigns[0];
+        assert_eq!(a.names, ["x"]);
+        assert!(a.sources.iter().any(|s| s.chain == ["opt"]));
+        assert!(a.sources.iter().all(|s| s.chain[0] != "other"));
+    }
+
+    #[test]
+    fn chains_pass_through_calls_and_question_marks() {
+        let m = parse_file("t.rs", "fn f() { let x = key.d()?.rotate(1).len(); }");
+        assert!(m.assigns[0]
+            .sources
+            .iter()
+            .any(|s| s.chain == ["key", "d", "rotate", "len"]));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use crate::config::Config;
 use crate::parser::{FileModel, StructDef};
+use crate::taint::FileTaint;
 
 /// Stable rule identifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -158,10 +159,11 @@ pub fn check(models: &[FileModel], cfg: &Config) -> Vec<Finding> {
     let mut out = Vec::new();
     for m in models {
         let mut file_findings = Vec::new();
+        let taint = FileTaint::compute(m, models, &secret, cfg);
         check_derives_and_impls(m, &secret, cfg, &mut file_findings);
         check_drop_zeroing(m, models, &secret, cfg, &mut file_findings);
-        check_format_macros(m, &secret, cfg, &mut file_findings);
-        check_copies(m, models, &secret, cfg, &mut file_findings);
+        check_format_macros(m, &taint, cfg, &mut file_findings);
+        check_copies(m, &taint, cfg, &mut file_findings);
         check_unsafe(m, &mut file_findings);
         let suppressed = suppressed_lines(m);
         file_findings.retain(|f| {
@@ -252,8 +254,9 @@ fn check_derives_and_impls(
     }
 }
 
-/// Field classification for the S003 delegation check.
-enum FieldKind {
+/// Field classification for the S003 delegation check and the taint
+/// engine's chain walk.
+pub(crate) enum FieldKind {
     /// Contains a secret type — its own Drop handles zeroing.
     Secret,
     /// A raw buffer (Vec/String/…) that could hold key bytes.
@@ -262,7 +265,7 @@ enum FieldKind {
     Other,
 }
 
-fn classify_field(type_idents: &[String], secret: &BTreeSet<String>) -> FieldKind {
+pub(crate) fn classify_field(type_idents: &[String], secret: &BTreeSet<String>) -> FieldKind {
     if type_idents.iter().any(|t| secret.contains(t)) {
         return FieldKind::Secret;
     }
@@ -350,19 +353,14 @@ const SINK_MACROS: &[&str] = &[
     "panic", "log", "trace", "debug", "info", "warn", "error",
 ];
 
-/// Does this file bind `name` to a secret-typed value anywhere?
-fn secret_binding(m: &FileModel, secret: &BTreeSet<String>, name: &str) -> bool {
-    m.bindings.iter().any(|b| {
-        b.name == name
-            && (b.type_idents.iter().any(|t| secret.contains(t))
-                || b.ctor.as_deref().is_some_and(|c| secret.contains(c)))
-    })
-}
-
-/// S004: secret-typed bindings (or secret accessors) in sink macro args.
+/// S004: tainted bindings (or secret accessors) in sink macro args. A
+/// bare argument leaks when the taint engine says the name carries secret
+/// material at the macro's line — this covers secret-typed bindings
+/// directly and values laundered through intermediates
+/// (`let tmp = key.d(); println!("{tmp}")`).
 fn check_format_macros(
     m: &FileModel,
-    secret: &BTreeSet<String>,
+    taint: &FileTaint<'_>,
     cfg: &Config,
     out: &mut Vec<Finding>,
 ) {
@@ -374,9 +372,9 @@ fn check_format_macros(
             let leaking = if arg.after_dot {
                 cfg.accessors.contains(&arg.text) || cfg.secret_field_names.contains(&arg.text)
             } else {
-                // A bare secret binding is being rendered whole; if a `.`
+                // A bare tainted binding is being rendered whole; if a `.`
                 // follows, only the accessed member matters (checked above).
-                !arg.before_dot && secret_binding(m, secret, &arg.text)
+                !arg.before_dot && taint.tainted_at(&arg.text, mac.line)
             };
             if leaking {
                 out.push(Finding {
@@ -398,96 +396,17 @@ fn check_format_macros(
     }
 }
 
-/// Resolves whether a method-call chain denotes a secret expression by
-/// walking it through struct definitions field by field.
-///
-/// The root must be secret (a secret-typed binding, or `self` inside an
-/// impl of a secret type). Each subsequent segment is then resolved:
-///
-/// * a CRT component name (`d`, `p`, `qinv`, …) is secret outright;
-/// * a field whose type is secret keeps the walk alive;
-/// * a field of raw-buffer type (`Vec`, `String`, `BigUint`, …) inside a
-///   secret type is treated as secret payload — that is exactly the copy
-///   the rule exists to catch (suppress with a comment when the field is
-///   genuinely public, e.g. the modulus `n`);
-/// * a field of plain type (counters, flags) ends the walk clean;
-/// * an unresolvable segment (a method call) is secret only if listed in
-///   `accessors`, else the walk gives up clean — the lint prefers missing
-///   an exotic chain over drowning real findings in noise.
-fn chain_is_secret(
-    m: &FileModel,
-    all: &[FileModel],
-    secret: &BTreeSet<String>,
-    cfg: &Config,
-    chain: &[String],
-    tok_index: usize,
-) -> bool {
-    let Some(root) = chain.first() else {
-        return false;
-    };
-    // Resolve the root to a type name.
-    let mut cur: Option<String> = if root == "self" {
-        m.impl_at(tok_index).map(|im| im.type_name.clone())
-    } else {
-        m.bindings
-            .iter()
-            .filter(|b| &b.name == root)
-            .flat_map(|b| b.type_idents.iter().chain(b.ctor.as_ref()))
-            .find(|t| secret.contains(*t) || struct_def(all, t).is_some())
-            .cloned()
-    };
-    if !cur.as_deref().is_some_and(|t| secret.contains(t)) {
-        return false;
-    }
-    if chain.len() == 1 {
-        return true; // `key.clone()` — duplicating the secret itself
-    }
-    for seg in &chain[1..] {
-        if cfg.secret_field_names.contains(seg) {
-            return true;
-        }
-        let field = cur
-            .as_deref()
-            .and_then(|t| struct_def(all, t))
-            .and_then(|s| s.fields.iter().find(|f| &f.name == seg));
-        match field {
-            Some(f) => match classify_field(&f.type_idents, secret) {
-                FieldKind::Buffer => return true,
-                FieldKind::Secret => {
-                    cur = f.type_idents.iter().find(|t| secret.contains(*t)).cloned();
-                }
-                FieldKind::Other => return false,
-            },
-            None => return cfg.accessors.contains(seg),
-        }
-    }
-    // Walked off the end still inside secret types: the final expression
-    // is itself secret.
-    true
-}
-
-/// The (first) struct definition named `name`, across all files.
-fn struct_def<'a>(all: &'a [FileModel], name: &str) -> Option<&'a StructDef> {
-    all.iter()
-        .flat_map(|f| &f.structs)
-        .find(|s| s.name == name)
-}
-
 /// S005: copy-flavored calls on secret expressions, plus `Vec::from` of a
-/// secret binding. Files under `allowed_paths` are the blessed custody
-/// layer and are exempt.
-fn check_copies(
-    m: &FileModel,
-    all: &[FileModel],
-    secret: &BTreeSet<String>,
-    cfg: &Config,
-    out: &mut Vec<Finding>,
-) {
+/// tainted binding. Chain resolution lives in the taint engine
+/// ([`FileTaint::copy_is_secret`]): typed field-by-field walks plus
+/// laundered-local propagation. Files under `allowed_paths` are the
+/// blessed custody layer and are exempt.
+fn check_copies(m: &FileModel, taint: &FileTaint<'_>, cfg: &Config, out: &mut Vec<Finding>) {
     if cfg.allowed_paths.iter().any(|p| m.path.starts_with(p.as_str())) {
         return;
     }
     for call in &m.method_calls {
-        if chain_is_secret(m, all, secret, cfg, &call.chain, call.tok_index) {
+        if taint.copy_is_secret(&call.chain, call.tok_index, call.line) {
             let expr = format!("{}.{}()", call.chain.join("."), call.method);
             out.push(Finding {
                 rule: RuleId::S005,
@@ -503,7 +422,7 @@ fn check_copies(
         }
     }
     for fc in &m.from_calls {
-        if let Some(arg) = fc.args.iter().find(|a| secret_binding(m, secret, a)) {
+        if let Some(arg) = fc.args.iter().find(|a| taint.tainted_at(a, fc.line)) {
             out.push(Finding {
                 rule: RuleId::S005,
                 file: m.path.clone(),

@@ -1,0 +1,398 @@
+//! Intra-procedural taint tracking.
+//!
+//! The syntactic rules resolve one expression at a time, so a secret
+//! laundered through an intermediate binding — `let tmp = key.d();
+//! println!("{tmp}")` — used to escape S004/S005. This module closes that
+//! hole with a per-function forward dataflow pass over the parser's
+//! binding graph ([`crate::parser::Assign`]):
+//!
+//! * **Seeds.** A binding is tainted when its annotated type or `T::…`
+//!   constructor is a secret type, or when its initializer is a secret
+//!   expression (a chain rooted at a secret-typed binding or `self` of a
+//!   secret impl, a secret accessor such as `.key()`, or a CRT component
+//!   field such as `.d`).
+//! * **Propagation.** Taint flows through `let` rebinding, plain
+//!   `name = expr;` reassignment, tuple/struct destructuring (every bound
+//!   name of a tainted initializer is tainted — over-approximate across
+//!   tuple positions by design), and `&`/`*`/`as`/`?` passthrough, which
+//!   the chain extractor simply walks over. Events are processed in
+//!   program order, so straight-line chains of any depth reach their
+//!   fixpoint in a single pass.
+//! * **Sanitizers.** A chain ending in a configured sanitizer
+//!   (`redact()`, `len()`, `is_empty()`, … — `[sanitizers] methods` in
+//!   `keylint.toml`) provably does not carry key bytes, so taint dies
+//!   there: `let n = key.d().len();` leaves `n` clean.
+//! * **Shadowing.** Re-binding a name to a clean value closes its taint
+//!   interval: after `let t = key.d(); let t = t.len();` the name `t` is
+//!   clean. Taint facts are line intervals per name, scoped to the
+//!   enclosing function, so the same name in another function is never
+//!   contaminated (the cross-binding false-positive guard).
+//!
+//! Precision notes: the walk is name-based, not scope-based, so a clean
+//! rebinding inside a nested block clears the name for the rest of the
+//! function (under-taint), and a tainted root conservatively taints every
+//! unsanitized projection of itself (over-taint). Taint through loops'
+//! back-edges (a use textually before its def) is out of scope — that
+//! would need a true iterative fixpoint over a CFG the item-level parser
+//! does not build.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::config::Config;
+use crate::parser::{Binding, FileModel, SourceRef, StructDef};
+use crate::rules::{classify_field, FieldKind};
+
+/// Taint facts for one file: per-name tainted line intervals, computed
+/// function by function. Rules query this instead of re-deriving chains.
+pub struct FileTaint<'a> {
+    m: &'a FileModel,
+    all: &'a [FileModel],
+    secret: &'a BTreeSet<String>,
+    cfg: &'a Config,
+    /// name → half-open tainted line ranges `[start, end)`. Ranges from
+    /// different functions never overlap, so one map per file suffices.
+    intervals: HashMap<String, Vec<(u32, u32)>>,
+}
+
+/// Is this binding declared with a secret type (annotation or `T::…`
+/// constructor)?
+pub(crate) fn binding_secret(b: &Binding, secret: &BTreeSet<String>) -> bool {
+    b.type_idents.iter().any(|t| secret.contains(t))
+        || b.ctor.as_deref().is_some_and(|c| secret.contains(c))
+}
+
+impl<'a> FileTaint<'a> {
+    /// Runs the dataflow pass over every function in `m`.
+    #[must_use]
+    pub fn compute(
+        m: &'a FileModel,
+        all: &'a [FileModel],
+        secret: &'a BTreeSet<String>,
+        cfg: &'a Config,
+    ) -> Self {
+        let mut t = Self {
+            m,
+            all,
+            secret,
+            cfg,
+            intervals: HashMap::new(),
+        };
+        for fi in 0..m.fns.len() {
+            t.compute_fn(fi);
+        }
+        // Secret-typed bindings outside any recognized fn body (macro
+        // expansions, exotic syntax): degrade to a file-wide fact so the
+        // lint errs on the side of catching the leak.
+        for b in &m.bindings {
+            if m.fn_at(b.tok_index).is_none() && binding_secret(b, secret) {
+                t.intervals
+                    .entry(b.name.clone())
+                    .or_default()
+                    .push((b.line, u32::MAX));
+            }
+        }
+        t
+    }
+
+    /// Is `name` carrying secret material at `line`?
+    #[must_use]
+    pub fn tainted_at(&self, name: &str, line: u32) -> bool {
+        self.intervals
+            .get(name)
+            .is_some_and(|v| v.iter().any(|&(s, e)| s <= line && line < e))
+    }
+
+    /// S005's question: does this copy-method receiver chain denote a
+    /// secret expression — either by typed resolution or because its root
+    /// is a laundered (tainted) local at `line`?
+    #[must_use]
+    pub fn copy_is_secret(&self, chain: &[String], tok_index: usize, line: u32) -> bool {
+        if chain_is_secret(self.m, self.all, self.secret, self.cfg, chain, tok_index) {
+            return true;
+        }
+        let Some(root) = chain.first() else {
+            return false;
+        };
+        // A typed secret root was already resolved field-by-field above;
+        // trust that verdict (`key.bits().clone()` stays clean).
+        if root == "self" || self.typed_secret_binding(root) {
+            return false;
+        }
+        self.tainted_at(root, line)
+            && !chain[1..].iter().any(|seg| self.cfg.sanitizers.contains(seg))
+    }
+
+    fn typed_secret_binding(&self, name: &str) -> bool {
+        self.m
+            .bindings
+            .iter()
+            .any(|b| b.name == name && binding_secret(b, self.secret))
+    }
+
+    /// One forward pass over the assignments of `m.fns[fi]`, in program
+    /// order. `state` maps currently-tainted names to the line their
+    /// taint opened on; closed intervals accumulate into `self.intervals`.
+    fn compute_fn(&mut self, fi: usize) {
+        let f = &self.m.fns[fi];
+        let end_line = self
+            .m
+            .toks
+            .get(f.body.1)
+            .map_or(u32::MAX, |t| t.line.saturating_add(1));
+        let mut state: HashMap<String, u32> = HashMap::new();
+        // Seed: secret-typed parameters and bindings of this fn.
+        for b in &self.m.bindings {
+            let mine = self
+                .m
+                .fn_at(b.tok_index)
+                .is_some_and(|g| g.sig_start == f.sig_start);
+            if mine && b.tok_index < f.body.0 && binding_secret(b, self.secret) {
+                state.insert(b.name.clone(), b.line);
+            }
+        }
+        let mut closed: Vec<(String, u32, u32)> = Vec::new();
+        for a in &self.m.assigns {
+            let mine = self
+                .m
+                .fn_at(a.tok_index)
+                .is_some_and(|g| g.sig_start == f.sig_start);
+            if !mine {
+                continue;
+            }
+            // Binding-level seed: a secret-typed `let` is tainted
+            // whatever its initializer looked like.
+            let typed_secret = self.m.bindings.iter().any(|b| {
+                b.line == a.line
+                    && a.names.contains(&b.name)
+                    && binding_secret(b, self.secret)
+            });
+            let rhs_tainted = typed_secret
+                || a.sources.iter().any(|s| self.source_tainted(&state, s));
+            for name in &a.names {
+                if rhs_tainted {
+                    state.entry(name.clone()).or_insert(a.line);
+                } else if let Some(start) = state.remove(name) {
+                    // Clean rebinding: shadowing kills the taint.
+                    closed.push((name.clone(), start, a.line));
+                }
+            }
+        }
+        for (name, start) in state {
+            closed.push((name, start, end_line));
+        }
+        for (name, s, e) in closed {
+            self.intervals.entry(name).or_default().push((s, e));
+        }
+    }
+
+    /// Is this right-hand-side chain a secret expression, given the
+    /// current taint `state`?
+    fn source_tainted(&self, state: &HashMap<String, u32>, s: &SourceRef) -> bool {
+        let chain = &s.chain;
+        let Some(root) = chain.first() else {
+            return false;
+        };
+        // Sanitized tail: the secret provably does not survive.
+        if chain.len() > 1
+            && chain.last().is_some_and(|l| self.cfg.sanitizers.contains(l))
+        {
+            return false;
+        }
+        // Typed resolution is authoritative for secret-typed roots: it
+        // distinguishes `key.d()` (secret) from `key.bits()` (metadata).
+        let self_secret = root == "self"
+            && self
+                .m
+                .impl_at(s.tok_index)
+                .is_some_and(|im| self.secret.contains(&im.type_name));
+        if self_secret || self.typed_secret_binding(root) {
+            return chain_is_secret(self.m, self.all, self.secret, self.cfg, chain, s.tok_index);
+        }
+        // Secret accessors / CRT component fields taint regardless of the
+        // root's (unknown or non-secret) type — the same reach S004 has
+        // always had on direct `.key()` / `.d` macro arguments.
+        if chain[1..].iter().any(|seg| {
+            self.cfg.accessors.contains(seg) || self.cfg.secret_field_names.contains(seg)
+        }) {
+            return true;
+        }
+        // A laundered local: any unsanitized projection of it is tainted.
+        root != "self" && state.contains_key(root)
+    }
+}
+
+/// Resolves whether a method-call chain denotes a secret expression by
+/// walking it through struct definitions field by field.
+///
+/// The root must be secret (a secret-typed binding, or `self` inside an
+/// impl of a secret type). Each subsequent segment is then resolved:
+///
+/// * a CRT component name (`d`, `p`, `qinv`, …) is secret outright;
+/// * a field whose type is secret keeps the walk alive;
+/// * a field of raw-buffer type (`Vec`, `String`, `BigUint`, …) inside a
+///   secret type is treated as secret payload — that is exactly the copy
+///   the rule exists to catch (suppress with a comment when the field is
+///   genuinely public, e.g. the modulus `n`);
+/// * a field of plain type (counters, flags) ends the walk clean;
+/// * an unresolvable segment (a method call) is secret only if listed in
+///   `accessors`, else the walk gives up clean — the lint prefers missing
+///   an exotic chain over drowning real findings in noise.
+pub(crate) fn chain_is_secret(
+    m: &FileModel,
+    all: &[FileModel],
+    secret: &BTreeSet<String>,
+    cfg: &Config,
+    chain: &[String],
+    tok_index: usize,
+) -> bool {
+    let Some(root) = chain.first() else {
+        return false;
+    };
+    // Resolve the root to a type name.
+    let mut cur: Option<String> = if root == "self" {
+        m.impl_at(tok_index).map(|im| im.type_name.clone())
+    } else {
+        m.bindings
+            .iter()
+            .filter(|b| &b.name == root)
+            .flat_map(|b| b.type_idents.iter().chain(b.ctor.as_ref()))
+            .find(|t| secret.contains(*t) || struct_def(all, t).is_some())
+            .cloned()
+    };
+    if !cur.as_deref().is_some_and(|t| secret.contains(t)) {
+        return false;
+    }
+    if chain.len() == 1 {
+        return true; // `key.clone()` — duplicating the secret itself
+    }
+    for seg in &chain[1..] {
+        if cfg.secret_field_names.contains(seg) {
+            return true;
+        }
+        let field = cur
+            .as_deref()
+            .and_then(|t| struct_def(all, t))
+            .and_then(|s| s.fields.iter().find(|f| &f.name == seg));
+        match field {
+            Some(f) => match classify_field(&f.type_idents, secret) {
+                FieldKind::Buffer => return true,
+                FieldKind::Secret => {
+                    cur = f.type_idents.iter().find(|t| secret.contains(*t)).cloned();
+                }
+                FieldKind::Other => return false,
+            },
+            None => return cfg.accessors.contains(seg),
+        }
+    }
+    // Walked off the end still inside secret types: the final expression
+    // is itself secret.
+    true
+}
+
+/// The (first) struct definition named `name`, across all files.
+pub(crate) fn struct_def<'a>(all: &'a [FileModel], name: &str) -> Option<&'a StructDef> {
+    all.iter()
+        .flat_map(|f| &f.structs)
+        .find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+    use crate::rules::secret_types;
+
+    fn taint_of(src: &str) -> (FileModelBox, Config) {
+        (FileModelBox(parse_file("t.rs", src)), Config::default())
+    }
+
+    // Owns the model so tests can borrow FileTaint from it.
+    struct FileModelBox(FileModel);
+
+    impl FileModelBox {
+        fn query(&self, cfg: &Config, name: &str, line: u32) -> bool {
+            let models = std::slice::from_ref(&self.0);
+            let secret = secret_types(models, cfg);
+            let t = FileTaint::compute(&self.0, models, &secret, cfg);
+            t.tainted_at(name, line)
+        }
+    }
+
+    #[test]
+    fn one_hop_laundering_is_tracked() {
+        let (m, cfg) = taint_of(
+            "fn f(key: RsaPrivateKey) {\n    let tmp = key.d();\n    let _ = tmp;\n}",
+        );
+        assert!(m.query(&cfg, "tmp", 3));
+        assert!(m.query(&cfg, "key", 2));
+    }
+
+    #[test]
+    fn two_hop_laundering_is_tracked() {
+        let (m, cfg) = taint_of(
+            "fn f(key: RsaPrivateKey) {\n    let a = key.d();\n    let b = a;\n    let c = b;\n}",
+        );
+        assert!(m.query(&cfg, "c", 4));
+    }
+
+    #[test]
+    fn sanitizer_kills_taint() {
+        let (m, cfg) = taint_of(
+            "fn f(key: RsaPrivateKey) {\n    let n = key.d().len();\n    let m2 = n;\n}",
+        );
+        assert!(!m.query(&cfg, "n", 3));
+        assert!(!m.query(&cfg, "m2", 3));
+    }
+
+    #[test]
+    fn metadata_of_secret_root_stays_clean() {
+        let (m, cfg) = taint_of(
+            "struct RsaPrivateKey { d: u64, n_bits: u32 }\nfn f(key: RsaPrivateKey) {\n    let b = key.n_bits;\n}",
+        );
+        assert!(!m.query(&cfg, "b", 4));
+    }
+
+    #[test]
+    fn shadowing_closes_the_interval() {
+        let (m, cfg) = taint_of(
+            "fn f(key: RsaPrivateKey) {\n    let t = key.d();\n    let _u = t;\n    let t = 5;\n    let _v = t;\n}",
+        );
+        assert!(m.query(&cfg, "t", 3));
+        assert!(!m.query(&cfg, "t", 5));
+    }
+
+    #[test]
+    fn destructuring_taints_all_names() {
+        let (m, cfg) = taint_of(
+            "fn f(key: RsaPrivateKey) {\n    let (a, b) = (key.d(), 1);\n}",
+        );
+        assert!(m.query(&cfg, "a", 3));
+        assert!(m.query(&cfg, "b", 3)); // over-approximate by design
+    }
+
+    #[test]
+    fn other_functions_are_not_contaminated() {
+        let (m, cfg) = taint_of(
+            "fn a(key: RsaPrivateKey) {\n    let tmp = key.d();\n    let _ = tmp;\n}\nfn b(tmp: u32) {\n    let _ = tmp;\n}",
+        );
+        assert!(m.query(&cfg, "tmp", 3));
+        assert!(!m.query(&cfg, "tmp", 6));
+    }
+
+    #[test]
+    fn accessor_roots_taint_without_type_info() {
+        let (m, cfg) = taint_of(
+            "fn f(srv: &Server) {\n    let k = srv.private_key();\n    let _ = k;\n}",
+        );
+        assert!(m.query(&cfg, "k", 3));
+    }
+
+    #[test]
+    fn plain_reassignment_propagates() {
+        let (m, cfg) = taint_of(
+            "fn f(key: RsaPrivateKey) {\n    let mut x = 0u64;\n    x = key.d();\n    let _ = x;\n}",
+        );
+        assert!(!m.query(&cfg, "x", 2));
+        assert!(m.query(&cfg, "x", 4));
+    }
+}

@@ -67,20 +67,74 @@ fn baseline_accepts_findings() {
     let out = bin().arg(&file).output().unwrap();
     assert_eq!(out.status.code(), Some(1));
 
-    // Write a baseline, fill in the reason, and re-run: exit 0.
+    // Write a baseline with its justification up front, re-run: exit 0.
     let baseline = dir.join("baseline.json");
     let out = bin()
         .arg(&file)
         .arg("--write-baseline")
         .arg(&baseline)
+        .args(["--reason", "fixture accepts this"])
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(1), "write-baseline still reports");
-    let patched = std::fs::read_to_string(&baseline)
-        .unwrap()
-        .replace("TODO: justify before committing", "fixture accepts this");
-    std::fs::write(&baseline, patched).unwrap();
 
     let out = bin().arg(&file).arg("--baseline").arg(&baseline).output().unwrap();
     assert_eq!(out.status.code(), Some(0), "baselined finding must pass");
+}
+
+#[test]
+fn write_baseline_requires_a_reason() {
+    let dir = std::env::temp_dir().join("keylint-reason-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("leaky.rs");
+    std::fs::write(&file, "fn f(p: *const u8) -> u8 { unsafe { *p } }\n").unwrap();
+    let out = bin()
+        .arg(&file)
+        .arg("--write-baseline")
+        .arg(dir.join("b.json"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "missing --reason must be a usage error");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--reason"), "error should name the flag:\n{err}");
+}
+
+#[test]
+fn todo_reasons_fail_unless_allowed() {
+    let dir = std::env::temp_dir().join("keylint-todo-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("leaky.rs");
+    std::fs::write(&file, "fn f(p: *const u8) -> u8 { unsafe { *p } }\n").unwrap();
+    // Generate a valid baseline, then let its reason rot into a TODO the
+    // way a hand-edited committed file would.
+    let baseline = dir.join("baseline.json");
+    let out = bin()
+        .arg(&file)
+        .arg("--write-baseline")
+        .arg(&baseline)
+        .args(["--reason", "placeholder-to-rot"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let rotted = std::fs::read_to_string(&baseline)
+        .unwrap()
+        .replace("placeholder-to-rot", "TODO: justify before committing");
+    std::fs::write(&baseline, rotted).unwrap();
+
+    let out = bin().arg(&file).arg("--baseline").arg(&baseline).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "TODO reasons must fail the lint");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("TODO"), "error should mention TODO reasons:\n{err}");
+
+    // The escape hatch downgrades to a warning and the baseline applies.
+    let out = bin()
+        .arg(&file)
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg("--allow-todo-reasons")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "--allow-todo-reasons must pass");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("warning"), "must still warn:\n{err}");
 }

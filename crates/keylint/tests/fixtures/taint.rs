@@ -1,0 +1,73 @@
+//! Taint-propagation cases: a secret laundered through intermediate
+//! bindings must still reach S004/S005, and sanitized or shadowed values
+//! must not. Lines with a trailing `//~ RULE` marker must be flagged.
+
+fn one_hop(key: RsaPrivateKey) {
+    let tmp = key.d();
+    println!("{}", tmp); //~ S004
+}
+
+fn two_hop(key: RsaPrivateKey) {
+    let a = key.d();
+    let b = a;
+    println!("{}", b); //~ S004
+}
+
+fn destructured(key: RsaPrivateKey) {
+    let (lo, _count) = (key.d(), 0usize);
+    println!("{}", lo); //~ S004
+}
+
+fn accessor_root(srv: &Server) {
+    let k = srv.private_key();
+    println!("{}", k); //~ S004
+}
+
+fn reassigned(key: RsaPrivateKey) {
+    let mut x = 0u64;
+    x = key.d();
+    format!("{}", x); //~ S004
+}
+
+fn laundered_copy(key: RsaPrivateKey) {
+    let tmp = key.d();
+    let _dup = tmp.to_vec(); //~ S005
+}
+
+fn laundered_vec_from(key: RsaPrivateKey) {
+    let tmp = key.d();
+    let _v = Vec::from(tmp); //~ S005
+}
+
+// Negative: taint dies through a sanitizer (`len` by default config).
+fn sanitized(key: RsaPrivateKey) {
+    let n = key.d().len();
+    println!("{}", n);
+}
+
+// Negative: a clean rebinding shadows the tainted name.
+fn shadowed(key: RsaPrivateKey) {
+    let t = key.d();
+    println!("{}", t); //~ S004
+    let t = t.len();
+    println!("{}", t);
+}
+
+// Negative: taint is scoped per function — the same name elsewhere is
+// untouched (cross-binding false-positive guard).
+fn taints_shared_name(key: RsaPrivateKey) {
+    let shared_name = key.d();
+    let _ = shared_name;
+}
+
+fn clean_shared_name(shared_name: u32) {
+    println!("{}", shared_name);
+}
+
+// A justified sink keeps the suppression workflow working on taint
+// findings too.
+fn justified(key: RsaPrivateKey) {
+    let digest = key.d();
+    // keylint: allow(S004) -- fixture: demonstrates suppressing a laundered sink
+    println!("{}", digest);
+}

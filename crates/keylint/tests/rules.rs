@@ -77,6 +77,11 @@ fn s006_safety_comments() {
     check_fixture("s006.rs");
 }
 
+#[test]
+fn taint_laundering_reaches_sinks() {
+    check_fixture("taint.rs");
+}
+
 /// Every fixture marker names a real rule, and every rule has at least one
 /// positive and one suppressed case across the fixture set.
 #[test]

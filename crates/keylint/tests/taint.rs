@@ -1,0 +1,69 @@
+//! End-to-end taint test: runs the `keylint` binary on the taint fixture
+//! with `--format json` and asserts the machine-readable findings match
+//! the fixture's `//~` markers — the laundered one- and two-hop S004
+//! sinks, the laundered S005 copies, and *nothing* on the sanitized,
+//! shadowed, or cross-function lines.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use keylint::json::{self, Value};
+
+#[test]
+fn taint_fixture_findings_via_json_output() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/taint.rs");
+    let src = std::fs::read_to_string(&fixture).unwrap();
+
+    // Expected (rule, line) pairs straight from the `//~` markers.
+    let mut want = BTreeSet::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(rest) = line.split("//~").nth(1) {
+            // Only `S###`-shaped tokens count, so prose mentioning the
+            // marker syntax doesn't register.
+            for rule in rest.split_whitespace() {
+                let mut chars = rule.chars();
+                if chars.next() == Some('S') && chars.clone().count() == 3
+                    && chars.all(|c| c.is_ascii_digit())
+                {
+                    want.insert((rule.to_string(), i as u32 + 1));
+                }
+            }
+        }
+    }
+    assert!(
+        want.contains(&("S004".to_string(), 7)),
+        "fixture must mark the one-hop laundering line"
+    );
+    assert!(
+        want.iter().any(|(r, _)| r == "S005"),
+        "fixture must mark a laundered duplication"
+    );
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_keylint"))
+        .arg(&fixture)
+        .args(["--format", "json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "taint fixture must fail the lint");
+
+    let report = json::parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    let findings = report
+        .get("findings")
+        .and_then(Value::as_arr)
+        .expect("report must carry a findings array");
+    let got: BTreeSet<(String, u32)> = findings
+        .iter()
+        .map(|f| {
+            let rule = f.get("rule").and_then(Value::as_str).unwrap().to_string();
+            let line = match f.get("line") {
+                Some(Value::Num(n)) => *n as u32,
+                other => panic!("finding line must be a number, got {other:?}"),
+            };
+            (rule, line)
+        })
+        .collect();
+    assert_eq!(
+        got, want,
+        "JSON findings must match the fixture markers exactly"
+    );
+}

@@ -102,34 +102,76 @@ impl EntropyScanner {
     /// Scans a dump, returning merged high-entropy regions in ascending
     /// offset order. Windows slide by half their length, and adjacent or
     /// overlapping hot windows merge into one region.
+    ///
+    /// Dumps shorter than the window are scanned as one clamped window,
+    /// and a final window anchored at the end covers the tail the strided
+    /// loop would otherwise miss — a key sitting in the last partial
+    /// window of a capture is a hit, not a blind spot. Clamped windows
+    /// below a minimum-length floor (half the window, at least 16 bytes)
+    /// are skipped: `n` bytes can reach at most `log2(n)` bits/byte, so
+    /// tiny buffers would either false-positive or be meaningless.
     #[must_use]
     pub fn scan(&self, dump: &[u8]) -> Vec<EntropyRegion> {
         let mut regions: Vec<EntropyRegion> = Vec::new();
+        let floor = (self.window / 2).max(16);
         if dump.len() < self.window {
+            if dump.len() >= floor {
+                self.consider(&mut regions, dump, 0, dump.len());
+            }
             return regions;
         }
         let stride = (self.window / 2).max(1);
         let mut start = 0usize;
         while start + self.window <= dump.len() {
-            let h = Self::entropy_bits(&dump[start..start + self.window]);
-            if h >= self.threshold {
-                match regions.last_mut() {
-                    // Merge with the previous region when contiguous.
-                    Some(last) if last.start + last.len >= start => {
-                        let end = start + self.window;
-                        last.len = end - last.start;
-                        last.bits_per_byte = last.bits_per_byte.max(h);
-                    }
-                    _ => regions.push(EntropyRegion {
-                        start,
-                        len: self.window,
-                        bits_per_byte: h,
-                    }),
-                }
-            }
+            self.consider(&mut regions, dump, start, start + self.window);
             start += stride;
         }
+        // The strided loop stops at the last aligned full window; when the
+        // dump length is not stride-aligned, one more full-size window
+        // anchored at the very end covers the remaining tail bytes.
+        let tail = dump.len() - self.window;
+        if tail % stride != 0 {
+            self.consider(&mut regions, dump, tail, dump.len());
+        }
         regions
+    }
+
+    /// Evaluates one window and merges it into `regions` when hot and
+    /// contiguous with the previous hit. Windows arrive in ascending
+    /// `start` (and ascending `end`) order.
+    fn consider(
+        &self,
+        regions: &mut Vec<EntropyRegion>,
+        dump: &[u8],
+        start: usize,
+        end: usize,
+    ) {
+        let h = Self::entropy_bits(&dump[start..end]);
+        // A clamped window cannot reach the full window's score — `n`
+        // bytes max out at `log2(n)` bits/byte (random 200-byte keys score
+        // ≈ 6.9 where 256-byte ones score ≈ 7.1) — so the bar scales by
+        // the ratio of achievable ceilings to stay equally selective.
+        let ceiling = |n: usize| (n as f64).log2().min(8.0);
+        let len = end - start;
+        let bar = if len < self.window {
+            self.threshold * ceiling(len) / ceiling(self.window)
+        } else {
+            self.threshold
+        };
+        if h < bar {
+            return;
+        }
+        match regions.last_mut() {
+            Some(last) if last.start + last.len >= start => {
+                last.len = end - last.start;
+                last.bits_per_byte = last.bits_per_byte.max(h);
+            }
+            _ => regions.push(EntropyRegion {
+                start,
+                len: end - start,
+                bits_per_byte: h,
+            }),
+        }
     }
 
     /// Convenience: does the dump contain any candidate-key region?
@@ -210,6 +252,59 @@ mod tests {
     fn short_dump_yields_nothing() {
         let scanner = EntropyScanner::key_hunter();
         assert!(scanner.scan(&[0u8; 100]).is_empty());
+    }
+
+    #[test]
+    fn sub_window_dump_holding_a_key_is_flagged() {
+        // Regression: dumps shorter than the window used to be skipped
+        // entirely, hiding any key they contained.
+        let key = Rng64::new(6).gen_bytes(200);
+        let regions = EntropyScanner::key_hunter().scan(&key);
+        assert_eq!(regions.len(), 1, "{regions:?}");
+        assert_eq!(regions[0].start, 0);
+        assert_eq!(regions[0].len, 200);
+        // 200 bytes cap at log2(200) ≈ 7.64 bits/byte; the scaled bar is
+        // 7.0 * 7.64/8 ≈ 6.69 and random key bytes clear it.
+        assert!(regions[0].bits_per_byte >= 6.69);
+    }
+
+    #[test]
+    fn sub_window_text_is_still_not_flagged() {
+        // The scaled bar must stay selective: base64-ish text in a clamped
+        // window scores ≤ 6 bits/byte and stays under it.
+        let pem_ish: Vec<u8> = (0..200u32)
+            .map(|i| {
+                let alphabet =
+                    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+                alphabet[(i.wrapping_mul(2654435761) >> 16) as usize % 64]
+            })
+            .collect();
+        assert!(EntropyScanner::key_hunter().scan(&pem_ish).is_empty());
+    }
+
+    #[test]
+    fn sub_floor_dump_is_skipped_even_when_random() {
+        // 100 bytes can reach at most log2(100) ≈ 6.6 bits/byte; below the
+        // floor we do not even evaluate, so tiny buffers never flag.
+        let noise = Rng64::new(7).gen_bytes(100);
+        assert!(EntropyScanner::key_hunter().scan(&noise).is_empty());
+    }
+
+    #[test]
+    fn tail_resident_key_is_found() {
+        // Regression: the strided loop never evaluated the final partial
+        // window, so a key in the last <window bytes of a dump was
+        // invisible. 1000 - 256 = 744 is not stride-aligned (stride 128),
+        // so only the anchored tail window sees the key whole.
+        let mut dump = vec![0u8; 1000];
+        let key = Rng64::new(8).gen_bytes(256);
+        dump[744..].copy_from_slice(&key);
+        let regions = EntropyScanner::key_hunter().scan(&dump);
+        assert_eq!(regions.len(), 1, "{regions:?}");
+        let r = regions[0];
+        assert_eq!(r.start + r.len, 1000, "region must reach the dump's end");
+        assert!(r.start <= 744, "{r:?}");
+        assert!(r.bits_per_byte >= 7.0);
     }
 
     #[test]

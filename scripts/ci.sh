@@ -22,6 +22,20 @@ echo "== determinism equivalence (release) =="
 cargo test --release -p harness --test determinism -- --nocapture
 cargo test --release -p simrng --test fork_properties
 
+echo "== keylint taint fixtures =="
+# The taint engine's end-to-end behavior, pinned by fixture markers:
+# laundered one-/two-hop sinks fire, sanitized/shadowed/cross-function
+# cases stay clean (asserted against the JSON output too).
+cargo test --release -p keylint --test rules taint
+cargo test --release -p keylint --test taint
+
+echo "== keylint baseline hygiene =="
+# A committed baseline must hold finished decisions, not placeholders.
+if grep -q "TODO" keylint-baseline.json; then
+    echo "ci: keylint-baseline.json still contains TODO reasons" >&2
+    exit 1
+fi
+
 echo "== keylint =="
 cargo run --release -p keylint -- --workspace
 
