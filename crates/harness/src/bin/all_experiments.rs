@@ -49,6 +49,7 @@ fn main() {
     run_timeline_figures(&exec, &cfg, &out);
     run_perf_figures(&cfg, &out, args.has("paper"));
     run_baselines(&cfg, &out);
+    run_fault_figures(&exec, &cfg, &out, args.has("paper"));
     println!(
         "\nAll experiments complete in {:.1}s. Data written under {}/",
         wall.elapsed().as_secs_f64(),
@@ -204,6 +205,44 @@ fn run_perf_figures(cfg: &ExperimentConfig, out: &Path, paper_scale: bool) {
         println!("overhead: {:+.1}%", overhead_percent(&before, &after));
         write_dat(out, &format!("{fig}_{}_perf.txt", kind.label()), &table).expect("write");
     }
+}
+
+/// Error-path robustness matrix (beyond the paper): inject faults into the
+/// server workloads at the levels that promise kernel zeroing and verify the
+/// no-leak invariant after every one. `--paper` runs exhaustively (stride 1);
+/// the default strides the index space to keep the suite fast. The full
+/// exhaustive gate is the dedicated `faultsweep` binary.
+fn run_fault_figures(exec: &Executor, cfg: &ExperimentConfig, out: &Path, paper_scale: bool) {
+    use harness::faultsweep::{fault_sweep_on, FaultMode};
+    use harness::report::fault_sweep_dat;
+
+    let stride = if paper_scale { 1 } else { 23 };
+    println!("\n[faultsweep] error-path no-leak matrix (stride {stride})");
+    let mut violations = 0;
+    for kind in ServerKind::ALL {
+        for level in [ProtectionLevel::Kernel, ProtectionLevel::Integrated] {
+            for mode in [FaultMode::Fail, FaultMode::Kill] {
+                let start = Instant::now();
+                let report =
+                    fault_sweep_on(exec, kind, level, mode, stride, cfg).expect("fault sweep");
+                let timing = ExecReport::new(report.cells.len(), exec.threads(), start.elapsed());
+                println!("  {} — {timing}", report.summary());
+                violations += report.violations().len();
+                write_dat(
+                    out,
+                    &format!(
+                        "faultsweep_{}_{}_{}.dat",
+                        report.kind_label,
+                        level.label(),
+                        mode.label()
+                    ),
+                    &fault_sweep_dat(&report),
+                )
+                .expect("write");
+            }
+        }
+    }
+    assert_eq!(violations, 0, "no-leak invariant violated under fault injection");
 }
 
 fn summarize_sweep(points: &[harness::attack_sweep::SweepPoint]) {

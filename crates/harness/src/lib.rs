@@ -8,6 +8,7 @@
 //! | Fig 5, 6, 9–16, 21–28 (timelines) | [`timeline::run_timeline`] | `timeline` |
 //! | Fig 7, 17, 18 (before/after) | [`attack_sweep::tty_sweep`] at two levels | `fig7_17_18` |
 //! | Fig 8, 19, 20 (performance) | [`perf::run_perf`] | `perf` |
+//! | Error-path robustness (beyond the paper) | [`faultsweep::fault_sweep`] | `faultsweep` |
 //!
 //! Each driver returns plain data structures; the [`report`] module renders
 //! them as the gnuplot-style `.dat` series the paper's plots were built from
@@ -25,6 +26,7 @@ pub mod attack_sweep;
 pub mod baselines;
 pub mod cli;
 pub mod exec;
+pub mod faultsweep;
 pub mod perf;
 pub mod plot;
 pub mod report;

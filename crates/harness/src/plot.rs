@@ -319,6 +319,7 @@ mod tests {
                     locations: vec![(4096, false), (8192, false), (12288, false)],
                 },
             ],
+            shed: servers::SheddingStats::default(),
         }
     }
 

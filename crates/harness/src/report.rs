@@ -96,6 +96,41 @@ pub fn timeline_ascii(tl: &Timeline, width: usize) -> String {
             p.unallocated
         );
     }
+    let shed = tl.shed;
+    let _ = writeln!(
+        out,
+        "shed: {} failed forks, {} dropped connections, {} abandoned handshakes",
+        shed.failed_forks, shed.shed_connections, shed.shed_handshakes
+    );
+    out
+}
+
+/// Renders a fault sweep as `k injected kills allocated unallocated handshakes shed_total`
+/// lines plus a trailing verdict comment — the error-path analogue of the
+/// sweep `.dat` files.
+#[must_use]
+pub fn fault_sweep_dat(report: &crate::faultsweep::FaultSweepReport) -> String {
+    let mut out = format!(
+        "# {}\n# k injected kills allocated unallocated handshakes shed_total\n",
+        report.summary()
+    );
+    for c in &report.cells {
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {} {} {}",
+            c.k, c.injected, c.kills, c.allocated, c.unallocated, c.handshakes, c.shed.total()
+        );
+    }
+    let violations = report.violations();
+    if violations.is_empty() {
+        out.push_str("# no-leak invariant: HELD\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "# no-leak invariant: VIOLATED at k = {:?}",
+            violations.iter().map(|c| c.k).collect::<Vec<_>>()
+        );
+    }
     out
 }
 
@@ -212,6 +247,7 @@ mod tests {
                     locations: vec![(4096, true), (8192, false)],
                 },
             ],
+            shed: servers::SheddingStats::default(),
         }
     }
 
@@ -248,6 +284,52 @@ mod tests {
         assert!(chart.contains("t= 1"));
         assert!(chart.contains('#'));
         assert!(chart.contains('+'));
+        assert!(chart.contains("shed: 0 failed forks"));
+    }
+
+    #[test]
+    fn ascii_chart_surfaces_shedding() {
+        let mut tl = sample_timeline();
+        tl.shed = servers::SheddingStats {
+            failed_forks: 4,
+            shed_connections: 2,
+            shed_handshakes: 1,
+        };
+        let chart = timeline_ascii(&tl, 20);
+        assert!(
+            chart.contains("shed: 4 failed forks, 2 dropped connections, 1 abandoned handshakes"),
+            "{chart}"
+        );
+    }
+
+    #[test]
+    fn fault_dat_renders_cells_and_verdict() {
+        use crate::faultsweep::{FaultCell, FaultMode, FaultSweepReport};
+        let mut report = FaultSweepReport {
+            kind_label: "ssh",
+            level: ProtectionLevel::Kernel,
+            mode: FaultMode::Fail,
+            start: 10,
+            end: 12,
+            stride: 1,
+            cells: vec![FaultCell {
+                k: 10,
+                injected: 1,
+                kills: 0,
+                error: None,
+                allocated: 2,
+                unallocated: 0,
+                handshakes: 3,
+                shed: servers::SheddingStats::default(),
+            }],
+        };
+        let dat = fault_sweep_dat(&report);
+        assert!(dat.contains("10 1 0 2 0 3 0"), "{dat}");
+        assert!(dat.contains("invariant: HELD"), "{dat}");
+
+        report.cells[0].unallocated = 5;
+        let dat = fault_sweep_dat(&report);
+        assert!(dat.contains("VIOLATED at k = [10]"), "{dat}");
     }
 
     #[test]

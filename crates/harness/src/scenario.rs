@@ -443,6 +443,7 @@ impl Scenario {
                 kind_label,
                 level: self.level,
                 points,
+                shed: server.as_ref().map(SecureServer::shedding).unwrap_or_default(),
             },
             attacks,
         })

@@ -9,7 +9,7 @@ use keyguard::ProtectionLevel;
 use keyscan::Scanner;
 use memsim::SimResult;
 use rsa_repro::material::KeyMaterial;
-use servers::{ApacheServer, SecureServer, ServerConfig, SshServer};
+use servers::{ApacheServer, SecureServer, ServerConfig, SheddingStats, SshServer};
 use simrng::Rng64;
 
 /// The paper's schedule, in simulation ticks (1 tick = 2 minutes).
@@ -96,6 +96,9 @@ pub struct Timeline {
     pub level: ProtectionLevel,
     /// One point per tick.
     pub points: Vec<TimelinePoint>,
+    /// Work the server shed on error paths over the whole run (all zero on a
+    /// healthy machine; nonzero under resource pressure or fault injection).
+    pub shed: SheddingStats,
 }
 
 impl Timeline {
@@ -193,6 +196,7 @@ fn drive<S: SecureServer>(
         kind_label,
         level,
         points,
+        shed: server.as_ref().map(SecureServer::shedding).unwrap_or_default(),
     })
 }
 

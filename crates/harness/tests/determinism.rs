@@ -125,6 +125,61 @@ fn timeline_batch_parallel_is_bit_identical_to_serial() {
 }
 
 // ---------------------------------------------------------------------
+// Fault sweeps (error-path robustness family)
+// ---------------------------------------------------------------------
+
+#[test]
+fn fault_sweep_parallel_is_bit_identical_to_serial() {
+    use harness::faultsweep::{fault_sweep_on, fault_sweep_seeded_on, FaultMode};
+
+    let serial = fault_sweep_on(
+        &Executor::serial(),
+        ServerKind::Ssh,
+        ProtectionLevel::Kernel,
+        FaultMode::Fail,
+        61,
+        &cfg(),
+    )
+    .unwrap();
+    assert!(serial.injected_cells() > 0, "{}", serial.summary());
+    for threads in THREAD_COUNTS {
+        let parallel = fault_sweep_on(
+            &Executor::new(threads),
+            ServerKind::Ssh,
+            ProtectionLevel::Kernel,
+            FaultMode::Fail,
+            61,
+            &cfg(),
+        )
+        .unwrap();
+        assert_eq!(serial, parallel, "{threads} threads");
+    }
+
+    // Seeded multi-fault runs replay bit-identically too.
+    let seeded_serial = fault_sweep_seeded_on(
+        &Executor::serial(),
+        ServerKind::Apache,
+        ProtectionLevel::Integrated,
+        0xFA17,
+        150,
+        6,
+        &cfg(),
+    )
+    .unwrap();
+    let seeded_parallel = fault_sweep_seeded_on(
+        &Executor::new(4),
+        ServerKind::Apache,
+        ProtectionLevel::Integrated,
+        0xFA17,
+        150,
+        6,
+        &cfg(),
+    )
+    .unwrap();
+    assert_eq!(seeded_serial, seeded_parallel);
+}
+
+// ---------------------------------------------------------------------
 // Scenario scripts (scenarios/)
 // ---------------------------------------------------------------------
 

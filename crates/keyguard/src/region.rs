@@ -15,7 +15,7 @@
 //! worker processes exist.
 
 use bignum::BigUint;
-use memsim::{Kernel, Pid, SimResult, VAddr, PAGE_SIZE};
+use memsim::{Kernel, Pid, SimError, SimResult, VAddr, PAGE_SIZE};
 use rsa_repro::material::limb_bytes;
 use rsa_repro::RsaPrivateKey;
 
@@ -45,6 +45,7 @@ pub struct SecureKeyRegion {
     base: VAddr,
     npages: usize,
     layout: Vec<(String, u64, usize)>,
+    locked: bool,
 }
 
 /// The layout names and offsets are not secret, but redact anyway: the
@@ -53,8 +54,8 @@ impl core::fmt::Debug for SecureKeyRegion {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "SecureKeyRegion(base={:?}, npages={}, <redacted>)",
-            self.base, self.npages
+            "SecureKeyRegion(base={:?}, npages={}, locked={}, <redacted>)",
+            self.base, self.npages, self.locked
         )
     }
 }
@@ -67,6 +68,17 @@ impl SecureKeyRegion {
     /// Allocates the region in `pid`'s address space, copies the six key
     /// components into it, and `mlock`s it.
     ///
+    /// **Transactional**: on any mid-step failure, every byte already written
+    /// is zeroed and the region freed before the error is returned, leaving
+    /// physical memory exactly as scanned-clean as before the call. The one
+    /// *tolerated* failure is an `mlock` refusal ([`SimError::MlockDenied`],
+    /// from `RLIMIT_MEMLOCK` or fault injection): the install completes
+    /// **unlocked** — the key is consolidated and write-protected but
+    /// swappable — and the degradation is recorded queryably in
+    /// [`Self::is_locked`] (plus `KernelStats::mlock_denials`), never
+    /// silently. Deployments that must not run unlocked use
+    /// [`Self::install_strict`].
+    ///
     /// The caller remains responsible for zeroing + freeing any *previous*
     /// homes of the key material (the servers' key-load paths do this).
     ///
@@ -74,6 +86,26 @@ impl SecureKeyRegion {
     ///
     /// Propagates simulator errors (dead process, out of memory).
     pub fn install(kernel: &mut Kernel, pid: Pid, key: &RsaPrivateKey) -> SimResult<Self> {
+        Self::install_inner(kernel, pid, key, true)
+    }
+
+    /// [`Self::install`] without the unlocked-degradation tolerance: an
+    /// `mlock` refusal also rolls the install back (zero + free) and returns
+    /// the error. For deployments whose policy forbids a swappable key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors, including [`SimError::MlockDenied`].
+    pub fn install_strict(kernel: &mut Kernel, pid: Pid, key: &RsaPrivateKey) -> SimResult<Self> {
+        Self::install_inner(kernel, pid, key, false)
+    }
+
+    fn install_inner(
+        kernel: &mut Kernel,
+        pid: Pid,
+        key: &RsaPrivateKey,
+        degrade_unlocked: bool,
+    ) -> SimResult<Self> {
         let parts: [(&str, Vec<u8>); 6] = [
             ("d", limb_bytes(key.d())),
             ("p", limb_bytes(key.p())),
@@ -84,25 +116,58 @@ impl SecureKeyRegion {
         ];
         let total: usize = parts.iter().map(|(_, b)| b.len()).sum();
         let npages = total.div_ceil(PAGE_SIZE).max(1);
+        // alloc_special_region is itself transactional: a mid-page failure
+        // unmaps what it mapped, so there is nothing to roll back here.
         let base = kernel.alloc_special_region(pid, npages)?;
 
         let mut layout = Vec::with_capacity(6);
         let mut off = 0u64;
         for (name, bytes) in &parts {
-            kernel.write_bytes(pid, base.add(off), bytes)?;
+            if let Err(e) = kernel.write_bytes(pid, base.add(off), bytes) {
+                Self::rollback(kernel, pid, base, npages);
+                return Err(e);
+            }
             layout.push((name.to_string(), off, bytes.len()));
             off += bytes.len() as u64;
         }
-        kernel.mlock(pid, base, npages * PAGE_SIZE)?;
+        let locked = match kernel.mlock(pid, base, npages * PAGE_SIZE) {
+            Ok(()) => true,
+            Err(SimError::MlockDenied) if degrade_unlocked => false,
+            Err(e) => {
+                Self::rollback(kernel, pid, base, npages);
+                return Err(e);
+            }
+        };
         // BN_FLG_STATIC_DATA, enforced: the region is never written again,
         // so make accidental writes fault instead of silently breaking the
         // single-physical-copy invariant.
-        kernel.mprotect_readonly(pid, base, npages * PAGE_SIZE, true)?;
+        if let Err(e) = kernel.mprotect_readonly(pid, base, npages * PAGE_SIZE, true) {
+            Self::rollback(kernel, pid, base, npages);
+            return Err(e);
+        }
         Ok(Self {
             base,
             npages,
             layout,
+            locked,
         })
+    }
+
+    /// Undoes a partial install: zero every byte of the region, then free it.
+    /// Best-effort — when the failure was the acting process dying, its pages
+    /// are already unmapped and there is nothing left to touch.
+    fn rollback(kernel: &mut Kernel, pid: Pid, base: VAddr, npages: usize) {
+        let zeros = vec![0u8; npages * PAGE_SIZE];
+        let _ = kernel.write_bytes(pid, base, &zeros);
+        let _ = kernel.free_special_region(pid, base, npages);
+    }
+
+    /// Whether the region is pinned against swap. `false` records the
+    /// explicit degradation taken when `mlock` was refused at install time:
+    /// the key is consolidated and write-protected but swappable.
+    #[must_use]
+    pub fn is_locked(&self) -> bool {
+        self.locked
     }
 
     /// Base address of the region (always page-aligned).
@@ -245,6 +310,82 @@ mod tests {
             *key.qinv()
         );
         assert_eq!(region.read_component(&kernel, pid, "nope").unwrap(), None);
+        assert!(region.is_locked(), "happy-path install must lock");
+    }
+
+    #[test]
+    fn mlock_denial_degrades_explicitly_never_silently() {
+        // RLIMIT_MEMLOCK = 0: every mlock is refused.
+        let mut kernel = Kernel::new(MachineConfig::small().with_memlock_limit(Some(0)));
+        let pid = kernel.spawn();
+        let key = RsaPrivateKey::generate(256, &mut Rng64::new(33));
+        let region = SecureKeyRegion::install(&mut kernel, pid, &key).unwrap();
+        // The degradation is recorded, queryably, in two places.
+        assert!(!region.is_locked());
+        assert_eq!(kernel.stats().mlock_denials, 1);
+        // The key is still consolidated, readable, and write-protected...
+        assert_eq!(
+            region.read_component(&kernel, pid, "d").unwrap().unwrap(),
+            *key.d()
+        );
+        assert!(matches!(
+            kernel.write_bytes(pid, region.base(), b"x"),
+            Err(memsim::SimError::ReadOnly(_))
+        ));
+        // ...but genuinely swappable: the degradation is real, not cosmetic.
+        let material = KeyMaterial::from_key(&key);
+        let scanner = Scanner::from_material(&material);
+        kernel.swap_out_pressure(usize::MAX);
+        assert!(scanner.dump_compromises_key(kernel.swap_bytes()));
+    }
+
+    #[test]
+    fn strict_install_rolls_back_to_scanned_clean_on_forced_failure() {
+        // Regression test for the partial-failure leak: before the
+        // transactional rewrite, a failure after the consolidated page was
+        // written returned Err with all six components still sitting in
+        // physical memory.
+        let mut kernel = Kernel::new(MachineConfig::small().with_memlock_limit(Some(0)));
+        let pid = kernel.spawn();
+        let free_before = kernel.available_frames();
+        let key = RsaPrivateKey::generate(256, &mut Rng64::new(33));
+        let material = KeyMaterial::from_key(&key);
+        let scanner = Scanner::from_material(&material);
+
+        let err = SecureKeyRegion::install_strict(&mut kernel, pid, &key).unwrap_err();
+        assert_eq!(err, memsim::SimError::MlockDenied);
+        // Physical memory is exactly as scanned-clean as before the call —
+        // zero key bytes anywhere, allocated or free, on a *stock* kernel
+        // with no zeroing policy to paper over a missing rollback.
+        let report = scanner.scan_kernel(&kernel);
+        assert_eq!(report.total(), 0, "rollback must zero the written page");
+        assert_eq!(kernel.available_frames(), free_before, "no leaked frames");
+        // The process survives and a later (degradable) install works.
+        let region = SecureKeyRegion::install(&mut kernel, pid, &key).unwrap();
+        assert!(!region.is_locked());
+    }
+
+    #[test]
+    fn faulted_region_allocation_leaves_no_partial_region() {
+        // Fail the frame allocation backing the region page itself: install
+        // must surface the error with nothing mapped and nothing written.
+        let (mut kernel, pid, key) = setup();
+        let material = KeyMaterial::from_key(&key);
+        let scanner = Scanner::from_material(&material);
+        let start = kernel.op_index();
+        // Op start = SpecialAlloc hook, start+1 = the page's FrameAlloc.
+        kernel.install_fault_plan(memsim::FaultPlan::new().fail_at_index(start + 1));
+        let err = SecureKeyRegion::install(&mut kernel, pid, &key).unwrap_err();
+        assert_eq!(err, memsim::SimError::OutOfMemory);
+        kernel.clear_fault_plan();
+        assert_eq!(scanner.scan_kernel(&kernel).total(), 0);
+        // Retry succeeds at the same base a clean machine would use.
+        let region = SecureKeyRegion::install(&mut kernel, pid, &key).unwrap();
+        assert!(region.is_locked());
+        assert_eq!(
+            region.read_component(&kernel, pid, "d").unwrap().unwrap(),
+            *key.d()
+        );
     }
 
     #[test]

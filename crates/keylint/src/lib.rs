@@ -6,7 +6,7 @@
 //! unmanaged heap, frees that never zero, and unsafe aliasing. keylint
 //! walks every `.rs` file with a hand-rolled lexer and item parser (pure
 //! std — the build environment has no registry access) and enforces six
-//! rules (S001–S006) over the set of secret-bearing types, which is seeded
+//! rules (S001–S007) over the set of secret-bearing types, which is seeded
 //! from `keylint.toml` and closed under field-name heuristics and
 //! transitive embedding.
 //!

@@ -1,14 +1,16 @@
-//! The six key-hygiene rules and the secret-type fixpoint they share.
+//! The seven key-hygiene rules and the secret-type fixpoint they share.
 //!
 //! Each rule maps to a leak channel from the memory-disclosure literature:
 //! stray copies via `Clone`/`Copy` (S001) and `.clone()`-family calls
 //! (S005), secrets escaping through `Debug` (S002) or format/log macros
 //! (S004), key bytes surviving free because `Drop` never zeroed them
-//! (S003), and unaudited `unsafe` that could alias key memory (S006).
+//! (S003), unaudited `unsafe` that could alias key memory (S006), and
+//! tainted buffers freed without zeroing on a fallible path (S007).
 
 use std::collections::{BTreeSet, HashMap};
 
 use crate::config::Config;
+use crate::lexer::TokKind;
 use crate::parser::{FileModel, StructDef};
 use crate::taint::FileTaint;
 
@@ -28,6 +30,9 @@ pub enum RuleId {
     S005,
     /// `unsafe` blocks need a `// SAFETY:` justification.
     S006,
+    /// No `heap_free` of a secret-tainted buffer in a fallible function
+    /// unless it was zeroed first (or `heap_free_zeroed` is used).
+    S007,
 }
 
 /// How serious a finding is. Both levels fail the build; the distinction
@@ -42,13 +47,14 @@ pub enum Severity {
 
 impl RuleId {
     /// All rules, in ID order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::S001,
         RuleId::S002,
         RuleId::S003,
         RuleId::S004,
         RuleId::S005,
         RuleId::S006,
+        RuleId::S007,
     ];
 
     /// Stable textual ID.
@@ -61,10 +67,11 @@ impl RuleId {
             RuleId::S004 => "S004",
             RuleId::S005 => "S005",
             RuleId::S006 => "S006",
+            RuleId::S007 => "S007",
         }
     }
 
-    /// Parses `"S001"` … `"S006"`.
+    /// Parses `"S001"` … `"S007"`.
     #[must_use]
     pub fn parse(s: &str) -> Option<RuleId> {
         Self::ALL.into_iter().find(|r| r.as_str() == s)
@@ -89,6 +96,7 @@ impl RuleId {
             RuleId::S004 => "secret value must not reach a format/log macro",
             RuleId::S005 => "secret bytes duplicated outside a blessed module",
             RuleId::S006 => "unsafe block lacks a `// SAFETY:` comment",
+            RuleId::S007 => "secret buffer freed without zeroing on a fallible path",
         }
     }
 }
@@ -165,6 +173,7 @@ pub fn check(models: &[FileModel], cfg: &Config) -> Vec<Finding> {
         check_format_macros(m, &taint, cfg, &mut file_findings);
         check_copies(m, &taint, cfg, &mut file_findings);
         check_unsafe(m, &mut file_findings);
+        check_error_path_frees(m, &taint, cfg, &mut file_findings);
         let suppressed = suppressed_lines(m);
         file_findings.retain(|f| {
             !suppressed
@@ -460,6 +469,110 @@ fn check_unsafe(m: &FileModel, out: &mut Vec<Finding>) {
     }
 }
 
+/// S007: inside a fallible function (one whose body contains `?` or a
+/// `return` of an `Err`), a `heap_free` of a secret-tainted binding is
+/// flagged unless the binding was zeroed earlier in the function (a
+/// configured zero marker or `heap_free_zeroed` applied to the same
+/// name). On the happy path a later zeroing pass may clean up, but an
+/// early error return skips it, leaving key bytes in the freed chunk —
+/// exactly the partial-failure leak the fault sweeps hunt dynamically.
+fn check_error_path_frees(
+    m: &FileModel,
+    taint: &FileTaint<'_>,
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    for f in &m.fns {
+        let body = &m.toks[f.body.0..f.body.1.min(m.toks.len())];
+        let has_try = body
+            .iter()
+            .any(|t| matches!(t.kind, TokKind::Punct) && t.text == "?");
+        let returns_err = body
+            .iter()
+            .any(|t| matches!(t.kind, TokKind::Ident) && t.text == "return")
+            && body
+                .iter()
+                .any(|t| matches!(t.kind, TokKind::Ident) && t.text == "Err");
+        if !has_try && !returns_err {
+            continue;
+        }
+        let mut i = 0;
+        while i < body.len() {
+            let is_free = matches!(body[i].kind, TokKind::Ident)
+                && body[i].text == "heap_free"
+                && body
+                    .get(i + 1)
+                    .is_some_and(|t| matches!(t.kind, TokKind::Punct) && t.text == "(");
+            if !is_free {
+                i += 1;
+                continue;
+            }
+            // Walk the argument list to its matching close paren, collecting
+            // the identifiers that name what is being freed.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut args: Vec<(&str, u32)> = Vec::new();
+            while j < body.len() {
+                let t = &body[j];
+                if matches!(t.kind, TokKind::Punct) {
+                    if t.text == "(" {
+                        depth += 1;
+                    } else if t.text == ")" {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                } else if matches!(t.kind, TokKind::Ident) {
+                    args.push((&t.text, t.line));
+                }
+                j += 1;
+            }
+            let leak = args.iter().find(|(name, line)| {
+                taint.tainted_at(name, *line) && !zeroed_earlier(body, i, name, cfg)
+            });
+            if let Some(&(name, _)) = leak {
+                out.push(Finding {
+                    rule: RuleId::S007,
+                    file: m.path.clone(),
+                    line: body[i].line,
+                    symbol: format!("heap_free({name})"),
+                    message: format!(
+                        "`heap_free({name})` frees secret-tainted memory in a \
+                         fallible function without zeroing it first; an early \
+                         error return leaves key bytes in the freed chunk — \
+                         zero `{name}` ({}) or use `heap_free_zeroed`",
+                        cfg.zero_markers.join("/")
+                    ),
+                });
+            }
+            i = j.max(i + 1);
+        }
+    }
+}
+
+/// Was `name` passed to a zeroing routine (a configured marker or
+/// `heap_free_zeroed`) somewhere in `body[..before]`? The name must appear
+/// in the same statement as the marker, i.e. before the next `;`.
+fn zeroed_earlier(body: &[crate::lexer::Tok], before: usize, name: &str, cfg: &Config) -> bool {
+    for (i, t) in body[..before].iter().enumerate() {
+        let marker = matches!(t.kind, TokKind::Ident)
+            && (t.text == "heap_free_zeroed" || cfg.zero_markers.iter().any(|z| z == &t.text));
+        if !marker {
+            continue;
+        }
+        for u in &body[i + 1..before] {
+            if matches!(u.kind, TokKind::Punct) && u.text == ";" {
+                break;
+            }
+            if matches!(u.kind, TokKind::Ident) && u.text == name {
+                return true;
+            }
+        }
+    }
+    false
+}
+
 /// Parses `// keylint: allow(S001, S005) -- reason` comments. A
 /// suppression covers findings on its own line and on the next line that
 /// holds any token (so it can sit directly above the offending item).
@@ -617,6 +730,52 @@ mod tests {
         assert!(ok.iter().all(|x| x.rule != RuleId::S006));
         let far = run("// SAFETY: too far away\n\n\n\n\nfn f() { unsafe { () } }");
         assert!(far.iter().any(|x| x.rule == RuleId::S006));
+    }
+
+    #[test]
+    fn s007_flags_unzeroed_free_on_fallible_paths_only() {
+        // Fallible fn (uses `?`), tainted buffer freed raw: flagged.
+        let bad = run(
+            "fn f(key: RsaPrivateKey, k: &mut Kernel) -> SimResult<()> {\n    let buf = key.d();\n    k.write(buf)?;\n    k.heap_free(pid, buf)?;\n    Ok(())\n}",
+        );
+        assert!(bad.iter().any(|x| x.rule == RuleId::S007), "{bad:?}");
+        // Zeroed first: clean.
+        let zeroed = run(
+            "fn f(key: RsaPrivateKey, k: &mut Kernel) -> SimResult<()> {\n    let buf = key.d();\n    secure_zero(buf);\n    k.heap_free(pid, buf)?;\n    Ok(())\n}",
+        );
+        assert!(zeroed.iter().all(|x| x.rule != RuleId::S007), "{zeroed:?}");
+        // heap_free_zeroed: clean (different callee, and also a marker).
+        let hfz = run(
+            "fn f(key: RsaPrivateKey, k: &mut Kernel) -> SimResult<()> {\n    let buf = key.d();\n    k.heap_free_zeroed(pid, buf)?;\n    Ok(())\n}",
+        );
+        assert!(hfz.iter().all(|x| x.rule != RuleId::S007), "{hfz:?}");
+        // Infallible fn: out of scope, the Drop rules own that path.
+        let infallible = run(
+            "fn f(key: RsaPrivateKey, k: &mut Kernel) {\n    let buf = key.d();\n    k.heap_free(pid, buf);\n}",
+        );
+        assert!(infallible.iter().all(|x| x.rule != RuleId::S007));
+        // Untainted buffer: clean even on a fallible path.
+        let clean = run(
+            "fn f(k: &mut Kernel) -> SimResult<()> {\n    let buf = k.heap_alloc(pid, 64)?;\n    k.heap_free(pid, buf)?;\n    Ok(())\n}",
+        );
+        assert!(clean.iter().all(|x| x.rule != RuleId::S007));
+    }
+
+    #[test]
+    fn s007_return_err_counts_as_fallible() {
+        let bad = run(
+            "fn f(key: RsaPrivateKey, k: &mut Kernel) -> SimResult<()> {\n    let buf = key.d();\n    if bad { return Err(SimError::OutOfMemory); }\n    k.heap_free(pid, buf);\n    Ok(())\n}",
+        );
+        assert!(bad.iter().any(|x| x.rule == RuleId::S007));
+    }
+
+    #[test]
+    fn s007_zero_marker_on_other_binding_does_not_launder() {
+        // Zeroing a *different* buffer must not excuse this free.
+        let bad = run(
+            "fn f(key: RsaPrivateKey, k: &mut Kernel) -> SimResult<()> {\n    let buf = key.d();\n    let other = vec![0u8; 8];\n    secure_zero(other);\n    k.heap_free(pid, buf)?;\n    Ok(())\n}",
+        );
+        assert!(bad.iter().any(|x| x.rule == RuleId::S007), "{bad:?}");
     }
 
     #[test]

@@ -17,7 +17,7 @@ fn planted_violations_exit_one() {
     let out = bin().arg(fixtures()).output().unwrap();
     assert_eq!(out.status.code(), Some(1), "fixtures must fail the lint");
     let text = String::from_utf8(out.stdout).unwrap();
-    for rule in ["S001", "S002", "S003", "S004", "S005", "S006"] {
+    for rule in ["S001", "S002", "S003", "S004", "S005", "S006", "S007"] {
         assert!(text.contains(rule), "missing {rule} in:\n{text}");
     }
 }

@@ -1,0 +1,59 @@
+//! S007 fixture: secret-tainted buffers freed without zeroing inside
+//! fallible functions. The happy path may zero later; an early `?` or
+//! `return Err(..)` skips it and leaves key bytes in the freed chunk.
+
+// Positive: `?` makes the function fallible and the key image is freed
+// dirty — any earlier failure already returned, this free leaks.
+fn free_dirty(key: RsaPrivateKey, kernel: &mut Kernel, pid: Pid) -> SimResult<()> {
+    let buf = key.d();
+    kernel.write_bytes(pid, buf)?;
+    kernel.heap_free(pid, buf)?; //~ S007
+    Ok(())
+}
+
+// Positive: an explicit `return Err(..)` counts as a fallible path too.
+fn free_after_bailout(key: RsaPrivateKey, kernel: &mut Kernel, pid: Pid) -> SimResult<()> {
+    let image = key.d();
+    if pid == 0 {
+        return Err(SimError::NoSuchProcess(pid));
+    }
+    kernel.heap_free(pid, image); //~ S007
+    Ok(())
+}
+
+// Negative: the buffer is zeroed before the free.
+fn zero_then_free(key: RsaPrivateKey, kernel: &mut Kernel, pid: Pid) -> SimResult<()> {
+    let buf = key.d();
+    secure_zero(buf);
+    kernel.heap_free(pid, buf)?;
+    Ok(())
+}
+
+// Negative: the zeroing variant frees and scrubs atomically.
+fn zeroing_free(key: RsaPrivateKey, kernel: &mut Kernel, pid: Pid) -> SimResult<()> {
+    let buf = key.d();
+    kernel.heap_free_zeroed(pid, buf)?;
+    Ok(())
+}
+
+// Negative: infallible function — there is no error path to leak on;
+// drop hygiene (S003) owns the happy path.
+fn infallible_free(key: RsaPrivateKey, kernel: &mut Kernel, pid: Pid) {
+    let buf = key.d();
+    kernel.heap_free(pid, buf);
+}
+
+// Negative: the freed buffer never carried key material.
+fn untainted_free(kernel: &mut Kernel, pid: Pid) -> SimResult<()> {
+    let scratch = kernel.heap_alloc(pid, 64)?;
+    kernel.heap_free(pid, scratch)?;
+    Ok(())
+}
+
+// Suppressed: deliberately modeling stock OpenSSL's dirty free.
+fn modeled_leak(key: RsaPrivateKey, kernel: &mut Kernel, pid: Pid) -> SimResult<()> {
+    let pem = key.d();
+    // keylint: allow(S007) -- fixture: models the unpatched dirty-free behavior
+    kernel.heap_free(pid, pem)?;
+    Ok(())
+}

@@ -15,7 +15,7 @@ fn fixture_dir() -> PathBuf {
 
 /// `(rule, line)` pairs declared by `//~` markers, in line order. Only
 /// `S###`-shaped tokens count, so prose mentioning the marker syntax
-/// doesn't register (typos like `S007` still reach the coverage test's
+/// doesn't register (typos like `S099` still reach the coverage test's
 /// `RuleId::parse` assertion below).
 fn expectations(src: &str) -> Vec<(String, u32)> {
     let mut out = Vec::new();
@@ -75,6 +75,11 @@ fn s005_secret_copies() {
 #[test]
 fn s006_safety_comments() {
     check_fixture("s006.rs");
+}
+
+#[test]
+fn s007_error_path_frees() {
+    check_fixture("s007.rs");
 }
 
 #[test]

@@ -1,0 +1,285 @@
+//! Deterministic fault injection for the simulated kernel.
+//!
+//! Real kernels fail rarely and unreproducibly; this simulator can fail *any*
+//! fallible operation at *exactly* the chosen moment, run to run, thread to
+//! thread. A [`FaultPlan`] installed on a [`crate::Kernel`] decides, for each
+//! fallible operation the kernel executes, whether that operation is forced
+//! to fail — and the decision is a pure function of the plan and the kernel's
+//! **operation counter**, so a plan replays bit-identically from
+//! `(seed, op_index)` no matter how the surrounding experiment is scheduled.
+//!
+//! Three targeting modes compose inside one plan:
+//!
+//! * **per-class**: fail the `k`-th occurrence of one [`FaultOp`] class
+//!   ("the third `fork` fails");
+//! * **by-index**: fail (or kill the acting process at) a global operation
+//!   index — the mode the `faultsweep` harness uses to enumerate *every*
+//!   fallible step of a workload;
+//! * **seeded**: fail roughly one in `denom` operations, chosen by hashing
+//!   `(seed, op_index)` — background fault pressure that is still exactly
+//!   replayable.
+//!
+//! The operation counter advances identically whether or not any plan is
+//! installed, so a probe run with an empty plan discovers the index space a
+//! targeted plan can then address.
+
+use core::fmt;
+
+/// The classes of fallible kernel operation a plan can target.
+///
+/// Every class maps to one public entry point of [`crate::Kernel`]; the
+/// `FrameAlloc` class additionally fires inside every internal page-frame
+/// allocation (heap growth, COW duplication, page-cache fill, special-region
+/// pages), which is what makes an index sweep exhaustive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultOp {
+    /// Any page-frame allocation (`alloc_frame`): heap growth, COW breaks,
+    /// page-cache fills, kernel pages, special-region pages.
+    FrameAlloc,
+    /// A user heap allocation (`heap_alloc`).
+    HeapAlloc,
+    /// A slab allocation (`kmalloc`).
+    Kmalloc,
+    /// A special-region allocation (`alloc_special_region`).
+    SpecialAlloc,
+    /// An `mlock` call (refused as if `RLIMIT_MEMLOCK` were exceeded).
+    Mlock,
+    /// A `fork` call (refused as if the process table were full).
+    Fork,
+}
+
+impl FaultOp {
+    /// Every class, in counter order.
+    pub const ALL: [Self; 6] = [
+        Self::FrameAlloc,
+        Self::HeapAlloc,
+        Self::Kmalloc,
+        Self::SpecialAlloc,
+        Self::Mlock,
+        Self::Fork,
+    ];
+
+    /// Stable index used for per-class occurrence counters.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Self::FrameAlloc => 0,
+            Self::HeapAlloc => 1,
+            Self::Kmalloc => 2,
+            Self::SpecialAlloc => 3,
+            Self::Mlock => 4,
+            Self::Fork => 5,
+        }
+    }
+
+    /// Short label used in sweep output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::FrameAlloc => "frame_alloc",
+            Self::HeapAlloc => "heap_alloc",
+            Self::Kmalloc => "kmalloc",
+            Self::SpecialAlloc => "special_alloc",
+            Self::Mlock => "mlock",
+            Self::Fork => "fork",
+        }
+    }
+}
+
+impl fmt::Display for FaultOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What the plan decided about one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Let the operation proceed.
+    Allow,
+    /// Force the operation to fail with its class's documented error.
+    Fail,
+    /// Kill the acting process (when one is involved), then fail the
+    /// operation as [`crate::SimError::NoSuchProcess`].
+    Kill,
+}
+
+/// A deterministic fault schedule. Install on a kernel with
+/// [`crate::Kernel::install_fault_plan`].
+///
+/// # Examples
+///
+/// ```
+/// use memsim::{FaultOp, FaultPlan, Kernel, MachineConfig, SimError};
+///
+/// let mut k = Kernel::new(MachineConfig::small());
+/// let pid = k.spawn();
+/// // The second fork in the machine's lifetime fails.
+/// k.install_fault_plan(FaultPlan::new().fail_nth(FaultOp::Fork, 2));
+/// assert!(k.fork(pid).is_ok());
+/// assert_eq!(k.fork(pid), Err(SimError::OutOfMemory));
+/// assert!(k.fork(pid).is_ok());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// `(class, k)`: the `k`-th occurrence (1-based) of `class` fails.
+    nth: Vec<(FaultOp, u64)>,
+    /// Global operation indices (0-based) that fail outright.
+    fail_at: Vec<u64>,
+    /// Global operation indices at which the acting process is killed.
+    kill_at: Vec<u64>,
+    /// Seeded background faults: fail when `mix(seed, op_index) % denom == 0`.
+    seeded: Option<(u64, u64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan: nothing fails.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fails the `k`-th occurrence (1-based) of `op`.
+    #[must_use]
+    pub fn fail_nth(mut self, op: FaultOp, k: u64) -> Self {
+        self.nth.push((op, k));
+        self
+    }
+
+    /// Fails the operation with global index `op_index` (0-based), whatever
+    /// its class — the exhaustive-sweep mode.
+    #[must_use]
+    pub fn fail_at_index(mut self, op_index: u64) -> Self {
+        self.fail_at.push(op_index);
+        self
+    }
+
+    /// Kills the process acting in the operation at global index `op_index`.
+    /// Operations without an acting process (e.g. `kmalloc`) fail instead.
+    #[must_use]
+    pub fn kill_at_index(mut self, op_index: u64) -> Self {
+        self.kill_at.push(op_index);
+        self
+    }
+
+    /// Adds seeded background faults: roughly one in `denom` operations
+    /// fails, selected by hashing `(seed, op_index)`. `denom == 0` disables.
+    #[must_use]
+    pub fn seeded(mut self, seed: u64, denom: u64) -> Self {
+        self.seeded = if denom == 0 { None } else { Some((seed, denom)) };
+        self
+    }
+
+    /// Whether this plan can ever inject a fault.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nth.is_empty()
+            && self.fail_at.is_empty()
+            && self.kill_at.is_empty()
+            && self.seeded.is_none()
+    }
+
+    /// The decision for the operation of class `op` with per-class occurrence
+    /// number `occurrence` (1-based) and global index `op_index` (0-based).
+    ///
+    /// Pure: depends only on the plan and the two counters, which is what
+    /// makes every fault replayable from `(seed, op_index)`.
+    #[must_use]
+    pub fn decide(&self, op: FaultOp, occurrence: u64, op_index: u64) -> FaultDecision {
+        if self.kill_at.contains(&op_index) {
+            return FaultDecision::Kill;
+        }
+        if self.fail_at.contains(&op_index) || self.nth.contains(&(op, occurrence)) {
+            return FaultDecision::Fail;
+        }
+        if let Some((seed, denom)) = self.seeded {
+            if mix(seed, op_index) % denom == 0 {
+                return FaultDecision::Fail;
+            }
+        }
+        FaultDecision::Allow
+    }
+}
+
+/// SplitMix64-style finalizer over `(seed, op_index)` — the same replayable
+/// hash discipline the experiment harness uses for per-cell seeds.
+fn mix(seed: u64, op_index: u64) -> u64 {
+    let mut z = seed ^ op_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_allows_everything() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        for op in FaultOp::ALL {
+            assert_eq!(plan.decide(op, 1, 0), FaultDecision::Allow);
+        }
+    }
+
+    #[test]
+    fn nth_occurrence_targets_one_class() {
+        let plan = FaultPlan::new().fail_nth(FaultOp::Fork, 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.decide(FaultOp::Fork, 2, 10), FaultDecision::Allow);
+        assert_eq!(plan.decide(FaultOp::Fork, 3, 11), FaultDecision::Fail);
+        assert_eq!(plan.decide(FaultOp::HeapAlloc, 3, 11), FaultDecision::Allow);
+    }
+
+    #[test]
+    fn index_modes_ignore_class() {
+        let plan = FaultPlan::new().fail_at_index(7).kill_at_index(9);
+        for op in FaultOp::ALL {
+            assert_eq!(plan.decide(op, 1, 7), FaultDecision::Fail);
+            assert_eq!(plan.decide(op, 1, 9), FaultDecision::Kill);
+            assert_eq!(plan.decide(op, 1, 8), FaultDecision::Allow);
+        }
+    }
+
+    #[test]
+    fn seeded_mode_is_replayable_and_roughly_calibrated() {
+        let plan = FaultPlan::new().seeded(42, 16);
+        let hits: Vec<bool> = (0..1600)
+            .map(|i| plan.decide(FaultOp::FrameAlloc, i + 1, i) == FaultDecision::Fail)
+            .collect();
+        let again: Vec<bool> = (0..1600)
+            .map(|i| plan.decide(FaultOp::FrameAlloc, i + 1, i) == FaultDecision::Fail)
+            .collect();
+        assert_eq!(hits, again, "same (seed, op_index) -> same decision");
+        let count = hits.iter().filter(|h| **h).count();
+        assert!((50..200).contains(&count), "≈100 of 1600 expected, got {count}");
+        // A different seed picks a different subset.
+        let other = (0..1600)
+            .map(|i| FaultPlan::new().seeded(43, 16).decide(FaultOp::FrameAlloc, i + 1, i))
+            .filter(|d| *d == FaultDecision::Fail)
+            .count();
+        assert!(other > 0);
+        assert_ne!(
+            hits.iter().filter(|h| **h).count(),
+            0,
+            "seed 42 must hit at least once"
+        );
+        let _ = other;
+    }
+
+    #[test]
+    fn kill_takes_precedence_over_fail() {
+        let plan = FaultPlan::new().fail_at_index(5).kill_at_index(5);
+        assert_eq!(plan.decide(FaultOp::HeapAlloc, 1, 5), FaultDecision::Kill);
+    }
+
+    #[test]
+    fn labels_and_indices_are_stable() {
+        for (i, op) in FaultOp::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert!(!op.label().is_empty());
+            assert_eq!(op.to_string(), op.label());
+        }
+    }
+}

@@ -164,6 +164,20 @@ impl Heap {
         }
     }
 
+    /// Removes the chunk at `addr` when it is the topmost live chunk created
+    /// by break growth, restoring the previous break exactly. Used to roll
+    /// back an allocation whose page mapping failed partway — the grow path
+    /// only runs when no free chunk fits, so the new chunk is always topmost.
+    pub(crate) fn retract(&mut self, addr: VAddr) -> bool {
+        match self.chunks.get(&addr.0) {
+            Some(c) if !c.free && addr.0 + c.size == self.brk => {}
+            _ => return false,
+        }
+        self.chunks.remove(&addr.0);
+        self.brk = addr.0;
+        true
+    }
+
     /// Total bytes in live (non-free) chunks.
     pub(crate) fn live_bytes(&self) -> u64 {
         self.chunks
@@ -293,6 +307,24 @@ mod tests {
         h.free(a, false).unwrap();
         assert_eq!(h.live_bytes(), 32);
         assert_eq!(h.live_chunks(), 1);
+    }
+
+    #[test]
+    fn retract_undoes_break_growth_exactly() {
+        let mut h = Heap::new(0x1000);
+        let (_keep, _) = h.alloc(64);
+        let brk_before = h.brk();
+        let chunks_before = h.live_chunks();
+        let (grown, grow) = h.alloc(2 * PAGE_SIZE as u64);
+        assert!(grow > 0, "second alloc must grow the break");
+        assert!(h.retract(grown), "topmost grown chunk retracts");
+        assert_eq!(h.brk(), brk_before);
+        assert_eq!(h.live_chunks(), chunks_before);
+        // Retract only applies to the topmost live chunk.
+        let (a, _) = h.alloc(32);
+        let (_top, _) = h.alloc(32);
+        assert!(!h.retract(a), "non-topmost chunk must not retract");
+        assert!(!h.retract(VAddr(0xdead)));
     }
 
     #[test]

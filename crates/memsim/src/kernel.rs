@@ -3,6 +3,7 @@
 //! policies and `O_NOCACHE` semantics.
 
 use crate::alloc::FreeLists;
+use crate::fault::{FaultDecision, FaultOp, FaultPlan};
 use crate::process::{Process, VmaKind, SPECIAL_BASE};
 use crate::slab::{class_for, SlabAllocator};
 use crate::vfs::Vfs;
@@ -82,6 +83,14 @@ pub struct KernelStats {
     pub kmallocs: u64,
     /// kmalloc objects freed (back to their slab, not the page allocator).
     pub kfrees: u64,
+    /// Operations forced to fail (or processes killed) by the installed
+    /// [`FaultPlan`].
+    pub faults_injected: u64,
+    /// `mlock` calls refused, whether by the `memlock_limit` cap or by fault
+    /// injection.
+    pub mlock_denials: u64,
+    /// Processes killed by a [`FaultPlan`] kill decision.
+    pub fault_kills: u64,
 }
 
 /// The simulated machine. See the crate docs for an overview.
@@ -98,6 +107,13 @@ pub struct Kernel {
     swap: Vec<u8>,
     slab: SlabAllocator,
     stats: KernelStats,
+    fault_plan: FaultPlan,
+    /// Global count of fallible operations attempted since boot — the index
+    /// space [`FaultPlan::fail_at_index`] addresses.
+    op_index: u64,
+    /// Per-class occurrence counters (1-based after increment), indexed by
+    /// [`FaultOp::index`].
+    op_counts: [u64; 6],
 }
 
 impl Kernel {
@@ -117,6 +133,84 @@ impl Kernel {
             swap: Vec::new(),
             slab: SlabAllocator::default(),
             stats: KernelStats::default(),
+            fault_plan: FaultPlan::default(),
+            op_index: 0,
+            op_counts: [0; 6],
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Installs a fault schedule. Replaces any previous plan; counters keep
+    /// running, so a plan installed mid-run addresses the same index space a
+    /// probe run with an empty plan observed.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// Removes the fault schedule (counters keep advancing).
+    pub fn clear_fault_plan(&mut self) {
+        self.fault_plan = FaultPlan::default();
+    }
+
+    /// The currently installed fault schedule.
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Number of fallible operations attempted since boot. Advances
+    /// identically with or without an installed plan, so `(seed, op_index)`
+    /// replays: a probe run discovers the indices a targeted plan addresses.
+    #[must_use]
+    pub fn op_index(&self) -> u64 {
+        self.op_index
+    }
+
+    /// Occurrences of one operation class attempted since boot — the
+    /// occurrence space [`FaultPlan::fail_nth`] addresses (its next
+    /// occurrence is `op_count(op) + 1`).
+    #[must_use]
+    pub fn op_count(&self, op: FaultOp) -> u64 {
+        self.op_counts[op.index()]
+    }
+
+    /// Counts this operation and asks the plan whether it proceeds. Every
+    /// fallible entry point calls this exactly once per attempt, faulted or
+    /// not — the counters are what make plans replayable.
+    fn fault_check(&mut self, op: FaultOp, pid: Option<Pid>) -> SimResult<()> {
+        let idx = self.op_index;
+        self.op_index += 1;
+        self.op_counts[op.index()] += 1;
+        let occurrence = self.op_counts[op.index()];
+        match self.fault_plan.decide(op, occurrence, idx) {
+            FaultDecision::Allow => Ok(()),
+            FaultDecision::Fail => {
+                self.stats.faults_injected += 1;
+                Err(match op {
+                    FaultOp::Mlock => {
+                        self.stats.mlock_denials += 1;
+                        SimError::MlockDenied
+                    }
+                    _ => SimError::OutOfMemory,
+                })
+            }
+            FaultDecision::Kill => {
+                self.stats.faults_injected += 1;
+                match pid {
+                    Some(p) => {
+                        if self.alive(p) {
+                            self.stats.fault_kills += 1;
+                            let _ = self.exit(p);
+                        }
+                        Err(SimError::NoSuchProcess(p))
+                    }
+                    // No acting process to kill (e.g. kmalloc): plain failure.
+                    None => Err(SimError::OutOfMemory),
+                }
+            }
         }
     }
 
@@ -212,6 +306,7 @@ impl Kernel {
     /// evicted contents on a stock kernel, another data-lifetime hazard).
     fn alloc_frame(&mut self, state: FrameState) -> SimResult<FrameId> {
         debug_assert_ne!(state, FrameState::Free);
+        self.fault_check(FaultOp::FrameAlloc, None)?;
         if self.free.available() == 0 {
             self.reclaim_page_cache(1);
         }
@@ -253,7 +348,21 @@ impl Kernel {
     /// Returns [`SimError::OutOfMemory`] when physical memory is exhausted.
     pub fn alloc_kernel_pages(&mut self, n: usize) -> SimResult<Vec<FrameId>> {
         self.ensure_free_frames(n)?;
-        (0..n).map(|_| self.alloc_frame(FrameState::Kernel)).collect()
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.alloc_frame(FrameState::Kernel) {
+                Ok(f) => out.push(f),
+                Err(e) => {
+                    // All-or-nothing: return the frames already taken so a
+                    // mid-batch failure cannot strand allocated pages.
+                    for f in out {
+                        self.free_frame(f);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Frees kernel pages obtained from [`Self::alloc_kernel_pages`].
@@ -317,6 +426,7 @@ impl Kernel {
     ///
     /// Returns [`SimError::NoSuchProcess`] when `parent` is not alive.
     pub fn fork(&mut self, parent: Pid) -> SimResult<Pid> {
+        self.fault_check(FaultOp::Fork, Some(parent))?;
         let child_pid = Pid(self.next_pid);
         let parent_proc = self.procs.get_mut(&parent).ok_or(SimError::NoSuchProcess(parent))?;
         self.next_pid += 1;
@@ -391,6 +501,7 @@ impl Kernel {
     ///
     /// Fails with [`SimError::NoSuchProcess`] or [`SimError::OutOfMemory`].
     pub fn heap_alloc(&mut self, pid: Pid, size: usize) -> SimResult<VAddr> {
+        self.fault_check(FaultOp::HeapAlloc, Some(pid))?;
         // Reserve a conservative page estimate before mutating heap state so
         // OOM cannot leave the chunk map inconsistent; reclaim page cache
         // first when the free lists are short.
@@ -407,7 +518,26 @@ impl Kernel {
             let pages = (grow_bytes / PAGE_SIZE as u64) as usize;
             for i in 0..pages {
                 let vpn = first_new_vpn + i as u64;
-                let frame = self.alloc_frame(FrameState::Anon)?;
+                let frame = match self.alloc_frame(FrameState::Anon) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        // Transactional: unmap the pages mapped so far and
+                        // retract the chunk + break growth, restoring the
+                        // heap to its exact pre-call geometry.
+                        for j in 0..i as u64 {
+                            let vpn = first_new_vpn + j;
+                            let proc = self.proc_mut(pid)?;
+                            if let Some(pte) = proc.page_table.remove(&vpn) {
+                                proc.vma_kind.remove(&vpn);
+                                proc.locked_vpns.remove(&vpn);
+                                self.unmap_page(pid, vpn, pte.frame);
+                            }
+                        }
+                        let proc = self.proc_mut(pid)?;
+                        proc.heap.retract(addr);
+                        return Err(e);
+                    }
+                };
                 self.frames[frame.0].mappings.push((pid, vpn));
                 let proc = self.proc_mut(pid)?;
                 proc.page_table.insert(
@@ -502,6 +632,7 @@ impl Kernel {
     ///
     /// Fails with [`SimError::NoSuchProcess`] or [`SimError::OutOfMemory`].
     pub fn alloc_special_region(&mut self, pid: Pid, npages: usize) -> SimResult<VAddr> {
+        self.fault_check(FaultOp::SpecialAlloc, Some(pid))?;
         self.ensure_free_frames(npages)?;
         let proc = self.proc_mut(pid)?;
         let base = proc.next_special.max(SPECIAL_BASE);
@@ -509,7 +640,24 @@ impl Kernel {
         proc.next_special = base + ((npages as u64 + 1) * PAGE_SIZE as u64);
         let first_vpn = base / PAGE_SIZE as u64;
         for i in 0..npages {
-            let frame = self.alloc_frame(FrameState::Anon)?;
+            let frame = match self.alloc_frame(FrameState::Anon) {
+                Ok(f) => f,
+                Err(e) => {
+                    // Transactional: unmap the (still zero-filled) pages
+                    // mapped so far and restore the region cursor.
+                    for j in 0..i as u64 {
+                        let vpn = first_vpn + j;
+                        let proc = self.proc_mut(pid)?;
+                        if let Some(pte) = proc.page_table.remove(&vpn) {
+                            proc.vma_kind.remove(&vpn);
+                            proc.locked_vpns.remove(&vpn);
+                            self.unmap_page(pid, vpn, pte.frame);
+                        }
+                    }
+                    self.proc_mut(pid)?.next_special = base;
+                    return Err(e);
+                }
+            };
             let vpn = first_vpn + i as u64;
             self.frames[frame.0].mappings.push((pid, vpn));
             let proc = self.proc_mut(pid)?;
@@ -553,10 +701,23 @@ impl Kernel {
     ///
     /// # Errors
     ///
-    /// Fails with [`SimError::BadAddress`] when any page is unmapped.
+    /// Fails with [`SimError::BadAddress`] when any page is unmapped, or
+    /// [`SimError::MlockDenied`] when the lock would push the process past
+    /// [`MachineConfig::memlock_limit`] (or a fault plan refuses the call).
     pub fn mlock(&mut self, pid: Pid, addr: VAddr, len: usize) -> SimResult<()> {
+        self.fault_check(FaultOp::Mlock, Some(pid))?;
         let first = addr.vpn();
         let last = VAddr(addr.0 + len.max(1) as u64 - 1).vpn();
+        if let Some(limit) = self.config.memlock_limit {
+            let proc = self.proc(pid)?;
+            let newly = (first..=last)
+                .filter(|vpn| !proc.locked_vpns.contains(vpn))
+                .count();
+            if (proc.locked_vpns.len() + newly) * PAGE_SIZE > limit {
+                self.stats.mlock_denials += 1;
+                return Err(SimError::MlockDenied);
+            }
+        }
         for vpn in first..=last {
             let proc = self.proc_mut(pid)?;
             let pte = *proc
@@ -835,6 +996,7 @@ impl Kernel {
     /// Fails with [`SimError::OutOfMemory`] when `size` exceeds the largest
     /// class or no page can back a new slab.
     pub fn kmalloc(&mut self, size: usize) -> SimResult<KObj> {
+        self.fault_check(FaultOp::Kmalloc, None)?;
         let class = class_for(size).ok_or(SimError::OutOfMemory)?;
         if let Some(obj) = self.slab.take(class) {
             self.stats.kmallocs += 1;

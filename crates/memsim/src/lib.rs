@@ -45,12 +45,14 @@
 #![warn(missing_docs)]
 
 mod alloc;
+mod fault;
 mod heap;
 mod kernel;
 mod process;
 mod slab;
 mod vfs;
 
+pub use fault::{FaultDecision, FaultOp, FaultPlan};
 pub use kernel::{FrameView, Kernel, KernelStats};
 pub use process::Pid;
 pub use slab::{KObj, SLAB_CLASSES};
@@ -181,6 +183,12 @@ pub struct MachineConfig {
     /// the swap device are encrypted, so a stolen swap partition reveals
     /// nothing.
     pub swap_crypto: bool,
+    /// `RLIMIT_MEMLOCK`-style cap on the bytes one process may `mlock`
+    /// (`None` = unlimited, the pre-2.6.9 root default). Real deployments
+    /// routinely run with a small limit — 32 KB was the longtime Linux
+    /// default — which is exactly the condition under which the paper's
+    /// `mlock`-based countermeasure degrades.
+    pub memlock_limit: Option<usize>,
 }
 
 impl MachineConfig {
@@ -194,6 +202,7 @@ impl MachineConfig {
             heap_trim: true,
             secure_dealloc: false,
             swap_crypto: false,
+            memlock_limit: None,
         }
     }
 
@@ -207,6 +216,7 @@ impl MachineConfig {
             heap_trim: true,
             secure_dealloc: false,
             swap_crypto: false,
+            memlock_limit: None,
         }
     }
 
@@ -235,6 +245,13 @@ impl MachineConfig {
     #[must_use]
     pub fn with_mem_bytes(mut self, mem_bytes: usize) -> Self {
         self.mem_bytes = mem_bytes;
+        self
+    }
+
+    /// Caps the bytes one process may `mlock` (`None` = unlimited).
+    #[must_use]
+    pub fn with_memlock_limit(mut self, limit: Option<usize>) -> Self {
+        self.memlock_limit = limit;
         self
     }
 
@@ -267,6 +284,10 @@ pub enum SimError {
     BadFree(VAddr),
     /// A write hit a page protected with [`Kernel::mprotect_readonly`].
     ReadOnly(VAddr),
+    /// An `mlock` call was refused — the process hit the
+    /// [`MachineConfig::memlock_limit`] cap, or an installed [`FaultPlan`]
+    /// forced the refusal (`EPERM`/`ENOMEM` from real `mlock`).
+    MlockDenied,
 }
 
 impl fmt::Display for SimError {
@@ -278,6 +299,7 @@ impl fmt::Display for SimError {
             Self::BadAddress(a) => write!(f, "unmapped or invalid address: {a}"),
             Self::BadFree(a) => write!(f, "free of non-allocated chunk at {a}"),
             Self::ReadOnly(a) => write!(f, "write to read-only page at {a}"),
+            Self::MlockDenied => write!(f, "mlock refused: RLIMIT_MEMLOCK exceeded or fault injected"),
         }
     }
 }
@@ -320,13 +342,14 @@ mod tests {
 
     #[test]
     fn error_display_nonempty() {
-        let errs: [SimError; 6] = [
+        let errs: [SimError; 7] = [
             SimError::OutOfMemory,
             SimError::NoSuchProcess(Pid(3)),
             SimError::NoSuchFile(FileId(1)),
             SimError::BadAddress(VAddr(0x10)),
             SimError::BadFree(VAddr(0x20)),
             SimError::ReadOnly(VAddr(0x30)),
+            SimError::MlockDenied,
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

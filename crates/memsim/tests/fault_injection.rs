@@ -1,0 +1,206 @@
+//! Integration tests for the deterministic fault-injection subsystem:
+//! targeted faults land exactly where planned, the kernel's internal state
+//! stays consistent (transactional rollback), and the operation counter makes
+//! plans replayable.
+
+use memsim::{
+    FaultOp, FaultPlan, FrameId, Kernel, MachineConfig, SimError, PAGE_SIZE,
+};
+
+fn small() -> Kernel {
+    Kernel::new(MachineConfig::small())
+}
+
+#[test]
+fn op_counter_advances_identically_with_and_without_plan() {
+    let drive = |k: &mut Kernel| {
+        let pid = k.spawn();
+        let a = k.heap_alloc(pid, 3 * PAGE_SIZE).unwrap();
+        let child = k.fork(pid).unwrap();
+        let _ = k.kmalloc(64).unwrap();
+        k.heap_free(pid, a).unwrap();
+        k.exit(child).unwrap();
+        k.exit(pid).unwrap();
+    };
+    let mut plain = small();
+    drive(&mut plain);
+
+    // A plan that never fires (indices far beyond the run) must observe the
+    // same counter trajectory.
+    let mut planned = small();
+    planned.install_fault_plan(FaultPlan::new().fail_at_index(1_000_000));
+    drive(&mut planned);
+
+    assert_eq!(plain.op_index(), planned.op_index());
+    assert_eq!(planned.stats().faults_injected, 0);
+}
+
+#[test]
+fn nth_fork_fails_and_machine_continues() {
+    let mut k = small();
+    let pid = k.spawn();
+    k.install_fault_plan(FaultPlan::new().fail_nth(FaultOp::Fork, 2));
+    let c1 = k.fork(pid).expect("first fork fine");
+    assert_eq!(k.fork(pid), Err(SimError::OutOfMemory));
+    let c3 = k.fork(pid).expect("third fork fine");
+    assert_eq!(k.stats().faults_injected, 1);
+    for p in [c1, c3, pid] {
+        k.exit(p).unwrap();
+    }
+}
+
+#[test]
+fn mlock_fault_returns_mlock_denied() {
+    let mut k = small();
+    let pid = k.spawn();
+    let region = k.alloc_special_region(pid, 1).unwrap();
+    k.install_fault_plan(FaultPlan::new().fail_nth(FaultOp::Mlock, 1));
+    assert_eq!(k.mlock(pid, region, PAGE_SIZE), Err(SimError::MlockDenied));
+    assert_eq!(k.stats().mlock_denials, 1);
+    // The second attempt (not targeted) succeeds.
+    k.mlock(pid, region, PAGE_SIZE).unwrap();
+}
+
+#[test]
+fn memlock_limit_caps_locked_bytes_per_process() {
+    let cfg = MachineConfig::small().with_memlock_limit(Some(2 * PAGE_SIZE));
+    let mut k = Kernel::new(cfg);
+    let pid = k.spawn();
+    let region = k.alloc_special_region(pid, 3).unwrap();
+    // Two pages fit under the limit...
+    k.mlock(pid, region, 2 * PAGE_SIZE).unwrap();
+    // ...the third does not.
+    assert_eq!(
+        k.mlock(pid, region.add(2 * PAGE_SIZE as u64), PAGE_SIZE),
+        Err(SimError::MlockDenied)
+    );
+    // Re-locking already-locked pages is not double-counted.
+    k.mlock(pid, region, 2 * PAGE_SIZE).unwrap();
+    assert_eq!(k.stats().mlock_denials, 1);
+}
+
+#[test]
+fn heap_alloc_mid_growth_failure_rolls_back_completely() {
+    let mut k = small();
+    let pid = k.spawn();
+    let (live0, chunks0, pages0) = k.heap_usage(pid).unwrap();
+
+    // Find the frame-allocation op that backs the *second* page of a grow,
+    // by probing: the HeapAlloc hook fires first, then one FrameAlloc per
+    // page. Failing the second FrameAlloc leaves one page mapped mid-call.
+    let start = k.op_index();
+    k.install_fault_plan(FaultPlan::new().fail_at_index(start + 2));
+    assert_eq!(k.heap_alloc(pid, 3 * PAGE_SIZE), Err(SimError::OutOfMemory));
+    k.clear_fault_plan();
+
+    // Exact pre-call geometry: no chunk, no mapped page, no live byte.
+    assert_eq!(k.heap_usage(pid).unwrap(), (live0, chunks0, pages0));
+    // And the heap still works.
+    let a = k.heap_alloc(pid, 3 * PAGE_SIZE).unwrap();
+    k.write_bytes(pid, a, &[0xAB; 3 * PAGE_SIZE]).unwrap();
+    k.heap_free(pid, a).unwrap();
+}
+
+#[test]
+fn special_region_mid_failure_rolls_back_and_next_region_reuses_space() {
+    let mut k = small();
+    let pid = k.spawn();
+    let start = k.op_index();
+    // SpecialAlloc hook is op start, pages are start+1, start+2, ... — fail
+    // the second page.
+    k.install_fault_plan(FaultPlan::new().fail_at_index(start + 2));
+    assert_eq!(k.alloc_special_region(pid, 3), Err(SimError::OutOfMemory));
+    k.clear_fault_plan();
+    let (_, _, pages) = k.heap_usage(pid).unwrap();
+    assert_eq!(pages, 0, "partially mapped special pages must be unmapped");
+
+    // The region cursor was restored: a retry lands at the same base a
+    // never-faulted machine would have used.
+    let base = k.alloc_special_region(pid, 3).unwrap();
+    let mut clean = small();
+    let pid2 = clean.spawn();
+    let clean_base = clean.alloc_special_region(pid2, 3).unwrap();
+    assert_eq!(base, clean_base, "cursor rollback keeps layout deterministic");
+}
+
+#[test]
+fn kernel_page_batch_failure_leaks_no_frames() {
+    let mut k = small();
+    let free0 = k.available_frames();
+    let start = k.op_index();
+    k.install_fault_plan(FaultPlan::new().fail_at_index(start + 2));
+    assert!(k.alloc_kernel_pages(4).is_err());
+    k.clear_fault_plan();
+    assert_eq!(
+        k.available_frames(),
+        free0,
+        "frames taken before the mid-batch failure must be returned"
+    );
+}
+
+#[test]
+fn kill_at_op_terminates_acting_process() {
+    let mut k = small();
+    let pid = k.spawn();
+    let a = k.heap_alloc(pid, 64).unwrap();
+    k.write_bytes(pid, a, b"doomed").unwrap();
+    let start = k.op_index();
+    // Next heap_alloc is the op at `start`; the plan kills the caller there.
+    k.install_fault_plan(FaultPlan::new().kill_at_index(start));
+    assert_eq!(k.heap_alloc(pid, 64), Err(SimError::NoSuchProcess(pid)));
+    assert!(!k.alive(pid), "acting process must be gone");
+    assert_eq!(k.stats().fault_kills, 1);
+}
+
+#[test]
+fn seeded_plans_replay_bit_identically() {
+    let run = |seed: u64| -> (u64, u64, Vec<u8>) {
+        let mut k = small();
+        k.install_fault_plan(FaultPlan::new().seeded(seed, 7));
+        let pid = k.spawn();
+        let mut survived = 0u64;
+        for i in 0..40 {
+            match k.heap_alloc(pid, 48 + i * 16) {
+                Ok(addr) => {
+                    survived += 1;
+                    let _ = k.write_bytes(pid, addr, &[i as u8; 8]);
+                }
+                Err(SimError::OutOfMemory) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        (survived, k.op_index(), k.phys().to_vec())
+    };
+    let (a1, i1, m1) = run(99);
+    let (a2, i2, m2) = run(99);
+    assert_eq!((a1, i1), (a2, i2));
+    assert_eq!(m1, m2, "identical plan + workload -> identical physical memory");
+    let (b1, _, _) = run(100);
+    // Not a hard requirement, but with 40 ops and 1-in-7 faults two seeds
+    // almost surely diverge; equality here would suggest the seed is unused.
+    assert!(a1 > 0 || b1 > 0);
+}
+
+#[test]
+fn faulted_frame_alloc_does_not_corrupt_free_accounting() {
+    let mut k = small();
+    let pid = k.spawn();
+    let free0 = k.available_frames();
+    let start = k.op_index();
+    // Fail every frame allocation for a while.
+    let mut plan = FaultPlan::new();
+    for i in 0..16 {
+        plan = plan.fail_at_index(start + i);
+    }
+    k.install_fault_plan(plan);
+    for _ in 0..8 {
+        let _ = k.heap_alloc(pid, PAGE_SIZE);
+    }
+    k.clear_fault_plan();
+    assert_eq!(k.available_frames(), free0);
+    // Frame conservation still holds: every frame is either free or owned.
+    let owned = (0..k.num_frames())
+        .filter(|&i| k.is_allocated(FrameId(i)))
+        .count();
+    assert_eq!(owned + k.available_frames(), k.num_frames());
+}

@@ -5,9 +5,9 @@
 //! those copies into unallocated memory.
 
 use crate::engine::{ScatteredKey, WorkerCrypto};
-use crate::{SecureServer, ServerConfig};
+use crate::{SecureServer, ServerConfig, SheddingStats};
 use keyguard::SecureKeyRegion;
-use memsim::{FileId, Kernel, Pid, SimResult, VAddr};
+use memsim::{FileId, Kernel, Pid, SimError, SimResult, VAddr};
 use rsa_repro::material::KeyMaterial;
 use rsa_repro::RsaPrivateKey;
 use simrng::Rng64;
@@ -44,6 +44,7 @@ pub struct ApacheServer {
     next_worker: usize,
     rng: Rng64,
     handshakes: u64,
+    shed: SheddingStats,
     running: bool,
 }
 
@@ -76,9 +77,24 @@ impl ApacheServer {
         Ok(())
     }
 
+    /// Spawns one worker, shedding (not propagating) a fork failure.
+    fn spawn_or_shed(&mut self, kernel: &mut Kernel) -> bool {
+        match self.spawn_worker(kernel) {
+            Ok(()) => true,
+            Err(_) => {
+                self.shed.failed_forks += 1;
+                false
+            }
+        }
+    }
+
     fn reap_worker(&mut self, kernel: &mut Kernel) -> SimResult<()> {
         if let Some(w) = self.workers.pop() {
-            kernel.exit(w.pid)?;
+            match kernel.exit(w.pid) {
+                // Already dead (fault-plan kill): the slot is simply gone.
+                Err(SimError::NoSuchProcess(_)) => self.shed.shed_connections += 1,
+                r => r?,
+            }
         }
         Ok(())
     }
@@ -172,6 +188,7 @@ impl SecureServer for ApacheServer {
             next_worker: 0,
             rng,
             handshakes: 0,
+            shed: SheddingStats::default(),
             running: true,
         };
         for _ in 0..START_SERVERS {
@@ -182,10 +199,13 @@ impl SecureServer for ApacheServer {
 
     fn set_concurrency(&mut self, kernel: &mut Kernel, n: usize) -> SimResult<()> {
         // Prefork keeps at least StartServers processes alive and grows the
-        // pool to match concurrent demand.
+        // pool to match concurrent demand. Growth is bounded — one spawn
+        // attempt per missing slot, failures shed — so a fork-exhausted pool
+        // settles below target and regrows on a later call.
         let target = n.clamp(START_SERVERS, MAX_CLIENTS);
-        while self.workers.len() < target {
-            self.spawn_worker(kernel)?;
+        let missing = target.saturating_sub(self.workers.len());
+        for _ in 0..missing {
+            self.spawn_or_shed(kernel);
         }
         while self.workers.len() > target {
             self.reap_worker(kernel)?;
@@ -195,16 +215,29 @@ impl SecureServer for ApacheServer {
 
     fn pump(&mut self, kernel: &mut Kernel, requests: usize) -> SimResult<()> {
         for _ in 0..requests {
-            if self.workers.is_empty() {
-                self.spawn_worker(kernel)?;
+            if self.workers.is_empty() && !self.spawn_or_shed(kernel) {
+                // No pool and no way to grow one right now: this request is
+                // dropped, like a listener backlog overflow.
+                continue;
             }
             let idx = self.next_worker % self.workers.len();
             self.next_worker = self.next_worker.wrapping_add(1);
             let shared = self.shared_struct;
             let material = self.material.clone_secret();
             let w = &mut self.workers[idx];
-            w.crypto.handshake(kernel, w.pid, shared, &material)?;
-            self.handshakes += 1;
+            match w.crypto.handshake(kernel, w.pid, shared, &material) {
+                Ok(()) => self.handshakes += 1,
+                Err(_) => {
+                    // Shed the failing worker — prefork reaps a crashed
+                    // child and carries on.
+                    self.shed.shed_handshakes += 1;
+                    let pid = self.workers.swap_remove(idx).pid;
+                    if kernel.alive(pid) {
+                        let _ = kernel.exit(pid);
+                    }
+                    self.shed.shed_connections += 1;
+                }
+            }
         }
         Ok(())
     }
@@ -225,10 +258,16 @@ impl SecureServer for ApacheServer {
         while !self.workers.is_empty() {
             self.reap_worker(kernel)?;
         }
+        let parent_alive = kernel.alive(self.parent);
         if let Some(region) = self.region.take() {
-            region.destroy(kernel, self.parent)?;
+            // A parent already killed by a fault took its mappings with it.
+            if parent_alive {
+                region.destroy(kernel, self.parent)?;
+            }
         }
-        kernel.exit(self.parent)?;
+        if parent_alive {
+            kernel.exit(self.parent)?;
+        }
         self.running = false;
         Ok(())
     }
@@ -263,5 +302,9 @@ impl SecureServer for ApacheServer {
 
     fn handshakes(&self) -> u64 {
         self.handshakes
+    }
+
+    fn shedding(&self) -> SheddingStats {
+        self.shed
     }
 }

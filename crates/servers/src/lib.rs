@@ -53,6 +53,33 @@ use memsim::{Kernel, SimResult};
 use rsa_repro::material::KeyMaterial;
 use rsa_repro::RsaPrivateKey;
 
+/// Counters for work a server shed on its error paths instead of letting a
+/// [`memsim::SimError`] escape `pump`/`set_concurrency`.
+///
+/// A production daemon that cannot fork a child logs the failure, drops that
+/// connection, and keeps serving; these counters make the simulated servers'
+/// equivalent behaviour observable (they are surfaced in timeline output and
+/// checked by the `faultsweep` harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SheddingStats {
+    /// Connections (SSH) or workers (Apache) never opened because `fork` or
+    /// per-connection setup failed.
+    pub failed_forks: u64,
+    /// Live connections/workers dropped after a fault hit them mid-operation
+    /// (their process is terminated and removed from the pool).
+    pub shed_connections: u64,
+    /// Handshakes abandoned because of a fault.
+    pub shed_handshakes: u64,
+}
+
+impl SheddingStats {
+    /// Total shed events of any kind.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.failed_forks + self.shed_connections + self.shed_handshakes
+    }
+}
+
 /// Configuration shared by both servers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
@@ -123,9 +150,15 @@ pub trait SecureServer: Sized {
     /// forks/reaps per-connection children; for Apache it grows/shrinks the
     /// worker pool.
     ///
+    /// A failure to open one connection (fork refused, allocation failure in
+    /// per-connection setup) is **shed** — counted in [`Self::shedding`] and
+    /// skipped — so a fork-exhausted server converges below the requested
+    /// concurrency instead of erroring out, and recovers on a later call
+    /// once resources free up.
+    ///
     /// # Errors
     ///
-    /// Propagates simulator errors.
+    /// Propagates non-recoverable simulator errors (teardown failures).
     fn set_concurrency(&mut self, kernel: &mut Kernel, n: usize) -> SimResult<()>;
 
     /// Completes `requests` transfer cycles at the current concurrency —
@@ -133,9 +166,14 @@ pub trait SecureServer: Sized {
     /// transfer closes its connection and a fresh one replaces it (scp
     /// churn); for Apache a worker serves the request and stays alive.
     ///
+    /// A fault during one request — fork refused, a worker killed or failing
+    /// mid-handshake — **sheds that connection/worker** (terminating its
+    /// process, counting the event in [`Self::shedding`]) and keeps serving
+    /// the remaining requests; per-connection faults never escape `pump`.
+    ///
     /// # Errors
     ///
-    /// Propagates simulator errors.
+    /// Propagates non-recoverable simulator errors.
     fn pump(&mut self, kernel: &mut Kernel, requests: usize) -> SimResult<()>;
 
     /// Moves `bytes` of payload through one live connection's channel
@@ -189,6 +227,14 @@ pub trait SecureServer: Sized {
 
     /// Total handshakes performed since start.
     fn handshakes(&self) -> u64;
+
+    /// Work shed on error paths since start (failed forks, dropped
+    /// connections, abandoned handshakes). `pump` and `set_concurrency`
+    /// absorb per-connection faults by shedding the affected connection and
+    /// continuing; these counters are how that absorption stays observable.
+    fn shedding(&self) -> SheddingStats {
+        SheddingStats::default()
+    }
 }
 
 #[cfg(test)]

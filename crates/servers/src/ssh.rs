@@ -3,9 +3,9 @@
 //! re-exec behaviour the paper's `-r` option disables).
 
 use crate::engine::{ScatteredKey, WorkerCrypto};
-use crate::{SecureServer, ServerConfig};
+use crate::{SecureServer, ServerConfig, SheddingStats};
 use keyguard::SecureKeyRegion;
-use memsim::{FileId, Kernel, Pid, SimResult};
+use memsim::{FileId, Kernel, Pid, SimError, SimResult};
 use rsa_repro::material::KeyMaterial;
 use rsa_repro::RsaPrivateKey;
 use simrng::Rng64;
@@ -37,6 +37,7 @@ pub struct SshServer {
     connections: Vec<Connection>,
     rng: Rng64,
     handshakes: u64,
+    shed: SheddingStats,
     running: bool,
 }
 
@@ -63,6 +64,25 @@ impl core::fmt::Debug for SshServer {
 impl SshServer {
     fn open_connection(&mut self, kernel: &mut Kernel) -> SimResult<()> {
         let child = kernel.fork(self.daemon)?;
+        match self.setup_connection(kernel, child) {
+            Ok(crypto) => {
+                self.handshakes += 1;
+                self.connections.push(Connection { pid: child, crypto });
+                Ok(())
+            }
+            Err(e) => {
+                // The half-set-up child dies like a crashed sshd: a plain
+                // exit, no cleanup of whatever it already wrote — the
+                // error-path residue faultsweep scans for.
+                if kernel.alive(child) {
+                    let _ = kernel.exit(child);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn setup_connection(&mut self, kernel: &mut Kernel, child: Pid) -> SimResult<WorkerCrypto> {
         let mut crypto = WorkerCrypto::with_protocol(
             self.key.clone_secret(),
             self.config.level,
@@ -80,14 +100,31 @@ impl SshServer {
         }
         // Key-exchange handshake happens at connection setup.
         crypto.handshake(kernel, child, None, &self.material)?;
-        self.handshakes += 1;
-        self.connections.push(Connection { pid: child, crypto });
-        Ok(())
+        Ok(crypto)
+    }
+
+    /// Opens one connection, shedding (not propagating) any failure.
+    fn open_or_shed(&mut self, kernel: &mut Kernel) -> bool {
+        match self.open_connection(kernel) {
+            Ok(()) => true,
+            Err(_) => {
+                self.shed.failed_forks += 1;
+                false
+            }
+        }
     }
 
     fn close_connection(&mut self, kernel: &mut Kernel, idx: usize) -> SimResult<()> {
         let conn = self.connections.swap_remove(idx);
-        kernel.exit(conn.pid)
+        match kernel.exit(conn.pid) {
+            // The child already died (e.g. a fault-plan kill): the
+            // connection is simply gone; note it and move on.
+            Err(SimError::NoSuchProcess(_)) => {
+                self.shed.shed_connections += 1;
+                Ok(())
+            }
+            r => r,
+        }
     }
 
     /// The simulated key file on disk.
@@ -134,6 +171,7 @@ impl SecureServer for SshServer {
             connections: Vec::new(),
             rng,
             handshakes: 0,
+            shed: SheddingStats::default(),
             running: true,
         })
     }
@@ -143,8 +181,12 @@ impl SecureServer for SshServer {
             let last = self.connections.len() - 1;
             self.close_connection(kernel, last)?;
         }
-        while self.connections.len() < n {
-            self.open_connection(kernel)?;
+        // Bounded: one attempt per missing slot. A failing attempt is shed
+        // (the daemon keeps listening below target) instead of looping or
+        // erroring; a later call retries once resources free up.
+        let missing = n.saturating_sub(self.connections.len());
+        for _ in 0..missing {
+            self.open_or_shed(kernel);
         }
         Ok(())
     }
@@ -154,20 +196,36 @@ impl SecureServer for SshServer {
             if self.connections.is_empty() {
                 // No standing concurrency: each transfer is its own
                 // connect/transfer/disconnect cycle.
-                self.open_connection(kernel)?;
-                self.close_connection(kernel, 0)?;
+                if self.open_or_shed(kernel) {
+                    self.close_connection(kernel, 0)?;
+                }
                 continue;
             }
             // scp churn: a replacement connection arrives, then the oldest
             // transfer finishes and its child exits — leaving the child's
             // pages dirty on the free lists until something reuses them.
-            self.open_connection(kernel)?;
-            self.close_connection(kernel, 0)?;
+            if self.open_or_shed(kernel) {
+                self.close_connection(kernel, 0)?;
+            }
+            if self.connections.is_empty() {
+                continue;
+            }
             // Established connections also push data.
             let idx = self.rng.gen_index(self.connections.len());
             let conn = &mut self.connections[idx];
-            conn.crypto.handshake(kernel, conn.pid, None, &self.material)?;
-            self.handshakes += 1;
+            match conn.crypto.handshake(kernel, conn.pid, None, &self.material) {
+                Ok(()) => self.handshakes += 1,
+                Err(_) => {
+                    // Shed the failing connection — like sshd reaping a
+                    // crashed child — and keep serving the rest.
+                    self.shed.shed_handshakes += 1;
+                    let pid = self.connections.swap_remove(idx).pid;
+                    if kernel.alive(pid) {
+                        let _ = kernel.exit(pid);
+                    }
+                    self.shed.shed_connections += 1;
+                }
+            }
         }
         Ok(())
     }
@@ -186,12 +244,19 @@ impl SecureServer for SshServer {
             return Ok(());
         }
         self.set_concurrency(kernel, 0)?;
+        let daemon_alive = kernel.alive(self.daemon);
         if let Some(region) = self.region.take() {
             // The library clears the special region before the daemon dies —
             // the "special care" the paper requires of aligned deployments.
-            region.destroy(kernel, self.daemon)?;
+            // A daemon already killed by a fault took its region mappings
+            // with it; there is nothing left to wipe.
+            if daemon_alive {
+                region.destroy(kernel, self.daemon)?;
+            }
         }
-        kernel.exit(self.daemon)?;
+        if daemon_alive {
+            kernel.exit(self.daemon)?;
+        }
         self.running = false;
         Ok(())
     }
@@ -222,5 +287,9 @@ impl SecureServer for SshServer {
 
     fn handshakes(&self) -> u64 {
         self.handshakes
+    }
+
+    fn shedding(&self) -> SheddingStats {
+        self.shed
     }
 }

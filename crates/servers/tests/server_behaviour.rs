@@ -352,9 +352,12 @@ fn tiny_machine_oom_is_graceful() {
         ServerConfig::new(ProtectionLevel::None).with_key_bits(KEY_BITS),
     )
     .unwrap();
-    // Driving far past capacity must error, not panic.
-    let result = ssh.set_concurrency(&mut k, 500);
-    assert!(result.is_err());
+    // Driving far past capacity must neither panic nor abort the batch: the
+    // daemon sheds the connections it cannot open and stays up.
+    ssh.set_concurrency(&mut k, 500).unwrap();
+    assert!(ssh.concurrency() < 500, "a 40-page machine cannot hold 500");
+    assert!(ssh.shedding().failed_forks > 0, "shed work must be counted");
+    assert!(ssh.is_running());
 }
 
 #[test]

@@ -22,6 +22,18 @@ echo "== determinism equivalence (release) =="
 cargo test --release -p harness --test determinism -- --nocapture
 cargo test --release -p simrng --test fork_properties
 
+echo "== faultsweep smoke matrix (release) =="
+# Deterministic fault injection: fail, then kill, fallible kernel operations
+# across the protected workloads and assert the no-leak invariant (kernel
+# and integrated levels leave zero key bytes in unallocated frames after any
+# injected fault). Strided to stay bounded; the exhaustive stride-1 sweep
+# runs in the harness test suite and in `faultsweep` itself. The binary
+# exits nonzero on any violation.
+cargo run --release -p harness --bin faultsweep -- --test --stride 7 \
+    --level kernel --fault-seed 42 --denom 40 --fault-reps 4
+cargo run --release -p harness --bin faultsweep -- --test --stride 7 \
+    --level integrated
+
 echo "== keylint taint fixtures =="
 # The taint engine's end-to-end behavior, pinned by fixture markers:
 # laundered one-/two-hop sinks fire, sanitized/shadowed/cross-function
