@@ -1,13 +1,21 @@
 //! Scanner throughput — the §3.1 claim: the `scanmemory` module's linear
 //! scan is O(n) and took ~5 s for 256 MB on 2007 hardware. This bench
-//! measures our equivalent across memory sizes and pattern counts.
+//! measures our equivalent across memory sizes and pattern counts, compares
+//! the skip-loop core against the naive per-offset oracle, and measures the
+//! incremental dirty-frame scanner on a timeline-style workload.
+//!
+//! `cargo bench -p bench --bench scan_cost -- --smoke` runs a fixed smoke
+//! measurement instead and writes machine-readable `BENCH_scan.json`
+//! (full-scan bytes/sec, incremental-vs-full speedup, frames rescanned) to
+//! the current directory — the artifact `scripts/ci.sh` archives.
 
 use bench::{BenchmarkId, Criterion, Throughput};
-use keyscan::Scanner;
+use keyscan::{IncrementalScanner, Scanner};
 use memsim::{Kernel, MachineConfig};
 use rsa_repro::material::{KeyMaterial, Pattern};
 use rsa_repro::RsaPrivateKey;
 use simrng::Rng64;
+use std::time::{Duration, Instant};
 
 fn populated_machine(mb: usize) -> (Kernel, KeyMaterial) {
     let mut k = Kernel::new(MachineConfig::small().with_mem_bytes(mb * 1024 * 1024));
@@ -61,8 +69,122 @@ fn bench_scan_by_pattern_count(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fast_vs_naive_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_core");
+    group.sample_size(10);
+    let (k, material) = populated_machine(4);
+    let scanner = Scanner::from_material(&material);
+    let hay = k.phys().to_vec();
+    group.throughput(Throughput::Bytes(hay.len() as u64));
+    group.bench_function("fast_skip_loop", |b| {
+        b.iter(|| scanner.scan_bytes(std::hint::black_box(&hay)).len());
+    });
+    group.bench_function("naive_per_offset", |b| {
+        b.iter(|| scanner.scan_bytes_naive(std::hint::black_box(&hay)).len());
+    });
+    group.finish();
+}
+
+/// A timeline-shaped workload: per tick, a process dirties a few pages, then
+/// memory is scanned — the harness's scan-dominated inner loop.
+fn drive_ticks(
+    mb: usize,
+    ticks: usize,
+    mut scan: impl FnMut(&Kernel),
+) -> Duration {
+    let (mut k, _material) = populated_machine(mb);
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, 4 * 4096).expect("alloc");
+    let start = Instant::now();
+    for t in 0..ticks {
+        k.write_bytes(pid, buf, &[t as u8; 3 * 4096]).expect("write");
+        scan(&k);
+    }
+    start.elapsed()
+}
+
+fn bench_incremental_timeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_timeline");
+    group.sample_size(10);
+    let (_, material) = populated_machine(4);
+    group.bench_function("full_per_tick", |b| {
+        let scanner = Scanner::from_material(&material);
+        b.iter(|| {
+            drive_ticks(16, 8, |k| {
+                std::hint::black_box(scanner.scan_kernel(k).total());
+            })
+        });
+    });
+    group.bench_function("incremental_per_tick", |b| {
+        b.iter(|| {
+            let mut inc = IncrementalScanner::new(Scanner::from_material(&material));
+            drive_ticks(16, 8, |k| {
+                std::hint::black_box(inc.scan(k).total());
+            })
+        });
+    });
+    group.finish();
+}
+
+/// Fixed smoke measurement for CI: one full-scan throughput number, one
+/// incremental-vs-full timeline speedup, written as `BENCH_scan.json`.
+fn smoke() {
+    const MB: usize = 32;
+    const TICKS: usize = 24;
+    let (k, material) = populated_machine(MB);
+    let scanner = Scanner::from_material(&material);
+
+    // Full-scan throughput over physical memory (best of 3).
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        std::hint::black_box(scanner.scan_kernel(&k).total());
+        best = best.min(t0.elapsed());
+    }
+    let bytes = (MB * 1024 * 1024) as f64;
+    let full_bytes_per_sec = bytes / best.as_secs_f64().max(1e-9);
+
+    // Scan-dominated timeline: identical workload, full vs incremental.
+    let full_wall = drive_ticks(MB, TICKS, |k| {
+        std::hint::black_box(scanner.scan_kernel(k).total());
+    });
+    let mut inc = IncrementalScanner::new(Scanner::from_material(&material));
+    let inc_wall = drive_ticks(MB, TICKS, |k| {
+        std::hint::black_box(inc.scan(k).total());
+    });
+    let stats = inc.stats();
+    let speedup = full_wall.as_secs_f64() / inc_wall.as_secs_f64().max(1e-9);
+
+    let json = format!(
+        "{{\n  \"mem_mb\": {MB},\n  \"ticks\": {TICKS},\n  \"full_scan_bytes_per_sec\": {full_bytes_per_sec:.0},\n  \"timeline_full_wall_s\": {:.6},\n  \"timeline_incremental_wall_s\": {:.6},\n  \"incremental_speedup\": {speedup:.2},\n  \"scans\": {},\n  \"frames_rescanned\": {},\n  \"frames_total\": {},\n  \"rescan_fraction\": {:.6}\n}}\n",
+        full_wall.as_secs_f64(),
+        inc_wall.as_secs_f64(),
+        stats.scans,
+        stats.frames_rescanned,
+        stats.frames_total,
+        stats.rescan_fraction(),
+    );
+    // Cargo runs benches with the package dir as cwd; anchor the artifact
+    // at the workspace root where scripts/ci.sh expects it.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan.json");
+    std::fs::write(path, &json).expect("write BENCH_scan.json");
+    print!("{json}");
+    println!(
+        "smoke: full scan {:.0} MB/s; timeline speedup {speedup:.2}x ({} of {} frames rescanned)",
+        full_bytes_per_sec / (1024.0 * 1024.0),
+        stats.frames_rescanned,
+        stats.frames_total,
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     let mut c = Criterion::from_args();
     bench_scan_by_memory_size(&mut c);
     bench_scan_by_pattern_count(&mut c);
+    bench_fast_vs_naive_core(&mut c);
+    bench_incremental_timeline(&mut c);
 }

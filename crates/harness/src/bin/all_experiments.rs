@@ -24,7 +24,7 @@ use harness::report::{
     perf_table, sweep_grid_dat, sweep_line_dat, timeline_ascii, timeline_counts_dat,
     timeline_locations_dat, write_dat,
 };
-use harness::timeline::{run_timelines, Schedule};
+use harness::timeline::{run_timelines_timed, Schedule};
 use harness::{ExperimentConfig, ServerKind};
 use keyguard::ProtectionLevel;
 use std::path::Path;
@@ -154,9 +154,9 @@ fn run_timeline_figures(exec: &Executor, cfg: &ExperimentConfig, out: &Path) {
         .flat_map(|kind| ProtectionLevel::ALL.into_iter().map(move |level| (kind, level)))
         .collect();
     println!("\n[timelines] {} runs across {} threads", jobs.len(), exec.threads());
-    let timelines = timed(exec, jobs.len(), || {
-        run_timelines(exec, &jobs, cfg, &schedule).expect("timeline")
-    });
+    let (timelines, report) =
+        run_timelines_timed(exec, &jobs, cfg, &schedule).expect("timeline");
+    println!("  {report}");
     for ((kind, level), tl) in jobs.into_iter().zip(timelines) {
         println!("\n[timeline] {kind} / {level}");
         print!("{}", timeline_ascii(&tl, 40));
@@ -213,7 +213,7 @@ fn run_perf_figures(cfg: &ExperimentConfig, out: &Path, paper_scale: bool) {
 /// the default strides the index space to keep the suite fast. The full
 /// exhaustive gate is the dedicated `faultsweep` binary.
 fn run_fault_figures(exec: &Executor, cfg: &ExperimentConfig, out: &Path, paper_scale: bool) {
-    use harness::faultsweep::{fault_sweep_on, FaultMode};
+    use harness::faultsweep::{fault_sweep_timed_on, FaultMode};
     use harness::report::fault_sweep_dat;
 
     let stride = if paper_scale { 1 } else { 23 };
@@ -222,10 +222,9 @@ fn run_fault_figures(exec: &Executor, cfg: &ExperimentConfig, out: &Path, paper_
     for kind in ServerKind::ALL {
         for level in [ProtectionLevel::Kernel, ProtectionLevel::Integrated] {
             for mode in [FaultMode::Fail, FaultMode::Kill] {
-                let start = Instant::now();
-                let report =
-                    fault_sweep_on(exec, kind, level, mode, stride, cfg).expect("fault sweep");
-                let timing = ExecReport::new(report.cells.len(), exec.threads(), start.elapsed());
+                let (report, timing) =
+                    fault_sweep_timed_on(exec, kind, level, mode, stride, cfg)
+                        .expect("fault sweep");
                 println!("  {} — {timing}", report.summary());
                 violations += report.violations().len();
                 write_dat(

@@ -17,7 +17,9 @@
 //! exhaustive one.
 
 use harness::cli::Args;
-use harness::faultsweep::{fault_sweep_on, fault_sweep_seeded_on, FaultMode, FaultSweepReport};
+use harness::faultsweep::{
+    fault_sweep_seeded_timed_on, fault_sweep_timed_on, FaultMode, FaultSweepReport,
+};
 use harness::report::{fault_sweep_dat, write_dat};
 use harness::ServerKind;
 use keyguard::ProtectionLevel;
@@ -82,8 +84,9 @@ fn main() {
         for &level in &levels {
             for &mode in &modes {
                 println!("[faultsweep] {kind} / {} / {mode}", level.label());
-                let report = fault_sweep_on(&exec, kind, level, mode, stride, &cfg)
+                let (report, timing) = fault_sweep_timed_on(&exec, kind, level, mode, stride, &cfg)
                     .unwrap_or_else(|e| panic!("{kind}/{}: {e}", level.label()));
+                println!("  {timing}");
                 emit(&report, "");
             }
             if let Some(seed) = args.get("fault-seed") {
@@ -94,9 +97,10 @@ fn main() {
                     "[faultsweep] {kind} / {} / seeded (seed {seed}, 1/{denom}, {reps} reps)",
                     level.label()
                 );
-                let report =
-                    fault_sweep_seeded_on(&exec, kind, level, seed, denom, reps, &cfg)
+                let (report, timing) =
+                    fault_sweep_seeded_timed_on(&exec, kind, level, seed, denom, reps, &cfg)
                         .unwrap_or_else(|e| panic!("{kind}/{}: {e}", level.label()));
+                println!("  {timing}");
                 emit(&report, "_seeded");
             }
         }

@@ -13,7 +13,7 @@
 use harness::cli::Args;
 use harness::plot::{timeline_counts_svg, timeline_locations_svg};
 use harness::report::{timeline_ascii, timeline_counts_dat, timeline_locations_dat, write_dat};
-use harness::timeline::{run_timeline, Schedule};
+use harness::timeline::{run_timeline_timed, Schedule};
 use harness::ServerKind;
 use keyguard::ProtectionLevel;
 
@@ -35,7 +35,8 @@ fn main() {
         for level in &levels {
             let figure = figure_name(*kind, *level);
             println!("== {figure}: timeline, server={kind}, level={level} ==");
-            let tl = run_timeline(*kind, *level, &cfg, &schedule).expect("timeline failed");
+            let (tl, scan_wall) =
+                run_timeline_timed(*kind, *level, &cfg, &schedule).expect("timeline failed");
             println!("{}", timeline_ascii(&tl, 48));
             let base = format!("{}_{}", kind.label(), level.label());
             write_dat(&out, &format!("timeline_{base}_counts.dat"), &timeline_counts_dat(&tl))
@@ -67,6 +68,12 @@ fn main() {
                     );
                 }
             }
+            println!(
+                "   {} scans re-read {:.1}% of frames in {:.3}s (incremental)",
+                tl.scan.scans,
+                tl.scan.rescan_fraction() * 100.0,
+                scan_wall.as_secs_f64()
+            );
             println!(
                 "   peak {} copies ({} unallocated) -> {}/timeline_{base}_*.dat\n",
                 tl.peak_total(),

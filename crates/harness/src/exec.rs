@@ -22,6 +22,7 @@
 //! as the reference oracle the equivalence tests compare against
 //! (`crates/harness/tests/determinism.rs`).
 
+use keyscan::ScanStats;
 use simrng::Rng64;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
@@ -228,6 +229,12 @@ pub struct ExecReport {
     pub threads: usize,
     /// Total wall-clock for the batch.
     pub wall: Duration,
+    /// Deterministic scan-effort counters summed over the batch's cells
+    /// (zero when the batch did no kernel scanning).
+    pub scan: ScanStats,
+    /// Wall-clock spent inside memory scans, summed over cells. A sum of
+    /// per-cell times, so with `threads > 1` it can exceed `wall`.
+    pub scan_wall: Duration,
 }
 
 impl ExecReport {
@@ -238,7 +245,17 @@ impl ExecReport {
             cells,
             threads,
             wall,
+            scan: ScanStats::default(),
+            scan_wall: Duration::ZERO,
         }
+    }
+
+    /// Attaches scan-effort accounting to the report.
+    #[must_use]
+    pub fn with_scan(mut self, scan: ScanStats, scan_wall: Duration) -> Self {
+        self.scan = scan;
+        self.scan_wall = scan_wall;
+        self
     }
 
     /// Cells completed per wall-clock second.
@@ -253,16 +270,27 @@ impl ExecReport {
     }
 
     /// One-line human summary, e.g. `120 cells in 1.84s (65.2 cells/s, 4 threads)`.
+    /// When the batch scanned kernel memory, appends the incremental-scan
+    /// accounting: snapshots, fraction of frames actually re-read, scan time.
     #[must_use]
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} cells in {:.2}s ({:.1} cells/s, {} thread{})",
             self.cells,
             self.wall.as_secs_f64(),
             self.cells_per_sec(),
             self.threads,
             if self.threads == 1 { "" } else { "s" }
-        )
+        );
+        if self.scan.scans > 0 {
+            s.push_str(&format!(
+                "; {} scans re-read {:.1}% of frames in {:.2}s",
+                self.scan.scans,
+                self.scan.rescan_fraction() * 100.0,
+                self.scan_wall.as_secs_f64()
+            ));
+        }
+        s
     }
 }
 
@@ -352,6 +380,23 @@ mod tests {
         assert!(report.cells_per_sec() > 0.0);
         assert!(report.summary().contains("10 cells"));
         assert!(ExecReport::new(5, 1, Duration::ZERO).cells_per_sec() == 0.0);
+    }
+
+    #[test]
+    fn scan_accounting_rides_the_report() {
+        let scan = ScanStats {
+            scans: 4,
+            frames_rescanned: 10,
+            frames_total: 100,
+        };
+        let r = ExecReport::new(8, 2, Duration::from_secs(1))
+            .with_scan(scan, Duration::from_millis(250));
+        assert_eq!(r.scan, scan);
+        assert!(r.summary().contains("4 scans"), "{}", r.summary());
+        assert!(r.summary().contains("10.0%"), "{}", r.summary());
+        // Batches that never scanned keep the old one-liner.
+        let plain = ExecReport::new(8, 2, Duration::from_secs(1)).summary();
+        assert!(!plain.contains("scans"), "{plain}");
     }
 
     #[test]

@@ -27,14 +27,15 @@
 //! Each `k` is one executor cell, so sweeps parallelise like every other
 //! family and stay bit-identical to the serial oracle.
 
-use crate::exec::Executor;
+use crate::exec::{ExecReport, Executor};
 use crate::{ExperimentConfig, ServerKind};
 use keyguard::ProtectionLevel;
-use keyscan::Scanner;
+use keyscan::{IncrementalScanner, ScanStats, Scanner};
 use memsim::{FaultPlan, Kernel};
 use rsa_repro::material::KeyMaterial;
 use servers::{ApacheServer, SecureServer, ServerConfig, SheddingStats, SshServer};
 use simrng::Rng64;
+use std::time::Duration;
 
 /// Standing connections the fault workload keeps open.
 const FAULT_CONCURRENCY: usize = 2;
@@ -117,6 +118,11 @@ pub struct FaultSweepReport {
     pub stride: u64,
     /// One outcome per targeted index, in index order.
     pub cells: Vec<FaultCell>,
+    /// Scan effort summed over the sweep's cells. Cells fork a scanner
+    /// whose cache is warm on the shared boot image, so each cell re-reads
+    /// only the frames its own faulted workload dirtied (counters are
+    /// deterministic; wall-clock rides the timed entry points instead).
+    pub scan: ScanStats,
 }
 
 /// Whether `level` promises the no-leak invariant on error paths: the
@@ -158,7 +164,7 @@ impl FaultSweepReport {
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "{}/{}/{}: {} cells over ops [{}, {}) stride {}, {} faults injected, {} shed events, {} violations",
+            "{}/{}/{}: {} cells over ops [{}, {}) stride {}, {} faults injected, {} shed events, {} violations, scans re-read {:.1}% of frames",
             self.kind_label,
             self.level.label(),
             self.mode,
@@ -168,7 +174,8 @@ impl FaultSweepReport {
             self.stride,
             self.injected_cells(),
             self.total_shed(),
-            self.violations().len()
+            self.violations().len(),
+            self.scan.rescan_fraction() * 100.0
         )
     }
 }
@@ -224,24 +231,50 @@ fn drive_workload<S: SecureServer>(
     }
 }
 
-fn run_one<S: SecureServer>(
+/// Read-only template every cell of one `(kind, level)` sweep starts from:
+/// the deterministic boot image plus an incremental scanner whose cache is
+/// already warm on that image. Each cell clones the kernel and forks the
+/// scanner, so the post-fault scan re-reads only the frames that cell's own
+/// workload dirtied — bit-identical to a full `scan_kernel`, by the
+/// differential suites.
+struct SweepTemplate {
+    kernel: Kernel,
+    scanner: IncrementalScanner,
+}
+
+fn sweep_template(
     kind_label: &'static str,
+    level: ProtectionLevel,
+    cfg: &ExperimentConfig,
+) -> SweepTemplate {
+    let server_cfg = server_config(level, cfg);
+    // The scanner is built from the derived key *before* any server exists,
+    // so it works even when a fault aborts server startup.
+    let mut scanner = IncrementalScanner::new(Scanner::from_material(&KeyMaterial::from_key(
+        &server_cfg.derive_key(kind_label),
+    )));
+    let kernel = boot(level, cfg);
+    // Warm the cache on the boot image; forks inherit it for free.
+    let _ = scanner.scan(&kernel);
+    SweepTemplate { kernel, scanner }
+}
+
+fn run_one<S: SecureServer>(
+    template: &SweepTemplate,
     level: ProtectionLevel,
     cfg: &ExperimentConfig,
     plan: FaultPlan,
     k: u64,
-) -> FaultCell {
+) -> (FaultCell, ScanStats, Duration) {
     let server_cfg = server_config(level, cfg);
-    // The scanner is built from the derived key *before* the server exists,
-    // so it works even when the fault aborts server startup.
-    let scanner = Scanner::from_material(&KeyMaterial::from_key(&server_cfg.derive_key(kind_label)));
-    let mut kernel = boot(level, cfg);
+    let mut kernel = template.kernel.clone();
+    let mut scanner = template.scanner.fork();
     kernel.install_fault_plan(plan);
     let (error, handshakes, shed) = drive_workload::<S>(&mut kernel, server_cfg);
     kernel.clear_fault_plan();
     let stats = kernel.stats();
-    let report = scanner.scan_kernel(&kernel);
-    FaultCell {
+    let report = scanner.scan(&kernel);
+    let cell = FaultCell {
         k,
         injected: stats.faults_injected,
         kills: stats.fault_kills,
@@ -250,20 +283,38 @@ fn run_one<S: SecureServer>(
         unallocated: report.unallocated(),
         handshakes,
         shed,
-    }
+    };
+    (cell, scanner.stats(), scanner.wall())
 }
 
 fn run_kind(
     kind: ServerKind,
+    template: &SweepTemplate,
     level: ProtectionLevel,
     cfg: &ExperimentConfig,
     plan: FaultPlan,
     k: u64,
-) -> FaultCell {
+) -> (FaultCell, ScanStats, Duration) {
     match kind {
-        ServerKind::Ssh => run_one::<SshServer>(kind.label(), level, cfg, plan, k),
-        ServerKind::Apache => run_one::<ApacheServer>(kind.label(), level, cfg, plan, k),
+        ServerKind::Ssh => run_one::<SshServer>(template, level, cfg, plan, k),
+        ServerKind::Apache => run_one::<ApacheServer>(template, level, cfg, plan, k),
     }
+}
+
+/// Folds per-cell `(cell, scan stats, scan wall)` triples into cell order,
+/// aggregated scan counters, and total scan wall-clock.
+fn fold_cells(
+    outs: Vec<(FaultCell, ScanStats, Duration)>,
+) -> (Vec<FaultCell>, ScanStats, Duration) {
+    let mut cells = Vec::with_capacity(outs.len());
+    let mut scan = ScanStats::default();
+    let mut scan_wall = Duration::ZERO;
+    for (cell, stats, wall) in outs {
+        scan.absorb(stats);
+        scan_wall += wall;
+        cells.push(cell);
+    }
+    (cells, scan, scan_wall)
 }
 
 /// Runs the fault workload once with an empty plan and returns the operation
@@ -331,17 +382,40 @@ pub fn fault_sweep_on(
     stride: u64,
     cfg: &ExperimentConfig,
 ) -> Result<FaultSweepReport, String> {
+    fault_sweep_timed_on(exec, kind, level, mode, stride, cfg).map(|(report, _)| report)
+}
+
+/// Like [`fault_sweep_on`], but also returns the batch's [`ExecReport`] with
+/// scan-effort accounting (frames rescanned, scan wall-clock) attached.
+///
+/// # Errors
+///
+/// Propagates a failing probe run.
+///
+/// # Panics
+///
+/// Panics if `stride` is 0.
+pub fn fault_sweep_timed_on(
+    exec: &Executor,
+    kind: ServerKind,
+    level: ProtectionLevel,
+    mode: FaultMode,
+    stride: u64,
+    cfg: &ExperimentConfig,
+) -> Result<(FaultSweepReport, ExecReport), String> {
     assert!(stride > 0, "stride must be at least 1");
     let (start, end) = probe_index_space(kind, level, cfg)?;
+    let template = sweep_template(kind.label(), level, cfg);
     let ks: Vec<u64> = (start..end).step_by(stride as usize).collect();
-    let cells = exec.run(ks, |_, k| {
+    let (outs, exec_report) = exec.run_timed(ks, |_, k| {
         let plan = match mode {
             FaultMode::Fail => FaultPlan::new().fail_at_index(k),
             FaultMode::Kill => FaultPlan::new().kill_at_index(k),
         };
-        run_kind(kind, level, cfg, plan, k)
+        run_kind(kind, &template, level, cfg, plan, k)
     });
-    Ok(FaultSweepReport {
+    let (cells, scan, scan_wall) = fold_cells(outs);
+    let report = FaultSweepReport {
         kind_label: kind.label(),
         level,
         mode,
@@ -349,7 +423,9 @@ pub fn fault_sweep_on(
         end,
         stride,
         cells,
-    })
+        scan,
+    };
+    Ok((report, exec_report.with_scan(scan, scan_wall)))
 }
 
 /// Seeded random fault sweep: `reps` independent runs, each under a plan
@@ -374,13 +450,39 @@ pub fn fault_sweep_seeded_on(
     reps: u64,
     cfg: &ExperimentConfig,
 ) -> Result<FaultSweepReport, String> {
+    fault_sweep_seeded_timed_on(exec, kind, level, fault_seed, denom, reps, cfg)
+        .map(|(report, _)| report)
+}
+
+/// Like [`fault_sweep_seeded_on`], but also returns the batch's
+/// [`ExecReport`] with scan-effort accounting attached.
+///
+/// # Errors
+///
+/// Propagates a failing probe run.
+///
+/// # Panics
+///
+/// Panics if `denom` is 0 (the plan would fail every operation, including
+/// all of boot).
+pub fn fault_sweep_seeded_timed_on(
+    exec: &Executor,
+    kind: ServerKind,
+    level: ProtectionLevel,
+    fault_seed: u64,
+    denom: u64,
+    reps: u64,
+    cfg: &ExperimentConfig,
+) -> Result<(FaultSweepReport, ExecReport), String> {
     assert!(denom > 0, "denom must be at least 1");
     let (start, end) = probe_index_space(kind, level, cfg)?;
-    let cells = exec.run((0..reps).collect(), |_, rep| {
+    let template = sweep_template(kind.label(), level, cfg);
+    let (outs, exec_report) = exec.run_timed((0..reps).collect(), |_, rep| {
         let plan = FaultPlan::new().seeded(fault_seed.wrapping_add(rep), denom);
-        run_kind(kind, level, cfg, plan, rep)
+        run_kind(kind, &template, level, cfg, plan, rep)
     });
-    Ok(FaultSweepReport {
+    let (cells, scan, scan_wall) = fold_cells(outs);
+    let report = FaultSweepReport {
         kind_label: kind.label(),
         level,
         mode: FaultMode::Fail,
@@ -388,7 +490,9 @@ pub fn fault_sweep_seeded_on(
         end,
         stride: 0,
         cells,
-    })
+        scan,
+    };
+    Ok((report, exec_report.with_scan(scan, scan_wall)))
 }
 
 #[cfg(test)]
@@ -421,6 +525,14 @@ mod tests {
         assert!(!report.cells.is_empty());
         assert!(report.injected_cells() > 0, "{}", report.summary());
         assert!(report.violations().is_empty(), "{}", report.summary());
+        // Every cell scanned once, off the sweep's warm boot-image cache, so
+        // the sweep must have skipped the frames the workload never touched.
+        assert_eq!(report.scan.scans, report.cells.len() as u64);
+        assert!(
+            report.scan.rescan_fraction() < 0.9,
+            "warm forks re-read nearly everything: {:?}",
+            report.scan
+        );
     }
 
     #[test]

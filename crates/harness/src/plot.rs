@@ -320,6 +320,7 @@ mod tests {
                 },
             ],
             shed: servers::SheddingStats::default(),
+            scan: keyscan::ScanStats::default(),
         }
     }
 

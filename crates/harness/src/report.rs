@@ -248,6 +248,7 @@ mod tests {
                 },
             ],
             shed: servers::SheddingStats::default(),
+            scan: keyscan::ScanStats::default(),
         }
     }
 
@@ -322,6 +323,7 @@ mod tests {
                 handshakes: 3,
                 shed: servers::SheddingStats::default(),
             }],
+            scan: keyscan::ScanStats::default(),
         };
         let dat = fault_sweep_dat(&report);
         assert!(dat.contains("10 1 0 2 0 3 0"), "{dat}");

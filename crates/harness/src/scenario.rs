@@ -41,7 +41,7 @@ use crate::timeline::{Timeline, TimelinePoint};
 use crate::ServerKind;
 use exploits::{Ext2DirentLeak, SlabProbe, TtyMemoryDump};
 use keyguard::ProtectionLevel;
-use keyscan::Scanner;
+use keyscan::{IncrementalScanner, Scanner};
 use memsim::{Kernel, MachineConfig, SimError};
 use rsa_repro::material::KeyMaterial;
 use servers::{ApacheServer, SecureServer, ServerConfig, SshServer};
@@ -355,7 +355,9 @@ impl Scenario {
             // keylint: allow(S005) -- the scenario's planted session secret is copied into its search pattern by design
             patterns.push(rsa_repro::material::Pattern::new("secret", secret.clone()));
         }
-        let scanner = Scanner::new(patterns);
+        // Attack captures scan their own dumped bytes through the plain
+        // scanner; the per-tick kernel scan rides the incremental cache.
+        let mut inc = IncrementalScanner::new(Scanner::new(patterns));
         let dump = TtyMemoryDump::paper();
 
         let mut server: Option<S> = None;
@@ -402,8 +404,8 @@ impl Scenario {
                             attacks.push(AttackEvent {
                                 t,
                                 kind: "slab",
-                                keys_found: capture.keys_found(&scanner),
-                                succeeded: capture.succeeded(&scanner),
+                                keys_found: capture.keys_found(inc.scanner()),
+                                succeeded: capture.succeeded(inc.scanner()),
                                 disclosed_bytes: capture.disclosed_bytes(),
                             });
                         }
@@ -412,8 +414,8 @@ impl Scenario {
                             attacks.push(AttackEvent {
                                 t,
                                 kind: "ext2",
-                                keys_found: capture.keys_found(&scanner),
-                                succeeded: capture.succeeded(&scanner),
+                                keys_found: capture.keys_found(inc.scanner()),
+                                succeeded: capture.succeeded(inc.scanner()),
                                 disclosed_bytes: capture.disclosed_bytes(),
                             });
                         }
@@ -422,15 +424,15 @@ impl Scenario {
                             attacks.push(AttackEvent {
                                 t,
                                 kind: "tty",
-                                keys_found: capture.keys_found(&scanner),
-                                succeeded: capture.succeeded(&scanner),
+                                keys_found: capture.keys_found(inc.scanner()),
+                                succeeded: capture.succeeded(inc.scanner()),
                                 disclosed_bytes: capture.disclosed_bytes(),
                             });
                         }
                     }
                 }
             }
-            let report = scanner.scan_kernel(&kernel);
+            let report = inc.scan(&kernel);
             points.push(TimelinePoint {
                 t,
                 allocated: report.allocated(),
@@ -444,6 +446,7 @@ impl Scenario {
                 level: self.level,
                 points,
                 shed: server.as_ref().map(SecureServer::shedding).unwrap_or_default(),
+                scan: inc.stats(),
             },
             attacks,
         })

@@ -4,13 +4,15 @@
 //! Regenerates Figures 5, 6 (unprotected), 9–16 (OpenSSH × four protection
 //! levels) and 21–28 (Apache × four levels).
 
+use crate::exec::{ExecReport, Executor};
 use crate::{ExperimentConfig, ServerKind};
 use keyguard::ProtectionLevel;
-use keyscan::Scanner;
+use keyscan::{IncrementalScanner, ScanStats, Scanner};
 use memsim::SimResult;
 use rsa_repro::material::KeyMaterial;
 use servers::{ApacheServer, SecureServer, ServerConfig, SheddingStats, SshServer};
 use simrng::Rng64;
+use std::time::Duration;
 
 /// The paper's schedule, in simulation ticks (1 tick = 2 minutes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +101,9 @@ pub struct Timeline {
     /// Work the server shed on error paths over the whole run (all zero on a
     /// healthy machine; nonzero under resource pressure or fault injection).
     pub shed: SheddingStats,
+    /// Scan effort over the run's per-tick memory scans: deterministic
+    /// counters only, so timelines stay bit-comparable across thread counts.
+    pub scan: ScanStats,
 }
 
 impl Timeline {
@@ -147,13 +152,17 @@ fn drive<S: SecureServer>(
     level: ProtectionLevel,
     cfg: &ExperimentConfig,
     schedule: &Schedule,
-) -> SimResult<Timeline> {
+) -> SimResult<(Timeline, Duration)> {
     let mut rng = Rng64::new(cfg.seed ^ 0x71ED_11E5);
     let mut kernel = cfg.boot_machine(level, &mut rng);
     let server_cfg = ServerConfig::new(level).with_key_bits(cfg.key_bits);
-    // Build the scanner before the server exists, from the derived key.
+    // Build the scanner before the server exists, from the derived key. The
+    // per-tick scans ride the incremental path: only frames the tick's
+    // workload actually dirtied are re-read, and the differential suites
+    // pin the reports bit-identical to full `scan_kernel` calls.
     let preview = server_cfg.derive_key(kind_label);
-    let scanner = Scanner::from_material(&KeyMaterial::from_key(&preview));
+    let mut scanner =
+        IncrementalScanner::new(Scanner::from_material(&KeyMaterial::from_key(&preview)));
 
     let mut server: Option<S> = None;
     let mut points = Vec::with_capacity(schedule.end);
@@ -184,7 +193,7 @@ fn drive<S: SecureServer>(
         }
 
         // Scan at the end of the tick, like the cron'd scanmemory read.
-        let report = scanner.scan_kernel(&kernel);
+        let report = scanner.scan(&kernel);
         points.push(TimelinePoint {
             t,
             allocated: report.allocated(),
@@ -192,12 +201,14 @@ fn drive<S: SecureServer>(
             locations: report.locations(),
         });
     }
-    Ok(Timeline {
+    let timeline = Timeline {
         kind_label,
         level,
         points,
         shed: server.as_ref().map(SecureServer::shedding).unwrap_or_default(),
-    })
+        scan: scanner.stats(),
+    };
+    Ok((timeline, scanner.wall()))
 }
 
 /// Runs the full timeline for one server and protection level.
@@ -211,6 +222,22 @@ pub fn run_timeline(
     cfg: &ExperimentConfig,
     schedule: &Schedule,
 ) -> SimResult<Timeline> {
+    run_timeline_timed(kind, level, cfg, schedule).map(|(tl, _)| tl)
+}
+
+/// Like [`run_timeline`], but also returns the wall-clock spent inside the
+/// per-tick memory scans (everything deterministic lives on
+/// [`Timeline::scan`]; the non-deterministic timing rides separately).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_timeline_timed(
+    kind: ServerKind,
+    level: ProtectionLevel,
+    cfg: &ExperimentConfig,
+    schedule: &Schedule,
+) -> SimResult<(Timeline, Duration)> {
     match kind {
         ServerKind::Ssh => drive::<SshServer>("openssh", level, cfg, schedule),
         ServerKind::Apache => drive::<ApacheServer>("apache", level, cfg, schedule),
@@ -229,7 +256,7 @@ pub fn run_timeline(
 ///
 /// Propagates the first simulator error in job order.
 pub fn run_timelines(
-    exec: &crate::exec::Executor,
+    exec: &Executor,
     jobs: &[(ServerKind, ProtectionLevel)],
     cfg: &ExperimentConfig,
     schedule: &Schedule,
@@ -239,6 +266,36 @@ pub fn run_timelines(
     })
     .into_iter()
     .collect()
+}
+
+/// Runs a batch of timelines and also returns the batch's [`ExecReport`],
+/// including aggregated scan-effort counters and scan wall-clock — the
+/// numbers the experiment binaries print per figure family.
+///
+/// The timelines themselves are bit-identical to [`run_timelines`].
+///
+/// # Errors
+///
+/// Propagates the first simulator error in job order.
+pub fn run_timelines_timed(
+    exec: &Executor,
+    jobs: &[(ServerKind, ProtectionLevel)],
+    cfg: &ExperimentConfig,
+    schedule: &Schedule,
+) -> SimResult<(Vec<Timeline>, ExecReport)> {
+    let (results, report) = exec.run_timed(jobs.to_vec(), |_, (kind, level)| {
+        run_timeline_timed(kind, level, cfg, schedule)
+    });
+    let mut timelines = Vec::with_capacity(results.len());
+    let mut scan = ScanStats::default();
+    let mut scan_wall = Duration::ZERO;
+    for r in results {
+        let (tl, wall) = r?;
+        scan.absorb(tl.scan);
+        scan_wall += wall;
+        timelines.push(tl);
+    }
+    Ok((timelines, report.with_scan(scan, scan_wall)))
 }
 
 #[cfg(test)]
@@ -304,6 +361,39 @@ mod tests {
         // Observation (4): copies freed in place when traffic stops (t=18).
         let (_, _, _, freed) = tr.iter().find(|(t, ..)| *t == 18).copied().unwrap();
         assert!(freed > 10, "traffic stop frees copies in place: {freed}");
+    }
+
+    #[test]
+    fn timeline_scans_skip_clean_frames() {
+        let cfg = ExperimentConfig::test();
+        let (tl, scan_wall) = run_timeline_timed(
+            ServerKind::Ssh,
+            ProtectionLevel::None,
+            &cfg,
+            &Schedule::paper(),
+        )
+        .unwrap();
+        // One scan per tick, and the incremental path must actually skip:
+        // quiet ticks (before start, after stop) dirty almost nothing.
+        assert_eq!(tl.scan.scans, 29);
+        assert!(
+            tl.scan.rescan_fraction() < 0.9,
+            "per-tick scans re-read nearly everything: {:?}",
+            tl.scan
+        );
+        assert!(scan_wall > Duration::ZERO);
+
+        // The batch report aggregates the same counters.
+        let (tls, report) = run_timelines_timed(
+            &Executor::serial(),
+            &[(ServerKind::Ssh, ProtectionLevel::None)],
+            &cfg,
+            &Schedule::paper(),
+        )
+        .unwrap();
+        assert_eq!(tls[0], tl);
+        assert_eq!(report.scan, tl.scan);
+        assert!(report.summary().contains("scans"), "{}", report.summary());
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Incremental, dirty-frame kernel scanning.
+//!
+//! `Scanner::scan_kernel` re-reads *all* of simulated physical memory on
+//! every call — the paper's `scanmemory` behaviour, and exactly what the
+//! harness does after every timeline tick, sweep cell, and faultsweep op.
+//! Between two consecutive snapshots only a handful of frames actually
+//! change, and [`memsim::Kernel`] now stamps every byte mutation and every
+//! metadata change with a per-frame generation counter.
+//! [`IncrementalScanner`] exploits that: it caches per-frame raw hits keyed
+//! by write generation, rescans only frames whose generation moved (plus the
+//! neighbours a straddling match could reach from), and re-attributes
+//! allocation state from the metadata generation — producing a
+//! [`ScanReport`] that is **bit-identical** to the full-scan oracle
+//! (enforced by the differential suite in `tests/incremental.rs` and
+//! `harness/tests/scan_equivalence.rs`).
+//!
+//! The cache stores only pattern indices, page offsets, generations, and
+//! frame attribution — never pattern (key) bytes. `cache_audit_bytes`
+//! serializes the whole cache so tests can assert no key material leaks
+//! into it.
+
+use crate::{KeyHit, ScanReport, Scanner};
+use memsim::{FrameId, FrameState, Kernel, Pid, PAGE_SIZE};
+use std::time::{Duration, Instant};
+
+/// Deterministic scan-effort counters, accumulated across every
+/// [`IncrementalScanner::scan`] call.
+///
+/// Contains *counts only* (no wall-clock), so it can ride on results that
+/// the determinism suite compares bit-for-bit across thread counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Snapshots scanned.
+    pub scans: u64,
+    /// Frames whose bytes were actually re-read (dirty + straddle).
+    pub frames_rescanned: u64,
+    /// Frames a full scan would have read: `num_frames × scans`.
+    pub frames_total: u64,
+}
+
+impl ScanStats {
+    /// Fraction of frames rescanned relative to full scans (1.0 = no skip).
+    #[must_use]
+    pub fn rescan_fraction(&self) -> f64 {
+        if self.frames_total == 0 {
+            return 0.0;
+        }
+        self.frames_rescanned as f64 / self.frames_total as f64
+    }
+
+    /// Accumulates another run's counters into this one.
+    pub fn absorb(&mut self, other: ScanStats) {
+        self.scans += other.scans;
+        self.frames_rescanned += other.frames_rescanned;
+        self.frames_total += other.frames_total;
+    }
+}
+
+/// Per-frame cache entry. `u64::MAX` generations mean "never scanned", which
+/// can never collide with a real generation (the clock starts at 0 and a
+/// 64-bit counter bumped once per operation does not wrap).
+#[derive(Debug, Clone)]
+struct FrameEntry {
+    /// Kernel write generation the cached `hits` were computed at.
+    write_gen: u64,
+    /// Kernel state generation the cached attribution was refreshed at.
+    state_gen: u64,
+    /// Raw hits *starting* in this frame: `(pattern index, page offset)`.
+    hits: Vec<(u32, u32)>,
+    /// Cached attribution (only meaningful when `hits` is non-empty).
+    state: FrameState,
+    allocated: bool,
+    owners: Vec<Pid>,
+}
+
+impl FrameEntry {
+    fn unscanned() -> Self {
+        Self {
+            write_gen: u64::MAX,
+            state_gen: u64::MAX,
+            hits: Vec::new(),
+            state: FrameState::Free,
+            allocated: false,
+            owners: Vec::new(),
+        }
+    }
+}
+
+/// The non-secret cache body: generations, offsets, indices, attribution.
+/// Deliberately a separate struct from [`IncrementalScanner`] so the scanner
+/// remains a pure delegation wrapper around [`Scanner`] under keylint S003 —
+/// no buffer-typed field sits next to the secret patterns.
+#[derive(Debug, Clone, Default)]
+struct ScanCache {
+    /// `Kernel::generation_clock` observed at the last scan. A clock that
+    /// moves backwards (or a frame-count change) means a different machine:
+    /// the cache resets instead of trusting coincidental generations.
+    clock: u64,
+    frames: Vec<FrameEntry>,
+}
+
+impl ScanCache {
+    fn reset(&mut self, num_frames: usize) {
+        self.clock = 0;
+        self.frames.clear();
+        self.frames.resize_with(num_frames, FrameEntry::unscanned);
+    }
+}
+
+/// A [`Scanner`] with a per-frame hit cache: scans the *same kernel lineage*
+/// repeatedly, re-reading only frames whose write generation moved since the
+/// previous call (plus up to `max_pattern_len - 1` straddle bytes' worth of
+/// preceding frames, whose matches could reach into a dirty frame).
+///
+/// **Contract:** one scanner follows one kernel lineage — the kernel passed
+/// to [`Self::scan`] must be the same machine (or a clone of the machine)
+/// previously scanned, never a *diverged sibling* clone. Cloned-kernel
+/// fan-out (the faultsweep pattern) forks the scanner alongside the kernel:
+/// [`Self::fork`] copies the warm cache so each lineage pays only for its
+/// own divergence. A frame-count change or a generation clock that moves
+/// backwards is detected and resets the cache (correctness is preserved;
+/// only the speedup is lost).
+pub struct IncrementalScanner {
+    scanner: Scanner,
+    cache: ScanCache,
+    stats: ScanStats,
+    wall: Duration,
+}
+
+impl core::fmt::Debug for IncrementalScanner {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The cache holds no key bytes, but the wrapped scanner does.
+        write!(f, "IncrementalScanner(<redacted>, {:?})", self.stats)
+    }
+}
+
+impl IncrementalScanner {
+    /// Wraps a scanner. The first [`Self::scan`] is a full scan that warms
+    /// the cache; later calls are incremental.
+    #[must_use]
+    pub fn new(scanner: Scanner) -> Self {
+        Self {
+            scanner,
+            cache: ScanCache::default(),
+            stats: ScanStats::default(),
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// The wrapped scanner (for capture scans that bypass the cache).
+    #[must_use]
+    pub fn scanner(&self) -> &Scanner {
+        &self.scanner
+    }
+
+    /// Duplicates this scanner — audited pattern copies *and* the warm frame
+    /// cache — so a cloned kernel can be followed without a cold full scan.
+    /// Effort counters and wall-clock start at zero on the fork.
+    #[must_use]
+    pub fn fork(&self) -> Self {
+        Self {
+            scanner: self.scanner.fork(),
+            cache: self.cache.clone(),
+            stats: ScanStats::default(),
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// Deterministic effort counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> ScanStats {
+        self.stats
+    }
+
+    /// Wall-clock time spent inside [`Self::scan`] so far. Kept out of
+    /// [`ScanStats`] on purpose: timings are not deterministic and must not
+    /// leak into bit-compared results.
+    #[must_use]
+    pub fn wall(&self) -> Duration {
+        self.wall
+    }
+
+    /// Scans the kernel, reusing cached hits for every clean frame. The
+    /// returned report is bit-identical to `self.scanner().scan_kernel(k)`.
+    pub fn scan(&mut self, kernel: &Kernel) -> ScanReport {
+        let start = Instant::now();
+        let num_frames = kernel.num_frames();
+        if self.cache.frames.len() != num_frames || kernel.generation_clock() < self.cache.clock {
+            self.cache.reset(num_frames);
+        }
+        self.cache.clock = kernel.generation_clock();
+
+        let max_len = self.scanner.max_pattern_len();
+        // A match starting up to `max_len - 1` bytes before a dirty frame
+        // can read dirty bytes, so that many *preceding* frames rescan too.
+        let straddle = (max_len - 1).div_ceil(PAGE_SIZE);
+        let phys = kernel.phys();
+
+        let mut rescanned = 0u64;
+        for i in 0..num_frames {
+            let dirty_near = (i..=(i + straddle).min(num_frames - 1)).any(|j| {
+                kernel.write_generation(FrameId(j)) != self.cache.frames[j].write_gen
+            });
+            if !dirty_near {
+                continue;
+            }
+            rescanned += 1;
+            let base = FrameId(i).base();
+            let window_end = (base + PAGE_SIZE + max_len - 1).min(phys.len());
+            let entry = &mut self.cache.frames[i];
+            entry.hits.clear();
+            let hits = &mut entry.hits;
+            self.scanner.for_each_match(&phys[base..window_end], |pi, off| {
+                // Keep only matches *starting* in this frame; later starts
+                // belong to (and are found by) the successor's window.
+                if off < PAGE_SIZE {
+                    hits.push((pi as u32, off as u32));
+                }
+                off < PAGE_SIZE
+            });
+        }
+        // Post-pass: stamp every frame's write generation as seen. Done
+        // separately from the loop above so `dirty_near` look-ahead reads
+        // the *pre-scan* generations for successor frames.
+        for i in 0..num_frames {
+            self.cache.frames[i].write_gen = kernel.write_generation(FrameId(i));
+        }
+
+        // Attribution: refresh state/owners for frames that carry hits and
+        // whose metadata generation moved.
+        let mut hits = Vec::new();
+        for i in 0..num_frames {
+            let entry = &mut self.cache.frames[i];
+            if entry.hits.is_empty() {
+                continue;
+            }
+            let frame = FrameId(i);
+            let state_gen = kernel.state_generation(frame);
+            if entry.state_gen != state_gen {
+                let view = kernel.frame_view(frame);
+                entry.state = view.state;
+                entry.allocated = view.state != FrameState::Free;
+                entry.owners = view.owners;
+                entry.state_gen = state_gen;
+            }
+            for &(pi, off) in &entry.hits {
+                hits.push(KeyHit {
+                    pattern: pi as usize,
+                    // keylint: allow(S005) -- the pattern *name* ("d", "pem") is a public label, not key bytes
+                    name: self.scanner.patterns()[pi as usize].name.clone(),
+                    offset: frame.base() + off as usize,
+                    frame,
+                    state: entry.state,
+                    allocated: entry.allocated,
+                    owners: entry.owners.clone(),
+                });
+            }
+        }
+
+        self.stats.scans += 1;
+        self.stats.frames_rescanned += rescanned;
+        self.stats.frames_total += num_frames as u64;
+        self.wall += start.elapsed();
+        ScanReport {
+            hits,
+            num_patterns: self.scanner.patterns().len(),
+        }
+    }
+
+    /// Serializes the entire cache body — every byte the cache retains
+    /// between scans — so tests can assert it contains no key material.
+    /// (Generations, counts, pattern indices, page offsets, frame states,
+    /// and owner pids; nothing else is stored.)
+    #[must_use]
+    pub fn cache_audit_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.cache.clock.to_le_bytes());
+        for e in &self.cache.frames {
+            out.extend_from_slice(&e.write_gen.to_le_bytes());
+            out.extend_from_slice(&e.state_gen.to_le_bytes());
+            out.extend_from_slice(&(e.hits.len() as u64).to_le_bytes());
+            for &(pi, off) in &e.hits {
+                out.extend_from_slice(&pi.to_le_bytes());
+                out.extend_from_slice(&off.to_le_bytes());
+            }
+            out.push(e.state as u8);
+            out.push(u8::from(e.allocated));
+            for p in &e.owners {
+                out.extend_from_slice(&p.0.to_le_bytes());
+            }
+        }
+        out
+    }
+}

@@ -33,8 +33,10 @@
 #![warn(missing_docs)]
 
 mod entropy;
+mod incremental;
 
 pub use entropy::{EntropyRegion, EntropyScanner};
+pub use incremental::{IncrementalScanner, ScanStats};
 
 use memsim::{FrameId, FrameState, Kernel, Pid, PAGE_SIZE};
 use rsa_repro::material::{KeyMaterial, Pattern};
@@ -204,14 +206,30 @@ impl ScanReport {
 
 /// Multi-pattern linear memory scanner.
 ///
-/// Construction precomputes a 256-entry first-byte dispatch table so one pass
-/// checks all patterns, preserving the O(n) behaviour the paper reports
-/// (about 5 seconds for 256 MB on 2007 hardware).
-// keylint: allow(S003) -- the patterns vector drops its elements and each Pattern zeroes its own bytes; no other field holds key material
+/// Construction precomputes a Boyer–Moore–Horspool bad-character shift table
+/// over the pattern set (block size 1, window = the shortest pattern length):
+/// the search loop examines the byte at the *end* of the current window and
+/// either skips ahead by its shift or — when the byte can terminate a window
+/// (`shift == 0`, a "trigger" byte) — verifies the few candidate patterns
+/// whose window-end byte it is. When every pattern shares one trigger byte,
+/// the skip loop degenerates to a plain `position()` search for that byte,
+/// which LLVM vectorizes (the `memchr` idiom). Worst case stays O(n·k) like
+/// the paper's LKM; the common case skips most of memory untouched.
+// keylint: allow(S003) -- the patterns vector drops its elements and each Pattern zeroes its own bytes; the shift/tail tables hold only byte-frequency structure and pattern indices, not key bytes
 pub struct Scanner {
     patterns: Vec<Pattern>,
-    /// For each possible first byte, the patterns starting with it.
-    dispatch: Vec<Vec<usize>>,
+    /// Window length: the shortest pattern length (>= 8 by `Pattern::new`).
+    window: usize,
+    /// Bad-character shift per byte value. `shift[c] == 0` marks a trigger
+    /// byte (`c` is some pattern's byte at position `window - 1`).
+    shift: Vec<usize>,
+    /// For each trigger byte, the patterns whose `window - 1` byte it is —
+    /// the only candidates that can match at the current alignment.
+    tail: Vec<Vec<u32>>,
+    /// When every pattern has the same window-end byte, that byte.
+    single_trigger: Option<u8>,
+    /// Longest pattern length (straddle width for windowed scans).
+    max_len: usize,
 }
 
 /// The patterns are the key material being hunted, so `{:?}` stops at a count.
@@ -231,11 +249,31 @@ impl Scanner {
     #[must_use]
     pub fn new(patterns: Vec<Pattern>) -> Self {
         assert!(!patterns.is_empty(), "scanner needs at least one pattern");
-        let mut dispatch = vec![Vec::new(); 256];
-        for (i, p) in patterns.iter().enumerate() {
-            dispatch[p.bytes[0] as usize].push(i);
+        let window = patterns.iter().map(|p| p.bytes.len()).min().expect("non-empty");
+        let max_len = patterns.iter().map(|p| p.bytes.len()).max().expect("non-empty");
+        let mut shift = vec![window; 256];
+        for p in &patterns {
+            for (j, &b) in p.bytes[..window].iter().enumerate() {
+                shift[b as usize] = shift[b as usize].min(window - 1 - j);
+            }
         }
-        Self { patterns, dispatch }
+        let mut tail = vec![Vec::new(); 256];
+        for (i, p) in patterns.iter().enumerate() {
+            tail[p.bytes[window - 1] as usize].push(i as u32);
+        }
+        let first_end = patterns[0].bytes[window - 1];
+        let single_trigger = patterns
+            .iter()
+            .all(|p| p.bytes[window - 1] == first_end)
+            .then_some(first_end);
+        Self {
+            patterns,
+            window,
+            shift,
+            tail,
+            single_trigger,
+            max_len,
+        }
     }
 
     /// Builds the paper's standard scanner over `(d, p, q, pem)`.
@@ -250,25 +288,115 @@ impl Scanner {
         &self.patterns
     }
 
+    /// A fresh scanner over audited copies of the same patterns — the only
+    /// way to duplicate one (patterns are deliberately not `Clone`).
+    #[must_use]
+    pub fn fork(&self) -> Self {
+        Self::new(self.patterns.iter().map(Pattern::clone_secret).collect())
+    }
+
+    /// Length of the longest pattern — how far a match starting in one page
+    /// can reach into the next, i.e. the straddle width windowed scans need.
+    #[must_use]
+    pub fn max_pattern_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// The allocation-free matching core every byte-scanning API shares.
+    ///
+    /// Invokes `on_hit(pattern_index, offset)` for every full match, in
+    /// ascending offset order (ties in ascending pattern order). The callback
+    /// returns `false` to stop early. See the type docs for the algorithm.
+    fn for_each_match(&self, haystack: &[u8], mut on_hit: impl FnMut(usize, usize) -> bool) {
+        let w = self.window;
+        if haystack.len() < w {
+            return;
+        }
+        let mut pos = w - 1; // index of the current window's last byte
+        if let Some(t) = self.single_trigger {
+            // Every pattern requires byte `t` at the window end: a plain
+            // forward search for `t` (vectorizable) replaces the shift walk.
+            while pos < haystack.len() {
+                match haystack[pos..].iter().position(|&b| b == t) {
+                    None => return,
+                    Some(k) => pos += k,
+                }
+                if !self.verify_at(haystack, pos + 1 - w, t, &mut on_hit) {
+                    return;
+                }
+                pos += 1;
+            }
+            return;
+        }
+        while pos < haystack.len() {
+            let b = haystack[pos];
+            let s = self.shift[b as usize];
+            if s == 0 {
+                if !self.verify_at(haystack, pos + 1 - w, b, &mut on_hit) {
+                    return;
+                }
+                pos += 1;
+            } else {
+                pos += s;
+            }
+        }
+    }
+
+    /// Verifies the candidate patterns whose window-end byte is `b` against
+    /// `haystack[start..]`. Returns `false` when the callback stops the scan.
+    #[inline]
+    fn verify_at(
+        &self,
+        haystack: &[u8],
+        start: usize,
+        b: u8,
+        on_hit: &mut impl FnMut(usize, usize) -> bool,
+    ) -> bool {
+        for &pi in &self.tail[b as usize] {
+            let pat = &self.patterns[pi as usize].bytes;
+            if haystack.len() - start >= pat.len()
+                && &haystack[start..start + pat.len()] == pat.as_slice()
+                && !on_hit(pi as usize, start)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Scans an arbitrary byte dump (an attacker's USB capture, a memory
     /// dump, swap contents) and returns every match.
     #[must_use]
     pub fn scan_bytes(&self, haystack: &[u8]) -> Vec<RawHit> {
         let mut hits = Vec::new();
-        for (offset, &b) in haystack.iter().enumerate() {
-            let candidates = &self.dispatch[b as usize];
-            if candidates.is_empty() {
-                continue;
-            }
-            for &pi in candidates {
-                let pat = &self.patterns[pi].bytes;
+        self.for_each_match(haystack, |pi, offset| {
+            hits.push(RawHit {
+                pattern: pi,
+                // keylint: allow(S005) -- the pattern *name* ("d", "pem") is a public label, not key bytes
+                name: self.patterns[pi].name.clone(),
+                offset,
+            });
+            true
+        });
+        hits
+    }
+
+    /// Reference oracle: the obvious per-offset, per-pattern comparison the
+    /// paper's LKM performs. Kept public so differential tests (and anyone
+    /// doubting the skip loop) can check the fast path against it.
+    #[must_use]
+    pub fn scan_bytes_naive(&self, haystack: &[u8]) -> Vec<RawHit> {
+        let mut hits = Vec::new();
+        for offset in 0..haystack.len() {
+            for (pi, p) in self.patterns.iter().enumerate() {
+                let pat = &p.bytes;
                 if haystack.len() - offset >= pat.len()
                     && &haystack[offset..offset + pat.len()] == pat.as_slice()
                 {
                     hits.push(RawHit {
                         pattern: pi,
                         // keylint: allow(S005) -- the pattern *name* ("d", "pem") is a public label, not key bytes
-                        name: self.patterns[pi].name.clone(),
+                        name: p.name.clone(),
                         offset,
                     });
                 }
@@ -277,10 +405,16 @@ impl Scanner {
         hits
     }
 
-    /// Number of full matches in a byte dump (cheaper than collecting hits).
+    /// Number of full matches in a byte dump. Allocation-free: shares the
+    /// counting core with [`Self::scan_bytes`] without materializing hits.
     #[must_use]
     pub fn count_matches(&self, haystack: &[u8]) -> usize {
-        self.scan_bytes(haystack).len()
+        let mut n = 0usize;
+        self.for_each_match(haystack, |_, _| {
+            n += 1;
+            true
+        });
+        n
     }
 
     /// Scans for full *and partial* prefix matches of at least `min_len`
@@ -289,7 +423,15 @@ impl Scanner {
     /// matter because a truncated key fragment (e.g. a copy cut by a page
     /// boundary or an overwrite) still narrows an attacker's search space.
     ///
-    /// Full matches are reported with `matched_len == pattern length`.
+    /// Full matches are reported with `matched_len == pattern length`. A
+    /// *run* of overlapping partial prefixes (a self-overlapping pattern
+    /// sliding over repetitive memory — all-zero or `0xAA`-filled frames)
+    /// reports only the run head: the offset where the previous offset's
+    /// prefix was below threshold. Interior offsets of such a run carry no
+    /// information an attacker doesn't already have from the head, and
+    /// reporting them all is what made this path O(n·m) with an O(n·m)-sized
+    /// result. Per-offset work is O(1) amortized (Z-algorithm matching
+    /// statistics), so pathological memory costs the same as random memory.
     ///
     /// # Panics
     ///
@@ -298,48 +440,61 @@ impl Scanner {
     pub fn scan_bytes_partial(&self, haystack: &[u8], min_len: usize) -> Vec<PartialHit> {
         assert!(min_len > 0, "min_len must be positive");
         let mut hits = Vec::new();
-        for (offset, &b) in haystack.iter().enumerate() {
-            for &pi in &self.dispatch[b as usize] {
-                let pat = &self.patterns[pi].bytes;
-                let avail = haystack.len() - offset;
-                let mut matched = 0usize;
-                while matched < pat.len()
-                    && matched < avail
-                    && haystack[offset + matched] == pat[matched]
-                {
-                    matched += 1;
+        let n = haystack.len();
+        for (pi, p) in self.patterns.iter().enumerate() {
+            let pat = &p.bytes;
+            let clamp = min_len.min(pat.len());
+            let z = z_array(pat);
+            // Stream the matching statistic ms(i) = lcp(pat, haystack[i..])
+            // left to right, carrying the rightmost match interval [l, r).
+            let (mut l, mut r) = (0usize, 0usize);
+            let mut prev_ms = 0usize;
+            for i in 0..n {
+                let ms;
+                if i < r && (z[i - l] as usize) < r - i {
+                    // Entirely inside the known interval: copy the Z value.
+                    ms = z[i - l] as usize;
+                } else {
+                    // Extend an explicit comparison from the interval edge.
+                    let mut k = if i < r { r - i } else { 0 };
+                    while k < pat.len() && i + k < n && haystack[i + k] == pat[k] {
+                        k += 1;
+                    }
+                    ms = k;
+                    if i + k > r {
+                        l = i;
+                        r = i + k;
+                    }
                 }
-                if matched >= min_len.min(pat.len()) {
+                let full = ms == pat.len();
+                if ms >= clamp && (full || prev_ms < clamp) {
                     hits.push(PartialHit {
                         pattern: pi,
                         // keylint: allow(S005) -- the pattern *name* ("d", "pem") is a public label, not key bytes
-                        name: self.patterns[pi].name.clone(),
-                        offset,
-                        matched_len: matched,
-                        full: matched == pat.len(),
+                        name: p.name.clone(),
+                        offset: i,
+                        matched_len: ms,
+                        full,
                     });
                 }
+                prev_ms = ms;
             }
         }
+        hits.sort_by_key(|h| (h.offset, h.pattern));
         hits
     }
 
     /// Whether a dump contains at least one full key copy — "attack success"
-    /// in the paper's experiments.
+    /// in the paper's experiments. Early-exits on the first hit without
+    /// allocating, via the same core as [`Self::scan_bytes`].
     #[must_use]
     pub fn dump_compromises_key(&self, haystack: &[u8]) -> bool {
-        // Early-exit variant of scan_bytes.
-        for (offset, &b) in haystack.iter().enumerate() {
-            for &pi in &self.dispatch[b as usize] {
-                let pat = &self.patterns[pi].bytes;
-                if haystack.len() - offset >= pat.len()
-                    && &haystack[offset..offset + pat.len()] == pat.as_slice()
-                {
-                    return true;
-                }
-            }
-        }
-        false
+        let mut found = false;
+        self.for_each_match(haystack, |_, _| {
+            found = true;
+            false
+        });
+        found
     }
 
     /// Renders a report in the exact format the paper's LKM wrote to its
@@ -405,6 +560,27 @@ impl Scanner {
             num_patterns: self.patterns.len(),
         }
     }
+}
+
+/// Z-array of `s`: `z[i]` = length of the longest common prefix of `s` and
+/// `s[i..]`, with `z[0] = s.len()`. O(len) time.
+fn z_array(s: &[u8]) -> Vec<u32> {
+    let n = s.len();
+    let mut z = vec![0u32; n];
+    z[0] = n as u32;
+    let (mut l, mut r) = (0usize, 0usize);
+    for i in 1..n {
+        let mut k = if i < r { (z[i - l] as usize).min(r - i) } else { 0 };
+        while i + k < n && s[k] == s[i + k] {
+            k += 1;
+        }
+        z[i] = k as u32;
+        if i + k > r {
+            l = i;
+            r = i + k;
+        }
+    }
+    z
 }
 
 #[cfg(test)]

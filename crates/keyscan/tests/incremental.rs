@@ -1,0 +1,278 @@
+//! Differential suite for [`IncrementalScanner`]: after *any* sequence of
+//! kernel mutations — spawns, writes, frees, forks, COW breaks, evictions,
+//! injected faults — the incremental scan must be **bit-identical** to the
+//! full-scan oracle `Scanner::scan_kernel`, while the cache retains zero
+//! key-derived bytes.
+
+use keyscan::{IncrementalScanner, Scanner};
+use memsim::{FaultPlan, Kernel, MachineConfig, Pid, VAddr};
+use rsa_repro::{material::KeyMaterial, RsaPrivateKey};
+use simrng::Rng64;
+
+fn material_and_scanner(seed: u64) -> (KeyMaterial, Scanner) {
+    let key = RsaPrivateKey::generate(128, &mut Rng64::new(seed));
+    let material = KeyMaterial::from_key(&key);
+    let scanner = Scanner::from_material(&material);
+    (material, scanner)
+}
+
+/// Asserts incremental == oracle on the current snapshot, and that the
+/// incremental report is internally identical (hits, counts, locations).
+fn check(inc: &mut IncrementalScanner, oracle: &Scanner, k: &Kernel) {
+    let fast = inc.scan(k);
+    let full = oracle.scan_kernel(k);
+    assert_eq!(fast, full);
+}
+
+#[test]
+fn incremental_equals_oracle_across_scripted_lifecycle() {
+    let (material, scanner) = material_and_scanner(7);
+    let oracle = Scanner::from_material(&material);
+    let mut inc = IncrementalScanner::new(scanner);
+    let mut k = Kernel::new(MachineConfig::small());
+    check(&mut inc, &oracle, &k);
+
+    // Plant the key, fork (COW), break the sharing, free, re-use.
+    let parent = k.spawn();
+    let buf = k.heap_alloc(parent, material.d_bytes().len()).unwrap();
+    k.write_bytes(parent, buf, material.d_bytes()).unwrap();
+    check(&mut inc, &oracle, &k);
+
+    let child = k.fork(parent).unwrap();
+    check(&mut inc, &oracle, &k);
+
+    // Child write breaks COW: a second physical copy appears.
+    k.write_bytes(child, buf, material.d_bytes()).unwrap();
+    check(&mut inc, &oracle, &k);
+
+    // Exit without clearing: copies migrate to unallocated (state change
+    // with *no* byte change — the attribution-refresh path).
+    k.exit(child).unwrap();
+    check(&mut inc, &oracle, &k);
+    k.exit(parent).unwrap();
+    check(&mut inc, &oracle, &k);
+
+    // A new process reuses the dirty frames.
+    let p2 = k.spawn();
+    let buf2 = k.heap_alloc(p2, 64 * 1024).unwrap();
+    k.write_bytes(p2, buf2, &vec![0x5A; 64 * 1024]).unwrap();
+    check(&mut inc, &oracle, &k);
+
+    // The incremental path must actually have skipped most frames.
+    let stats = inc.stats();
+    assert!(stats.scans >= 7);
+    assert!(
+        stats.frames_rescanned < stats.frames_total / 2,
+        "no skipping happened: {stats:?}"
+    );
+}
+
+#[test]
+fn incremental_equals_oracle_on_random_mutation_sequences() {
+    let (material, _scanner) = material_and_scanner(11);
+    let oracle = Scanner::from_material(&material);
+    for round in 0..6u64 {
+        let mut rng = Rng64::new(0x1234 + round);
+        let mut k = Kernel::new(MachineConfig::small());
+        let mut inc = IncrementalScanner::new(oracle.fork());
+        let mut live: Vec<(Pid, Vec<VAddr>)> = Vec::new();
+        for step in 0..120 {
+            match rng.gen_below(10) {
+                0 => {
+                    let pid = k.spawn();
+                    live.push((pid, Vec::new()));
+                }
+                1 | 2 => {
+                    // Allocate and write a key fragment or noise.
+                    if let Some(i) = (!live.is_empty()).then(|| rng.gen_index(live.len())) {
+                        let (pid, bufs) = &mut live[i];
+                        let pat = [material.d_bytes(), material.p_bytes(), material.q_bytes()]
+                            [rng.gen_index(3)];
+                        let take = 1 + rng.gen_index(pat.len());
+                        if let Ok(b) = k.heap_alloc(*pid, pat.len()) {
+                            let _ = k.write_bytes(*pid, b, &pat[..take]);
+                            bufs.push(b);
+                        }
+                    }
+                }
+                3 => {
+                    // Free a buffer (bytes stay behind — the paper's hazard).
+                    if let Some(i) = (!live.is_empty()).then(|| rng.gen_index(live.len())) {
+                        let (pid, bufs) = &mut live[i];
+                        if !bufs.is_empty() {
+                            let b = bufs.swap_remove(rng.gen_index(bufs.len()));
+                            let _ = k.heap_free(*pid, b);
+                        }
+                    }
+                }
+                4 => {
+                    // Fork: COW-share everything.
+                    if let Some(i) = (!live.is_empty()).then(|| rng.gen_index(live.len())) {
+                        let (pid, bufs) = live[i].clone();
+                        if let Ok(c) = k.fork(pid) {
+                            live.push((c, bufs));
+                        }
+                    }
+                }
+                5 => {
+                    // Write through a possibly-COW page: break sharing.
+                    if let Some(i) = (!live.is_empty()).then(|| rng.gen_index(live.len())) {
+                        let (pid, bufs) = &live[i];
+                        if !bufs.is_empty() {
+                            let b = bufs[rng.gen_index(bufs.len())];
+                            let _ = k.write_bytes(*pid, b, material.q_bytes());
+                        }
+                    }
+                }
+                6 => {
+                    // Exit a process entirely.
+                    if !live.is_empty() {
+                        let (pid, _) = live.swap_remove(rng.gen_index(live.len()));
+                        let _ = k.exit(pid);
+                    }
+                }
+                7 => {
+                    // Kernel-side traffic: tty input leaves slab residue.
+                    let _ = k.tty_input(material.p_bytes());
+                    let _ = k.slab_shrink();
+                }
+                8 => {
+                    // File traffic through the page cache.
+                    if let Some(&(pid, _)) = live.first() {
+                        let fid = k.create_file("noise.pem", material.d_bytes());
+                        let _ = k.read_file(pid, fid, rng.gen_bool(0.5));
+                        if rng.gen_bool(0.5) {
+                            k.evict_file_cache(fid, rng.gen_bool(0.5));
+                        }
+                    }
+                }
+                _ => {
+                    // Memory pressure.
+                    k.swap_out_pressure(rng.gen_index(4));
+                    k.reclaim_page_cache(rng.gen_index(4));
+                }
+            }
+            // Scan at random points, not just at quiescence.
+            if step % 7 == 0 || rng.gen_bool(0.15) {
+                check(&mut inc, &oracle, &k);
+            }
+        }
+        check(&mut inc, &oracle, &k);
+    }
+}
+
+#[test]
+fn incremental_equals_oracle_under_injected_faults() {
+    let (material, scanner) = material_and_scanner(13);
+    let oracle = Scanner::from_material(&material);
+    for fault_index in [0u64, 3, 7, 15, 40] {
+        let mut k = Kernel::new(MachineConfig::small());
+        k.install_fault_plan(FaultPlan::new().fail_at_index(fault_index));
+        let mut inc = IncrementalScanner::new(scanner.fork());
+        let parent = k.spawn();
+        // Drive a workload where every fallible op may be the failed one;
+        // errors are shed, and the scan must stay exact either way.
+        let mut bufs = Vec::new();
+        for i in 0..6 {
+            if let Ok(b) = k.heap_alloc(parent, material.d_bytes().len()) {
+                if k.write_bytes(parent, b, material.d_bytes()).is_ok() {
+                    bufs.push(b);
+                }
+            }
+            if i % 2 == 0 {
+                if let Ok(c) = k.fork(parent) {
+                    let _ = k.write_bytes(c, *bufs.first().unwrap_or(&VAddr(0)), b"xxxxxxxx");
+                    let _ = k.exit(c);
+                }
+            }
+            check(&mut inc, &oracle, &k);
+        }
+        for b in bufs {
+            let _ = k.heap_free(parent, b);
+            check(&mut inc, &oracle, &k);
+        }
+        k.clear_fault_plan();
+        let _ = k.exit(parent);
+        check(&mut inc, &oracle, &k);
+    }
+}
+
+#[test]
+fn fork_carries_the_warm_cache_across_kernel_clones() {
+    let (material, scanner) = material_and_scanner(17);
+    let oracle = Scanner::from_material(&material);
+    let mut inc = IncrementalScanner::new(scanner);
+    let mut k = Kernel::new(MachineConfig::small());
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, material.d_bytes().len()).unwrap();
+    k.write_bytes(pid, buf, material.d_bytes()).unwrap();
+    check(&mut inc, &oracle, &k);
+
+    // Clone the machine twice and diverge the clones; each clone gets its
+    // own scanner fork and must stay exact on its own lineage.
+    let mut k1 = k.clone();
+    let mut k2 = k.clone();
+    let mut inc1 = inc.fork();
+    let mut inc2 = inc.fork();
+    k1.write_bytes(pid, buf, material.p_bytes()).unwrap();
+    k2.exit(pid).unwrap();
+    check(&mut inc1, &oracle, &k1);
+    check(&mut inc2, &oracle, &k2);
+    check(&mut inc, &oracle, &k);
+
+    // Warm forks skip clean frames: one dirtied frame, not a full rescan.
+    let s1 = inc1.stats();
+    assert_eq!(s1.scans, 1);
+    assert!(
+        s1.frames_rescanned <= 4,
+        "fork should only rescan the diverged frames: {s1:?}"
+    );
+}
+
+#[test]
+fn scanner_cache_retains_no_key_bytes() {
+    let (material, scanner) = material_and_scanner(19);
+    let oracle = Scanner::from_material(&material);
+    let mut inc = IncrementalScanner::new(scanner);
+    let mut k = Kernel::new(MachineConfig::small());
+    let pid = k.spawn();
+    for pat in [material.d_bytes(), material.p_bytes(), material.q_bytes()] {
+        let b = k.heap_alloc(pid, pat.len()).unwrap();
+        k.write_bytes(pid, b, pat).unwrap();
+        let report = inc.scan(&k);
+        assert!(report.compromised(), "keys are in memory — hits must exist");
+    }
+
+    // The cache knows *where* the keys are, but must not know their bytes:
+    // scanning the serialized cache with the very scanner that filled it
+    // (and with a generous 8-byte partial threshold) finds nothing.
+    let audit = inc.cache_audit_bytes();
+    assert!(!audit.is_empty());
+    assert_eq!(oracle.count_matches(&audit), 0, "cache holds full key bytes");
+    assert!(
+        oracle.scan_bytes_partial(&audit, 8).is_empty(),
+        "cache holds key fragments"
+    );
+}
+
+#[test]
+fn mismatched_machine_resets_instead_of_lying() {
+    let (material, scanner) = material_and_scanner(23);
+    let oracle = Scanner::from_material(&material);
+    let mut inc = IncrementalScanner::new(scanner);
+
+    // Scan machine A (with a key), then switch to a *different* machine B.
+    let mut a = Kernel::new(MachineConfig::small());
+    let pid = a.spawn();
+    let buf = a.heap_alloc(pid, material.d_bytes().len()).unwrap();
+    a.write_bytes(pid, buf, material.d_bytes()).unwrap();
+    check(&mut inc, &oracle, &a);
+
+    let b = Kernel::new(MachineConfig::small());
+    // B is freshly booted: clock 0 < A's clock → cache must reset, so the
+    // stale hit from A must not survive into B's report.
+    check(&mut inc, &oracle, &b);
+
+    // And back to A (clock now "ahead" of B's): still exact.
+    check(&mut inc, &oracle, &a);
+}

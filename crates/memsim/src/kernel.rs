@@ -114,6 +114,16 @@ pub struct Kernel {
     /// Per-class occurrence counters (1-based after increment), indexed by
     /// [`FaultOp::index`].
     op_counts: [u64; 6],
+    /// Monotone clock stamping [`Self::write_gens`] / [`Self::state_gens`].
+    /// Every stamp is unique, so "frame F at generation G" names exactly one
+    /// byte image — what lets incremental scanners skip clean frames.
+    gen_clock: u64,
+    /// Per-frame generation of the last byte mutation (write, zero, copy).
+    write_gens: Vec<u64>,
+    /// Per-frame generation of the last *metadata* change (state, refcount,
+    /// lock bit, mappings, cache key) — tracked separately so attribution can
+    /// be refreshed without rescanning unchanged bytes.
+    state_gens: Vec<u64>,
 }
 
 impl Kernel {
@@ -136,7 +146,58 @@ impl Kernel {
             fault_plan: FaultPlan::default(),
             op_index: 0,
             op_counts: [0; 6],
+            gen_clock: 0,
+            write_gens: vec![0; num_frames],
+            state_gens: vec![0; num_frames],
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Frame generations (dirty tracking for incremental scanners)
+    // ------------------------------------------------------------------
+
+    /// Stamps `f` as byte-dirty. Called by every path that mutates `phys`.
+    fn touch_bytes(&mut self, f: FrameId) {
+        self.gen_clock += 1;
+        self.write_gens[f.0] = self.gen_clock;
+    }
+
+    /// Stamps `f` as metadata-dirty. Called by every path that changes a
+    /// frame's state, refcount, lock bit, reverse mappings, or cache key.
+    fn touch_state(&mut self, f: FrameId) {
+        self.gen_clock += 1;
+        self.state_gens[f.0] = self.gen_clock;
+    }
+
+    /// Generation of the last byte mutation of frame `f` (0 = never written
+    /// since boot). Two equal generations guarantee bit-identical contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    #[must_use]
+    pub fn write_generation(&self, f: FrameId) -> u64 {
+        self.write_gens[f.0]
+    }
+
+    /// Generation of the last metadata change of frame `f` (0 = untouched
+    /// since boot). Equal generations guarantee an identical [`FrameView`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    #[must_use]
+    pub fn state_generation(&self, f: FrameId) -> u64 {
+        self.state_gens[f.0]
+    }
+
+    /// Current value of the monotone generation clock. Strictly increases
+    /// with every byte or metadata mutation; a snapshot whose clock moved
+    /// backwards (or changed frame count) is a *different* machine, which is
+    /// how incremental scanners detect a mismatched kernel.
+    #[must_use]
+    pub fn generation_clock(&self) -> u64 {
+        self.gen_clock
     }
 
     // ------------------------------------------------------------------
@@ -294,6 +355,7 @@ impl Kernel {
 
     fn zero_frame(&mut self, f: FrameId) {
         self.phys[f.base()..f.base() + PAGE_SIZE].fill(0);
+        self.touch_bytes(f);
         self.stats.pages_zeroed += 1;
     }
 
@@ -321,6 +383,7 @@ impl Kernel {
         fr.locked = false;
         fr.mappings.clear();
         fr.cache_key = None;
+        self.touch_state(f);
         Ok(f)
     }
 
@@ -336,6 +399,7 @@ impl Kernel {
         fr.locked = false;
         fr.mappings.clear();
         fr.cache_key = None;
+        self.touch_state(f);
         self.free.free(f);
         self.stats.frames_freed += 1;
     }
@@ -382,6 +446,7 @@ impl Kernel {
         assert_eq!(self.frames[f.0].state, FrameState::Kernel, "not a kernel page");
         assert!(offset + bytes.len() <= PAGE_SIZE, "write beyond page");
         self.phys[f.base() + offset..f.base() + offset + bytes.len()].copy_from_slice(bytes);
+        self.touch_bytes(f);
     }
 
     // ------------------------------------------------------------------
@@ -448,6 +513,7 @@ impl Kernel {
             let fr = &mut self.frames[pte.frame.0];
             fr.refcount += 1;
             fr.mappings.push((child_pid, vpn));
+            self.touch_state(pte.frame);
         }
         self.procs.insert(child_pid, child);
         self.stats.forks += 1;
@@ -462,6 +528,7 @@ impl Kernel {
         fr.mappings.retain(|&(p, v)| !(p == pid && v == vpn));
         fr.refcount = fr.refcount.saturating_sub(1);
         let now_free = fr.refcount == 0;
+        self.touch_state(frame);
         if now_free {
             if self.config.policy.zero_on_unmap {
                 // The zap_pte_range patch clears when page_count == 1.
@@ -539,6 +606,7 @@ impl Kernel {
                     }
                 };
                 self.frames[frame.0].mappings.push((pid, vpn));
+                self.touch_state(frame);
                 let proc = self.proc_mut(pid)?;
                 proc.page_table.insert(
                     vpn,
@@ -660,6 +728,7 @@ impl Kernel {
             };
             let vpn = first_vpn + i as u64;
             self.frames[frame.0].mappings.push((pid, vpn));
+            self.touch_state(frame);
             let proc = self.proc_mut(pid)?;
             proc.page_table.insert(
                 vpn,
@@ -725,7 +794,10 @@ impl Kernel {
                 .get(&vpn)
                 .ok_or(SimError::BadAddress(VAddr(vpn * PAGE_SIZE as u64)))?;
             proc.locked_vpns.insert(vpn);
-            self.frames[pte.frame.0].locked = true;
+            if !self.frames[pte.frame.0].locked {
+                self.frames[pte.frame.0].locked = true;
+                self.touch_state(pte.frame);
+            }
         }
         Ok(())
     }
@@ -797,6 +869,7 @@ impl Kernel {
             };
             let base = frame.base() + page_off;
             self.phys[base..base + n].copy_from_slice(&bytes[off..off + n]);
+            self.touch_bytes(frame);
             off += n;
         }
         Ok(())
@@ -823,11 +896,13 @@ impl Kernel {
         } else {
             a[lo..lo + PAGE_SIZE].copy_from_slice(&b[..PAGE_SIZE]);
         }
+        self.touch_bytes(new);
         {
             let old = &mut self.frames[pte.frame.0];
             old.mappings.retain(|&(p, v)| !(p == pid && v == vpn));
             old.refcount -= 1;
         }
+        self.touch_state(pte.frame);
         self.frames[new.0].mappings.push((pid, vpn));
         let locked = {
             let proc = self.proc_mut(pid)?;
@@ -838,6 +913,7 @@ impl Kernel {
             proc.locked_vpns.contains(&vpn)
         };
         self.frames[new.0].locked = locked;
+        self.touch_state(new);
         self.stats.cow_breaks += 1;
         Ok(new)
     }
@@ -912,8 +988,10 @@ impl Kernel {
             if start < content.len() {
                 self.phys[frame.base()..frame.base() + (end - start)]
                     .copy_from_slice(&content[start..end]);
+                self.touch_bytes(frame);
             }
             self.frames[frame.0].cache_key = Some((fid, idx));
+            self.touch_state(frame);
             self.page_cache.insert((fid, idx), frame);
             self.stats.cache_inserts += 1;
         }
@@ -1033,6 +1111,7 @@ impl Kernel {
         assert!(bytes.len() <= obj.capacity(), "kwrite beyond object");
         let base = obj.frame.base() + obj.offset;
         self.phys[base..base + bytes.len()].copy_from_slice(bytes);
+        self.touch_bytes(obj.frame);
     }
 
     /// Reads a kmalloc'd object's full contents (stale bytes included —

@@ -22,6 +22,22 @@ echo "== determinism equivalence (release) =="
 cargo test --release -p harness --test determinism -- --nocapture
 cargo test --release -p simrng --test fork_properties
 
+echo "== scan-path equivalence (release) =="
+# The incremental dirty-frame scanner and the skip-loop match core must stay
+# bit-identical to their naive full-scan oracles: differential fuzzing at
+# the keyscan layer, the generation-counter contract at the memsim layer,
+# then the harness wiring (timelines, fault sweeps, executor cells) at
+# 2/4/8 worker threads.
+cargo test --release -p memsim --test generations
+cargo test --release -p keyscan --test differential
+cargo test --release -p keyscan --test incremental
+cargo test --release -p harness --test scan_equivalence
+
+echo "== scan bench smoke (BENCH_scan.json) =="
+# Machine-readable scan throughput: full-scan bytes/sec, incremental-vs-full
+# timeline speedup, frames rescanned. Written to the workspace root.
+cargo bench -p bench --bench scan_cost -- --smoke
+
 echo "== faultsweep smoke matrix (release) =="
 # Deterministic fault injection: fail, then kill, fallible kernel operations
 # across the protected workloads and assert the no-leak invariant (kernel
