@@ -143,6 +143,7 @@ mod tests {
             line: 10,
             symbol: symbol.into(),
             message: String::new(),
+            trace: Vec::new(),
         }
     }
 

@@ -29,6 +29,20 @@ pub struct Config {
     pub allowed_paths: Vec<String>,
     /// Path prefixes skipped entirely (fixtures, build output).
     pub exclude_paths: Vec<String>,
+    /// Extern function names whose results never carry key bytes
+    /// (`[summaries] sanitizers`): the interprocedural engine treats a
+    /// call to one as clean regardless of its arguments.
+    pub summary_sanitizers: Vec<String>,
+    /// Extern function names that sink every argument
+    /// (`[summaries] sinks`): passing a tainted value to one fires S008
+    /// even though the body is not visible to the analyzer.
+    pub summary_sinks: Vec<String>,
+    /// Trusted-custody function names (`[summaries] trusted`): their
+    /// data-flow facts still propagate (a secret in taints a secret out),
+    /// but their internal sinks never surface as S008 at call sites —
+    /// the summary analogue of `[s005] allowed_paths`. Entries may be
+    /// bare names or `Qualifier::name` pairs.
+    pub summary_trusted: Vec<String>,
 }
 
 impl Default for Config {
@@ -75,6 +89,9 @@ impl Default for Config {
             ],
             allowed_paths: vec![],
             exclude_paths: vec!["target".into()],
+            summary_sanitizers: vec![],
+            summary_sinks: vec![],
+            summary_trusted: vec![],
         }
     }
 }
@@ -104,7 +121,7 @@ impl Config {
                 section = name.trim().to_string();
                 if !matches!(
                     section.as_str(),
-                    "secrets" | "s003" | "s005" | "scan" | "sanitizers"
+                    "secrets" | "s003" | "s005" | "scan" | "sanitizers" | "summaries"
                 ) {
                     return Err(format!("line {}: unknown section [{section}]", lno + 1));
                 }
@@ -134,6 +151,9 @@ impl Config {
                 ("sanitizers", "methods") => &mut cfg.sanitizers,
                 ("s005", "allowed_paths") => &mut cfg.allowed_paths,
                 ("scan", "exclude_paths") => &mut cfg.exclude_paths,
+                ("summaries", "sanitizers") => &mut cfg.summary_sanitizers,
+                ("summaries", "sinks") => &mut cfg.summary_sinks,
+                ("summaries", "trusted") => &mut cfg.summary_trusted,
                 _ => {
                     return Err(format!(
                         "line {}: unknown key `{key}` in section [{section}]",
@@ -256,6 +276,19 @@ mod tests {
         assert!(c.sanitizers.contains(&"len".to_string()));
         let c = Config::parse("[sanitizers]\nmethods = [\"scrub\"]").unwrap();
         assert_eq!(c.sanitizers, vec!["scrub"]);
+    }
+
+    #[test]
+    fn summaries_section_parses() {
+        let c = Config::parse(
+            "[summaries]\nsanitizers = [\"fingerprint\"]\nsinks = [\"audit_log\"]\ntrusted = [\"MontCtx::new\"]",
+        )
+        .unwrap();
+        assert_eq!(c.summary_sanitizers, vec!["fingerprint"]);
+        assert_eq!(c.summary_sinks, vec!["audit_log"]);
+        assert_eq!(c.summary_trusted, vec!["MontCtx::new"]);
+        // Defaults are empty: summaries come from the code itself.
+        assert!(Config::default().summary_sanitizers.is_empty());
     }
 
     #[test]

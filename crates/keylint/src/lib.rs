@@ -5,10 +5,12 @@
 //! *copies*: derived `Clone`/`Debug`, format macros, `.to_vec()` into
 //! unmanaged heap, frees that never zero, and unsafe aliasing. keylint
 //! walks every `.rs` file with a hand-rolled lexer and item parser (pure
-//! std — the build environment has no registry access) and enforces six
-//! rules (S001–S007) over the set of secret-bearing types, which is seeded
+//! std — the build environment has no registry access) and enforces eight
+//! rules (S001–S008) over the set of secret-bearing types, which is seeded
 //! from `keylint.toml` and closed under field-name heuristics and
-//! transitive embedding.
+//! transitive embedding. Taint crosses function boundaries through
+//! call-graph summaries ([`callgraph`]), so laundering helpers are caught
+//! at any call depth.
 //!
 //! Findings can be suppressed in place
 //! (`// keylint: allow(S00x) -- reason`) or accepted in a committed
@@ -18,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod json;
 pub mod lexer;
@@ -51,6 +54,8 @@ pub struct Report {
     pub baselined: usize,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Non-fatal analysis warnings (e.g. ambiguous same-named structs).
+    pub warnings: Vec<String>,
 }
 
 impl Report {
@@ -65,6 +70,9 @@ impl Report {
 
     fn render_text(&self) -> String {
         let mut out = String::new();
+        for w in &self.warnings {
+            out.push_str(&format!("keylint: warning: {w}\n"));
+        }
         for f in &self.findings {
             let sev = match f.rule.severity() {
                 Severity::Error => "error",
@@ -77,6 +85,12 @@ impl Report {
                 f.rule.as_str(),
                 f.message
             ));
+            for step in &f.trace {
+                out.push_str(&format!(
+                    "    trace: {}:{}: {}\n",
+                    step.file, step.line, step.note
+                ));
+            }
         }
         out.push_str(&format!(
             "keylint: {} file(s) scanned, {} finding(s), {} baselined\n",
@@ -108,6 +122,21 @@ impl Report {
                     ("line", Value::Num(f64::from(f.line))),
                     ("symbol", Value::Str(f.symbol.clone())),
                     ("message", Value::Str(f.message.clone())),
+                    (
+                        "trace",
+                        Value::Arr(
+                            f.trace
+                                .iter()
+                                .map(|s| {
+                                    obj(vec![
+                                        ("file", Value::Str(s.file.clone())),
+                                        ("line", Value::Num(f64::from(s.line))),
+                                        ("note", Value::Str(s.note.clone())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ])
             })
             .collect();
@@ -115,6 +144,10 @@ impl Report {
             ("version", Value::Num(1.0)),
             ("files_scanned", Value::Num(self.files_scanned as f64)),
             ("baselined", Value::Num(self.baselined as f64)),
+            (
+                "warnings",
+                Value::Arr(self.warnings.iter().cloned().map(Value::Str).collect()),
+            ),
             ("findings", Value::Arr(findings)),
         ])
         .pretty()
@@ -173,12 +206,7 @@ pub fn analyze(
     cfg: &Config,
     baseline: Option<&Baseline>,
 ) -> Result<Report, String> {
-    let mut models = Vec::with_capacity(files.len());
-    for f in files {
-        let src =
-            std::fs::read_to_string(f).map_err(|e| format!("{}: {e}", f.display()))?;
-        models.push(parser::parse_file(&rel_path(root, f), &src));
-    }
+    let models = parse_models(root, files)?;
     let all = rules::check(&models, cfg);
     let (covered, findings): (Vec<_>, Vec<_>) = all
         .into_iter()
@@ -187,7 +215,26 @@ pub fn analyze(
         findings,
         baselined: covered.len(),
         files_scanned: files.len(),
+        warnings: rules::struct_ambiguities(&models),
     })
+}
+
+/// Parses every file into a [`parser::FileModel`].
+fn parse_models(root: &Path, files: &[PathBuf]) -> Result<Vec<parser::FileModel>, String> {
+    let mut models = Vec::with_capacity(files.len());
+    for f in files {
+        let src =
+            std::fs::read_to_string(f).map_err(|e| format!("{}: {e}", f.display()))?;
+        models.push(parser::parse_file(&rel_path(root, f), &src));
+    }
+    Ok(models)
+}
+
+/// Renders the workspace call graph as Graphviz DOT (the
+/// `--emit-callgraph` path).
+pub fn callgraph_dot(root: &Path, files: &[PathBuf]) -> Result<String, String> {
+    let models = parse_models(root, files)?;
+    Ok(callgraph::dot(&models))
 }
 
 /// Locates the workspace root: the nearest ancestor of `start` whose

@@ -4,6 +4,7 @@
 //! keylint [PATHS…] [--workspace] [--format text|json]
 //!         [--config FILE] [--baseline FILE]
 //!         [--write-baseline FILE --reason TEXT] [--allow-todo-reasons]
+//!         [--emit-callgraph FILE]
 //! ```
 //!
 //! Baseline updates must say why (`--reason`), and a committed baseline
@@ -15,7 +16,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use keylint::{analyze, collect_files, find_workspace_root, Baseline, Config, Format};
+use keylint::{
+    analyze, callgraph_dot, collect_files, find_workspace_root, Baseline, Config, Format,
+};
 
 struct Args {
     paths: Vec<PathBuf>,
@@ -26,6 +29,7 @@ struct Args {
     write_baseline: Option<PathBuf>,
     reason: Option<String>,
     allow_todo_reasons: bool,
+    emit_callgraph: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         write_baseline: None,
         reason: None,
         allow_todo_reasons: false,
+        emit_callgraph: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -61,12 +66,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--reason" => args.reason = Some(value("--reason")?),
             "--allow-todo-reasons" => args.allow_todo_reasons = true,
+            "--emit-callgraph" => {
+                args.emit_callgraph = Some(PathBuf::from(value("--emit-callgraph")?));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: keylint [PATHS…] [--workspace] [--format text|json]\n\
                      \x20              [--config FILE] [--baseline FILE]\n\
                      \x20              [--write-baseline FILE --reason TEXT]\n\
-                     \x20              [--allow-todo-reasons]"
+                     \x20              [--allow-todo-reasons] [--emit-callgraph FILE]"
                 );
                 std::process::exit(0);
             }
@@ -154,7 +162,19 @@ fn run() -> Result<ExitCode, String> {
         files
     };
 
+    if let Some(dot_path) = &args.emit_callgraph {
+        let dot = callgraph_dot(&root, &files)?;
+        std::fs::write(dot_path, dot).map_err(|e| format!("{}: {e}", dot_path.display()))?;
+        eprintln!("keylint: wrote call graph to {}", dot_path.display());
+    }
+
+    let started = std::time::Instant::now();
     let report = analyze(&root, &files, &cfg, baseline.as_ref())?;
+    eprintln!(
+        "keylint: analyzed {} file(s) in {:.2}s",
+        report.files_scanned,
+        started.elapsed().as_secs_f64()
+    );
 
     if let Some(out_path) = &args.write_baseline {
         let reason = args.reason.as_deref().unwrap_or_default();

@@ -69,6 +69,8 @@ pub struct MacroCall {
     pub line: u32,
     /// Identifiers inside the arguments.
     pub args: Vec<ArgIdent>,
+    /// Token index of the macro name (to locate the enclosing fn).
+    pub tok_index: usize,
 }
 
 /// A `.clone()` / `.to_vec()` / `.to_owned()` style call.
@@ -93,6 +95,30 @@ pub struct FromCall {
     pub line: u32,
     /// Identifiers in the argument list.
     pub args: Vec<String>,
+    /// Token index of the `Vec` ident (to locate the enclosing fn).
+    pub tok_index: usize,
+}
+
+/// One function/method call site: `helper(args…)`, `Type::assoc(args…)`,
+/// or `recv.method(args…)`. The interprocedural engine resolves the callee
+/// against workspace function definitions and consults its summary.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Callee name (last path segment / method name).
+    pub callee: String,
+    /// The path segment before a `::`, if any (`KeyMaterial` in
+    /// `KeyMaterial::from_private(…)`); used to match impl owners.
+    pub qualifier: Option<String>,
+    /// Whether this is a `.method(…)` call on a receiver.
+    pub method: bool,
+    /// 1-based line of the callee name.
+    pub line: u32,
+    /// Token index of the callee name.
+    pub tok_index: usize,
+    /// Identifier chains per argument position (top-level commas split).
+    pub args: Vec<Vec<SourceRef>>,
+    /// Token index range of the argument parens (open, close).
+    pub arg_span: (usize, usize),
 }
 
 /// A `let` binding or function parameter with a resolvable type.
@@ -110,8 +136,9 @@ pub struct Binding {
     pub tok_index: usize,
 }
 
-/// A function definition with its body token range. Taint tracking is
-/// scoped to these: a binding graph never crosses a function boundary.
+/// A function definition with its body token range. The intra-procedural
+/// pass is scoped to these; the interprocedural engine connects them
+/// through call-site summaries.
 #[derive(Debug)]
 pub struct FnDef {
     /// Function name.
@@ -123,6 +150,11 @@ pub struct FnDef {
     pub sig_start: usize,
     /// Token index range of the body (between the braces, exclusive).
     pub body: (usize, usize),
+    /// Whether the signature declares a `->` return type.
+    pub has_ret: bool,
+    /// Identifier chains of every `return expr` plus the tail expression
+    /// (only collected when `has_ret`; unit returns carry nothing).
+    pub returns: Vec<SourceRef>,
 }
 
 /// One identifier chain on the right-hand side of an assignment:
@@ -151,6 +183,9 @@ pub struct Assign {
     pub line: u32,
     /// Token index of the statement start (to locate the enclosing fn).
     pub tok_index: usize,
+    /// Token range of the initializer (call sites inside it are resolved
+    /// against function summaries instead of raw argument chains).
+    pub rhs_span: (usize, usize),
 }
 
 /// Everything the rules need to know about one file.
@@ -176,6 +211,11 @@ pub struct FileModel {
     pub fns: Vec<FnDef>,
     /// Assignment statements (let + plain rebinding) for taint tracking.
     pub assigns: Vec<Assign>,
+    /// Function/method call sites (for summary resolution and S008).
+    pub calls: Vec<CallSite>,
+    /// Token ranges of `loop`/`while`/`for` bodies (between the braces,
+    /// exclusive) — the back-edge pass re-seeds taint across these.
+    pub loops: Vec<(usize, usize)>,
     /// All line comments.
     pub comments: Vec<Comment>,
     /// The full token stream (rules peek at impl bodies through it).
@@ -293,6 +333,22 @@ pub fn parse_file(path: &str, src: &str) -> FileModel {
                 m.unsafe_blocks.push(t.line);
                 i += 1;
             }
+            // Loop headers: record the body token range so the back-edge
+            // pass can re-seed taint that survives an iteration. `for<'a>`
+            // higher-ranked bounds are not loops.
+            (TokKind::Ident, "loop" | "while" | "for") if !is(&toks, i + 1, "<") => {
+                let open = if t.text == "loop" {
+                    is(&toks, i + 1, "{").then_some(i + 1)
+                } else {
+                    let b = rhs_end(&toks, i + 1, true);
+                    is(&toks, b, "{").then_some(b)
+                };
+                if let Some(o) = open {
+                    let close = match_balanced(&toks, o, "{", "}");
+                    m.loops.push((o + 1, close));
+                }
+                i += 1;
+            }
             (TokKind::Ident, "let") => {
                 if let Some(b) = parse_let(&toks, i) {
                     m.bindings.push(b);
@@ -330,7 +386,11 @@ pub fn parse_file(path: &str, src: &str) -> FileModel {
                     .filter(|t| t.kind == TokKind::Ident)
                     .map(|t| t.text.clone())
                     .collect();
-                m.from_calls.push(FromCall { line: t.line, args });
+                m.from_calls.push(FromCall {
+                    line: t.line,
+                    args,
+                    tok_index: i,
+                });
                 i += 5; // still scan the argument tokens
             }
             (TokKind::Ident, _) if is(&toks, i + 1, "!") && opens_delim(&toks, i + 2) => {
@@ -350,6 +410,7 @@ pub fn parse_file(path: &str, src: &str) -> FileModel {
                     name: t.text.clone(),
                     line: t.line,
                     args,
+                    tok_index: i,
                 });
                 i += 3; // keep scanning inside the macro arguments
             }
@@ -366,14 +427,33 @@ pub fn parse_file(path: &str, src: &str) -> FileModel {
                         .and_then(|p| toks.get(p))
                         .is_none_or(|p| matches!(p.text.as_str(), ";" | "{" | "}")) =>
             {
-                let (sources, _) = collect_chains(&toks, i + 2, rhs_end(&toks, i + 2, false));
+                let end = rhs_end(&toks, i + 2, false);
+                let (sources, _) = collect_chains(&toks, i + 2, end);
                 m.assigns.push(Assign {
                     names: vec![t.text.clone()],
                     sources,
                     line: t.line,
                     tok_index: i,
+                    rhs_span: (i + 2, end),
                 });
                 i += 2;
+            }
+            // Call sites: `callee(…)`, `Path::callee(…)`, `recv.callee(…)`.
+            // Tuple-struct constructors match too; they resolve to no
+            // workspace fn and fall back to the intra-procedural rules.
+            (TokKind::Ident, _)
+                if is(&toks, i + 1, "(")
+                    && !matches!(
+                        t.text.as_str(),
+                        "if" | "while" | "for" | "match" | "loop" | "return" | "in" | "as"
+                            | "move" | "else" | "fn"
+                    )
+                    && i.checked_sub(1)
+                        .and_then(|p| toks.get(p))
+                        .is_none_or(|p| p.text != "fn") =>
+            {
+                m.calls.push(parse_call_site(&toks, i));
+                i += 2; // keep scanning inside the arguments
             }
             (TokKind::Punct, ".")
                 if matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Ident
@@ -740,18 +820,28 @@ fn parse_fn_def(toks: &[Tok], i: usize) -> Option<FnDef> {
     if !is(toks, j, "(") {
         return None;
     }
-    j = match_balanced(toks, j, "(", ")") + 1;
+    let params_close = match_balanced(toks, j, "(", ")");
+    j = params_close + 1;
     // Return type / where clause: neither contains `{`, so the first `{`
     // or `;` decides whether there is a body.
     while let Some(t) = toks.get(j) {
         match t.text.as_str() {
             "{" => {
                 let close = match_balanced(toks, j, "{", "}");
+                let has_ret = (params_close + 1..j)
+                    .any(|k| toks[k].text == "-" && is(toks, k + 1, ">"));
+                let returns = if has_ret {
+                    collect_returns(toks, (j + 1, close))
+                } else {
+                    Vec::new()
+                };
                 return Some(FnDef {
                     name: name_tok.text.clone(),
                     line: toks[i].line,
                     sig_start: i,
                     body: (j + 1, close),
+                    has_ret,
+                    returns,
                 });
             }
             ";" => return None,
@@ -759,6 +849,93 @@ fn parse_fn_def(toks: &[Tok], i: usize) -> Option<FnDef> {
         }
     }
     None
+}
+
+/// Identifier chains flowing out of a fn body: every `return expr` plus
+/// the tail expression (the region after the last top-level `;` or block
+/// statement; a trailing `}` not followed by `else` ends a statement, so
+/// an `if`/`match` tail falls back to the start of that statement).
+fn collect_returns(toks: &[Tok], body: (usize, usize)) -> Vec<SourceRef> {
+    let (b0, b1) = body;
+    let mut out = Vec::new();
+    let mut j = b0;
+    while j < b1 {
+        if toks[j].kind == TokKind::Ident && toks[j].text == "return" {
+            let end = rhs_end(toks, j + 1, false).min(b1);
+            out.extend(collect_chains(toks, j + 1, end).0);
+            j = end.max(j + 1);
+        } else {
+            j += 1;
+        }
+    }
+    // Tail expression: track top-level statement boundaries.
+    let mut tail = b0;
+    let mut prev_tail = b0;
+    let mut depth = 0i32;
+    for k in b0..b1 {
+        match toks[k].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 && !is(toks, k + 1, "else") {
+                    prev_tail = tail;
+                    tail = k + 1;
+                }
+            }
+            ";" if depth == 0 => {
+                prev_tail = tail;
+                tail = k + 1;
+            }
+            _ => {}
+        }
+    }
+    let start = if tail >= b1 { prev_tail } else { tail };
+    out.extend(collect_chains(toks, start, b1).0);
+    out
+}
+
+/// Parses the call whose callee identifier sits at `i` (the `(` is at
+/// `i + 1`): splits arguments on top-level commas into per-position
+/// source chains and records the qualifier/method shape for resolution.
+fn parse_call_site(toks: &[Tok], i: usize) -> CallSite {
+    let open = i + 1;
+    let close = match_balanced(toks, open, "(", ")");
+    let mut args = Vec::new();
+    let mut seg_start = open + 1;
+    let mut depth = 0i32;
+    let mut k = open + 1;
+    while k < close {
+        match toks[k].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "," if depth == 0 => {
+                args.push(collect_chains(toks, seg_start, k).0);
+                seg_start = k + 1;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    if seg_start < close {
+        args.push(collect_chains(toks, seg_start, close).0);
+    }
+    let prev = i.checked_sub(1).and_then(|p| toks.get(p)).map(|t| t.text.as_str());
+    let method = prev == Some(".");
+    let qualifier = (!method
+        && prev == Some(":")
+        && i >= 3
+        && toks[i - 2].text == ":"
+        && toks[i - 3].kind == TokKind::Ident)
+        .then(|| toks[i - 3].text.clone());
+    CallSite {
+        callee: toks[i].text.clone(),
+        qualifier,
+        method,
+        line: toks[i].line,
+        tok_index: i,
+        args,
+        arg_span: (open, close),
+    }
 }
 
 /// Index of the token ending the initializer that starts at `start`: the
@@ -896,12 +1073,14 @@ fn parse_assign(toks: &[Tok], start: usize, let_index: usize, stop_at_brace: boo
         return None;
     }
     let line = toks.get(start).map_or(toks[eq].line, |t| t.line);
-    let (sources, _) = collect_chains(toks, eq + 1, rhs_end(toks, eq + 1, stop_at_brace));
+    let end = rhs_end(toks, eq + 1, stop_at_brace);
+    let (sources, _) = collect_chains(toks, eq + 1, end);
     Some(Assign {
         names,
         sources,
         line,
         tok_index: let_index,
+        rhs_span: (eq + 1, end),
     })
 }
 
@@ -1096,6 +1275,70 @@ mod tests {
             .sources
             .iter()
             .any(|s| s.chain == ["key", "d", "rotate", "len"]));
+    }
+
+    #[test]
+    fn call_sites_record_args_and_shape() {
+        let m = parse_file(
+            "t.rs",
+            "fn f(key: K) { let tmp = helper(&key.d(), 1); obj.push_to(tmp); KeyMaterial::from_private(&key); }",
+        );
+        let helper = m.calls.iter().find(|c| c.callee == "helper").unwrap();
+        assert!(!helper.method);
+        assert_eq!(helper.qualifier, None);
+        assert_eq!(helper.args.len(), 2);
+        assert!(helper.args[0].iter().any(|s| s.chain == ["key", "d"]));
+        let push = m.calls.iter().find(|c| c.callee == "push_to").unwrap();
+        assert!(push.method);
+        assert!(push.args[0].iter().any(|s| s.chain == ["tmp"]));
+        let fp = m.calls.iter().find(|c| c.callee == "from_private").unwrap();
+        assert_eq!(fp.qualifier.as_deref(), Some("KeyMaterial"));
+        // The fn definition itself is not a call site.
+        assert!(m.calls.iter().all(|c| c.callee != "f"));
+    }
+
+    #[test]
+    fn nested_calls_are_both_recorded() {
+        let m = parse_file("t.rs", "fn f() { outer(inner(x)); }");
+        assert!(m.calls.iter().any(|c| c.callee == "outer"));
+        assert!(m.calls.iter().any(|c| c.callee == "inner"));
+    }
+
+    #[test]
+    fn returns_capture_tail_and_return_stmts() {
+        let m = parse_file(
+            "t.rs",
+            "fn a(v: B) -> B { if early { return v; } let w = v; w }\nfn b(v: B) { v; }",
+        );
+        let a = m.fns.iter().find(|f| f.name == "a").unwrap();
+        assert!(a.has_ret);
+        assert!(a.returns.iter().any(|s| s.chain == ["v"]));
+        assert!(a.returns.iter().any(|s| s.chain == ["w"]));
+        let b = m.fns.iter().find(|f| f.name == "b").unwrap();
+        assert!(!b.has_ret && b.returns.is_empty());
+    }
+
+    #[test]
+    fn tail_if_else_falls_back_to_the_statement() {
+        let m = parse_file("t.rs", "fn f(x: B) -> B { if c { x } else { y } }");
+        let f = &m.fns[0];
+        assert!(f.returns.iter().any(|s| s.chain == ["x"]), "{:?}", f.returns);
+        assert!(f.returns.iter().any(|s| s.chain == ["y"]));
+    }
+
+    #[test]
+    fn loop_bodies_are_spanned() {
+        let m = parse_file(
+            "t.rs",
+            "fn f() { loop { a(); } while x < 2 { b(); } for i in 0..3 { c(); } }",
+        );
+        assert_eq!(m.loops.len(), 3);
+        for &(open, close) in &m.loops {
+            assert!(open < close);
+        }
+        // `for<'a>` bounds are not loops.
+        let hr = parse_file("t.rs", "fn g<F: for<'a> Fn(&'a u8)>(f: F) { f(&0); }");
+        assert!(hr.loops.is_empty());
     }
 
     #[test]

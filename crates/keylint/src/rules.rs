@@ -1,17 +1,20 @@
-//! The seven key-hygiene rules and the secret-type fixpoint they share.
+//! The eight key-hygiene rules and the secret-type fixpoint they share.
 //!
 //! Each rule maps to a leak channel from the memory-disclosure literature:
 //! stray copies via `Clone`/`Copy` (S001) and `.clone()`-family calls
 //! (S005), secrets escaping through `Debug` (S002) or format/log macros
 //! (S004), key bytes surviving free because `Drop` never zeroed them
-//! (S003), unaudited `unsafe` that could alias key memory (S006), and
-//! tainted buffers freed without zeroing on a fallible path (S007).
+//! (S003), unaudited `unsafe` that could alias key memory (S006), tainted
+//! buffers freed without zeroing on a fallible path (S007), and tainted
+//! values handed to functions whose summaries sink them at any call depth
+//! (S008 — see [`crate::callgraph`]).
 
 use std::collections::{BTreeSet, HashMap};
 
+use crate::callgraph::{Summaries, TraceStep};
 use crate::config::Config;
 use crate::lexer::TokKind;
-use crate::parser::{FileModel, StructDef};
+use crate::parser::{FileModel, FnDef, StructDef};
 use crate::taint::FileTaint;
 
 /// Stable rule identifiers.
@@ -33,6 +36,9 @@ pub enum RuleId {
     /// No `heap_free` of a secret-tainted buffer in a fallible function
     /// unless it was zeroed first (or `heap_free_zeroed` is used).
     S007,
+    /// No tainted value passed to a non-sanitizer function whose summary
+    /// sinks it (directly or at any call depth).
+    S008,
 }
 
 /// How serious a finding is. Both levels fail the build; the distinction
@@ -47,7 +53,7 @@ pub enum Severity {
 
 impl RuleId {
     /// All rules, in ID order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::S001,
         RuleId::S002,
         RuleId::S003,
@@ -55,6 +61,7 @@ impl RuleId {
         RuleId::S005,
         RuleId::S006,
         RuleId::S007,
+        RuleId::S008,
     ];
 
     /// Stable textual ID.
@@ -68,10 +75,11 @@ impl RuleId {
             RuleId::S005 => "S005",
             RuleId::S006 => "S006",
             RuleId::S007 => "S007",
+            RuleId::S008 => "S008",
         }
     }
 
-    /// Parses `"S001"` … `"S007"`.
+    /// Parses `"S001"` … `"S008"`.
     #[must_use]
     pub fn parse(s: &str) -> Option<RuleId> {
         Self::ALL.into_iter().find(|r| r.as_str() == s)
@@ -97,6 +105,7 @@ impl RuleId {
             RuleId::S005 => "secret bytes duplicated outside a blessed module",
             RuleId::S006 => "unsafe block lacks a `// SAFETY:` comment",
             RuleId::S007 => "secret buffer freed without zeroing on a fallible path",
+            RuleId::S008 => "secret value passed to a function that sinks it",
         }
     }
 }
@@ -114,6 +123,9 @@ pub struct Finding {
     pub symbol: String,
     /// Human-readable detail.
     pub message: String,
+    /// Call-path trace for interprocedural findings (caller-side hop
+    /// first, sink last); empty for single-site rules.
+    pub trace: Vec<TraceStep>,
 }
 
 /// Computes the set of secret type names over the whole workspace:
@@ -164,16 +176,18 @@ pub fn secret_types(models: &[FileModel], cfg: &Config) -> BTreeSet<String> {
 #[must_use]
 pub fn check(models: &[FileModel], cfg: &Config) -> Vec<Finding> {
     let secret = secret_types(models, cfg);
+    let summaries = Summaries::compute(models, &secret, cfg);
     let mut out = Vec::new();
     for m in models {
         let mut file_findings = Vec::new();
-        let taint = FileTaint::compute(m, models, &secret, cfg);
+        let taint = FileTaint::compute(m, models, &secret, cfg, Some(&summaries));
         check_derives_and_impls(m, &secret, cfg, &mut file_findings);
         check_drop_zeroing(m, models, &secret, cfg, &mut file_findings);
         check_format_macros(m, &taint, cfg, &mut file_findings);
         check_copies(m, &taint, cfg, &mut file_findings);
         check_unsafe(m, &mut file_findings);
         check_error_path_frees(m, &taint, cfg, &mut file_findings);
+        check_call_sinks(m, &taint, &mut file_findings);
         let suppressed = suppressed_lines(m);
         file_findings.retain(|f| {
             !suppressed
@@ -209,6 +223,7 @@ fn check_derives_and_impls(
                          implicitly copyable",
                         s.name
                     ),
+                    trace: Vec::new(),
                 }),
                 "Debug" => out.push(Finding {
                     rule: RuleId::S002,
@@ -220,6 +235,7 @@ fn check_derives_and_impls(
                          material; write a redacting impl instead",
                         s.name
                     ),
+                    trace: Vec::new(),
                 }),
                 _ => {}
             }
@@ -241,6 +257,7 @@ fn check_derives_and_impls(
                     im.trait_name.as_deref().unwrap_or(""),
                     im.type_name
                 ),
+                trace: Vec::new(),
             }),
             Some("Debug") => {
                 let redacts = m.body_strings(im).any(|s| s.contains("<redacted>"));
@@ -255,6 +272,7 @@ fn check_derives_and_impls(
                              literal `<redacted>`; it may print key material",
                             im.type_name
                         ),
+                        trace: Vec::new(),
                     });
                 }
             }
@@ -322,6 +340,7 @@ fn check_drop_zeroing(
                         s.name,
                         cfg.zero_markers.join("/")
                     ),
+                    trace: Vec::new(),
                 });
             }
             continue;
@@ -351,13 +370,15 @@ fn check_drop_zeroing(
                      delegate: {why}",
                     s.name
                 ),
+                trace: Vec::new(),
             });
         }
     }
 }
 
-/// Macros S004 watches: anything that renders values into text.
-const SINK_MACROS: &[&str] = &[
+/// Macros S004 watches: anything that renders values into text. The
+/// summary engine shares this list for its sink scan.
+pub(crate) const SINK_MACROS: &[&str] = &[
     "println", "print", "eprintln", "eprint", "format", "format_args", "write", "writeln",
     "panic", "log", "trace", "debug", "info", "warn", "error",
 ];
@@ -398,6 +419,7 @@ fn check_format_macros(
                         if arg.after_dot { "." } else { "" },
                         arg.text
                     ),
+                    trace: Vec::new(),
                 });
                 break; // one finding per macro call is enough
             }
@@ -427,6 +449,7 @@ fn check_copies(m: &FileModel, taint: &FileTaint<'_>, cfg: &Config, out: &mut Ve
                      use the type's explicit duplication method or move custody \
                      into the keyguard layer"
                 ),
+                trace: Vec::new(),
             });
         }
     }
@@ -441,6 +464,7 @@ fn check_copies(m: &FileModel, taint: &FileTaint<'_>, cfg: &Config, out: &mut Ve
                     "`Vec::from({arg})` copies secret bytes into an unmanaged \
                      allocation"
                 ),
+                trace: Vec::new(),
             });
         }
     }
@@ -464,6 +488,7 @@ fn check_unsafe(m: &FileModel, out: &mut Vec<Finding>) {
                 message: "unsafe block without a preceding `// SAFETY:` comment \
                           explaining why key memory cannot be exposed"
                     .to_string(),
+                trace: Vec::new(),
             });
         }
     }
@@ -483,59 +508,16 @@ fn check_error_path_frees(
     out: &mut Vec<Finding>,
 ) {
     for f in &m.fns {
-        let body = &m.toks[f.body.0..f.body.1.min(m.toks.len())];
-        let has_try = body
-            .iter()
-            .any(|t| matches!(t.kind, TokKind::Punct) && t.text == "?");
-        let returns_err = body
-            .iter()
-            .any(|t| matches!(t.kind, TokKind::Ident) && t.text == "return")
-            && body
+        for site in fallible_frees(m, f, cfg) {
+            let leak = site
+                .candidates
                 .iter()
-                .any(|t| matches!(t.kind, TokKind::Ident) && t.text == "Err");
-        if !has_try && !returns_err {
-            continue;
-        }
-        let mut i = 0;
-        while i < body.len() {
-            let is_free = matches!(body[i].kind, TokKind::Ident)
-                && body[i].text == "heap_free"
-                && body
-                    .get(i + 1)
-                    .is_some_and(|t| matches!(t.kind, TokKind::Punct) && t.text == "(");
-            if !is_free {
-                i += 1;
-                continue;
-            }
-            // Walk the argument list to its matching close paren, collecting
-            // the identifiers that name what is being freed.
-            let mut depth = 0usize;
-            let mut j = i + 1;
-            let mut args: Vec<(&str, u32)> = Vec::new();
-            while j < body.len() {
-                let t = &body[j];
-                if matches!(t.kind, TokKind::Punct) {
-                    if t.text == "(" {
-                        depth += 1;
-                    } else if t.text == ")" {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                } else if matches!(t.kind, TokKind::Ident) {
-                    args.push((&t.text, t.line));
-                }
-                j += 1;
-            }
-            let leak = args.iter().find(|(name, line)| {
-                taint.tainted_at(name, *line) && !zeroed_earlier(body, i, name, cfg)
-            });
-            if let Some(&(name, _)) = leak {
+                .find(|(name, line)| taint.tainted_at(name, *line));
+            if let Some((name, _)) = leak {
                 out.push(Finding {
                     rule: RuleId::S007,
                     file: m.path.clone(),
-                    line: body[i].line,
+                    line: site.line,
                     symbol: format!("heap_free({name})"),
                     message: format!(
                         "`heap_free({name})` frees secret-tainted memory in a \
@@ -544,10 +526,109 @@ fn check_error_path_frees(
                          zero `{name}` ({}) or use `heap_free_zeroed`",
                         cfg.zero_markers.join("/")
                     ),
+                    trace: Vec::new(),
                 });
             }
-            i = j.max(i + 1);
         }
+    }
+}
+
+/// A `heap_free(…)` call in a fallible function whose arguments were not
+/// zeroed earlier — the S007 candidate sites, shared with the summary
+/// engine's sink scan.
+pub(crate) struct FreeSite {
+    /// 1-based line of the `heap_free` call.
+    pub line: u32,
+    /// `(name, line)` of each freed identifier lacking earlier zeroing.
+    pub candidates: Vec<(String, u32)>,
+}
+
+/// Scans fn `f` for `heap_free` calls on fallible paths (a body with `?`
+/// or a `return`+`Err`), returning each call's unzeroed argument names.
+pub(crate) fn fallible_frees(m: &FileModel, f: &FnDef, cfg: &Config) -> Vec<FreeSite> {
+    let body = &m.toks[f.body.0..f.body.1.min(m.toks.len())];
+    let has_try = body
+        .iter()
+        .any(|t| matches!(t.kind, TokKind::Punct) && t.text == "?");
+    let returns_err = body
+        .iter()
+        .any(|t| matches!(t.kind, TokKind::Ident) && t.text == "return")
+        && body
+            .iter()
+            .any(|t| matches!(t.kind, TokKind::Ident) && t.text == "Err");
+    if !has_try && !returns_err {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let is_free = matches!(body[i].kind, TokKind::Ident)
+            && body[i].text == "heap_free"
+            && body
+                .get(i + 1)
+                .is_some_and(|t| matches!(t.kind, TokKind::Punct) && t.text == "(");
+        if !is_free {
+            i += 1;
+            continue;
+        }
+        // Walk the argument list to its matching close paren, collecting
+        // the identifiers that name what is being freed.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut args: Vec<(&str, u32)> = Vec::new();
+        while j < body.len() {
+            let t = &body[j];
+            if matches!(t.kind, TokKind::Punct) {
+                if t.text == "(" {
+                    depth += 1;
+                } else if t.text == ")" {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            } else if matches!(t.kind, TokKind::Ident) {
+                args.push((&t.text, t.line));
+            }
+            j += 1;
+        }
+        let candidates = args
+            .iter()
+            .filter(|(name, _)| !zeroed_earlier(body, i, name, cfg))
+            .map(|&(n, l)| (n.to_string(), l))
+            .collect();
+        out.push(FreeSite {
+            line: body[i].line,
+            candidates,
+        });
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// S008: a grounded-tainted value passed into a function whose summary
+/// (or `[summaries] sinks` override) sinks the corresponding parameter —
+/// the laundering happens at any call depth, so the finding carries the
+/// call-path trace down to the concrete sink.
+fn check_call_sinks(m: &FileModel, taint: &FileTaint<'_>, out: &mut Vec<Finding>) {
+    for hit in taint.call_sinks() {
+        let call = &m.calls[hit.call];
+        out.push(Finding {
+            rule: RuleId::S008,
+            file: m.path.clone(),
+            line: call.line,
+            symbol: format!("{}({})", call.callee, hit.root),
+            message: format!(
+                "secret value `{}` is passed to `{}`, which leads to a {} at \
+                 call depth {}; see the finding's trace for the laundering \
+                 chain",
+                hit.root,
+                call.callee,
+                hit.trace.kind,
+                hit.trace.path.len().max(1)
+            ),
+            trace: hit.trace.path,
+        });
     }
 }
 
@@ -573,10 +654,53 @@ fn zeroed_earlier(body: &[crate::lexer::Tok], before: usize, name: &str, cfg: &C
     false
 }
 
+/// Detects same-named structs defined with *different* field shapes in
+/// multiple files: `struct_def` resolution is first-match, so such a
+/// clash would silently guess. Identical re-definitions (and same-named
+/// enums/tuple structs, which carry no fields) stay quiet.
+#[must_use]
+pub fn struct_ambiguities(models: &[FileModel]) -> Vec<String> {
+    let mut by_name: std::collections::BTreeMap<&str, Vec<(&FileModel, &StructDef)>> =
+        std::collections::BTreeMap::new();
+    for m in models {
+        for s in &m.structs {
+            by_name.entry(&s.name).or_default().push((m, s));
+        }
+    }
+    let mut out = Vec::new();
+    for (name, defs) in by_name {
+        if defs.len() < 2 {
+            continue;
+        }
+        let shape = |s: &StructDef| -> Vec<(String, Vec<String>)> {
+            s.fields
+                .iter()
+                .map(|f| (f.name.clone(), f.type_idents.clone()))
+                .collect()
+        };
+        let first = shape(defs[0].1);
+        if defs[1..].iter().any(|(_, s)| shape(s) != first) {
+            let sites: Vec<String> = defs
+                .iter()
+                .map(|(m, s)| format!("{}:{}", m.path, s.line))
+                .collect();
+            out.push(format!(
+                "struct `{name}` is defined with different field shapes at {}; \
+                 field-type resolution uses the first definition — rename one \
+                 or align the shapes",
+                sites.join(", ")
+            ));
+        }
+    }
+    out
+}
+
 /// Parses `// keylint: allow(S001, S005) -- reason` comments. A
 /// suppression covers findings on its own line and on the next line that
 /// holds any token (so it can sit directly above the offending item).
-fn suppressed_lines(m: &FileModel) -> HashMap<RuleId, BTreeSet<u32>> {
+/// The summary engine shares this so suppressed sinks do not propagate
+/// into caller findings.
+pub(crate) fn suppressed_lines(m: &FileModel) -> HashMap<RuleId, BTreeSet<u32>> {
     let mut map: HashMap<RuleId, BTreeSet<u32>> = HashMap::new();
     for c in &m.comments {
         let Some(rest) = c.text.trim_start().strip_prefix("keylint:") else {
@@ -797,5 +921,46 @@ mod tests {
             "// keylint: allow(S001)\n#[derive(Clone)]\nstruct RsaPrivateKey { d: u8 }\nimpl Drop for RsaPrivateKey { fn drop(&mut self) { zeroize(self) } }",
         );
         assert!(f.iter().any(|x| x.rule == RuleId::S001));
+    }
+
+    #[test]
+    fn s008_fires_on_call_into_sinking_fn_with_trace() {
+        let f = run(
+            "fn log_value(v: &BigUint) {\n    println!(\"{}\", v);\n}\nfn user(key: RsaPrivateKey) {\n    let tmp = key.d();\n    log_value(&tmp);\n}",
+        );
+        let hit = f
+            .iter()
+            .find(|x| x.rule == RuleId::S008)
+            .expect("S008 should fire");
+        assert_eq!(hit.line, 6);
+        assert!(hit.symbol.contains("log_value"));
+        assert!(hit.trace.len() >= 2, "{:?}", hit.trace);
+        // Caller-side hop first, sink last.
+        assert_eq!(hit.trace[0].line, 6);
+        assert_eq!(hit.trace.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn s008_respects_sanitizer_callees() {
+        let f = run(
+            "fn digest_len(v: &BigUint) -> usize { v.len() }\nfn user(key: RsaPrivateKey) {\n    let n = digest_len(&key);\n    println!(\"{}\", n);\n}",
+        );
+        assert!(f.iter().all(|x| x.rule != RuleId::S008), "{f:?}");
+        assert!(f.iter().all(|x| x.rule != RuleId::S004), "{f:?}");
+    }
+
+    #[test]
+    fn struct_ambiguity_warns_only_on_shape_clash() {
+        let clash = struct_ambiguities(&[
+            parse_file("a.rs", "struct Frame { data: Vec<u8> }"),
+            parse_file("b.rs", "struct Frame { id: u32 }"),
+        ]);
+        assert_eq!(clash.len(), 1);
+        assert!(clash[0].contains("Frame"), "{clash:?}");
+        let same = struct_ambiguities(&[
+            parse_file("a.rs", "struct Frame { data: Vec<u8> }"),
+            parse_file("c.rs", "struct Frame { data: Vec<u8> }"),
+        ]);
+        assert!(same.is_empty(), "{same:?}");
     }
 }

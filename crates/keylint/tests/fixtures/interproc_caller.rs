@@ -1,0 +1,29 @@
+//! Cross-file laundering callers: every helper lives in
+//! `interproc_helpers.rs`, so these findings only exist when function
+//! summaries cross file boundaries.
+
+fn cross_file_two_hop(key: RsaPrivateKey) {
+    let tmp = launder_one(key.d());
+    println!("tmp = {}", tmp); //~ S004
+}
+
+fn call_site_sink(key: RsaPrivateKey) {
+    let tmp = key.d();
+    log_value(&tmp); //~ S008
+}
+
+fn recursive_launder(key: RsaPrivateKey) {
+    let tmp = launder_recursive(key.d(), 4);
+    println!("tmp = {}", tmp); //~ S004
+}
+
+fn sanitizer_summary_stays_clean(key: RsaPrivateKey) {
+    let n = digest_len(&key.d());
+    println!("n = {}", n);
+}
+
+fn suppressed_call_sink(key: RsaPrivateKey) {
+    let tmp = key.d();
+    // keylint: allow(S008) -- fixture: suppression-coverage case for call sinks
+    log_value(&tmp);
+}

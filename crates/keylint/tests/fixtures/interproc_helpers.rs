@@ -1,0 +1,27 @@
+//! Helpers for the interprocedural fixtures. Everything here is clean in
+//! isolation — the leaks only appear when `interproc_caller.rs` feeds
+//! secret material through these, which is exactly what the summary
+//! engine must see across file boundaries.
+
+fn launder_one(v: BigUint) -> BigUint {
+    launder_two(v)
+}
+
+fn launder_two(v: BigUint) -> BigUint {
+    v
+}
+
+fn log_value(v: &BigUint) {
+    println!("helper log: {}", v);
+}
+
+fn launder_recursive(v: BigUint, n: u32) -> BigUint {
+    if n == 0 {
+        return v;
+    }
+    launder_recursive(v, n - 1)
+}
+
+fn digest_len(v: &BigUint) -> usize {
+    v.len()
+}

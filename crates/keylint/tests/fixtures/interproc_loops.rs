@@ -1,0 +1,25 @@
+//! Loop back-edge taint: a use textually before its def is still a leak
+//! when the loop's back-edge carries the tainted value around.
+
+fn back_edge_leaks(key: RsaPrivateKey) {
+    let mut tmp = 0u64;
+    loop {
+        println!("tmp = {}", tmp); //~ S004
+        tmp = key.d();
+    }
+}
+
+fn straight_line_stays_clean(key: RsaPrivateKey) {
+    let mut tmp = 0u64;
+    println!("tmp = {}", tmp);
+    tmp = key.d();
+    let _ = tmp;
+}
+
+fn sanitized_in_loop_stays_clean(key: RsaPrivateKey) {
+    let mut n = 0usize;
+    loop {
+        println!("n = {}", n);
+        n = key.d().len();
+    }
+}

@@ -280,6 +280,7 @@ impl WorkerCrypto {
         kernel.write_bytes(pid, buf, &sealed)?;
         let (opened, _) = client_chan.open(&sealed).expect("channel round trip");
         assert_eq!(opened, payload);
+        // keylint: allow(S007) -- buf holds sealed ciphertext, unique per session; freeing it unzeroed leaks no key bytes
         kernel.heap_free(pid, buf)?;
         Ok(())
     }

@@ -57,6 +57,11 @@ echo "== keylint taint fixtures =="
 cargo test --release -p keylint --test rules taint
 cargo test --release -p keylint --test taint
 
+echo "== keylint interprocedural fixtures =="
+# Cross-file laundering, recursive helpers, call-site sinks with traces
+# (S008), and loop back-edge taint — the summary engine end to end.
+cargo test --release -p keylint --test interproc
+
 echo "== keylint baseline hygiene =="
 # A committed baseline must hold finished decisions, not placeholders.
 if grep -q "TODO" keylint-baseline.json; then
@@ -65,6 +70,14 @@ if grep -q "TODO" keylint-baseline.json; then
 fi
 
 echo "== keylint =="
-cargo run --release -p keylint -- --workspace
+# Full-workspace lint (the analyzed-in wall clock is printed to stderr;
+# it must stay well under the 2s budget), with the machine-readable
+# report and the call graph emitted as artifacts at the workspace root.
+cargo run --release -p keylint -- --workspace --format json \
+    --emit-callgraph keylint-callgraph.dot > keylint-report.json
+grep -q "digraph keylint_callgraph" keylint-callgraph.dot || {
+    echo "ci: keylint-callgraph.dot is not a DOT call graph" >&2
+    exit 1
+}
 
 echo "ci: all green"
