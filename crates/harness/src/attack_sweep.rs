@@ -85,7 +85,7 @@ fn tty_cell_seed(root: u64, conns: usize, rep: usize) -> u64 {
 ///
 /// All mutable state — the kernel, the server, the background-mix RNG — is
 /// owned by the calling cell and derived from `rep_seed` alone.
-fn drive_workload<S: SecureServer>(
+pub(crate) fn drive_workload<S: SecureServer>(
     kernel: &mut Kernel,
     level: ProtectionLevel,
     cfg: &ExperimentConfig,

@@ -98,5 +98,7 @@ fn figure_name(kind: ServerKind, level: ProtectionLevel) -> &'static str {
         (ServerKind::Apache, L::Library) => "fig23-24",
         (ServerKind::Apache, L::Kernel) => "fig25-26",
         (ServerKind::Apache, L::Integrated) => "fig27-28",
+        // The shielded tier is ours, not the paper's; no figure to pin.
+        (_, L::Shielded) => "shielded",
     }
 }

@@ -9,6 +9,7 @@
 //! | Fig 7, 17, 18 (before/after) | [`attack_sweep::tty_sweep`] at two levels | `fig7_17_18` |
 //! | Fig 8, 19, 20 (performance) | [`perf::run_perf`] | `perf` |
 //! | Error-path robustness (beyond the paper) | [`faultsweep::fault_sweep`] | `faultsweep` |
+//! | Stronger attackers (beyond the paper) | [`attack_matrix::attacker_matrix`] | `attacker_matrix` |
 //!
 //! Each driver returns plain data structures; the [`report`] module renders
 //! them as the gnuplot-style `.dat` series the paper's plots were built from
@@ -22,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attack_matrix;
 pub mod attack_sweep;
 pub mod baselines;
 pub mod cli;

@@ -134,6 +134,48 @@ pub fn fault_sweep_dat(report: &crate::faultsweep::FaultSweepReport) -> String {
     out
 }
 
+/// Renders an attacker matrix as `level attacker compromised reps defeated
+/// expected` rows, one blank-separated group per protection level, plus a
+/// trailing verdict comment in the sweep-file idiom.
+#[must_use]
+pub fn attacker_matrix_dat(report: &crate::attack_matrix::AttackerMatrixReport) -> String {
+    let mut out = format!(
+        "# {}\n# level attacker compromised reps defeated expected\n",
+        report.summary()
+    );
+    let mut last_level = None;
+    for c in &report.cells {
+        if last_level.is_some_and(|l| l != c.level) {
+            out.push('\n');
+        }
+        last_level = Some(c.level);
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {} {}",
+            c.level.label(),
+            c.attacker.label(),
+            c.compromised,
+            c.repetitions,
+            u8::from(c.defeated()),
+            u8::from(c.attacker.expected_to_defeat(c.level))
+        );
+    }
+    let violations = report.violations();
+    if violations.is_empty() {
+        out.push_str("# expectation table: HELD\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "# expectation table: VIOLATED at {:?}",
+            violations
+                .iter()
+                .map(|c| format!("{}/{}", c.level.label(), c.attacker.label()))
+                .collect::<Vec<_>>()
+        );
+    }
+    out
+}
+
 /// A two-column comparison table of perf results (the bar pairs of Figures
 /// 8, 19, 20).
 #[must_use]
@@ -332,6 +374,43 @@ mod tests {
         report.cells[0].unallocated = 5;
         let dat = fault_sweep_dat(&report);
         assert!(dat.contains("VIOLATED at k = [10]"), "{dat}");
+    }
+
+    #[test]
+    fn attacker_matrix_dat_renders_cells_and_verdict() {
+        use crate::attack_matrix::{AttackerClass, AttackerMatrixReport, MatrixCell};
+        let mut report = AttackerMatrixReport {
+            kind_label: "ssh",
+            decay_rate: 0.02,
+            cells: vec![
+                MatrixCell {
+                    level: ProtectionLevel::Integrated,
+                    attacker: AttackerClass::ColdBoot,
+                    compromised: 3,
+                    repetitions: 3,
+                    as_expected: true,
+                },
+                MatrixCell {
+                    level: ProtectionLevel::Shielded,
+                    attacker: AttackerClass::ColdBoot,
+                    compromised: 0,
+                    repetitions: 3,
+                    as_expected: true,
+                },
+            ],
+        };
+        let dat = attacker_matrix_dat(&report);
+        assert!(dat.contains("integrated cold-boot 3 3 1 1"), "{dat}");
+        assert!(dat.contains("\n\nshielded cold-boot 0 3 0 0"), "{dat}");
+        assert!(dat.contains("expectation table: HELD"), "{dat}");
+
+        report.cells[1].compromised = 1;
+        report.cells[1].as_expected = false;
+        let dat = attacker_matrix_dat(&report);
+        assert!(
+            dat.contains("expectation table: VIOLATED at [\"shielded/cold-boot\"]"),
+            "{dat}"
+        );
     }
 
     #[test]

@@ -180,6 +180,28 @@ fn fault_sweep_parallel_is_bit_identical_to_serial() {
 }
 
 // ---------------------------------------------------------------------
+// Attacker matrix (stronger-attacker family)
+// ---------------------------------------------------------------------
+
+#[test]
+fn attacker_matrix_parallel_is_bit_identical_to_serial() {
+    use harness::attack_matrix::{attacker_matrix_on, DEFAULT_DECAY_RATE};
+
+    let c = cfg().with_repetitions(1);
+    for kind in ServerKind::ALL {
+        let serial =
+            attacker_matrix_on(&Executor::serial(), kind, &c, DEFAULT_DECAY_RATE).unwrap();
+        assert!(serial.violations().is_empty(), "{}", serial.summary());
+        for threads in THREAD_COUNTS {
+            let parallel =
+                attacker_matrix_on(&Executor::new(threads), kind, &c, DEFAULT_DECAY_RATE)
+                    .unwrap();
+            assert_eq!(serial, parallel, "{kind} at {threads} threads");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Scenario scripts (scenarios/)
 // ---------------------------------------------------------------------
 

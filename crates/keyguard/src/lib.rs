@@ -24,6 +24,12 @@
 //!   key bytes.
 //! * [`ProtectionLevel::Integrated`] — all of the above plus `O_NOCACHE`,
 //!   evicting the PEM key file from the page cache right after it is read.
+//! * [`ProtectionLevel::Shielded`] — everything Integrated does, plus
+//!   OpenSSH/OpenBSD-style key shielding ([`ShieldedKeyRegion`]): the CRT
+//!   components are encrypted at rest behind a large random prekey and only
+//!   decrypted around each private-key operation, so even an attacker who
+//!   reads **allocated** memory (cold boot, DMA, deduplication) captures
+//!   ciphertext.
 //!
 //! The [`host`] module offers the same hygiene for real (non-simulated)
 //! buffers: best-effort guaranteed zeroing on drop.
@@ -44,9 +50,11 @@
 
 pub mod host;
 mod region;
+mod shield;
 mod vault;
 
 pub use region::SecureKeyRegion;
+pub use shield::ShieldedKeyRegion;
 pub use vault::KeyVault;
 
 use memsim::KernelPolicy;
@@ -67,16 +75,22 @@ pub enum ProtectionLevel {
     /// Integrated library–kernel: alignment + zeroing + `O_NOCACHE` for the
     /// PEM file. The paper's recommended configuration.
     Integrated,
+    /// Shielded: everything Integrated does, plus the key region is
+    /// encrypted at rest behind a random prekey (OpenSSH-style shielding)
+    /// and only decrypted around each CRT operation. Defends against
+    /// attackers who read *allocated* memory.
+    Shielded,
 }
 
 impl ProtectionLevel {
     /// Every level, weakest first — handy for sweeps over all variants.
-    pub const ALL: [Self; 5] = [
+    pub const ALL: [Self; 6] = [
         Self::None,
         Self::Application,
         Self::Library,
         Self::Kernel,
         Self::Integrated,
+        Self::Shielded,
     ];
 
     /// The kernel zeroing policy this level requires.
@@ -84,7 +98,7 @@ impl ProtectionLevel {
     pub fn kernel_policy(self) -> KernelPolicy {
         match self {
             Self::None | Self::Application | Self::Library => KernelPolicy::stock(),
-            Self::Kernel | Self::Integrated => KernelPolicy::hardened(),
+            Self::Kernel | Self::Integrated | Self::Shielded => KernelPolicy::hardened(),
         }
     }
 
@@ -92,7 +106,10 @@ impl ProtectionLevel {
     /// (`RSA_memory_align` runs).
     #[must_use]
     pub fn align_key(self) -> bool {
-        matches!(self, Self::Application | Self::Library | Self::Integrated)
+        matches!(
+            self,
+            Self::Application | Self::Library | Self::Integrated | Self::Shielded
+        )
     }
 
     /// Whether the key region is `mlock`ed against swapping.
@@ -112,11 +129,18 @@ impl ProtectionLevel {
     /// of the page cache.
     #[must_use]
     pub fn nocache_pem(self) -> bool {
-        matches!(self, Self::Integrated)
+        matches!(self, Self::Integrated | Self::Shielded)
+    }
+
+    /// Whether the key region is encrypted at rest ([`ShieldedKeyRegion`]
+    /// wraps the [`SecureKeyRegion`]).
+    #[must_use]
+    pub fn shield_key(self) -> bool {
+        matches!(self, Self::Shielded)
     }
 
     /// Short identifier used in experiment output (`none`, `app`, `lib`,
-    /// `kernel`, `integrated`).
+    /// `kernel`, `integrated`, `shielded`).
     #[must_use]
     pub fn label(self) -> &'static str {
         match self {
@@ -125,6 +149,7 @@ impl ProtectionLevel {
             Self::Library => "lib",
             Self::Kernel => "kernel",
             Self::Integrated => "integrated",
+            Self::Shielded => "shielded",
         }
     }
 
@@ -137,6 +162,7 @@ impl ProtectionLevel {
             "lib" | "library" => Some(Self::Library),
             "kernel" => Some(Self::Kernel),
             "integrated" | "all" => Some(Self::Integrated),
+            "shielded" | "shield" => Some(Self::Shielded),
             _ => None,
         }
     }
@@ -162,6 +188,7 @@ mod tests {
             (L::Library, true, false, false),
             (L::Kernel, false, true, false),
             (L::Integrated, true, true, true),
+            (L::Shielded, true, true, true),
         ];
         for (level, align, hardened, nocache) in expect {
             assert_eq!(level.align_key(), align, "{level}");
@@ -170,6 +197,10 @@ mod tests {
             assert_eq!(level.nocache_pem(), nocache, "{level}");
             assert_eq!(level.mlock_key(), align);
             assert_eq!(level.disable_mont_cache(), align);
+        }
+        // Only Shielded encrypts the region at rest.
+        for level in L::ALL {
+            assert_eq!(level.shield_key(), level == L::Shielded, "{level}");
         }
     }
 
@@ -189,6 +220,7 @@ mod tests {
     fn ordering_is_by_strength() {
         assert!(ProtectionLevel::None < ProtectionLevel::Application);
         assert!(ProtectionLevel::Kernel < ProtectionLevel::Integrated);
+        assert!(ProtectionLevel::Integrated < ProtectionLevel::Shielded);
     }
 
     #[test]

@@ -749,6 +749,21 @@ mod tests {
     }
 
     #[test]
+    fn self_qualified_calls_resolve_through_the_enclosing_impl() {
+        let (models, sums) = summaries_of(&[(
+            "a.rs",
+            "struct G;\nimpl G {\n    fn wrap(v: BigUint) -> BigUint { v }\n    fn log(v: &BigUint) { println!(\"{}\", v); }\n    fn user(v: BigUint) -> BigUint { Self::wrap(v) }\n    fn leaker(v: &BigUint) { Self::log(v); }\n}",
+        )]);
+        // `Self::wrap` must resolve to `G::wrap`, carrying its data flow…
+        let s = summary_for(&models, &sums, "user");
+        assert!(s.taints_return.contains(&0));
+        // …and `Self::log` must propagate its sink upward (the S008 leg).
+        let l = summary_for(&models, &sums, "leaker");
+        let sink = l.param_sinks.get(&0).expect("Self:: call sink propagates");
+        assert_eq!(sink.kind, "format-macro sink");
+    }
+
+    #[test]
     fn dot_output_lists_nodes_and_edges() {
         let models = vec![parse_file("a.rs", "fn f() { g(); }\nfn g() {}")];
         let d = dot(&models);

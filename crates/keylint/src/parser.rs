@@ -452,7 +452,14 @@ pub fn parse_file(path: &str, src: &str) -> FileModel {
                         .and_then(|p| toks.get(p))
                         .is_none_or(|p| p.text != "fn") =>
             {
-                m.calls.push(parse_call_site(&toks, i));
+                let mut call = parse_call_site(&toks, i);
+                // `Self::helper(…)` resolves against the enclosing impl's
+                // type, same as the compiler; the impl was recorded before
+                // its body was scanned, so the lookup sees it.
+                if call.qualifier.as_deref() == Some("Self") {
+                    call.qualifier = m.impl_at(i).map(|im| im.type_name.clone());
+                }
+                m.calls.push(call);
                 i += 2; // keep scanning inside the arguments
             }
             (TokKind::Punct, ".")
@@ -1295,6 +1302,20 @@ mod tests {
         assert_eq!(fp.qualifier.as_deref(), Some("KeyMaterial"));
         // The fn definition itself is not a call site.
         assert!(m.calls.iter().all(|c| c.callee != "f"));
+    }
+
+    #[test]
+    fn self_qualified_calls_resolve_to_the_enclosing_impl_type() {
+        let m = parse_file(
+            "t.rs",
+            "impl Guard { fn f(&self, key: K) { Self::helper(key); } fn helper(k: K) {} }\nfn free() { Self::orphan(1); }",
+        );
+        let helper = m.calls.iter().find(|c| c.callee == "helper").unwrap();
+        assert_eq!(helper.qualifier.as_deref(), Some("Guard"));
+        // `Self::` outside any impl cannot resolve; the qualifier drops
+        // and the call degrades to unresolved (legacy behavior).
+        let orphan = m.calls.iter().find(|c| c.callee == "orphan").unwrap();
+        assert_eq!(orphan.qualifier, None);
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! `Self::`-qualified call resolution: the callee lives in the same impl
+//! and is only reachable through the `Self::` spelling. Before the parser
+//! normalized `Self` to the enclosing impl type these calls stayed
+//! unresolved — the call-site sink below was invisible, and the clean
+//! summary helper was a false positive (legacy argument passthrough
+//! tainted its result).
+
+struct SelfGuard;
+
+impl SelfGuard {
+    fn log_it(v: &BigUint) {
+        println!("guard log: {}", v);
+    }
+
+    fn size_of(v: &BigUint) -> usize {
+        v.len()
+    }
+
+    fn leak_via_self(key: RsaPrivateKey) {
+        let tmp = key.d();
+        Self::log_it(&tmp); //~ S008
+    }
+
+    fn clean_via_self(key: RsaPrivateKey) {
+        let n = Self::size_of(&key.d());
+        println!("n = {}", n);
+    }
+}

@@ -10,10 +10,11 @@ use std::path::{Path, PathBuf};
 
 use keylint::json::{self, Value};
 
-const FIXTURES: [&str; 3] = [
+const FIXTURES: [&str; 4] = [
     "interproc_helpers.rs",
     "interproc_caller.rs",
     "interproc_loops.rs",
+    "interproc_self.rs",
 ];
 
 fn fixture(name: &str) -> PathBuf {
@@ -63,6 +64,10 @@ fn interproc_fixture_findings_via_json_output() {
         !want.iter().any(|(f, _, _)| f == "interproc_helpers.rs"),
         "helpers are clean in isolation"
     );
+    assert!(
+        want.iter().any(|(f, r, _)| f == "interproc_self.rs" && r == "S008"),
+        "self fixture must mark the Self::-qualified call sink"
+    );
 
     let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_keylint"));
     for name in FIXTURES {
@@ -100,8 +105,13 @@ fn interproc_fixture_findings_via_json_output() {
     // in the caller file, then the concrete sink in the helper file.
     let s008 = findings
         .iter()
-        .find(|f| f.get("rule").and_then(Value::as_str) == Some("S008"))
-        .expect("an S008 finding is present");
+        .find(|f| {
+            f.get("rule").and_then(Value::as_str) == Some("S008")
+                && f.get("file")
+                    .and_then(Value::as_str)
+                    .is_some_and(|p| p.ends_with("interproc_caller.rs"))
+        })
+        .expect("an S008 finding is present in the caller fixture");
     let trace = s008
         .get("trace")
         .and_then(Value::as_arr)

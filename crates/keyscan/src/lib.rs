@@ -34,6 +34,7 @@
 
 mod entropy;
 mod incremental;
+pub mod reconstruct;
 
 pub use entropy::{EntropyRegion, EntropyScanner};
 pub use incremental::{IncrementalScanner, ScanStats};

@@ -11,6 +11,7 @@ use crate::KObj;
 use crate::{
     FileId, FrameId, FrameState, MachineConfig, Pid, SimError, SimResult, VAddr, PAGE_SIZE,
 };
+use simrng::Rng64;
 use std::collections::{BTreeMap, HashMap};
 
 /// Per-frame metadata (the simulated `struct page`).
@@ -291,6 +292,44 @@ impl Kernel {
     #[must_use]
     pub fn phys(&self) -> &[u8] {
         &self.phys
+    }
+
+    /// A cold-boot image of physical memory: every bit that is `1` decays
+    /// to `0` independently with probability `decay_rate`, modeling DRAM
+    /// remanence loss after power-off (Halderman et al.'s ground state;
+    /// decay is one-sided, so an observed `1` in the image is certain).
+    ///
+    /// Deterministic in `(seed, decay_rate)` and the current memory
+    /// contents: each frame decays under its own [`Rng64`] forked from the
+    /// frame index, so images are reproducible regardless of scan order or
+    /// parallelism. `decay_rate <= 0` returns a bit-identical copy of
+    /// [`Self::phys`]; the capture itself never mutates machine state.
+    #[must_use]
+    pub fn snapshot_decayed(&self, seed: u64, decay_rate: f64) -> Vec<u8> {
+        let mut image = self.phys.clone();
+        if decay_rate <= 0.0 {
+            return image;
+        }
+        for frame in 0..self.frames.len() {
+            let mut rng =
+                Rng64::new(seed ^ (frame as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let start = frame * PAGE_SIZE;
+            for byte in &mut image[start..start + PAGE_SIZE] {
+                if *byte == 0 {
+                    // No 1-bits to decay; skipping draws no randomness, but
+                    // each 1-bit elsewhere still decays independently.
+                    continue;
+                }
+                let mut mask = 0u8;
+                for bit in 0..8 {
+                    if *byte & (1 << bit) != 0 && rng.gen_bool(decay_rate) {
+                        mask |= 1 << bit;
+                    }
+                }
+                *byte &= !mask;
+            }
+        }
+        image
     }
 
     /// Number of physical page frames.

@@ -1,0 +1,158 @@
+//! Property suite for `Kernel::snapshot_decayed` — the cold-boot capture.
+//!
+//! The decay model's contract, pinned here:
+//!
+//! * deterministic: same `(machine state, seed, rate)` → bit-identical image;
+//! * one-sided: bits only ever decay 1→0, never 0→1;
+//! * `decay_rate = 0` is exactly `Kernel::phys()`;
+//! * the realized flip rate over the machine's 1-bits matches the configured
+//!   rate within binomial concentration bounds;
+//! * capturing is a pure read — machine state is untouched.
+
+use memsim::{Kernel, MachineConfig, PAGE_SIZE};
+use simrng::{propcheck, Rng64};
+
+/// A small machine with memory worth decaying: aged free lists plus a live
+/// process heap full of dense random bytes.
+fn busy_machine(seed: u64) -> Kernel {
+    let mut kernel = Kernel::new(MachineConfig::small());
+    let mut rng = Rng64::new(seed);
+    kernel.age_memory(&mut rng, 1.0);
+    let pid = kernel.spawn();
+    let len = 256 * PAGE_SIZE;
+    let buf = kernel.heap_alloc(pid, len).unwrap();
+    let payload = rng.gen_bytes(len);
+    kernel.write_bytes(pid, buf, &payload).unwrap();
+    kernel
+}
+
+fn count_ones(bytes: &[u8]) -> u64 {
+    bytes.iter().map(|b| u64::from(b.count_ones())).sum()
+}
+
+#[test]
+fn snapshots_are_deterministic_per_seed() {
+    let kernel = busy_machine(1);
+    propcheck::cases(16, |g| {
+        let seed = g.u64();
+        let rate = f64::from(g.u64_below(300) as u32) / 1000.0;
+        assert_eq!(
+            kernel.snapshot_decayed(seed, rate),
+            kernel.snapshot_decayed(seed, rate),
+            "same seed+rate must reproduce the image exactly"
+        );
+    });
+    // Different seeds decay different bits (at any non-trivial rate).
+    assert_ne!(
+        kernel.snapshot_decayed(1, 0.1),
+        kernel.snapshot_decayed(2, 0.1)
+    );
+}
+
+#[test]
+fn zero_rate_is_bit_identical_to_phys() {
+    let kernel = busy_machine(2);
+    propcheck::cases(8, |g| {
+        let seed = g.u64();
+        assert_eq!(kernel.snapshot_decayed(seed, 0.0), kernel.phys());
+        assert_eq!(kernel.snapshot_decayed(seed, -1.0), kernel.phys());
+    });
+}
+
+#[test]
+fn decay_never_flips_zero_to_one() {
+    let kernel = busy_machine(3);
+    propcheck::cases(12, |g| {
+        let seed = g.u64();
+        let rate = f64::from(g.u64_below(500) as u32) / 1000.0;
+        let image = kernel.snapshot_decayed(seed, rate);
+        for (decayed, original) in image.iter().zip(kernel.phys()) {
+            // Every surviving 1-bit existed in the original: decayed ⊆ original.
+            assert_eq!(
+                decayed & !original,
+                0,
+                "bit appeared from nowhere (seed {seed}, rate {rate})"
+            );
+        }
+    });
+}
+
+#[test]
+fn realized_flip_rate_matches_configured_rate() {
+    let kernel = busy_machine(4);
+    let total_ones = count_ones(kernel.phys());
+    assert!(
+        total_ones > 3_000_000,
+        "machine must have enough 1-bits for tight bounds, got {total_ones}"
+    );
+    for rate in [0.01, 0.05, 0.15, 0.30] {
+        // Realized flips over all frames are a Binomial(total_ones, rate)
+        // draw; hold every seed within six standard deviations (a seeded
+        // deterministic test, so failures mean the model is biased, not
+        // unlucky).
+        let sigma = (total_ones as f64 * rate * (1.0 - rate)).sqrt();
+        let expect = total_ones as f64 * rate;
+        propcheck::cases(6, |g| {
+            let image = kernel.snapshot_decayed(g.u64(), rate);
+            let flipped = (total_ones - count_ones(&image)) as f64;
+            assert!(
+                (flipped - expect).abs() <= 6.0 * sigma,
+                "rate {rate}: flipped {flipped}, expected {expect} ± {:.0}",
+                6.0 * sigma
+            );
+        });
+    }
+}
+
+/// Chi-square uniformity across frames: decay must not concentrate in some
+/// frames and spare others beyond what independence predicts.
+#[test]
+fn decay_is_uniform_across_frames() {
+    let kernel = busy_machine(5);
+    let rate = 0.1;
+    let image = kernel.snapshot_decayed(0xC01D_B007, rate);
+    let mut chi2 = 0.0;
+    let mut dof = 0u32;
+    for frame in 0..kernel.num_frames() {
+        let span = frame * PAGE_SIZE..(frame + 1) * PAGE_SIZE;
+        let ones = count_ones(&kernel.phys()[span.clone()]) as f64;
+        if ones < 500.0 {
+            continue; // too sparse for the normal approximation
+        }
+        let flipped = ones - count_ones(&image[span]) as f64;
+        let expect = ones * rate;
+        let var = ones * rate * (1.0 - rate);
+        chi2 += (flipped - expect).powi(2) / var;
+        dof += 1;
+    }
+    assert!(dof > 100, "need many dense frames, got {dof}");
+    // Chi-square with k degrees of freedom has mean k and variance 2k;
+    // accept within six standard deviations.
+    let k = f64::from(dof);
+    assert!(
+        (chi2 - k).abs() <= 6.0 * (2.0 * k).sqrt(),
+        "chi2 {chi2:.1} vs dof {k} — per-frame decay is not independent"
+    );
+}
+
+#[test]
+fn capture_does_not_mutate_machine_state() {
+    let kernel = busy_machine(6);
+    let before = kernel.phys().to_vec();
+    let stats = kernel.stats();
+    let _ = kernel.snapshot_decayed(99, 0.25);
+    assert_eq!(kernel.phys(), &before[..]);
+    assert_eq!(kernel.stats(), stats);
+}
+
+/// The property that makes shielding work: even at tiny decay rates, a
+/// 16 KiB high-entropy region almost surely loses at least one bit, while
+/// plenty of individual bytes survive for the scanner to chew on.
+#[test]
+fn large_buffers_lose_bits_even_at_low_rates() {
+    let kernel = busy_machine(7);
+    propcheck::cases(8, |g| {
+        let image = kernel.snapshot_decayed(g.u64(), 0.01);
+        assert_ne!(image, kernel.phys(), "1% decay must touch a busy machine");
+    });
+}

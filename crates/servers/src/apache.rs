@@ -6,7 +6,7 @@
 
 use crate::engine::{ScatteredKey, WorkerCrypto};
 use crate::{SecureServer, ServerConfig, SheddingStats};
-use keyguard::SecureKeyRegion;
+use keyguard::{SecureKeyRegion, ShieldedKeyRegion};
 use memsim::{FileId, Kernel, Pid, SimError, SimResult, VAddr};
 use rsa_repro::material::KeyMaterial;
 use rsa_repro::RsaPrivateKey;
@@ -37,6 +37,9 @@ pub struct ApacheServer {
     pem_file: FileId,
     parent: Pid,
     region: Option<SecureKeyRegion>,
+    /// The shielded (prekey-encrypted) region at `ProtectionLevel::Shielded`:
+    /// ciphertext at rest, opened only around each private-key operation.
+    shield: Option<ShieldedKeyRegion>,
     /// Address of the shared RSA struct: the page workers dirty on their
     /// first private-key op (unprotected levels only).
     shared_struct: Option<VAddr>,
@@ -135,12 +138,26 @@ impl ApacheServer {
             level.align_key(),
         )?;
         if level.align_key() {
-            // Retire the old region, then install the key freshly.
+            // Retire the old region (shielded or plain), then re-install.
             if let Some(old) = self.region.take() {
                 old.destroy(kernel, self.parent)?;
             }
-            self.region = Some(SecureKeyRegion::install(kernel, self.parent, &self.key)?);
+            if let Some(old) = self.shield.take() {
+                old.destroy(kernel, self.parent)?;
+            }
+            let region = SecureKeyRegion::install(kernel, self.parent, &self.key)?;
             scattered.zero_and_free(kernel, self.parent)?;
+            if level.shield_key() {
+                match ShieldedKeyRegion::wrap(kernel, self.parent, region, &mut self.rng) {
+                    Ok(shield) => self.shield = Some(shield),
+                    Err((region, e)) => {
+                        let _ = region.destroy(kernel, self.parent);
+                        return Err(e);
+                    }
+                }
+            } else {
+                self.region = Some(region);
+            }
         } else {
             self.shared_struct = Some(scattered.rsa_struct_addr());
         }
@@ -168,12 +185,22 @@ impl SecureServer for ApacheServer {
             level.nocache_pem(),
             level.align_key(),
         )?;
-        let (region, shared_struct) = if level.align_key() {
+        let (region, shield, shared_struct) = if level.align_key() {
             let region = SecureKeyRegion::install(kernel, parent, &key)?;
             scattered.zero_and_free(kernel, parent)?;
-            (Some(region), None)
+            if level.shield_key() {
+                match ShieldedKeyRegion::wrap(kernel, parent, region, &mut rng) {
+                    Ok(shield) => (None, Some(shield), None),
+                    Err((region, e)) => {
+                        let _ = region.destroy(kernel, parent);
+                        return Err(e);
+                    }
+                }
+            } else {
+                (Some(region), None, None)
+            }
         } else {
-            (None, Some(scattered.rsa_struct_addr()))
+            (None, None, Some(scattered.rsa_struct_addr()))
         };
 
         let mut server = Self {
@@ -183,6 +210,7 @@ impl SecureServer for ApacheServer {
             pem_file,
             parent,
             region,
+            shield,
             shared_struct,
             workers: Vec::new(),
             next_worker: 0,
@@ -223,9 +251,13 @@ impl SecureServer for ApacheServer {
             let idx = self.next_worker % self.workers.len();
             self.next_worker = self.next_worker.wrapping_add(1);
             let shared = self.shared_struct;
+            let parent = self.parent;
             let material = self.material.clone_secret();
             let w = &mut self.workers[idx];
-            match w.crypto.handshake(kernel, w.pid, shared, &material) {
+            let result = crate::engine::with_shield_open(&mut self.shield, kernel, parent, |k| {
+                w.crypto.handshake(k, w.pid, shared, &material)
+            });
+            match result {
                 Ok(()) => self.handshakes += 1,
                 Err(_) => {
                     // Shed the failing worker — prefork reaps a crashed
@@ -263,6 +295,11 @@ impl SecureServer for ApacheServer {
             // A parent already killed by a fault took its mappings with it.
             if parent_alive {
                 region.destroy(kernel, self.parent)?;
+            }
+        }
+        if let Some(shield) = self.shield.take() {
+            if parent_alive {
+                shield.destroy(kernel, self.parent)?;
             }
         }
         if parent_alive {

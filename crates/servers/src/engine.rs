@@ -50,6 +50,22 @@ pub(crate) fn move_data(kernel: &mut Kernel, pid: Pid, bytes: usize, seed: u64) 
     kernel.heap_free(pid, buf)
 }
 
+/// Runs `f` with the server's shielded key region (if any) temporarily
+/// decrypted — the OpenSSH `sshkey_shield`/`unshield` window around each
+/// private-key operation. The region is re-encrypted before this returns,
+/// success or failure; with no shield installed it is a plain call.
+pub(crate) fn with_shield_open<T>(
+    shield: &mut Option<keyguard::ShieldedKeyRegion>,
+    kernel: &mut Kernel,
+    owner: Pid,
+    f: impl FnOnce(&mut Kernel) -> SimResult<T>,
+) -> SimResult<T> {
+    match shield.as_mut() {
+        Some(s) => s.with_unshielded(kernel, owner, f),
+        None => f(kernel),
+    }
+}
+
 /// The scattered in-heap home of a freshly loaded key: what
 /// `d2i_RSAPrivateKey` leaves behind.
 #[derive(Debug, Clone)]

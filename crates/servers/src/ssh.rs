@@ -4,7 +4,7 @@
 
 use crate::engine::{ScatteredKey, WorkerCrypto};
 use crate::{SecureServer, ServerConfig, SheddingStats};
-use keyguard::SecureKeyRegion;
+use keyguard::{SecureKeyRegion, ShieldedKeyRegion};
 use memsim::{FileId, Kernel, Pid, SimError, SimResult};
 use rsa_repro::material::KeyMaterial;
 use rsa_repro::RsaPrivateKey;
@@ -32,8 +32,12 @@ pub struct SshServer {
     material: KeyMaterial,
     pem_file: FileId,
     daemon: Pid,
-    /// The daemon's aligned key region, when the level calls for one.
+    /// The daemon's aligned key region, when the level calls for one
+    /// (and does not call for the shielded wrapper instead).
     region: Option<SecureKeyRegion>,
+    /// The shielded (prekey-encrypted) region at `ProtectionLevel::Shielded`:
+    /// ciphertext at rest, opened only around each private-key operation.
+    shield: Option<ShieldedKeyRegion>,
     connections: Vec<Connection>,
     rng: Rng64,
     handshakes: u64,
@@ -98,8 +102,11 @@ impl SshServer {
             // The re-exec also gives the child a private process image.
             let _image = kernel.heap_alloc(child, EXEC_IMAGE_BYTES)?;
         }
-        // Key-exchange handshake happens at connection setup.
-        crypto.handshake(kernel, child, None, &self.material)?;
+        // Key-exchange handshake happens at connection setup; a shielded
+        // daemon opens its key region only for the duration of the op.
+        crate::engine::with_shield_open(&mut self.shield, kernel, self.daemon, |k| {
+            crypto.handshake(k, child, None, &self.material)
+        })?;
         Ok(crypto)
     }
 
@@ -152,13 +159,24 @@ impl SecureServer for SshServer {
             level.nocache_pem(),
             level.align_key(),
         )?;
-        let region = if level.align_key() {
+        let (region, shield) = if level.align_key() {
             // RSA_memory_align: consolidate, then zero + free the originals.
             let region = SecureKeyRegion::install(kernel, daemon, &key)?;
             scattered.zero_and_free(kernel, daemon)?;
-            Some(region)
+            if level.shield_key() {
+                // sshkey_shield: encrypt the consolidated region at rest.
+                match ShieldedKeyRegion::wrap(kernel, daemon, region, &mut rng) {
+                    Ok(shield) => (None, Some(shield)),
+                    Err((region, e)) => {
+                        let _ = region.destroy(kernel, daemon);
+                        return Err(e);
+                    }
+                }
+            } else {
+                (Some(region), None)
+            }
         } else {
-            None
+            (None, None)
         };
 
         Ok(Self {
@@ -168,6 +186,7 @@ impl SecureServer for SshServer {
             pem_file,
             daemon,
             region,
+            shield,
             connections: Vec::new(),
             rng,
             handshakes: 0,
@@ -212,8 +231,12 @@ impl SecureServer for SshServer {
             }
             // Established connections also push data.
             let idx = self.rng.gen_index(self.connections.len());
+            let daemon = self.daemon;
             let conn = &mut self.connections[idx];
-            match conn.crypto.handshake(kernel, conn.pid, None, &self.material) {
+            let result = crate::engine::with_shield_open(&mut self.shield, kernel, daemon, |k| {
+                conn.crypto.handshake(k, conn.pid, None, &self.material)
+            });
+            match result {
                 Ok(()) => self.handshakes += 1,
                 Err(_) => {
                     // Shed the failing connection — like sshd reaping a
@@ -252,6 +275,13 @@ impl SecureServer for SshServer {
             // with it; there is nothing left to wipe.
             if daemon_alive {
                 region.destroy(kernel, self.daemon)?;
+            }
+        }
+        if let Some(shield) = self.shield.take() {
+            // Same discipline for the shielded wrapper: zero the prekey and
+            // the (ciphertext) region before the daemon exits.
+            if daemon_alive {
+                shield.destroy(kernel, self.daemon)?;
             }
         }
         if daemon_alive {

@@ -62,6 +62,44 @@ impl StreamCipher {
     }
 }
 
+/// Hashes arbitrary bytes down to a 16-byte [`StreamCipher`] key.
+///
+/// The same four-lane sponge as [`SessionKeys::derive`], without the nonce
+/// folding: deterministic, every output bit depends on every input byte.
+/// Used by key shielding to turn a large random prekey into the cipher key
+/// that encrypts key material at rest.
+#[must_use]
+pub fn digest16(data: &[u8]) -> [u8; 16] {
+    let mut lanes = [
+        0x6a09_e667_f3bc_c908u64,
+        0xbb67_ae85_84ca_a73b,
+        0x3c6e_f372_fe94_f82b,
+        0xa54f_f53a_5f1d_36f1,
+    ];
+    for (i, &b) in data.iter().enumerate() {
+        let lane = i % 4;
+        lanes[lane] ^= u64::from(b) << ((i / 4 % 8) * 8);
+        lanes[lane] = lanes[lane].rotate_left(13).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    // Fold in the length so prefixes of a buffer hash differently.
+    lanes[0] ^= data.len() as u64;
+    for _ in 0..2 {
+        for i in 0..4 {
+            lanes[i] = lanes[i]
+                .wrapping_add(lanes[(i + 1) % 4].rotate_left(29))
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    for lane in &mut lanes {
+        *lane ^= *lane >> 29;
+        *lane = lane.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    }
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&(lanes[0] ^ lanes[2]).to_le_bytes());
+    out[8..].copy_from_slice(&(lanes[1] ^ lanes[3]).to_le_bytes());
+    out
+}
+
 /// A 64-bit FNV-1a-style keyed tag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mac {
@@ -228,6 +266,21 @@ mod tests {
         a.apply(&mut da);
         b.apply(&mut db);
         assert_ne!(da, db);
+    }
+
+    #[test]
+    fn digest16_is_deterministic_and_sensitive() {
+        let a = digest16(b"prekey material");
+        assert_eq!(a, digest16(b"prekey material"));
+        assert_ne!(a, digest16(b"prekey materiam"), "content sensitivity");
+        assert_ne!(a, digest16(b"prekey materia"), "length sensitivity");
+        assert_ne!(digest16(b""), digest16(b"\0"), "zero byte vs empty");
+        // Large inputs (the 16 KiB prekey case) hash without truncation
+        // effects: flipping one bit anywhere changes the digest.
+        let big = vec![0xA5u8; 16 * 1024];
+        let mut flipped = big.clone();
+        flipped[9000] ^= 0x01;
+        assert_ne!(digest16(&big), digest16(&flipped));
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod ssh;
 pub mod tls;
 
 pub use channel::{Role, SecureChannel};
-pub use cipher::{Mac, SessionKeys, StreamCipher};
+pub use cipher::{digest16, Mac, SessionKeys, StreamCipher};
 pub use record::{Record, RecordType, MAX_RECORD_PAYLOAD};
 
 use core::fmt;

@@ -1,4 +1,4 @@
-//! Protection walkthrough: the same workload under all five protection
+//! Protection walkthrough: the same workload under all six protection
 //! levels, showing what each level changes — copies in allocated memory,
 //! copies in unallocated memory, PEM residency, and swap exposure.
 //!

@@ -50,6 +50,29 @@ cargo run --release -p harness --bin faultsweep -- --test --stride 7 \
 cargo run --release -p harness --bin faultsweep -- --test --stride 7 \
     --level integrated
 
+echo "== shielded keys & stronger attackers (release) =="
+# The PR-7 test wall: cold-boot decay is one-sided/seeded/deterministic
+# (memsim), the shielded region keeps ciphertext at rest and plaintext only
+# inside the unshield window (keyguard), and the CRT reconstructor corrects
+# decay without ever returning a wrong key (keyscan differential suite).
+cargo test --release -p memsim --test coldboot
+cargo test --release -p keyguard --test shielded
+cargo test --release -p keyscan --test reconstruct
+
+echo "== attacker matrix smoke (release) =="
+# Every protection level against exact-free, exact-allocated, and cold-boot
+# + reconstruction attackers, for both servers. Writes
+# results/attacker_matrix_{ssh,apache}.dat and exits nonzero if any cell
+# deviates from the expectation table — in particular if Shielded falls to
+# any attacker class, or any weaker level survives one it shouldn't.
+cargo run --release -p harness --bin attacker_matrix -- --smoke
+for kind in ssh apache; do
+    grep -q "# expectation table: HELD" "results/attacker_matrix_${kind}.dat" || {
+        echo "ci: attacker matrix expectation table violated for ${kind}" >&2
+        exit 1
+    }
+done
+
 echo "== keylint taint fixtures =="
 # The taint engine's end-to-end behavior, pinned by fixture markers:
 # laundered one-/two-hop sinks fire, sanitized/shadowed/cross-function

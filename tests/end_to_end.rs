@@ -87,8 +87,11 @@ fn protection_matrix_matches_paper_reexamination() {
             let ext2 = Ext2DirentLeak::new(800).run(&mut kernel).unwrap();
             let ext2_ok = ext2.succeeded(&scanner);
             match level {
-                // Zeroing policies kill the ext2 leak outright.
-                ProtectionLevel::Kernel | ProtectionLevel::Integrated => {
+                // Zeroing policies kill the ext2 leak outright; shielding
+                // builds on the integrated stack and inherits the result.
+                ProtectionLevel::Kernel
+                | ProtectionLevel::Integrated
+                | ProtectionLevel::Shielded => {
                     assert!(!ext2_ok, "{level}: ext2 leak must be eliminated")
                 }
                 // The unprotected baseline falls.
