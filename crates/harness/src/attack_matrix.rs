@@ -1,7 +1,7 @@
 //! The attacker-class × protection-level matrix: how each countermeasure
 //! tier fares as the attacker model strengthens beyond the paper's.
 //!
-//! Three attacker classes, in increasing strength:
+//! Five attacker classes:
 //!
 //! * **exact-free** — the paper's disclosure attacker: exact byte patterns,
 //!   but only *unallocated* (freed) memory is ever disclosed to it.
@@ -12,11 +12,21 @@
 //!   ([`memsim::Kernel::snapshot_decayed`]): exact patterns are destroyed,
 //!   but [`keyscan::reconstruct`] rebuilds the key from the surviving
 //!   1-bits via the CRT-component relations.
+//! * **swap-theft** — the attacker never touches RAM: memory pressure
+//!   evicts what it can, and the attacker reads the swap device (a stolen
+//!   disk). Falls exactly along the `mlock` line: tiers that pin the key
+//!   region keep it off the device; tiers that leave it pageable lose it.
+//! * **dedup** — the KSM timing oracle ([`keyscan::dedup_probe`]): no read
+//!   primitive at all, only "was my planted page merged?". Defeats exactly
+//!   the tiers whose *tidy aligned plaintext layout* makes the key page
+//!   guessable byte-for-byte — the aligned region's neatness turned against
+//!   it — while `Shielded` (ciphertext page) and the heap tiers
+//!   (unpredictable chunk layout) survive.
 //!
 //! The matrix pins the headline claim of the shielded tier: levels up to
 //! `Integrated` keep a plaintext working copy *somewhere* in allocated
-//! memory, so the two stronger attackers defeat them; `Shielded` keeps the
-//! region ciphertext at rest and survives all three.
+//! memory, so the stronger attackers defeat them; `Shielded` keeps the
+//! region ciphertext at rest and survives all five.
 //!
 //! Every cell is an independent executor task seeded purely from the cell
 //! coordinates, so the matrix is bit-identical at any thread count.
@@ -25,8 +35,11 @@ use crate::attack_sweep::drive_workload;
 use crate::exec::{cell_seed, Executor};
 use crate::{ExperimentConfig, ServerKind};
 use keyguard::ProtectionLevel;
+use keyscan::dedup_probe;
 use keyscan::reconstruct::{reconstruct, ReconstructConfig};
-use memsim::SimResult;
+use memsim::{SimResult, PAGE_SIZE};
+use rsa_repro::material::limb_bytes;
+use rsa_repro::RsaPrivateKey;
 use servers::{ApacheServer, SecureServer, SshServer};
 use simrng::Rng64;
 
@@ -47,11 +60,25 @@ pub enum AttackerClass {
     ExactAllocated,
     /// Decayed full-memory image plus CRT partial-key reconstruction.
     ColdBoot,
+    /// Memory pressure plus a stolen swap device: exact patterns over
+    /// [`memsim::Kernel::swap_bytes`] after maximal eviction.
+    SwapTheft,
+    /// The memory-deduplication timing oracle: plant a byte-exact guess of
+    /// the victim's key page, let the deduplicator run, detect the merge
+    /// through the copy-on-write fault it causes.
+    Dedup,
 }
 
 impl AttackerClass {
-    /// All classes, weakest first.
-    pub const ALL: [Self; 3] = [Self::ExactFree, Self::ExactAllocated, Self::ColdBoot];
+    /// All classes. New classes are appended so the positional cell seeds
+    /// of the original three stay stable across releases.
+    pub const ALL: [Self; 5] = [
+        Self::ExactFree,
+        Self::ExactAllocated,
+        Self::ColdBoot,
+        Self::SwapTheft,
+        Self::Dedup,
+    ];
 
     /// Name used in output files and flags.
     #[must_use]
@@ -60,6 +87,8 @@ impl AttackerClass {
             Self::ExactFree => "exact-free",
             Self::ExactAllocated => "exact-allocated",
             Self::ColdBoot => "cold-boot",
+            Self::SwapTheft => "swap-theft",
+            Self::Dedup => "dedup",
         }
     }
 
@@ -70,6 +99,8 @@ impl AttackerClass {
             "exact-free" | "free" => Some(Self::ExactFree),
             "exact-allocated" | "allocated" => Some(Self::ExactAllocated),
             "cold-boot" | "coldboot" => Some(Self::ColdBoot),
+            "swap-theft" | "swap" => Some(Self::SwapTheft),
+            "dedup" | "ksm" => Some(Self::Dedup),
             _ => None,
         }
     }
@@ -90,13 +121,28 @@ impl AttackerClass {
     ///   always holds a byte-exact working copy;
     /// * cold-boot likewise defeats everything below `Shielded` — decay
     ///   breaks the exact scan but not the CRT reconstruction;
-    /// * `Shielded` survives all three: ciphertext at rest, and the
+    /// * swap-theft falls exactly along the `mlock` line: the tiers that
+    ///   never pin the key (`None`, `Kernel`) lose it to the device, every
+    ///   aligned tier keeps it locked in RAM;
+    /// * dedup defeats exactly the *plaintext aligned* tiers
+    ///   (`Application`, `Library`, `Integrated`): their fixed page layout
+    ///   is byte-for-byte guessable. The heap tiers are safe by obscurity
+    ///   (chunk headers and offsets make the page unguessable), `Shielded`
+    ///   by construction (the resident page is ciphertext);
+    /// * `Shielded` survives all five: ciphertext at rest, and the
     ///   plaintext window is closed whenever the machine can be seized.
     #[must_use]
     pub fn expected_to_defeat(self, level: ProtectionLevel) -> bool {
         match self {
             Self::ExactFree => level == ProtectionLevel::None,
             Self::ExactAllocated | Self::ColdBoot => level != ProtectionLevel::Shielded,
+            Self::SwapTheft => !level.mlock_key(),
+            Self::Dedup => matches!(
+                level,
+                ProtectionLevel::Application
+                    | ProtectionLevel::Library
+                    | ProtectionLevel::Integrated
+            ),
         }
     }
 }
@@ -187,6 +233,21 @@ fn matrix_cell_seed(
     cell_seed(root, &[kind_ix, level_ix, attacker_ix, rep as u64])
 }
 
+/// The byte-exact first page of an aligned key region for `key` — the
+/// dedup attacker's planted guess. The aligned tiers pack the six CRT
+/// components from the page start into a freshly zeroed page
+/// (`SecureKeyRegion::install`), so the whole page image is a pure
+/// function of the key: exactly the predictability the oracle needs.
+fn aligned_region_page(key: &RsaPrivateKey) -> Vec<u8> {
+    let mut page = Vec::with_capacity(PAGE_SIZE);
+    for part in [key.d(), key.p(), key.q(), key.dp(), key.dq(), key.qinv()] {
+        page.extend_from_slice(&limb_bytes(part));
+    }
+    page.truncate(PAGE_SIZE);
+    page.resize(PAGE_SIZE, 0);
+    page
+}
+
 /// One repetition of one cell: drive the workload, run the attacker,
 /// return whether the key was recovered.
 fn run_one_cell<S: SecureServer>(
@@ -215,6 +276,21 @@ fn run_one_cell<S: SecureServer>(
                 || reconstruct(&dump, &server.key().public_key(), &ReconstructConfig::default())
                     .key
                     .is_some_and(|k| k.d() == server.key().d())
+        }
+        AttackerClass::SwapTheft => {
+            // Evict everything evictable, then read the device image —
+            // RAM is never touched. mlock'd key pages cannot land here.
+            kernel.swap_out_pressure(usize::MAX)?;
+            scanner.dump_compromises_key(kernel.swap_bytes())
+        }
+        AttackerClass::Dedup => {
+            // The oracle needs a byte-exact guess of the victim's key
+            // page; testing it with the true key asks exactly "does the
+            // merge channel confirm a correct guess?" — the per-candidate
+            // step of the real enumeration attack.
+            let candidate = aligned_region_page(server.key());
+            let attacker_pid = kernel.spawn();
+            dedup_probe(&mut kernel, attacker_pid, &candidate)?.confirms_candidate()
         }
     };
     drop(server);
@@ -305,11 +381,26 @@ mod tests {
         for l in [L::Application, L::Library, L::Kernel, L::Integrated, L::Shielded] {
             assert!(!A::ExactFree.expected_to_defeat(l), "{l}");
         }
-        // The stronger attackers defeat everything except Shielded.
+        // The stronger memory readers defeat everything except Shielded.
         for a in [A::ExactAllocated, A::ColdBoot] {
             for l in [L::None, L::Application, L::Library, L::Kernel, L::Integrated] {
                 assert!(a.expected_to_defeat(l), "{a}/{l}");
             }
+            assert!(!a.expected_to_defeat(L::Shielded), "{a}");
+        }
+        // Swap theft falls exactly along the mlock line.
+        for l in ProtectionLevel::ALL {
+            assert_eq!(A::SwapTheft.expected_to_defeat(l), !l.mlock_key(), "{l}");
+        }
+        // Dedup defeats exactly the plaintext aligned tiers.
+        for l in [L::Application, L::Library, L::Integrated] {
+            assert!(A::Dedup.expected_to_defeat(l), "{l}");
+        }
+        for l in [L::None, L::Kernel, L::Shielded] {
+            assert!(!A::Dedup.expected_to_defeat(l), "{l}");
+        }
+        // No tier-ordering inversion: Shielded survives every class.
+        for a in AttackerClass::ALL {
             assert!(!a.expected_to_defeat(L::Shielded), "{a}");
         }
     }
@@ -345,6 +436,33 @@ mod tests {
             (ProtectionLevel::Integrated, AttackerClass::ExactAllocated, true),
             (ProtectionLevel::Shielded, AttackerClass::ExactAllocated, false),
             (ProtectionLevel::Shielded, AttackerClass::ExactFree, false),
+        ] {
+            let seed = matrix_cell_seed(cfg.seed, ServerKind::Ssh, level, attacker, 0);
+            let got = run_one_cell::<servers::SshServer>(
+                level,
+                attacker,
+                &cfg,
+                seed,
+                DEFAULT_DECAY_RATE,
+            )
+            .unwrap();
+            assert_eq!(got, expect, "{level}/{attacker}");
+        }
+    }
+
+    /// Swap theft: the unlocked tiers lose the key to the device, the
+    /// mlock'd tiers keep it off. Dedup: the aligned plaintext page is
+    /// guessable, the shielded (ciphertext) and heap (unpredictable
+    /// layout) pages are not.
+    #[test]
+    fn swap_theft_and_dedup_fall_along_their_own_lines() {
+        let cfg = ExperimentConfig::test().with_repetitions(1);
+        for (level, attacker, expect) in [
+            (ProtectionLevel::Kernel, AttackerClass::SwapTheft, true),
+            (ProtectionLevel::Integrated, AttackerClass::SwapTheft, false),
+            (ProtectionLevel::Integrated, AttackerClass::Dedup, true),
+            (ProtectionLevel::None, AttackerClass::Dedup, false),
+            (ProtectionLevel::Shielded, AttackerClass::Dedup, false),
         ] {
             let seed = matrix_cell_seed(cfg.seed, ServerKind::Ssh, level, attacker, 0);
             let got = run_one_cell::<servers::SshServer>(

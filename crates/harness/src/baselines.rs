@@ -138,7 +138,7 @@ pub fn compare_strategies(cfg: &ExperimentConfig) -> SimResult<Vec<BaselineResul
             unallocated.push(report.unallocated() as f64);
 
             // Swap pressure, then the three disclosure channels.
-            kernel.swap_out_pressure(2000);
+            kernel.swap_out_pressure(2000)?;
             swap_hits += usize::from(scanner.dump_compromises_key(kernel.swap_bytes()));
             let tty = TtyMemoryDump::paper().run(&kernel, &mut rng);
             tty_hits += usize::from(tty.succeeded(&scanner));

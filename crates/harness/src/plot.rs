@@ -311,12 +311,14 @@ mod tests {
                     allocated: 2,
                     unallocated: 1,
                     locations: vec![(4096, true), (8192, true), (12288, false)],
+                    swap_hits: 0,
                 },
                 TimelinePoint {
                     t: 1,
                     allocated: 0,
                     unallocated: 3,
                     locations: vec![(4096, false), (8192, false), (12288, false)],
+                    swap_hits: 0,
                 },
             ],
             shed: servers::SheddingStats::default(),

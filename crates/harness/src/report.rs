@@ -45,13 +45,22 @@ pub fn sweep_line_dat(points: &[SweepPoint]) -> String {
     out
 }
 
-/// Renders a timeline's per-tick counts: `t allocated unallocated total`
-/// (the bar-chart data of Figures 5b, 6b, 10, 12, …).
+/// Renders a timeline's per-tick counts: `t allocated unallocated total
+/// swap` (the bar-chart data of Figures 5b, 6b, 10, 12, …, plus the swap
+/// column marking when copies became disk-persistent).
 #[must_use]
 pub fn timeline_counts_dat(tl: &Timeline) -> String {
-    let mut out = String::from("# t allocated unallocated total\n");
+    let mut out = String::from("# t allocated unallocated total swap\n");
     for p in &tl.points {
-        let _ = writeln!(out, "{} {} {} {}", p.t, p.allocated, p.unallocated, p.total());
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {}",
+            p.t,
+            p.allocated,
+            p.unallocated,
+            p.total(),
+            p.swap_hits
+        );
     }
     out
 }
@@ -222,8 +231,8 @@ pub fn scenario_golden(outcome: &crate::scenario::ScenarioOutcome) -> String {
         }
         let _ = writeln!(
             out,
-            "tick {:>2} allocated {:>3} unallocated {:>3} locations {:016x}",
-            p.t, p.allocated, p.unallocated, fnv
+            "tick {:>2} allocated {:>3} unallocated {:>3} swap {:>3} locations {:016x}",
+            p.t, p.allocated, p.unallocated, p.swap_hits, fnv
         );
     }
     for a in &outcome.attacks {
@@ -281,12 +290,14 @@ mod tests {
                     allocated: 0,
                     unallocated: 0,
                     locations: vec![],
+                    swap_hits: 0,
                 },
                 TimelinePoint {
                     t: 1,
                     allocated: 3,
                     unallocated: 2,
                     locations: vec![(4096, true), (8192, false)],
+                    swap_hits: 1,
                 },
             ],
             shed: servers::SheddingStats::default(),
@@ -313,7 +324,8 @@ mod tests {
     fn timeline_dats() {
         let tl = sample_timeline();
         let counts = timeline_counts_dat(&tl);
-        assert!(counts.contains("1 3 2 5"));
+        assert!(counts.contains("1 3 2 5 1"), "{counts}");
+        assert!(counts.starts_with("# t allocated unallocated total swap\n"));
         let locs = timeline_locations_dat(&tl);
         assert!(locs.contains("1 4096 1"));
         assert!(locs.contains("1 8192 0"));

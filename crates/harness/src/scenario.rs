@@ -26,16 +26,23 @@
 //! * `secret <word>` — an additional secret (≥ 8 chars) tracked by every
 //!   scan and attack, e.g. a passphrase (see `tty-input`).
 //! * `at <tick> start | stop | restart | concurrency <N> | pump <N> |`
-//!   `tty-input | swap <pages> |`
-//!   `attack ext2 <dirs> | attack tty | attack slab <size> <probes>`
+//!   `tty-input | swap <pages> | merge | writeback <pages> | file-plant |`
+//!   `attack ext2 <dirs> | attack tty | attack slab <size> <probes> |`
+//!   `attack swap | attack disk`
 //! * `end <tick>` — run length (required).
 //!
 //! `restart` is Apache's graceful reload (SSH restarts as stop + start);
 //! `tty-input` types the configured `secret` through the kernel's tty
-//! buffers, planting it in slab memory.
+//! buffers, planting it in slab memory; `file-plant` appends the secret to
+//! a log file through the write-back page cache (dirty in RAM until a
+//! `writeback` flushes it to the disk image); `merge` runs the page
+//! deduplicator; `attack swap` / `attack disk` scan the persistent images
+//! ([`memsim::Kernel::swap_bytes`] / [`memsim::Kernel::disk_bytes`]) —
+//! what a stolen disk reveals.
 //!
-//! Memory is scanned for the server's key at the end of every tick; attack
-//! results are logged as they fire.
+//! Memory is scanned for the server's key at the end of every tick (the
+//! swap device alongside physical RAM); attack results are logged as they
+//! fire.
 
 use crate::timeline::{Timeline, TimelinePoint};
 use crate::ServerKind;
@@ -67,6 +74,18 @@ pub enum Action {
     AttackSlab(usize, usize),
     /// Apply swap pressure for N pages.
     Swap(usize),
+    /// Run the page deduplicator (KSM pass) over anonymous memory.
+    Merge,
+    /// Flush up to N dirty page-cache pages to their backing files.
+    Writeback(usize),
+    /// Append the configured secret to a log file through the write-back
+    /// page cache (dirty in RAM until a `writeback` flushes it).
+    FilePlant,
+    /// Scan the swap device for key copies.
+    AttackSwap,
+    /// Scan the world-readable disk files for key copies (the mode-0600
+    /// key file itself is out of reach; page-cache leakage is not).
+    AttackDisk,
     /// Type the configured secret through the tty (plants it in slab
     /// buffers).
     TtyInput,
@@ -223,6 +242,14 @@ impl Scenario {
                         ("swap", Some(v)) => Action::Swap(
                             v.parse().map_err(|_| err(line_no, "swap expects a number"))?,
                         ),
+                        ("merge", None) => Action::Merge,
+                        ("writeback", Some(v)) => Action::Writeback(
+                            v.parse()
+                                .map_err(|_| err(line_no, "writeback expects a number"))?,
+                        ),
+                        ("file-plant", None) => Action::FilePlant,
+                        ("attack", Some(&"swap")) => Action::AttackSwap,
+                        ("attack", Some(&"disk")) => Action::AttackDisk,
                         ("attack", Some(&"tty")) => Action::AttackTty,
                         ("attack", Some(&"ext2")) => {
                             let dirs = words
@@ -276,14 +303,20 @@ impl Scenario {
                 return Err(err(1, "actions scheduled at or after end tick"));
             }
         }
-        // tty-input and slab attacks require a secret to plant/search for.
+        // tty-input, file-plant and slab attacks require a secret to
+        // plant/search for.
         let uses_secret = actions.values().flatten().any(|a| {
-            matches!(a, Action::TtyInput | Action::AttackSlab(_, _))
+            matches!(
+                a,
+                Action::TtyInput | Action::FilePlant | Action::AttackSlab(_, _)
+            )
         });
         if uses_secret && secret.is_none() {
             return Err(ParseError {
                 line: 1,
-                message: "tty-input / attack slab require a `secret <word>` directive".into(),
+                message:
+                    "tty-input / file-plant / attack slab require a `secret <word>` directive"
+                        .into(),
             });
         }
         Ok(Self {
@@ -363,6 +396,8 @@ impl Scenario {
         let mut server: Option<S> = None;
         let mut attacks = Vec::new();
         let mut points = Vec::with_capacity(self.end);
+        // The file-plant target, created on first use.
+        let mut plant_file: Option<memsim::FileId> = None;
 
         for t in 0..self.end {
             if let Some(todo) = self.actions.get(&t) {
@@ -387,7 +422,46 @@ impl Scenario {
                             }
                         }
                         Action::Swap(pages) => {
-                            kernel.swap_out_pressure(pages);
+                            kernel.swap_out_pressure(pages)?;
+                        }
+                        Action::Merge => {
+                            kernel.merge_identical_pages();
+                        }
+                        Action::Writeback(pages) => {
+                            kernel.writeback(pages)?;
+                        }
+                        Action::FilePlant => {
+                            let secret = self.secret.as_ref().expect("validated at parse");
+                            let fid = *plant_file
+                                .get_or_insert_with(|| kernel.create_file("scenario.log", b""));
+                            let at = kernel.file_len(fid)?;
+                            kernel.write_file(fid, at, secret)?;
+                        }
+                        Action::AttackSwap => {
+                            let image = kernel.swap_bytes();
+                            let keys_found = inc.scanner().count_matches(image);
+                            attacks.push(AttackEvent {
+                                t,
+                                kind: "swap",
+                                keys_found,
+                                succeeded: keys_found > 0,
+                                disclosed_bytes: image.len(),
+                            });
+                        }
+                        Action::AttackDisk => {
+                            // Unprivileged reader: world-readable files only.
+                            // The mode-0600 key file is not part of this
+                            // channel — what leaks here leaked through the
+                            // page cache.
+                            let image = kernel.public_disk_bytes();
+                            let keys_found = inc.scanner().count_matches(&image);
+                            attacks.push(AttackEvent {
+                                t,
+                                kind: "disk",
+                                keys_found,
+                                succeeded: keys_found > 0,
+                                disclosed_bytes: image.len(),
+                            });
                         }
                         Action::TtyInput => {
                             let secret = self.secret.as_ref().expect("validated at parse");
@@ -433,11 +507,13 @@ impl Scenario {
                 }
             }
             let report = inc.scan(&kernel);
+            let swap_hits = inc.scanner().count_matches(kernel.swap_bytes());
             points.push(TimelinePoint {
                 t,
                 allocated: report.allocated(),
                 unallocated: report.unallocated(),
                 locations: report.locations(),
+                swap_hits,
             });
         }
         Ok(ScenarioOutcome {
@@ -547,6 +623,59 @@ end 6
         let script = "server ssh key-bits 256\nat 1 start\nat 2 swap 100\nend 4\n";
         let outcome = Scenario::parse(script).unwrap().run().unwrap();
         assert_eq!(outcome.timeline.points.len(), 4);
+    }
+
+    #[test]
+    fn swap_theft_scenario_respects_the_mlock_line() {
+        for (level, expect) in [("none", true), ("integrated", false)] {
+            let script = format!(
+                "machine mem-mb 16\nserver ssh level {level} key-bits 256\n\
+                 at 1 start\nat 2 concurrency 4\nat 3 pump 8\nat 4 swap 4000\n\
+                 at 5 attack swap\nend 7\n"
+            );
+            let outcome = Scenario::parse(&script).unwrap().run().unwrap();
+            assert_eq!(outcome.attacks.len(), 1);
+            assert_eq!(outcome.attacks[0].kind, "swap");
+            assert_eq!(outcome.attacks[0].succeeded, expect, "{level}");
+            // The per-tick swap column tells the same story as the attack.
+            assert_eq!(
+                outcome.timeline.at(4).unwrap().swap_hits > 0,
+                expect,
+                "{level}"
+            );
+            // Ticks before the pressure show a clean device.
+            assert_eq!(outcome.timeline.at(3).unwrap().swap_hits, 0, "{level}");
+        }
+    }
+
+    #[test]
+    fn file_plant_leaks_to_disk_only_after_writeback() {
+        let script = "
+server ssh level integrated key-bits 256
+secret disk-resident-passphrase
+at 1 start
+at 2 file-plant
+at 3 attack disk
+at 4 writeback 64
+at 5 attack disk
+end 7
+";
+        let outcome = Scenario::parse(script).unwrap().run().unwrap();
+        assert_eq!(outcome.attacks.len(), 2);
+        let (before, after) = (&outcome.attacks[0], &outcome.attacks[1]);
+        assert_eq!(before.kind, "disk");
+        assert!(!before.succeeded, "dirty cache only — disk still clean");
+        assert!(after.succeeded, "writeback persisted the secret");
+        assert!(after.disclosed_bytes >= b"disk-resident-passphrase".len());
+    }
+
+    #[test]
+    fn merge_action_runs_and_two_runs_are_identical() {
+        let script = "machine mem-mb 16\nserver ssh level app key-bits 256\n\
+                      at 1 start\nat 2 pump 4\nat 3 merge\nat 4 swap 200\nend 6\n";
+        let a = Scenario::parse(script).unwrap().run().unwrap();
+        let b = Scenario::parse(script).unwrap().run().unwrap();
+        assert_eq!(a, b, "scenario runs must be bit-identical");
     }
 }
 

@@ -79,10 +79,15 @@ pub struct TimelinePoint {
     /// `(physical byte offset, allocated?)` of every copy — the scatter data
     /// of the "locations of keys in memory" plots.
     pub locations: Vec<(usize, bool)>,
+    /// Copies found on the swap device at this tick. Kept out of
+    /// [`Self::total`] — RAM copies are the paper's y-axis — but a nonzero
+    /// value marks the tick at which the key became *persistent*: it now
+    /// survives power-off with the stolen disk.
+    pub swap_hits: usize,
 }
 
 impl TimelinePoint {
-    /// Total copies at this tick.
+    /// Total copies in RAM at this tick (swap copies ride separately).
     #[must_use]
     pub fn total(&self) -> usize {
         self.allocated + self.unallocated
@@ -192,13 +197,17 @@ fn drive<S: SecureServer>(
             }
         }
 
-        // Scan at the end of the tick, like the cron'd scanmemory read.
+        // Scan at the end of the tick, like the cron'd scanmemory read —
+        // physical memory through the incremental path, the swap device as
+        // a raw dump (it is small and has no frame metadata to skip by).
         let report = scanner.scan(&kernel);
+        let swap_hits = scanner.scanner().count_matches(kernel.swap_bytes());
         points.push(TimelinePoint {
             t,
             allocated: report.allocated(),
             unallocated: report.unallocated(),
             locations: report.locations(),
+            swap_hits,
         });
     }
     let timeline = Timeline {

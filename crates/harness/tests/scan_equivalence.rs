@@ -68,7 +68,7 @@ fn incremental_equals_oracle_inside_executor_cells() {
                     }
                 }
                 _ => {
-                    k.swap_out_pressure(rng.gen_index(3));
+                    let _ = k.swap_out_pressure(rng.gen_index(3));
                     let _ = k.tty_input(material.p_bytes());
                 }
             }

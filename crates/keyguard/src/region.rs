@@ -335,7 +335,7 @@ mod tests {
         // ...but genuinely swappable: the degradation is real, not cosmetic.
         let material = KeyMaterial::from_key(&key);
         let scanner = Scanner::from_material(&material);
-        kernel.swap_out_pressure(usize::MAX);
+        assert!(kernel.swap_out_pressure(usize::MAX).unwrap() > 0);
         assert!(scanner.dump_compromises_key(kernel.swap_bytes()));
     }
 
@@ -415,7 +415,7 @@ mod tests {
         let material = KeyMaterial::from_key(&key);
         let scanner = Scanner::from_material(&material);
         let _region = SecureKeyRegion::install(&mut kernel, pid, &key).unwrap();
-        kernel.swap_out_pressure(usize::MAX);
+        kernel.swap_out_pressure(usize::MAX).unwrap();
         assert!(!scanner.dump_compromises_key(kernel.swap_bytes()));
     }
 
@@ -508,7 +508,7 @@ mod tests {
             *new_key.d()
         );
         // Still locked against swap.
-        kernel.swap_out_pressure(usize::MAX);
+        kernel.swap_out_pressure(usize::MAX).unwrap();
         assert!(!new_scanner.dump_compromises_key(kernel.swap_bytes()));
     }
 

@@ -1,0 +1,149 @@
+//! The memory-deduplication timing side channel (KSM-style).
+//!
+//! Page dedup merges byte-identical pages across processes into one
+//! COW-shared frame. That sharing is *observable*: a write to a merged page
+//! takes a copy-on-write fault, a write to an unmerged page does not. An
+//! attacker who can guess a victim page byte-for-byte therefore gets an
+//! oracle — plant the guess, wait for the deduplicator, write one byte, and
+//! time the write. The simulator's clock for "did a COW fault happen" is
+//! the kernel's `cow_breaks` counter, which stands in for the latency
+//! difference the real attack measures.
+//!
+//! The probe needs no privileges at all: it reads nothing but its own
+//! memory and a public statistic. What it defeats is exactly the protection
+//! tiers that keep the key in a *predictable, page-aligned plaintext
+//! layout* — the aligned key region's tidy formatting is what makes the
+//! page guessable.
+
+use memsim::{Kernel, Pid, SimResult, PAGE_SIZE};
+
+/// Outcome of one [`dedup_probe`] round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupProbe {
+    /// Whether the planted candidate page got merged with another page —
+    /// i.e. the byte-identical page *exists somewhere* in memory.
+    pub merged: bool,
+    /// COW faults observed when re-writing the candidate (0 or 1).
+    pub cow_faults: u64,
+}
+
+impl DedupProbe {
+    /// The attacker's verdict: a merge means the guess was right.
+    #[must_use]
+    pub fn confirms_candidate(self) -> bool {
+        self.merged
+    }
+}
+
+/// Runs one dedup-timing probe from process `pid` for a full-page guess.
+///
+/// Plants `candidate` in a fresh page of the attacker's own address space,
+/// invites the deduplicator to run, then re-writes the first byte *with its
+/// existing value* (the store is a semantic no-op — pure timing probe) and
+/// reports whether that store took a copy-on-write fault. It does iff the
+/// page had been merged with an identical page elsewhere.
+///
+/// `candidate` must be at most [`PAGE_SIZE`] bytes; shorter guesses are
+/// zero-padded, matching a freshly zeroed anonymous page.
+///
+/// # Errors
+///
+/// Propagates simulator errors from the allocation and write paths.
+pub fn dedup_probe(kernel: &mut Kernel, pid: Pid, candidate: &[u8]) -> SimResult<DedupProbe> {
+    assert!(
+        candidate.len() <= PAGE_SIZE,
+        "candidate must fit one page ({} > {PAGE_SIZE})",
+        candidate.len()
+    );
+    // Plant the guess in our own memory. The page is freshly zeroed, so a
+    // short candidate plus implicit zero tail is exactly one page image.
+    let page = kernel.alloc_special_region(pid, 1)?;
+    kernel.write_bytes(pid, page, candidate)?;
+
+    // The deduplicator pass (in the real attack: wait for ksmd).
+    kernel.merge_identical_pages();
+
+    // Timed write: same value back into the first byte. If the page was
+    // merged the store must break COW; if not, it is an in-place store.
+    let first = if candidate.is_empty() { 0 } else { candidate[0] };
+    let before = kernel.stats().cow_breaks;
+    kernel.write_bytes(pid, page, &[first])?;
+    let cow_faults = kernel.stats().cow_breaks - before;
+
+    kernel.free_special_region(pid, page, 1)?;
+    Ok(DedupProbe {
+        merged: cow_faults > 0,
+        cow_faults,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::MachineConfig;
+
+    fn kernel() -> Kernel {
+        Kernel::new(MachineConfig::small())
+    }
+
+    #[test]
+    fn probe_confirms_a_correct_full_page_guess() {
+        let mut k = kernel();
+        let victim = k.spawn();
+        let attacker = k.spawn();
+        let mut secret_page = vec![0u8; PAGE_SIZE];
+        secret_page[..8].copy_from_slice(b"SECRET!!");
+        let rv = k.alloc_special_region(victim, 1).unwrap();
+        k.write_bytes(victim, rv, &secret_page).unwrap();
+
+        let probe = dedup_probe(&mut k, attacker, &secret_page).unwrap();
+        assert!(probe.confirms_candidate());
+        assert_eq!(probe.cow_faults, 1);
+        // The victim's data is untouched by the probe.
+        assert_eq!(k.read_bytes(victim, rv, 8).unwrap(), b"SECRET!!");
+    }
+
+    #[test]
+    fn probe_rejects_a_wrong_guess() {
+        let mut k = kernel();
+        let victim = k.spawn();
+        let attacker = k.spawn();
+        let mut secret_page = vec![0u8; PAGE_SIZE];
+        secret_page[..8].copy_from_slice(b"SECRET!!");
+        let rv = k.alloc_special_region(victim, 1).unwrap();
+        k.write_bytes(victim, rv, &secret_page).unwrap();
+
+        let mut wrong = secret_page.clone();
+        wrong[7] ^= 1;
+        let probe = dedup_probe(&mut k, attacker, &wrong).unwrap();
+        assert!(!probe.confirms_candidate());
+        assert_eq!(probe.cow_faults, 0);
+    }
+
+    #[test]
+    fn short_candidates_match_zero_padded_pages() {
+        let mut k = kernel();
+        let victim = k.spawn();
+        let attacker = k.spawn();
+        // Victim writes a short value into a fresh (zeroed) page.
+        let rv = k.alloc_special_region(victim, 1).unwrap();
+        k.write_bytes(victim, rv, b"pin=1234").unwrap();
+
+        let probe = dedup_probe(&mut k, attacker, b"pin=1234").unwrap();
+        assert!(probe.confirms_candidate(), "zero tail matches zero tail");
+    }
+
+    #[test]
+    fn probe_leaves_no_candidate_copy_behind_in_mapped_memory() {
+        let mut k = kernel();
+        let attacker = k.spawn();
+        let mut guess = vec![0u8; 64];
+        guess[..6].copy_from_slice(b"GUESS!");
+        dedup_probe(&mut k, attacker, &guess).unwrap();
+        // The probe page was freed; the attacker holds no mapping with the
+        // candidate (the frame residue is the ordinary dirty-free hazard,
+        // the probe itself must not accumulate mappings).
+        let dump = k.dump_process(attacker).unwrap();
+        assert!(!dump.windows(6).any(|w| w == b"GUESS!"));
+    }
+}

@@ -32,10 +32,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dedup;
 mod entropy;
 mod incremental;
 pub mod reconstruct;
 
+pub use dedup::{dedup_probe, DedupProbe};
 pub use entropy::{EntropyRegion, EntropyScanner};
 pub use incremental::{IncrementalScanner, ScanStats};
 

@@ -148,7 +148,7 @@ fn incremental_equals_oracle_on_random_mutation_sequences() {
                 }
                 _ => {
                     // Memory pressure.
-                    k.swap_out_pressure(rng.gen_index(4));
+                    let _ = k.swap_out_pressure(rng.gen_index(4));
                     k.reclaim_page_cache(rng.gen_index(4));
                 }
             }

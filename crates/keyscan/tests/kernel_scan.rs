@@ -157,7 +157,7 @@ fn swap_dump_is_scannable() {
     let pid = k.spawn();
     let buf = k.heap_alloc(pid, material.d_bytes().len()).unwrap();
     k.write_bytes(pid, buf, material.d_bytes()).unwrap();
-    k.swap_out_pressure(usize::MAX);
+    k.swap_out_pressure(usize::MAX).unwrap();
     assert!(scanner.dump_compromises_key(k.swap_bytes()));
 }
 

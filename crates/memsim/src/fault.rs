@@ -46,17 +46,29 @@ pub enum FaultOp {
     Mlock,
     /// A `fork` call (refused as if the process table were full).
     Fork,
+    /// One page eviction inside `swap_out_pressure` (refused as if the swap
+    /// device returned an I/O error before the page table was touched).
+    SwapOut,
+    /// A major fault bringing a swapped page back (`swap_in`): refused as if
+    /// the swap read failed, before any frame was allocated.
+    SwapIn,
+    /// One dirty page-cache page flushed to its backing file (`writeback`).
+    Writeback,
 }
 
 impl FaultOp {
-    /// Every class, in counter order.
-    pub const ALL: [Self; 6] = [
+    /// Every class, in counter order. New classes are appended so the
+    /// per-class indices below stay stable across releases.
+    pub const ALL: [Self; 9] = [
         Self::FrameAlloc,
         Self::HeapAlloc,
         Self::Kmalloc,
         Self::SpecialAlloc,
         Self::Mlock,
         Self::Fork,
+        Self::SwapOut,
+        Self::SwapIn,
+        Self::Writeback,
     ];
 
     /// Stable index used for per-class occurrence counters.
@@ -69,6 +81,9 @@ impl FaultOp {
             Self::SpecialAlloc => 3,
             Self::Mlock => 4,
             Self::Fork => 5,
+            Self::SwapOut => 6,
+            Self::SwapIn => 7,
+            Self::Writeback => 8,
         }
     }
 
@@ -82,6 +97,9 @@ impl FaultOp {
             Self::SpecialAlloc => "special_alloc",
             Self::Mlock => "mlock",
             Self::Fork => "fork",
+            Self::SwapOut => "swap_out",
+            Self::SwapIn => "swap_in",
+            Self::Writeback => "writeback",
         }
     }
 }

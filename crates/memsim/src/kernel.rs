@@ -12,7 +12,7 @@ use crate::{
     FileId, FrameId, FrameState, MachineConfig, Pid, SimError, SimResult, VAddr, PAGE_SIZE,
 };
 use simrng::Rng64;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-frame metadata (the simulated `struct page`).
 #[derive(Debug, Clone)]
@@ -38,6 +38,20 @@ impl Frame {
             cache_key: None,
         }
     }
+}
+
+/// Metadata of one in-use swap slot. A freed slot keeps its bytes — a real
+/// swap partition is never cleared on free, which is exactly the disclosure
+/// channel the paper's `mlock` discipline defends against.
+#[derive(Debug, Clone)]
+struct SwapSlot {
+    /// Number of `(pid, vpn)` swapped-PTE references to this slot.
+    refs: u32,
+    /// Initial keystream state when the slot was written under
+    /// [`MachineConfig::swap_crypto`] (`None` = written in the clear). Provos
+    /// keeps the per-page keys in kernel memory for exactly this purpose:
+    /// decrypting on swap-in, and forgetting them at shutdown.
+    crypt_seed: Option<u64>,
 }
 
 /// Read-only view of one frame's metadata, for scanners and assertions.
@@ -78,8 +92,14 @@ pub struct KernelStats {
     pub cache_inserts: u64,
     /// Page-cache evictions.
     pub cache_evictions: u64,
-    /// Pages copied to the swap device.
+    /// Pages evicted to the swap device (one event per page written out).
     pub swap_writes: u64,
+    /// Pages faulted back in from the swap device.
+    pub swap_ins: u64,
+    /// Dirty page-cache pages flushed to their backing file.
+    pub writebacks: u64,
+    /// Duplicate anonymous frames retired by `merge_identical_pages`.
+    pub pages_merged: u64,
     /// kmalloc objects handed out.
     pub kmallocs: u64,
     /// kmalloc objects freed (back to their slab, not the page allocator).
@@ -104,8 +124,20 @@ pub struct Kernel {
     procs: BTreeMap<Pid, Process>,
     next_pid: u32,
     vfs: Vfs,
-    page_cache: HashMap<(FileId, u64), FrameId>,
+    /// Ordered, so reclaim/eviction victim order — and hence free-list order
+    /// and frame-reuse leak locations — is identical run to run. (This was a
+    /// `HashMap` once; `RandomState` made eviction order nondeterministic.)
+    page_cache: BTreeMap<(FileId, u64), FrameId>,
+    /// Page-cache pages whose contents are newer than their backing file.
+    /// Dirty pages are skipped by reclaim and flushed by [`Self::writeback`].
+    dirty_cache: BTreeSet<(FileId, u64)>,
+    /// The swap device: slot `i` occupies bytes
+    /// `[i * PAGE_SIZE, (i + 1) * PAGE_SIZE)`. Slots are reused, so the
+    /// device stays bounded by peak swap residency, not by event count.
     swap: Vec<u8>,
+    /// Per-slot metadata; `None` marks a slot free for reuse (its stale bytes
+    /// stay on the device, as on a real partition).
+    swap_slots: Vec<Option<SwapSlot>>,
     slab: SlabAllocator,
     stats: KernelStats,
     fault_plan: FaultPlan,
@@ -114,7 +146,7 @@ pub struct Kernel {
     op_index: u64,
     /// Per-class occurrence counters (1-based after increment), indexed by
     /// [`FaultOp::index`].
-    op_counts: [u64; 6],
+    op_counts: [u64; 9],
     /// Monotone clock stamping [`Self::write_gens`] / [`Self::state_gens`].
     /// Every stamp is unique, so "frame F at generation G" names exactly one
     /// byte image — what lets incremental scanners skip clean frames.
@@ -140,13 +172,15 @@ impl Kernel {
             procs: BTreeMap::new(),
             next_pid: 1,
             vfs: Vfs::default(),
-            page_cache: HashMap::new(),
+            page_cache: BTreeMap::new(),
+            dirty_cache: BTreeSet::new(),
             swap: Vec::new(),
+            swap_slots: Vec::new(),
             slab: SlabAllocator::default(),
             stats: KernelStats::default(),
             fault_plan: FaultPlan::default(),
             op_index: 0,
-            op_counts: [0; 6],
+            op_counts: [0; 9],
             gen_clock: 0,
             write_gens: vec![0; num_frames],
             state_gens: vec![0; num_frames],
@@ -540,6 +574,15 @@ impl Kernel {
         child.next_special = parent_proc.next_special;
         child.vma_kind = parent_proc.vma_kind.clone();
         child.locked_vpns = parent_proc.locked_vpns.clone();
+        // Swapped pages are shared too: both sides reference the same slot
+        // until one faults the page back in (swap-in always privatises).
+        child.swapped = parent_proc.swapped.clone();
+        let shared_slots: Vec<usize> = child.swapped.values().map(|s| s.slot).collect();
+        for slot in shared_slots {
+            if let Some(s) = self.swap_slots[slot].as_mut() {
+                s.refs += 1;
+            }
+        }
 
         // Share all pages COW.
         let mut entries: Vec<(u64, crate::process::Pte)> = Vec::new();
@@ -586,6 +629,11 @@ impl Kernel {
         let proc = self.procs.remove(&pid).ok_or(SimError::NoSuchProcess(pid))?;
         for (vpn, pte) in proc.page_table {
             self.unmap_page(pid, vpn, pte.frame);
+        }
+        // Release swap-slot references; the slot bytes stay on the device
+        // (real swap partitions are never cleared on exit).
+        for swapped in proc.swapped.values() {
+            self.unref_swap_slot(swapped.slot);
         }
         self.stats.exits += 1;
         Ok(())
@@ -709,6 +757,21 @@ impl Kernel {
                 proc.locked_vpns.remove(&vpn);
                 self.unmap_page(pid, vpn, frame);
             }
+            // Trimmed pages that are sitting in swap are released too (their
+            // slot bytes stay behind on the device).
+            let proc = self.proc_mut(pid)?;
+            let doomed_swapped: Vec<(u64, usize)> = proc
+                .swapped
+                .range(first_vpn..)
+                .filter(|(vpn, _)| proc.vma_kind.get(vpn) == Some(&VmaKind::Heap))
+                .map(|(&vpn, s)| (vpn, s.slot))
+                .collect();
+            for (vpn, slot) in doomed_swapped {
+                let proc = self.proc_mut(pid)?;
+                proc.swapped.remove(&vpn);
+                proc.vma_kind.remove(&vpn);
+                self.unref_swap_slot(slot);
+            }
         }
         Ok(())
     }
@@ -793,13 +856,19 @@ impl Kernel {
         for i in 0..npages as u64 {
             let vpn = first_vpn + i;
             let proc = self.proc_mut(pid)?;
-            let pte = proc
-                .page_table
-                .remove(&vpn)
-                .ok_or(SimError::BadAddress(VAddr(vpn * PAGE_SIZE as u64)))?;
-            proc.vma_kind.remove(&vpn);
-            proc.locked_vpns.remove(&vpn);
-            self.unmap_page(pid, vpn, pte.frame);
+            if let Some(pte) = proc.page_table.remove(&vpn) {
+                proc.vma_kind.remove(&vpn);
+                proc.locked_vpns.remove(&vpn);
+                self.unmap_page(pid, vpn, pte.frame);
+            } else if let Some(swapped) = proc.swapped.remove(&vpn) {
+                // Freed while evicted: release the slot reference without
+                // faulting the page back in (its bytes stay on the device).
+                proc.vma_kind.remove(&vpn);
+                proc.locked_vpns.remove(&vpn);
+                self.unref_swap_slot(swapped.slot);
+            } else {
+                return Err(SimError::BadAddress(VAddr(vpn * PAGE_SIZE as u64)));
+            }
         }
         Ok(())
     }
@@ -824,6 +893,13 @@ impl Kernel {
             if (proc.locked_vpns.len() + newly) * PAGE_SIZE > limit {
                 self.stats.mlock_denials += 1;
                 return Err(SimError::MlockDenied);
+            }
+        }
+        // mlock faults the covered range in before pinning it (as the real
+        // syscall does), so a previously-evicted page comes back off swap.
+        for vpn in first..=last {
+            if self.proc(pid)?.swapped.contains_key(&vpn) {
+                self.swap_in(pid, vpn)?;
             }
         }
         for vpn in first..=last {
@@ -892,6 +968,11 @@ impl Kernel {
             let vpn = cur.vpn();
             let page_off = cur.page_offset();
             let n = (PAGE_SIZE - page_off).min(bytes.len() - off);
+            // A store to a swapped page is a major fault: bring it back in
+            // (fallible — the swap read or the frame allocation can fail).
+            if self.proc(pid)?.swapped.contains_key(&vpn) {
+                self.swap_in(pid, vpn)?;
+            }
             let pte = self
                 .proc(pid)?
                 .page_table
@@ -959,18 +1040,24 @@ impl Kernel {
 
     /// Reads `len` bytes from the process address space.
     ///
+    /// Reading takes `&self`, so it cannot service a major fault: a page
+    /// that has been evicted to swap surfaces as [`SimError::SwappedOut`].
+    /// Fault it back in first with [`Self::touch_pages`] (or any write).
+    ///
     /// # Errors
     ///
-    /// Fails with [`SimError::BadAddress`] when any page is unmapped.
+    /// Fails with [`SimError::BadAddress`] when any page is unmapped, or
+    /// [`SimError::SwappedOut`] when a covered page is on the swap device.
     pub fn read_bytes(&self, pid: Pid, addr: VAddr, len: usize) -> SimResult<Vec<u8>> {
         let mut out = Vec::with_capacity(len);
         let mut off = 0usize;
         while off < len {
             let cur = addr.add(off as u64);
-            let pte = self
-                .proc(pid)?
-                .pte(cur)
-                .ok_or(SimError::BadAddress(cur))?;
+            let proc = self.proc(pid)?;
+            if proc.swapped.contains_key(&cur.vpn()) {
+                return Err(SimError::SwappedOut(cur));
+            }
+            let pte = proc.pte(cur).ok_or(SimError::BadAddress(cur))?;
             let page_off = cur.page_offset();
             let n = (PAGE_SIZE - page_off).min(len - off);
             let base = pte.frame.base() + page_off;
@@ -1010,12 +1097,30 @@ impl Kernel {
     /// Fails with [`SimError::NoSuchFile`], [`SimError::NoSuchProcess`], or
     /// [`SimError::OutOfMemory`].
     pub fn read_file(&mut self, pid: Pid, fid: FileId, nocache: bool) -> SimResult<(VAddr, usize)> {
-        let content = self
+        let mut content = self
             .vfs
             .get(fid)
             .ok_or(SimError::NoSuchFile(fid))?
             .content
             .clone();
+        // Dirty cache pages hold data newer than the backing file; a read
+        // observes them (this is write-back caching, not write-through).
+        let dirty: Vec<(FileId, u64)> = self
+            .dirty_cache
+            .iter()
+            .filter(|(f, _)| *f == fid)
+            .copied()
+            .collect();
+        for key in dirty {
+            if let Some(&frame) = self.page_cache.get(&key) {
+                let start = key.1 as usize * PAGE_SIZE;
+                let end = (start + PAGE_SIZE).min(content.len());
+                if start < content.len() {
+                    content[start..end]
+                        .copy_from_slice(&self.phys[frame.base()..frame.base() + (end - start)]);
+                }
+            }
+        }
         let npages = content.len().div_ceil(PAGE_SIZE).max(1);
         for idx in 0..npages as u64 {
             if self.page_cache.contains_key(&(fid, idx)) {
@@ -1050,6 +1155,156 @@ impl Kernel {
         self.page_cache.keys().filter(|(f, _)| *f == fid).count()
     }
 
+    /// Writes `bytes` into `fid` at `offset` through the page cache: the
+    /// covered cache pages are filled (allocating as needed), updated, and
+    /// marked dirty. The backing file's *data* sees nothing until
+    /// [`Self::writeback`] flushes — write-back caching, the window in which
+    /// written secrets exist only in RAM. Extending writes grow the file
+    /// with zeros immediately (size is metadata, data waits for writeback).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::NoSuchFile`], or with the frame-allocation
+    /// failure modes when a cache page must be created.
+    pub fn write_file(&mut self, fid: FileId, offset: usize, bytes: &[u8]) -> SimResult<()> {
+        let entry = self.vfs.get_mut(fid).ok_or(SimError::NoSuchFile(fid))?;
+        let file_end = offset + bytes.len();
+        if entry.content.len() < file_end {
+            entry.content.resize(file_end, 0);
+        }
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let pos = offset + off;
+            let idx = (pos / PAGE_SIZE) as u64;
+            let page_off = pos % PAGE_SIZE;
+            let n = (PAGE_SIZE - page_off).min(bytes.len() - off);
+            let frame = match self.page_cache.get(&(fid, idx)) {
+                Some(&f) => f,
+                None => {
+                    let f = self.alloc_frame(FrameState::PageCache)?;
+                    // Fill from the backing file so a partial-page write
+                    // cannot clobber the rest of the page at flush time.
+                    let start = idx as usize * PAGE_SIZE;
+                    let chunk = {
+                        let content =
+                            &self.vfs.get(fid).ok_or(SimError::NoSuchFile(fid))?.content;
+                        let end = (start + PAGE_SIZE).min(content.len());
+                        if start < content.len() {
+                            content[start..end].to_vec()
+                        } else {
+                            Vec::new()
+                        }
+                    };
+                    if !chunk.is_empty() {
+                        self.phys[f.base()..f.base() + chunk.len()].copy_from_slice(&chunk);
+                    }
+                    self.frames[f.0].cache_key = Some((fid, idx));
+                    self.touch_state(f);
+                    self.page_cache.insert((fid, idx), f);
+                    self.stats.cache_inserts += 1;
+                    f
+                }
+            };
+            let base = frame.base() + page_off;
+            self.phys[base..base + n].copy_from_slice(&bytes[off..off + n]);
+            self.touch_bytes(frame);
+            self.dirty_cache.insert((fid, idx));
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Flushes up to `max_pages` dirty page-cache pages to their backing
+    /// files, in `(file, page)` order. Each page flushed is one `Writeback`
+    /// fault operation; on an injected failure the pages already flushed
+    /// stay flushed and the rest stay dirty.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::OutOfMemory`] when the installed [`FaultPlan`]
+    /// targets a `Writeback` operation.
+    pub fn writeback(&mut self, max_pages: usize) -> SimResult<usize> {
+        let victims: Vec<(FileId, u64)> =
+            self.dirty_cache.iter().take(max_pages).copied().collect();
+        let mut flushed = 0usize;
+        for key in victims {
+            self.fault_check(FaultOp::Writeback, None)?;
+            if let Some(&frame) = self.page_cache.get(&key) {
+                self.flush_cache_page(key, frame);
+            }
+            self.dirty_cache.remove(&key);
+            self.stats.writebacks += 1;
+            flushed += 1;
+        }
+        Ok(flushed)
+    }
+
+    /// Copies one cache page's bytes over its backing-file range (clamped to
+    /// the file's length — size is metadata, set at write time).
+    fn flush_cache_page(&mut self, key: (FileId, u64), frame: FrameId) {
+        let start = key.1 as usize * PAGE_SIZE;
+        let base = frame.base();
+        if let Some(entry) = self.vfs.get_mut(key.0) {
+            let end = (start + PAGE_SIZE).min(entry.content.len());
+            if start < entry.content.len() {
+                entry.content[start..end]
+                    .copy_from_slice(&self.phys[base..base + (end - start)]);
+            }
+        }
+    }
+
+    /// Number of dirty page-cache pages awaiting writeback.
+    #[must_use]
+    pub fn dirty_cache_pages(&self) -> usize {
+        self.dirty_cache.len()
+    }
+
+    /// An image of the simulated disk: every file's contents, concatenated
+    /// in creation order. Together with [`Self::swap_bytes`] this is the
+    /// attackable persistent storage of the paper's threat model — what a
+    /// stolen disk or a backup tape reveals.
+    #[must_use]
+    pub fn disk_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for fid in self.vfs.ids() {
+            if let Some(entry) = self.vfs.get(fid) {
+                out.extend_from_slice(&entry.content);
+            }
+        }
+        out
+    }
+
+    /// The concatenated contents of every *world-readable* file — what an
+    /// unprivileged local reader sees. Mode-0600 files (see
+    /// [`Self::chmod_private`]) are skipped.
+    #[must_use]
+    pub fn public_disk_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for fid in self.vfs.ids() {
+            if let Some(entry) = self.vfs.get(fid) {
+                if !entry.private {
+                    out.extend_from_slice(&entry.content);
+                }
+            }
+        }
+        out
+    }
+
+    /// Marks a file mode 0600: excluded from [`Self::public_disk_bytes`].
+    /// Servers apply this to their at-rest key files so the unprivileged
+    /// disk channel measures page-cache leakage, not the key file itself.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::NoSuchFile`] for an unknown id.
+    pub fn chmod_private(&mut self, fid: FileId) -> SimResult<()> {
+        self.vfs
+            .get_mut(fid)
+            .ok_or(SimError::NoSuchFile(fid))?
+            .private = true;
+        Ok(())
+    }
+
     /// Ensures at least `want` frames are available, reclaiming page cache
     /// as needed.
     fn ensure_free_frames(&mut self, want: usize) -> SimResult<()> {
@@ -1066,8 +1321,19 @@ impl Kernel {
     /// Reclaims up to `n` page-cache frames under memory pressure (no
     /// clearing beyond what the kernel policy mandates). Returns how many
     /// frames were reclaimed.
+    ///
+    /// Victims are taken in key order (the `page_cache` map is ordered), so
+    /// reclaim — and hence free-list order and frame-reuse leak locations —
+    /// is identical run to run. Dirty pages are skipped: they hold data the
+    /// backing file does not, and only [`Self::writeback`] may retire that.
     pub fn reclaim_page_cache(&mut self, n: usize) -> usize {
-        let victims: Vec<(FileId, u64)> = self.page_cache.keys().take(n).copied().collect();
+        let victims: Vec<(FileId, u64)> = self
+            .page_cache
+            .keys()
+            .filter(|key| !self.dirty_cache.contains(*key))
+            .take(n)
+            .copied()
+            .collect();
         let count = victims.len();
         for key in victims {
             if let Some(frame) = self.page_cache.remove(&key) {
@@ -1091,6 +1357,12 @@ impl Kernel {
             .collect();
         for key in doomed {
             if let Some(frame) = self.page_cache.remove(&key) {
+                // A dirty page cannot just be dropped: its contents are newer
+                // than the backing file, so eviction flushes it synchronously
+                // (no fault op — this is the non-fallible teardown path).
+                if self.dirty_cache.remove(&key) {
+                    self.flush_cache_page(key, frame);
+                }
                 if clear {
                     self.zero_frame(frame);
                 }
@@ -1198,42 +1470,281 @@ impl Kernel {
     // Swap
     // ------------------------------------------------------------------
 
-    /// Simulates memory pressure: copies up to `max_pages` unlocked anonymous
-    /// pages to the swap device, returning how many were written. `mlock`ed
-    /// pages are skipped — the protection the paper's solutions rely on.
-    pub fn swap_out_pressure(&mut self, max_pages: usize) -> usize {
-        let victims: Vec<FrameId> = (0..self.frames.len())
-            .filter(|&i| self.frames[i].state == FrameState::Anon && !self.frames[i].locked)
-            .map(FrameId)
-            .take(max_pages)
-            .collect();
-        for &f in &victims {
-            let base = f.base();
-            if self.config.swap_crypto {
-                // Provos-style swap encryption, modeled as a keyed stream
-                // cipher: the swap device only ever sees ciphertext.
-                let mut key = 0x5DEE_CE66_D1CE_5EEDu64 ^ (f.0 as u64).wrapping_mul(0x9E37_79B9);
-                let mut page = self.phys[base..base + PAGE_SIZE].to_vec();
-                for b in &mut page {
-                    key ^= key << 13;
-                    key ^= key >> 7;
-                    key ^= key << 17;
-                    *b ^= key as u8;
-                }
-                self.swap.extend_from_slice(&page);
-            } else {
-                self.swap.extend_from_slice(&self.phys[base..base + PAGE_SIZE]);
-            }
-            self.stats.swap_writes += 1;
+    /// Lowest-index free swap slot, growing the device by one page only when
+    /// every slot is referenced. Reuse keeps the device bounded by peak swap
+    /// residency, not by event count.
+    fn alloc_swap_slot(&mut self) -> usize {
+        if let Some(i) = self.swap_slots.iter().position(Option::is_none) {
+            return i;
         }
-        victims.len()
+        self.swap_slots.push(None);
+        self.swap.resize(self.swap.len() + PAGE_SIZE, 0);
+        self.swap_slots.len() - 1
+    }
+
+    /// Drops one reference to a slot, marking it reusable at zero. The slot's
+    /// bytes stay on the device — freed swap is never cleared, which is
+    /// exactly why the paper's `mlock` discipline keeps keys from ever
+    /// reaching it.
+    fn unref_swap_slot(&mut self, slot: usize) {
+        if let Some(s) = self.swap_slots[slot].as_mut() {
+            s.refs = s.refs.saturating_sub(1);
+            if s.refs == 0 {
+                self.swap_slots[slot] = None;
+            }
+        }
+    }
+
+    /// Simulates memory pressure: evicts up to `max_pages` unlocked anonymous
+    /// pages to the swap device, returning how many were written. Eviction is
+    /// real: every mapping of the victim frame becomes a swapped PTE naming
+    /// the slot, and the frame returns to the free lists (`zero_on_free`
+    /// applies to the *frame* — the swap copy persists, which is why
+    /// kernel-level zeroing alone does not close this channel). `mlock`ed
+    /// pages are skipped — the protection the paper's solutions rely on.
+    ///
+    /// Each page written is one `SwapOut` fault operation charged to the
+    /// first mapping process; on an injected failure the error propagates
+    /// with already-evicted pages staying evicted (partial progress, as with
+    /// a mid-run I/O error).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::OutOfMemory`] (or [`SimError::NoSuchProcess`]
+    /// after a kill) when the installed [`FaultPlan`] targets a `SwapOut`
+    /// operation.
+    pub fn swap_out_pressure(&mut self, max_pages: usize) -> SimResult<usize> {
+        let mut written = 0usize;
+        for i in 0..self.frames.len() {
+            if written >= max_pages {
+                break;
+            }
+            if self.frames[i].state != FrameState::Anon
+                || self.frames[i].locked
+                || self.frames[i].mappings.is_empty()
+            {
+                continue;
+            }
+            let f = FrameId(i);
+            let owner = self.frames[i].mappings[0].0;
+            self.fault_check(FaultOp::SwapOut, Some(owner))?;
+            let slot = self.alloc_swap_slot();
+            let base = f.base();
+            let crypt_seed = if self.config.swap_crypto {
+                // Provos-style swap encryption, modeled as a keyed stream
+                // cipher: the device only ever sees ciphertext. The key mixes
+                // the frame id with the event counter so no two writes share
+                // a keystream (a pure function of the frame id was a
+                // two-time pad: swapping the same frame before and after a
+                // key install XORed to the plaintext diff).
+                Some(swap_slot_seed(f, self.stats.swap_writes))
+            } else {
+                None
+            };
+            let mut page = self.phys[base..base + PAGE_SIZE].to_vec();
+            if let Some(seed) = crypt_seed {
+                swap_keystream_xor(seed, &mut page);
+            }
+            self.swap[slot * PAGE_SIZE..(slot + 1) * PAGE_SIZE].copy_from_slice(&page);
+            let mappings = self.frames[i].mappings.clone();
+            let mut refs = 0u32;
+            for (pid, vpn) in mappings {
+                if let Some(proc) = self.procs.get_mut(&pid) {
+                    if let Some(pte) = proc.page_table.remove(&vpn) {
+                        proc.swapped.insert(
+                            vpn,
+                            crate::process::SwappedPte {
+                                slot,
+                                cow: pte.cow,
+                                readonly: pte.readonly,
+                            },
+                        );
+                        refs += 1;
+                    }
+                }
+            }
+            self.swap_slots[slot] = Some(SwapSlot {
+                refs: refs.max(1),
+                crypt_seed,
+            });
+            self.free_frame(f);
+            self.stats.swap_writes += 1;
+            written += 1;
+        }
+        Ok(written)
+    }
+
+    /// Services a major fault: brings the swapped page `vpn` of `pid` back
+    /// into a fresh frame, decrypting when the slot was written under swap
+    /// crypto. Sharing ends here — each faulting mapping gets a private copy
+    /// (a simplification of real swap-cache sharing; the slot stays live
+    /// until every reference has faulted in or exited).
+    ///
+    /// One `SwapIn` fault operation, plus the nested `FrameAlloc` for the
+    /// receiving frame (as with heap growth). On failure the page stays
+    /// swapped — the fault can be retried.
+    fn swap_in(&mut self, pid: Pid, vpn: u64) -> SimResult<FrameId> {
+        self.fault_check(FaultOp::SwapIn, Some(pid))?;
+        let swapped = *self
+            .proc(pid)?
+            .swapped
+            .get(&vpn)
+            .ok_or(SimError::BadAddress(VAddr(vpn * PAGE_SIZE as u64)))?;
+        let frame = self.alloc_frame(FrameState::Anon)?;
+        let slot = swapped.slot;
+        let mut page = self.swap[slot * PAGE_SIZE..(slot + 1) * PAGE_SIZE].to_vec();
+        if let Some(seed) = self.swap_slots[slot].as_ref().and_then(|s| s.crypt_seed) {
+            swap_keystream_xor(seed, &mut page);
+        }
+        self.phys[frame.base()..frame.base() + PAGE_SIZE].copy_from_slice(&page);
+        self.touch_bytes(frame);
+        let locked = {
+            let proc = self.proc_mut(pid)?;
+            proc.swapped.remove(&vpn);
+            proc.page_table.insert(
+                vpn,
+                crate::process::Pte {
+                    frame,
+                    cow: false,
+                    readonly: swapped.readonly,
+                },
+            );
+            proc.locked_vpns.contains(&vpn)
+        };
+        self.frames[frame.0].mappings.push((pid, vpn));
+        self.frames[frame.0].locked = locked;
+        self.touch_state(frame);
+        self.unref_swap_slot(slot);
+        self.stats.swap_ins += 1;
+        Ok(frame)
+    }
+
+    /// Touches every page covering `[addr, addr + len)`, faulting swapped
+    /// pages back in — how a caller clears [`SimError::SwappedOut`] ahead of
+    /// a `&self` read.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::BadAddress`] when a page is neither resident
+    /// nor swapped, or with the swap-in failure modes.
+    pub fn touch_pages(&mut self, pid: Pid, addr: VAddr, len: usize) -> SimResult<()> {
+        let first = addr.vpn();
+        let last = VAddr(addr.0 + len.max(1) as u64 - 1).vpn();
+        for vpn in first..=last {
+            let proc = self.proc(pid)?;
+            if proc.page_table.contains_key(&vpn) {
+                continue;
+            }
+            if proc.swapped.contains_key(&vpn) {
+                self.swap_in(pid, vpn)?;
+            } else {
+                return Err(SimError::BadAddress(VAddr(vpn * PAGE_SIZE as u64)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of `pid`'s pages currently on the swap device.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::NoSuchProcess`].
+    pub fn swapped_pages(&self, pid: Pid) -> SimResult<usize> {
+        Ok(self.proc(pid)?.swapped.len())
     }
 
     /// Contents of the swap device (attackable storage in the paper's threat
-    /// model).
+    /// model). Bounded by peak swap residency: slots are reused, and freed
+    /// slots keep their stale bytes, as on a real partition.
     #[must_use]
     pub fn swap_bytes(&self) -> &[u8] {
         &self.swap
+    }
+
+    // ------------------------------------------------------------------
+    // Same-page merging (KSM)
+    // ------------------------------------------------------------------
+
+    /// Kernel same-page merging: scans anonymous frames and remaps every
+    /// duplicate onto the lowest-numbered frame with identical bytes,
+    /// marking all surviving PTEs copy-on-write. Locked pages merge too —
+    /// KSM is exactly as eager on mlocked memory, which is what lets the
+    /// dedup timing side channel confirm guesses about mlock-protected key
+    /// pages. Returns the number of duplicate frames retired.
+    ///
+    /// The next write to a merged page breaks the sharing through the usual
+    /// COW machinery (`stats.cow_breaks` ticks) — the observable latency
+    /// difference the dedup attacker measures.
+    pub fn merge_identical_pages(&mut self) -> usize {
+        let mut by_hash: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for i in 0..self.frames.len() {
+            if self.frames[i].state != FrameState::Anon {
+                continue;
+            }
+            let base = i * PAGE_SIZE;
+            by_hash
+                .entry(fnv1a(&self.phys[base..base + PAGE_SIZE]))
+                .or_default()
+                .push(i);
+        }
+        let mut merged = 0usize;
+        for group in by_hash.into_values() {
+            if group.len() < 2 {
+                continue;
+            }
+            // Lowest frame id with each distinct content is canonical; hash
+            // collisions are resolved by the byte comparison.
+            let mut canonicals: Vec<usize> = Vec::new();
+            for i in group {
+                let target = canonicals.iter().copied().find(|&c| {
+                    self.phys[c * PAGE_SIZE..(c + 1) * PAGE_SIZE]
+                        == self.phys[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]
+                });
+                match target {
+                    Some(c) => {
+                        self.merge_frame_into(FrameId(i), FrameId(c));
+                        merged += 1;
+                    }
+                    None => canonicals.push(i),
+                }
+            }
+        }
+        merged
+    }
+
+    /// Remaps every mapping of `dup` onto `canon`, marks all PTEs of both
+    /// frames COW, and retires `dup` to the free lists.
+    fn merge_frame_into(&mut self, dup: FrameId, canon: FrameId) {
+        let canon_mappings = self.frames[canon.0].mappings.clone();
+        for (pid, vpn) in canon_mappings {
+            if let Some(proc) = self.procs.get_mut(&pid) {
+                if let Some(pte) = proc.page_table.get_mut(&vpn) {
+                    pte.cow = true;
+                }
+            }
+        }
+        let dup_mappings = self.frames[dup.0].mappings.clone();
+        for &(pid, vpn) in &dup_mappings {
+            if let Some(proc) = self.procs.get_mut(&pid) {
+                if let Some(pte) = proc.page_table.get_mut(&vpn) {
+                    pte.frame = canon;
+                    pte.cow = true;
+                }
+            }
+        }
+        let dup_refs = self.frames[dup.0].refcount;
+        let dup_locked = self.frames[dup.0].locked;
+        {
+            let fr = &mut self.frames[canon.0];
+            fr.mappings.extend(dup_mappings);
+            fr.refcount += dup_refs;
+            fr.locked |= dup_locked;
+        }
+        self.touch_state(canon);
+        // `free_frame` resets the dup's metadata; with `zero_on_free` unset
+        // its (duplicate) bytes linger on the free list, as ever.
+        self.free_frame(dup);
+        self.stats.pages_merged += 1;
     }
 
     /// Produces a core-dump image of one process: the contents of every
@@ -1325,4 +1836,41 @@ impl Kernel {
     pub fn file_count(&self) -> usize {
         self.vfs.len()
     }
+}
+
+/// Per-event swap-encryption key: mixes the frame id with the global swap
+/// write counter so no two writes ever share a keystream.
+fn swap_slot_seed(f: FrameId, event: u64) -> u64 {
+    let seed = 0x5DEE_CE66_D1CE_5EED_u64
+        ^ (f.0 as u64).wrapping_mul(0x9E37_79B9)
+        ^ event.wrapping_mul(0x94D0_49BB_1331_11EB);
+    if seed == 0 {
+        // xorshift's one fixed point; any nonzero constant restores mixing.
+        0x5DEE_CE66_D1CE_5EED
+    } else {
+        seed
+    }
+}
+
+/// XORs `buf` with the xorshift64 keystream seeded by `seed`. Symmetric:
+/// applying it twice with the same seed restores the input.
+fn swap_keystream_xor(seed: u64, buf: &mut [u8]) {
+    let mut key = seed;
+    for b in buf {
+        key ^= key << 13;
+        key ^= key >> 7;
+        key ^= key << 17;
+        *b ^= key as u8;
+    }
+}
+
+/// FNV-1a over one page: buckets candidate frames before the byte comparison
+/// that actually decides a merge.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }

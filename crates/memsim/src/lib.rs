@@ -15,8 +15,10 @@
 //!   (`posix_memalign` + `mlock`), and page-granular unmapping;
 //! * a page cache fed by a tiny VFS, including the paper's `O_NOCACHE` flag
 //!   that evicts and clears a file's pages right after they are read;
-//! * a swap device that records what would be written out under memory
-//!   pressure;
+//! * a slot-based swap device with real eviction: under pressure, unlocked
+//!   anonymous pages move out of their frames (PTE → swapped, frame freed)
+//!   and fault back in on the next access, optionally through Provos-style
+//!   swap encryption;
 //! * the paper's two kernel patches as switchable policies:
 //!   [`KernelPolicy::zero_on_free`] (the `free_hot_cold_page` /
 //!   `__free_pages_ok` patch) and [`KernelPolicy::zero_on_unmap`] (the
@@ -288,6 +290,11 @@ pub enum SimError {
     /// [`MachineConfig::memlock_limit`] cap, or an installed [`FaultPlan`]
     /// forced the refusal (`EPERM`/`ENOMEM` from real `mlock`).
     MlockDenied,
+    /// The page holding this address is valid but currently evicted to swap.
+    /// Mutable accessors ([`Kernel::write_bytes`], [`Kernel::touch_pages`])
+    /// fault such pages back in transparently; this error surfaces only from
+    /// shared-reference reads, which cannot run the fault-in path.
+    SwappedOut(VAddr),
 }
 
 impl fmt::Display for SimError {
@@ -300,6 +307,7 @@ impl fmt::Display for SimError {
             Self::BadFree(a) => write!(f, "free of non-allocated chunk at {a}"),
             Self::ReadOnly(a) => write!(f, "write to read-only page at {a}"),
             Self::MlockDenied => write!(f, "mlock refused: RLIMIT_MEMLOCK exceeded or fault injected"),
+            Self::SwappedOut(a) => write!(f, "page at {a} is swapped out; fault it in first"),
         }
     }
 }
@@ -342,7 +350,7 @@ mod tests {
 
     #[test]
     fn error_display_nonempty() {
-        let errs: [SimError; 7] = [
+        let errs: [SimError; 8] = [
             SimError::OutOfMemory,
             SimError::NoSuchProcess(Pid(3)),
             SimError::NoSuchFile(FileId(1)),
@@ -350,6 +358,7 @@ mod tests {
             SimError::BadFree(VAddr(0x20)),
             SimError::ReadOnly(VAddr(0x30)),
             SimError::MlockDenied,
+            SimError::SwappedOut(VAddr(0x40)),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -33,6 +33,18 @@ pub(crate) struct Pte {
     pub readonly: bool,
 }
 
+/// A page that has been evicted to the swap device: which slot holds its
+/// bytes, plus the PTE flags to restore when it faults back in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SwappedPte {
+    /// Swap-device slot index (one slot = one page).
+    pub slot: usize,
+    /// The `cow` flag the resident PTE carried at eviction time.
+    pub cow: bool,
+    /// The `readonly` flag the resident PTE carried at eviction time.
+    pub readonly: bool,
+}
+
 /// The kind of VMA a page belongs to; used for bookkeeping and display.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum VmaKind {
@@ -52,6 +64,9 @@ pub(crate) struct Process {
     pub next_special: u64,
     /// Virtual page numbers locked in memory (mlock).
     pub locked_vpns: std::collections::BTreeSet<u64>,
+    /// Pages evicted to swap: vpn → slot + saved PTE flags. Disjoint from
+    /// `page_table` — a page is resident or swapped, never both.
+    pub swapped: BTreeMap<u64, SwappedPte>,
 }
 
 impl Process {
@@ -63,6 +78,7 @@ impl Process {
             heap: Heap::new(HEAP_BASE),
             next_special: SPECIAL_BASE,
             locked_vpns: std::collections::BTreeSet::new(),
+            swapped: BTreeMap::new(),
         }
     }
 

@@ -28,6 +28,9 @@ pub(crate) struct Vfs {
 pub(crate) struct FileEntry {
     pub name: String,
     pub content: Vec<u8>,
+    /// Mode-0600 files (key material at rest) are invisible to the
+    /// unprivileged disk scan; a raw device image still contains them.
+    pub private: bool,
 }
 
 impl Vfs {
@@ -39,6 +42,7 @@ impl Vfs {
             FileEntry {
                 name: name.to_string(),
                 content,
+                private: false,
             },
         );
         id
@@ -46,6 +50,19 @@ impl Vfs {
 
     pub(crate) fn get(&self, id: FileId) -> Option<&FileEntry> {
         self.files.get(&id)
+    }
+
+    pub(crate) fn get_mut(&mut self, id: FileId) -> Option<&mut FileEntry> {
+        self.files.get_mut(&id)
+    }
+
+    /// File ids in creation order — the deterministic order disk images are
+    /// assembled in.
+    pub(crate) fn ids(&self) -> Vec<FileId> {
+        (0..self.next_id)
+            .map(FileId)
+            .filter(|id| self.files.contains_key(id))
+            .collect()
     }
 
     pub(crate) fn len(&self) -> usize {

@@ -364,7 +364,7 @@ fn swap_captures_unlocked_secrets() {
     let pid = k.spawn();
     let buf = k.heap_alloc(pid, 64).unwrap();
     k.write_bytes(pid, buf, SECRET).unwrap();
-    let written = k.swap_out_pressure(usize::MAX);
+    let written = k.swap_out_pressure(usize::MAX).unwrap();
     assert!(written > 0);
     assert!(k
         .swap_bytes()
@@ -379,7 +379,7 @@ fn mlock_keeps_secrets_out_of_swap() {
     let region = k.alloc_special_region(pid, 1).unwrap();
     k.write_bytes(pid, region, SECRET).unwrap();
     k.mlock(pid, region, PAGE_SIZE).unwrap();
-    k.swap_out_pressure(usize::MAX);
+    k.swap_out_pressure(usize::MAX).unwrap();
     assert!(!k
         .swap_bytes()
         .windows(SECRET.len())

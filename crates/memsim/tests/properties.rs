@@ -132,7 +132,7 @@ fn run_ops(policy: KernelPolicy, ops: &[Op]) -> (Kernel, Mirror) {
                 }
             }
             Op::SwapOut { pages } => {
-                kernel.swap_out_pressure(pages);
+                kernel.swap_out_pressure(pages).unwrap();
             }
         }
     }
@@ -154,15 +154,18 @@ fn frame_conservation() {
 }
 
 /// Written data is read back intact — no aliasing between live chunks
-/// across arbitrary fork/exit/free interleavings.
+/// across arbitrary fork/exit/free interleavings, and a round trip through
+/// the swap device never corrupts a byte.
 #[test]
 fn no_aliasing_of_live_allocations() {
     propcheck::cases(48, |g| {
         let ops = gen_ops(g, 120);
-        let (kernel, m) = run_ops(KernelPolicy::stock(), &ops);
+        let (mut kernel, m) = run_ops(KernelPolicy::stock(), &ops);
         for (idx, pid) in m.procs.iter().enumerate() {
             for &(addr, size, fill) in &m.allocs[idx] {
                 if let Some(byte) = fill {
+                    // Chunks may have been evicted; fault them back in.
+                    kernel.touch_pages(*pid, addr, size).unwrap();
                     let data = kernel.read_bytes(*pid, addr, size).unwrap();
                     assert!(
                         data.iter().all(|&b| b == byte),

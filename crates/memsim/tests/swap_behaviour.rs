@@ -1,0 +1,458 @@
+//! Behavioural tests for the *real* swap and writeback channels: eviction
+//! actually unmaps pages into slot-based swap, access faults them back,
+//! swap crypto never reuses a keystream, slots are reused (bounded device),
+//! mlock'd pages stay off swap under every single-fault plan, and
+//! page-cache eviction is bit-deterministic run to run.
+
+use memsim::{FaultOp, FaultPlan, Kernel, MachineConfig, Pid, SimError, VAddr, PAGE_SIZE};
+
+const SECRET: &[u8] = b"-----SWAP-CHANNEL-SECRET-0123456789abcdef-----";
+
+fn stock_kernel() -> Kernel {
+    Kernel::new(MachineConfig::small())
+}
+
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+// ---------------------------------------------------------------------
+// Eviction / fault-back round trip
+// ---------------------------------------------------------------------
+
+#[test]
+fn eviction_unmaps_and_access_faults_back() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, SECRET.len()).unwrap();
+    k.write_bytes(pid, buf, SECRET).unwrap();
+
+    let frames_before = k.available_frames();
+    let written = k.swap_out_pressure(usize::MAX).unwrap();
+    assert!(written > 0);
+    // Eviction frees the frames — this is real pressure relief, not a copy.
+    assert!(k.available_frames() > frames_before);
+    assert!(k.swapped_pages(pid).unwrap() > 0);
+
+    // Reads see a major fault, not silent stale data.
+    assert_eq!(
+        k.read_bytes(pid, buf, SECRET.len()),
+        Err(SimError::SwappedOut(VAddr(buf.0 & !(PAGE_SIZE as u64 - 1))))
+    );
+
+    // Fault the range back in: contents round-trip exactly.
+    k.touch_pages(pid, buf, SECRET.len()).unwrap();
+    assert_eq!(k.swapped_pages(pid).unwrap(), 0);
+    assert_eq!(k.read_bytes(pid, buf, SECRET.len()).unwrap(), SECRET);
+
+    let stats = k.stats();
+    assert_eq!(stats.swap_writes as usize, written);
+    assert!(stats.swap_ins > 0);
+}
+
+#[test]
+fn write_to_swapped_page_faults_in_first() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, 2 * PAGE_SIZE).unwrap();
+    k.write_bytes(pid, buf, SECRET).unwrap();
+    k.swap_out_pressure(usize::MAX).unwrap();
+
+    // A one-byte write must not lose the rest of the page: the kernel
+    // faults the page in from swap before applying the store.
+    k.write_bytes(pid, buf.add(1), &[0xAB]).unwrap();
+    let mut expect = SECRET.to_vec();
+    expect[1] = 0xAB;
+    assert_eq!(k.read_bytes(pid, buf, SECRET.len()).unwrap(), expect);
+    assert!(k.stats().swap_ins > 0);
+}
+
+#[test]
+fn fork_shares_swap_slots_and_exit_releases_them() {
+    let mut k = stock_kernel();
+    let parent = k.spawn();
+    let buf = k.heap_alloc(parent, SECRET.len()).unwrap();
+    k.write_bytes(parent, buf, SECRET).unwrap();
+    k.swap_out_pressure(usize::MAX).unwrap();
+
+    // Fork while swapped: the child shares the parent's swap slots.
+    let child = k.fork(parent).unwrap();
+    assert_eq!(
+        k.swapped_pages(child).unwrap(),
+        k.swapped_pages(parent).unwrap()
+    );
+
+    // Both fault their copies back independently and read the same bytes.
+    k.touch_pages(child, buf, SECRET.len()).unwrap();
+    assert_eq!(k.read_bytes(child, buf, SECRET.len()).unwrap(), SECRET);
+    k.touch_pages(parent, buf, SECRET.len()).unwrap();
+    assert_eq!(k.read_bytes(parent, buf, SECRET.len()).unwrap(), SECRET);
+
+    // Exit with pages still swapped must not leak slots: re-evict, kill
+    // both, and the next eviction cycle reuses the same device range.
+    k.swap_out_pressure(usize::MAX).unwrap();
+    let high_water = k.swap_bytes().len();
+    k.exit(child).unwrap();
+    k.exit(parent).unwrap();
+    let p2 = k.spawn();
+    let b2 = k.heap_alloc(p2, SECRET.len()).unwrap();
+    k.write_bytes(p2, b2, SECRET).unwrap();
+    k.swap_out_pressure(usize::MAX).unwrap();
+    assert_eq!(k.swap_bytes().len(), high_water, "slots must be reused");
+}
+
+// ---------------------------------------------------------------------
+// Swap crypto: no two-time pad
+// ---------------------------------------------------------------------
+
+#[test]
+fn swap_crypto_never_reuses_a_keystream() {
+    let mut k = Kernel::new(MachineConfig::small().with_swap_crypto(true));
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, SECRET.len()).unwrap();
+    k.write_bytes(pid, buf, SECRET).unwrap();
+
+    // Swap the same plaintext out twice (fault it back in between). A
+    // keystream derived from the frame id alone would produce the same
+    // ciphertext both times — a two-time pad, since XORing two swapped
+    // images would cancel the keystream and reveal the plaintext diff.
+    k.swap_out_pressure(usize::MAX).unwrap();
+    let ct1 = k.swap_bytes().to_vec();
+    k.touch_pages(pid, buf, SECRET.len()).unwrap();
+    k.swap_out_pressure(usize::MAX).unwrap();
+    let ct2 = k.swap_bytes().to_vec();
+
+    assert!(!contains(&ct1, SECRET), "ciphertext leaks plaintext");
+    assert!(!contains(&ct2, SECRET), "ciphertext leaks plaintext");
+    assert_eq!(ct1.len(), ct2.len(), "same slot reused for same page");
+    assert_ne!(ct1, ct2, "identical plaintext must encrypt differently");
+
+    // The XOR of the two images is keystream1 ^ keystream2 (plaintext
+    // cancels). With per-event seeds this must be non-degenerate: not all
+    // zero, and it must not reveal the (cancelled-out) plaintext either.
+    let xored: Vec<u8> = ct1.iter().zip(&ct2).map(|(a, b)| a ^ b).collect();
+    assert!(xored.iter().any(|&b| b != 0), "two-time pad: XOR cancels");
+    assert!(!contains(&xored, SECRET));
+}
+
+#[test]
+fn swap_crypto_still_round_trips() {
+    let mut k = Kernel::new(MachineConfig::small().with_swap_crypto(true));
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, SECRET.len()).unwrap();
+    k.write_bytes(pid, buf, SECRET).unwrap();
+    for _ in 0..3 {
+        k.swap_out_pressure(usize::MAX).unwrap();
+        k.touch_pages(pid, buf, SECRET.len()).unwrap();
+        assert_eq!(k.read_bytes(pid, buf, SECRET.len()).unwrap(), SECRET);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bounded device: slot reuse
+// ---------------------------------------------------------------------
+
+#[test]
+fn swap_device_stays_bounded_under_repeated_pressure() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, 4 * PAGE_SIZE).unwrap();
+    k.write_bytes(pid, buf, &vec![0x5A; 4 * PAGE_SIZE]).unwrap();
+
+    let mut high_water = 0usize;
+    for round in 0..16 {
+        k.swap_out_pressure(usize::MAX).unwrap();
+        if round == 0 {
+            high_water = k.swap_bytes().len();
+            assert!(high_water >= 4 * PAGE_SIZE);
+        }
+        // The device never grows past the first round's high-water mark:
+        // freed slots are reused, not appended after.
+        assert_eq!(k.swap_bytes().len(), high_water, "round {round}");
+        k.touch_pages(pid, buf, 4 * PAGE_SIZE).unwrap();
+    }
+    // ...while the *event* counter keeps counting every page written.
+    assert!(k.stats().swap_writes >= 16 * 4);
+}
+
+// ---------------------------------------------------------------------
+// mlock vs swap, including under every single-fault plan
+// ---------------------------------------------------------------------
+
+/// The standard victim workload: a locked secret plus unlocked noise, two
+/// rounds of pressure with fault-back in between. Returns whether `mlock`
+/// itself succeeded (a plan may legitimately refuse it).
+fn locked_victim_workload(k: &mut Kernel) -> bool {
+    let victim = k.spawn();
+    let Ok(region) = k.alloc_special_region(victim, 1) else {
+        return false;
+    };
+    if k.write_bytes(victim, region, SECRET).is_err() {
+        return false;
+    }
+    let locked = k.mlock(victim, region, PAGE_SIZE).is_ok();
+
+    let noise = k.spawn();
+    if let Ok(buf) = k.heap_alloc(noise, 2 * PAGE_SIZE) {
+        let _ = k.write_bytes(noise, buf, &vec![0x77; 2 * PAGE_SIZE]);
+        let _ = k.swap_out_pressure(usize::MAX);
+        let _ = k.touch_pages(noise, buf, 2 * PAGE_SIZE);
+    }
+    let _ = k.fork(victim);
+    let _ = k.swap_out_pressure(usize::MAX);
+    locked
+}
+
+#[test]
+fn mlock_keeps_secret_off_swap_under_every_single_fault_plan() {
+    // Probe run: measure the operation-index space of the workload.
+    let mut probe = stock_kernel();
+    assert!(locked_victim_workload(&mut probe));
+    assert!(
+        !contains(probe.swap_bytes(), SECRET),
+        "locked page swapped in the fault-free run"
+    );
+    let op_space = probe.op_index();
+    assert!(op_space > 4, "workload too small to sweep");
+
+    // Sweep: fail, then kill, at every single operation index. Whatever
+    // the failure, a page that *was* locked must never reach the device.
+    for idx in 0..op_space {
+        for kill in [false, true] {
+            let mut k = stock_kernel();
+            let plan = if kill {
+                FaultPlan::new().kill_at_index(idx)
+            } else {
+                FaultPlan::new().fail_at_index(idx)
+            };
+            k.install_fault_plan(plan);
+            let locked = locked_victim_workload(&mut k);
+            if locked {
+                assert!(
+                    !contains(k.swap_bytes(), SECRET),
+                    "locked secret reached swap (idx {idx}, kill {kill})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn swap_fault_ops_are_addressable_by_class() {
+    // SwapOut: the first eviction fails, nothing reaches the device.
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, SECRET.len()).unwrap();
+    k.write_bytes(pid, buf, SECRET).unwrap();
+    k.install_fault_plan(FaultPlan::new().fail_nth(FaultOp::SwapOut, 1));
+    assert_eq!(k.swap_out_pressure(usize::MAX), Err(SimError::OutOfMemory));
+    assert_eq!(k.swapped_pages(pid).unwrap(), 0);
+    assert_eq!(k.read_bytes(pid, buf, SECRET.len()).unwrap(), SECRET);
+
+    // SwapIn: the fault-back fails; the page stays swapped and a retry
+    // succeeds once the plan is gone.
+    k.clear_fault_plan();
+    k.swap_out_pressure(usize::MAX).unwrap();
+    k.install_fault_plan(FaultPlan::new().fail_nth(FaultOp::SwapIn, 1));
+    assert!(k.touch_pages(pid, buf, SECRET.len()).is_err());
+    assert!(k.swapped_pages(pid).unwrap() > 0);
+    k.clear_fault_plan();
+    k.touch_pages(pid, buf, SECRET.len()).unwrap();
+    assert_eq!(k.read_bytes(pid, buf, SECRET.len()).unwrap(), SECRET);
+}
+
+// ---------------------------------------------------------------------
+// Write-back page cache and the disk image
+// ---------------------------------------------------------------------
+
+#[test]
+fn write_file_is_cached_until_writeback_flushes() {
+    let mut k = stock_kernel();
+    let pid = k.spawn();
+    let fid = k.create_file("journal.log", b"0123456789");
+
+    k.write_file(fid, 4, SECRET).unwrap();
+    assert!(k.dirty_cache_pages() > 0);
+    // The backing file has grown (size is metadata) but holds no secret
+    // bytes yet — they exist only in RAM.
+    assert_eq!(k.file_len(fid).unwrap(), 4 + SECRET.len());
+    assert!(!contains(&k.disk_bytes(), SECRET), "write-through, not back");
+
+    // A reader sees the dirty cache, not the stale disk. (Plain cached
+    // read — O_NOCACHE would evict and thereby flush the dirty pages.)
+    let (addr, len) = k.read_file(pid, fid, false).unwrap();
+    let view = k.read_bytes(pid, addr, len).unwrap();
+    assert!(contains(&view, SECRET));
+
+    // Writeback flushes; now — and only now — the disk image leaks it.
+    let flushed = k.writeback(usize::MAX).unwrap();
+    assert!(flushed > 0);
+    assert_eq!(k.dirty_cache_pages(), 0);
+    assert!(contains(&k.disk_bytes(), SECRET));
+    assert_eq!(k.stats().writebacks as usize, flushed);
+    let disk = k.disk_bytes();
+    assert_eq!(&disk[..4], b"0123", "prefix preserved");
+}
+
+#[test]
+fn writeback_fault_leaves_pages_dirty_with_partial_progress() {
+    let mut k = stock_kernel();
+    let fid = k.create_file("db.bin", &[]);
+    // Two dirty pages.
+    k.write_file(fid, 0, &vec![0x11; PAGE_SIZE]).unwrap();
+    k.write_file(fid, PAGE_SIZE, &vec![0x22; PAGE_SIZE]).unwrap();
+    assert_eq!(k.dirty_cache_pages(), 2);
+
+    // The second flush op fails: exactly one page was retired.
+    k.install_fault_plan(FaultPlan::new().fail_nth(FaultOp::Writeback, 2));
+    assert!(k.writeback(usize::MAX).is_err());
+    assert_eq!(k.dirty_cache_pages(), 1);
+
+    k.clear_fault_plan();
+    assert_eq!(k.writeback(usize::MAX).unwrap(), 1);
+    assert_eq!(k.dirty_cache_pages(), 0);
+    let disk = k.disk_bytes();
+    assert!(disk[..PAGE_SIZE].iter().all(|&b| b == 0x11));
+    assert!(disk[PAGE_SIZE..].iter().all(|&b| b == 0x22));
+}
+
+#[test]
+fn reclaim_skips_dirty_pages_and_eviction_flushes_them() {
+    let mut k = stock_kernel();
+    let fid = k.create_file("cfg", &[]);
+    k.write_file(fid, 0, SECRET).unwrap();
+
+    // Memory-pressure reclaim must not drop data newer than the disk.
+    assert_eq!(k.reclaim_page_cache(usize::MAX), 0);
+    assert_eq!(k.file_cached_pages(fid), 1);
+
+    // Explicit eviction flushes synchronously instead of losing the write.
+    k.evict_file_cache(fid, false);
+    assert_eq!(k.file_cached_pages(fid), 0);
+    assert!(contains(&k.disk_bytes(), SECRET));
+}
+
+// ---------------------------------------------------------------------
+// Determinism: eviction order, swap layout, full phys image
+// ---------------------------------------------------------------------
+
+/// A workload touching every nondeterminism-prone subsystem: page cache
+/// (iteration order governs reclaim victims), swap slots, heap reuse.
+fn churn(k: &mut Kernel) -> Pid {
+    let pid = k.spawn();
+    for i in 0..6 {
+        let fid = k.create_file(&format!("f{i}"), &vec![i as u8; PAGE_SIZE * 2]);
+        k.read_file(pid, fid, false).unwrap();
+        if i % 2 == 0 {
+            k.write_file(fid, PAGE_SIZE / 2, SECRET).unwrap();
+        }
+    }
+    let buf = k.heap_alloc(pid, 3 * PAGE_SIZE).unwrap();
+    k.write_bytes(pid, buf, &vec![0xEE; 3 * PAGE_SIZE]).unwrap();
+    k.reclaim_page_cache(4);
+    k.swap_out_pressure(5).unwrap();
+    k.writeback(3).unwrap();
+    k.touch_pages(pid, buf, 3 * PAGE_SIZE).unwrap();
+    k.reclaim_page_cache(usize::MAX);
+    pid
+}
+
+#[test]
+fn page_cache_eviction_is_bit_deterministic_run_to_run() {
+    let mut k1 = stock_kernel();
+    let mut k2 = stock_kernel();
+    let p1 = churn(&mut k1);
+    let p2 = churn(&mut k2);
+    assert_eq!(p1, p2);
+    // Bit-identity of every observable surface: RAM, swap, disk, stats.
+    assert_eq!(k1.phys(), k2.phys(), "physical memory diverged");
+    assert_eq!(k1.swap_bytes(), k2.swap_bytes(), "swap image diverged");
+    assert_eq!(k1.disk_bytes(), k2.disk_bytes(), "disk image diverged");
+    assert_eq!(k1.stats(), k2.stats());
+    assert_eq!(k1.op_index(), k2.op_index());
+    // And allocation order afterwards is identical too (free-list order).
+    let a1 = k1.heap_alloc(p1, PAGE_SIZE).unwrap();
+    let a2 = k2.heap_alloc(p2, PAGE_SIZE).unwrap();
+    k1.write_bytes(p1, a1, &[1]).unwrap();
+    k2.write_bytes(p2, a2, &[1]).unwrap();
+    assert_eq!(k1.phys(), k2.phys());
+}
+
+// ---------------------------------------------------------------------
+// Page dedup (KSM)
+// ---------------------------------------------------------------------
+
+#[test]
+fn merge_identical_pages_shares_and_cow_breaks_on_write() {
+    let mut k = stock_kernel();
+    let a = k.spawn();
+    let b = k.spawn();
+    let page = vec![0xC3u8; PAGE_SIZE];
+    let ra = k.alloc_special_region(a, 1).unwrap();
+    let rb = k.alloc_special_region(b, 1).unwrap();
+    k.write_bytes(a, ra, &page).unwrap();
+    k.write_bytes(b, rb, &page).unwrap();
+
+    let fa = k.translate(a, ra).unwrap();
+    let fb = k.translate(b, rb).unwrap();
+    assert_ne!(fa, fb);
+
+    let merged = k.merge_identical_pages();
+    assert!(merged >= 1);
+    assert_eq!(k.stats().pages_merged, merged as u64);
+    assert_eq!(
+        k.translate(a, ra).unwrap(),
+        k.translate(b, rb).unwrap(),
+        "both map the canonical frame"
+    );
+
+    // Writing through the shared mapping COW-breaks; the other side is
+    // untouched. The cow_breaks delta is the dedup side channel.
+    let before = k.stats().cow_breaks;
+    k.write_bytes(b, rb, &[0x00]).unwrap();
+    assert_eq!(k.stats().cow_breaks, before + 1);
+    assert_ne!(k.translate(a, ra).unwrap(), k.translate(b, rb).unwrap());
+    assert_eq!(k.read_bytes(a, ra, 4).unwrap(), vec![0xC3; 4]);
+}
+
+#[test]
+fn merge_reaches_locked_pages_but_keeps_them_locked() {
+    let mut k = stock_kernel();
+    let victim = k.spawn();
+    let attacker = k.spawn();
+    let mut page = vec![0u8; PAGE_SIZE];
+    page[..SECRET.len()].copy_from_slice(SECRET);
+
+    let rv = k.alloc_special_region(victim, 1).unwrap();
+    k.write_bytes(victim, rv, &page).unwrap();
+    k.mlock(victim, rv, PAGE_SIZE).unwrap();
+
+    let ra = k.alloc_special_region(attacker, 1).unwrap();
+    k.write_bytes(attacker, ra, &page).unwrap();
+
+    // KSM is greedy: it merges even locked pages (the real bug class the
+    // dedup attacker exploits).
+    assert!(k.merge_identical_pages() >= 1);
+    assert_eq!(k.translate(victim, rv), k.translate(attacker, ra));
+
+    // The canonical frame inherits the lock: still off-swap.
+    k.swap_out_pressure(usize::MAX).unwrap();
+    assert!(!contains(k.swap_bytes(), SECRET));
+    assert_eq!(k.read_bytes(victim, rv, SECRET.len()).unwrap(), SECRET);
+}
+
+#[test]
+fn merge_is_conservative_about_near_misses() {
+    let mut k = stock_kernel();
+    let a = k.spawn();
+    let b = k.spawn();
+    let mut p1 = vec![0xA5u8; PAGE_SIZE];
+    let p2 = p1.clone();
+    p1[PAGE_SIZE - 1] ^= 1; // differ in the last byte only
+    let ra = k.alloc_special_region(a, 1).unwrap();
+    let rb = k.alloc_special_region(b, 1).unwrap();
+    k.write_bytes(a, ra, &p1).unwrap();
+    k.write_bytes(b, rb, &p2).unwrap();
+    assert_eq!(k.merge_identical_pages(), 0, "near-identical must not merge");
+    assert_ne!(k.translate(a, ra), k.translate(b, rb));
+}

@@ -174,6 +174,8 @@ impl SecureServer for ApacheServer {
         let key = RsaPrivateKey::generate(config.key_bits, &mut rng);
         let material = KeyMaterial::from_key(&key);
         let pem_file = kernel.create_file("/etc/apache2/ssl/server.key", material.pem_bytes());
+        // The TLS key file is mode 0600, like the SSH host key.
+        kernel.chmod_private(pem_file)?;
 
         let parent = kernel.spawn();
         let level = config.level;

@@ -147,6 +147,8 @@ impl SecureServer for SshServer {
         let key = RsaPrivateKey::generate(config.key_bits, &mut rng);
         let material = KeyMaterial::from_key(&key);
         let pem_file = kernel.create_file("/etc/ssh/ssh_host_rsa_key", material.pem_bytes());
+        // Host keys ship mode 0600: off-limits to the unprivileged disk scan.
+        kernel.chmod_private(pem_file)?;
 
         let daemon = kernel.spawn();
         let level = config.level;

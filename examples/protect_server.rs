@@ -39,7 +39,7 @@ fn main() {
         ssh.set_concurrency(&mut kernel, 0).expect("disconnect");
 
         // Memory pressure pushes unlocked pages toward swap.
-        kernel.swap_out_pressure(2000);
+        kernel.swap_out_pressure(2000).expect("eviction");
 
         let report = scanner.scan_kernel(&kernel);
         let pem_cached = report

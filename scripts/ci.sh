@@ -50,6 +50,20 @@ cargo run --release -p harness --bin faultsweep -- --test --stride 7 \
 cargo run --release -p harness --bin faultsweep -- --test --stride 7 \
     --level integrated
 
+echo "== swap & writeback disclosure channels (release) =="
+# The PR-8 test wall: eviction really unmaps (access faults pages back in),
+# swap crypto never reuses a keystream, the slotted swap device stays
+# bounded, dirty page-cache pages survive writeback faults with partial
+# progress, KSM merges are conservative and COW-break-detectable, and —
+# the paper's core promise — an mlocked key stays off swap under every
+# single-fault plan over the new SwapOut/SwapIn/Writeback op classes.
+cargo test --release -p memsim --test swap_behaviour
+cargo test --release -p memsim --test properties
+# Scenario-level channels: swap-theft respects the mlock line, a planted
+# log line reaches the unprivileged disk reader only after writeback, and
+# merge/swap scenario runs are bit-identical run to run.
+cargo test --release -p harness --lib scenario
+
 echo "== shielded keys & stronger attackers (release) =="
 # The PR-7 test wall: cold-boot decay is one-sided/seeded/deterministic
 # (memsim), the shielded region keeps ciphertext at rest and plaintext only
@@ -60,8 +74,9 @@ cargo test --release -p keyguard --test shielded
 cargo test --release -p keyscan --test reconstruct
 
 echo "== attacker matrix smoke (release) =="
-# Every protection level against exact-free, exact-allocated, and cold-boot
-# + reconstruction attackers, for both servers. Writes
+# Every protection level against exact-free, exact-allocated, cold-boot
+# + reconstruction, swap-theft, and dedup-timing attackers, for both
+# servers. Writes
 # results/attacker_matrix_{ssh,apache}.dat and exits nonzero if any cell
 # deviates from the expectation table — in particular if Shielded falls to
 # any attacker class, or any weaker level survives one it shouldn't.

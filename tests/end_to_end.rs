@@ -163,7 +163,7 @@ fn aligned_key_survives_swap_pressure_alongside_noisy_neighbours() {
         .write_bytes(noisy, buf, &vec![0xEE; 200 * memsim::PAGE_SIZE])
         .unwrap();
 
-    kernel.swap_out_pressure(usize::MAX);
+    kernel.swap_out_pressure(usize::MAX).unwrap();
     assert!(kernel.stats().swap_writes > 0, "pressure actually swapped");
     assert!(!scanner.dump_compromises_key(kernel.swap_bytes()));
     region.destroy(&mut kernel, owner).unwrap();
