@@ -1,7 +1,7 @@
 //! The attacker-class × protection-level matrix: how each countermeasure
 //! tier fares as the attacker model strengthens beyond the paper's.
 //!
-//! Five attacker classes:
+//! Six attacker classes:
 //!
 //! * **exact-free** — the paper's disclosure attacker: exact byte patterns,
 //!   but only *unallocated* (freed) memory is ever disclosed to it.
@@ -22,6 +22,14 @@
 //!   guessable byte-for-byte — the aligned region's neatness turned against
 //!   it — while `Shielded` (ciphertext page) and the heap tiers
 //!   (unpredictable chunk layout) survive.
+//! * **rotation-window** — an all-of-physical-memory reader who times the
+//!   seizure for the one moment rekeying doubles the attack surface: the
+//!   Drain phase, when in-flight handshakes still hold the predecessor key
+//!   while new handshakes already use the successor. Every level below
+//!   `Shielded` keeps a plaintext working copy of the *outgoing* key
+//!   somewhere until its last connection drains; `Shielded` keeps both
+//!   epochs ciphertext at rest, so even the widest window discloses
+//!   nothing.
 //!
 //! The matrix pins the headline claim of the shielded tier: levels up to
 //! `Integrated` keep a plaintext working copy *somewhere* in allocated
@@ -67,17 +75,22 @@ pub enum AttackerClass {
     /// the victim's key page, let the deduplicator run, detect the merge
     /// through the copy-on-write fault it causes.
     Dedup,
+    /// Full physical memory read timed for the rotation drain window, when
+    /// the predecessor and successor keys are both resident. Success means
+    /// recovering the *outgoing* key mid-Drain.
+    RotationWindow,
 }
 
 impl AttackerClass {
     /// All classes. New classes are appended so the positional cell seeds
     /// of the original three stay stable across releases.
-    pub const ALL: [Self; 5] = [
+    pub const ALL: [Self; 6] = [
         Self::ExactFree,
         Self::ExactAllocated,
         Self::ColdBoot,
         Self::SwapTheft,
         Self::Dedup,
+        Self::RotationWindow,
     ];
 
     /// Name used in output files and flags.
@@ -89,6 +102,7 @@ impl AttackerClass {
             Self::ColdBoot => "cold-boot",
             Self::SwapTheft => "swap-theft",
             Self::Dedup => "dedup",
+            Self::RotationWindow => "rotation-window",
         }
     }
 
@@ -101,6 +115,7 @@ impl AttackerClass {
             "cold-boot" | "coldboot" => Some(Self::ColdBoot),
             "swap-theft" | "swap" => Some(Self::SwapTheft),
             "dedup" | "ksm" => Some(Self::Dedup),
+            "rotation-window" | "rotation" => Some(Self::RotationWindow),
             _ => None,
         }
     }
@@ -129,13 +144,19 @@ impl AttackerClass {
     ///   is byte-for-byte guessable. The heap tiers are safe by obscurity
     ///   (chunk headers and offsets make the page unguessable), `Shielded`
     ///   by construction (the resident page is ciphertext);
-    /// * `Shielded` survives all five: ciphertext at rest, and the
+    /// * rotation-window defeats everything below `Shielded`: while a
+    ///   drained connection is still in flight the outgoing key's working
+    ///   copy stays plaintext-resident, and the window is the attacker's to
+    ///   time. `Shielded` holds both epochs ciphertext at rest;
+    /// * `Shielded` survives all six: ciphertext at rest, and the
     ///   plaintext window is closed whenever the machine can be seized.
     #[must_use]
     pub fn expected_to_defeat(self, level: ProtectionLevel) -> bool {
         match self {
             Self::ExactFree => level == ProtectionLevel::None,
-            Self::ExactAllocated | Self::ColdBoot => level != ProtectionLevel::Shielded,
+            Self::ExactAllocated | Self::ColdBoot | Self::RotationWindow => {
+                level != ProtectionLevel::Shielded
+            }
             Self::SwapTheft => !level.mlock_key(),
             Self::Dedup => matches!(
                 level,
@@ -262,7 +283,7 @@ fn run_one_cell<S: SecureServer>(
     // The free-memory attacker scavenges after the connections close; the
     // stronger attackers seize the machine with the server still live.
     let close_all = !attacker.reads_allocated();
-    let (server, scanner) =
+    let (mut server, scanner) =
         drive_workload::<S>(&mut kernel, level, cfg, rep_seed, MATRIX_CONNECTIONS, close_all)?;
     let compromised = match attacker {
         AttackerClass::ExactFree => scanner.scan_kernel(&kernel).unallocated() > 0,
@@ -291,6 +312,15 @@ fn run_one_cell<S: SecureServer>(
             let candidate = aligned_region_page(server.key());
             let attacker_pid = kernel.spawn();
             dedup_probe(&mut kernel, attacker_pid, &candidate)?.confirms_candidate()
+        }
+        AttackerClass::RotationWindow => {
+            // The workload left standing connections open; rekeying now
+            // pins them to the outgoing epoch and opens the Drain window.
+            // The scanner was built from the pre-rotation material, so a
+            // hit mid-Drain is exactly "the outgoing key is recoverable
+            // while both keys are resident".
+            server.rotate_key(&mut kernel)?;
+            scanner.scan_kernel(&kernel).total() > 0
         }
     };
     drop(server);
@@ -381,8 +411,9 @@ mod tests {
         for l in [L::Application, L::Library, L::Kernel, L::Integrated, L::Shielded] {
             assert!(!A::ExactFree.expected_to_defeat(l), "{l}");
         }
-        // The stronger memory readers defeat everything except Shielded.
-        for a in [A::ExactAllocated, A::ColdBoot] {
+        // The stronger memory readers defeat everything except Shielded —
+        // including the attacker who times the rotation drain window.
+        for a in [A::ExactAllocated, A::ColdBoot, A::RotationWindow] {
             for l in [L::None, L::Application, L::Library, L::Kernel, L::Integrated] {
                 assert!(a.expected_to_defeat(l), "{a}/{l}");
             }
@@ -474,6 +505,35 @@ mod tests {
             )
             .unwrap();
             assert_eq!(got, expect, "{level}/{attacker}");
+        }
+    }
+
+    /// The rotation-window attacker catches the outgoing key mid-Drain at
+    /// every plaintext tier, but a shielded drain window discloses nothing.
+    #[test]
+    fn rotation_window_catches_plaintext_tiers_but_not_shielded() {
+        let cfg = ExperimentConfig::test().with_repetitions(1);
+        for (level, expect) in [
+            (ProtectionLevel::None, true),
+            (ProtectionLevel::Integrated, true),
+            (ProtectionLevel::Shielded, false),
+        ] {
+            let seed = matrix_cell_seed(
+                cfg.seed,
+                ServerKind::Ssh,
+                level,
+                AttackerClass::RotationWindow,
+                0,
+            );
+            let got = run_one_cell::<servers::SshServer>(
+                level,
+                AttackerClass::RotationWindow,
+                &cfg,
+                seed,
+                DEFAULT_DECAY_RATE,
+            )
+            .unwrap();
+            assert_eq!(got, expect, "{level}/rotation-window");
         }
     }
 

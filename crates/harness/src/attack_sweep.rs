@@ -13,7 +13,7 @@ use crate::{ExperimentConfig, ServerKind};
 use exploits::{Ext2DirentLeak, TtyMemoryDump};
 use keyguard::ProtectionLevel;
 use keyscan::Scanner;
-use memsim::{Kernel, SimResult};
+use memsim::{FaultPlan, Kernel, SimResult};
 use servers::{ApacheServer, SecureServer, ServerConfig, SshServer};
 use simrng::{Rng64, Stats};
 
@@ -125,11 +125,18 @@ fn run_one_ext2<S: SecureServer>(
     rep_seed: u64,
     connections: usize,
     directories: usize,
+    plan: Option<&FaultPlan>,
 ) -> SimResult<RepOutcome> {
     let mut rng = Rng64::new(rep_seed);
     let mut kernel = cfg.boot_machine(level, &mut rng);
+    if let Some(p) = plan {
+        kernel.install_fault_plan(p.clone());
+    }
     let (_server, scanner) =
         drive_workload::<S>(&mut kernel, level, cfg, rep_seed, connections, true)?;
+    // The plan perturbs the *defender's* workload; the attack itself is the
+    // measurement and always runs unfaulted.
+    kernel.clear_fault_plan();
     let capture = Ext2DirentLeak::new(directories).run(&mut kernel)?;
     Ok((
         capture.keys_found(&scanner),
@@ -143,11 +150,16 @@ fn run_one_tty<S: SecureServer>(
     cfg: &ExperimentConfig,
     rep_seed: u64,
     connections: usize,
+    plan: Option<&FaultPlan>,
 ) -> SimResult<RepOutcome> {
     let mut rng = Rng64::new(rep_seed);
     let mut kernel = cfg.boot_machine(level, &mut rng);
+    if let Some(p) = plan {
+        kernel.install_fault_plan(p.clone());
+    }
     let (_server, scanner) =
         drive_workload::<S>(&mut kernel, level, cfg, rep_seed, connections, false)?;
+    kernel.clear_fault_plan();
     let capture = TtyMemoryDump::paper().run(&kernel, &mut rng);
     Ok((
         capture.keys_found(&scanner),
@@ -223,6 +235,28 @@ pub fn ext2_sweep_on(
     directories: &[usize],
     cfg: &ExperimentConfig,
 ) -> SimResult<Vec<SweepPoint>> {
+    ext2_sweep_with_plan_on(exec, kind, level, connections, directories, cfg, None)
+}
+
+/// [`ext2_sweep_on`] with an optional [`FaultPlan`] active during each
+/// cell's *workload* (the ROADMAP's "faults during attacks" wiring). Every
+/// cell installs its own copy of the plan on its own kernel, and the plan is
+/// cleared before the attack runs — faults stress the defender's error
+/// paths, then the unfaulted attacker measures what leaked.
+///
+/// # Errors
+///
+/// Propagates simulator errors, including injected faults the server's
+/// shedding machinery could not absorb.
+pub fn ext2_sweep_with_plan_on(
+    exec: &Executor,
+    kind: ServerKind,
+    level: ProtectionLevel,
+    connections: &[usize],
+    directories: &[usize],
+    cfg: &ExperimentConfig,
+    plan: Option<&FaultPlan>,
+) -> SimResult<Vec<SweepPoint>> {
     let mut grid = Vec::with_capacity(connections.len() * directories.len());
     for &conns in connections {
         for &dirs in directories {
@@ -238,9 +272,11 @@ pub fn ext2_sweep_on(
     let raw = exec.run(cells, |_, (conns, dirs, rep)| {
         let rep_seed = ext2_cell_seed(cfg.seed, conns, dirs, rep);
         match kind {
-            ServerKind::Ssh => run_one_ext2::<SshServer>(level, cfg, rep_seed, conns, dirs),
+            ServerKind::Ssh => {
+                run_one_ext2::<SshServer>(level, cfg, rep_seed, conns, dirs, plan)
+            }
             ServerKind::Apache => {
-                run_one_ext2::<ApacheServer>(level, cfg, rep_seed, conns, dirs)
+                run_one_ext2::<ApacheServer>(level, cfg, rep_seed, conns, dirs, plan)
             }
         }
     });
@@ -279,6 +315,25 @@ pub fn tty_sweep_on(
     connections: &[usize],
     cfg: &ExperimentConfig,
 ) -> SimResult<Vec<SweepPoint>> {
+    tty_sweep_with_plan_on(exec, kind, level, connections, cfg, None)
+}
+
+/// [`tty_sweep_on`] with an optional [`FaultPlan`] active during each cell's
+/// workload, cleared before the dump — the tty twin of
+/// [`ext2_sweep_with_plan_on`].
+///
+/// # Errors
+///
+/// Propagates simulator errors, including injected faults the server's
+/// shedding machinery could not absorb.
+pub fn tty_sweep_with_plan_on(
+    exec: &Executor,
+    kind: ServerKind,
+    level: ProtectionLevel,
+    connections: &[usize],
+    cfg: &ExperimentConfig,
+    plan: Option<&FaultPlan>,
+) -> SimResult<Vec<SweepPoint>> {
     let grid: Vec<(usize, usize)> = connections.iter().map(|&c| (c, 0)).collect();
     let mut cells = Vec::with_capacity(grid.len() * cfg.repetitions);
     for &(conns, _) in &grid {
@@ -289,8 +344,10 @@ pub fn tty_sweep_on(
     let raw = exec.run(cells, |_, (conns, rep)| {
         let rep_seed = tty_cell_seed(cfg.seed, conns, rep);
         match kind {
-            ServerKind::Ssh => run_one_tty::<SshServer>(level, cfg, rep_seed, conns),
-            ServerKind::Apache => run_one_tty::<ApacheServer>(level, cfg, rep_seed, conns),
+            ServerKind::Ssh => run_one_tty::<SshServer>(level, cfg, rep_seed, conns, plan),
+            ServerKind::Apache => {
+                run_one_tty::<ApacheServer>(level, cfg, rep_seed, conns, plan)
+            }
         }
     });
     fold_points(&grid, cfg.repetitions, raw)
@@ -356,6 +413,45 @@ mod tests {
         assert_ne!(ext2_cell_seed(1, 50, 1000, 0), ext2_cell_seed(2, 50, 1000, 0));
         assert_eq!(tty_cell_seed(7, 20, 3), tty_cell_seed(7, 20, 3));
         assert_ne!(tty_cell_seed(7, 20, 3), tty_cell_seed(7, 40, 3));
+    }
+
+    #[test]
+    fn faulted_workload_does_not_weaken_kernel_level() {
+        // A sparse fault plan stresses the server's error paths during the
+        // workload; the hardened level's guarantee must hold regardless, and
+        // the faulted sweep must be exactly reproducible.
+        let cfg = ExperimentConfig::test();
+        let plan = FaultPlan::new().seeded(0x5EED_F417, 89);
+        let run = || {
+            ext2_sweep_with_plan_on(
+                &Executor::serial(),
+                ServerKind::Ssh,
+                ProtectionLevel::Kernel,
+                &[30],
+                &[400],
+                &cfg,
+                Some(&plan),
+            )
+            .unwrap()
+        };
+        let a = run();
+        assert_eq!(a, run(), "faulted sweep must be bit-identical");
+        assert_eq!(a[0].success_rate, 0.0, "kernel level under faults: {a:?}");
+
+        // And the unfaulted entry point is the plan=None special case.
+        let plain = ext2_sweep(ServerKind::Ssh, ProtectionLevel::Kernel, &[30], &[400], &cfg)
+            .unwrap();
+        let none = ext2_sweep_with_plan_on(
+            &Executor::serial(),
+            ServerKind::Ssh,
+            ProtectionLevel::Kernel,
+            &[30],
+            &[400],
+            &cfg,
+            None,
+        )
+        .unwrap();
+        assert_eq!(plain, none);
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Fault enumeration over the key-rotation lifecycle: for every fallible
+//! kernel operation between `rotate_key` and the post-rotation quiesce,
+//! fail (or kill) exactly that operation — and, second-order, every sampled
+//! `(j, k)` pair so the second fault lands inside the recovery from the
+//! first — then scan for stray bytes of whichever epoch lost.
+//!
+//! ```text
+//! cargo run --release -p harness --bin rotsweep -- [--paper|--quick|--test]
+//!     [--smoke] [--server ssh|apache|both]
+//!     [--level none|app|lib|kernel|integrated|shielded|all]
+//!     [--mode fail|kill|both] [--stride N] [--pair-stride N]
+//!     [--out DIR] [--threads N]
+//! ```
+//!
+//! The crash-consistency invariant: after recovery the server is live on
+//! exactly one epoch's key, and at the hardened levels (kernel, integrated,
+//! shielded) not one byte of the *losing* epoch survives anywhere scanner-
+//! visible. The unfaulted retire check additionally proves the retired key
+//! is unreconstructable ([`keyscan::reconstruct`]) from a perfect image of
+//! physical memory. The process exits nonzero on any violation, so the
+//! sweep doubles as the CI gate on rotation.
+//!
+//! `--smoke` is the CI entry point: both servers at the hardened levels,
+//! exhaustive first-order in both modes, sampled second-order pairs, and
+//! the retire checks — on the tiny test configuration.
+
+use harness::cli::Args;
+use harness::exec::Executor;
+use harness::faultsweep::FaultMode;
+use harness::rotsweep::{
+    retire_check, rotation_sweep_pairs_timed_on, rotation_sweep_timed_on, RetireCheck,
+    RotationSweepReport,
+};
+use harness::report::{rotation_retire_dat, rotation_sweep_dat, write_dat};
+use harness::ServerKind;
+use keyguard::ProtectionLevel;
+
+/// The hardened levels the smoke run gates on — exactly the levels where
+/// [`harness::rotsweep::level_guarantees_retired_key_gone`] promises zeroing.
+const SMOKE_LEVELS: [ProtectionLevel; 3] = [
+    ProtectionLevel::Kernel,
+    ProtectionLevel::Integrated,
+    ProtectionLevel::Shielded,
+];
+
+fn emit(
+    out: &std::path::Path,
+    report: &RotationSweepReport,
+    violations: &mut usize,
+) {
+    println!("  {}", report.summary());
+    let name = format!(
+        "rotsweep_{}_{}_{}_o{}.dat",
+        report.kind_label,
+        report.level.label(),
+        report.mode.label(),
+        report.order
+    );
+    write_dat(out, &name, &rotation_sweep_dat(report)).expect("write");
+    for cell in report.violations() {
+        match cell.k2 {
+            Some(k2) => eprintln!(
+                "VIOLATION: {}/{} ops ({}, {}) ({} mode, order 2) left {} bytes-copies of the losing epoch resident",
+                report.kind_label,
+                report.level.label(),
+                cell.k,
+                k2,
+                report.mode,
+                cell.loser_resident
+            ),
+            None => eprintln!(
+                "VIOLATION: {}/{} op {} ({} mode) left {} copies of the losing epoch resident",
+                report.kind_label,
+                report.level.label(),
+                cell.k,
+                report.mode,
+                cell.loser_resident
+            ),
+        }
+    }
+    *violations += report.violations().len();
+}
+
+fn sweep_combo(
+    exec: &Executor,
+    kind: ServerKind,
+    level: ProtectionLevel,
+    modes: &[FaultMode],
+    stride: u64,
+    pair_stride: u64,
+    cfg: &harness::ExperimentConfig,
+    out: &std::path::Path,
+    violations: &mut usize,
+) {
+    for &mode in modes {
+        println!("[rotsweep] {kind} / {} / {mode} / order 1", level.label());
+        let (report, timing) = rotation_sweep_timed_on(exec, kind, level, mode, stride, cfg)
+            .unwrap_or_else(|e| panic!("{kind}/{}: {e}", level.label()));
+        println!("  {timing}");
+        emit(out, &report, violations);
+
+        println!("[rotsweep] {kind} / {} / {mode} / order 2", level.label());
+        let (report, timing) =
+            rotation_sweep_pairs_timed_on(exec, kind, level, mode, pair_stride, cfg)
+                .unwrap_or_else(|e| panic!("{kind}/{}: {e}", level.label()));
+        println!("  {timing}");
+        emit(out, &report, violations);
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("smoke");
+    let cfg = if smoke {
+        harness::ExperimentConfig::test()
+    } else {
+        args.experiment_config()
+    };
+    let exec = args.executor();
+    let out = args.out_dir();
+
+    let kinds: Vec<ServerKind> = match args.get("server").unwrap_or("both") {
+        "both" => ServerKind::ALL.to_vec(),
+        s => vec![ServerKind::from_label(s).unwrap_or_else(|| panic!("unknown server {s:?}"))],
+    };
+    let levels: Vec<ProtectionLevel> = if smoke {
+        SMOKE_LEVELS.to_vec()
+    } else {
+        match args.get("level").unwrap_or("all") {
+            "all" => ProtectionLevel::ALL.to_vec(),
+            s => vec![
+                ProtectionLevel::from_label(s).unwrap_or_else(|| panic!("unknown level {s:?}"))
+            ],
+        }
+    };
+    let modes: Vec<FaultMode> = match args.get("mode").unwrap_or("both") {
+        "fail" => vec![FaultMode::Fail],
+        "kill" => vec![FaultMode::Kill],
+        "both" => vec![FaultMode::Fail, FaultMode::Kill],
+        s => panic!("unknown mode {s:?}: expected fail, kill, or both"),
+    };
+    let stride = args.get_usize("stride", 1) as u64;
+    let pair_stride = args.get_usize("pair-stride", 5) as u64;
+
+    println!(
+        "rotsweep: {} MB RAM, RSA-{}, stride {} (pairs {}), {} threads -> {}/",
+        cfg.mem_bytes / (1024 * 1024),
+        cfg.key_bits,
+        stride,
+        pair_stride,
+        exec.threads(),
+        out.display()
+    );
+
+    let mut violations = 0usize;
+    for &kind in &kinds {
+        for &level in &levels {
+            sweep_combo(
+                &exec,
+                kind,
+                level,
+                &modes,
+                stride,
+                pair_stride,
+                &cfg,
+                &out,
+                &mut violations,
+            );
+        }
+    }
+
+    // Unfaulted retirement forensics: the retired epoch must be pattern-
+    // invisible *and* unreconstructable wherever zeroing is promised.
+    let mut checks: Vec<RetireCheck> = Vec::new();
+    for &kind in &kinds {
+        for &level in &levels {
+            println!("[rotsweep] {kind} / {} / retire check", level.label());
+            let check = retire_check(kind, level, &cfg)
+                .unwrap_or_else(|e| panic!("{kind}/{}: {e}", level.label()));
+            println!(
+                "  {} resident, reconstructed: {}",
+                check.old_resident, check.reconstructed
+            );
+            if harness::rotsweep::level_guarantees_retired_key_gone(level) && !check.holds() {
+                eprintln!(
+                    "VIOLATION: {kind}/{} retired key still recoverable",
+                    level.label()
+                );
+                violations += 1;
+            }
+            checks.push(check);
+        }
+    }
+    write_dat(&out, "rotsweep_retire.dat", &rotation_retire_dat(&checks)).expect("write");
+
+    if violations > 0 {
+        eprintln!("rotsweep: {violations} rotation-invariant violations");
+        std::process::exit(1);
+    }
+    println!("rotsweep: rotation invariant: HELD across every injected fault");
+}

@@ -10,6 +10,7 @@
 //! | Fig 8, 19, 20 (performance) | [`perf::run_perf`] | `perf` |
 //! | Error-path robustness (beyond the paper) | [`faultsweep::fault_sweep`] | `faultsweep` |
 //! | Stronger attackers (beyond the paper) | [`attack_matrix::attacker_matrix`] | `attacker_matrix` |
+//! | Rotation crash-consistency (beyond the paper) | [`rotsweep::rotation_sweep`] | `rotsweep` |
 //!
 //! Each driver returns plain data structures; the [`report`] module renders
 //! them as the gnuplot-style `.dat` series the paper's plots were built from
@@ -32,6 +33,7 @@ pub mod faultsweep;
 pub mod perf;
 pub mod plot;
 pub mod report;
+pub mod rotsweep;
 pub mod scenario;
 pub mod timeline;
 

@@ -108,8 +108,8 @@ pub fn timeline_ascii(tl: &Timeline, width: usize) -> String {
     let shed = tl.shed;
     let _ = writeln!(
         out,
-        "shed: {} failed forks, {} dropped connections, {} abandoned handshakes",
-        shed.failed_forks, shed.shed_connections, shed.shed_handshakes
+        "shed: {} failed forks, {} dropped connections, {} abandoned handshakes; retries: {} ({} recovered)",
+        shed.failed_forks, shed.shed_connections, shed.shed_handshakes, shed.retries, shed.recovered
     );
     out
 }
@@ -185,6 +185,77 @@ pub fn attacker_matrix_dat(report: &crate::attack_matrix::AttackerMatrixReport) 
     out
 }
 
+/// Renders a rotation fault sweep as
+/// `j k injected kills epoch winner loser handshakes shed_total retries`
+/// lines plus a trailing verdict comment. `j`/`k` are the targeted op
+/// indices (`k` is `-` for first-order cells); `epoch` is where recovery
+/// landed (0 = rolled back, 1 = completed); `loser` is the scanner-visible
+/// byte-pattern count of whichever key the recovered state must *not*
+/// contain — the invariant is `loser == 0` at hardened levels.
+#[must_use]
+pub fn rotation_sweep_dat(report: &crate::rotsweep::RotationSweepReport) -> String {
+    let mut out = format!(
+        "# {}\n# j k injected kills epoch winner loser handshakes shed_total retries\n",
+        report.summary()
+    );
+    for c in &report.cells {
+        let second = c.k2.map_or_else(|| "-".to_string(), |k2| k2.to_string());
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {} {} {} {} {} {}",
+            c.k,
+            second,
+            c.injected,
+            c.kills,
+            c.epoch,
+            c.winner_resident,
+            c.loser_resident,
+            c.handshakes,
+            c.shed.total(),
+            c.shed.retries
+        );
+    }
+    let violations = report.violations();
+    if violations.is_empty() {
+        out.push_str("# rotation invariant: HELD\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "# rotation invariant: VIOLATED at (j, k) = {:?}",
+            violations.iter().map(|c| (c.k, c.k2)).collect::<Vec<_>>()
+        );
+    }
+    out
+}
+
+/// Renders retire checks as `server level old_resident reconstructed holds`
+/// rows plus the HELD/VIOLATED verdict over the hardened levels.
+#[must_use]
+pub fn rotation_retire_dat(checks: &[crate::rotsweep::RetireCheck]) -> String {
+    let mut out = String::from("# server level old_resident reconstructed holds\n");
+    let mut violated = Vec::new();
+    for c in checks {
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {}",
+            c.kind_label,
+            c.level.label(),
+            c.old_resident,
+            u8::from(c.reconstructed),
+            u8::from(c.holds())
+        );
+        if crate::rotsweep::level_guarantees_retired_key_gone(c.level) && !c.holds() {
+            violated.push(format!("{}/{}", c.kind_label, c.level.label()));
+        }
+    }
+    if violated.is_empty() {
+        out.push_str("# rotation invariant: HELD\n");
+    } else {
+        let _ = writeln!(out, "# rotation invariant: VIOLATED at {violated:?}");
+    }
+    out
+}
+
 /// A two-column comparison table of perf results (the bar pairs of Figures
 /// 8, 19, 20).
 #[must_use]
@@ -242,6 +313,12 @@ pub fn scenario_golden(outcome: &crate::scenario::ScenarioOutcome) -> String {
             a.t, a.kind, a.keys_found, a.succeeded, a.disclosed_bytes
         );
     }
+    let shed = tl.shed;
+    let _ = writeln!(
+        out,
+        "shed forks={} dropped={} abandoned={} retries={} recovered={}",
+        shed.failed_forks, shed.shed_connections, shed.shed_handshakes, shed.retries, shed.recovered
+    );
     out
 }
 
@@ -349,12 +426,89 @@ mod tests {
             failed_forks: 4,
             shed_connections: 2,
             shed_handshakes: 1,
+            retries: 3,
+            recovered: 2,
         };
         let chart = timeline_ascii(&tl, 20);
         assert!(
-            chart.contains("shed: 4 failed forks, 2 dropped connections, 1 abandoned handshakes"),
+            chart.contains(
+                "shed: 4 failed forks, 2 dropped connections, 1 abandoned handshakes; retries: 3 (2 recovered)"
+            ),
             "{chart}"
         );
+    }
+
+    #[test]
+    fn rotation_dat_renders_cells_and_verdict() {
+        use crate::faultsweep::FaultMode;
+        use crate::rotsweep::{RotationCell, RotationSweepReport};
+        let cell = RotationCell {
+            k: 40,
+            k2: None,
+            injected: 1,
+            kills: 0,
+            error: Some("out of physical memory".to_string()),
+            epoch: 0,
+            winner_resident: 6,
+            loser_resident: 0,
+            handshakes: 4,
+            shed: servers::SheddingStats {
+                retries: 2,
+                ..Default::default()
+            },
+        };
+        let mut report = RotationSweepReport {
+            kind_label: "openssh",
+            level: ProtectionLevel::Integrated,
+            mode: FaultMode::Fail,
+            order: 1,
+            start: 40,
+            end: 41,
+            stride: 1,
+            cells: vec![cell],
+            scan: keyscan::ScanStats::default(),
+        };
+        let dat = rotation_sweep_dat(&report);
+        assert!(dat.contains("40 - 1 0 0 6 0 4 0 2"), "{dat}");
+        assert!(dat.contains("rotation invariant: HELD"), "{dat}");
+
+        report.cells[0].k2 = Some(55);
+        report.cells[0].loser_resident = 3;
+        report.order = 2;
+        let dat = rotation_sweep_dat(&report);
+        assert!(dat.contains("40 55 1 0 0 6 3 4 0 2"), "{dat}");
+        assert!(dat.contains("VIOLATED at (j, k) = [(40, Some(55))]"), "{dat}");
+    }
+
+    #[test]
+    fn retire_dat_gates_verdict_on_hardened_levels() {
+        use crate::rotsweep::RetireCheck;
+        let clean = RetireCheck {
+            kind_label: "openssh",
+            level: ProtectionLevel::Shielded,
+            old_resident: 0,
+            reconstructed: false,
+        };
+        let leaky_stock = RetireCheck {
+            kind_label: "openssh",
+            level: ProtectionLevel::None,
+            old_resident: 7,
+            reconstructed: true,
+        };
+        let dat = rotation_retire_dat(&[clean, leaky_stock]);
+        assert!(dat.contains("openssh shielded 0 0 1"), "{dat}");
+        // Stock-kernel residue is expected and does not trip the verdict.
+        assert!(dat.contains("openssh none 7 1 0"), "{dat}");
+        assert!(dat.contains("rotation invariant: HELD"), "{dat}");
+
+        let leaky_hardened = RetireCheck {
+            kind_label: "apache",
+            level: ProtectionLevel::Kernel,
+            old_resident: 1,
+            reconstructed: false,
+        };
+        let dat = rotation_retire_dat(&[leaky_hardened]);
+        assert!(dat.contains("VIOLATED at [\"apache/kernel\"]"), "{dat}");
     }
 
     #[test]

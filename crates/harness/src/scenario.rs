@@ -25,12 +25,16 @@
 //! * `server <ssh|apache> [level <L>] [key-bits <B>] [seed <S>]`
 //! * `secret <word>` — an additional secret (≥ 8 chars) tracked by every
 //!   scan and attack, e.g. a passphrase (see `tty-input`).
-//! * `at <tick> start | stop | restart | concurrency <N> | pump <N> |`
-//!   `tty-input | swap <pages> | merge | writeback <pages> | file-plant |`
-//!   `attack ext2 <dirs> | attack tty | attack slab <size> <probes> |`
-//!   `attack swap | attack disk`
+//! * `at <tick> start | stop | restart | rotate | concurrency <N> |`
+//!   `pump <N> | tty-input | swap <pages> | merge | writeback <pages> |`
+//!   `file-plant | attack ext2 <dirs> | attack tty |`
+//!   `attack slab <size> <probes> | attack swap | attack disk`
 //! * `end <tick>` — run length (required).
 //!
+//! `rotate` rekeys the live server through the crash-consistent lifecycle
+//! (`keyguard::rotation`): new handshakes move to the successor key at
+//! once, in-flight connections drain on the predecessor, and the scanner
+//! tracks *every* epoch's key so retired-key debris is never invisible;
 //! `restart` is Apache's graceful reload (SSH restarts as stop + start);
 //! `tty-input` types the configured `secret` through the kernel's tty
 //! buffers, planting it in slab memory; `file-plant` appends the secret to
@@ -91,6 +95,9 @@ pub enum Action {
     TtyInput,
     /// Graceful restart (Apache only).
     Restart,
+    /// Rekey the live server through the crash-consistent rotation
+    /// lifecycle; the per-tick scanner tracks every epoch's key.
+    Rotate,
 }
 
 /// One attack fired by a scenario, with its outcome.
@@ -231,6 +238,7 @@ impl Scenario {
                         ("start", None) => Action::Start,
                         ("stop", None) => Action::Stop,
                         ("restart", None) => Action::Restart,
+                        ("rotate", None) => Action::Rotate,
                         ("tty-input", None) => Action::TtyInput,
                         ("concurrency", Some(v)) => Action::Concurrency(
                             v.parse()
@@ -384,6 +392,24 @@ impl Scenario {
             .iter()
             .map(rsa_repro::material::Pattern::clone_secret)
             .collect();
+        // Rotation is deterministic in (config, ordinal), so every epoch
+        // the script can reach is known up front — the scanner watches all
+        // of them, and a retired epoch's stray bytes stay visible.
+        let rotations = self
+            .actions
+            .values()
+            .flatten()
+            .filter(|a| **a == Action::Rotate)
+            .count();
+        for ordinal in 1..=rotations as u64 {
+            let epoch = KeyMaterial::from_key(&server_cfg.derive_rotated_key(kind_label, ordinal));
+            patterns.extend(
+                epoch
+                    .patterns()
+                    .iter()
+                    .map(rsa_repro::material::Pattern::clone_secret),
+            );
+        }
         if let Some(secret) = &self.secret {
             // keylint: allow(S005) -- the scenario's planted session secret is copied into its search pattern by design
             patterns.push(rsa_repro::material::Pattern::new("secret", secret.clone()));
@@ -471,6 +497,11 @@ impl Scenario {
                             // Apache: graceful reload; SSH: full stop/start.
                             if let Some(s) = server.as_mut() {
                                 s.restart(&mut kernel)?;
+                            }
+                        }
+                        Action::Rotate => {
+                            if let Some(s) = server.as_mut() {
+                                s.rotate_key(&mut kernel)?;
                             }
                         }
                         Action::AttackSlab(size, probes) => {
@@ -703,6 +734,39 @@ end 6
         assert!(!ext2.succeeded, "page zeroing stops the page-level leak");
         assert_eq!(slab.kind, "slab");
         assert!(slab.succeeded, "the slab probe recovers the passphrase");
+    }
+
+    #[test]
+    fn rotate_action_rekeys_and_the_scanner_tracks_both_epochs() {
+        // Integrated: the epoch-0 key retires completely once its last
+        // connection drains, and the successor takes its place — the
+        // multi-epoch scanner proves the swap left no debris.
+        let script = "
+machine mem-mb 16
+server ssh level integrated key-bits 256
+at 1 start
+at 2 concurrency 4
+at 3 pump 8
+at 4 rotate
+at 5 pump 8
+at 6 concurrency 0
+end 8
+";
+        let outcome = Scenario::parse(script).unwrap().run().unwrap();
+        // Mid-life (before the rotation): exactly the boot epoch's 3 copies.
+        assert_eq!(outcome.timeline.at(3).unwrap().total(), 3);
+        // After the drain completes: still exactly 3 — the successor's.
+        assert_eq!(outcome.timeline.at(7).unwrap().total(), 3);
+        assert_eq!(outcome.timeline.peak_unallocated(), 0);
+
+        // Unprotected, the same script leaves both epochs' debris visible.
+        let leaky = script.replace("level integrated", "level none");
+        let outcome = Scenario::parse(&leaky).unwrap().run().unwrap();
+        assert!(
+            outcome.timeline.at(7).unwrap().total() > 3,
+            "rotation debris visible: {:?}",
+            outcome.timeline.at(7)
+        );
     }
 
     #[test]

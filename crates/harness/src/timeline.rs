@@ -8,8 +8,8 @@ use crate::exec::{ExecReport, Executor};
 use crate::{ExperimentConfig, ServerKind};
 use keyguard::ProtectionLevel;
 use keyscan::{IncrementalScanner, ScanStats, Scanner};
-use memsim::SimResult;
-use rsa_repro::material::KeyMaterial;
+use memsim::{FaultPlan, SimResult};
+use rsa_repro::material::{KeyMaterial, Pattern};
 use servers::{ApacheServer, SecureServer, ServerConfig, SheddingStats, SshServer};
 use simrng::Rng64;
 use std::time::Duration;
@@ -35,6 +35,11 @@ pub struct Schedule {
     /// transfer lasted ~4 s; a 2-minute tick completes ~30 per slot — scaled
     /// down by default to keep runs fast, same shape).
     pub churn_per_slot: usize,
+    /// Rekey the live server every this many ticks after it starts
+    /// (`rotate every N ticks`); `None` reproduces the paper's static-key
+    /// runs exactly. Beyond the paper: bounds how *long* a key stays
+    /// resident, where the protection levels bound *where*.
+    pub rotate_every: Option<usize>,
 }
 
 impl Schedule {
@@ -51,7 +56,35 @@ impl Schedule {
             stop_server: 22,
             end: 29,
             churn_per_slot: 4,
+            rotate_every: None,
         }
+    }
+
+    /// Adds a rotation cadence: the server rekeys every `n` ticks while it
+    /// is up (the first rotation fires `n` ticks after `start_server`).
+    ///
+    /// # Panics
+    ///
+    /// If `n` is zero.
+    #[must_use]
+    pub fn with_rotation(mut self, n: usize) -> Self {
+        assert!(n > 0, "rotation cadence must be positive");
+        self.rotate_every = Some(n);
+        self
+    }
+
+    /// Whether the server rekeys at the start of tick `t`.
+    #[must_use]
+    pub fn rotates_at(&self, t: usize) -> bool {
+        self.rotate_every.is_some_and(|n| {
+            t > self.start_server && t < self.stop_server && (t - self.start_server) % n == 0
+        })
+    }
+
+    /// Number of rotations the schedule fires over the whole run.
+    #[must_use]
+    pub fn rotation_count(&self) -> usize {
+        (0..self.end).filter(|&t| self.rotates_at(t)).count()
     }
 
     /// Concurrency in force *during* tick `t`.
@@ -157,17 +190,36 @@ fn drive<S: SecureServer>(
     level: ProtectionLevel,
     cfg: &ExperimentConfig,
     schedule: &Schedule,
+    plan: Option<&FaultPlan>,
 ) -> SimResult<(Timeline, Duration)> {
     let mut rng = Rng64::new(cfg.seed ^ 0x71ED_11E5);
     let mut kernel = cfg.boot_machine(level, &mut rng);
+    if let Some(p) = plan {
+        kernel.install_fault_plan(p.clone());
+    }
     let server_cfg = ServerConfig::new(level).with_key_bits(cfg.key_bits);
-    // Build the scanner before the server exists, from the derived key. The
+    // Build the scanner before the server exists, from the derived keys of
+    // every epoch the schedule will reach — rotation is deterministic in
+    // (config, ordinal), so the successor keys are known up front. The
     // per-tick scans ride the incremental path: only frames the tick's
     // workload actually dirtied are re-read, and the differential suites
     // pin the reports bit-identical to full `scan_kernel` calls.
     let preview = server_cfg.derive_key(kind_label);
-    let mut scanner =
-        IncrementalScanner::new(Scanner::from_material(&KeyMaterial::from_key(&preview)));
+    let mut patterns: Vec<Pattern> = KeyMaterial::from_key(&preview)
+        .patterns()
+        .iter()
+        .map(Pattern::clone_secret)
+        .collect();
+    for ordinal in 1..=schedule.rotation_count() as u64 {
+        let epoch_key = server_cfg.derive_rotated_key(kind_label, ordinal);
+        patterns.extend(
+            KeyMaterial::from_key(&epoch_key)
+                .patterns()
+                .iter()
+                .map(Pattern::clone_secret),
+        );
+    }
+    let mut scanner = IncrementalScanner::new(Scanner::new(patterns));
 
     let mut server: Option<S> = None;
     let mut points = Vec::with_capacity(schedule.end);
@@ -184,6 +236,9 @@ fn drive<S: SecureServer>(
         }
         if let Some(s) = server.as_mut() {
             if s.is_running() {
+                if schedule.rotates_at(t) {
+                    s.rotate_key(&mut kernel)?;
+                }
                 let conc = schedule.concurrency_at(t);
                 s.set_concurrency(&mut kernel, conc)?;
                 if conc > 0 {
@@ -234,6 +289,25 @@ pub fn run_timeline(
     run_timeline_timed(kind, level, cfg, schedule).map(|(tl, _)| tl)
 }
 
+/// Like [`run_timeline`], with a [`FaultPlan`] active for the whole run —
+/// the ROADMAP's "faults during attacks and timelines" wiring. The plan is
+/// installed on the freshly booted kernel before the first tick, so its op
+/// indices are as deterministic as the workload itself.
+///
+/// # Errors
+///
+/// Propagates simulator errors, including injected faults the server's
+/// shedding and retry machinery could not absorb.
+pub fn run_timeline_with_plan(
+    kind: ServerKind,
+    level: ProtectionLevel,
+    cfg: &ExperimentConfig,
+    schedule: &Schedule,
+    plan: &FaultPlan,
+) -> SimResult<Timeline> {
+    run_timeline_timed_with_plan(kind, level, cfg, schedule, Some(plan)).map(|(tl, _)| tl)
+}
+
 /// Like [`run_timeline`], but also returns the wall-clock spent inside the
 /// per-tick memory scans (everything deterministic lives on
 /// [`Timeline::scan`]; the non-deterministic timing rides separately).
@@ -247,9 +321,25 @@ pub fn run_timeline_timed(
     cfg: &ExperimentConfig,
     schedule: &Schedule,
 ) -> SimResult<(Timeline, Duration)> {
+    run_timeline_timed_with_plan(kind, level, cfg, schedule, None)
+}
+
+/// The fully general timeline entry point: optional fault plan, timing
+/// returned alongside the deterministic result.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_timeline_timed_with_plan(
+    kind: ServerKind,
+    level: ProtectionLevel,
+    cfg: &ExperimentConfig,
+    schedule: &Schedule,
+    plan: Option<&FaultPlan>,
+) -> SimResult<(Timeline, Duration)> {
     match kind {
-        ServerKind::Ssh => drive::<SshServer>("openssh", level, cfg, schedule),
-        ServerKind::Apache => drive::<ApacheServer>("apache", level, cfg, schedule),
+        ServerKind::Ssh => drive::<SshServer>("openssh", level, cfg, schedule, plan),
+        ServerKind::Apache => drive::<ApacheServer>("apache", level, cfg, schedule, plan),
     }
 }
 
@@ -272,6 +362,27 @@ pub fn run_timelines(
 ) -> SimResult<Vec<Timeline>> {
     exec.run(jobs.to_vec(), |_, (kind, level)| {
         run_timeline(kind, level, cfg, schedule)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Batch form of [`run_timeline_with_plan`]: every job gets its own copy of
+/// the plan on its own freshly booted kernel, so results are bit-identical
+/// to the serial loop regardless of executor shape.
+///
+/// # Errors
+///
+/// Propagates the first simulator error in job order.
+pub fn run_timelines_with_plan(
+    exec: &Executor,
+    jobs: &[(ServerKind, ProtectionLevel)],
+    cfg: &ExperimentConfig,
+    schedule: &Schedule,
+    plan: &FaultPlan,
+) -> SimResult<Vec<Timeline>> {
+    exec.run(jobs.to_vec(), |_, (kind, level)| {
+        run_timeline_with_plan(kind, level, cfg, schedule, plan)
     })
     .into_iter()
     .collect()
@@ -403,6 +514,89 @@ mod tests {
         assert_eq!(tls[0], tl);
         assert_eq!(report.scan, tl.scan);
         assert!(report.summary().contains("scans"), "{}", report.summary());
+    }
+
+    #[test]
+    fn rotation_schedule_fires_between_start_and_stop() {
+        let s = Schedule::paper().with_rotation(4);
+        let fired: Vec<usize> = (0..s.end).filter(|&t| s.rotates_at(t)).collect();
+        assert_eq!(fired, vec![6, 10, 14, 18]);
+        assert_eq!(s.rotation_count(), 4);
+        assert_eq!(Schedule::paper().rotation_count(), 0);
+    }
+
+    #[test]
+    fn rotating_timeline_stays_clean_at_integrated() {
+        let cfg = ExperimentConfig::test();
+        let tl = run_timeline(
+            ServerKind::Ssh,
+            ProtectionLevel::Integrated,
+            &cfg,
+            &Schedule::paper().with_rotation(4),
+        )
+        .unwrap();
+        // Rotation churns four extra keys through memory, yet the hardened
+        // level never spills a byte of any epoch into free memory…
+        assert_eq!(tl.peak_unallocated(), 0, "no epoch leaks into free memory");
+        // …at most one drain window is open at a scan, so at most two
+        // epochs (3 copies each) are ever resident at once…
+        assert!(tl.peak_total() <= 6, "peak {}", tl.peak_total());
+        // …and a clean shutdown retires every epoch completely.
+        assert_eq!(tl.at(28).unwrap().total(), 0);
+    }
+
+    #[test]
+    fn rotating_timeline_scanner_sees_every_epoch() {
+        let cfg = ExperimentConfig::test();
+        let plain = run_timeline(
+            ServerKind::Ssh,
+            ProtectionLevel::None,
+            &cfg,
+            &Schedule::paper(),
+        )
+        .unwrap();
+        let rotated = run_timeline(
+            ServerKind::Ssh,
+            ProtectionLevel::None,
+            &cfg,
+            &Schedule::paper().with_rotation(4),
+        )
+        .unwrap();
+        // Unprotected, every retired epoch's debris lingers in free memory,
+        // so rotation *adds* scanner-visible copies over the static-key run.
+        assert!(
+            rotated.peak_total() > plain.peak_total(),
+            "rotation debris: {} vs {}",
+            rotated.peak_total(),
+            plain.peak_total()
+        );
+    }
+
+    #[test]
+    fn timeline_with_sparse_fault_plan_is_reproducible_and_sheds() {
+        let cfg = ExperimentConfig::test();
+        let plan = FaultPlan::new().seeded(0xF417_0925, 97);
+        let run = || {
+            run_timeline_with_plan(
+                ServerKind::Ssh,
+                ProtectionLevel::Integrated,
+                &cfg,
+                &Schedule::paper().with_rotation(4),
+                &plan,
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "fault-plan timelines must be bit-identical");
+        assert!(
+            a.shed.total() + a.shed.retries > 0,
+            "a 1-in-97 plan over a full timeline should shed or retry: {:?}",
+            a.shed
+        );
+        // Faults shed work; they never leak a hardened level's key.
+        assert_eq!(a.peak_unallocated(), 0);
+        assert_eq!(a.at(28).unwrap().total(), 0);
     }
 
     #[test]

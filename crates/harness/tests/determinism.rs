@@ -124,9 +124,111 @@ fn timeline_batch_parallel_is_bit_identical_to_serial() {
     }
 }
 
+#[test]
+fn rotating_timeline_with_plan_parallel_is_bit_identical_to_serial() {
+    use harness::timeline::run_timelines_with_plan;
+    use memsim::FaultPlan;
+    // A rotation cadence plus an active fault plan: the full chaos stack
+    // must still be bit-identical at every thread count.
+    let schedule = Schedule::paper().with_rotation(4);
+    let plan = FaultPlan::new().seeded(0xF417_0925, 193);
+    let jobs: Vec<(ServerKind, ProtectionLevel)> = ServerKind::ALL
+        .into_iter()
+        .map(|kind| (kind, ProtectionLevel::Integrated))
+        .collect();
+    let serial = run_timelines_with_plan(&Executor::serial(), &jobs, &cfg(), &schedule, &plan)
+        .unwrap();
+    for threads in THREAD_COUNTS {
+        let parallel =
+            run_timelines_with_plan(&Executor::new(threads), &jobs, &cfg(), &schedule, &plan)
+                .unwrap();
+        assert_eq!(serial, parallel, "{threads} threads");
+    }
+}
+
+#[test]
+fn attack_sweep_with_plan_parallel_is_bit_identical_to_serial() {
+    use harness::attack_sweep::ext2_sweep_with_plan_on;
+    use memsim::FaultPlan;
+    let plan = FaultPlan::new().seeded(0x5EED_F417, 89);
+    let serial = ext2_sweep_with_plan_on(
+        &Executor::serial(),
+        ServerKind::Ssh,
+        ProtectionLevel::Kernel,
+        &[20, 40],
+        &[200],
+        &cfg(),
+        Some(&plan),
+    )
+    .unwrap();
+    for threads in THREAD_COUNTS {
+        let parallel = ext2_sweep_with_plan_on(
+            &Executor::new(threads),
+            ServerKind::Ssh,
+            ProtectionLevel::Kernel,
+            &[20, 40],
+            &[200],
+            &cfg(),
+            Some(&plan),
+        )
+        .unwrap();
+        assert_eq!(serial, parallel, "{threads} threads");
+    }
+}
+
 // ---------------------------------------------------------------------
 // Fault sweeps (error-path robustness family)
 // ---------------------------------------------------------------------
+
+#[test]
+fn rotation_sweep_parallel_is_bit_identical_to_serial() {
+    use harness::faultsweep::FaultMode;
+    use harness::rotsweep::{rotation_sweep_on, rotation_sweep_pairs_on};
+    // First-order, exhaustive over the rotation lifecycle.
+    let serial = rotation_sweep_on(
+        &Executor::serial(),
+        ServerKind::Ssh,
+        ProtectionLevel::Integrated,
+        FaultMode::Fail,
+        1,
+        &cfg(),
+    )
+    .unwrap();
+    for threads in THREAD_COUNTS {
+        let parallel = rotation_sweep_on(
+            &Executor::new(threads),
+            ServerKind::Ssh,
+            ProtectionLevel::Integrated,
+            FaultMode::Fail,
+            1,
+            &cfg(),
+        )
+        .unwrap();
+        assert_eq!(serial, parallel, "{threads} threads");
+    }
+    // Second-order pairs, kill mode (fail-then-kill).
+    let serial = rotation_sweep_pairs_on(
+        &Executor::serial(),
+        ServerKind::Apache,
+        ProtectionLevel::Shielded,
+        FaultMode::Kill,
+        7,
+        &cfg(),
+    )
+    .unwrap();
+    for threads in THREAD_COUNTS {
+        let parallel = rotation_sweep_pairs_on(
+            &Executor::new(threads),
+            ServerKind::Apache,
+            ProtectionLevel::Shielded,
+            FaultMode::Kill,
+            7,
+            &cfg(),
+        )
+        .unwrap();
+        assert_eq!(serial, parallel, "{threads} threads");
+    }
+}
 
 #[test]
 fn fault_sweep_parallel_is_bit_identical_to_serial() {

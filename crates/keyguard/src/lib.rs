@@ -50,10 +50,12 @@
 
 pub mod host;
 mod region;
+pub mod rotation;
 mod shield;
 mod vault;
 
 pub use region::SecureKeyRegion;
+pub use rotation::{Custody, KeyRotation, RotationPhase};
 pub use shield::ShieldedKeyRegion;
 pub use vault::KeyVault;
 

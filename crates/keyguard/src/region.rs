@@ -254,8 +254,29 @@ impl SecureKeyRegion {
     ///
     /// Propagates simulator address errors.
     pub fn destroy(self, kernel: &mut Kernel, pid: Pid) -> SimResult<()> {
-        self.wipe(kernel, pid)?;
-        kernel.free_special_region(pid, self.base, self.npages)
+        self.try_destroy(kernel, pid).map_err(|(_, e)| e)
+    }
+
+    /// Like [`Self::destroy`], but returns the intact handle alongside the
+    /// error on failure, so the caller can retry. The wipe itself is
+    /// fallible — zeroing a page the process still COW-shares with a child
+    /// breaks the share first, and that frame allocation can fail (or be
+    /// fault-injected) — and a teardown that loses the handle on such a
+    /// failure would strand the key bytes in a mapped-but-unreachable
+    /// region forever.
+    ///
+    /// # Errors
+    ///
+    /// Returns `(self, error)` with no pages lost; every step before the
+    /// failing one is idempotent under retry.
+    pub fn try_destroy(self, kernel: &mut Kernel, pid: Pid) -> Result<(), (Self, SimError)> {
+        if let Err(e) = self.wipe(kernel, pid) {
+            return Err((self, e));
+        }
+        if let Err(e) = kernel.free_special_region(pid, self.base, self.npages) {
+            return Err((self, e));
+        }
+        Ok(())
     }
 
     /// Key rotation: installs `new_key` in a fresh region, then wipes and

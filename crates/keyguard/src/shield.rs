@@ -325,12 +325,47 @@ impl ShieldedKeyRegion {
     ///
     /// Propagates simulator address errors.
     pub fn destroy(self, kernel: &mut Kernel, pid: Pid) -> SimResult<()> {
-        kernel.mprotect_readonly(pid, self.prekey_base, PREKEY_BYTES, false)?;
+        self.try_destroy(kernel, pid).map_err(|(_, e)| e)
+    }
+
+    /// Like [`Self::destroy`], but returns the intact handle alongside the
+    /// error on failure, so the caller can retry. Both wipes (prekey and
+    /// region) run before either unmap: a zeroing write can fail mid-way —
+    /// COW-shared pages break the share first, and that allocation is
+    /// fallible — and re-running a wipe is idempotent where re-running a
+    /// free is not.
+    ///
+    /// # Errors
+    ///
+    /// Returns `(self, error)` with no pages lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if unmapping the already-wiped region fails — impossible
+    /// without a simulator invariant violation, since a wiped region has no
+    /// COW shares left to break and frees are not fault-injectable.
+    pub fn try_destroy(self, kernel: &mut Kernel, pid: Pid) -> Result<(), (Self, SimError)> {
+        if let Err(e) = kernel.mprotect_readonly(pid, self.prekey_base, PREKEY_BYTES, false) {
+            return Err((self, e));
+        }
         let mut zeros = vec![0u8; PREKEY_BYTES];
-        kernel.write_bytes(pid, self.prekey_base, &zeros)?;
+        let wrote = kernel.write_bytes(pid, self.prekey_base, &zeros);
         secure_zero(&mut zeros);
-        kernel.free_special_region(pid, self.prekey_base, PREKEY_PAGES)?;
-        self.region.destroy(kernel, pid)
+        if let Err(e) = wrote {
+            return Err((self, e));
+        }
+        if let Err(e) = self.region.wipe(kernel, pid) {
+            return Err((self, e));
+        }
+        // Past the wipes nothing allocates, so nothing below can be
+        // fault-injected; the frees run exactly once.
+        if let Err(e) = kernel.free_special_region(pid, self.prekey_base, PREKEY_PAGES) {
+            return Err((self, e));
+        }
+        if let Err(e) = self.region.destroy(kernel, pid) {
+            unreachable!("post-wipe region free failed: {e}");
+        }
+        Ok(())
     }
 }
 

@@ -180,6 +180,23 @@ impl FaultPlan {
         self
     }
 
+    /// Second-order failure: the operations at global indices `first` and
+    /// `second` both fail. The second index targets whatever operation the
+    /// *recovery path* of the first failure executes — enumerating `(j, k)`
+    /// pairs proves the rollback code is itself crash-consistent.
+    #[must_use]
+    pub fn fail_at_indices(self, first: u64, second: u64) -> Self {
+        self.fail_at_index(first).fail_at_index(second)
+    }
+
+    /// Second-order fail-then-kill: the operation at `fail_index` fails, and
+    /// the acting process is killed at `kill_index` — typically mid-recovery
+    /// from the first failure.
+    #[must_use]
+    pub fn fail_then_kill(self, fail_index: u64, kill_index: u64) -> Self {
+        self.fail_at_index(fail_index).kill_at_index(kill_index)
+    }
+
     /// Adds seeded background faults: roughly one in `denom` operations
     /// fails, selected by hashing `(seed, op_index)`. `denom == 0` disables.
     #[must_use]
@@ -284,6 +301,28 @@ mod tests {
             "seed 42 must hit at least once"
         );
         let _ = other;
+    }
+
+    #[test]
+    fn second_order_pair_fails_both_indices() {
+        let plan = FaultPlan::new().fail_at_indices(3, 9);
+        assert_eq!(plan.decide(FaultOp::HeapAlloc, 1, 3), FaultDecision::Fail);
+        assert_eq!(plan.decide(FaultOp::FrameAlloc, 1, 9), FaultDecision::Fail);
+        assert_eq!(plan.decide(FaultOp::FrameAlloc, 1, 4), FaultDecision::Allow);
+        // The pair composes with further single-index entries.
+        let plan = plan.fail_at_index(12);
+        assert_eq!(plan.decide(FaultOp::Mlock, 1, 12), FaultDecision::Fail);
+    }
+
+    #[test]
+    fn fail_then_kill_pair_orders_fail_before_kill() {
+        let plan = FaultPlan::new().fail_then_kill(5, 11);
+        assert_eq!(plan.decide(FaultOp::SpecialAlloc, 1, 5), FaultDecision::Fail);
+        assert_eq!(plan.decide(FaultOp::FrameAlloc, 2, 11), FaultDecision::Kill);
+        assert_eq!(plan.decide(FaultOp::FrameAlloc, 1, 6), FaultDecision::Allow);
+        // Same index in both roles: kill still wins.
+        let same = FaultPlan::new().fail_then_kill(7, 7);
+        assert_eq!(same.decide(FaultOp::Fork, 1, 7), FaultDecision::Kill);
     }
 
     #[test]

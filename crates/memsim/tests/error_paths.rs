@@ -165,7 +165,7 @@ fn mlock_denied_paths() {
 fn display_strings_are_stable_and_informative() {
     // Harness reports print these verbatim; pin the load-bearing substring
     // of each so report wording cannot silently degrade.
-    let cases: [(SimError, &str); 7] = [
+    let cases: [(SimError, &str); 8] = [
         (SimError::OutOfMemory, "out of simulated physical memory"),
         (SimError::NoSuchProcess(Pid(3)), "no such process"),
         (SimError::NoSuchFile(FileId(1)), "no such file"),
@@ -173,6 +173,10 @@ fn display_strings_are_stable_and_informative() {
         (SimError::BadFree(VAddr(0x20)), "free of non-allocated chunk"),
         (SimError::ReadOnly(VAddr(0x30)), "write to read-only page"),
         (SimError::MlockDenied, "mlock refused"),
+        (
+            SimError::SwappedOut(VAddr(0x40)),
+            "is swapped out; fault it in first",
+        ),
     ];
     for (err, needle) in cases {
         let shown = err.to_string();
@@ -184,4 +188,98 @@ fn display_strings_are_stable_and_informative() {
     // Variants carrying an address must echo it.
     assert!(SimError::BadAddress(VAddr(0x1234)).to_string().contains("0x00001234"));
     assert!(SimError::NoSuchProcess(Pid(7)).to_string().contains('7'));
+    assert!(SimError::SwappedOut(VAddr(0x4000)).to_string().contains("0x00004000"));
+}
+
+#[test]
+fn swapped_out_reads_name_the_page_and_touch_clears_them() {
+    let mut k = small();
+    let pid = k.spawn();
+    let a = k.heap_alloc(pid, PAGE_SIZE).unwrap();
+    k.write_bytes(pid, a, b"survives the round trip").unwrap();
+    assert!(k.swap_out_pressure(usize::MAX).unwrap() > 0);
+    // A `&self` read cannot service the major fault, so it must surface
+    // SwappedOut naming the evicted page — not BadAddress, not a panic.
+    match k.read_bytes(pid, a, 8) {
+        Err(SimError::SwappedOut(addr)) => assert_eq!(addr.vpn(), a.vpn()),
+        other => panic!("expected SwappedOut, got {other:?}"),
+    }
+    // touch_pages is the documented remedy and must restore the bytes.
+    k.touch_pages(pid, a, PAGE_SIZE).unwrap();
+    assert_eq!(
+        k.read_bytes(pid, a, 23).unwrap(),
+        b"survives the round trip"
+    );
+}
+
+#[test]
+fn swap_fault_paths_leave_evicted_pages_retryable() {
+    use memsim::FaultOp;
+    let mut k = small();
+    let pid = k.spawn();
+    let a = k.heap_alloc(pid, 2 * PAGE_SIZE).unwrap();
+    k.write_bytes(pid, a, &[7u8; 2 * PAGE_SIZE]).unwrap();
+
+    // An injected I/O error on the *second* eviction: partial progress —
+    // the first page stays evicted, the second stays resident.
+    k.install_fault_plan(FaultPlan::new().fail_nth(FaultOp::SwapOut, 2));
+    assert_eq!(k.swap_out_pressure(usize::MAX), Err(SimError::OutOfMemory));
+    k.clear_fault_plan();
+    assert!(matches!(
+        k.read_bytes(pid, a, 1),
+        Err(SimError::SwappedOut(_))
+    ));
+
+    // An injected failure on the swap-*in* path: the page stays swapped,
+    // and the very same fault retries cleanly once the plan is lifted.
+    k.install_fault_plan(FaultPlan::new().fail_nth(FaultOp::SwapIn, 1));
+    assert_eq!(
+        k.touch_pages(pid, a, PAGE_SIZE),
+        Err(SimError::OutOfMemory)
+    );
+    k.clear_fault_plan();
+    k.touch_pages(pid, a, PAGE_SIZE).unwrap();
+    assert_eq!(k.read_bytes(pid, a, 4).unwrap(), [7u8; 4]);
+}
+
+#[test]
+fn swap_out_kill_reports_the_dead_owner() {
+    let mut k = small();
+    let pid = k.spawn();
+    let a = k.heap_alloc(pid, PAGE_SIZE).unwrap();
+    k.write_bytes(pid, a, &[9u8; PAGE_SIZE]).unwrap();
+    // The first eviction is charged to the mapping owner; a Kill decision
+    // there must take the process down and say so.
+    k.install_fault_plan(FaultPlan::new().kill_at_index(k.op_index()));
+    assert_eq!(
+        k.swap_out_pressure(usize::MAX),
+        Err(SimError::NoSuchProcess(pid))
+    );
+    assert!(!k.alive(pid));
+    assert_eq!(k.stats().fault_kills, 1);
+}
+
+#[test]
+fn writeback_fault_keeps_flushed_pages_flushed() {
+    use memsim::FaultOp;
+    let mut k = small();
+    let pid = k.spawn();
+    let fid = k.create_file("journal", &[]);
+    k.write_file(fid, 0, &[3u8; 3 * PAGE_SIZE]).unwrap();
+    assert_eq!(k.dirty_cache_pages(), 3);
+
+    // Fail the second flush: exactly one page must have reached the file,
+    // and the other two must still be dirty (no lost or double flushes).
+    k.install_fault_plan(FaultPlan::new().fail_nth(FaultOp::Writeback, 2));
+    assert_eq!(k.writeback(usize::MAX), Err(SimError::OutOfMemory));
+    assert_eq!(k.dirty_cache_pages(), 2);
+
+    // Lifting the plan drains the remainder and the data is intact.
+    k.clear_fault_plan();
+    assert_eq!(k.writeback(usize::MAX).unwrap(), 2);
+    assert_eq!(k.dirty_cache_pages(), 0);
+    let (buf, len) = k.read_file(pid, fid, true).unwrap();
+    assert_eq!(len, 3 * PAGE_SIZE);
+    let content = k.read_bytes(pid, buf, len).unwrap();
+    assert!(content.iter().all(|&b| b == 3));
 }

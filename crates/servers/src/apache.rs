@@ -5,8 +5,8 @@
 //! those copies into unallocated memory.
 
 use crate::engine::{ScatteredKey, WorkerCrypto};
-use crate::{SecureServer, ServerConfig, SheddingStats};
-use keyguard::{SecureKeyRegion, ShieldedKeyRegion};
+use crate::{SecureServer, ServerConfig, SheddingStats, RETRY_BACKLOG_CAP, RETRY_BACKOFF_MAX};
+use keyguard::{Custody, KeyRotation, SecureKeyRegion, ShieldedKeyRegion};
 use memsim::{FileId, Kernel, Pid, SimError, SimResult, VAddr};
 use rsa_repro::material::KeyMaterial;
 use rsa_repro::RsaPrivateKey;
@@ -19,11 +19,19 @@ const MAX_CLIENTS: usize = 150;
 struct Worker {
     pid: Pid,
     crypto: WorkerCrypto,
+    /// Key epoch the worker's crypto was cloned from; a pre-rotation worker
+    /// drains gracefully (serve one more request, then exit).
+    epoch: u64,
+    /// Forked during a drain window, so its address space COW-shares the
+    /// predecessor key's pages. Retire recycles tainted workers (reap +
+    /// respawn) to close that hole — the parent's wipe only COW-breaks its
+    /// own mapping.
+    tainted: bool,
 }
 
 impl core::fmt::Debug for Worker {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "Worker(pid={:?}, key=<redacted>)", self.pid)
+        write!(f, "Worker(pid={:?}, epoch={}, key=<redacted>)", self.pid, self.epoch)
     }
 }
 
@@ -43,12 +51,27 @@ pub struct ApacheServer {
     /// Address of the shared RSA struct: the page workers dirty on their
     /// first private-key op (unprotected levels only).
     shared_struct: Option<VAddr>,
+    /// The parent's scattered key copies at unaligned levels, retained so a
+    /// rotation can zero + free the predecessor's chunks at Retire.
+    scattered: Option<ScatteredKey>,
     workers: Vec<Worker>,
     next_worker: usize,
     rng: Rng64,
     handshakes: u64,
     shed: SheddingStats,
     running: bool,
+    /// Current key epoch ordinal (0 = boot key).
+    epoch: u64,
+    /// The in-flight rotation while the previous epoch drains.
+    rotation: Option<KeyRotation>,
+    /// Predecessor state held only during a drain window.
+    old_scattered: Option<ScatteredKey>,
+    old_material: Option<KeyMaterial>,
+    old_pem: Option<FileId>,
+    /// Bounded-backoff re-dial state for shed workers.
+    retry_backlog: u64,
+    retry_delay: u64,
+    retry_backoff: u64,
 }
 
 /// Holds the host key and its search material; `{:?}` reports pool state only.
@@ -76,19 +99,136 @@ impl ApacheServer {
             self.rng.next_u64(),
             crate::engine::Protocol::Tls,
         );
-        self.workers.push(Worker { pid, crypto });
+        self.workers.push(Worker {
+            pid,
+            crypto,
+            epoch: self.epoch,
+            tainted: self.rotation.is_some(),
+        });
         Ok(())
     }
 
-    /// Spawns one worker, shedding (not propagating) a fork failure.
+    /// Spawns one worker, shedding (not propagating) a fork failure. A shed
+    /// worker joins the bounded re-spawn backlog.
     fn spawn_or_shed(&mut self, kernel: &mut Kernel) -> bool {
         match self.spawn_worker(kernel) {
             Ok(()) => true,
             Err(_) => {
                 self.shed.failed_forks += 1;
+                self.note_shed_for_retry();
                 false
             }
         }
+    }
+
+    /// Remembers one shed worker for re-spawning, up to the cap.
+    fn note_shed_for_retry(&mut self) {
+        self.retry_backlog = (self.retry_backlog + 1).min(RETRY_BACKLOG_CAP);
+    }
+
+    /// One deterministic bounded-backoff re-spawn step, run at the top of
+    /// every `pump` call (same discipline as the SSH server's re-dial).
+    fn retry_shed(&mut self, kernel: &mut Kernel) {
+        if self.retry_backlog == 0 {
+            return;
+        }
+        if self.retry_delay > 0 {
+            self.retry_delay -= 1;
+            return;
+        }
+        self.shed.retries += 1;
+        if self.spawn_worker(kernel).is_ok() {
+            self.shed.recovered += 1;
+            self.retry_backlog -= 1;
+            self.retry_backoff = 1;
+        } else {
+            self.retry_backoff = (self.retry_backoff * 2).min(RETRY_BACKOFF_MAX);
+        }
+        self.retry_delay = self.retry_backoff;
+    }
+
+    /// Retires the drain window once no worker remains on an old epoch.
+    fn maybe_retire(&mut self, kernel: &mut Kernel) -> SimResult<()> {
+        if self.rotation.is_some() && self.workers.iter().all(|w| w.epoch >= self.epoch) {
+            self.retire_old(kernel)?;
+        }
+        Ok(())
+    }
+
+    /// Retire phase: zeroizes the predecessor's custody, its scattered
+    /// chunks at unaligned levels, and its shredded PEM file. No-op when
+    /// not draining.
+    ///
+    /// **Retryable**: every teardown step can fault (zeroing writes break
+    /// COW shares, the shred allocates page-cache frames), so on error the
+    /// un-torn-down pieces are put back and the drain window stays open —
+    /// the next quiesce point finishes the retirement.
+    fn retire_old(&mut self, kernel: &mut Kernel) -> SimResult<()> {
+        let Some(mut rot) = self.rotation.take() else {
+            return Ok(());
+        };
+        if kernel.alive(self.parent) {
+            if let Err(e) = rot.retire(kernel, self.parent) {
+                self.rotation = Some(rot);
+                return Err(e);
+            }
+            if let Some(sk) = self.old_scattered.take() {
+                if let Err((sk, e)) = sk.try_zero_and_free(kernel, self.parent) {
+                    self.old_scattered = Some(sk);
+                    self.rotation = Some(rot);
+                    return Err(e);
+                }
+            }
+        } else {
+            rot.retire_dead();
+            self.old_scattered = None;
+        }
+        if let Some(fid) = self.old_pem.take() {
+            if let Err(e) = crate::engine::shred_file(kernel, fid) {
+                self.old_pem = Some(fid);
+                self.rotation = Some(rot);
+                return Err(e);
+            }
+        }
+        // Recycle workers forked during the drain window: their address
+        // spaces COW-share the predecessor's (now-wiped-in-the-parent) pages,
+        // and only their exit releases the original frames. Replacements are
+        // forked after the wipe, so they are clean — prefork recycles workers
+        // routinely (MaxRequestsPerChild), and no request is in flight here.
+        // A failure mid-recycle keeps the drain window open so the loop
+        // resumes with the workers still tainted.
+        while let Some(pos) = self.workers.iter().position(|w| w.tainted) {
+            let w = self.workers.swap_remove(pos);
+            match kernel.exit(w.pid) {
+                Err(SimError::NoSuchProcess(_)) => self.shed.shed_connections += 1,
+                Err(e) => {
+                    self.workers.push(w);
+                    self.rotation = Some(rot);
+                    return Err(e);
+                }
+                Ok(()) => {}
+            }
+            self.spawn_or_shed(kernel);
+        }
+        self.old_material = None;
+        Ok(())
+    }
+
+    /// Bounds the drain window before a back-to-back rotation or a graceful
+    /// restart: any worker still on an old epoch is reaped and the
+    /// predecessor retires.
+    fn force_drain(&mut self, kernel: &mut Kernel) -> SimResult<()> {
+        if self.rotation.is_none() {
+            return Ok(());
+        }
+        while let Some(pos) = self.workers.iter().position(|w| w.epoch < self.epoch) {
+            let w = self.workers.swap_remove(pos);
+            match kernel.exit(w.pid) {
+                Err(SimError::NoSuchProcess(_)) => self.shed.shed_connections += 1,
+                r => r?,
+            }
+        }
+        self.retire_old(kernel)
     }
 
     fn reap_worker(&mut self, kernel: &mut Kernel) -> SimResult<()> {
@@ -123,6 +263,10 @@ impl ApacheServer {
     ///
     /// Propagates simulator errors.
     pub fn graceful_restart(&mut self, kernel: &mut Kernel) -> SimResult<()> {
+        // A restart mid-drain first finishes the drain: the old epoch's
+        // workers are being reaped below anyway, and its key must not
+        // survive the reload.
+        self.force_drain(kernel)?;
         let pool = self.workers.len().max(START_SERVERS);
         while !self.workers.is_empty() {
             self.reap_worker(kernel)?;
@@ -160,6 +304,9 @@ impl ApacheServer {
             }
         } else {
             self.shared_struct = Some(scattered.rsa_struct_addr());
+            // The prior reload's chunks keep leaking (faithful restart
+            // behaviour); only the newest handle is retired by rotation.
+            self.scattered = Some(scattered);
         }
         for _ in 0..pool {
             self.spawn_worker(kernel)?;
@@ -187,22 +334,24 @@ impl SecureServer for ApacheServer {
             level.nocache_pem(),
             level.align_key(),
         )?;
-        let (region, shield, shared_struct) = if level.align_key() {
+        let (region, shield, shared_struct, scattered) = if level.align_key() {
             let region = SecureKeyRegion::install(kernel, parent, &key)?;
             scattered.zero_and_free(kernel, parent)?;
             if level.shield_key() {
                 match ShieldedKeyRegion::wrap(kernel, parent, region, &mut rng) {
-                    Ok(shield) => (None, Some(shield), None),
+                    Ok(shield) => (None, Some(shield), None, None),
                     Err((region, e)) => {
                         let _ = region.destroy(kernel, parent);
                         return Err(e);
                     }
                 }
             } else {
-                (Some(region), None, None)
+                (Some(region), None, None, None)
             }
         } else {
-            (None, None, Some(scattered.rsa_struct_addr()))
+            let addr = scattered.rsa_struct_addr();
+            // Keep the handle: a later rotation retires these chunks.
+            (None, None, Some(addr), Some(scattered))
         };
 
         let mut server = Self {
@@ -214,12 +363,21 @@ impl SecureServer for ApacheServer {
             region,
             shield,
             shared_struct,
+            scattered,
             workers: Vec::new(),
             next_worker: 0,
             rng,
             handshakes: 0,
             shed: SheddingStats::default(),
             running: true,
+            epoch: 0,
+            rotation: None,
+            old_scattered: None,
+            old_material: None,
+            old_pem: None,
+            retry_backlog: 0,
+            retry_delay: 0,
+            retry_backoff: 1,
         };
         for _ in 0..START_SERVERS {
             server.spawn_worker(kernel)?;
@@ -228,6 +386,21 @@ impl SecureServer for ApacheServer {
     }
 
     fn set_concurrency(&mut self, kernel: &mut Kernel, n: usize) -> SimResult<()> {
+        // A reconfiguration bounds any open drain window: pre-rotation
+        // workers are idle here (no request in flight), so they exit
+        // gracefully and successor-epoch replacements join — round-robin
+        // scheduling alone can starve a drained worker of its final request
+        // forever, which would leave the predecessor key resident.
+        if self.rotation.is_some() {
+            while let Some(pos) = self.workers.iter().position(|w| w.epoch < self.epoch) {
+                let w = self.workers.swap_remove(pos);
+                match kernel.exit(w.pid) {
+                    Err(SimError::NoSuchProcess(_)) => self.shed.shed_connections += 1,
+                    r => r?,
+                }
+                self.spawn_or_shed(kernel);
+            }
+        }
         // Prefork keeps at least StartServers processes alive and grows the
         // pool to match concurrent demand. Growth is bounded — one spawn
         // attempt per missing slot, failures shed — so a fork-exhausted pool
@@ -240,10 +413,11 @@ impl SecureServer for ApacheServer {
         while self.workers.len() > target {
             self.reap_worker(kernel)?;
         }
-        Ok(())
+        self.maybe_retire(kernel)
     }
 
     fn pump(&mut self, kernel: &mut Kernel, requests: usize) -> SimResult<()> {
+        self.retry_shed(kernel);
         for _ in 0..requests {
             if self.workers.is_empty() && !self.spawn_or_shed(kernel) {
                 // No pool and no way to grow one right now: this request is
@@ -254,13 +428,34 @@ impl SecureServer for ApacheServer {
             self.next_worker = self.next_worker.wrapping_add(1);
             let shared = self.shared_struct;
             let parent = self.parent;
-            let material = self.material.clone_secret();
+            let worker_epoch = self.workers[idx].epoch;
+            // A pre-rotation worker drains on its own epoch's key material.
+            let material = if worker_epoch < self.epoch {
+                self.old_material
+                    .as_ref()
+                    .unwrap_or(&self.material)
+                    .clone_secret()
+            } else {
+                self.material.clone_secret()
+            };
             let w = &mut self.workers[idx];
             let result = crate::engine::with_shield_open(&mut self.shield, kernel, parent, |k| {
                 w.crypto.handshake(k, w.pid, shared, &material)
             });
             match result {
-                Ok(()) => self.handshakes += 1,
+                Ok(()) => {
+                    self.handshakes += 1;
+                    if worker_epoch < self.epoch {
+                        // Graceful drain: the old-epoch worker finished its
+                        // request; it exits and a successor-epoch replacement
+                        // joins the pool — no request was dropped.
+                        let pid = self.workers.swap_remove(idx).pid;
+                        if kernel.alive(pid) {
+                            let _ = kernel.exit(pid);
+                        }
+                        self.spawn_or_shed(kernel);
+                    }
+                }
                 Err(_) => {
                     // Shed the failing worker — prefork reaps a crashed
                     // child and carries on.
@@ -270,10 +465,11 @@ impl SecureServer for ApacheServer {
                         let _ = kernel.exit(pid);
                     }
                     self.shed.shed_connections += 1;
+                    self.note_shed_for_retry();
                 }
             }
         }
-        Ok(())
+        self.maybe_retire(kernel)
     }
 
     fn transfer(&mut self, kernel: &mut Kernel, bytes: usize) -> SimResult<()> {
@@ -292,6 +488,8 @@ impl SecureServer for ApacheServer {
         while !self.workers.is_empty() {
             self.reap_worker(kernel)?;
         }
+        // An open drain window retires before shutdown.
+        self.retire_old(kernel)?;
         let parent_alive = kernel.alive(self.parent);
         if let Some(region) = self.region.take() {
             // A parent already killed by a fault took its mappings with it.
@@ -317,6 +515,86 @@ impl SecureServer for ApacheServer {
 
     fn restart(&mut self, kernel: &mut Kernel) -> SimResult<()> {
         self.graceful_restart(kernel)
+    }
+
+    fn rotate_key(&mut self, kernel: &mut Kernel) -> SimResult<u64> {
+        if !self.running || !kernel.alive(self.parent) {
+            return Err(SimError::NoSuchProcess(self.parent));
+        }
+        // Bound the drain window: a back-to-back rotation finishes the
+        // previous epoch's drain before starting its own.
+        self.force_drain(kernel)?;
+
+        let ordinal = self.epoch + 1;
+        let level = self.config.level;
+        // Generate: host-side only, deterministic in (config, ordinal).
+        let new_key = self.config.derive_rotated_key("apache", ordinal);
+        let new_material = KeyMaterial::from_key(&new_key);
+
+        // Install: the successor's protected home. Transactional — on error
+        // the old key is untouched and no successor byte is resident.
+        let mut rot = KeyRotation::begin(level, ordinal);
+        rot.install(kernel, self.parent, &new_key, &mut self.rng)?;
+
+        // The successor key file replaces the old path, mode 0600.
+        let new_pem = kernel.create_file("/etc/apache2/ssl/server.key", new_material.pem_bytes());
+        if let Err(e) = kernel.chmod_private(new_pem) {
+            let _ = rot.abort(kernel, self.parent);
+            return Err(e);
+        }
+
+        // The parent's scattered home at unaligned levels — rolled back as a
+        // unit on failure, keeping "old key fully live" true.
+        let new_scattered = if level.align_key() {
+            None
+        } else {
+            match ScatteredKey::load_transactional(
+                kernel,
+                self.parent,
+                new_pem,
+                &new_material,
+                level.nocache_pem(),
+            ) {
+                Ok(sk) => Some(sk),
+                Err(e) => {
+                    let _ = crate::engine::shred_file(kernel, new_pem);
+                    let _ = rot.abort(kernel, self.parent);
+                    return Err(e);
+                }
+            }
+        };
+
+        // Activate: the atomic in-memory switch — new handshakes bind the
+        // successor from here on.
+        let outgoing = Custody::from_parts(self.region.take(), self.shield.take());
+        let (region, shield) = match rot.activate(outgoing) {
+            Some(custody) => custody.into_parts(),
+            None => (None, None),
+        };
+        self.region = region;
+        self.shield = shield;
+        self.shared_struct = new_scattered.as_ref().map(ScatteredKey::rsa_struct_addr);
+        self.old_scattered = self.scattered.take();
+        self.scattered = new_scattered;
+        self.old_material = Some(core::mem::replace(&mut self.material, new_material));
+        self.old_pem = Some(core::mem::replace(&mut self.pem_file, new_pem));
+        self.key = new_key;
+        self.epoch = ordinal;
+
+        // Drain: old-epoch workers each serve one more request, then exit.
+        rot.begin_drain();
+        self.rotation = Some(rot);
+        // An idle (empty-pool) server retires the predecessor immediately.
+        self.maybe_retire(kernel)?;
+        Ok(ordinal)
+    }
+
+    fn key_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn draining(&self) -> bool {
+        self.rotation.is_some()
     }
 
     fn key(&self) -> &RsaPrivateKey {

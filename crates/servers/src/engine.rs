@@ -8,7 +8,7 @@
 //! contexts (copies of P and Q), and per-connection session buffers.
 
 use keyguard::ProtectionLevel;
-use memsim::{FileId, Kernel, Pid, SimResult, VAddr};
+use memsim::{FileId, Kernel, Pid, SimError, SimResult, VAddr};
 use rsa_repro::material::KeyMaterial;
 use rsa_repro::{CrtEngine, RsaPrivateKey};
 use simrng::Rng64;
@@ -64,6 +64,24 @@ pub(crate) fn with_shield_open<T>(
         Some(s) => s.with_unshielded(kernel, owner, f),
         None => f(kernel),
     }
+}
+
+/// Overwrites a whole file with zeros — the shred a retiring key epoch
+/// applies to its PEM file. Writing through the page cache scrubs any
+/// still-cached pages of the old contents in place (and marks them dirty,
+/// so a later writeback flushes zeros to the backing store too).
+///
+/// # Errors
+///
+/// Propagates simulator errors (a faulted cache-frame allocation). No
+/// error path places file bytes in memory: each cache page is zeroed
+/// within the same step that fills it.
+pub(crate) fn shred_file(kernel: &mut Kernel, fid: FileId) -> memsim::SimResult<()> {
+    let len = kernel.file_len(fid)?;
+    if len == 0 {
+        return Ok(());
+    }
+    kernel.write_file(fid, 0, &vec![0u8; len])
 }
 
 /// The scattered in-heap home of a freshly loaded key: what
@@ -136,6 +154,75 @@ impl ScatteredKey {
         Ok(Self { rsa_struct, chunks })
     }
 
+    /// [`Self::load`] with rollback: any mid-step failure zeroes and frees
+    /// every chunk (and the PEM buffer) already placed before the error is
+    /// returned, leaving memory exactly as scanned-clean as before the
+    /// call. The key-rotation path uses this so a faulted reload of the
+    /// successor key cannot strand successor bytes next to the still-live
+    /// predecessor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn load_transactional(
+        kernel: &mut Kernel,
+        pid: Pid,
+        pem_file: FileId,
+        material: &KeyMaterial,
+        nocache: bool,
+    ) -> SimResult<Self> {
+        let (pem_buf, _len) = kernel.read_file(pid, pem_file, nocache)?;
+        let mut placed: Vec<VAddr> = vec![pem_buf];
+        let unwind = |kernel: &mut Kernel, placed: &[VAddr]| {
+            for &addr in placed {
+                let _ = kernel.heap_free_zeroed(pid, addr);
+            }
+        };
+        let rsa_struct = match kernel.heap_alloc(pid, 64) {
+            Ok(a) => a,
+            Err(e) => {
+                unwind(kernel, &placed);
+                return Err(e);
+            }
+        };
+        placed.push(rsa_struct);
+        let parts: [(&'static str, &[u8]); 6] = [
+            ("d", material.d_bytes()),
+            ("p", material.p_bytes()),
+            ("q", material.q_bytes()),
+            ("dp", material.p_bytes()),
+            ("dq", material.q_bytes()),
+            ("qinv", material.q_bytes()),
+        ];
+        let mut chunks = Vec::with_capacity(6);
+        for (name, bytes) in parts {
+            let step = (|| {
+                let addr = kernel.heap_alloc(pid, bytes.len())?;
+                // Track before writing so a faulted write is unwound too.
+                placed.push(addr);
+                match name {
+                    "d" | "p" | "q" => kernel.write_bytes(pid, addr, bytes)?,
+                    _ => {
+                        let filler = vec![0xC3u8; bytes.len()];
+                        kernel.write_bytes(pid, addr, &filler)?;
+                    }
+                }
+                Ok(addr)
+            })();
+            match step {
+                Ok(addr) => chunks.push((name, addr)),
+                Err(e) => {
+                    unwind(kernel, &placed);
+                    return Err(e);
+                }
+            }
+        }
+        // The PEM buffer has been consumed by the decode: the rotation
+        // path always clears it, whatever the level (library hygiene).
+        kernel.heap_free_zeroed(pid, pem_buf)?;
+        Ok(Self { rsa_struct, chunks })
+    }
+
     /// Address of the RSA struct chunk (shared COW with forked workers; the
     /// first write from a worker duplicates the page and every key byte on
     /// it).
@@ -152,8 +239,30 @@ impl ScatteredKey {
     ///
     /// Propagates simulator errors.
     pub fn zero_and_free(self, kernel: &mut Kernel, pid: Pid) -> SimResult<()> {
-        for (_, addr) in self.chunks {
-            kernel.heap_free_zeroed(pid, addr)?;
+        self.try_zero_and_free(kernel, pid).map_err(|(_, e)| e)
+    }
+
+    /// Like [`Self::zero_and_free`], but returns the handle (minus the
+    /// chunks already freed) alongside the error on failure, so the caller
+    /// can retry. The zeroing writes are fallible — a COW-shared heap page
+    /// breaks its share first, and that allocation can fail — and losing
+    /// the chunk addresses on such a failure would strand key bytes in
+    /// still-allocated heap forever.
+    ///
+    /// # Errors
+    ///
+    /// Returns `(self, error)`; already-freed chunks are dropped from the
+    /// handle so a retry never double-frees.
+    pub fn try_zero_and_free(
+        mut self,
+        kernel: &mut Kernel,
+        pid: Pid,
+    ) -> Result<(), (Self, SimError)> {
+        while let Some(&(_, addr)) = self.chunks.last() {
+            if let Err(e) = kernel.heap_free_zeroed(pid, addr) {
+                return Err((self, e));
+            }
+            self.chunks.pop();
         }
         // The struct itself stays alive in real OpenSSL; it holds no key
         // bytes, so keeping it allocated is harmless and faithful.

@@ -70,15 +70,30 @@ pub struct SheddingStats {
     pub shed_connections: u64,
     /// Handshakes abandoned because of a fault.
     pub shed_handshakes: u64,
+    /// Bounded-backoff re-dial attempts made for previously shed
+    /// connections (each attempt counts, successful or not).
+    pub retries: u64,
+    /// Shed connections brought back by a successful retry.
+    pub recovered: u64,
 }
 
 impl SheddingStats {
-    /// Total shed events of any kind.
+    /// Total shed events of any kind (retry bookkeeping is separate: a
+    /// retry is recovery work, not a shed event).
     #[must_use]
     pub fn total(&self) -> u64 {
         self.failed_forks + self.shed_connections + self.shed_handshakes
     }
 }
+
+/// Most shed connections a server remembers for re-dialing. Sheds beyond
+/// the cap are permanently dropped (the client gave up), which keeps the
+/// retry loop bounded under sustained fault pressure.
+pub const RETRY_BACKLOG_CAP: u64 = 16;
+
+/// Ceiling for the deterministic exponential backoff between re-dial
+/// attempts, measured in `pump` calls (1, 2, 4, 8, 8, ...).
+pub const RETRY_BACKOFF_MAX: u64 = 8;
 
 /// Configuration shared by both servers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,11 +140,28 @@ impl ServerConfig {
     /// server startup).
     #[must_use]
     pub fn derive_key(&self, server_name: &str) -> RsaPrivateKey {
+        self.derive_rotated_key(server_name, 0)
+    }
+
+    /// Derives the key a server with this configuration uses at rotation
+    /// ordinal `ordinal` (0 = the boot key, 1 = the first successor, ...).
+    ///
+    /// Like [`Self::derive_key`], this is a pure function of the
+    /// configuration, so sweep harnesses and scanners know every epoch's
+    /// key before the server rotates to it.
+    #[must_use]
+    pub fn derive_rotated_key(&self, server_name: &str, ordinal: u64) -> RsaPrivateKey {
         let salt = match server_name {
             "apache" => 0xA9AC_4E00,
             _ => 0,
         };
-        let mut rng = simrng::Rng64::new(self.seed ^ salt);
+        // Ordinal 0 must reproduce the historical derive_key stream.
+        let rotation = if ordinal == 0 {
+            0
+        } else {
+            (0x07A7_E000 + ordinal).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        };
+        let mut rng = simrng::Rng64::new(self.seed ^ salt ^ rotation);
         RsaPrivateKey::generate(self.key_bits, &mut rng)
     }
 }
@@ -207,6 +239,36 @@ pub trait SecureServer: Sized {
         self.stop(kernel)?;
         *self = Self::start(kernel, self.config())?;
         Ok(())
+    }
+
+    /// Rotates the server to its next key epoch with no dropped traffic:
+    /// the crash-consistent `Generate → Install → Activate → Drain →
+    /// Retire` lifecycle of [`keyguard::KeyRotation`]. On return the new
+    /// key serves all fresh handshakes; connections opened before the call
+    /// drain on engines that own the old key, and the old key's custody is
+    /// zeroized ([`keyguard::RotationPhase::Retire`]) as soon as the last
+    /// of them closes (immediately, on an idle server).
+    ///
+    /// **Crash-consistent**: a fault injected at any operation index leaves
+    /// the server in exactly one of {old key fully live, new key fully
+    /// live} — an install-phase failure unwinds the successor completely
+    /// and returns the error with the old key untouched.
+    ///
+    /// Returns the new key epoch ordinal (1 for the first rotation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; on error the old key is still live.
+    fn rotate_key(&mut self, kernel: &mut Kernel) -> SimResult<u64>;
+
+    /// The current key epoch ordinal (0 until the first rotation).
+    fn key_epoch(&self) -> u64 {
+        0
+    }
+
+    /// Whether a previous key epoch is still draining (both keys resident).
+    fn draining(&self) -> bool {
+        false
     }
 
     /// The server's private key.

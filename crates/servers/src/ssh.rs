@@ -3,8 +3,8 @@
 //! re-exec behaviour the paper's `-r` option disables).
 
 use crate::engine::{ScatteredKey, WorkerCrypto};
-use crate::{SecureServer, ServerConfig, SheddingStats};
-use keyguard::{SecureKeyRegion, ShieldedKeyRegion};
+use crate::{SecureServer, ServerConfig, SheddingStats, RETRY_BACKLOG_CAP, RETRY_BACKOFF_MAX};
+use keyguard::{Custody, KeyRotation, SecureKeyRegion, ShieldedKeyRegion};
 use memsim::{FileId, Kernel, Pid, SimError, SimResult};
 use rsa_repro::material::KeyMaterial;
 use rsa_repro::RsaPrivateKey;
@@ -15,11 +15,18 @@ use simrng::Rng64;
 struct Connection {
     pid: Pid,
     crypto: WorkerCrypto,
+    /// Key epoch the connection's handshake bound: a connection opened
+    /// before a rotation drains on the old key.
+    epoch: u64,
 }
 
 impl core::fmt::Debug for Connection {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "Connection(pid={:?}, key=<redacted>)", self.pid)
+        write!(
+            f,
+            "Connection(pid={:?}, epoch={}, key=<redacted>)",
+            self.pid, self.epoch
+        )
     }
 }
 
@@ -38,11 +45,26 @@ pub struct SshServer {
     /// The shielded (prekey-encrypted) region at `ProtectionLevel::Shielded`:
     /// ciphertext at rest, opened only around each private-key operation.
     shield: Option<ShieldedKeyRegion>,
+    /// The daemon's scattered key copies at unaligned levels, retained so a
+    /// rotation can zero + free the predecessor's chunks at Retire.
+    scattered: Option<ScatteredKey>,
     connections: Vec<Connection>,
     rng: Rng64,
     handshakes: u64,
     shed: SheddingStats,
     running: bool,
+    /// Current key epoch ordinal (0 = boot key).
+    epoch: u64,
+    /// The in-flight rotation while the previous epoch drains.
+    rotation: Option<KeyRotation>,
+    /// Predecessor state held only during a drain window.
+    old_scattered: Option<ScatteredKey>,
+    old_material: Option<KeyMaterial>,
+    old_pem: Option<FileId>,
+    /// Bounded-backoff re-dial state for shed connections.
+    retry_backlog: u64,
+    retry_delay: u64,
+    retry_backoff: u64,
 }
 
 /// Pages of private data/bss/stack a re-exec'd sshd child owns. When such a
@@ -71,7 +93,11 @@ impl SshServer {
         match self.setup_connection(kernel, child) {
             Ok(crypto) => {
                 self.handshakes += 1;
-                self.connections.push(Connection { pid: child, crypto });
+                self.connections.push(Connection {
+                    pid: child,
+                    crypto,
+                    epoch: self.epoch,
+                });
                 Ok(())
             }
             Err(e) => {
@@ -110,15 +136,114 @@ impl SshServer {
         Ok(crypto)
     }
 
-    /// Opens one connection, shedding (not propagating) any failure.
+    /// Opens one connection, shedding (not propagating) any failure. A shed
+    /// connection joins the bounded re-dial backlog.
     fn open_or_shed(&mut self, kernel: &mut Kernel) -> bool {
         match self.open_connection(kernel) {
             Ok(()) => true,
             Err(_) => {
                 self.shed.failed_forks += 1;
+                self.note_shed_for_retry();
                 false
             }
         }
+    }
+
+    /// Remembers one shed connection for re-dialing, up to the cap.
+    fn note_shed_for_retry(&mut self) {
+        self.retry_backlog = (self.retry_backlog + 1).min(RETRY_BACKLOG_CAP);
+    }
+
+    /// One deterministic bounded-backoff re-dial step, run at the top of
+    /// every `pump` call: after `retry_delay` pumps of silence, attempt to
+    /// re-open one shed connection. Success recovers it and resets the
+    /// backoff; failure doubles the backoff up to [`RETRY_BACKOFF_MAX`].
+    fn retry_shed(&mut self, kernel: &mut Kernel) {
+        if self.retry_backlog == 0 {
+            return;
+        }
+        if self.retry_delay > 0 {
+            self.retry_delay -= 1;
+            return;
+        }
+        self.shed.retries += 1;
+        if self.open_connection(kernel).is_ok() {
+            self.shed.recovered += 1;
+            self.retry_backlog -= 1;
+            self.retry_backoff = 1;
+        } else {
+            self.retry_backoff = (self.retry_backoff * 2).min(RETRY_BACKOFF_MAX);
+        }
+        self.retry_delay = self.retry_backoff;
+    }
+
+    /// Retires the drain window once no connection remains on an old epoch.
+    fn maybe_retire(&mut self, kernel: &mut Kernel) -> SimResult<()> {
+        if self.rotation.is_some() && self.connections.iter().all(|c| c.epoch >= self.epoch) {
+            self.retire_old(kernel)?;
+        }
+        Ok(())
+    }
+
+    /// Retire phase: zeroizes everything the predecessor key ever owned —
+    /// its custody ([`keyguard::KeyRotation::retire`]), its scattered chunks
+    /// at unaligned levels, and its on-disk PEM file (shredded in place,
+    /// scrubbing any cached page-cache copies). No-op when not draining.
+    ///
+    /// **Retryable**: every teardown step can fault (zeroing writes break
+    /// COW shares, the shred allocates page-cache frames), so on error the
+    /// un-torn-down pieces are put back and the drain window stays open —
+    /// the next quiesce point finishes the retirement. Nothing is ever
+    /// stranded half-wiped.
+    fn retire_old(&mut self, kernel: &mut Kernel) -> SimResult<()> {
+        let Some(mut rot) = self.rotation.take() else {
+            return Ok(());
+        };
+        if kernel.alive(self.daemon) {
+            if let Err(e) = rot.retire(kernel, self.daemon) {
+                self.rotation = Some(rot);
+                return Err(e);
+            }
+            if let Some(sk) = self.old_scattered.take() {
+                if let Err((sk, e)) = sk.try_zero_and_free(kernel, self.daemon) {
+                    self.old_scattered = Some(sk);
+                    self.rotation = Some(rot);
+                    return Err(e);
+                }
+            }
+        } else {
+            // A killed daemon took its mappings with it; a hardened kernel
+            // zeroed the frames at unmap.
+            rot.retire_dead();
+            self.old_scattered = None;
+        }
+        if let Some(fid) = self.old_pem.take() {
+            if let Err(e) = crate::engine::shred_file(kernel, fid) {
+                self.old_pem = Some(fid);
+                self.rotation = Some(rot);
+                return Err(e);
+            }
+        }
+        self.old_material = None;
+        Ok(())
+    }
+
+    /// Bounds the drain window before a back-to-back rotation: any session
+    /// still on an old epoch is terminated (sshd's rekey-limit behaviour),
+    /// counted as a shed connection, and the predecessor retires.
+    fn force_drain(&mut self, kernel: &mut Kernel) -> SimResult<()> {
+        if self.rotation.is_none() {
+            return Ok(());
+        }
+        while let Some(pos) = self.connections.iter().position(|c| c.epoch < self.epoch) {
+            let was_alive = kernel.alive(self.connections[pos].pid);
+            self.close_connection(kernel, pos)?;
+            if was_alive {
+                self.shed.shed_connections += 1;
+                self.note_shed_for_retry();
+            }
+        }
+        self.retire_old(kernel)
     }
 
     fn close_connection(&mut self, kernel: &mut Kernel, idx: usize) -> SimResult<()> {
@@ -161,24 +286,25 @@ impl SecureServer for SshServer {
             level.nocache_pem(),
             level.align_key(),
         )?;
-        let (region, shield) = if level.align_key() {
+        let (region, shield, scattered) = if level.align_key() {
             // RSA_memory_align: consolidate, then zero + free the originals.
             let region = SecureKeyRegion::install(kernel, daemon, &key)?;
             scattered.zero_and_free(kernel, daemon)?;
             if level.shield_key() {
                 // sshkey_shield: encrypt the consolidated region at rest.
                 match ShieldedKeyRegion::wrap(kernel, daemon, region, &mut rng) {
-                    Ok(shield) => (None, Some(shield)),
+                    Ok(shield) => (None, Some(shield), None),
                     Err((region, e)) => {
                         let _ = region.destroy(kernel, daemon);
                         return Err(e);
                     }
                 }
             } else {
-                (Some(region), None)
+                (Some(region), None, None)
             }
         } else {
-            (None, None)
+            // Keep the handle: a later rotation retires these chunks.
+            (None, None, Some(scattered))
         };
 
         Ok(Self {
@@ -189,11 +315,20 @@ impl SecureServer for SshServer {
             daemon,
             region,
             shield,
+            scattered,
             connections: Vec::new(),
             rng,
             handshakes: 0,
             shed: SheddingStats::default(),
             running: true,
+            epoch: 0,
+            rotation: None,
+            old_scattered: None,
+            old_material: None,
+            old_pem: None,
+            retry_backlog: 0,
+            retry_delay: 0,
+            retry_backoff: 1,
         })
     }
 
@@ -209,10 +344,11 @@ impl SecureServer for SshServer {
         for _ in 0..missing {
             self.open_or_shed(kernel);
         }
-        Ok(())
+        self.maybe_retire(kernel)
     }
 
     fn pump(&mut self, kernel: &mut Kernel, requests: usize) -> SimResult<()> {
+        self.retry_shed(kernel);
         for _ in 0..requests {
             if self.connections.is_empty() {
                 // No standing concurrency: each transfer is its own
@@ -225,18 +361,33 @@ impl SecureServer for SshServer {
             // scp churn: a replacement connection arrives, then the oldest
             // transfer finishes and its child exits — leaving the child's
             // pages dirty on the free lists until something reuses them.
+            // Mid-drain the oldest is always a pre-rotation connection
+            // (swap_remove reorders the list, so find one explicitly); this
+            // is what lets a rotation drain to Retire under churn.
             if self.open_or_shed(kernel) {
-                self.close_connection(kernel, 0)?;
+                let victim = self
+                    .connections
+                    .iter()
+                    .position(|c| c.epoch < self.epoch)
+                    .unwrap_or(0);
+                self.close_connection(kernel, victim)?;
             }
             if self.connections.is_empty() {
                 continue;
             }
-            // Established connections also push data.
+            // Established connections also push data. A connection opened
+            // before a rotation drains on its own epoch's key material.
             let idx = self.rng.gen_index(self.connections.len());
             let daemon = self.daemon;
+            let current_epoch = self.epoch;
             let conn = &mut self.connections[idx];
+            let material = if conn.epoch < current_epoch {
+                self.old_material.as_ref().unwrap_or(&self.material)
+            } else {
+                &self.material
+            };
             let result = crate::engine::with_shield_open(&mut self.shield, kernel, daemon, |k| {
-                conn.crypto.handshake(k, conn.pid, None, &self.material)
+                conn.crypto.handshake(k, conn.pid, None, material)
             });
             match result {
                 Ok(()) => self.handshakes += 1,
@@ -249,10 +400,11 @@ impl SecureServer for SshServer {
                         let _ = kernel.exit(pid);
                     }
                     self.shed.shed_connections += 1;
+                    self.note_shed_for_retry();
                 }
             }
         }
-        Ok(())
+        self.maybe_retire(kernel)
     }
 
     fn transfer(&mut self, kernel: &mut Kernel, bytes: usize) -> SimResult<()> {
@@ -269,6 +421,10 @@ impl SecureServer for SshServer {
             return Ok(());
         }
         self.set_concurrency(kernel, 0)?;
+        // Backstop: an open drain window retires before shutdown (covers a
+        // daemon already killed mid-drain, where maybe_retire could not run
+        // its live path).
+        self.retire_old(kernel)?;
         let daemon_alive = kernel.alive(self.daemon);
         if let Some(region) = self.region.take() {
             // The library clears the special region before the daemon dies —
@@ -295,6 +451,87 @@ impl SecureServer for SshServer {
 
     fn config(&self) -> ServerConfig {
         self.config
+    }
+
+    fn rotate_key(&mut self, kernel: &mut Kernel) -> SimResult<u64> {
+        if !self.running || !kernel.alive(self.daemon) {
+            return Err(SimError::NoSuchProcess(self.daemon));
+        }
+        // Bound the drain window: a back-to-back rotation finishes the
+        // previous epoch's drain before starting its own.
+        self.force_drain(kernel)?;
+
+        let ordinal = self.epoch + 1;
+        let level = self.config.level;
+        // Generate: host-side only, deterministic in (config, ordinal).
+        let new_key = self.config.derive_rotated_key("openssh", ordinal);
+        let new_material = KeyMaterial::from_key(&new_key);
+
+        // Install: the successor's protected home. Transactional — on error
+        // the old key is untouched and no successor byte is resident.
+        let mut rot = KeyRotation::begin(level, ordinal);
+        rot.install(kernel, self.daemon, &new_key, &mut self.rng)?;
+
+        // The successor key file replaces the old path, mode 0600. Creation
+        // places nothing in simulated memory, so it cannot leak on failure.
+        let new_pem = kernel.create_file("/etc/ssh/ssh_host_rsa_key", new_material.pem_bytes());
+        if let Err(e) = kernel.chmod_private(new_pem) {
+            let _ = rot.abort(kernel, self.daemon);
+            return Err(e);
+        }
+
+        // The daemon's scattered home at unaligned levels — rolled back as a
+        // unit on failure, keeping "old key fully live" true.
+        let new_scattered = if level.align_key() {
+            None
+        } else {
+            match ScatteredKey::load_transactional(
+                kernel,
+                self.daemon,
+                new_pem,
+                &new_material,
+                level.nocache_pem(),
+            ) {
+                Ok(sk) => Some(sk),
+                Err(e) => {
+                    let _ = crate::engine::shred_file(kernel, new_pem);
+                    let _ = rot.abort(kernel, self.daemon);
+                    return Err(e);
+                }
+            }
+        };
+
+        // Activate: the atomic in-memory switch — new handshakes bind the
+        // successor from here on; nothing below this point can fail in a way
+        // that splits the two-key state.
+        let outgoing = Custody::from_parts(self.region.take(), self.shield.take());
+        let (region, shield) = match rot.activate(outgoing) {
+            Some(custody) => custody.into_parts(),
+            None => (None, None),
+        };
+        self.region = region;
+        self.shield = shield;
+        self.old_scattered = self.scattered.take();
+        self.scattered = new_scattered;
+        self.old_material = Some(core::mem::replace(&mut self.material, new_material));
+        self.old_pem = Some(core::mem::replace(&mut self.pem_file, new_pem));
+        self.key = new_key;
+        self.epoch = ordinal;
+
+        // Drain: in-flight sessions finish on the old key.
+        rot.begin_drain();
+        self.rotation = Some(rot);
+        // An idle listener retires the predecessor immediately.
+        self.maybe_retire(kernel)?;
+        Ok(ordinal)
+    }
+
+    fn key_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn draining(&self) -> bool {
+        self.rotation.is_some()
     }
 
     fn key(&self) -> &RsaPrivateKey {

@@ -1,0 +1,218 @@
+//! Live key rotation: the crash-consistent lifecycle driven through both
+//! servers — no dropped traffic, both-keys-resident drain windows, and a
+//! retired key that is gone from scanner-visible memory at hardened levels.
+
+use keyguard::ProtectionLevel;
+use keyscan::Scanner;
+use memsim::{FaultOp, FaultPlan, Kernel, MachineConfig};
+use rsa_repro::material::KeyMaterial;
+use servers::{ApacheServer, SecureServer, ServerConfig, SshServer};
+
+fn kernel_for(level: ProtectionLevel) -> Kernel {
+    Kernel::new(MachineConfig::small().with_policy(level.kernel_policy()))
+}
+
+fn config(level: ProtectionLevel) -> ServerConfig {
+    ServerConfig::new(level).with_key_bits(128)
+}
+
+fn scanner_for_epoch(cfg: &ServerConfig, name: &str, ordinal: u64) -> Scanner {
+    Scanner::from_material(&KeyMaterial::from_key(&cfg.derive_rotated_key(name, ordinal)))
+}
+
+#[test]
+fn ssh_rotation_drains_with_no_dropped_traffic() {
+    let level = ProtectionLevel::Integrated;
+    let cfg = config(level);
+    let mut kernel = kernel_for(level);
+    let mut ssh = SshServer::start(&mut kernel, cfg).unwrap();
+    ssh.set_concurrency(&mut kernel, 3).unwrap();
+    ssh.pump(&mut kernel, 2).unwrap();
+    let shed_before = ssh.shedding().total();
+    let handshakes_before = ssh.handshakes();
+
+    let old_scanner = scanner_for_epoch(&cfg, "openssh", 0);
+    let new_scanner = scanner_for_epoch(&cfg, "openssh", 1);
+    assert_eq!(ssh.rotate_key(&mut kernel).unwrap(), 1);
+    assert_eq!(ssh.key_epoch(), 1);
+    assert!(ssh.draining(), "open connections hold the old epoch");
+    // The drain window: both keys resident in allocated memory.
+    assert!(old_scanner.scan_kernel(&kernel).compromised());
+    assert!(new_scanner.scan_kernel(&kernel).compromised());
+
+    // Churn drains the old connections; traffic keeps flowing throughout.
+    while ssh.draining() {
+        ssh.pump(&mut kernel, 2).unwrap();
+    }
+    assert!(ssh.handshakes() > handshakes_before);
+    assert_eq!(ssh.shedding().total(), shed_before, "no dropped traffic");
+    // Retired: quiesce (drained children's COW frames unmap on exit) and
+    // confirm zero old-key bytes anywhere the scanner can see.
+    ssh.set_concurrency(&mut kernel, 0).unwrap();
+    assert_eq!(old_scanner.scan_kernel(&kernel).total(), 0);
+    // The successor still serves.
+    ssh.pump(&mut kernel, 1).unwrap();
+    assert!(new_scanner.scan_kernel(&kernel).compromised());
+    ssh.stop(&mut kernel).unwrap();
+}
+
+#[test]
+fn apache_rotation_replaces_the_pool_gracefully() {
+    let level = ProtectionLevel::Integrated;
+    let cfg = config(level);
+    let mut kernel = kernel_for(level);
+    let mut apache = ApacheServer::start(&mut kernel, cfg).unwrap();
+    apache.pump(&mut kernel, 3).unwrap();
+    let shed_before = apache.shedding().total();
+
+    let old_scanner = scanner_for_epoch(&cfg, "apache", 0);
+    let new_scanner = scanner_for_epoch(&cfg, "apache", 1);
+    assert_eq!(apache.rotate_key(&mut kernel).unwrap(), 1);
+    assert!(apache.draining(), "the pre-rotation pool holds the old epoch");
+    let pool = apache.pool_size();
+
+    // Each old worker serves one more request, then exits and is replaced.
+    while apache.draining() {
+        apache.pump(&mut kernel, 2).unwrap();
+    }
+    assert_eq!(apache.pool_size(), pool, "pool size preserved across drain");
+    assert_eq!(apache.shedding().total(), shed_before, "no dropped traffic");
+    assert_eq!(old_scanner.scan_kernel(&kernel).total(), 0);
+    apache.pump(&mut kernel, 2).unwrap();
+    assert!(new_scanner.scan_kernel(&kernel).compromised());
+    apache.stop(&mut kernel).unwrap();
+}
+
+#[test]
+fn faulted_rotation_leaves_old_key_fully_live() {
+    let level = ProtectionLevel::Integrated;
+    let cfg = config(level);
+    let mut kernel = kernel_for(level);
+    let mut ssh = SshServer::start(&mut kernel, cfg).unwrap();
+    ssh.set_concurrency(&mut kernel, 2).unwrap();
+
+    let new_scanner = scanner_for_epoch(&cfg, "openssh", 1);
+    // Fault the first fallible operation of the rotation (the successor
+    // region's frame allocation): install must unwind completely.
+    let start = kernel.op_index();
+    kernel.install_fault_plan(FaultPlan::new().fail_at_index(start + 1));
+    assert!(ssh.rotate_key(&mut kernel).is_err());
+    kernel.clear_fault_plan();
+
+    assert_eq!(ssh.key_epoch(), 0, "rotation rolled back");
+    assert!(!ssh.draining());
+    assert_eq!(new_scanner.scan_kernel(&kernel).total(), 0);
+    // Old key still serves all traffic.
+    ssh.pump(&mut kernel, 3).unwrap();
+    // And a retry of the rotation succeeds from the recovered state.
+    assert_eq!(ssh.rotate_key(&mut kernel).unwrap(), 1);
+    ssh.stop(&mut kernel).unwrap();
+}
+
+#[test]
+fn back_to_back_rotations_bound_the_drain_window() {
+    let level = ProtectionLevel::Shielded;
+    let cfg = config(level);
+    let mut kernel = kernel_for(level);
+    let mut ssh = SshServer::start(&mut kernel, cfg).unwrap();
+    ssh.set_concurrency(&mut kernel, 2).unwrap();
+
+    assert_eq!(ssh.rotate_key(&mut kernel).unwrap(), 1);
+    assert!(ssh.draining());
+    // The second rotation force-finishes the first drain (sshd's
+    // rekey-limit behaviour), so at most one predecessor is ever resident.
+    assert_eq!(ssh.rotate_key(&mut kernel).unwrap(), 2);
+    assert_eq!(ssh.key_epoch(), 2);
+
+    ssh.set_concurrency(&mut kernel, 0).unwrap();
+    assert!(!ssh.draining());
+    for ordinal in 0..2 {
+        let retired = scanner_for_epoch(&cfg, "openssh", ordinal);
+        assert_eq!(
+            retired.scan_kernel(&kernel).total(),
+            0,
+            "epoch {ordinal} must be fully retired"
+        );
+    }
+    ssh.stop(&mut kernel).unwrap();
+}
+
+#[test]
+fn retired_key_is_gone_at_every_hardened_level() {
+    for level in ProtectionLevel::ALL {
+        let cfg = config(level);
+        let mut kernel = kernel_for(level);
+        let mut ssh = SshServer::start(&mut kernel, cfg).unwrap();
+        ssh.set_concurrency(&mut kernel, 2).unwrap();
+        ssh.pump(&mut kernel, 2).unwrap();
+        ssh.rotate_key(&mut kernel).unwrap();
+        while ssh.draining() {
+            ssh.pump(&mut kernel, 2).unwrap();
+        }
+        ssh.set_concurrency(&mut kernel, 0).unwrap();
+        // Hardened kernels guarantee the retired epoch is gone everywhere.
+        // (Stock-kernel levels leak startup-time residue — free-list PEM
+        // buffers — exactly the exposure the paper's kernel patch closes.)
+        if level.kernel_policy().zero_on_free {
+            let old_scanner = scanner_for_epoch(&cfg, "openssh", 0);
+            assert_eq!(
+                old_scanner.scan_kernel(&kernel).total(),
+                0,
+                "retired key visible at {level}"
+            );
+        }
+        ssh.pump(&mut kernel, 1).unwrap();
+        ssh.stop(&mut kernel).unwrap();
+    }
+}
+
+#[test]
+fn shed_connections_are_retried_with_bounded_backoff() {
+    let level = ProtectionLevel::Kernel;
+    let cfg = config(level);
+    let mut kernel = kernel_for(level);
+    let mut ssh = SshServer::start(&mut kernel, cfg).unwrap();
+
+    // The first fork attempt fails: the connection is shed and remembered.
+    kernel.install_fault_plan(FaultPlan::new().fail_nth(FaultOp::Fork, 1));
+    ssh.set_concurrency(&mut kernel, 1).unwrap();
+    kernel.clear_fault_plan();
+    assert_eq!(ssh.shedding().failed_forks, 1);
+    assert_eq!(ssh.concurrency(), 0);
+
+    // The next pump re-dials it successfully.
+    ssh.pump(&mut kernel, 1).unwrap();
+    let shed = ssh.shedding();
+    assert_eq!(shed.retries, 1);
+    assert_eq!(shed.recovered, 1);
+    assert!(ssh.concurrency() >= 1, "shed connection was recovered");
+    // total() deliberately excludes retry bookkeeping.
+    assert_eq!(shed.total(), shed.failed_forks);
+    ssh.stop(&mut kernel).unwrap();
+}
+
+#[test]
+fn apache_retry_respawns_shed_workers() {
+    let level = ProtectionLevel::Integrated;
+    let cfg = config(level);
+    let mut kernel = kernel_for(level);
+    let mut apache = ApacheServer::start(&mut kernel, cfg).unwrap();
+    let pool = apache.pool_size();
+
+    // Kill one worker mid-pump: it is shed and queued for re-spawn.
+    kernel.install_fault_plan(FaultPlan::new().kill_at_index(kernel.op_index() + 2));
+    apache.pump(&mut kernel, 2).unwrap();
+    kernel.clear_fault_plan();
+    assert!(apache.shedding().shed_connections >= 1);
+    assert!(apache.pool_size() < pool);
+
+    // Backoff is deterministic: pump until the retry fires and recovers.
+    for _ in 0..4 {
+        apache.pump(&mut kernel, 1).unwrap();
+    }
+    let shed = apache.shedding();
+    assert!(shed.retries >= 1);
+    assert!(shed.recovered >= 1);
+    assert_eq!(apache.pool_size(), pool);
+    apache.stop(&mut kernel).unwrap();
+}

@@ -50,6 +50,37 @@ cargo run --release -p harness --bin faultsweep -- --test --stride 7 \
 cargo run --release -p harness --bin faultsweep -- --test --stride 7 \
     --level integrated
 
+echo "== rotation lifecycle & second-order fault sweeps (release) =="
+# The rotation test wall: the crash-consistent lifecycle state machine
+# (keyguard), retryable retirement through both servers, the rotation
+# schedule/scenario wiring, and the memsim error-path table including the
+# swap/writeback fault paths the sweeps lean on.
+cargo test --release -p keyguard --lib rotation
+cargo test --release -p memsim --test error_paths
+cargo test --release -p harness --lib rotsweep
+# rotsweep --smoke: both servers at the hardened levels, exhaustive
+# first-order fail+kill over the rotation lifecycle plus sampled
+# second-order (j, k) pairs, then the unfaulted retire checks. The binary
+# exits nonzero on any violation; the grep pins the verdict line the
+# .dat artifacts carry, mirroring the attacker-matrix gate.
+cargo run --release -p harness --bin rotsweep -- --smoke
+grep -q "# rotation invariant: HELD" "results/rotsweep_retire.dat" || {
+    echo "ci: rotsweep retire verdict missing or violated" >&2
+    exit 1
+}
+for f in results/rotsweep_ssh_integrated_fail_o2.dat \
+         results/rotsweep_apache_shielded_kill_o2.dat; do
+    grep -q "# rotation invariant: HELD" "$f" || {
+        echo "ci: rotation invariant violated in ${f}" >&2
+        exit 1
+    }
+done
+# Second-order faultsweep smoke: a sparse seeded multi-fault plan layered
+# over the kill-mode sweep, so two independent faults can interact inside
+# one run of the non-rotation workload too.
+cargo run --release -p harness --bin faultsweep -- --test --stride 11 \
+    --level integrated --fault-seed 1709 --denom 53 --fault-reps 2
+
 echo "== swap & writeback disclosure channels (release) =="
 # The PR-8 test wall: eviction really unmaps (access faults pages back in),
 # swap crypto never reuses a keystream, the slotted swap device stays
@@ -75,8 +106,8 @@ cargo test --release -p keyscan --test reconstruct
 
 echo "== attacker matrix smoke (release) =="
 # Every protection level against exact-free, exact-allocated, cold-boot
-# + reconstruction, swap-theft, and dedup-timing attackers, for both
-# servers. Writes
+# + reconstruction, swap-theft, dedup-timing, and rotation-window
+# attackers, for both servers. Writes
 # results/attacker_matrix_{ssh,apache}.dat and exits nonzero if any cell
 # deviates from the expectation table — in particular if Shielded falls to
 # any attacker class, or any weaker level survives one it shouldn't.
