@@ -69,19 +69,37 @@ fn bench_scan_by_pattern_count(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_fast_vs_naive_core(c: &mut Criterion) {
+fn bench_match_cores(c: &mut Criterion) {
     let mut group = c.benchmark_group("scan_core");
     group.sample_size(10);
     let (k, material) = populated_machine(4);
     let scanner = Scanner::from_material(&material);
     let hay = k.phys().to_vec();
     group.throughput(Throughput::Bytes(hay.len() as u64));
-    group.bench_function("fast_skip_loop", |b| {
-        b.iter(|| scanner.scan_bytes(std::hint::black_box(&hay)).len());
+    group.bench_function("swar_prefilter", |b| {
+        b.iter(|| scanner.scan_bytes_swar(std::hint::black_box(&hay)).len());
+    });
+    group.bench_function("horspool_skip_loop", |b| {
+        b.iter(|| scanner.scan_bytes_horspool(std::hint::black_box(&hay)).len());
     });
     group.bench_function("naive_per_offset", |b| {
         b.iter(|| scanner.scan_bytes_naive(std::hint::black_box(&hay)).len());
     });
+    group.finish();
+}
+
+fn bench_sharded_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_sharded");
+    group.sample_size(10);
+    // One large kernel; the sweep is split *inside* the single machine.
+    let (k, material) = populated_machine(64);
+    let scanner = Scanner::from_material(&material);
+    group.throughput(Throughput::Bytes(k.phys().len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| scanner.scan_kernel_sharded(std::hint::black_box(&k), t).total());
+        });
+    }
     group.finish();
 }
 
@@ -126,23 +144,62 @@ fn bench_incremental_timeline(c: &mut Criterion) {
     group.finish();
 }
 
-/// Fixed smoke measurement for CI: one full-scan throughput number, one
-/// incremental-vs-full timeline speedup, written as `BENCH_scan.json`.
+/// Best-of-`n` wall clock of one closure.
+fn best_of(n: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+/// Fixed smoke measurement for CI: full-scan throughput, the SWAR-vs-Horspool
+/// match-core speedup, the intra-kernel sharded-scan speedup per thread
+/// count, and the incremental-vs-full timeline speedup, written as
+/// `BENCH_scan.json`.
 fn smoke() {
     const MB: usize = 32;
     const TICKS: usize = 24;
     let (k, material) = populated_machine(MB);
     let scanner = Scanner::from_material(&material);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
-    // Full-scan throughput over physical memory (best of 3).
-    let mut best = Duration::MAX;
-    for _ in 0..3 {
-        let t0 = Instant::now();
+    // Full-scan throughput over physical memory (best of 3; the scanner
+    // dispatches the SWAR prefilter core).
+    let best = best_of(3, || {
         std::hint::black_box(scanner.scan_kernel(&k).total());
-        best = best.min(t0.elapsed());
-    }
+    });
     let bytes = (MB * 1024 * 1024) as f64;
     let full_bytes_per_sec = bytes / best.as_secs_f64().max(1e-9);
+
+    // Match cores head to head on the same physical image.
+    let swar_wall = best_of(3, || {
+        std::hint::black_box(scanner.scan_bytes_swar(k.phys()).len());
+    });
+    let horspool_wall = best_of(3, || {
+        std::hint::black_box(scanner.scan_bytes_horspool(k.phys()).len());
+    });
+    let swar_bytes_per_sec = bytes / swar_wall.as_secs_f64().max(1e-9);
+    let horspool_bytes_per_sec = bytes / horspool_wall.as_secs_f64().max(1e-9);
+    let swar_speedup = horspool_wall.as_secs_f64() / swar_wall.as_secs_f64().max(1e-9);
+
+    // Intra-kernel sharding: one machine's sweep split across N threads.
+    let serial_wall = best_of(3, || {
+        std::hint::black_box(scanner.scan_kernel_sharded(&k, 1).total());
+    });
+    let mut sharded = Vec::new(); // (threads, speedup vs serial)
+    for threads in [2usize, 4, 8] {
+        let wall = best_of(3, || {
+            std::hint::black_box(scanner.scan_kernel_sharded(&k, threads).total());
+        });
+        sharded.push((threads, serial_wall.as_secs_f64() / wall.as_secs_f64().max(1e-9)));
+    }
+    let sharded_speedup_4 = sharded
+        .iter()
+        .find(|&&(t, _)| t == 4)
+        .map_or(1.0, |&(_, s)| s);
 
     // Scan-dominated timeline: identical workload, full vs incremental.
     let full_wall = drive_ticks(MB, TICKS, |k| {
@@ -156,7 +213,9 @@ fn smoke() {
     let speedup = full_wall.as_secs_f64() / inc_wall.as_secs_f64().max(1e-9);
 
     let json = format!(
-        "{{\n  \"mem_mb\": {MB},\n  \"ticks\": {TICKS},\n  \"full_scan_bytes_per_sec\": {full_bytes_per_sec:.0},\n  \"timeline_full_wall_s\": {:.6},\n  \"timeline_incremental_wall_s\": {:.6},\n  \"incremental_speedup\": {speedup:.2},\n  \"scans\": {},\n  \"frames_rescanned\": {},\n  \"frames_total\": {},\n  \"rescan_fraction\": {:.6}\n}}\n",
+        "{{\n  \"mem_mb\": {MB},\n  \"ticks\": {TICKS},\n  \"cores\": {cores},\n  \"full_scan_bytes_per_sec\": {full_bytes_per_sec:.0},\n  \"swar_bytes_per_sec\": {swar_bytes_per_sec:.0},\n  \"horspool_bytes_per_sec\": {horspool_bytes_per_sec:.0},\n  \"swar_filter_speedup\": {swar_speedup:.2},\n  \"sharded_scan_speedup_2\": {:.2},\n  \"sharded_scan_speedup_4\": {sharded_speedup_4:.2},\n  \"sharded_scan_speedup_8\": {:.2},\n  \"sharded_scan_speedup\": {sharded_speedup_4:.2},\n  \"timeline_full_wall_s\": {:.6},\n  \"timeline_incremental_wall_s\": {:.6},\n  \"incremental_speedup\": {speedup:.2},\n  \"scans\": {},\n  \"frames_rescanned\": {},\n  \"frames_total\": {},\n  \"rescan_fraction\": {:.6}\n}}\n",
+        sharded[0].1,
+        sharded[2].1,
         full_wall.as_secs_f64(),
         inc_wall.as_secs_f64(),
         stats.scans,
@@ -170,7 +229,8 @@ fn smoke() {
     std::fs::write(path, &json).expect("write BENCH_scan.json");
     print!("{json}");
     println!(
-        "smoke: full scan {:.0} MB/s; timeline speedup {speedup:.2}x ({} of {} frames rescanned)",
+        "smoke: full scan {:.0} MB/s ({cores} core(s)); swar/horspool {swar_speedup:.2}x; \
+         sharded x4 {sharded_speedup_4:.2}x; timeline speedup {speedup:.2}x ({} of {} frames rescanned)",
         full_bytes_per_sec / (1024.0 * 1024.0),
         stats.frames_rescanned,
         stats.frames_total,
@@ -185,6 +245,7 @@ fn main() {
     let mut c = Criterion::from_args();
     bench_scan_by_memory_size(&mut c);
     bench_scan_by_pattern_count(&mut c);
-    bench_fast_vs_naive_core(&mut c);
+    bench_match_cores(&mut c);
+    bench_sharded_scan(&mut c);
     bench_incremental_timeline(&mut c);
 }

@@ -139,7 +139,7 @@ fn run_one_ext2<S: SecureServer>(
     kernel.clear_fault_plan();
     let capture = Ext2DirentLeak::new(directories).run(&mut kernel)?;
     Ok((
-        capture.keys_found(&scanner),
+        capture.keys_found_sharded(&scanner, cfg.scan_threads),
         capture.succeeded(&scanner),
         capture.disclosed_bytes(),
     ))
@@ -162,7 +162,7 @@ fn run_one_tty<S: SecureServer>(
     kernel.clear_fault_plan();
     let capture = TtyMemoryDump::paper().run(&kernel, &mut rng);
     Ok((
-        capture.keys_found(&scanner),
+        capture.keys_found_sharded(&scanner, cfg.scan_threads),
         capture.succeeded(&scanner),
         capture.disclosed_bytes(),
     ))

@@ -87,6 +87,12 @@ impl Args {
         if let Some(bits) = self.get("key-bits") {
             cfg.key_bits = bits.parse().expect("--key-bits expects a number");
         }
+        if let Some(t) = self.get("scan-threads") {
+            cfg.scan_threads = t
+                .parse::<usize>()
+                .expect("--scan-threads expects a number")
+                .max(1);
+        }
         cfg
     }
 
@@ -143,6 +149,14 @@ mod tests {
         assert_eq!(cfg.repetitions, 9);
         assert_eq!(cfg.mem_bytes, 32 * 1024 * 1024);
         assert_eq!(cfg.key_bits, 512);
+    }
+
+    #[test]
+    fn scan_threads_flag_wires_into_config() {
+        assert_eq!(args(&[]).experiment_config().scan_threads, 1);
+        assert_eq!(args(&["--scan-threads", "4"]).experiment_config().scan_threads, 4);
+        // Zero clamps to the serial oracle rather than panicking.
+        assert_eq!(args(&["--scan-threads", "0"]).experiment_config().scan_threads, 1);
     }
 
     #[test]

@@ -252,7 +252,8 @@ fn sweep_template(
     // so it works even when a fault aborts server startup.
     let mut scanner = IncrementalScanner::new(Scanner::from_material(&KeyMaterial::from_key(
         &server_cfg.derive_key(kind_label),
-    )));
+    )))
+    .with_threads(cfg.scan_threads);
     let kernel = boot(level, cfg);
     // Warm the cache on the boot image; forks inherit it for free.
     let _ = scanner.scan(&kernel);

@@ -52,6 +52,12 @@ pub struct ExperimentConfig {
     pub repetitions: usize,
     /// Master seed; every repetition derives its own stream.
     pub seed: u64,
+    /// Worker threads for *intra-kernel* scan sharding (1 = serial): splits
+    /// one machine's physical sweep — and the incremental scanner's
+    /// dirty-frame rescans — into contiguous chunks merged in frame order.
+    /// Results are bit-identical at any value; orthogonal to the executor's
+    /// across-cell `--threads`.
+    pub scan_threads: usize,
 }
 
 impl ExperimentConfig {
@@ -64,6 +70,7 @@ impl ExperimentConfig {
             key_bits: 1024,
             repetitions: 15,
             seed: 0x2007_0625,
+            scan_threads: 1,
         }
     }
 
@@ -76,6 +83,7 @@ impl ExperimentConfig {
             key_bits: 512,
             repetitions: 5,
             seed: 0x2007_0625,
+            scan_threads: 1,
         }
     }
 
@@ -87,6 +95,7 @@ impl ExperimentConfig {
             key_bits: 256,
             repetitions: 3,
             seed: 0x2007_0625,
+            scan_threads: 1,
         }
     }
 
@@ -94,6 +103,14 @@ impl ExperimentConfig {
     #[must_use]
     pub fn with_repetitions(mut self, reps: usize) -> Self {
         self.repetitions = reps;
+        self
+    }
+
+    /// Overrides the intra-kernel scan-shard thread count (clamped to at
+    /// least 1). Results stay bit-identical; only wall-clock changes.
+    #[must_use]
+    pub fn with_scan_threads(mut self, threads: usize) -> Self {
+        self.scan_threads = threads.max(1);
         self
     }
 

@@ -292,7 +292,8 @@ fn rot_template(
         old.patterns().iter().map(Pattern::clone_secret).collect();
     let old_patterns = patterns.len();
     patterns.extend(new.patterns().iter().map(Pattern::clone_secret));
-    let mut scanner = IncrementalScanner::new(Scanner::new(patterns));
+    let mut scanner =
+        IncrementalScanner::new(Scanner::new(patterns)).with_threads(cfg.scan_threads);
     let kernel = boot(level, cfg);
     let _ = scanner.scan(&kernel);
     RotTemplate {

@@ -126,6 +126,10 @@ pub struct Scenario {
     end: usize,
     secret: Option<Vec<u8>>,
     actions: BTreeMap<usize, Vec<Action>>,
+    /// Intra-kernel scan-shard threads for the per-tick scans (1 = serial;
+    /// a runtime knob via [`Self::with_scan_threads`], not script syntax —
+    /// scripts describe the machine, not the host running the simulation).
+    scan_threads: usize,
 }
 
 /// What a scenario run produced.
@@ -336,6 +340,7 @@ impl Scenario {
             end,
             secret,
             actions,
+            scan_threads: 1,
         })
     }
 
@@ -343,6 +348,16 @@ impl Scenario {
     #[must_use]
     pub fn ticks(&self) -> usize {
         self.end
+    }
+
+    /// Overrides the intra-kernel scan-shard thread count used by the
+    /// per-tick scans (clamped to at least 1). A host-side runtime knob:
+    /// results are bit-identical at any value, so two otherwise-equal
+    /// scenarios differing only here still produce identical outcomes.
+    #[must_use]
+    pub fn with_scan_threads(mut self, threads: usize) -> Self {
+        self.scan_threads = threads.max(1);
+        self
     }
 
     /// Runs a batch of scenarios on the given executor — one cell per
@@ -416,7 +431,8 @@ impl Scenario {
         }
         // Attack captures scan their own dumped bytes through the plain
         // scanner; the per-tick kernel scan rides the incremental cache.
-        let mut inc = IncrementalScanner::new(Scanner::new(patterns));
+        let mut inc =
+            IncrementalScanner::new(Scanner::new(patterns)).with_threads(self.scan_threads);
         let dump = TtyMemoryDump::paper();
 
         let mut server: Option<S> = None;

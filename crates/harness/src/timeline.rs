@@ -219,7 +219,8 @@ fn drive<S: SecureServer>(
                 .map(Pattern::clone_secret),
         );
     }
-    let mut scanner = IncrementalScanner::new(Scanner::new(patterns));
+    let mut scanner =
+        IncrementalScanner::new(Scanner::new(patterns)).with_threads(cfg.scan_threads);
 
     let mut server: Option<S> = None;
     let mut points = Vec::with_capacity(schedule.end);

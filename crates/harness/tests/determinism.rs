@@ -455,3 +455,73 @@ fn serial_vs_parallel_wallclock() {
         serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9),
     );
 }
+
+// ---------------------------------------------------------------------
+// Intra-kernel scan sharding: `scan_threads` is a pure performance knob
+// ---------------------------------------------------------------------
+
+/// Every result family must be invariant under the `scan_threads` config —
+/// the intra-kernel sharded scan is an optimization, never an observable.
+#[test]
+fn scan_threads_is_invisible_to_every_sweep_family() {
+    let schedule = Schedule::paper();
+    let jobs: Vec<(ServerKind, ProtectionLevel)> = vec![
+        (ServerKind::Ssh, ProtectionLevel::None),
+        (ServerKind::Apache, ProtectionLevel::Integrated),
+    ];
+    let tl_ref = run_timelines(&Executor::serial(), &jobs, &cfg(), &schedule).unwrap();
+    let ext2_ref = ext2_sweep_on(
+        &Executor::serial(),
+        ServerKind::Ssh,
+        ProtectionLevel::None,
+        &[20],
+        &[200],
+        &cfg(),
+    )
+    .unwrap();
+    let tty_ref = tty_sweep_on(
+        &Executor::serial(),
+        ServerKind::Ssh,
+        ProtectionLevel::None,
+        &[4, 8],
+        &cfg(),
+    )
+    .unwrap();
+
+    for threads in THREAD_COUNTS {
+        let c = cfg().with_scan_threads(threads);
+        let tl = run_timelines(&Executor::serial(), &jobs, &c, &schedule).unwrap();
+        assert_eq!(tl_ref, tl, "timelines, scan_threads {threads}");
+        let ext2 = ext2_sweep_on(
+            &Executor::serial(),
+            ServerKind::Ssh,
+            ProtectionLevel::None,
+            &[20],
+            &[200],
+            &c,
+        )
+        .unwrap();
+        assert_eq!(ext2_ref, ext2, "ext2 sweep, scan_threads {threads}");
+        let tty = tty_sweep_on(
+            &Executor::serial(),
+            ServerKind::Ssh,
+            ProtectionLevel::None,
+            &[4, 8],
+            &c,
+        )
+        .unwrap();
+        assert_eq!(tty_ref, tty, "tty sweep, scan_threads {threads}");
+    }
+}
+
+/// Scripted scenarios with intra-kernel sharding must replay identically.
+#[test]
+fn scenario_results_are_scan_thread_invariant() {
+    for (i, scenario) in shipped_scenarios().into_iter().enumerate() {
+        let reference = scenario.run().unwrap();
+        for threads in THREAD_COUNTS {
+            let sharded = scenario.clone().with_scan_threads(threads).run().unwrap();
+            assert_eq!(reference, sharded, "scenario {i} scan_threads {threads}");
+        }
+    }
+}

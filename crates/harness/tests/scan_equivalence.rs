@@ -165,3 +165,86 @@ fn fault_sweeps_are_thread_invariant_with_warm_forks() {
         assert_eq!(serial, parallel, "{threads} threads");
     }
 }
+
+/// Intra-kernel sharding: `scan_kernel_sharded` must be bit-identical to the
+/// serial `scan_kernel` — same hits, same order, same attribution — at every
+/// shard width, on a machine with interleaved allocated/free/dirty regions.
+#[test]
+fn sharded_scan_kernel_is_bit_identical_to_serial() {
+    let key = RsaPrivateKey::generate(128, &mut Rng64::new(0x51A2));
+    let material = KeyMaterial::from_key(&key);
+    let scanner = Scanner::from_material(&material);
+
+    let mut k = Kernel::new(MachineConfig::small());
+    let pid = k.spawn();
+    let mut bufs = Vec::new();
+    for i in 0..10 {
+        let pat = [material.d_bytes(), material.p_bytes(), material.q_bytes()][i % 3];
+        let b = k.heap_alloc(pid, pat.len() + 512).unwrap();
+        k.write_bytes(pid, b, pat).unwrap();
+        bufs.push(b);
+    }
+    // A second process plants a copy and exits without clearing, so hits
+    // live in unallocated memory too.
+    let doomed = k.spawn();
+    let b = k.heap_alloc(doomed, material.d_bytes().len()).unwrap();
+    k.write_bytes(doomed, b, material.d_bytes()).unwrap();
+    k.exit(doomed).unwrap();
+    let _ = bufs;
+
+    let serial = scanner.scan_kernel(&k);
+    assert!(serial.total() > 0, "workload must produce hits");
+    assert!(serial.unallocated() > 0, "freed copies must stay visible");
+    for threads in [1usize, 2, 3, 4, 8, 64] {
+        let sharded = scanner.scan_kernel_sharded(&k, threads);
+        assert_eq!(serial, sharded, "threads {threads}");
+    }
+}
+
+/// The `scan_threads` config knob: the whole timeline pipeline must produce
+/// bit-identical results whether the per-kernel scan runs serially or split
+/// across 2/4/8 intra-kernel threads.
+#[test]
+fn scan_threads_config_is_result_invariant() {
+    let schedule = Schedule::paper();
+    let base = ExperimentConfig::test();
+    let jobs: Vec<(ServerKind, ProtectionLevel)> = vec![
+        (ServerKind::Ssh, ProtectionLevel::None),
+        (ServerKind::Apache, ProtectionLevel::Kernel),
+    ];
+    let (reference, _) =
+        run_timelines_timed(&Executor::serial(), &jobs, &base, &schedule).unwrap();
+    for threads in THREAD_COUNTS {
+        let cfg = ExperimentConfig::test().with_scan_threads(threads);
+        let (tls, _) =
+            run_timelines_timed(&Executor::serial(), &jobs, &cfg, &schedule).unwrap();
+        assert_eq!(reference, tls, "scan_threads {threads}");
+    }
+}
+
+/// Fault sweeps with intra-kernel sharding enabled: same verdicts, same
+/// cells, same counters as the serial-scan sweep.
+#[test]
+fn fault_sweeps_are_scan_thread_invariant() {
+    let serial = fault_sweep_on(
+        &Executor::serial(),
+        ServerKind::Ssh,
+        ProtectionLevel::Kernel,
+        FaultMode::Kill,
+        89,
+        &ExperimentConfig::test(),
+    )
+    .unwrap();
+    for threads in THREAD_COUNTS {
+        let sharded = fault_sweep_on(
+            &Executor::serial(),
+            ServerKind::Ssh,
+            ProtectionLevel::Kernel,
+            FaultMode::Kill,
+            89,
+            &ExperimentConfig::test().with_scan_threads(threads),
+        )
+        .unwrap();
+        assert_eq!(serial, sharded, "scan_threads {threads}");
+    }
+}

@@ -45,23 +45,24 @@ use memsim::{FrameId, FrameState, Kernel, Pid, PAGE_SIZE};
 use rsa_repro::material::{KeyMaterial, Pattern};
 
 /// A pattern match in a raw byte dump (no page metadata available).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Deliberately index-only: a scan over gigabytes used to clone the pattern
+/// *name* (`"d"`, `"p"`, …) into every hit, one heap allocation per match.
+/// Resolve the label at report/format time via [`Scanner::pattern_name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RawHit {
     /// Index into the scanner's pattern list.
     pub pattern: usize,
-    /// Pattern name (`"d"`, `"p"`, `"q"`, `"pem"`).
-    pub name: String,
     /// Byte offset of the match start.
     pub offset: usize,
 }
 
 /// A full or truncated prefix match found by [`Scanner::scan_bytes_partial`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Index-only like [`RawHit`]; resolve names via [`Scanner::pattern_name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PartialHit {
     /// Index into the scanner's pattern list.
     pub pattern: usize,
-    /// Pattern name.
-    pub name: String,
     /// Byte offset of the match start.
     pub offset: usize,
     /// How many leading bytes of the pattern matched.
@@ -209,16 +210,30 @@ impl ScanReport {
 
 /// Multi-pattern linear memory scanner.
 ///
-/// Construction precomputes a Boyer–Moore–Horspool bad-character shift table
-/// over the pattern set (block size 1, window = the shortest pattern length):
-/// the search loop examines the byte at the *end* of the current window and
-/// either skips ahead by its shift or — when the byte can terminate a window
-/// (`shift == 0`, a "trigger" byte) — verifies the few candidate patterns
-/// whose window-end byte it is. When every pattern shares one trigger byte,
-/// the skip loop degenerates to a plain `position()` search for that byte,
-/// which LLVM vectorizes (the `memchr` idiom). Worst case stays O(n·k) like
-/// the paper's LKM; the common case skips most of memory untouched.
-// keylint: allow(S003) -- the patterns vector drops its elements and each Pattern zeroes its own bytes; the shift/tail tables hold only byte-frequency structure and pattern indices, not key bytes
+/// Construction precomputes two match cores over the pattern set and
+/// dispatches per scan:
+///
+/// * **SWAR prefilter** (default when the distinct window-end byte count is
+///   small): a `u64`-at-a-time broadcast-compare filter. Each 8-byte word of
+///   the haystack is XORed against every broadcast trigger byte; a zero byte
+///   lane marks a candidate position, which is handed to the exact verifier.
+///   64-byte blocks are first OR-reduced so all-zero memory — the dominant
+///   content of simulated physical memory — is rejected eight bytes per
+///   instruction without per-trigger work.
+/// * **Boyer–Moore–Horspool skip walk** (fallback for large trigger sets):
+///   a bad-character shift table (block size 1, window = the shortest
+///   pattern length); the loop examines the byte at the *end* of the current
+///   window and either skips ahead by its shift or — when the byte can
+///   terminate a window (`shift == 0`, a "trigger" byte) — verifies the few
+///   candidate patterns whose window-end byte it is. When every pattern
+///   shares one trigger byte this degenerates to a plain `position()` search
+///   (the `memchr` idiom).
+///
+/// Both cores feed the same exact verifier and emit hits in identical order
+/// (ascending offset, ties in ascending pattern order), so every scan result
+/// is bit-identical regardless of dispatch. Worst case stays O(n·k) like the
+/// paper's LKM; the common case rejects most of memory a word at a time.
+// keylint: allow(S003) -- the patterns vector drops its elements and each Pattern zeroes its own bytes; the shift/tail/trigger tables hold only byte-frequency structure, single window-end byte values, and pattern indices, not key bytes
 pub struct Scanner {
     patterns: Vec<Pattern>,
     /// Window length: the shortest pattern length (>= 8 by `Pattern::new`).
@@ -231,8 +246,64 @@ pub struct Scanner {
     tail: Vec<Vec<u32>>,
     /// When every pattern has the same window-end byte, that byte.
     single_trigger: Option<u8>,
+    /// Each distinct trigger byte broadcast into all eight `u64` lanes —
+    /// the SWAR prefilter's compare operands, precomputed once.
+    trigger_splats: Vec<u64>,
+    /// Whether `0x00` is *not* a trigger byte, enabling the all-zero
+    /// 64-byte-block fast reject in the SWAR core.
+    swar_zero_skip: bool,
     /// Longest pattern length (straddle width for windowed scans).
     max_len: usize,
+}
+
+/// SWAR block width in bytes: one cache line, OR-reduced per iteration for
+/// the all-zero fast reject before per-word trigger comparison.
+const SWAR_BLOCK: usize = 64;
+
+/// Above this many distinct trigger bytes the per-word SWAR compare chain
+/// costs more than the Horspool skip walk, so `for_each_match` falls back.
+const SWAR_MAX_TRIGGERS: usize = 8;
+
+/// Broadcasts a byte into all eight lanes of a `u64`.
+const fn splat(b: u8) -> u64 {
+    (b as u64) * 0x0101_0101_0101_0101
+}
+
+/// Reads the little-endian `u64` at `bytes[i..i + 8]`. Little-endian lane
+/// order means `trailing_zeros() / 8` on a lane mask walks ascending memory
+/// offsets, preserving the serial hit order.
+#[inline]
+fn word_at(bytes: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8-byte slice"))
+}
+
+/// SWAR byte-equality: `0x80` in (at least) every lane of `word` equal to
+/// the pre-broadcast trigger `t_splat`. The three-op zero-byte detector can
+/// raise spurious `0x80` bits in lanes *above* a genuine match (borrow
+/// propagation); that is harmless here because every flagged lane goes
+/// through the exact verifier, which checks the real byte — correctness
+/// never rests on this mask, only the skip rate does.
+#[inline]
+fn swar_eq(word: u64, t_splat: u64) -> u64 {
+    let x = word ^ t_splat;
+    x.wrapping_sub(0x0101_0101_0101_0101) & !x & 0x8080_8080_8080_8080
+}
+
+/// Contiguous, near-equal spans `[start, end)` covering `0..len`, at most
+/// `shards` of them (fewer when `len < shards`). Deterministic in `len` and
+/// `shards` only, so shard boundaries never depend on thread scheduling.
+fn shard_spans(len: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.max(1).min(len.max(1));
+    let base = len / shards;
+    let extra = len % shards;
+    let mut spans = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for i in 0..shards {
+        let end = start + base + usize::from(i < extra);
+        spans.push((start, end));
+        start = end;
+    }
+    spans
 }
 
 /// The patterns are the key material being hunted, so `{:?}` stops at a count.
@@ -269,12 +340,21 @@ impl Scanner {
             .iter()
             .all(|p| p.bytes[window - 1] == first_end)
             .then_some(first_end);
+        let trigger_splats: Vec<u64> = tail
+            .iter()
+            .enumerate()
+            .filter(|(_, pis)| !pis.is_empty())
+            .map(|(b, _)| splat(b as u8))
+            .collect();
+        let swar_zero_skip = tail[0].is_empty();
         Self {
             patterns,
             window,
             shift,
             tail,
             single_trigger,
+            trigger_splats,
+            swar_zero_skip,
             max_len,
         }
     }
@@ -305,12 +385,99 @@ impl Scanner {
         self.max_len
     }
 
+    /// The public label of pattern `pi` (`"d"`, `"p"`, `"q"`, `"pem"`).
+    /// Hit types carry only the index; resolve names here at report time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pi` is out of range.
+    #[must_use]
+    pub fn pattern_name(&self, pi: usize) -> &str {
+        &self.patterns[pi].name
+    }
+
     /// The allocation-free matching core every byte-scanning API shares.
     ///
     /// Invokes `on_hit(pattern_index, offset)` for every full match, in
     /// ascending offset order (ties in ascending pattern order). The callback
-    /// returns `false` to stop early. See the type docs for the algorithm.
-    fn for_each_match(&self, haystack: &[u8], mut on_hit: impl FnMut(usize, usize) -> bool) {
+    /// returns `false` to stop early. Dispatches between the SWAR prefilter
+    /// and the Horspool skip walk (see the type docs); both emit the exact
+    /// same hit sequence, so callers cannot observe which core ran.
+    fn for_each_match(&self, haystack: &[u8], on_hit: impl FnMut(usize, usize) -> bool) {
+        if self.trigger_splats.len() <= SWAR_MAX_TRIGGERS {
+            self.for_each_match_swar(haystack, on_hit);
+        } else {
+            self.for_each_match_horspool(haystack, on_hit);
+        }
+    }
+
+    /// SWAR match core: 64-byte blocks are OR-reduced for the all-zero fast
+    /// reject, then each `u64` word is broadcast-compared against every
+    /// distinct trigger byte; flagged lanes (ascending, via
+    /// `trailing_zeros`) feed the exact verifier.
+    fn for_each_match_swar(&self, haystack: &[u8], mut on_hit: impl FnMut(usize, usize) -> bool) {
+        let w = self.window;
+        let n = haystack.len();
+        if n < w {
+            return;
+        }
+        let mut pos = w - 1; // index of the current window's last byte
+        while pos + SWAR_BLOCK <= n {
+            let block = &haystack[pos..pos + SWAR_BLOCK];
+            if self.swar_zero_skip {
+                let mut acc = 0u64;
+                let mut j = 0;
+                while j < SWAR_BLOCK {
+                    acc |= word_at(block, j);
+                    j += 8;
+                }
+                if acc == 0 {
+                    // No nonzero byte in the block, and 0x00 triggers
+                    // nothing: no window can end here.
+                    pos += SWAR_BLOCK;
+                    continue;
+                }
+            }
+            let mut j = 0;
+            while j < SWAR_BLOCK {
+                let word = word_at(block, j);
+                let mut mask = 0u64;
+                for &t in &self.trigger_splats {
+                    mask |= swar_eq(word, t);
+                }
+                while mask != 0 {
+                    let lane = (mask.trailing_zeros() / 8) as usize;
+                    mask &= mask - 1;
+                    let p = pos + j + lane;
+                    // `swar_eq` may over-flag; `verify_at` re-reads the real
+                    // byte, so a spurious lane just finds an empty bucket.
+                    if !self.verify_at(haystack, p + 1 - w, haystack[p], &mut on_hit) {
+                        return;
+                    }
+                }
+                j += 8;
+            }
+            pos += SWAR_BLOCK;
+        }
+        // Bytewise tail: fewer than SWAR_BLOCK window-end positions remain.
+        while pos < n {
+            let b = haystack[pos];
+            if !self.tail[b as usize].is_empty()
+                && !self.verify_at(haystack, pos + 1 - w, b, &mut on_hit)
+            {
+                return;
+            }
+            pos += 1;
+        }
+    }
+
+    /// Horspool match core: bad-character skip walk, with the vectorizable
+    /// `position()` degenerate path when all patterns share one trigger.
+    fn for_each_match_horspool(
+        &self,
+        haystack: &[u8],
+        mut on_hit: impl FnMut(usize, usize) -> bool,
+    ) {
         let w = self.window;
         if haystack.len() < w {
             return;
@@ -373,20 +540,83 @@ impl Scanner {
     pub fn scan_bytes(&self, haystack: &[u8]) -> Vec<RawHit> {
         let mut hits = Vec::new();
         self.for_each_match(haystack, |pi, offset| {
-            hits.push(RawHit {
-                pattern: pi,
-                // keylint: allow(S005) -- the pattern *name* ("d", "pem") is a public label, not key bytes
-                name: self.patterns[pi].name.clone(),
-                offset,
-            });
+            hits.push(RawHit { pattern: pi, offset });
             true
         });
         hits
     }
 
+    /// Forces the SWAR prefilter core regardless of trigger count. Public
+    /// for benchmarks and differential tests; [`Self::scan_bytes`] dispatches
+    /// automatically and is what production paths should call.
+    #[must_use]
+    pub fn scan_bytes_swar(&self, haystack: &[u8]) -> Vec<RawHit> {
+        let mut hits = Vec::new();
+        self.for_each_match_swar(haystack, |pi, offset| {
+            hits.push(RawHit { pattern: pi, offset });
+            true
+        });
+        hits
+    }
+
+    /// Forces the Horspool skip-walk core regardless of trigger count.
+    /// Public for benchmarks and differential tests, like
+    /// [`Self::scan_bytes_swar`].
+    #[must_use]
+    pub fn scan_bytes_horspool(&self, haystack: &[u8]) -> Vec<RawHit> {
+        let mut hits = Vec::new();
+        self.for_each_match_horspool(haystack, |pi, offset| {
+            hits.push(RawHit { pattern: pi, offset });
+            true
+        });
+        hits
+    }
+
+    /// Like [`Self::scan_bytes`], but splits the haystack into contiguous
+    /// chunks scanned on `threads` OS threads. Each shard scans its chunk
+    /// plus a `max_pattern_len - 1` straddle into the next, keeping only
+    /// matches that *start* inside its chunk, so a boundary-straddling match
+    /// is seen exactly once (by the shard owning its first byte). Shard
+    /// results are concatenated in chunk order: the output is bit-identical
+    /// to the serial scan at any thread count.
+    #[must_use]
+    pub fn scan_bytes_sharded(&self, haystack: &[u8], threads: usize) -> Vec<RawHit> {
+        if threads <= 1 || haystack.len() < self.window {
+            return self.scan_bytes(haystack);
+        }
+        let spans = shard_spans(haystack.len(), threads);
+        let shards: Vec<Vec<RawHit>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = spans
+                .iter()
+                .map(|&(lo, hi)| {
+                    scope.spawn(move || {
+                        let end = (hi + self.max_len - 1).min(haystack.len());
+                        let limit = hi - lo;
+                        let mut hits = Vec::new();
+                        self.for_each_match(&haystack[lo..end], |pi, off| {
+                            // Offsets ascend, so the first start at or past
+                            // the chunk edge ends this shard's work.
+                            if off < limit {
+                                hits.push(RawHit { pattern: pi, offset: lo + off });
+                            }
+                            off < limit
+                        });
+                        hits
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan shard panicked"))
+                .collect()
+        });
+        shards.concat()
+    }
+
     /// Reference oracle: the obvious per-offset, per-pattern comparison the
     /// paper's LKM performs. Kept public so differential tests (and anyone
-    /// doubting the skip loop) can check the fast path against it.
+    /// doubting the fast cores) can check SWAR, Horspool, and the sharded
+    /// paths against it.
     #[must_use]
     pub fn scan_bytes_naive(&self, haystack: &[u8]) -> Vec<RawHit> {
         let mut hits = Vec::new();
@@ -396,12 +626,7 @@ impl Scanner {
                 if haystack.len() - offset >= pat.len()
                     && &haystack[offset..offset + pat.len()] == pat.as_slice()
                 {
-                    hits.push(RawHit {
-                        pattern: pi,
-                        // keylint: allow(S005) -- the pattern *name* ("d", "pem") is a public label, not key bytes
-                        name: p.name.clone(),
-                        offset,
-                    });
+                    hits.push(RawHit { pattern: pi, offset });
                 }
             }
         }
@@ -418,6 +643,39 @@ impl Scanner {
             true
         });
         n
+    }
+
+    /// Sharded [`Self::count_matches`]: identical count at any thread count,
+    /// same chunk-plus-straddle scheme as [`Self::scan_bytes_sharded`].
+    #[must_use]
+    pub fn count_matches_sharded(&self, haystack: &[u8], threads: usize) -> usize {
+        if threads <= 1 || haystack.len() < self.window {
+            return self.count_matches(haystack);
+        }
+        let spans = shard_spans(haystack.len(), threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = spans
+                .iter()
+                .map(|&(lo, hi)| {
+                    scope.spawn(move || {
+                        let end = (hi + self.max_len - 1).min(haystack.len());
+                        let limit = hi - lo;
+                        let mut n = 0usize;
+                        self.for_each_match(&haystack[lo..end], |_, off| {
+                            if off < limit {
+                                n += 1;
+                            }
+                            off < limit
+                        });
+                        n
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan shard panicked"))
+                .sum()
+        })
     }
 
     /// Scans for full *and partial* prefix matches of at least `min_len`
@@ -473,8 +731,6 @@ impl Scanner {
                 if ms >= clamp && (full || prev_ms < clamp) {
                     hits.push(PartialHit {
                         pattern: pi,
-                        // keylint: allow(S005) -- the pattern *name* ("d", "pem") is a public label, not key bytes
-                        name: p.name.clone(),
                         offset: i,
                         matched_len: ms,
                         full,
@@ -541,20 +797,45 @@ impl Scanner {
     /// `scanmemory` experience.
     #[must_use]
     pub fn scan_kernel(&self, kernel: &Kernel) -> ScanReport {
-        let raw = self.scan_bytes(kernel.phys());
+        self.scan_kernel_sharded(kernel, 1)
+    }
+
+    /// Like [`Self::scan_kernel`], but the linear sweep over physical memory
+    /// is split into contiguous chunks across `threads` OS threads (see
+    /// [`Self::scan_bytes_sharded`]). Hits are merged in frame order, so the
+    /// report is bit-identical to the serial scan at any thread count.
+    #[must_use]
+    pub fn scan_kernel_sharded(&self, kernel: &Kernel, threads: usize) -> ScanReport {
+        let raw = if threads <= 1 {
+            self.scan_bytes(kernel.phys())
+        } else {
+            self.scan_bytes_sharded(kernel.phys(), threads)
+        };
+        // Attribution walks the zero-copy frame-run view in lockstep with
+        // the ascending hit list: allocation state comes from the run (one
+        // cursor step per state change, not one metadata lookup per hit),
+        // owners from the reverse mapping of the frame holding the match
+        // start — a straddling match is attributed to its first byte's
+        // frame, exactly as before.
+        let runs = kernel.frame_runs();
+        let mut ri = 0usize;
         let hits = raw
             .into_iter()
             .map(|r| {
                 let frame = FrameId(r.offset / PAGE_SIZE);
-                let view = kernel.frame_view(frame);
+                while !runs[ri].contains(frame) {
+                    ri += 1;
+                }
+                let state = runs[ri].state;
                 KeyHit {
                     pattern: r.pattern,
-                    name: r.name,
+                    // keylint: allow(S005) -- the pattern *name* ("d", "pem") is a public label, not key bytes
+                    name: self.patterns[r.pattern].name.clone(),
                     offset: r.offset,
                     frame,
-                    state: view.state,
-                    allocated: view.state != FrameState::Free,
-                    owners: view.owners,
+                    state,
+                    allocated: state != FrameState::Free,
+                    owners: kernel.frame_view(frame).owners,
                 }
             })
             .collect();
@@ -607,7 +888,7 @@ mod tests {
         let hits = s.scan_bytes(&hay);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].offset, 4);
-        assert_eq!(hits[0].name, "a");
+        assert_eq!(s.pattern_name(hits[0].pattern), "a");
     }
 
     #[test]
@@ -631,8 +912,8 @@ mod tests {
         let hay = b"..PREFIX_TWO..PREFIX_ONE..".to_vec();
         let hits = s.scan_bytes(&hay);
         assert_eq!(hits.len(), 2);
-        assert_eq!(hits[0].name, "y");
-        assert_eq!(hits[1].name, "x");
+        assert_eq!(s.pattern_name(hits[0].pattern), "y");
+        assert_eq!(s.pattern_name(hits[1].pattern), "x");
     }
 
     #[test]
@@ -704,5 +985,87 @@ mod tests {
     fn partial_scan_zero_min_rejected() {
         let s = Scanner::new(vec![pat("k", b"NEEDLE__")]);
         let _ = s.scan_bytes_partial(b"x", 0);
+    }
+
+    #[test]
+    fn swar_eq_flags_matching_lanes() {
+        let word = u64::from_le_bytes(*b"aXbXcXdX");
+        let mask = swar_eq(word, splat(b'X'));
+        // Lanes 1, 3, 5, 7 hold b'X'; each must be flagged.
+        for lane in [1u32, 3, 5, 7] {
+            assert_ne!(mask & (0x80u64 << (lane * 8)), 0, "lane {lane} unflagged");
+        }
+        assert_eq!(swar_eq(word, splat(b'Z')), 0);
+        assert_eq!(swar_eq(0, splat(0)), 0x8080_8080_8080_8080);
+    }
+
+    #[test]
+    fn shard_spans_partition_the_range() {
+        for len in [0usize, 1, 7, 64, 65, 4096, 12345] {
+            for shards in [1usize, 2, 3, 4, 8, 200] {
+                let spans = shard_spans(len, shards);
+                assert!(!spans.is_empty());
+                assert_eq!(spans[0].0, 0);
+                assert_eq!(spans.last().unwrap().1, len);
+                let mut covered = 0usize;
+                for win in spans.windows(2) {
+                    assert_eq!(win[0].1, win[1].0, "spans must be contiguous");
+                }
+                for &(lo, hi) in &spans {
+                    assert!(lo <= hi);
+                    covered += hi - lo;
+                }
+                assert_eq!(covered, len);
+                // Near-equal: sizes differ by at most one byte.
+                let sizes: Vec<usize> = spans.iter().map(|&(lo, hi)| hi - lo).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn swar_and_horspool_agree_with_naive_on_small_cases() {
+        let s = Scanner::new(vec![pat("a", b"AAAAAAAA"), pat("b", b"ABABABAB")]);
+        for hay in [
+            vec![b'A'; 100],
+            b"xxABABABABxxAAAAAAAAxx".to_vec(),
+            vec![0u8; 300],
+            b"short".to_vec(),
+        ] {
+            let oracle = s.scan_bytes_naive(&hay);
+            assert_eq!(s.scan_bytes_swar(&hay), oracle);
+            assert_eq!(s.scan_bytes_horspool(&hay), oracle);
+            assert_eq!(s.scan_bytes(&hay), oracle);
+        }
+    }
+
+    #[test]
+    fn sharded_scan_is_bit_identical_to_serial() {
+        let s = Scanner::new(vec![pat("a", b"NEEDLE__")]);
+        let mut hay = vec![0u8; 10_000];
+        // Plant copies everywhere, including straddling every 4-thread chunk
+        // boundary (multiples of 2500) and ending flush with the haystack.
+        for &at in &[0usize, 1000, 2496, 4996, 7496, 9992] {
+            hay[at..at + 8].copy_from_slice(b"NEEDLE__");
+        }
+        let serial = s.scan_bytes(&hay);
+        assert_eq!(serial.len(), 6);
+        for threads in [1usize, 2, 3, 4, 8, 64] {
+            assert_eq!(s.scan_bytes_sharded(&hay, threads), serial, "threads={threads}");
+            assert_eq!(s.count_matches_sharded(&hay, threads), serial.len());
+        }
+    }
+
+    #[test]
+    fn pattern_with_zero_trigger_byte_disables_zero_skip_correctly() {
+        // Window-end byte 0x00: the all-zero block reject must not fire.
+        let mut bytes = vec![1u8; 8];
+        bytes[7] = 0;
+        let s = Scanner::new(vec![pat("z", &bytes)]);
+        let mut hay = vec![0u8; 600];
+        hay[256..264].copy_from_slice(&[1, 1, 1, 1, 1, 1, 1, 0]);
+        assert_eq!(s.scan_bytes(&hay), s.scan_bytes_naive(&hay));
+        assert_eq!(s.count_matches(&hay), 1);
     }
 }

@@ -102,6 +102,121 @@ fn matches_straddling_chunk_ends_are_found() {
 }
 
 // ---------------------------------------------------------------------
+// SWAR prefilter and sharded scans vs. the same oracle
+// ---------------------------------------------------------------------
+
+/// Both match cores — forced explicitly, bypassing the trigger-count
+/// dispatch — plus the sharded splitter at several widths, against naive.
+fn assert_all_cores_agree(scanner: &Scanner, hay: &[u8], ctx: &str) {
+    let naive = scanner.scan_bytes_naive(hay);
+    assert_eq!(scanner.scan_bytes_swar(hay), naive, "swar vs naive: {ctx}");
+    assert_eq!(scanner.scan_bytes_horspool(hay), naive, "horspool vs naive: {ctx}");
+    assert_eq!(scanner.scan_bytes(hay), naive, "dispatch vs naive: {ctx}");
+    for threads in [1usize, 2, 4, 8] {
+        assert_eq!(
+            scanner.scan_bytes_sharded(hay, threads),
+            naive,
+            "sharded x{threads} vs naive: {ctx}"
+        );
+        assert_eq!(
+            scanner.count_matches_sharded(hay, threads),
+            naive.len(),
+            "sharded count x{threads}: {ctx}"
+        );
+    }
+}
+
+#[test]
+fn fuzz_swar_and_sharded_match_naive_oracle() {
+    let mut rng = Rng64::new(0x5AAE);
+    for round in 0..120 {
+        let alphabet = [2u8, 3, 5, 251][round % 4];
+        let pats = random_patterns(&mut rng, alphabet);
+        let scanner = Scanner::new(pats.iter().map(Pattern::clone_secret).collect());
+        let hay_len = 200 + (rng.next_u64() % 3000) as usize;
+        let mut hay = noisy_haystack(&mut rng, hay_len, alphabet);
+        for _ in 0..(rng.next_u64() % 6) {
+            let p = &pats[(rng.next_u64() % pats.len() as u64) as usize].bytes;
+            if hay.len() > p.len() {
+                let at = (rng.next_u64() % (hay.len() - p.len()) as u64) as usize;
+                hay[at..at + p.len()].copy_from_slice(p);
+            }
+        }
+        assert_all_cores_agree(&scanner, &hay, &format!("round {round}"));
+    }
+}
+
+#[test]
+fn swar_on_repetitive_memory_agrees_with_oracle() {
+    // All-0xAA memory with a pattern that *ends* in 0xAA: every SWAR block
+    // lights up every lane, maximizing prefilter false-positive pressure and
+    // borrow-propagation artifacts. Must still be hit-for-hit identical.
+    let scanner = Scanner::new(vec![
+        pat("tail_aa", b"BAAAAAAA\xAA"),
+        pat("all_aa", b"\xAA\xAA\xAA\xAA\xAA\xAA\xAA\xAA"),
+    ]);
+    let mut hay = vec![0xAAu8; 4096];
+    hay[1000] = b'B';
+    hay[2048] = b'B';
+    assert_all_cores_agree(&scanner, &hay, "0xAA memory");
+    // And the degenerate case: memory that is *entirely* matches.
+    let hay2 = vec![0xAAu8; 4096];
+    assert_all_cores_agree(&scanner, &hay2, "pure 0xAA memory");
+}
+
+#[test]
+fn zero_trigger_byte_disables_zero_skip_without_missing_hits() {
+    // A pattern ending in 0x00 makes 0x00 a trigger byte, so the all-zero
+    // 64-byte fast-reject must stay off; matches buried in zero memory must
+    // all be found.
+    let scanner = Scanner::new(vec![pat("zt", b"KEY\x00\x00\x00\x00\x00")]);
+    let mut hay = vec![0u8; 8192];
+    for at in [0usize, 60, 68, 124, 4000, 8184] {
+        hay[at..at + 8].copy_from_slice(b"KEY\x00\x00\x00\x00\x00");
+    }
+    assert_all_cores_agree(&scanner, &hay, "zero trigger byte");
+    assert_eq!(scanner.count_matches(&hay), 6);
+}
+
+#[test]
+fn near_miss_haystacks_produce_no_false_hits() {
+    // Memory saturated with 7-of-8-byte near misses of the pattern: the
+    // prefilter fires constantly but the verifier must reject every one.
+    let p = b"SECRETK1";
+    let scanner = Scanner::new(vec![pat("nm", p)]);
+    let mut hay = Vec::with_capacity(8 * 1024);
+    for i in 0..1024usize {
+        let mut copy = *p;
+        copy[i % 8] ^= 0xFF; // corrupt a rotating byte
+        hay.extend_from_slice(&copy);
+    }
+    assert_all_cores_agree(&scanner, &hay, "near misses");
+    assert_eq!(scanner.count_matches(&hay), 0);
+    // Now repair one copy; exactly one hit, found by every core.
+    hay[512 * 8..512 * 8 + 8].copy_from_slice(p);
+    assert_eq!(scanner.count_matches(&hay), 1);
+    assert_all_cores_agree(&scanner, &hay, "one repaired");
+}
+
+#[test]
+fn sharded_scan_finds_matches_straddling_every_chunk_boundary() {
+    // With 4 threads over 4096 bytes the chunk cuts land at 1024/2048/3072.
+    // Plant a match straddling each cut and one at the very end.
+    let p = b"STRADDLE";
+    let scanner = Scanner::new(vec![pat("s", p)]);
+    let mut hay = vec![0u8; 4096];
+    for at in [1020usize, 2044, 3068, 4088] {
+        hay[at..at + 8].copy_from_slice(p);
+    }
+    for threads in [1usize, 2, 3, 4, 8, 64] {
+        let hits = scanner.scan_bytes_sharded(&hay, threads);
+        let offs: Vec<usize> = hits.iter().map(|h| h.offset).collect();
+        assert_eq!(offs, vec![1020, 2044, 3068, 4088], "threads {threads}");
+    }
+    assert_all_cores_agree(&scanner, &hay, "straddles");
+}
+
+// ---------------------------------------------------------------------
 // scan_bytes_partial: linear-time matching statistics vs. a naive oracle
 // ---------------------------------------------------------------------
 

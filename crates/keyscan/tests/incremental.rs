@@ -276,3 +276,60 @@ fn mismatched_machine_resets_instead_of_lying() {
     // And back to A (clock now "ahead" of B's): still exact.
     check(&mut inc, &oracle, &a);
 }
+
+#[test]
+fn threaded_incremental_scans_are_bit_identical_at_every_width() {
+    // One serial and three threaded incremental scanners driven through the
+    // same mutation sequence must produce bit-identical reports at every
+    // step — and all must equal the full-scan oracle.
+    let (material, _) = material_and_scanner(29);
+    let oracle = Scanner::from_material(&material);
+    let mut scanners: Vec<IncrementalScanner> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&t| {
+            IncrementalScanner::new(Scanner::from_material(&material)).with_threads(t)
+        })
+        .collect();
+
+    let mut k = Kernel::new(MachineConfig::small());
+    let mut rng = Rng64::new(0x7EAD);
+    let pid = k.spawn();
+    let mut bufs: Vec<VAddr> = Vec::new();
+
+    let mut step = |k: &Kernel, scanners: &mut Vec<IncrementalScanner>, what: &str| {
+        let full = oracle.scan_kernel(k);
+        for inc in scanners.iter_mut() {
+            let t = inc.threads();
+            assert_eq!(inc.scan(k), full, "threads {t} diverged after {what}");
+        }
+    };
+
+    step(&k, &mut scanners, "boot");
+    for round in 0..12 {
+        match rng.next_u64() % 4 {
+            0 => {
+                let sz = 4096 * (1 + (rng.next_u64() % 8) as usize);
+                if let Ok(b) = k.heap_alloc(pid, sz) {
+                    bufs.push(b);
+                }
+            }
+            1 => {
+                if let Some(&b) = bufs.last() {
+                    let _ = k.write_bytes(pid, b, material.d_bytes());
+                }
+            }
+            2 => {
+                if let Some(&b) = bufs.last() {
+                    let _ = k.write_bytes(pid, b, &[0u8; 4096]);
+                }
+            }
+            _ => {
+                if bufs.len() > 1 {
+                    let b = bufs.remove(0);
+                    let _ = k.heap_free(pid, b);
+                }
+            }
+        }
+        step(&k, &mut scanners, &format!("round {round}"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Contract tests for [`Kernel::frame_runs`], the zero-copy coalesced view
+//! the scanner's sharded path walks: the runs must exactly partition the
+//! frame range, each run's byte slice must alias the frames it covers, and
+//! patterns straddling a run boundary must still be visible in `phys()`.
+
+use memsim::{FrameId, FrameState, Kernel, MachineConfig, PAGE_SIZE};
+
+fn machine() -> Kernel {
+    Kernel::new(MachineConfig::small())
+}
+
+/// The partition contract: runs are ascending, contiguous, non-empty, cover
+/// every frame exactly once, and adjacent runs differ in state.
+fn assert_partition(k: &Kernel) {
+    let runs = k.frame_runs();
+    assert!(!runs.is_empty());
+    let mut next = 0usize;
+    for (i, r) in runs.iter().enumerate() {
+        assert_eq!(r.start.0, next, "run {i} not contiguous");
+        assert!(r.frames > 0, "run {i} empty");
+        assert_eq!(r.bytes.len(), r.frames * PAGE_SIZE, "run {i} byte span");
+        if i > 0 {
+            assert_ne!(runs[i - 1].state, r.state, "adjacent runs {i} share state");
+        }
+        next = r.end_frame();
+    }
+    assert_eq!(next, k.num_frames(), "runs must cover the whole machine");
+}
+
+/// Every run's bytes must be the same memory `frame_bytes` exposes frame by
+/// frame, and states must agree with the per-frame view.
+fn assert_aliases_frames(k: &Kernel) {
+    for r in k.frame_runs() {
+        for i in 0..r.frames {
+            let f = FrameId(r.start.0 + i);
+            assert!(r.contains(f));
+            assert_eq!(
+                &r.bytes[i * PAGE_SIZE..(i + 1) * PAGE_SIZE],
+                k.frame_bytes(f),
+                "frame {f} bytes"
+            );
+            assert_eq!(k.frame_view(f).state, r.state, "frame {f} state");
+        }
+    }
+}
+
+#[test]
+fn fresh_machine_is_one_free_run() {
+    let k = machine();
+    assert_partition(&k);
+    let runs = k.frame_runs();
+    assert_eq!(runs.len(), 1);
+    assert_eq!(runs[0].state, FrameState::Free);
+    assert!(!runs[0].allocated());
+    assert_eq!(runs[0].bytes.len(), k.phys().len());
+}
+
+#[test]
+fn runs_partition_after_alloc_write_free_churn() {
+    let mut k = machine();
+    let pid = k.spawn();
+    let mut bufs = Vec::new();
+    for i in 0..6 {
+        let b = k.heap_alloc(pid, (1 + i % 3) * PAGE_SIZE).unwrap();
+        k.write_bytes(pid, b, &vec![i as u8 + 1; PAGE_SIZE]).unwrap();
+        bufs.push(b);
+    }
+    // Free every other buffer so allocated and freed regions interleave.
+    for b in bufs.iter().step_by(2) {
+        k.heap_free(pid, *b).unwrap();
+    }
+    assert_partition(&k);
+    assert_aliases_frames(&k);
+    let runs = k.frame_runs();
+    assert!(runs.len() > 1, "churn must split the machine into several runs");
+    // Both allocated and non-allocated runs must appear.
+    assert!(runs.iter().any(|r| r.allocated()));
+    assert!(runs.iter().any(|r| !r.allocated()));
+}
+
+#[test]
+fn pattern_straddling_a_run_boundary_is_contiguous_in_phys() {
+    // Write a marker across the last bytes of one buffer page and the first
+    // bytes of the next; whatever run boundary falls between the two frames,
+    // `phys()` must show the marker contiguously — that is the straddle the
+    // sharded scanner's overlap window exists to catch.
+    let mut k = machine();
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, 2 * PAGE_SIZE).unwrap();
+    let marker = b"RUNSTRADDLEMARK!";
+    let mut payload = vec![0u8; 2 * PAGE_SIZE];
+    let at = PAGE_SIZE - marker.len() / 2;
+    payload[at..at + marker.len()].copy_from_slice(marker);
+    k.write_bytes(pid, buf, &payload).unwrap();
+
+    assert_partition(&k);
+    assert_aliases_frames(&k);
+    let pos = k
+        .phys()
+        .windows(marker.len())
+        .position(|w| w == marker)
+        .expect("marker must be contiguous in physical memory");
+    // It must genuinely cross a frame boundary.
+    assert_ne!(pos / PAGE_SIZE, (pos + marker.len() - 1) / PAGE_SIZE);
+}
+
+#[test]
+fn exit_reshapes_runs_but_partition_holds() {
+    let mut k = machine();
+    let pid = k.spawn();
+    let buf = k.heap_alloc(pid, 4 * PAGE_SIZE).unwrap();
+    k.write_bytes(pid, buf, &vec![0xEE; 4 * PAGE_SIZE]).unwrap();
+    let with_proc = k.frame_runs().len();
+    k.exit(pid).unwrap();
+    assert_partition(&k);
+    assert_aliases_frames(&k);
+    // The frames changed state (allocated → unallocated-dirty or similar);
+    // the view must reflect whatever the new states are, still partitioned.
+    let _ = with_proc; // shape may or may not change; the contract is above
+}

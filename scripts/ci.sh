@@ -29,14 +29,32 @@ echo "== scan-path equivalence (release) =="
 # then the harness wiring (timelines, fault sweeps, executor cells) at
 # 2/4/8 worker threads.
 cargo test --release -p memsim --test generations
+cargo test --release -p memsim --test frame_runs
 cargo test --release -p keyscan --test differential
 cargo test --release -p keyscan --test incremental
 cargo test --release -p harness --test scan_equivalence
 
 echo "== scan bench smoke (BENCH_scan.json) =="
-# Machine-readable scan throughput: full-scan bytes/sec, incremental-vs-full
+# Machine-readable scan throughput: full-scan bytes/sec, SWAR-vs-Horspool
+# match-core speedup, intra-kernel sharded-scan speedups, incremental-vs-full
 # timeline speedup, frames rescanned. Written to the workspace root.
 cargo bench -p bench --bench scan_cost -- --smoke
+
+# Sharded-scan floor: on a machine with >= 4 cores, splitting one kernel's
+# sweep across 4 threads must be at least 2x the serial sweep. Single- and
+# dual-core runners can't demonstrate the scaling, so they skip with notice
+# (the bit-identity tests above still ran either way).
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$cores" -ge 4 ]; then
+  sharded=$(awk -F: '/"sharded_scan_speedup"/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_scan.json)
+  echo "ci: sharded_scan_speedup=${sharded} on ${cores} cores (floor 2.0)"
+  awk -v s="$sharded" 'BEGIN { exit !(s >= 2.0) }' || {
+    echo "ci: FAIL sharded scan speedup ${sharded} below 2.0x floor" >&2
+    exit 1
+  }
+else
+  echo "ci: skipping sharded-scan floor (only ${cores} core(s))"
+fi
 
 echo "== faultsweep smoke matrix (release) =="
 # Deterministic fault injection: fail, then kill, fallible kernel operations

@@ -39,7 +39,7 @@ fn recovered_key_material_is_cryptographically_usable() {
     let hits = scanner.scan_bytes(dump.bytes());
     let pem_hit = hits
         .iter()
-        .find(|h| h.name == "pem")
+        .find(|h| scanner.pattern_name(h.pattern) == "pem")
         .expect("PEM must be recoverable from a full dump");
 
     // Carve the PEM text out of the attack capture and parse it.
@@ -360,7 +360,10 @@ fn stolen_key_decrypts_recorded_tls_but_not_ssh_sessions() {
     let scanner = Scanner::from_material(apache.material());
     let capture = TtyMemoryDump::with_fraction(1.0).run(&kernel, &mut rng);
     let hits = scanner.scan_bytes(capture.bytes());
-    let pem_hit = hits.iter().find(|h| h.name == "pem").expect("PEM leaked");
+    let pem_hit = hits
+        .iter()
+        .find(|h| scanner.pattern_name(h.pattern) == "pem")
+        .expect("PEM leaked");
     let pem_len = apache.material().pem_bytes().len();
     let text = std::str::from_utf8(
         &capture.bytes()[pem_hit.offset..pem_hit.offset + pem_len],
